@@ -1,0 +1,88 @@
+// §V-C.1 comparison — OCEP vs a dependency-graph deadlock detector.
+//
+// The paper cites graph-based detection at tens of seconds (35 s for a
+// cycle of length 30) because the dependency structure grows with the
+// execution; OCEP detects the same deadlock orders of magnitude faster.
+// This bench runs both detectors over the same recorded streams and
+// reports the per-check cost and the cost of the detecting check itself,
+// sweeping the injected cycle length.
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "apps/patterns.h"
+#include "baseline/dependency_graph.h"
+#include "bench_util.h"
+#include "common/error.h"
+#include "metrics/stopwatch.h"
+
+using namespace ocep;
+using namespace ocep::bench;
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    BenchParams params = parse_params(flags);
+    const auto traces = static_cast<std::uint32_t>(
+        flags.get_int("traces", 20));
+    std::vector<std::uint32_t> cycles;
+    for (const std::int64_t c : {flags.get_int("cycle1", 2),
+                                 flags.get_int("cycle2", 4),
+                                 flags.get_int("cycle3", 8)}) {
+      cycles.push_back(static_cast<std::uint32_t>(c));
+    }
+    flags.check_unused();
+
+    std::printf("# OCEP vs dependency-graph deadlock detection "
+                "(%u traces, per-check microseconds)\n", traces);
+    std::printf("%-6s %12s | %10s %10s %12s | %10s %10s %12s %12s\n",
+                "cycle", "events", "ocep_med", "ocep_max", "ocep_found",
+                "graph_med", "graph_max", "graph_found", "graph_edges");
+    for (const std::uint32_t cycle : cycles) {
+      Populations ocep_pop;
+      MatchTotals ocep_totals;
+      metrics::LatencyRecorder graph_checks;
+      std::uint64_t graph_found = 0;
+      std::uint64_t graph_edges = 0;
+      std::uint64_t events = 0;
+      for (std::uint32_t rep = 0; rep < params.reps; ++rep) {
+        Workload w = make_deadlock_workload(traces, cycle, params.events,
+                                            params.seed + rep);
+        events += w.sim->store().event_count();
+        time_pattern(w.sim->store(), *w.pool, apps::deadlock_pattern(cycle),
+                     MatcherConfig{}, ocep_pop, ocep_totals);
+
+        baseline::DependencyGraphDetector detector(w.sim->store());
+        metrics::Stopwatch watch;
+        for (const EventId id : w.sim->store().arrival_order()) {
+          const Event& event = w.sim->store().event(id);
+          const bool check = event.kind == EventKind::kBlockedSend;
+          watch.restart();
+          const auto result = detector.observe(event);
+          const double us = watch.elapsed_us();
+          if (check) {
+            graph_checks.add(us);
+          }
+          if (result.has_value() &&
+              result->members.size() == cycle) {
+            ++graph_found;
+          }
+        }
+        graph_edges += detector.dependency_edges();
+      }
+      const metrics::Boxplot ocep_box = ocep_pop.searched.summarize();
+      const metrics::Boxplot graph_box = graph_checks.summarize();
+      std::printf("%-6u %12" PRIu64 " | %10.2f %10.2f %12" PRIu64
+                  " | %10.2f %10.2f %12" PRIu64 " %12" PRIu64 "\n",
+                  cycle, events, ocep_box.median, ocep_box.max,
+                  ocep_totals.matches_reported, graph_box.median,
+                  graph_box.max, graph_found, graph_edges);
+    }
+    std::printf("# graph per-check cost grows with the dependency history; "
+                "OCEP's domain pruning keeps checks flat.\n");
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "baseline_depgraph: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,171 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "apps/patterns.h"
+#include "common/assert.h"
+#include "metrics/stopwatch.h"
+
+namespace ocep::bench {
+
+BenchParams parse_params(Flags& flags) {
+  BenchParams params;
+  if (flags.get_bool("full", false)) {
+    params.events = 1000000;  // the paper's methodology
+    params.reps = 5;
+  }
+  params.events = static_cast<std::uint64_t>(
+      flags.get_int("events", static_cast<std::int64_t>(params.events)));
+  params.reps = static_cast<std::uint32_t>(
+      flags.get_int("reps", params.reps));
+  params.seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  params.verbose = flags.get_bool("verbose", false);
+  return params;
+}
+
+namespace {
+
+sim::SimConfig sim_config(std::uint64_t seed, std::uint64_t max_events) {
+  sim::SimConfig config;
+  config.seed = seed;
+  config.channel_capacity = 2;
+  // Cap well above the target so runs normally end by themselves; the cap
+  // only backstops mis-sized workloads.
+  config.max_events = max_events * 2;
+  return config;
+}
+
+}  // namespace
+
+Workload make_deadlock_workload(std::uint32_t traces,
+                                std::uint32_t cycle_length,
+                                std::uint64_t target_events,
+                                std::uint64_t seed) {
+  Workload w;
+  w.pool = std::make_unique<StringPool>();
+  w.sim = std::make_unique<sim::Sim>(*w.pool,
+                                     sim_config(seed, target_events));
+  apps::RandomWalkParams params;
+  params.processes = traces;
+  params.cycle_length = cycle_length;
+  // ~9 events per process per step; the run quiesces shortly after the
+  // cycle group deadlocks at steps / 2.
+  params.steps = std::max<std::uint64_t>(
+      8, 2 * target_events / (static_cast<std::uint64_t>(traces) * 9));
+  w.walk = apps::setup_random_walk(*w.sim, params);
+  w.run = w.sim->run();
+  return w;
+}
+
+Workload make_race_workload(std::uint32_t traces,
+                            std::uint64_t target_events, std::uint64_t seed) {
+  Workload w;
+  w.pool = std::make_unique<StringPool>();
+  w.sim = std::make_unique<sim::Sim>(*w.pool,
+                                     sim_config(seed, target_events));
+  apps::RaceParams params;
+  params.traces = traces;
+  // ~2.3 events per message (send + receive + occasional token pair).
+  params.messages_each = std::max<std::uint64_t>(
+      4, (10 * target_events) / (23 * (traces - 1)));
+  w.race = apps::setup_race_bench(*w.sim, params);
+  w.run = w.sim->run();
+  return w;
+}
+
+Workload make_atomicity_workload(std::uint32_t traces,
+                                 std::uint64_t target_events,
+                                 std::uint64_t seed) {
+  Workload w;
+  w.pool = std::make_unique<StringPool>();
+  w.sim = std::make_unique<sim::Sim>(*w.pool,
+                                     sim_config(seed, target_events));
+  apps::AtomicityParams params;
+  params.workers = traces - 1;  // the semaphore is its own trace
+  // ~8.3 events per iteration: enter/exit + 6 semaphore events + pings.
+  params.iterations = std::max<std::uint64_t>(
+      4, (10 * target_events) / (83 * params.workers));
+  w.atomicity = apps::setup_atomicity(*w.sim, params);
+  w.run = w.sim->run();
+  return w;
+}
+
+Workload make_ordering_workload(std::uint32_t traces,
+                                std::uint64_t target_events,
+                                std::uint64_t seed) {
+  Workload w;
+  w.pool = std::make_unique<StringPool>();
+  w.sim = std::make_unique<sim::Sim>(*w.pool,
+                                     sim_config(seed, target_events));
+  apps::OrderingParams params;
+  params.followers = traces - 1;  // plus the leader
+  // ~6.3 events per request (synch send/recv, snapshot, occasional
+  // updates, forward send/recv).
+  params.requests_each = std::max<std::uint64_t>(
+      2, (10 * target_events) / (63 * params.followers));
+  w.ordering = apps::setup_leader_follower(*w.sim, params);
+  w.run = w.sim->run();
+  return w;
+}
+
+void time_pattern(const EventStore& store, StringPool& pool,
+                  const std::string& pattern_text, MatcherConfig config,
+                  Populations& populations, MatchTotals& totals) {
+  pattern::CompiledPattern compiled = pattern::compile(pattern_text, pool);
+  OcepMatcher matcher(store, std::move(compiled), config);
+
+  std::uint64_t last_hits = 0;
+  std::uint64_t last_searches = 0;
+  metrics::Stopwatch watch;
+  for (const EventId id : store.arrival_order()) {
+    const Event& event = store.event(id);
+    watch.restart();
+    matcher.observe(event);
+    const double us = watch.elapsed_us();
+    populations.all.add(us);
+    const MatcherStats& stats = matcher.stats();
+    if (stats.leaf_hits != last_hits) {
+      last_hits = stats.leaf_hits;
+      populations.hits.add(us);
+    }
+    if (stats.searches != last_searches) {
+      last_searches = stats.searches;
+      populations.searched.add(us);
+    }
+  }
+  const MatcherStats& stats = matcher.stats();
+  totals.events += stats.events_observed;
+  totals.matches_reported += stats.matches_reported;
+  totals.subset_size += matcher.subset().matches().size();
+  totals.searches += stats.searches;
+  totals.nodes_explored += stats.nodes_explored;
+  totals.backjumps += stats.backjumps;
+  totals.history_entries += stats.history_entries;
+  totals.history_merged += stats.history_merged;
+  totals.history_pruned += stats.history_pruned;
+}
+
+void print_header(const std::string& title, const std::string& label_name,
+                  const BenchParams& params) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("# population: terminating (pattern-relevant) events; "
+              "reps=%u, target events/run=%" PRIu64 "\n",
+              params.reps, params.events);
+  std::printf("%-10s %12s %10s %10s %10s %10s %12s %10s %10s\n",
+              label_name.c_str(), "events", "samples", "Q1_us", "median_us",
+              "Q3_us", "topwhisk_us", "max_us", "matches");
+}
+
+void print_row(const std::string& label, std::uint64_t events,
+               metrics::LatencyRecorder& recorder, std::uint64_t matches) {
+  const metrics::Boxplot box = recorder.summarize();
+  std::printf("%-10s %12" PRIu64 " %10zu %10.2f %10.2f %10.2f %12.2f "
+              "%10.2f %10" PRIu64 "\n",
+              label.c_str(), events, box.count, box.q1, box.median, box.q3,
+              box.top_whisker, box.max, matches);
+}
+
+}  // namespace ocep::bench

@@ -1,0 +1,72 @@
+// Fig 10 — Detailed runtime for the four test cases (microseconds):
+// Q1 / Median / Q3 / Top-Whisker / Max per terminating event, matching the
+// paper's table.  Trace counts use each figure's largest setting
+// (deadlock / races / atomicity at 50; ordering at 500) unless overridden.
+#include <cinttypes>
+#include <cstdio>
+
+#include "apps/patterns.h"
+#include "bench_util.h"
+#include "common/error.h"
+
+using namespace ocep;
+using namespace ocep::bench;
+
+namespace {
+
+void run_case(const char* name, Workload (*make)(std::uint32_t,
+                                                 std::uint64_t,
+                                                 std::uint64_t),
+              const std::string& pattern_text, std::uint32_t traces,
+              const BenchParams& params) {
+  Populations populations;
+  MatchTotals totals;
+  for (std::uint32_t rep = 0; rep < params.reps; ++rep) {
+    Workload w = make(traces, params.events, params.seed + rep);
+    time_pattern(w.sim->store(), *w.pool, pattern_text, MatcherConfig{},
+                 populations, totals);
+  }
+  const metrics::Boxplot box = populations.searched.summarize();
+  std::printf("%-10s %8" PRIu64 " %10.0f %10.0f %10.0f %14.0f %10.0f\n",
+              name, totals.events / params.reps, box.q1, box.median, box.q3,
+              box.top_whisker, box.max);
+}
+
+Workload make_deadlock_50(std::uint32_t traces, std::uint64_t events,
+                          std::uint64_t seed) {
+  return make_deadlock_workload(traces, 4, events, seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    BenchParams params = parse_params(flags);
+    const auto small = static_cast<std::uint32_t>(
+        flags.get_int("traces", 50));
+    const auto large = static_cast<std::uint32_t>(
+        flags.get_int("ordering-traces", 500));
+    flags.check_unused();
+
+    std::printf("# Fig 10: detailed runtime for the test cases "
+                "(microseconds per terminating event)\n");
+    std::printf("# deadlock/races/atomicity at %u traces, ordering at %u; "
+                "reps=%u, target events/run=%" PRIu64 "\n",
+                small, large, params.reps, params.events);
+    std::printf("%-10s %8s %10s %10s %10s %14s %10s\n", "case", "events",
+                "Q1", "Med", "Q3", "TopWhisker", "Max");
+    run_case("Deadlock", make_deadlock_50, apps::deadlock_pattern(4), small,
+             params);
+    run_case("Races", make_race_workload, apps::race_pattern(), small,
+             params);
+    run_case("Atomicity", make_atomicity_workload, apps::atomicity_pattern(),
+             small, params);
+    run_case("Ordering", make_ordering_workload, apps::ordering_pattern(),
+             large, params);
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "fig10_table: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,87 @@
+// Memory ablation — dense vs sparse timestamp storage (DESIGN.md §5).
+//
+// The dense backend costs events x traces x 4 bytes; the sparse backend
+// stores only per-column changes, so it scales with communication volume.
+// Reported per configuration: store bytes and the matcher's median
+// per-terminating-event cost over the same stream (the sparse backend's
+// O(log) clock reads are the price of the memory bound).
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "apps/patterns.h"
+#include "bench_util.h"
+#include "common/error.h"
+#include "poet/replay.h"
+
+using namespace ocep;
+using namespace ocep::bench;
+
+namespace {
+
+/// Copies a workload's computation into a store with the given backend.
+EventStore copy_store(const EventStore& source, ClockStorage storage) {
+  EventStore out(storage);
+  for (TraceId t = 0; t < source.trace_count(); ++t) {
+    out.add_trace(source.trace_name(t));
+  }
+  for (const EventId id : source.arrival_order()) {
+    out.append(source.event(id), source.clock(id));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    BenchParams params = parse_params(flags);
+    std::vector<std::uint32_t> trace_counts;
+    for (const std::int64_t t : {flags.get_int("traces1", 50),
+                                 flags.get_int("traces2", 100),
+                                 flags.get_int("traces3", 500)}) {
+      trace_counts.push_back(static_cast<std::uint32_t>(t));
+    }
+    flags.check_unused();
+
+    std::printf("# Store memory: dense vs sparse timestamps "
+                "(ordering workload)\n");
+    std::printf("%-6s %12s | %14s %12s | %14s %12s | %8s\n", "traces",
+                "events", "dense_MiB", "dense_med", "sparse_MiB",
+                "sparse_med", "ratio");
+    for (const std::uint32_t traces : trace_counts) {
+      double dense_bytes = 0, sparse_bytes = 0;
+      Populations dense_pop, sparse_pop;
+      MatchTotals dense_totals, sparse_totals;
+      std::uint64_t events = 0;
+      for (std::uint32_t rep = 0; rep < params.reps; ++rep) {
+        Workload w = make_ordering_workload(traces, params.events,
+                                            params.seed + rep);
+        events += w.sim->store().event_count();
+        dense_bytes += static_cast<double>(w.sim->store().approx_bytes());
+        time_pattern(w.sim->store(), *w.pool, apps::ordering_pattern(),
+                     MatcherConfig{}, dense_pop, dense_totals);
+
+        const EventStore sparse =
+            copy_store(w.sim->store(), ClockStorage::kSparse);
+        sparse_bytes += static_cast<double>(sparse.approx_bytes());
+        time_pattern(sparse, *w.pool, apps::ordering_pattern(),
+                     MatcherConfig{}, sparse_pop, sparse_totals);
+      }
+      const metrics::Boxplot dense_box = dense_pop.searched.summarize();
+      const metrics::Boxplot sparse_box = sparse_pop.searched.summarize();
+      std::printf("%-6u %12" PRIu64 " | %14.1f %12.2f | %14.1f %12.2f | "
+                  "%7.1fx\n",
+                  traces, events, dense_bytes / (1024 * 1024),
+                  dense_box.median, sparse_bytes / (1024 * 1024),
+                  sparse_box.median, dense_bytes / sparse_bytes);
+    }
+    std::printf("# ratio = dense bytes / sparse bytes; medians are "
+                "per-terminating-event microseconds.\n");
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "memory_store: %s\n", error.what());
+    return 1;
+  }
+}

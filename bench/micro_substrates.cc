@@ -1,0 +1,202 @@
+// Micro-benchmarks of the substrates (google-benchmark): vector-clock
+// operations, the O(1)/O(log) store queries the matcher's domain
+// restriction is built from, linearizer delivery, leaf-history bookkeeping,
+// and pattern compilation.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "apps/patterns.h"
+#include "causality/vector_clock.h"
+#include "common/rng.h"
+#include "common/string_pool.h"
+#include "core/history.h"
+#include "pattern/compiled.h"
+#include "poet/dump.h"
+#include "poet/event_store.h"
+#include "poet/linearizer.h"
+
+namespace ocep {
+namespace {
+
+/// Random message-passing computation (same construction as the test
+/// generator, inlined so the bench tree has no test dependencies).
+EventStore make_computation(StringPool& pool, std::uint32_t traces,
+                            std::uint32_t events, std::uint64_t seed) {
+  Rng rng(seed);
+  EventStore store;
+  for (std::uint32_t t = 0; t < traces; ++t) {
+    store.add_trace(pool.intern("T" + std::to_string(t)));
+  }
+  std::vector<VectorClock> clocks(traces, VectorClock(traces));
+  struct InFlight {
+    TraceId to;
+    std::uint64_t message;
+    VectorClock clock;
+  };
+  std::vector<InFlight> in_flight;
+  std::uint64_t next_message = 1;
+  const Symbol type = pool.intern("e");
+  for (std::uint32_t i = 0; i < events; ++i) {
+    const auto t = static_cast<TraceId>(rng.below(traces));
+    const std::uint64_t roll = rng.below(3);
+    Event event;
+    event.type = type;
+    if (roll == 0 || traces < 2) {
+      clocks[t].tick(t);
+      event.id = EventId{t, clocks[t][t]};
+      store.append(event, clocks[t]);
+    } else if (roll == 1) {
+      clocks[t].tick(t);
+      event.id = EventId{t, clocks[t][t]};
+      event.kind = EventKind::kSend;
+      event.message = next_message++;
+      store.append(event, clocks[t]);
+      TraceId to = t;
+      while (to == t) {
+        to = static_cast<TraceId>(rng.below(traces));
+      }
+      in_flight.push_back(InFlight{to, event.message, clocks[t]});
+    } else if (!in_flight.empty()) {
+      // Deliver the oldest in-flight message to its recorded destination.
+      const TraceId to = in_flight.front().to;
+      clocks[to].merge(in_flight.front().clock);
+      clocks[to].tick(to);
+      event.id = EventId{to, clocks[to][to]};
+      event.kind = EventKind::kReceive;
+      event.message = in_flight.front().message;
+      store.append(event, clocks[to]);
+      in_flight.erase(in_flight.begin());
+    } else {
+      clocks[t].tick(t);
+      event.id = EventId{t, clocks[t][t]};
+      store.append(event, clocks[t]);
+    }
+  }
+  return store;
+}
+
+void BM_VectorClockMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorClock a(n), b(n);
+  for (TraceId t = 0; t < n; ++t) {
+    if (t % 2 == 0) {
+      a.tick(t);
+    } else {
+      b.tick(t);
+    }
+  }
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_VectorClockMerge)->Arg(10)->Arg(50)->Arg(500);
+
+void BM_HappensBefore(benchmark::State& state) {
+  StringPool pool;
+  EventStore store = make_computation(pool, 16, 20000, 42);
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto t1 = static_cast<TraceId>(rng.below(16));
+    const auto t2 = static_cast<TraceId>(rng.below(16));
+    const EventId a{t1, static_cast<EventIndex>(
+                            1 + rng.below(store.trace_size(t1)))};
+    const EventId b{t2, static_cast<EventIndex>(
+                            1 + rng.below(store.trace_size(t2)))};
+    benchmark::DoNotOptimize(store.relate(a, b));
+  }
+}
+BENCHMARK(BM_HappensBefore);
+
+void BM_GreatestPredecessor(benchmark::State& state) {
+  StringPool pool;
+  EventStore store = make_computation(pool, 16, 20000, 43);
+  Rng rng(8);
+  for (auto _ : state) {
+    const auto t = static_cast<TraceId>(rng.below(16));
+    const auto s = static_cast<TraceId>(rng.below(16));
+    const EventId e{t, static_cast<EventIndex>(
+                           1 + rng.below(store.trace_size(t)))};
+    benchmark::DoNotOptimize(store.greatest_predecessor(e, s));
+  }
+}
+BENCHMARK(BM_GreatestPredecessor);
+
+void BM_LeastSuccessor(benchmark::State& state) {
+  StringPool pool;
+  EventStore store = make_computation(
+      pool, 16, static_cast<std::uint32_t>(state.range(0)), 44);
+  Rng rng(9);
+  for (auto _ : state) {
+    const auto t = static_cast<TraceId>(rng.below(16));
+    const auto s = static_cast<TraceId>(rng.below(16));
+    const EventId e{t, static_cast<EventIndex>(
+                           1 + rng.below(store.trace_size(t)))};
+    benchmark::DoNotOptimize(store.least_successor(e, s));
+  }
+}
+BENCHMARK(BM_LeastSuccessor)->Arg(2000)->Arg(20000)->Arg(200000);
+
+void BM_LinearizerInOrder(benchmark::State& state) {
+  StringPool pool;
+  EventStore store = make_computation(pool, 8, 10000, 45);
+  struct NullSink final : EventSink {
+    void on_event(const Event&, const VectorClock&) override {}
+  } sink;
+  for (auto _ : state) {
+    Linearizer linearizer(store.trace_count(), sink);
+    for (const EventId id : store.arrival_order()) {
+      linearizer.offer(store.event(id), store.clock(id));
+    }
+    benchmark::DoNotOptimize(linearizer.delivered());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(store.event_count()));
+}
+BENCHMARK(BM_LinearizerInOrder);
+
+void BM_HistoryAppend(benchmark::State& state) {
+  LeafHistory history;
+  for (auto _ : state) {
+    state.PauseTiming();
+    history.reset(8);
+    state.ResumeTiming();
+    for (EventIndex i = 1; i <= 10000; ++i) {
+      history.append(i % 8, i, i / 3, (i % 5) == 0, true);
+    }
+    benchmark::DoNotOptimize(history.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_HistoryAppend);
+
+void BM_CompileOrderingPattern(benchmark::State& state) {
+  for (auto _ : state) {
+    StringPool pool;
+    benchmark::DoNotOptimize(
+        pattern::compile(apps::ordering_pattern(), pool));
+  }
+}
+BENCHMARK(BM_CompileOrderingPattern);
+
+void BM_DumpReload(benchmark::State& state) {
+  StringPool pool;
+  EventStore store = make_computation(pool, 8, 20000, 46);
+  for (auto _ : state) {
+    std::stringstream buffer;
+    dump(store, pool, buffer);
+    StringPool fresh;
+    EventStore reloaded = reload_store(buffer, fresh);
+    benchmark::DoNotOptimize(reloaded.event_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(store.event_count()));
+}
+BENCHMARK(BM_DumpReload);
+
+}  // namespace
+}  // namespace ocep
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Atomicity-violation monitor (paper §V-C.3): a semaphore-protected method
+// with occasionally skipped acquires.
+//
+//   ./build/examples/atomicity_monitor [--workers N] [--iterations I]
+//                                      [--skip-percent P]
+//
+// The semaphore is instrumented as its own trace (the µC++ plugin
+// behaviour), so correctly protected critical sections are causally
+// chained through it; a violation is then simply two *concurrent* section
+// entries — no lockset or serializability analysis required.
+#include <cstdio>
+#include <string>
+
+#include "apps/apps.h"
+#include "apps/patterns.h"
+#include "common/error.h"
+#include "common/flags.h"
+#include "core/monitor.h"
+#include "sim/sim.h"
+
+using namespace ocep;
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    apps::AtomicityParams params;
+    params.workers =
+        static_cast<std::uint32_t>(flags.get_int("workers", 8));
+    params.iterations =
+        static_cast<std::uint64_t>(flags.get_int("iterations", 120));
+    params.skip_percent =
+        static_cast<std::uint32_t>(flags.get_int("skip-percent", 2));
+    flags.check_unused();
+
+    StringPool pool;
+    sim::SimConfig config;
+    config.seed = 23;
+    sim::Sim sim(pool, config);
+    const apps::AtomicityApp app = apps::setup_atomicity(sim, params);
+
+    Monitor monitor(pool);
+    std::uint64_t violations = 0;
+    monitor.add_pattern(
+        apps::atomicity_pattern(), MatcherConfig{},
+        [&](const Match& match, bool fresh) {
+          ++violations;
+          if (!fresh) {
+            return;
+          }
+          const EventStore& store = monitor.store();
+          std::printf("ATOMICITY VIOLATION: %s (entry #%u) runs "
+                      "concurrently with %s (entry #%u)\n",
+                      std::string(pool.view(store.trace_name(
+                          match.bindings[0].trace))).c_str(),
+                      match.bindings[0].index,
+                      std::string(pool.view(store.trace_name(
+                          match.bindings[1].trace))).c_str(),
+                      match.bindings[1].index);
+        });
+    sim.set_live_sink(&monitor);
+    const sim::RunResult result = sim.run();
+    std::printf("%llu events; %llu violation matches (%zu injected "
+                "unprotected sections)\n",
+                static_cast<unsigned long long>(result.events),
+                static_cast<unsigned long long>(violations),
+                app.injections->size());
+    // With skip-percent 0 there must be no reports: the run doubles as a
+    // false-positive check.
+    if (params.skip_percent == 0) {
+      return violations == 0 ? 0 : 2;
+    }
+    return violations > 0 ? 0 : 1;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "atomicity_monitor: %s\n", error.what());
+    return 2;
+  }
+}

@@ -1,0 +1,89 @@
+// Deadlock monitor (paper §V-C.1): watch a parallel random-walk
+// application for a send-receive cycle of blocked sends.
+//
+//   ./build/examples/deadlock_monitor [--traces N] [--cycle L] [--steps S]
+//
+// The application deliberately exchanges walkers with blocking sends before
+// receiving; a group of `cycle` processes eventually bursts past the
+// channel capacity simultaneously and deadlocks.  The monitor's pattern is
+// a cycle of pairwise-concurrent blocked_send events whose process/text
+// variables close the loop — when it matches, the system is deadlocked
+// even though every process is still formally "running".
+#include <cstdio>
+#include <string>
+
+#include "apps/apps.h"
+#include "apps/patterns.h"
+#include "common/error.h"
+#include "common/flags.h"
+#include "core/monitor.h"
+#include "sim/sim.h"
+
+using namespace ocep;
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    apps::RandomWalkParams params;
+    params.processes =
+        static_cast<std::uint32_t>(flags.get_int("traces", 10));
+    params.cycle_length =
+        static_cast<std::uint32_t>(flags.get_int("cycle", 4));
+    params.steps = static_cast<std::uint64_t>(flags.get_int("steps", 100));
+    flags.check_unused();
+
+    StringPool pool;
+    sim::SimConfig config;
+    config.seed = 42;
+    config.channel_capacity = 2;
+    sim::Sim sim(pool, config);
+    const apps::RandomWalkApp app = apps::setup_random_walk(sim, params);
+
+    Monitor monitor(pool);
+    std::uint64_t alarms = 0;
+    monitor.add_pattern(
+        apps::deadlock_pattern(params.cycle_length), MatcherConfig{},
+        [&](const Match& match, bool fresh) {
+          if (!fresh) {
+            return;
+          }
+          ++alarms;
+          std::printf("DEADLOCK: cycle of %zu blocked sends detected:\n",
+                      match.bindings.size());
+          for (const EventId id : match.bindings) {
+            const Event& event = monitor.store().event(id);
+            std::printf("  %-4s blocked sending to %s (event #%u)\n",
+                        std::string(pool.view(monitor.store().trace_name(
+                            id.trace))).c_str(),
+                        std::string(pool.view(event.text)).c_str(),
+                        id.index);
+          }
+        });
+    sim.set_live_sink(&monitor);
+
+    std::printf("running %u-process random walk with an injected "
+                "length-%u deadlock cycle...\n",
+                params.processes, params.cycle_length);
+    const sim::RunResult result = sim.run();
+    std::printf("simulation ended after %llu events (%s)\n",
+                static_cast<unsigned long long>(result.events),
+                result.reason == sim::EndReason::kQuiescent
+                    ? "quiescent: blocked processes remain"
+                    : "completed");
+    if (alarms == 0) {
+      std::printf("no deadlock pattern matched\n");
+      return 1;
+    }
+    std::printf("ground truth: the injected cycle is");
+    for (const TraceId t : app.cycle) {
+      std::printf(" %s",
+                  std::string(pool.view(monitor.store().trace_name(t)))
+                      .c_str());
+    }
+    std::printf("\n");
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "deadlock_monitor: %s\n", error.what());
+    return 2;
+  }
+}

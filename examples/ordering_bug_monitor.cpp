@@ -1,0 +1,82 @@
+// Ordering-bug monitor (paper §III-D): ZooKeeper bug #962.
+//
+//   ./build/examples/ordering_bug_monitor [--followers N] [--requests R]
+//                                         [--bug-percent P]
+//                                         [--dump-file incident.poet]
+//
+// A restarting follower asks the leader for a snapshot; the leader is not
+// blocked from updating between taking the snapshot and forwarding it, so
+// the follower occasionally receives stale service data.  The pattern uses
+// attribute variables to tie Synch / Take_Snapshot / Forward_Snapshot to
+// one request and event variables ($Diff, $Write) exactly as in the paper.
+//
+// On detection the monitor also dumps the collected trace-event data to a
+// file, restricting in-depth offline analysis to the involved traces — the
+// paper's "complementary tool" workflow (§II).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "apps/apps.h"
+#include "apps/patterns.h"
+#include "common/error.h"
+#include "common/flags.h"
+#include "core/monitor.h"
+#include "poet/dump.h"
+#include "sim/sim.h"
+
+using namespace ocep;
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    apps::OrderingParams params;
+    params.followers =
+        static_cast<std::uint32_t>(flags.get_int("followers", 12));
+    params.requests_each =
+        static_cast<std::uint64_t>(flags.get_int("requests", 50));
+    params.bug_percent =
+        static_cast<std::uint32_t>(flags.get_int("bug-percent", 2));
+    const std::string dump_file = flags.get_string("dump-file", "");
+    flags.check_unused();
+
+    StringPool pool;
+    sim::SimConfig config;
+    config.seed = 31;
+    sim::Sim sim(pool, config);
+    const apps::OrderingApp app = apps::setup_leader_follower(sim, params);
+
+    Monitor monitor(pool);
+    std::uint64_t incidents = 0;
+    monitor.add_pattern(
+        apps::ordering_pattern(), MatcherConfig{},
+        [&](const Match& match, bool) {
+          ++incidents;
+          const EventStore& store = monitor.store();
+          const Event& snapshot = store.event(match.bindings[1]);
+          std::printf(
+              "STALE SNAPSHOT: request '%s' — leader updated between "
+              "Take_Snapshot (#%u) and Forward_Snapshot (#%u)\n",
+              std::string(pool.view(snapshot.text)).c_str(),
+              match.bindings[1].index, match.bindings[3].index);
+        });
+    sim.set_live_sink(&monitor);
+    const sim::RunResult result = sim.run();
+    std::printf("%llu events; %llu stale-snapshot incidents "
+                "(ground truth: %zu injected)\n",
+                static_cast<unsigned long long>(result.events),
+                static_cast<unsigned long long>(incidents),
+                app.injections->size());
+
+    if (!dump_file.empty() && incidents > 0) {
+      std::ofstream out(dump_file, std::ios::binary);
+      dump(monitor.store(), pool, out);
+      std::printf("trace-event data saved to %s for offline analysis\n",
+                  dump_file.c_str());
+    }
+    return incidents == app.injections->size() ? 0 : 1;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "ordering_bug_monitor: %s\n", error.what());
+    return 2;
+  }
+}

@@ -1,0 +1,72 @@
+// Message-race monitor (paper §V-C.2): senders racing into a wild-card
+// receive.
+//
+//   ./build/examples/race_monitor [--traces N] [--messages M]
+//
+// The receiver accepts with MPI_ANY_SOURCE semantics; two concurrent
+// incoming messages race, causing nondeterministic delivery order.  The
+// pattern pairs two concurrent sends with their partner receives ('<->'),
+// so the report names the exact messages involved — the information a
+// plain "a race exists" aggregate cannot give (§II).
+#include <cstdio>
+#include <string>
+
+#include "apps/apps.h"
+#include "apps/patterns.h"
+#include "common/error.h"
+#include "common/flags.h"
+#include "core/monitor.h"
+#include "sim/sim.h"
+
+using namespace ocep;
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    apps::RaceParams params;
+    params.traces = static_cast<std::uint32_t>(flags.get_int("traces", 6));
+    params.messages_each =
+        static_cast<std::uint64_t>(flags.get_int("messages", 25));
+    flags.check_unused();
+
+    StringPool pool;
+    sim::SimConfig config;
+    config.seed = 11;
+    sim::Sim sim(pool, config);
+    apps::setup_race_bench(sim, params);
+
+    Monitor monitor(pool);
+    std::uint64_t races = 0;
+    monitor.add_pattern(
+        apps::race_pattern(), MatcherConfig{},
+        [&](const Match& match, bool fresh) {
+          ++races;
+          if (!fresh) {
+            return;  // print only matches that extend coverage
+          }
+          const EventStore& store = monitor.store();
+          const Event& s1 = store.event(match.bindings[0]);
+          const Event& s2 = store.event(match.bindings[1]);
+          std::printf(
+              "RACE: message %llu from %s and message %llu from %s are "
+              "concurrent at the wild-card receiver\n",
+              static_cast<unsigned long long>(s1.message),
+              std::string(pool.view(store.trace_name(
+                  match.bindings[0].trace))).c_str(),
+              static_cast<unsigned long long>(s2.message),
+              std::string(pool.view(store.trace_name(
+                  match.bindings[1].trace))).c_str());
+        });
+    sim.set_live_sink(&monitor);
+    const sim::RunResult result = sim.run();
+    std::printf("%llu events; %llu race matches reported, %zu retained in "
+                "the representative subset\n",
+                static_cast<unsigned long long>(result.events),
+                static_cast<unsigned long long>(races),
+                monitor.matcher(0).subset().matches().size());
+    return races > 0 ? 0 : 1;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "race_monitor: %s\n", error.what());
+    return 2;
+  }
+}

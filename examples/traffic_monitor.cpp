@@ -1,0 +1,76 @@
+// Traffic-light safety monitor (the paper's §I motivating example).
+//
+//   ./build/examples/traffic_monitor [--lights N] [--cycles C]
+//                                    [--bug-percent P]
+//
+// "In a traffic-light system, a correctness condition is that lights in
+// only one direction may be green in the global state.  Alternatively,
+// this problem can be modeled as a sequence of events between the lights:
+// a pattern that represents two events e_i and e_j happening concurrently.
+// A match to this pattern signifies that the system is in an unsafe state."
+//
+// The controller normally serializes green phases through grant/release
+// messages; the injected bug occasionally grants a second direction early.
+// No global state is ever assembled — concurrency of the two green_on
+// events is detected from vector timestamps alone.
+#include <cstdio>
+#include <string>
+
+#include "apps/apps.h"
+#include "apps/patterns.h"
+#include "common/error.h"
+#include "common/flags.h"
+#include "core/monitor.h"
+#include "sim/sim.h"
+
+using namespace ocep;
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    apps::TrafficParams params;
+    params.lights = static_cast<std::uint32_t>(flags.get_int("lights", 4));
+    params.cycles =
+        static_cast<std::uint64_t>(flags.get_int("cycles", 200));
+    params.bug_percent =
+        static_cast<std::uint32_t>(flags.get_int("bug-percent", 2));
+    flags.check_unused();
+
+    StringPool pool;
+    sim::SimConfig config;
+    config.seed = 47;
+    sim::Sim sim(pool, config);
+    const apps::TrafficApp app = apps::setup_traffic_lights(sim, params);
+
+    Monitor monitor(pool);
+    std::uint64_t alarms = 0;
+    monitor.add_pattern(
+        apps::traffic_pattern(), MatcherConfig{},
+        [&](const Match& match, bool) {
+          ++alarms;
+          const EventStore& store = monitor.store();
+          std::printf("UNSAFE: %s green (phase #%u) concurrently with %s "
+                      "green (phase #%u)\n",
+                      std::string(pool.view(store.trace_name(
+                          match.bindings[0].trace))).c_str(),
+                      match.bindings[0].index,
+                      std::string(pool.view(store.trace_name(
+                          match.bindings[1].trace))).c_str(),
+                      match.bindings[1].index);
+        });
+    sim.set_live_sink(&monitor);
+    const sim::RunResult result = sim.run();
+    std::printf("%llu events; %llu unsafe-state matches "
+                "(%zu early grants injected)\n",
+                static_cast<unsigned long long>(result.events),
+                static_cast<unsigned long long>(alarms),
+                app.injections->size());
+    if (params.bug_percent == 0) {
+      return alarms == 0 ? 0 : 2;
+    }
+    return alarms > 0 ? 0 : 1;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "traffic_monitor: %s\n", error.what());
+    return 2;
+  }
+}

@@ -1,0 +1,159 @@
+// The paper's four case-study workloads (§V-C), as simulated applications.
+//
+// Each setup_* function registers processes (and semaphore traces) with a
+// Sim and returns a handle holding the trace ids plus a ground-truth
+// injection log the application fills in while it runs.  The completeness
+// experiments (§V-D) check OCEP's reported matches against these logs: the
+// monitor must cover every injected violation and report nothing else.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sim.h"
+
+namespace ocep::apps {
+
+// --- 1. Deadlock: parallel random walk (§V-C.1) ----------------------------
+//
+// Processes in a ring exchange walkers that cross sub-domain boundaries.
+// The point-to-point communication deliberately sends all outgoing walkers
+// before receiving, so when bursts exceed the channel buffer a send blocks;
+// a designated group of `cycle_length` processes eventually bursts along a
+// cycle simultaneously and deadlocks, exactly the "rarely visible"
+// MPI_Send deadlock the paper injects.
+
+struct RandomWalkParams {
+  std::uint32_t processes = 10;      ///< ring size (traces)
+  std::uint32_t cycle_length = 4;    ///< length of the injected deadlock cycle
+  std::uint64_t steps = 200;         ///< walk steps per process
+  std::uint32_t walkers = 8;         ///< walkers per process at start
+  std::uint64_t deadlock_after = 0;  ///< step at which the cycle group bursts
+                                     ///< (0 = steps / 2)
+  bool inject_deadlock = true;
+};
+
+struct RandomWalkApp {
+  std::vector<TraceId> processes;
+  /// The trace ids of the injected deadlock cycle, in cycle order
+  /// (cycle[i] blocks sending to cycle[(i+1) % L]).  Empty if not injected.
+  std::vector<TraceId> cycle;
+};
+
+RandomWalkApp setup_random_walk(sim::Sim& sim, const RandomWalkParams& params);
+
+// --- 2. Message race: many-to-one with MPI_ANY_SOURCE (§V-C.2) -------------
+//
+// All processes but one send to the remaining process, which accepts them
+// with a wild-card receive.  Sends from different senders are racy unless a
+// token pass ordered them; the token makes some pairs causally ordered so
+// the matcher's concurrency pruning is actually exercised.
+
+struct RaceParams {
+  std::uint32_t traces = 10;          ///< 1 receiver + (traces - 1) senders
+  std::uint64_t messages_each = 100;  ///< messages per sender
+  /// Probability (percent) that a sender passes a token to its neighbour
+  /// after a send, causally ordering the neighbour's later sends behind it.
+  std::uint32_t token_percent = 20;
+};
+
+struct RaceApp {
+  TraceId receiver = 0;
+  std::vector<TraceId> senders;
+};
+
+RaceApp setup_race_bench(sim::Sim& sim, const RaceParams& params);
+
+// --- 3. Atomicity violation: semaphore-protected method (§V-C.3) -----------
+//
+// Workers enter a critical section guarded by a semaphore registered as its
+// own trace (the µC++ plugin behaviour).  With `skip_percent`% probability
+// a worker fails to acquire properly, so its section runs concurrently with
+// the legitimate holder's.
+
+struct AtomicityParams {
+  std::uint32_t workers = 9;  ///< worker traces; total traces = workers + 1
+  std::uint64_t iterations = 100;
+  std::uint32_t skip_percent = 1;  ///< chance the acquire is skipped
+};
+
+/// One injected violation: the unprotected critical-section entry.
+struct AtomicityInjection {
+  TraceId worker = 0;
+  EventId enter_event;
+  EventId exit_event;
+};
+
+struct AtomicityApp {
+  std::vector<TraceId> workers;
+  sim::SemId semaphore{};
+  TraceId semaphore_trace = 0;
+  std::shared_ptr<std::vector<AtomicityInjection>> injections;
+};
+
+AtomicityApp setup_atomicity(sim::Sim& sim, const AtomicityParams& params);
+
+// --- 4. Ordering bug: leader/follower replication (§III-D, §V-C.4) ---------
+//
+// Followers send synch requests; the leader takes a snapshot and forwards
+// it.  With `bug_percent`% probability the leader makes an update between
+// taking the snapshot and forwarding it (ZooKeeper bug #962): the follower
+// receives stale service data.  Snapshot/Forward events carry a
+// "follower#seq" tag in their text attribute so the pattern's variable
+// binding pairs them per request.
+
+struct OrderingParams {
+  std::uint32_t followers = 49;  ///< total traces = followers + 1
+  std::uint64_t requests_each = 20;
+  std::uint32_t bug_percent = 1;
+};
+
+/// One injected violation: update made between snapshot and forward.
+struct OrderingInjection {
+  TraceId follower = 0;
+  EventId snapshot_event;
+  EventId update_event;
+  EventId forward_event;
+};
+
+struct OrderingApp {
+  TraceId leader = 0;
+  std::vector<TraceId> followers;
+  std::shared_ptr<std::vector<OrderingInjection>> injections;
+};
+
+OrderingApp setup_leader_follower(sim::Sim& sim, const OrderingParams& params);
+
+// --- 5. Traffic lights: the paper's §I motivating example ------------------
+//
+// A correctness condition of a traffic-light system is that lights in only
+// one direction may be green at a time.  Rather than checking the global
+// state, the monitor matches the event pattern "two green_on events are
+// concurrent".  A controller grants green to one direction and normally
+// waits for the release before granting the next; with `bug_percent`%
+// probability it grants the next direction early — the two green phases
+// are then causally concurrent.
+
+struct TrafficParams {
+  std::uint32_t lights = 4;  ///< directions; total traces = lights + 1
+  std::uint64_t cycles = 100;  ///< grants issued by the controller
+  std::uint32_t bug_percent = 1;
+};
+
+/// One injected violation: the prematurely granted green phase.
+struct TrafficInjection {
+  TraceId first_light = 0;   ///< holder of the still-active green
+  TraceId second_light = 0;  ///< prematurely granted direction
+};
+
+struct TrafficApp {
+  TraceId controller = 0;
+  std::vector<TraceId> lights;
+  std::shared_ptr<std::vector<TrafficInjection>> injections;
+};
+
+TrafficApp setup_traffic_lights(sim::Sim& sim, const TrafficParams& params);
+
+}  // namespace ocep::apps

@@ -1,0 +1,87 @@
+#include <memory>
+#include <string>
+
+#include "apps/apps.h"
+#include "common/assert.h"
+
+namespace ocep::apps {
+namespace {
+
+struct AtomicityShared {
+  AtomicityParams params;
+  sim::SemId semaphore{};
+  std::vector<TraceId> workers;
+  std::shared_ptr<std::vector<AtomicityInjection>> injections;
+  std::uint64_t ping_every = 7;  ///< deterministic worker-to-worker chatter
+};
+
+/// A worker that repeatedly executes a semaphore-protected method
+/// (§V-C.3).  With skip_percent% probability the acquire is skipped — the
+/// intentional bug — so the section runs concurrently with the legitimate
+/// holder's.  Periodic pings between neighbouring workers add causal edges
+/// unrelated to the semaphore, so not every pair of section entries is
+/// concurrent.
+sim::ProcessBody worker_body(sim::Proc& ctx,
+                             std::shared_ptr<const AtomicityShared> shared,
+                             std::uint32_t index) {
+  const AtomicityParams& params = shared->params;
+  Rng& rng = ctx.sim().rng();
+  const Symbol enter = ctx.sym("cs_enter");
+  const Symbol exit = ctx.sym("cs_exit");
+  const Symbol ping = ctx.sym("ping");
+  const Symbol recv_ping = ctx.sym("recv_ping");
+  const bool has_prev = index > 0;
+  const bool has_next = index + 1 < shared->workers.size();
+
+  for (std::uint64_t it = 1; it <= params.iterations; ++it) {
+    co_await ctx.delay(1 + rng.below(8));
+    const bool chatty = shared->ping_every != 0 && it % shared->ping_every == 0;
+    if (chatty && has_prev) {
+      co_await ctx.recv(shared->workers[index - 1], recv_ping);
+    }
+
+    const bool skip = rng.chance(params.skip_percent, 100);
+    if (!skip) {
+      co_await ctx.acquire(shared->semaphore);
+    }
+    const EventId enter_event = co_await ctx.local(enter);
+    co_await ctx.delay(1 + rng.below(3));
+    const EventId exit_event = co_await ctx.local(exit);
+    if (!skip) {
+      co_await ctx.release(shared->semaphore);
+    } else {
+      shared->injections->push_back(
+          AtomicityInjection{ctx.id(), enter_event, exit_event});
+    }
+
+    if (chatty && has_next) {
+      co_await ctx.send(shared->workers[index + 1], ping);
+    }
+  }
+}
+
+}  // namespace
+
+AtomicityApp setup_atomicity(sim::Sim& sim, const AtomicityParams& params) {
+  OCEP_ASSERT_MSG(params.workers >= 2, "need at least two workers");
+
+  auto shared = std::make_shared<AtomicityShared>();
+  shared->params = params;
+  shared->injections = std::make_shared<std::vector<AtomicityInjection>>();
+  shared->semaphore = sim.add_semaphore("SEM", 1);
+
+  AtomicityApp app;
+  app.semaphore = shared->semaphore;
+  app.semaphore_trace = sim.semaphore_trace(shared->semaphore);
+  app.injections = shared->injections;
+  for (std::uint32_t i = 0; i < params.workers; ++i) {
+    const TraceId t = sim.add_process(
+        "W" + std::to_string(i),
+        [shared, i](sim::Proc& ctx) { return worker_body(ctx, shared, i); });
+    shared->workers.push_back(t);
+    app.workers.push_back(t);
+  }
+  return app;
+}
+
+}  // namespace ocep::apps

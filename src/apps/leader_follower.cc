@@ -1,0 +1,108 @@
+#include <memory>
+#include <string>
+
+#include "apps/apps.h"
+#include "common/assert.h"
+
+namespace ocep::apps {
+namespace {
+
+struct OrderingShared {
+  OrderingParams params;
+  TraceId leader = 0;
+  std::vector<TraceId> followers;
+  std::shared_ptr<std::vector<OrderingInjection>> injections;
+};
+
+/// The replicated-service leader (§III-D).  For each synchronization
+/// request it takes a snapshot and forwards it to the requesting follower.
+/// Snapshot and Forward carry the request tag ("f<i>#<seq>") in their text
+/// attribute so the monitoring pattern can pair them per request.  With
+/// bug_percent% probability the leader makes an update *between* snapshot
+/// and forward — ZooKeeper bug #962: the follower gets stale data.
+sim::ProcessBody leader_body(sim::Proc& ctx,
+                             std::shared_ptr<const OrderingShared> shared) {
+  const OrderingParams& params = shared->params;
+  Rng& rng = ctx.sim().rng();
+  const Symbol recv_synch = ctx.sym("recv_synch");
+  const Symbol take_snapshot = ctx.sym("Take_Snapshot");
+  const Symbol make_update = ctx.sym("Make_Update");
+  const Symbol forward_snapshot = ctx.sym("Forward_Snapshot");
+
+  const std::uint64_t total =
+      params.requests_each * shared->followers.size();
+  for (std::uint64_t served = 0; served < total; ++served) {
+    // Benign housekeeping update between requests; it never falls between
+    // a snapshot and its forward, so the pattern must not match it.
+    if (rng.chance(30, 100)) {
+      co_await ctx.local(make_update);
+    }
+    const sim::Incoming request = co_await ctx.recv(sim::kAnySource,
+                                                    recv_synch);
+    const Symbol tag = request.text;
+    const EventId snapshot =
+        co_await ctx.local(take_snapshot, tag);
+    co_await ctx.delay(1 + rng.below(3));
+    const bool buggy = rng.chance(params.bug_percent, 100);
+    EventId update{};
+    if (buggy) {
+      // The bug: the leader is not blocked from updating after the
+      // snapshot was taken and before it is forwarded.
+      update = co_await ctx.local(make_update);
+    }
+    const sim::SendResult forward =
+        co_await ctx.send(request.from, forward_snapshot, tag);
+    if (buggy) {
+      shared->injections->push_back(OrderingInjection{
+          request.from, snapshot, update, forward.send_event});
+    }
+  }
+}
+
+/// A follower: requests a synchronization snapshot `requests_each` times.
+/// The request's text attribute is the unique tag the leader echoes on the
+/// snapshot and the forward.
+sim::ProcessBody follower_body(sim::Proc& ctx,
+                               std::shared_ptr<const OrderingShared> shared,
+                               std::uint32_t index) {
+  const OrderingParams& params = shared->params;
+  Rng& rng = ctx.sim().rng();
+  const Symbol synch_leader = ctx.sym("Synch_Leader");
+  const Symbol recv_snapshot = ctx.sym("recv_snapshot");
+
+  for (std::uint64_t seq = 1; seq <= params.requests_each; ++seq) {
+    co_await ctx.delay(1 + rng.below(16));
+    const Symbol tag = ctx.sym("f" + std::to_string(index) + "#" +
+                               std::to_string(seq));
+    co_await ctx.send(shared->leader, synch_leader, tag);
+    co_await ctx.recv(shared->leader, recv_snapshot);
+  }
+}
+
+}  // namespace
+
+OrderingApp setup_leader_follower(sim::Sim& sim,
+                                  const OrderingParams& params) {
+  OCEP_ASSERT_MSG(params.followers >= 1, "need at least one follower");
+
+  auto shared = std::make_shared<OrderingShared>();
+  shared->params = params;
+  shared->injections = std::make_shared<std::vector<OrderingInjection>>();
+
+  OrderingApp app;
+  shared->leader = sim.add_process("LEADER", [shared](sim::Proc& ctx) {
+    return leader_body(ctx, shared);
+  });
+  app.leader = shared->leader;
+  app.injections = shared->injections;
+  for (std::uint32_t i = 0; i < params.followers; ++i) {
+    const TraceId t = sim.add_process(
+        "F" + std::to_string(i),
+        [shared, i](sim::Proc& ctx) { return follower_body(ctx, shared, i); });
+    shared->followers.push_back(t);
+    app.followers.push_back(t);
+  }
+  return app;
+}
+
+}  // namespace ocep::apps

@@ -1,0 +1,69 @@
+#include "apps/patterns.h"
+
+#include "common/assert.h"
+
+namespace ocep::apps {
+
+std::string deadlock_pattern(std::uint32_t length) {
+  OCEP_ASSERT(length >= 2);
+  // Each class occurrence in a pattern is a fresh leaf (§III-C), so the
+  // blocked-send occurrences are named with event variables to appear in
+  // several pairwise-concurrency terms as the same event.
+  std::string out;
+  for (std::uint32_t i = 0; i < length; ++i) {
+    const std::uint32_t next = (i + 1) % length;
+    out += "W" + std::to_string(i) + " := [$p" + std::to_string(i) +
+           ", blocked_send, $p" + std::to_string(next) + "];\n";
+  }
+  for (std::uint32_t i = 0; i < length; ++i) {
+    out += "W" + std::to_string(i) + " $w" + std::to_string(i) + ";\n";
+  }
+  out += "pattern := ";
+  bool first = true;
+  for (std::uint32_t i = 0; i < length; ++i) {
+    for (std::uint32_t j = i + 1; j < length; ++j) {
+      if (!first) {
+        out += " && ";
+      }
+      first = false;
+      out += "($w" + std::to_string(i) + " || $w" + std::to_string(j) + ")";
+    }
+  }
+  out += ";\n";
+  return out;
+}
+
+std::string race_pattern(const std::string& receiver) {
+  return "S1 := [$a, send_msg, ''];\n"
+         "S2 := [$b, send_msg, ''];\n"
+         "R1 := [" + receiver + ", recv_msg, ''];\n"
+         "R2 := [" + receiver + ", recv_msg, ''];\n"
+         "S1 $s1;\n"
+         "S2 $s2;\n"
+         "pattern := ($s1 || $s2) && ($s1 <-> R1) && ($s2 <-> R2);\n";
+}
+
+std::string atomicity_pattern() {
+  return "E1 := [$a, cs_enter, ''];\n"
+         "E2 := [$b, cs_enter, ''];\n"
+         "pattern := E1 || E2;\n";
+}
+
+std::string traffic_pattern() {
+  return "G1 := [$a, green_on, ''];\n"
+         "G2 := [$b, green_on, ''];\n"
+         "pattern := G1 || G2;\n";
+}
+
+std::string ordering_pattern() {
+  return "Synch    := [$f, Synch_Leader, $tag];\n"
+         "Snapshot := [$l, Take_Snapshot, $tag];\n"
+         "Update   := [$l, Make_Update, ''];\n"
+         "Forward  := [$l, Forward_Snapshot, $tag];\n"
+         "Snapshot $Diff;\n"
+         "Update $Write;\n"
+         "pattern := (Synch -> $Diff) && ($Diff -> $Write) && "
+         "($Write -> Forward);\n";
+}
+
+}  // namespace ocep::apps

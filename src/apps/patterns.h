@@ -1,0 +1,40 @@
+// The paper's case-study patterns (§III-D, §V-C), as pattern-language text
+// matched against the workloads in apps.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ocep::apps {
+
+/// Deadlock of a specific length (§V-C.1): a cycle of `length` blocked
+/// sends, pairwise concurrent, where each blocked send's text names the
+/// next member's trace and the process/text variables close the cycle:
+///   W0 := [$p0, blocked_send, $p1];  W1 := [$p1, blocked_send, $p2]; ...
+///   pattern := W0 || W1 && W0 || W2 && ...   (all pairs)
+[[nodiscard]] std::string deadlock_pattern(std::uint32_t length);
+
+/// Message race (§V-C.2): two concurrent sends whose partner receives land
+/// on the wild-card receiver:
+///   pattern := (S1 || S2) && (S1 <-> R1) && (S2 <-> R2)
+/// `receiver` is the receiving trace's name (attribute-matched exactly).
+[[nodiscard]] std::string race_pattern(const std::string& receiver = "R0");
+
+/// Atomicity violation (§V-C.3): two concurrent critical-section entries —
+/// possible only when an acquire was skipped, because legitimate sections
+/// are causally chained through the semaphore trace:
+///   pattern := E1 || E2
+[[nodiscard]] std::string atomicity_pattern();
+
+/// Traffic-light safety (§I's motivating example): lights in only one
+/// direction may be green, i.e. no two green_on events are concurrent:
+///   pattern := G1 || G2
+[[nodiscard]] std::string traffic_pattern();
+
+/// Ordering bug (§III-D): snapshot taken on a synch request is followed by
+/// an update before it gets forwarded to the follower.  The request tag
+/// variable $tag pairs Synch/Snapshot/Forward per request; $Diff and $Write
+/// are the paper's event variables.
+[[nodiscard]] std::string ordering_pattern();
+
+}  // namespace ocep::apps

@@ -1,0 +1,87 @@
+#include <memory>
+#include <string>
+
+#include "apps/apps.h"
+#include "common/assert.h"
+
+namespace ocep::apps {
+namespace {
+
+struct RaceShared {
+  RaceParams params;
+  TraceId receiver = 0;
+  std::vector<TraceId> senders;
+  std::uint64_t token_every = 0;  ///< derived from token_percent; 0 = never
+};
+
+/// The receiving process: a blocking receive with the MPI_ANY_SOURCE
+/// wild-card, exactly the benchmark of §V-C.2.  Two concurrent incoming
+/// messages race on this wild-card.
+sim::ProcessBody receiver_body(sim::Proc& ctx,
+                               std::shared_ptr<const RaceShared> shared) {
+  const Symbol recv_msg = ctx.sym("recv_msg");
+  const std::uint64_t total =
+      shared->params.messages_each * shared->senders.size();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    co_await ctx.recv(sim::kAnySource, recv_msg);
+  }
+}
+
+/// A sender.  Every `token_every`-th round, sender k first waits for a
+/// token from sender k-1 and afterwards passes one to sender k+1, which
+/// causally orders that round's sends across the chain — so the
+/// computation contains both racing and non-racing pairs and the matcher's
+/// concurrency pruning is exercised.
+sim::ProcessBody sender_body(sim::Proc& ctx,
+                             std::shared_ptr<const RaceShared> shared,
+                             std::uint32_t index) {
+  const RaceParams& params = shared->params;
+  Rng& rng = ctx.sim().rng();
+  const Symbol msg = ctx.sym("send_msg");
+  const Symbol token = ctx.sym("token");
+  const Symbol recv_token = ctx.sym("recv_token");
+  const bool has_prev = index > 0;
+  const bool has_next = index + 1 < shared->senders.size();
+
+  for (std::uint64_t round = 1; round <= params.messages_each; ++round) {
+    const bool chained =
+        shared->token_every != 0 && round % shared->token_every == 0;
+    if (chained && has_prev) {
+      co_await ctx.recv(shared->senders[index - 1], recv_token);
+    }
+    co_await ctx.delay(1 + rng.below(6));
+    co_await ctx.send(shared->receiver, msg, kEmptySymbol, round);
+    if (chained && has_next) {
+      co_await ctx.send(shared->senders[index + 1], token);
+    }
+  }
+}
+
+}  // namespace
+
+RaceApp setup_race_bench(sim::Sim& sim, const RaceParams& params) {
+  OCEP_ASSERT_MSG(params.traces >= 3, "need a receiver and >= 2 senders");
+
+  auto shared = std::make_shared<RaceShared>();
+  shared->params = params;
+  // Map the percentage to a deterministic chain period: e.g. 20% => every
+  // 5th round is causally chained across the senders.
+  shared->token_every =
+      params.token_percent == 0 ? 0 : std::max(1U, 100U / params.token_percent);
+
+  RaceApp app;
+  shared->receiver = sim.add_process("R0", [shared](sim::Proc& ctx) {
+    return receiver_body(ctx, shared);
+  });
+  app.receiver = shared->receiver;
+  for (std::uint32_t i = 0; i + 1 < params.traces; ++i) {
+    const TraceId t = sim.add_process(
+        "S" + std::to_string(i),
+        [shared, i](sim::Proc& ctx) { return sender_body(ctx, shared, i); });
+    shared->senders.push_back(t);
+    app.senders.push_back(t);
+  }
+  return app;
+}
+
+}  // namespace ocep::apps

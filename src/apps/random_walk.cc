@@ -1,0 +1,177 @@
+#include <algorithm>
+#include <memory>
+
+#include "apps/apps.h"
+#include "common/assert.h"
+
+namespace ocep::apps {
+namespace {
+
+struct WalkShared {
+  RandomWalkParams params;
+  std::uint64_t member_steps = 0;  ///< normal steps run by cycle members
+  std::vector<TraceId> procs;
+  std::vector<TraceId> cycle;
+};
+
+/// One process of the parallel random walk.  Even ranks receive before
+/// sending and keep each step's outgoing batch within the channel capacity,
+/// so their sends never block; odd ranks send before receiving and may
+/// burst past the capacity — the incorrect usage of the blocking
+/// communication routine that makes a send block whenever the network
+/// cannot buffer the burst (§V-C.1).  Because ranks alternate around the
+/// ring (processes is even) and the even partner's receive order matches
+/// the odd partner's send order, every transient block resolves and the
+/// only waits-for cycle possible is the injected one.
+sim::ProcessBody walker_body(sim::Proc& ctx,
+                             std::shared_ptr<const WalkShared> shared,
+                             std::uint32_t rank) {
+  const RandomWalkParams& params = shared->params;
+  const std::uint32_t n = params.processes;
+  const TraceId right = shared->procs[(rank + 1) % n];
+  const TraceId left = shared->procs[(rank + n - 1) % n];
+  Rng& rng = ctx.sim().rng();
+
+  const Symbol hdr = ctx.sym("walker_hdr");
+  const Symbol walker = ctx.sym("walker");
+  const Symbol recv_hdr = ctx.sym("recv_walker_hdr");
+  const Symbol recv_walker = ctx.sym("recv_walker");
+
+  const bool in_cycle =
+      params.inject_deadlock && rank < shared->cycle.size();
+  const std::uint64_t steps = in_cycle ? shared->member_steps : params.steps;
+
+  // Even ranks: header + walkers <= capacity, never blocks.  Odd ranks may
+  // exceed it by a couple of messages — a transient block.
+  const std::uint64_t capacity = ctx.sim().config().channel_capacity;
+  const std::uint64_t max_cross =
+      rank % 2 == 0 ? capacity - 1 : capacity + 2;
+
+  std::uint64_t walkers = params.walkers;
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    co_await ctx.delay(1 + rng.below(4));
+    // Walkers that cross the sub-domain boundary this step.
+    std::uint64_t go_right =
+        rng.below(std::min<std::uint64_t>(walkers, max_cross) + 1);
+    walkers -= go_right;
+    std::uint64_t go_left =
+        rng.below(std::min<std::uint64_t>(walkers, max_cross) + 1);
+    walkers -= go_left;
+
+    if (rank % 2 == 1) {
+      // Unsafe order: exchange all outgoing walkers first.
+      co_await ctx.send(right, hdr, kEmptySymbol, go_right);
+      for (std::uint64_t i = 0; i < go_right; ++i) {
+        co_await ctx.send(right, walker, kEmptySymbol, 1);
+      }
+      co_await ctx.send(left, hdr, kEmptySymbol, go_left);
+      for (std::uint64_t i = 0; i < go_left; ++i) {
+        co_await ctx.send(left, walker, kEmptySymbol, 1);
+      }
+      const sim::Incoming from_left = co_await ctx.recv(left, recv_hdr);
+      for (std::uint64_t i = 0; i < from_left.payload; ++i) {
+        co_await ctx.recv(left, recv_walker);
+        ++walkers;
+      }
+      const sim::Incoming from_right = co_await ctx.recv(right, recv_hdr);
+      for (std::uint64_t i = 0; i < from_right.payload; ++i) {
+        co_await ctx.recv(right, recv_walker);
+        ++walkers;
+      }
+    } else {
+      const sim::Incoming from_left = co_await ctx.recv(left, recv_hdr);
+      for (std::uint64_t i = 0; i < from_left.payload; ++i) {
+        co_await ctx.recv(left, recv_walker);
+        ++walkers;
+      }
+      const sim::Incoming from_right = co_await ctx.recv(right, recv_hdr);
+      for (std::uint64_t i = 0; i < from_right.payload; ++i) {
+        co_await ctx.recv(right, recv_walker);
+        ++walkers;
+      }
+      co_await ctx.send(right, hdr, kEmptySymbol, go_right);
+      for (std::uint64_t i = 0; i < go_right; ++i) {
+        co_await ctx.send(right, walker, kEmptySymbol, 1);
+      }
+      co_await ctx.send(left, hdr, kEmptySymbol, go_left);
+      for (std::uint64_t i = 0; i < go_left; ++i) {
+        co_await ctx.send(left, walker, kEmptySymbol, 1);
+      }
+    }
+  }
+
+  if (!in_cycle) {
+    co_return;
+  }
+
+  // --- Injected deadlock ----------------------------------------------
+  // Ring barrier among the cycle members so every member-to-member channel
+  // is drained, then every member bursts more messages than the channel
+  // can buffer at the next member without ever receiving: a send-receive
+  // cycle in which each blocking send waits forever.
+  const std::size_t cycle_len = shared->cycle.size();
+  const TraceId cycle_next = shared->cycle[(rank + 1) % cycle_len];
+  const TraceId cycle_prev = shared->cycle[(rank + cycle_len - 1) % cycle_len];
+  const Symbol barrier = ctx.sym("barrier");
+  const Symbol recv_barrier = ctx.sym("recv_barrier");
+  const Symbol go = ctx.sym("go");
+  const Symbol recv_go = ctx.sym("recv_go");
+
+  if (rank == 0) {
+    co_await ctx.send(cycle_next, barrier);
+    co_await ctx.recv(cycle_prev, recv_barrier);
+    co_await ctx.send(cycle_next, go);
+    co_await ctx.recv(cycle_prev, recv_go);
+  } else {
+    co_await ctx.recv(cycle_prev, recv_barrier);
+    co_await ctx.send(cycle_next, barrier);
+    co_await ctx.recv(cycle_prev, recv_go);
+    co_await ctx.send(cycle_next, go);
+  }
+
+  const Symbol rebalance = ctx.sym("rebalance");
+  for (std::uint64_t i = 0; i <= capacity; ++i) {
+    // The (capacity + 1)-th send blocks forever: the next member is itself
+    // bursting and never receives again.
+    co_await ctx.send(cycle_next, rebalance, kEmptySymbol, walkers);
+  }
+  OCEP_ASSERT_MSG(false, "burst send past capacity must block forever");
+}
+
+}  // namespace
+
+RandomWalkApp setup_random_walk(sim::Sim& sim,
+                                const RandomWalkParams& params) {
+  OCEP_ASSERT_MSG(params.processes >= 4 && params.processes % 2 == 0,
+                  "ring needs an even number of processes >= 4");
+  OCEP_ASSERT_MSG(!params.inject_deadlock ||
+                      (params.cycle_length >= 2 &&
+                       params.cycle_length < params.processes),
+                  "cycle length must be in [2, processes)");
+
+  auto shared = std::make_shared<WalkShared>();
+  shared->params = params;
+  shared->member_steps =
+      params.deadlock_after != 0 ? params.deadlock_after : params.steps / 2;
+  OCEP_ASSERT(shared->member_steps < params.steps);
+
+  RandomWalkApp app;
+  for (std::uint32_t rank = 0; rank < params.processes; ++rank) {
+    const TraceId t = sim.add_process(
+        "P" + std::to_string(rank),
+        [shared, rank](sim::Proc& ctx) {
+          return walker_body(ctx, shared, rank);
+        });
+    shared->procs.push_back(t);
+    app.processes.push_back(t);
+  }
+  if (params.inject_deadlock) {
+    for (std::uint32_t i = 0; i < params.cycle_length; ++i) {
+      shared->cycle.push_back(shared->procs[i]);
+    }
+    app.cycle = shared->cycle;
+  }
+  return app;
+}
+
+}  // namespace ocep::apps

@@ -1,0 +1,107 @@
+#include <memory>
+#include <string>
+
+#include "apps/apps.h"
+#include "common/assert.h"
+
+namespace ocep::apps {
+namespace {
+
+struct TrafficShared {
+  TrafficParams params;
+  TraceId controller = 0;
+  std::vector<TraceId> lights;
+  std::shared_ptr<std::vector<TrafficInjection>> injections;
+};
+
+/// A light: waits for a grant, turns green, holds the intersection for a
+/// while, turns red, releases.
+sim::ProcessBody light_body(sim::Proc& ctx,
+                            std::shared_ptr<const TrafficShared> shared) {
+  Rng& rng = ctx.sim().rng();
+  const Symbol recv_grant = ctx.sym("recv_grant");
+  const Symbol green_on = ctx.sym("green_on");
+  const Symbol green_off = ctx.sym("green_off");
+  const Symbol release = ctx.sym("release");
+  while (true) {
+    const sim::Incoming grant =
+        co_await ctx.recv(shared->controller, recv_grant);
+    if (grant.payload == 0) {
+      co_return;  // shutdown
+    }
+    co_await ctx.local(green_on);
+    co_await ctx.delay(2 + rng.below(6));
+    co_await ctx.local(green_off);
+    co_await ctx.send(shared->controller, release);
+  }
+}
+
+/// The controller: grants one direction at a time and normally waits for
+/// the release before the next grant.  The injected bug grants the next
+/// direction while the previous one is still green.
+sim::ProcessBody controller_body(sim::Proc& ctx,
+                                 std::shared_ptr<const TrafficShared> shared) {
+  const TrafficParams& params = shared->params;
+  Rng& rng = ctx.sim().rng();
+  const Symbol grant = ctx.sym("grant");
+  const Symbol recv_release = ctx.sym("recv_release");
+
+  std::uint64_t outstanding = 0;  // releases not yet collected
+  for (std::uint64_t cycle = 0; cycle < params.cycles; ++cycle) {
+    const std::size_t pick = rng.below(shared->lights.size());
+    const TraceId light = shared->lights[pick];
+    co_await ctx.send(light, grant, kEmptySymbol, /*payload=*/1);
+    ++outstanding;
+
+    const bool buggy = rng.chance(params.bug_percent, 100);
+    if (buggy && cycle + 1 < params.cycles) {
+      // Grant a *different* direction before collecting the release: both
+      // greens are causally concurrent.
+      std::size_t other = pick;
+      while (other == pick) {
+        other = rng.below(shared->lights.size());
+      }
+      shared->injections->push_back(
+          TrafficInjection{light, shared->lights[other]});
+      ++cycle;
+      co_await ctx.send(shared->lights[other], grant, kEmptySymbol, 1);
+      ++outstanding;
+      co_await ctx.recv(sim::kAnySource, recv_release);
+      --outstanding;
+    }
+    co_await ctx.recv(sim::kAnySource, recv_release);
+    --outstanding;
+  }
+  OCEP_ASSERT(outstanding == 0);
+  // Shut every light down.
+  for (const TraceId light : shared->lights) {
+    co_await ctx.send(light, grant, kEmptySymbol, /*payload=*/0);
+  }
+}
+
+}  // namespace
+
+TrafficApp setup_traffic_lights(sim::Sim& sim, const TrafficParams& params) {
+  OCEP_ASSERT_MSG(params.lights >= 2, "need at least two directions");
+
+  auto shared = std::make_shared<TrafficShared>();
+  shared->params = params;
+  shared->injections = std::make_shared<std::vector<TrafficInjection>>();
+
+  TrafficApp app;
+  shared->controller = sim.add_process("CTRL", [shared](sim::Proc& ctx) {
+    return controller_body(ctx, shared);
+  });
+  app.controller = shared->controller;
+  app.injections = shared->injections;
+  for (std::uint32_t i = 0; i < params.lights; ++i) {
+    const TraceId t = sim.add_process(
+        "L" + std::to_string(i),
+        [shared](sim::Proc& ctx) { return light_body(ctx, shared); });
+    shared->lights.push_back(t);
+    app.lights.push_back(t);
+  }
+  return app;
+}
+
+}  // namespace ocep::apps

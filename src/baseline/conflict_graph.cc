@@ -1,0 +1,51 @@
+#include "baseline/conflict_graph.h"
+
+#include "common/assert.h"
+
+namespace ocep::baseline {
+
+ConflictGraphDetector::ConflictGraphDetector(const EventStore& store,
+                                             Symbol enter_type,
+                                             Symbol exit_type,
+                                             Callback on_violation)
+    : store_(store),
+      enter_type_(enter_type),
+      exit_type_(exit_type),
+      on_violation_(std::move(on_violation)) {}
+
+void ConflictGraphDetector::observe(const Event& event) {
+  if (!initialized_) {
+    initialized_ = true;
+    open_enter_.assign(store_.trace_count(), EventId{});
+  }
+  const TraceId t = event.id.trace;
+  if (event.type == enter_type_) {
+    open_enter_[t] = event.id;
+    return;
+  }
+  if (event.type != exit_type_ || open_enter_[t].index == kNoEvent) {
+    return;
+  }
+  const Section section{open_enter_[t], event.id};
+  open_enter_[t] = EventId{};
+
+  // Compare the completed section against every section seen so far: two
+  // sections conflict when their enters are concurrent (no causal chain
+  // through the semaphore trace ordered them).
+  for (const Section& other : sections_) {
+    if (other.enter.trace == section.enter.trace) {
+      continue;  // same trace: totally ordered
+    }
+    if (store_.relate(other.enter, section.enter) == Relation::kConcurrent) {
+      const Violation violation{other.enter, section.enter};
+      edges_.push_back(violation);
+      ++violations_;
+      if (on_violation_) {
+        on_violation_(violation);
+      }
+    }
+  }
+  sections_.push_back(section);
+}
+
+}  // namespace ocep::baseline

@@ -1,0 +1,286 @@
+#include "baseline/naive_matcher.h"
+
+#include <optional>
+
+#include "common/assert.h"
+
+namespace ocep::baseline {
+namespace {
+
+bool static_accepts(const EventStore& store, const pattern::Leaf& spec,
+                    const Event& event) {
+  using Kind = pattern::Attr::Kind;
+  if (spec.type.kind == Kind::kLiteral && spec.type.literal != event.type) {
+    return false;
+  }
+  if (spec.text.kind == Kind::kLiteral && spec.text.literal != event.text) {
+    return false;
+  }
+  if (spec.process.kind == Kind::kLiteral &&
+      spec.process.literal != store.trace_name(event.id.trace)) {
+    return false;
+  }
+  return true;
+}
+
+/// Shared recursive enumerator.  Calls `emit` for every complete match;
+/// stops when emit returns false.
+class Enumerator {
+ public:
+  Enumerator(const EventStore& store, const pattern::CompiledPattern& pattern)
+      : store_(store), pattern_(pattern) {
+    binding_.assign(pattern_.size(), EventId{});
+    var_value_.assign(pattern_.variable_count, kEmptySymbol);
+    var_bound_.assign(pattern_.variable_count, false);
+  }
+
+  template <typename Emit>
+  void run(Emit&& emit) {
+    recurse(0, emit);
+  }
+
+ private:
+  template <typename Emit>
+  bool recurse(std::uint32_t leaf, Emit& emit) {  // false = stop everything
+    if (leaf == pattern_.size()) {
+      Match match;
+      match.bindings = binding_;
+      return emit(match);
+    }
+    const pattern::Leaf& spec = pattern_.leaves[leaf];
+    for (TraceId t = 0; t < store_.trace_count(); ++t) {
+      for (EventIndex i = 1; i <= store_.trace_size(t); ++i) {
+        const EventId id{t, i};
+        const Event& event = store_.event(id);
+        if (!accepts_static(spec, event)) {
+          continue;
+        }
+        if (!constraints_hold(leaf, id)) {
+          continue;
+        }
+        std::vector<std::uint32_t> trail;
+        if (!bind_vars(spec, event, trail)) {
+          unbind(trail);
+          continue;
+        }
+        binding_[leaf] = id;
+        const bool keep_going = recurse(leaf + 1, emit);
+        binding_[leaf] = EventId{};
+        unbind(trail);
+        if (!keep_going) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool accepts_static(const pattern::Leaf& spec,
+                                    const Event& event) const {
+    return static_accepts(store_, spec, event);
+  }
+
+  [[nodiscard]] bool constraints_hold(std::uint32_t leaf, EventId id) const {
+    for (const pattern::Constraint& c : pattern_.constraints) {
+      EventId a{}, b{};
+      if (c.a == leaf && binding_[c.b].index != kNoEvent) {
+        a = id;
+        b = binding_[c.b];
+      } else if (c.b == leaf && binding_[c.a].index != kNoEvent) {
+        a = binding_[c.a];
+        b = id;
+      } else {
+        continue;
+      }
+      switch (c.op) {
+        case pattern::ConstraintOp::kBefore:
+          if (!store_.happens_before(a, b)) {
+            return false;
+          }
+          break;
+        case pattern::ConstraintOp::kBeforeLimited:
+          if (!limited_precedence_holds(store_, pattern_.leaves[c.a], a, b)) {
+            return false;
+          }
+          break;
+        case pattern::ConstraintOp::kConcurrent:
+          if (store_.relate(a, b) != Relation::kConcurrent) {
+            return false;
+          }
+          break;
+        case pattern::ConstraintOp::kPartner: {
+          const Event& send = store_.event(a);
+          const Event& recv = store_.event(b);
+          if (send.kind != EventKind::kSend ||
+              recv.kind != EventKind::kReceive ||
+              send.message == kNoMessage || send.message != recv.message) {
+            return false;
+          }
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool bind_vars(const pattern::Leaf& spec, const Event& event,
+                 std::vector<std::uint32_t>& trail) {
+    const Symbol values[3] = {store_.trace_name(event.id.trace), event.type,
+                              event.text};
+    const pattern::Attr* attrs[3] = {&spec.process, &spec.type, &spec.text};
+    for (int i = 0; i < 3; ++i) {
+      if (attrs[i]->kind != pattern::Attr::Kind::kVariable) {
+        continue;
+      }
+      const std::uint32_t var = attrs[i]->variable;
+      if (var_bound_[var]) {
+        if (var_value_[var] != values[i]) {
+          return false;
+        }
+        continue;
+      }
+      var_value_[var] = values[i];
+      var_bound_[var] = true;
+      trail.push_back(var);
+    }
+    return true;
+  }
+
+  void unbind(const std::vector<std::uint32_t>& trail) {
+    for (const std::uint32_t var : trail) {
+      var_bound_[var] = false;
+    }
+  }
+
+  const EventStore& store_;
+  const pattern::CompiledPattern& pattern_;
+  std::vector<EventId> binding_;
+  std::vector<Symbol> var_value_;
+  std::vector<bool> var_bound_;
+};
+
+}  // namespace
+
+std::vector<Match> enumerate_matches(const EventStore& store,
+                                     const pattern::CompiledPattern& pattern,
+                                     const NaiveOptions& options) {
+  std::vector<Match> out;
+  Enumerator enumerator(store, pattern);
+  enumerator.run([&](const Match& match) {
+    out.push_back(match);
+    return options.max_matches == 0 || out.size() < options.max_matches;
+  });
+  return out;
+}
+
+std::vector<bool> coverage(const EventStore& store,
+                           const pattern::CompiledPattern& pattern) {
+  const std::size_t traces = store.trace_count();
+  std::vector<bool> covered(pattern.size() * traces, false);
+  Enumerator enumerator(store, pattern);
+  enumerator.run([&](const Match& match) {
+    for (std::size_t leaf = 0; leaf < match.bindings.size(); ++leaf) {
+      covered[leaf * traces + match.bindings[leaf].trace] = true;
+    }
+    return true;
+  });
+  return covered;
+}
+
+bool is_valid_match(const EventStore& store,
+                    const pattern::CompiledPattern& pattern,
+                    const Match& match) {
+  OCEP_ASSERT(match.bindings.size() == pattern.size());
+  using Kind = pattern::Attr::Kind;
+  std::vector<Symbol> var_value(pattern.variable_count, kEmptySymbol);
+  std::vector<bool> var_bound(pattern.variable_count, false);
+
+  for (std::uint32_t leaf = 0; leaf < pattern.size(); ++leaf) {
+    const EventId id = match.bindings[leaf];
+    if (id.index == kNoEvent || id.trace >= store.trace_count() ||
+        id.index > store.trace_size(id.trace)) {
+      return false;
+    }
+    const Event& event = store.event(id);
+    const pattern::Leaf& spec = pattern.leaves[leaf];
+    const Symbol values[3] = {store.trace_name(id.trace), event.type,
+                              event.text};
+    const pattern::Attr* attrs[3] = {&spec.process, &spec.type, &spec.text};
+    for (int i = 0; i < 3; ++i) {
+      switch (attrs[i]->kind) {
+        case Kind::kWildcard:
+          break;
+        case Kind::kLiteral:
+          if (attrs[i]->literal != values[i]) {
+            return false;
+          }
+          break;
+        case Kind::kVariable: {
+          const std::uint32_t var = attrs[i]->variable;
+          if (var_bound[var] && var_value[var] != values[i]) {
+            return false;
+          }
+          var_value[var] = values[i];
+          var_bound[var] = true;
+          break;
+        }
+      }
+    }
+  }
+
+  for (const pattern::Constraint& c : pattern.constraints) {
+    const EventId a = match.bindings[c.a];
+    const EventId b = match.bindings[c.b];
+    switch (c.op) {
+      case pattern::ConstraintOp::kBefore:
+        if (!store.happens_before(a, b)) {
+          return false;
+        }
+        break;
+      case pattern::ConstraintOp::kBeforeLimited:
+        if (!limited_precedence_holds(store, pattern.leaves[c.a], a, b)) {
+          return false;
+        }
+        break;
+      case pattern::ConstraintOp::kConcurrent:
+        if (store.relate(a, b) != Relation::kConcurrent) {
+          return false;
+        }
+        break;
+      case pattern::ConstraintOp::kPartner: {
+        const Event& send = store.event(a);
+        const Event& recv = store.event(b);
+        if (send.kind != EventKind::kSend ||
+            recv.kind != EventKind::kReceive ||
+            send.message == kNoMessage || send.message != recv.message) {
+          return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+bool limited_precedence_holds(const EventStore& store,
+                              const pattern::Leaf& spec, EventId a,
+                              EventId b) {
+  if (!store.happens_before(a, b)) {
+    return false;
+  }
+  for (TraceId t = 0; t < store.trace_count(); ++t) {
+    for (EventIndex i = 1; i <= store.trace_size(t); ++i) {
+      const EventId x{t, i};
+      if (x == a || x == b) {
+        continue;
+      }
+      if (static_accepts(store, spec, store.event(x)) &&
+          store.happens_before(a, x) && store.happens_before(x, b)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ocep::baseline

@@ -1,0 +1,47 @@
+// Exhaustive reference matcher.
+//
+// Enumerates every complete match of a compiled pattern over a stored
+// computation by brute force — no domain restriction, no backjumping, no
+// subset: the ground truth the property tests compare OCEP against, and
+// the "report all matches" strawman whose cost motivates the
+// representative subset (§IV-B).
+#pragma once
+
+#include <vector>
+
+#include "core/subset.h"
+#include "pattern/compiled.h"
+#include "poet/event_store.h"
+
+namespace ocep::baseline {
+
+struct NaiveOptions {
+  /// Stop after this many matches (0 = unlimited).  The number of matches
+  /// can be combinatorial; tests and benches should cap it.
+  std::size_t max_matches = 0;
+};
+
+/// All matches, in leaf-major enumeration order.
+[[nodiscard]] std::vector<Match> enumerate_matches(
+    const EventStore& store, const pattern::CompiledPattern& pattern,
+    const NaiveOptions& options = {});
+
+/// The coverage bitmap `covered[leaf * traces + trace]`: true when some
+/// complete match binds `leaf` on `trace`.  This is the set a
+/// representative subset must cover (§IV-B).
+[[nodiscard]] std::vector<bool> coverage(
+    const EventStore& store, const pattern::CompiledPattern& pattern);
+
+/// Checks a single candidate match against every constraint and attribute
+/// of the pattern (used to validate reported matches for soundness).
+[[nodiscard]] bool is_valid_match(const EventStore& store,
+                                  const pattern::CompiledPattern& pattern,
+                                  const Match& match);
+
+/// Brute-force Fig-1 limited precedence: a -> b holds and no event whose
+/// static attributes match `spec` lies causally between a and b.
+[[nodiscard]] bool limited_precedence_holds(const EventStore& store,
+                                            const pattern::Leaf& spec,
+                                            EventId a, EventId b);
+
+}  // namespace ocep::baseline

@@ -1,0 +1,38 @@
+#include "baseline/race_checker.h"
+
+namespace ocep::baseline {
+
+RaceChecker::RaceChecker(const EventStore& store, Callback on_race,
+                         bool keep_pairs)
+    : store_(store), on_race_(std::move(on_race)), keep_pairs_(keep_pairs) {}
+
+void RaceChecker::observe(const Event& event) {
+  if (!initialized_) {
+    initialized_ = true;
+    history_.assign(store_.trace_count(), {});
+  }
+  if (event.kind != EventKind::kReceive || event.message == kNoMessage) {
+    return;
+  }
+  const EventId send = store_.send_of(event.message);
+  if (send.index == kNoEvent) {
+    return;
+  }
+  std::vector<Past>& past = history_[event.id.trace];
+  for (const Past& earlier : past) {
+    // Two incoming messages race when their sends are concurrent.
+    if (store_.relate(earlier.send, send) == Relation::kConcurrent) {
+      const Race race{earlier.receive, event.id};
+      if (keep_pairs_) {
+        found_.push_back(race);
+      }
+      ++races_;
+      if (on_race_) {
+        on_race_(race);
+      }
+    }
+  }
+  past.push_back(Past{event.id, send});
+}
+
+}  // namespace ocep::baseline

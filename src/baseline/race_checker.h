@@ -1,0 +1,56 @@
+// Vector-timestamp message-race checker (the §V-C.2 comparison, in the
+// style of MPIRace-Check [32]: keep track of the receive events on a trace
+// and compare their timestamps for causality; two concurrent incoming
+// messages race).
+//
+// Also serves as the ground-truth oracle for the race experiments: it
+// reports exactly the racing receive pairs, at the cost of comparing each
+// new receive against every earlier receive on the same trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "poet/event_store.h"
+
+namespace ocep::baseline {
+
+class RaceChecker {
+ public:
+  struct Race {
+    EventId first_receive;
+    EventId second_receive;
+  };
+  using Callback = std::function<void(const Race&)>;
+
+  /// With `keep_pairs` false the checker only counts races and invokes the
+  /// callback; it does not materialize the pair list (which is quadratic in
+  /// the receive count on racy workloads).
+  explicit RaceChecker(const EventStore& store, Callback on_race = nullptr,
+                       bool keep_pairs = true);
+
+  /// Feeds one event (already in the store), in arrival order.
+  void observe(const Event& event);
+
+  [[nodiscard]] std::size_t races() const noexcept { return races_; }
+  [[nodiscard]] const std::vector<Race>& found() const noexcept {
+    return found_;
+  }
+
+ private:
+  const EventStore& store_;
+  Callback on_race_;
+  bool keep_pairs_ = true;
+  /// Per trace: receives recorded so far with their partner sends.
+  struct Past {
+    EventId receive;
+    EventId send;
+  };
+  std::vector<std::vector<Past>> history_;
+  bool initialized_ = false;
+  std::vector<Race> found_;
+  std::size_t races_ = 0;
+};
+
+}  // namespace ocep::baseline

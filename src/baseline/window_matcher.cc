@@ -1,0 +1,179 @@
+#include "baseline/window_matcher.h"
+
+#include "baseline/naive_matcher.h"
+#include "common/assert.h"
+
+namespace ocep::baseline {
+
+WindowMatcher::WindowMatcher(const EventStore& store,
+                             pattern::CompiledPattern pattern,
+                             std::size_t window, Callback on_match)
+    : store_(store),
+      pattern_(std::move(pattern)),
+      window_(window),
+      on_match_(std::move(on_match)) {
+  is_terminating_.assign(pattern_.size(), false);
+  for (const std::uint32_t leaf : pattern_.terminating) {
+    is_terminating_[leaf] = true;
+  }
+}
+
+bool WindowMatcher::accepts(const pattern::Leaf& spec,
+                            const Event& event) const {
+  using Kind = pattern::Attr::Kind;
+  if (spec.type.kind == Kind::kLiteral && spec.type.literal != event.type) {
+    return false;
+  }
+  if (spec.text.kind == Kind::kLiteral && spec.text.literal != event.text) {
+    return false;
+  }
+  if (spec.process.kind == Kind::kLiteral &&
+      spec.process.literal != store_.trace_name(event.id.trace)) {
+    return false;
+  }
+  return true;
+}
+
+void WindowMatcher::observe(const Event& event) {
+  if (window_ == 0) {
+    window_ = store_.trace_count() * store_.trace_count();  // paper's n^2
+  }
+  events_.push_back(event.id);
+  while (events_.size() > window_) {
+    events_.pop_front();
+  }
+
+  for (std::uint32_t anchor = 0; anchor < pattern_.size(); ++anchor) {
+    if (!is_terminating_[anchor] ||
+        !accepts(pattern_.leaves[anchor], event)) {
+      continue;
+    }
+    std::vector<EventId> binding(pattern_.size(), EventId{});
+    std::vector<Symbol> var_value(pattern_.variable_count, kEmptySymbol);
+    std::vector<bool> var_bound(pattern_.variable_count, false);
+    binding[anchor] = event.id;
+    // Bind the anchor's attribute variables.
+    bool ok = true;
+    {
+      const pattern::Leaf& spec = pattern_.leaves[anchor];
+      const Symbol values[3] = {store_.trace_name(event.id.trace),
+                                event.type, event.text};
+      const pattern::Attr* attrs[3] = {&spec.process, &spec.type, &spec.text};
+      for (int i = 0; i < 3 && ok; ++i) {
+        if (attrs[i]->kind == pattern::Attr::Kind::kVariable) {
+          const std::uint32_t var = attrs[i]->variable;
+          if (var_bound[var] && var_value[var] != values[i]) {
+            ok = false;
+          } else {
+            var_value[var] = values[i];
+            var_bound[var] = true;
+          }
+        }
+      }
+    }
+    if (ok) {
+      search(0, binding, var_value, var_bound, event.id, anchor);
+    }
+  }
+}
+
+void WindowMatcher::search(std::uint32_t leaf, std::vector<EventId>& binding,
+                           std::vector<Symbol>& var_value,
+                           std::vector<bool>& var_bound, EventId anchor,
+                           std::uint32_t anchor_leaf) {
+  if (leaf == pattern_.size()) {
+    Match match;
+    match.bindings = binding;
+    if (!is_valid_match(store_, pattern_, match)) {
+      return;  // defensive; enumeration should only build valid ones
+    }
+    for (const Match& existing : matches_) {
+      if (existing.bindings == match.bindings) {
+        return;
+      }
+    }
+    matches_.push_back(match);
+    if (on_match_) {
+      on_match_(match);
+    }
+    return;
+  }
+  if (leaf == anchor_leaf) {
+    search(leaf + 1, binding, var_value, var_bound, anchor, anchor_leaf);
+    return;
+  }
+  const pattern::Leaf& spec = pattern_.leaves[leaf];
+  for (const EventId id : events_) {
+    const Event& event = store_.event(id);
+    if (!accepts(spec, event)) {
+      continue;
+    }
+    // Check constraints against already-bound leaves.
+    bool ok = true;
+    for (const pattern::Constraint& c : pattern_.constraints) {
+      EventId a{}, b{};
+      if (c.a == leaf && binding[c.b].index != kNoEvent) {
+        a = id;
+        b = binding[c.b];
+      } else if (c.b == leaf && binding[c.a].index != kNoEvent) {
+        a = binding[c.a];
+        b = id;
+      } else {
+        continue;
+      }
+      switch (c.op) {
+        case pattern::ConstraintOp::kBefore:
+          ok = store_.happens_before(a, b);
+          break;
+        case pattern::ConstraintOp::kBeforeLimited:
+          ok = limited_precedence_holds(store_, pattern_.leaves[c.a], a, b);
+          break;
+        case pattern::ConstraintOp::kConcurrent:
+          ok = store_.relate(a, b) == Relation::kConcurrent;
+          break;
+        case pattern::ConstraintOp::kPartner: {
+          const Event& send = store_.event(a);
+          const Event& recv = store_.event(b);
+          ok = send.kind == EventKind::kSend &&
+               recv.kind == EventKind::kReceive &&
+               send.message != kNoMessage && send.message == recv.message;
+          break;
+        }
+      }
+      if (!ok) {
+        break;
+      }
+    }
+    if (!ok) {
+      continue;
+    }
+    // Bind attribute variables.
+    std::vector<std::uint32_t> trail;
+    const Symbol values[3] = {store_.trace_name(id.trace), event.type,
+                              event.text};
+    const pattern::Attr* attrs[3] = {&spec.process, &spec.type, &spec.text};
+    bool bound_ok = true;
+    for (int i = 0; i < 3 && bound_ok; ++i) {
+      if (attrs[i]->kind == pattern::Attr::Kind::kVariable) {
+        const std::uint32_t var = attrs[i]->variable;
+        if (var_bound[var]) {
+          bound_ok = var_value[var] == values[i];
+        } else {
+          var_value[var] = values[i];
+          var_bound[var] = true;
+          trail.push_back(var);
+        }
+      }
+    }
+    if (bound_ok) {
+      binding[leaf] = id;
+      search(leaf + 1, binding, var_value, var_bound, anchor, anchor_leaf);
+      binding[leaf] = EventId{};
+    }
+    for (const std::uint32_t var : trail) {
+      var_bound[var] = false;
+    }
+  }
+}
+
+}  // namespace ocep::baseline

@@ -1,0 +1,54 @@
+// Sliding-window matcher (the §II / Fig 3 comparison point).
+//
+// Keeps only the last `window` events and, on each arrival, enumerates
+// matches among them.  Simple and bounded, but suffers the omission
+// problem the paper illustrates in Fig 3: a match whose constituent events
+// span more than one window is silently lost.  The paper sizes the window
+// at n^2 events (n = traces).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/subset.h"
+#include "pattern/compiled.h"
+#include "poet/event_store.h"
+
+namespace ocep::baseline {
+
+class WindowMatcher {
+ public:
+  using Callback = std::function<void(const Match&)>;
+
+  /// `window == 0` sizes the window as traces^2 on first use.
+  WindowMatcher(const EventStore& store, pattern::CompiledPattern pattern,
+                std::size_t window = 0, Callback on_match = nullptr);
+
+  /// Feeds one event (already in the store), in arrival order.
+  void observe(const Event& event);
+
+  /// Matches reported so far (deduplicated).
+  [[nodiscard]] const std::vector<Match>& matches() const noexcept {
+    return matches_;
+  }
+
+  [[nodiscard]] std::size_t window_size() const noexcept { return window_; }
+
+ private:
+  void search(std::uint32_t leaf, std::vector<EventId>& binding,
+              std::vector<Symbol>& var_value, std::vector<bool>& var_bound,
+              EventId anchor, std::uint32_t anchor_leaf);
+  [[nodiscard]] bool accepts(const pattern::Leaf& spec,
+                             const Event& event) const;
+
+  const EventStore& store_;
+  pattern::CompiledPattern pattern_;
+  std::size_t window_ = 0;
+  Callback on_match_;
+  std::deque<EventId> events_;  // the window, oldest first
+  std::vector<Match> matches_;
+  std::vector<bool> is_terminating_;
+};
+
+}  // namespace ocep::baseline

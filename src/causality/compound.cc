@@ -1,0 +1,83 @@
+#include "causality/compound.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace ocep {
+namespace {
+
+bool pairwise_all(CompoundEvent a, CompoundEvent b, Relation want) {
+  for (const TimedEvent& x : a) {
+    for (const TimedEvent& y : b) {
+      if (relate(x.id, *x.clock, y.id, *y.clock) != want) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool pairwise_any(CompoundEvent a, CompoundEvent b, Relation want) {
+  for (const TimedEvent& x : a) {
+    for (const TimedEvent& y : b) {
+      if (relate(x.id, *x.clock, y.id, *y.clock) == want) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool strong_precedes(CompoundEvent a, CompoundEvent b) {
+  OCEP_ASSERT(!a.empty() && !b.empty());
+  return pairwise_all(a, b, Relation::kBefore);
+}
+
+bool weak_precedes(CompoundEvent a, CompoundEvent b) {
+  OCEP_ASSERT(!a.empty() && !b.empty());
+  return pairwise_any(a, b, Relation::kBefore);
+}
+
+bool overlaps(CompoundEvent a, CompoundEvent b) {
+  return std::ranges::any_of(a, [&](const TimedEvent& x) {
+    return std::ranges::any_of(
+        b, [&](const TimedEvent& y) { return x.id == y.id; });
+  });
+}
+
+bool disjoint(CompoundEvent a, CompoundEvent b) { return !overlaps(a, b); }
+
+bool crosses(CompoundEvent a, CompoundEvent b) {
+  return disjoint(a, b) && weak_precedes(a, b) && weak_precedes(b, a);
+}
+
+bool entangled(CompoundEvent a, CompoundEvent b) {
+  return crosses(a, b) || overlaps(a, b);
+}
+
+bool precedes(CompoundEvent a, CompoundEvent b) {
+  return weak_precedes(a, b) && !entangled(a, b);
+}
+
+bool concurrent(CompoundEvent a, CompoundEvent b) {
+  OCEP_ASSERT(!a.empty() && !b.empty());
+  return pairwise_all(a, b, Relation::kConcurrent);
+}
+
+CompoundRelation classify(CompoundEvent a, CompoundEvent b) {
+  if (entangled(a, b)) {
+    return CompoundRelation::kEntangled;
+  }
+  if (weak_precedes(a, b)) {
+    return CompoundRelation::kBefore;
+  }
+  if (weak_precedes(b, a)) {
+    return CompoundRelation::kAfter;
+  }
+  return CompoundRelation::kConcurrent;
+}
+
+}  // namespace ocep

@@ -1,0 +1,62 @@
+// Relations between compound events (paper §III-B).
+//
+// A compound event is a non-empty set of causally related primitive events.
+// Lamport's strong precedence leaves many pairs unclassified; Basten's weak
+// precedence breaks partial-order properties.  Nichols' framework adds
+// entanglement (A <-> B) so that any two compound events stand in exactly
+// one of four relationships: A -> B, B -> A, A || B, or A <-> B
+// (paper eqs. (1)-(3)).
+#pragma once
+
+#include <span>
+
+#include "causality/vector_clock.h"
+#include "model/ids.h"
+
+namespace ocep {
+
+/// A primitive event together with its timestamp, as the compound-event
+/// predicates need both.  The clock must outlive the view.
+struct TimedEvent {
+  EventId id;
+  const VectorClock* clock = nullptr;
+};
+
+using CompoundEvent = std::span<const TimedEvent>;
+
+/// Lamport strong precedence:  A => B  iff  forall a, b: a -> b.
+[[nodiscard]] bool strong_precedes(CompoundEvent a, CompoundEvent b);
+
+/// Basten weak precedence:  exists a in A, b in B with a -> b.
+[[nodiscard]] bool weak_precedes(CompoundEvent a, CompoundEvent b);
+
+/// A and B share at least one primitive event.
+[[nodiscard]] bool overlaps(CompoundEvent a, CompoundEvent b);
+
+/// A and B share no primitive event.
+[[nodiscard]] bool disjoint(CompoundEvent a, CompoundEvent b);
+
+/// Disjoint, but each weakly precedes the other
+/// (exists a0 -> b0 and b1 -> a1).
+[[nodiscard]] bool crosses(CompoundEvent a, CompoundEvent b);
+
+/// Entanglement, eq. (1):  A crosses B or A overlaps B.
+[[nodiscard]] bool entangled(CompoundEvent a, CompoundEvent b);
+
+/// Nichols precedence, eq. (2):  weak precedence without entanglement.
+[[nodiscard]] bool precedes(CompoundEvent a, CompoundEvent b);
+
+/// Nichols concurrence, eq. (3):  every pair of primitive events concurrent.
+[[nodiscard]] bool concurrent(CompoundEvent a, CompoundEvent b);
+
+/// The exactly-one-of-four classification.
+enum class CompoundRelation : std::uint8_t {
+  kBefore,      ///< A -> B
+  kAfter,       ///< B -> A
+  kConcurrent,  ///< A || B
+  kEntangled,   ///< A <-> B
+};
+
+[[nodiscard]] CompoundRelation classify(CompoundEvent a, CompoundEvent b);
+
+}  // namespace ocep

@@ -1,0 +1,116 @@
+// Fidge/Mattern vector timestamps (paper §III, [14, 28]).
+//
+// Each trace t maintains a clock whose entry s counts the events of trace s
+// it causally knows about; entry t counts its own events, so for an event a
+// on trace i, V_a[i] == index(a).  Given the ids and timestamps of two
+// events, happens-before is decided with at most two integer comparisons.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "model/ids.h"
+
+namespace ocep {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// Zero clock over `traces` entries.
+  explicit VectorClock(std::size_t traces) : entries_(traces, 0) {}
+
+  /// Clock with explicit entries (mostly for tests and deserialization).
+  explicit VectorClock(std::vector<std::uint32_t> entries)
+      : entries_(std::move(entries)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  [[nodiscard]] std::uint32_t operator[](TraceId t) const {
+    OCEP_ASSERT(t < entries_.size());
+    return entries_[t];
+  }
+
+  /// Advances trace t's own component; call once per local event.
+  void tick(TraceId t) {
+    OCEP_ASSERT(t < entries_.size());
+    ++entries_[t];
+  }
+
+  /// Raises entry t to `value`.  Entries along a trace only ever grow, so
+  /// lowering is rejected; used when applying delta-encoded timestamps.
+  void raise(TraceId t, std::uint32_t value) {
+    OCEP_ASSERT(t < entries_.size());
+    OCEP_ASSERT_MSG(value >= entries_[t], "clock entries never regress");
+    entries_[t] = value;
+  }
+
+  /// Component-wise maximum; the receive-side clock update.
+  void merge(const VectorClock& other) {
+    OCEP_ASSERT(entries_.size() == other.entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (other.entries_[i] > entries_[i]) {
+        entries_[i] = other.entries_[i];
+      }
+    }
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> entries() const noexcept {
+    return entries_;
+  }
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::vector<std::uint32_t> entries_;
+};
+
+/// Exact causal relationship between two (distinct or equal) events.
+enum class Relation : std::uint8_t {
+  kEqual,
+  kBefore,      ///< a -> b
+  kAfter,       ///< b -> a
+  kConcurrent,  ///< a || b
+};
+
+/// a -> b given a's id and b's timestamp.  With Fidge/Mattern clocks,
+/// a -> b  <=>  V_b[trace(a)] >= index(a)  and a != b.  This is the O(1)
+/// comparison the paper relies on; note only the *successor's* clock is
+/// needed.
+[[nodiscard]] inline bool happens_before(EventId a, const VectorClock& vb,
+                                         EventId b) {
+  if (a == b) {
+    return false;
+  }
+  return vb[a.trace] >= a.index;
+}
+
+/// Same test when only b's knowledge of a's trace is at hand.
+[[nodiscard]] constexpr bool happens_before(EventId a,
+                                            std::uint32_t vb_entry_for_a_trace,
+                                            EventId b) noexcept {
+  if (a == b) {
+    return false;
+  }
+  return vb_entry_for_a_trace >= a.index;
+}
+
+/// Full classification with at most two integer comparisons plus the
+/// process/event-number comparison for equality (paper §III-A).
+[[nodiscard]] inline Relation relate(EventId a, const VectorClock& va,
+                                     EventId b, const VectorClock& vb) {
+  if (a == b) {
+    return Relation::kEqual;
+  }
+  if (happens_before(a, vb, b)) {
+    return Relation::kBefore;
+  }
+  if (happens_before(b, va, a)) {
+    return Relation::kAfter;
+  }
+  return Relation::kConcurrent;
+}
+
+}  // namespace ocep

@@ -1,0 +1,28 @@
+// Lightweight always-on assertion for library invariants.
+//
+// Unlike <cassert>, OCEP_ASSERT stays active in release builds: the matcher
+// relies on interval/ordering invariants whose violation would silently
+// produce wrong matches, which is worse than an abort for a monitoring tool.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ocep::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "ocep: assertion failed: %s (%s:%d)%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " - " : "", msg);
+  std::abort();
+}
+
+}  // namespace ocep::detail
+
+#define OCEP_ASSERT(expr)                                             \
+  ((expr) ? static_cast<void>(0)                                      \
+          : ::ocep::detail::assert_fail(#expr, __FILE__, __LINE__, ""))
+
+#define OCEP_ASSERT_MSG(expr, msg)                                     \
+  ((expr) ? static_cast<void>(0)                                       \
+          : ::ocep::detail::assert_fail(#expr, __FILE__, __LINE__, msg))

@@ -1,0 +1,49 @@
+// Exception hierarchy for the OCEP library.
+//
+// Recoverable, caller-visible failures (malformed pattern text, corrupt
+// dump files) are reported with exceptions per the Core Guidelines (E.2);
+// internal invariant violations use OCEP_ASSERT instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ocep {
+
+/// Base class for all OCEP library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by the pattern lexer/parser on malformed pattern text.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : Error("parse error at " + std::to_string(line) + ":" +
+              std::to_string(column) + ": " + what),
+        line_(line),
+        column_(column) {}
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Raised when a dump file cannot be decoded (bad magic, truncation, ...).
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on semantically invalid pattern definitions (unknown class ids,
+/// contradictory constraints, unbound variables).
+class PatternError : public Error {
+ public:
+  explicit PatternError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace ocep

@@ -1,0 +1,111 @@
+// Minimal iostream adapters over POSIX file descriptors, used to run the
+// wire protocol across pipes and sockets (the POET server/client link).
+#pragma once
+
+#include <unistd.h>
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace ocep {
+
+/// Output streambuf writing to a file descriptor (not owned).
+class FdOutBuf final : public std::streambuf {
+ public:
+  explicit FdOutBuf(int fd, std::size_t buffer_size = 8192)
+      : fd_(fd), buffer_(buffer_size) {
+    setp(buffer_.data(), buffer_.data() + buffer_.size());
+  }
+  ~FdOutBuf() override { sync(); }
+
+  FdOutBuf(const FdOutBuf&) = delete;
+  FdOutBuf& operator=(const FdOutBuf&) = delete;
+
+ protected:
+  int overflow(int_type ch) override {
+    if (sync() != 0) {
+      return traits_type::eof();
+    }
+    if (ch != traits_type::eof()) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return ch;
+  }
+
+  int sync() override {
+    const char* at = pbase();
+    while (at < pptr()) {
+      const ssize_t wrote =
+          ::write(fd_, at, static_cast<std::size_t>(pptr() - at));
+      if (wrote < 0) {
+        return -1;
+      }
+      at += wrote;
+    }
+    setp(buffer_.data(), buffer_.data() + buffer_.size());
+    return 0;
+  }
+
+ private:
+  int fd_;
+  std::vector<char> buffer_;
+};
+
+/// Input streambuf reading from a file descriptor (not owned).
+class FdInBuf final : public std::streambuf {
+ public:
+  explicit FdInBuf(int fd, std::size_t buffer_size = 8192)
+      : fd_(fd), buffer_(buffer_size) {
+    setg(buffer_.data(), buffer_.data(), buffer_.data());
+  }
+
+  FdInBuf(const FdInBuf&) = delete;
+  FdInBuf& operator=(const FdInBuf&) = delete;
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) {
+      return traits_type::to_int_type(*gptr());
+    }
+    const ssize_t got = ::read(fd_, buffer_.data(), buffer_.size());
+    if (got <= 0) {
+      return traits_type::eof();
+    }
+    setg(buffer_.data(), buffer_.data(),
+         buffer_.data() + static_cast<std::size_t>(got));
+    return traits_type::to_int_type(*gptr());
+  }
+
+ private:
+  int fd_;
+  std::vector<char> buffer_;
+};
+
+/// Convenience owners pairing a buf with its stream.
+class FdOStream {
+ public:
+  explicit FdOStream(int fd) : buf_(fd), stream_(&buf_) {}
+  std::ostream& get() noexcept { return stream_; }
+
+ private:
+  FdOutBuf buf_;
+  std::ostream stream_;
+};
+
+class FdIStream {
+ public:
+  explicit FdIStream(int fd) : buf_(fd), stream_(&buf_) {}
+  std::istream& get() noexcept { return stream_; }
+
+ private:
+  FdInBuf buf_;
+  std::istream stream_;
+};
+
+}  // namespace ocep

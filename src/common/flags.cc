@@ -1,0 +1,120 @@
+#include "common/flags.h"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "common/error.h"
+
+namespace ocep {
+namespace {
+
+std::string_view strip_dashes(std::string_view arg) {
+  if (arg.substr(0, 2) != "--") {
+    throw Error("flag must start with --: '" + std::string(arg) + "'");
+  }
+  return arg.substr(2);
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  if (argc > 0) {
+    program_name_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    std::string_view body = strip_dashes(arg);
+    std::string name;
+    std::string value;
+    if (auto eq = body.find('='); eq != std::string_view::npos) {
+      name = std::string(body.substr(0, eq));
+      value = std::string(body.substr(eq + 1));
+    } else {
+      name = std::string(body);
+      if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare flag => boolean
+      }
+    }
+    if (name.empty()) {
+      throw Error("empty flag name in '" + std::string(arg) + "'");
+    }
+    if (!values_.emplace(std::move(name), Entry{std::move(value)}).second) {
+      throw Error("duplicate flag --" + std::string(body));
+    }
+  }
+}
+
+std::string Flags::get_string(std::string_view name,
+                              std::string_view default_value) {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return std::string(default_value);
+  }
+  it->second.consumed = true;
+  return it->second.value;
+}
+
+std::int64_t Flags::get_int(std::string_view name, std::int64_t default_value) {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  it->second.consumed = true;
+  const std::string& text = it->second.value;
+  std::int64_t out = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw Error("flag --" + std::string(name) + " expects an integer, got '" +
+                text + "'");
+  }
+  return out;
+}
+
+double Flags::get_double(std::string_view name, double default_value) {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  it->second.consumed = true;
+  const std::string& text = it->second.value;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(text, &pos);
+    if (pos != text.size()) {
+      throw std::invalid_argument(text);
+    }
+    return out;
+  } catch (const std::exception&) {
+    throw Error("flag --" + std::string(name) + " expects a number, got '" +
+                text + "'");
+  }
+}
+
+bool Flags::get_bool(std::string_view name, bool default_value) {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  it->second.consumed = true;
+  const std::string& text = it->second.value;
+  if (text == "true" || text == "1" || text == "yes") {
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no") {
+    return false;
+  }
+  throw Error("flag --" + std::string(name) + " expects a boolean, got '" +
+              text + "'");
+}
+
+void Flags::check_unused() const {
+  for (const auto& [name, entry] : values_) {
+    if (!entry.consumed) {
+      throw Error("unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace ocep

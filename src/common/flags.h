@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for benchmark and example binaries.
+//
+// Supports `--name=value` and `--name value`; anything else is rejected so
+// typos fail loudly instead of silently running the default experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ocep {
+
+class Flags {
+ public:
+  /// Parses argv.  Throws ocep::Error on malformed input or, after all
+  /// get_* calls, on flags nobody consumed (see check_unused).
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string_view default_value);
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t default_value);
+  [[nodiscard]] double get_double(std::string_view name, double default_value);
+  [[nodiscard]] bool get_bool(std::string_view name, bool default_value);
+
+  /// Throws if any provided flag was never consumed by a get_* call.
+  void check_unused() const;
+
+  [[nodiscard]] const std::string& program_name() const noexcept {
+    return program_name_;
+  }
+
+ private:
+  struct Entry {
+    std::string value;
+    bool consumed = false;
+  };
+
+  std::string program_name_;
+  std::map<std::string, Entry, std::less<>> values_;
+};
+
+}  // namespace ocep

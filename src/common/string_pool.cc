@@ -1,0 +1,38 @@
+#include "common/string_pool.h"
+
+#include <memory>
+
+#include "common/assert.h"
+
+namespace ocep {
+
+StringPool::StringPool() {
+  strings_.emplace_back();  // symbol 0 == ""
+  index_.emplace(std::string_view{strings_.front()}, 0U);
+}
+
+Symbol StringPool::intern(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) {
+    return Symbol{it->second};
+  }
+  strings_.emplace_back(s);
+  const auto id = static_cast<std::uint32_t>(strings_.size() - 1);
+  index_.emplace(std::string_view{strings_.back()}, id);
+  return Symbol{id};
+}
+
+bool StringPool::lookup(std::string_view s, Symbol& out) const {
+  if (auto it = index_.find(s); it != index_.end()) {
+    out = Symbol{it->second};
+    return true;
+  }
+  return false;
+}
+
+std::string_view StringPool::view(Symbol sym) const {
+  const auto id = static_cast<std::uint32_t>(sym);
+  OCEP_ASSERT(id < strings_.size());
+  return strings_[id];
+}
+
+}  // namespace ocep

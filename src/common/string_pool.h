@@ -1,0 +1,54 @@
+// String interning.
+//
+// Event attributes (type and text fields) repeat heavily across a
+// million-event run; the store and the matcher only ever compare them for
+// equality.  Interning turns every attribute into a 32-bit symbol so events
+// stay small and comparisons are single integer compares.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ocep {
+
+/// Interned string handle.  Symbol 0 is always the empty string, which the
+/// pattern language treats as a wild-card attribute.
+enum class Symbol : std::uint32_t {};
+
+inline constexpr Symbol kEmptySymbol{0};
+
+/// Append-only interning table.  Not thread-safe; each monitor owns one.
+class StringPool {
+ public:
+  StringPool();
+
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+  StringPool(StringPool&&) = default;
+  StringPool& operator=(StringPool&&) = default;
+
+  /// Returns the symbol for `s`, interning it on first sight.
+  Symbol intern(std::string_view s);
+
+  /// Returns the symbol for `s` if already interned, kEmptySymbol-distinct
+  /// sentinel otherwise.  Used by matchers so that a pattern attribute that
+  /// was never seen in any event cannot spuriously equal one.
+  [[nodiscard]] bool lookup(std::string_view s, Symbol& out) const;
+
+  /// The string for a previously returned symbol.
+  [[nodiscard]] std::string_view view(Symbol sym) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return strings_.size(); }
+
+ private:
+  // Deque keeps element addresses stable as the pool grows, so the
+  // string_view keys in index_ remain valid (vector reallocation would move
+  // short-string-optimized buffers).
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+}  // namespace ocep

@@ -1,0 +1,198 @@
+// Per-leaf event history (paper §IV-A).
+//
+// "Every time POET reports an event that matches a leaf node of the
+// pattern tree, it is added to the corresponding leaf node's history of
+// events.  This history is grouped by traces and is totally ordered for
+// each individual trace."
+//
+// Redundancy elimination (§VI): two events on one trace with no send or
+// receive event between them have the same causal relation to every event
+// on other traces, so only the first is kept.  This is the O(1) overhead
+// bound the paper describes; it is optional because it can drop matches of
+// patterns that relate two events on the same trace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/string_pool.h"
+#include "model/ids.h"
+
+namespace ocep {
+
+struct HistoryEntry {
+  EventIndex index = kNoEvent;
+  /// Communication events on this trace before this event; equal counts
+  /// (for non-communication events) mean causally identical cross-trace.
+  std::uint32_t comm_before = 0;
+};
+
+class LeafHistory {
+ public:
+  /// `keyed` enables a secondary per-symbol index: entries are also
+  /// grouped by a key attribute (the leaf's variable text or type), so a
+  /// search with the variable already bound probes only the matching
+  /// occurrences instead of filtering the whole trace history.
+  void reset(std::size_t traces, bool keyed = false) {
+    per_trace_.assign(traces, {});
+    keyed_ = keyed;
+    by_key_.assign(keyed ? traces : 0, {});
+    total_ = 0;
+    merged_ = 0;
+  }
+
+  [[nodiscard]] bool keyed() const noexcept { return keyed_; }
+
+  /// Appends an occurrence; indexes must arrive in increasing order per
+  /// trace.  With `merge` set, drops the event when it is causally
+  /// redundant with the previous stored occurrence.  Returns true when the
+  /// event was stored.  `key` is the secondary-index symbol (ignored when
+  /// the history is not keyed).
+  bool append(TraceId trace, EventIndex index, std::uint32_t comm_before,
+              bool is_communication, bool merge, Symbol key = kEmptySymbol) {
+    OCEP_ASSERT(trace < per_trace_.size());
+    std::vector<HistoryEntry>& entries = per_trace_[trace];
+    OCEP_ASSERT(entries.empty() || entries.back().index < index);
+    if (merge && !is_communication && !entries.empty() &&
+        entries.back().comm_before == comm_before) {
+      ++merged_;
+      return false;
+    }
+    entries.push_back(HistoryEntry{index, comm_before});
+    if (keyed_) {
+      by_key_[trace][static_cast<std::uint32_t>(key)].push_back(
+          HistoryEntry{index, comm_before});
+    }
+    ++total_;
+    return true;
+  }
+
+  /// Keyed variant of on_trace(): only entries whose key symbol matches.
+  [[nodiscard]] std::span<const HistoryEntry> on_trace_keyed(
+      TraceId trace, Symbol key) const {
+    OCEP_ASSERT(keyed_ && trace < by_key_.size());
+    const auto it = by_key_[trace].find(static_cast<std::uint32_t>(key));
+    if (it == by_key_[trace].end()) {
+      return {};
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::span<const HistoryEntry> on_trace(TraceId trace) const {
+    OCEP_ASSERT(trace < per_trace_.size());
+    return per_trace_[trace];
+  }
+
+  /// Positions [first, last) of entries with index in [lo, hi], by binary
+  /// search over the sorted-by-index entries.
+  struct Range {
+    std::size_t first = 0;
+    std::size_t last = 0;
+    [[nodiscard]] bool empty() const noexcept { return first >= last; }
+  };
+
+  [[nodiscard]] Range range(TraceId trace, EventIndex lo,
+                            EventIndex hi) const {
+    return range_of(on_trace(trace), lo, hi);
+  }
+
+  [[nodiscard]] Range range_keyed(TraceId trace, Symbol key, EventIndex lo,
+                                  EventIndex hi) const {
+    return range_of(on_trace_keyed(trace, key), lo, hi);
+  }
+
+  [[nodiscard]] static Range range_of(std::span<const HistoryEntry> entries,
+                                      EventIndex lo, EventIndex hi) {
+    if (lo > hi || entries.empty()) {
+      return {};
+    }
+    Range out;
+    out.first = lower_bound(entries, lo);
+    out.last = upper_bound(entries, hi);
+    return out;
+  }
+
+  /// True if some entry on `trace` has index in [lo, hi].
+  [[nodiscard]] bool any_in(TraceId trace, EventIndex lo,
+                            EventIndex hi) const {
+    return !range(trace, lo, hi).empty();
+  }
+
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t merged() const noexcept { return merged_; }
+  [[nodiscard]] std::size_t pruned() const noexcept { return pruned_; }
+
+  /// Retention (paper §VI future work): drops the oldest entries on
+  /// `trace`, keeping the `keep` most recent.  The caller decides *when*
+  /// this is safe — OCEP does it once the (leaf, trace) pair is covered by
+  /// the representative subset, so the dropped events can no longer
+  /// contribute new coverage there.
+  void prune_front(TraceId trace, std::size_t keep) {
+    OCEP_ASSERT(trace < per_trace_.size());
+    std::vector<HistoryEntry>& entries = per_trace_[trace];
+    if (entries.size() <= keep) {
+      return;
+    }
+    const std::size_t drop = entries.size() - keep;
+    entries.erase(entries.begin(),
+                  entries.begin() + static_cast<std::ptrdiff_t>(drop));
+    pruned_ += drop;
+    total_ -= drop;
+    if (keyed_) {
+      // Rebuild the secondary index for this trace from the survivors.
+      // (The entry keys are not stored; drop every keyed entry older than
+      // the new oldest index instead.)
+      const EventIndex oldest =
+          entries.empty() ? kNoEvent : entries.front().index;
+      for (auto& [key, keyed_entries] : by_key_[trace]) {
+        static_cast<void>(key);
+        const std::size_t cut = lower_bound(keyed_entries, oldest);
+        keyed_entries.erase(
+            keyed_entries.begin(),
+            keyed_entries.begin() + static_cast<std::ptrdiff_t>(cut));
+      }
+    }
+  }
+
+ private:
+  static std::size_t lower_bound(std::span<const HistoryEntry> entries,
+                                 EventIndex value) {
+    std::size_t lo = 0, hi = entries.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (entries[mid].index < value) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  static std::size_t upper_bound(std::span<const HistoryEntry> entries,
+                                 EventIndex value) {
+    std::size_t lo = 0, hi = entries.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (entries[mid].index <= value) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::vector<std::vector<HistoryEntry>> per_trace_;
+  /// Secondary index (when keyed): per trace, entries grouped by symbol.
+  std::vector<std::unordered_map<std::uint32_t, std::vector<HistoryEntry>>>
+      by_key_;
+  bool keyed_ = false;
+  std::size_t total_ = 0;
+  std::size_t merged_ = 0;
+  std::size_t pruned_ = 0;
+};
+
+}  // namespace ocep

@@ -1,0 +1,728 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace ocep {
+namespace {
+
+constexpr std::uint64_t bit(std::size_t depth) noexcept {
+  return 1ULL << depth;
+}
+
+}  // namespace
+
+OcepMatcher::OcepMatcher(const EventStore& store,
+                         pattern::CompiledPattern pattern,
+                         MatcherConfig config, MatchCallback on_match)
+    : store_(store),
+      pattern_(std::move(pattern)),
+      config_(config),
+      on_match_(std::move(on_match)) {
+  OCEP_ASSERT_MSG(pattern_.size() >= 1 && pattern_.size() <= 63,
+                  "pattern size must be in [1, 63]");
+}
+
+void OcepMatcher::lazy_init() {
+  if (initialized_) {
+    return;
+  }
+  initialized_ = true;
+  traces_ = store_.trace_count();
+  OCEP_ASSERT_MSG(traces_ > 0, "store has no traces");
+
+  const std::size_t k = pattern_.size();
+  edges_.assign(k, {});
+  for (const pattern::Constraint& c : pattern_.constraints) {
+    switch (c.op) {
+      case pattern::ConstraintOp::kBefore:
+        edges_[c.a].push_back(Edge{c.b, Role::kBeforeOther});
+        edges_[c.b].push_back(Edge{c.a, Role::kAfterOther});
+        break;
+      case pattern::ConstraintOp::kBeforeLimited:
+        edges_[c.a].push_back(Edge{c.b, Role::kBeforeOtherLim});
+        edges_[c.b].push_back(Edge{c.a, Role::kAfterOtherLim});
+        break;
+      case pattern::ConstraintOp::kConcurrent:
+        edges_[c.a].push_back(Edge{c.b, Role::kConcurrent});
+        edges_[c.b].push_back(Edge{c.a, Role::kConcurrent});
+        break;
+      case pattern::ConstraintOp::kPartner:
+        edges_[c.a].push_back(Edge{c.b, Role::kSendOfOther});
+        edges_[c.b].push_back(Edge{c.a, Role::kReceiveOfOther});
+        break;
+    }
+  }
+
+  key_attr_.assign(k, KeyAttr::kNone);
+  for (std::uint32_t leaf = 0; leaf < k; ++leaf) {
+    if (pattern_.leaves[leaf].text.kind == pattern::Attr::Kind::kVariable) {
+      key_attr_[leaf] = KeyAttr::kText;
+    } else if (pattern_.leaves[leaf].type.kind ==
+               pattern::Attr::Kind::kVariable) {
+      key_attr_[leaf] = KeyAttr::kType;
+    }
+  }
+
+  orders_.resize(k);
+  for (std::uint32_t anchor = 0; anchor < k; ++anchor) {
+    orders_[anchor] = make_order({anchor});
+  }
+
+  is_terminating_.assign(k, false);
+  for (const std::uint32_t leaf : pattern_.terminating) {
+    is_terminating_[leaf] = true;
+  }
+
+  // A leaf quantified by limited precedence ('a' in a -lim-> b) must keep
+  // every occurrence: a merged-away event could be the intervening witness
+  // that invalidates the limit.
+  merge_allowed_.assign(k, true);
+  for (const pattern::Constraint& c : pattern_.constraints) {
+    if (c.op == pattern::ConstraintOp::kBeforeLimited) {
+      merge_allowed_[c.a] = false;
+    }
+  }
+
+  histories_.resize(k);
+  for (std::uint32_t leaf = 0; leaf < k; ++leaf) {
+    histories_[leaf].reset(traces_, key_attr_[leaf] != KeyAttr::kNone);
+  }
+  comm_before_.assign(traces_, 0);
+
+  trace_by_name_.clear();
+  for (TraceId t = 0; t < traces_; ++t) {
+    trace_by_name_.emplace_back(store_.trace_name(t), t);
+  }
+
+  binding_.assign(k, EventId{});
+  depth_of_leaf_.assign(k, 0);
+  var_value_.assign(pattern_.variable_count, kEmptySymbol);
+  var_bound_.assign(pattern_.variable_count, false);
+  var_binder_.assign(pattern_.variable_count, 0);
+
+  subset_.reset(k, traces_);
+}
+
+std::vector<std::uint32_t> OcepMatcher::make_order(
+    std::vector<std::uint32_t> seeds) const {
+  const std::size_t k = pattern_.size();
+  std::vector<bool> chosen(k, false);
+  std::vector<bool> var_known(pattern_.variable_count, false);
+  std::vector<std::uint32_t> order;
+
+  auto absorb = [&](std::uint32_t leaf) {
+    chosen[leaf] = true;
+    order.push_back(leaf);
+    const pattern::Leaf& spec = pattern_.leaves[leaf];
+    for (const pattern::Attr* attr :
+         {&spec.process, &spec.type, &spec.text}) {
+      if (attr->kind == pattern::Attr::Kind::kVariable) {
+        var_known[attr->variable] = true;
+      }
+    }
+  };
+  for (const std::uint32_t seed : seeds) {
+    if (!chosen[seed]) {
+      absorb(seed);
+    }
+  }
+
+  while (order.size() < k) {
+    std::uint32_t best = 0;
+    int best_score = -1;
+    for (std::uint32_t leaf = 0; leaf < k; ++leaf) {
+      if (chosen[leaf]) {
+        continue;
+      }
+      const pattern::Leaf& spec = pattern_.leaves[leaf];
+      int score = 0;
+      for (const Edge& edge : edges_[leaf]) {
+        if (!chosen[edge.other]) {
+          continue;
+        }
+        if (edge.role == Role::kReceiveOfOther ||
+            edge.role == Role::kSendOfOther) {
+          score = std::max(score, 8);  // partner target: singleton domain
+        } else {
+          score = std::max(score, 2);  // Fig-4 restricted interval
+        }
+      }
+      const KeyAttr key = key_attr_[leaf];
+      if ((key == KeyAttr::kText && var_known[spec.text.variable]) ||
+          (key == KeyAttr::kType && var_known[spec.type.variable])) {
+        score += 4;  // indexed equality probe on the bound variable
+      }
+      if (spec.process.kind == pattern::Attr::Kind::kLiteral ||
+          (spec.process.kind == pattern::Attr::Kind::kVariable &&
+           var_known[spec.process.variable])) {
+        score += 1;  // single-trace sweep
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = leaf;
+      }
+    }
+    absorb(best);
+  }
+  return order;
+}
+
+bool OcepMatcher::leaf_accepts(const pattern::Leaf& leaf,
+                               const Event& event) const {
+  using Kind = pattern::Attr::Kind;
+  if (leaf.type.kind == Kind::kLiteral && leaf.type.literal != event.type) {
+    return false;
+  }
+  if (leaf.text.kind == Kind::kLiteral && leaf.text.literal != event.text) {
+    return false;
+  }
+  if (leaf.process.kind == Kind::kLiteral &&
+      leaf.process.literal != store_.trace_name(event.id.trace)) {
+    return false;
+  }
+  return true;
+}
+
+void OcepMatcher::observe(const Event& event) {
+  lazy_init();
+  ++stats_.events_observed;
+  const TraceId trace = event.id.trace;
+  OCEP_ASSERT(trace < traces_);
+
+  // Append to every accepting leaf's history, then anchor searches at the
+  // terminating ones.
+  const bool is_comm = is_communication(event.kind);
+  bool hit = false;
+  for (std::uint32_t leaf = 0; leaf < pattern_.size(); ++leaf) {
+    if (!leaf_accepts(pattern_.leaves[leaf], event)) {
+      continue;
+    }
+    hit = true;
+    const Symbol key =
+        key_attr_[leaf] == KeyAttr::kText
+            ? event.text
+            : (key_attr_[leaf] == KeyAttr::kType ? event.type : kEmptySymbol);
+    histories_[leaf].append(
+        trace, event.id.index, comm_before_[trace], is_comm,
+        config_.merge_redundant_history && merge_allowed_[leaf], key);
+  }
+  if (hit) {
+    ++stats_.leaf_hits;
+    for (std::uint32_t leaf = 0; leaf < pattern_.size(); ++leaf) {
+      if (is_terminating_[leaf] &&
+          leaf_accepts(pattern_.leaves[leaf], event)) {
+        run_anchor(leaf, event);
+      }
+    }
+  }
+  if (is_comm) {
+    ++comm_before_[trace];
+  }
+  // Retention: once a (leaf, trace) pair is covered, older occurrences on
+  // it cannot add coverage there; keep a bounded recent window.  Amortize
+  // the erase by pruning only at twice the budget.
+  if (config_.history_retention > 0) {
+    for (std::uint32_t leaf = 0; leaf < pattern_.size(); ++leaf) {
+      if (subset_.covered(leaf, trace) &&
+          histories_[leaf].on_trace(trace).size() >
+              2 * config_.history_retention) {
+        histories_[leaf].prune_front(trace, config_.history_retention);
+      }
+    }
+  }
+  stats_.history_entries = 0;
+  stats_.history_merged = 0;
+  stats_.history_pruned = 0;
+  for (const LeafHistory& history : histories_) {
+    stats_.history_entries += history.total();
+    stats_.history_merged += history.merged();
+    stats_.history_pruned += history.pruned();
+  }
+}
+
+void OcepMatcher::run_anchor(std::uint32_t anchor_leaf, const Event& event) {
+  if (!partner_kind_ok(anchor_leaf, event)) {
+    return;  // e.g. a send cannot anchor the receive side of '<->'
+  }
+  const std::size_t k = pattern_.size();
+  // Local coverage for this anchor (pairs covered by matches reported now).
+  std::vector<bool> local_covered(k * traces_, false);
+  auto mark_local = [&] {
+    for (std::uint32_t leaf = 0; leaf < k; ++leaf) {
+      local_covered[static_cast<std::size_t>(leaf) * traces_ +
+                    binding_[leaf].trace] = true;
+    }
+  };
+
+  auto prepare = [&](const std::vector<std::uint32_t>& order) -> bool {
+    binding_.assign(k, EventId{});
+    std::fill(var_bound_.begin(), var_bound_.end(), false);
+    for (std::size_t d = 0; d < order.size(); ++d) {
+      depth_of_leaf_[order[d]] = d;
+    }
+    // Bind the anchor (depth 0).
+    std::vector<std::uint32_t> trail;
+    std::uint64_t blame = 0;
+    if (!bind_attrs(anchor_leaf, event, 0, trail, blame)) {
+      return false;  // e.g. class [$1, x, $1] with differing attributes
+    }
+    binding_[anchor_leaf] = event.id;
+    return true;
+  };
+
+  // --- Free search (Algorithm 1 anchored at the new event) -------------
+  const std::vector<std::uint32_t>& order = orders_[anchor_leaf];
+  OCEP_ASSERT(order.front() == anchor_leaf);
+  if (!prepare(order)) {
+    return;
+  }
+  ++stats_.searches;
+  std::uint64_t conflicts = 0;
+  if (!extend(order, 1, Pin{}, conflicts)) {
+    return;  // no match contains the anchor: nothing to cover
+  }
+  report(/*pinned=*/false);
+  mark_local();
+
+  if (!config_.pin_coverage) {
+    return;
+  }
+
+  // --- Coverage pinning (§IV-B representative subset) -------------------
+  for (std::uint32_t leaf = 0; leaf < k; ++leaf) {
+    if (leaf == anchor_leaf) {
+      continue;  // the anchor is fixed to this event's trace
+    }
+    for (TraceId t = 0; t < traces_; ++t) {
+      if (local_covered[static_cast<std::size_t>(leaf) * traces_ + t]) {
+        continue;
+      }
+      if (config_.global_coverage && subset_.covered(leaf, t)) {
+        continue;
+      }
+      if (histories_[leaf].on_trace(t).empty()) {
+        continue;
+      }
+      // Pinned order: the anchor, then the pinned leaf, then the greedy
+      // selectivity order from both.
+      const std::vector<std::uint32_t> pin_order =
+          make_order({anchor_leaf, leaf});
+      if (!prepare(pin_order)) {
+        continue;
+      }
+      ++stats_.searches;
+      std::uint64_t pin_conflicts = 0;
+      if (extend(pin_order, 1, Pin{true, leaf, t}, pin_conflicts)) {
+        report(/*pinned=*/true);
+        mark_local();
+      }
+    }
+  }
+}
+
+void OcepMatcher::report(bool pinned) {
+  static_cast<void>(pinned);
+  Match match;
+  match.bindings = binding_;
+  const bool fresh = subset_.add(match);
+  ++stats_.matches_reported;
+  if (on_match_) {
+    on_match_(match, fresh);
+  }
+}
+
+bool OcepMatcher::extend(const std::vector<std::uint32_t>& order,
+                         std::size_t depth, const Pin& pin,
+                         std::uint64_t& conflict_out) {
+  if (depth == order.size()) {
+    return true;
+  }
+  const std::uint32_t leaf = order[depth];
+  const pattern::Leaf& spec = pattern_.leaves[leaf];
+
+  // Trace selection: a pin, a literal process attribute, or a bound
+  // process variable restrict the sweep to a single trace (this is what
+  // isolates the relevant traces, §V-D).
+  TraceId single = 0;
+  bool have_single = false;
+  std::uint64_t my_conflicts = 0;
+  std::uint64_t trace_blame = 0;  // binder of a bound process variable
+  if (pin.active && pin.leaf == leaf) {
+    single = pin.trace;
+    have_single = true;
+  } else if (spec.process.kind == pattern::Attr::Kind::kLiteral) {
+    bool found = false;
+    for (const auto& [name, t] : trace_by_name_) {
+      if (name == spec.process.literal) {
+        single = t;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      conflict_out |= 0;  // no such trace: unconditional failure
+      return false;
+    }
+    have_single = true;
+  } else if (spec.process.kind == pattern::Attr::Kind::kVariable &&
+             var_bound_[spec.process.variable]) {
+    const Symbol want = var_value_[spec.process.variable];
+    bool found = false;
+    for (const auto& [name, t] : trace_by_name_) {
+      if (name == want) {
+        single = t;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      conflict_out |= bit(var_binder_[spec.process.variable]);
+      return false;
+    }
+    have_single = true;
+    // Exhausting this trace must blame the variable's binder: a different
+    // earlier choice selects a different trace.
+    trace_blame = bit(var_binder_[spec.process.variable]);
+  }
+
+  const TraceId t_begin = have_single ? single : 0;
+  const TraceId t_end = have_single ? single + 1
+                                    : static_cast<TraceId>(traces_);
+  for (TraceId t = t_begin; t < t_end; ++t) {
+    EventIndex lo = 1;
+    EventIndex hi = store_.trace_size(t);
+    std::uint64_t setters = 0;
+    if (config_.domain_pruning) {
+      std::uint64_t blame = 0;
+      if (!domain_on_trace(leaf, t, lo, hi, blame, setters)) {
+        my_conflicts |= blame;
+        continue;
+      }
+    }
+    // With the leaf's key variable already bound, probe the secondary
+    // index: only occurrences with the matching attribute value.
+    std::span<const HistoryEntry> entries;
+    std::uint64_t key_blame = 0;
+    bool keyed_probe = false;
+    if (key_attr_[leaf] != KeyAttr::kNone) {
+      const pattern::Attr& attr = key_attr_[leaf] == KeyAttr::kText
+                                      ? spec.text
+                                      : spec.type;
+      if (var_bound_[attr.variable]) {
+        entries = histories_[leaf].on_trace_keyed(t, var_value_[attr.variable]);
+        keyed_probe = true;
+        key_blame = bit(var_binder_[attr.variable]);
+      }
+    }
+    if (!keyed_probe) {
+      entries = histories_[leaf].on_trace(t);
+    }
+    const LeafHistory::Range range = LeafHistory::range_of(entries, lo, hi);
+    for (std::size_t pos = range.last; pos > range.first; --pos) {
+      const EventId candidate{t, entries[pos - 1].index};
+      bool backjump = false;
+      if (try_candidate(order, depth, pin, leaf, candidate, my_conflicts,
+                        backjump)) {
+        return true;
+      }
+      if (backjump) {
+        // The failure below did not involve this level: skip its remaining
+        // candidates and traces entirely.
+        conflict_out |= my_conflicts;
+        return false;
+      }
+    }
+    // This trace is exhausted.  The interval may have excluded stored
+    // occurrences, and the key probe excluded other attribute values; the
+    // levels that produced those restrictions must be blamed, or
+    // backjumping could unsoundly skip re-instantiating them.
+    my_conflicts |= setters | key_blame;
+  }
+  conflict_out |= my_conflicts | trace_blame;
+  return false;
+}
+
+// Returns true when a complete match was found below this candidate.  When
+// returning false, `backjump` (via made_match) is set if the failure did
+// not involve this level and remaining candidates must be skipped.
+bool OcepMatcher::try_candidate(const std::vector<std::uint32_t>& order,
+                                std::size_t depth, const Pin& pin,
+                                std::uint32_t leaf, EventId candidate,
+                                std::uint64_t& conflict_out,
+                                bool& backjump) {
+  ++stats_.nodes_explored;
+  backjump = false;
+  const Event& event = store_.event(candidate);
+
+  // Without domain pruning (chronological baseline), constraints against
+  // instantiated events are checked here, one relation at a time.
+  if (!config_.domain_pruning) {
+    for (const Edge& edge : edges_[leaf]) {
+      if (binding_[edge.other].index == kNoEvent) {
+        continue;
+      }
+      if (!satisfied(leaf, edge.role, candidate, binding_[edge.other])) {
+        conflict_out |= bit(depth_of_leaf_[edge.other]);
+        return false;
+      }
+    }
+  } else {
+    // Partner kinds are not captured by index intervals; enforce them.
+    if (!partner_kind_ok(leaf, event)) {
+      return false;
+    }
+    // Limited precedence needs a history check beyond the interval.
+    for (const Edge& edge : edges_[leaf]) {
+      const EventId other = binding_[edge.other];
+      if (other.index == kNoEvent) {
+        continue;
+      }
+      if (edge.role == Role::kBeforeOtherLim &&
+          !limited_ok(leaf, candidate, other)) {
+        conflict_out |= bit(depth_of_leaf_[edge.other]);
+        return false;
+      }
+      if (edge.role == Role::kAfterOtherLim &&
+          !limited_ok(edge.other, other, candidate)) {
+        conflict_out |= bit(depth_of_leaf_[edge.other]);
+        return false;
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> trail;
+  std::uint64_t blame = 0;
+  if (!bind_attrs(leaf, event, depth, trail, blame)) {
+    for (auto it = trail.rbegin(); it != trail.rend(); ++it) {
+      var_bound_[*it] = false;
+    }
+    conflict_out |= blame;
+    return false;
+  }
+  binding_[leaf] = candidate;
+
+  std::uint64_t child_conflicts = 0;
+  if (extend(order, depth + 1, pin, child_conflicts)) {
+    return true;  // keep bindings; the caller reports the match
+  }
+
+  binding_[leaf] = EventId{};
+  for (auto it = trail.rbegin(); it != trail.rend(); ++it) {
+    var_bound_[*it] = false;
+  }
+
+  if (config_.backjumping && (child_conflicts & bit(depth)) == 0) {
+    // This level's choice is irrelevant to the failure below: jump past it
+    // (the paper's goBackward with recorded conflict timestamps).
+    ++stats_.backjumps;
+    conflict_out |= child_conflicts;
+    backjump = true;
+    return false;
+  }
+  conflict_out |= child_conflicts & ~bit(depth);
+  return false;
+}
+
+// NOLINTNEXTLINE(readability-function-cognitive-complexity)
+bool OcepMatcher::domain_on_trace(std::uint32_t leaf, TraceId trace,
+                                  EventIndex& lo, EventIndex& hi,
+                                  std::uint64_t& blame,
+                                  std::uint64_t& setters) const {
+  // Track which depths supplied the binding lower/upper bounds so an empty
+  // interval blames exactly the constraints that tightened it (sound for
+  // backjumping: keeping those instantiations keeps the domain empty).
+  std::uint64_t lo_setter = 0;
+  std::uint64_t hi_setter = 0;
+  for (const Edge& edge : edges_[leaf]) {
+    const EventId other = binding_[edge.other];
+    if (other.index == kNoEvent) {
+      continue;
+    }
+    const std::uint64_t other_bit = bit(depth_of_leaf_[edge.other]);
+    switch (edge.role) {
+      case Role::kAfterOther:
+      case Role::kAfterOtherLim: {  // other -> me: [LS(other, t), inf)
+        const EventIndex ls = store_.least_successor(other, trace);
+        if (ls == kInfiniteIndex) {
+          blame |= other_bit | lo_setter | hi_setter;
+          return false;
+        }
+        if (ls > lo) {
+          lo = ls;
+          lo_setter = other_bit;
+        }
+        break;
+      }
+      case Role::kBeforeOther:
+      case Role::kBeforeOtherLim: {  // me -> other: (-inf, GP(other, t)]
+        const EventIndex gp = store_.greatest_predecessor(other, trace);
+        if (gp == kNoEvent) {
+          blame |= other_bit | lo_setter | hi_setter;
+          return false;
+        }
+        if (gp < hi) {
+          hi = gp;
+          hi_setter = other_bit;
+        }
+        break;
+      }
+      case Role::kConcurrent: {  // (GP(other, t), LS(other, t))
+        if (trace == other.trace) {
+          // Events on the instantiated event's own trace are totally
+          // ordered with it: nothing there can be concurrent.
+          blame |= other_bit;
+          return false;
+        }
+        const EventIndex gp = store_.greatest_predecessor(other, trace);
+        if (gp + 1 > lo) {
+          lo = gp + 1;
+          lo_setter = other_bit;
+        }
+        const EventIndex ls = store_.least_successor(other, trace);
+        if (ls != kInfiniteIndex && ls - 1 < hi) {
+          hi = ls - 1;
+          hi_setter = other_bit;
+        }
+        break;
+      }
+      case Role::kReceiveOfOther:
+      case Role::kSendOfOther: {
+        const Event& other_event = store_.event(other);
+        EventId target{};
+        if (other_event.message != kNoMessage) {
+          target = edge.role == Role::kReceiveOfOther
+                       ? store_.receive_of(other_event.message)
+                       : store_.send_of(other_event.message);
+        }
+        if (target.index == kNoEvent || target.trace != trace) {
+          blame |= other_bit | lo_setter | hi_setter;
+          return false;
+        }
+        if (target.index > lo) {
+          lo = target.index;
+          lo_setter = other_bit;
+        }
+        if (target.index < hi) {
+          hi = target.index;
+          hi_setter = other_bit;
+        }
+        break;
+      }
+    }
+    if (lo > hi) {
+      blame |= lo_setter | hi_setter | other_bit;
+      return false;
+    }
+  }
+  setters = lo_setter | hi_setter;
+  return true;
+}
+
+bool OcepMatcher::bind_attrs(std::uint32_t leaf, const Event& event,
+                             std::size_t depth,
+                             std::vector<std::uint32_t>& trail,
+                             std::uint64_t& blame) {
+  const pattern::Leaf& spec = pattern_.leaves[leaf];
+  const Symbol values[3] = {store_.trace_name(event.id.trace), event.type,
+                            event.text};
+  const pattern::Attr* attrs[3] = {&spec.process, &spec.type, &spec.text};
+  for (int i = 0; i < 3; ++i) {
+    if (attrs[i]->kind != pattern::Attr::Kind::kVariable) {
+      continue;
+    }
+    const std::uint32_t var = attrs[i]->variable;
+    if (var_bound_[var]) {
+      if (var_value_[var] != values[i]) {
+        blame |= bit(var_binder_[var]);
+        return false;
+      }
+      continue;
+    }
+    var_value_[var] = values[i];
+    var_bound_[var] = true;
+    var_binder_[var] = depth;
+    trail.push_back(var);
+  }
+  return true;
+}
+
+bool OcepMatcher::limited_ok(std::uint32_t a_leaf, EventId a,
+                             EventId b) const {
+  // Violated iff some event x of a_leaf's class (by its stored history)
+  // satisfies a -> x -> b: on each trace that is the index window
+  // [LS(a, t), GP(b, t)].
+  for (TraceId t = 0; t < traces_; ++t) {
+    const EventIndex ls = store_.least_successor(a, t);
+    if (ls == kInfiniteIndex) {
+      continue;
+    }
+    const EventIndex gp = store_.greatest_predecessor(b, t);
+    if (gp == kNoEvent || ls > gp) {
+      continue;
+    }
+    if (histories_[a_leaf].any_in(t, ls, gp)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OcepMatcher::partner_kind_ok(std::uint32_t leaf,
+                                  const Event& event) const {
+  for (const Edge& edge : edges_[leaf]) {
+    if (edge.role == Role::kReceiveOfOther &&
+        event.kind != EventKind::kReceive) {
+      return false;
+    }
+    if (edge.role == Role::kSendOfOther && event.kind != EventKind::kSend) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OcepMatcher::satisfied(std::uint32_t leaf, Role role, EventId me,
+                            EventId other) const {
+  switch (role) {
+    case Role::kAfterOther:
+      return store_.happens_before(other, me);
+    case Role::kBeforeOther:
+      return store_.happens_before(me, other);
+    case Role::kAfterOtherLim: {
+      // other -lim-> me: the quantified class is the *other* leaf's.
+      std::uint32_t other_leaf = 0;
+      for (const Edge& edge : edges_[leaf]) {
+        if (edge.role == Role::kAfterOtherLim &&
+            binding_[edge.other] == other) {
+          other_leaf = edge.other;
+          break;
+        }
+      }
+      return store_.happens_before(other, me) &&
+             limited_ok(other_leaf, other, me);
+    }
+    case Role::kBeforeOtherLim:
+      return store_.happens_before(me, other) && limited_ok(leaf, me, other);
+    case Role::kConcurrent:
+      return store_.relate(me, other) == Relation::kConcurrent;
+    case Role::kReceiveOfOther: {
+      const Event& mine = store_.event(me);
+      const Event& theirs = store_.event(other);
+      return mine.kind == EventKind::kReceive &&
+             theirs.kind == EventKind::kSend &&
+             mine.message != kNoMessage && mine.message == theirs.message;
+    }
+    case Role::kSendOfOther: {
+      const Event& mine = store_.event(me);
+      const Event& theirs = store_.event(other);
+      return mine.kind == EventKind::kSend &&
+             theirs.kind == EventKind::kReceive &&
+             mine.message != kNoMessage && mine.message == theirs.message;
+    }
+  }
+  return false;
+}
+
+}  // namespace ocep

@@ -1,0 +1,201 @@
+// The OCEP online causal-event-pattern matcher (paper §IV).
+//
+// On every arrival of a terminating event e — one whose leaf can be the
+// last-delivered event of a match — the matcher runs a backtracking search
+// anchored at e (Algorithm 1's partial match of length one).  The search
+// corresponds to the paper's goForward / goBackward pair:
+//
+//  * goForward: per backtracking level, sweep the traces; on each trace the
+//    candidate domain is a contiguous index interval derived from the
+//    vector timestamps of the already-instantiated events (Fig 4):
+//      e -> ei        [LS(e, t), +inf)
+//      ei -> e        (-inf, GP(e, t)]
+//      e || ei        (GP(e, t), LS(e, t))
+//    intersected with the leaf's history, iterated latest-first.
+//  * goBackward: on failure the search backjumps — a level whose choice did
+//    not contribute to the conflict is skipped entirely (the conflict sets
+//    generalize the paper's bt[][] timestamp records, Fig 5).
+//
+// After the free search finds a match, coverage pinning re-runs the search
+// once per still-uncovered (leaf, trace) pair with that leaf pinned to the
+// trace, which makes the reported set a representative subset (§IV-B): at
+// most k*n matches are ever retained.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/history.h"
+#include "core/subset.h"
+#include "pattern/compiled.h"
+#include "poet/event_store.h"
+
+namespace ocep {
+
+struct MatcherConfig {
+  /// §VI redundancy elimination on leaf histories.
+  bool merge_redundant_history = true;
+  /// Fig-4 GP/LS domain restriction.  Off = chronological backtracking
+  /// over whole trace histories with post-hoc constraint checks (the
+  /// baseline the paper calls "not very efficient in practice").
+  bool domain_pruning = true;
+  /// Conflict-directed backjumping (the paper's goBackward with recorded
+  /// conflicts).  Off = plain chronological backtracking.
+  bool backjumping = true;
+  /// Pinned coverage searches guaranteeing the representative subset.
+  bool pin_coverage = true;
+  /// Skip pins for (leaf, trace) pairs already covered earlier in the run
+  /// (bounds total work; per-anchor free searches still report every
+  /// violation occurrence).
+  bool global_coverage = true;
+  /// History retention (paper §VI future work, 0 = keep everything): once
+  /// a (leaf, trace) pair is covered by the representative subset, keep at
+  /// most this many recent occurrences in that pair's history.  Bounds the
+  /// monitor's memory for arbitrarily long runs; a heuristic — a pruned
+  /// event can in rare shapes be the only witness for a *different*
+  /// still-uncovered pair.
+  std::size_t history_retention = 0;
+};
+
+struct MatcherStats {
+  std::uint64_t events_observed = 0;
+  std::uint64_t leaf_hits = 0;          ///< events appended to >= 1 history
+  std::uint64_t searches = 0;           ///< anchored searches (free + pinned)
+  std::uint64_t matches_reported = 0;
+  std::uint64_t nodes_explored = 0;     ///< candidate instantiations tried
+  std::uint64_t backjumps = 0;
+  std::uint64_t history_entries = 0;
+  std::uint64_t history_merged = 0;
+  std::uint64_t history_pruned = 0;
+};
+
+/// Called for every reported match.  `newly_covering` is true when the
+/// match extended the representative subset's coverage.
+using MatchCallback = std::function<void(const Match&, bool newly_covering)>;
+
+class OcepMatcher {
+ public:
+  /// The store must outlive the matcher and must already contain every
+  /// event passed to observe().  Events must be observed in the store's
+  /// arrival (linearization) order.
+  OcepMatcher(const EventStore& store, pattern::CompiledPattern pattern,
+              MatcherConfig config = {}, MatchCallback on_match = nullptr);
+
+  /// Feeds one event; runs anchored searches when it is terminating.
+  void observe(const Event& event);
+
+  [[nodiscard]] const pattern::CompiledPattern& pattern() const noexcept {
+    return pattern_;
+  }
+  [[nodiscard]] const RepresentativeSubset& subset() const noexcept {
+    return subset_;
+  }
+  [[nodiscard]] const MatcherStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// A constraint as seen from one endpoint leaf.
+  enum class Role : std::uint8_t {
+    kAfterOther,    ///< other -> me
+    kBeforeOther,   ///< me -> other
+    kAfterOtherLim,   ///< other -lim-> me
+    kBeforeOtherLim,  ///< me -lim-> other
+    kConcurrent,    ///< me || other
+    kReceiveOfOther,  ///< other <-> me: I am the receive of other's message
+    kSendOfOther,     ///< me <-> other: I am the send of other's receive
+  };
+  struct Edge {
+    std::uint32_t other = 0;
+    Role role = Role::kConcurrent;
+  };
+
+  void lazy_init();
+  [[nodiscard]] bool leaf_accepts(const pattern::Leaf& leaf,
+                                  const Event& event) const;
+  /// Partner-kind requirement: a leaf on the send (receive) side of '<->'
+  /// only binds kSend (kReceive) events.  Checked for anchors and, with
+  /// domain pruning, for candidates (post-hoc relation checks cover the
+  /// unpruned path).
+  [[nodiscard]] bool partner_kind_ok(std::uint32_t leaf,
+                                     const Event& event) const;
+
+  void run_anchor(std::uint32_t anchor_leaf, const Event& event);
+  void report(bool pinned);
+
+  /// Search machinery (one search at a time; scratch state is reused).
+  struct Pin {
+    bool active = false;
+    std::uint32_t leaf = 0;
+    TraceId trace = 0;
+  };
+  bool extend(const std::vector<std::uint32_t>& order, std::size_t depth,
+              const Pin& pin, std::uint64_t& conflict_out);
+  bool try_candidate(const std::vector<std::uint32_t>& order,
+                     std::size_t depth, const Pin& pin, std::uint32_t leaf,
+                     EventId candidate, std::uint64_t& conflict_out,
+                     bool& backjump);
+
+  /// Computes leaf's domain interval on `trace` given current bindings;
+  /// returns false (with blame set) when empty.  `setters` receives the
+  /// depth bits of the constraints that tightened the surviving interval —
+  /// if the later history intersection is empty, those are the levels whose
+  /// re-instantiation could re-open it, so they must be blamed (otherwise
+  /// backjumping would unsoundly skip them).
+  bool domain_on_trace(std::uint32_t leaf, TraceId trace, EventIndex& lo,
+                       EventIndex& hi, std::uint64_t& blame,
+                       std::uint64_t& setters) const;
+
+  /// Binds attribute variables of `leaf` against `event`; records undo
+  /// entries.  On mismatch returns false with `blame` naming the binder.
+  bool bind_attrs(std::uint32_t leaf, const Event& event, std::size_t depth,
+                  std::vector<std::uint32_t>& trail, std::uint64_t& blame);
+
+  [[nodiscard]] bool satisfied(std::uint32_t leaf, Role role, EventId me,
+                               EventId other) const;
+
+  /// Fig 1 limited precedence: a -> b holds and no event in `a_leaf`'s
+  /// history is causally between them.  O(traces * log history).
+  [[nodiscard]] bool limited_ok(std::uint32_t a_leaf, EventId a,
+                                EventId b) const;
+
+  const EventStore& store_;
+  pattern::CompiledPattern pattern_;
+  MatcherConfig config_;
+  MatchCallback on_match_;
+
+  /// Builds a selectivity-aware evaluation order (the pattern tree's Order
+  /// attribute): starting from `seeds`, greedily append the leaf whose
+  /// instantiation is cheapest given what is already bound — a partner
+  /// target (singleton), a bound variable key (indexed probe), adjacency
+  /// (Fig-4 restricted domain), a known process (single trace).
+  [[nodiscard]] std::vector<std::uint32_t> make_order(
+      std::vector<std::uint32_t> seeds) const;
+
+  /// The secondary-index key of a leaf for `event` (text variable first,
+  /// then type variable), or kEmptySymbol when the leaf is not keyed.
+  enum class KeyAttr : std::uint8_t { kNone, kText, kType };
+
+  bool initialized_ = false;
+  std::size_t traces_ = 0;
+  std::vector<std::vector<Edge>> edges_;      // per leaf
+  std::vector<KeyAttr> key_attr_;             // per leaf
+  std::vector<std::vector<std::uint32_t>> orders_;  // per anchor leaf
+  std::vector<bool> is_terminating_;
+  std::vector<bool> merge_allowed_;  // false for -lim-> quantified leaves
+  std::vector<LeafHistory> histories_;
+  std::vector<std::uint32_t> comm_before_;    // per trace
+  /// Trace lookup for process attributes: symbol -> trace + 1 (0 = none).
+  std::vector<std::pair<Symbol, TraceId>> trace_by_name_;
+
+  // Search scratch.
+  std::vector<EventId> binding_;             // per leaf; index==0: unbound
+  std::vector<std::size_t> depth_of_leaf_;   // position in current order
+  std::vector<Symbol> var_value_;            // per attribute variable
+  std::vector<bool> var_bound_;
+  std::vector<std::size_t> var_binder_;      // depth that bound the variable
+
+  RepresentativeSubset subset_;
+  MatcherStats stats_;
+};
+
+}  // namespace ocep

@@ -1,0 +1,36 @@
+#include "core/monitor.h"
+
+#include "common/assert.h"
+
+namespace ocep {
+
+std::size_t Monitor::add_pattern(std::string_view source,
+                                 MatcherConfig config,
+                                 MatchCallback on_match) {
+  OCEP_ASSERT_MSG(events_seen_ == 0,
+                  "patterns must be registered before the first event");
+  pattern::CompiledPattern compiled = pattern::compile(source, *pool_);
+  matchers_.push_back(std::make_unique<OcepMatcher>(
+      store_, std::move(compiled), config, std::move(on_match)));
+  return matchers_.size() - 1;
+}
+
+void Monitor::on_traces(const std::vector<Symbol>& names) {
+  OCEP_ASSERT_MSG(!traces_known_, "trace table announced twice");
+  traces_known_ = true;
+  for (const Symbol name : names) {
+    store_.add_trace(name);
+  }
+}
+
+void Monitor::on_event(const Event& event, const VectorClock& clock) {
+  OCEP_ASSERT_MSG(traces_known_,
+                  "on_traces must be delivered before the first event");
+  store_.append(event, clock);
+  ++events_seen_;
+  for (const std::unique_ptr<OcepMatcher>& matcher : matchers_) {
+    matcher->observe(event);
+  }
+}
+
+}  // namespace ocep

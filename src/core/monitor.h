@@ -1,0 +1,71 @@
+// Monitor facade: the OCEP client that connects to a POET-style event
+// source (paper §V-A).
+//
+// A Monitor is an EventSink: hook it up as the simulator's live sink, as
+// the target of replay(), or as the target of reload(), and it stores the
+// incoming linearized event stream and matches any number of compiled
+// patterns against it online.
+//
+//   StringPool pool;
+//   Monitor monitor(pool);
+//   monitor.add_pattern("A := ['', ping, '']; B := ['', recv_ping, ''];"
+//                       "pattern := A -> B;");
+//   sim.set_live_sink(&monitor);
+//   sim.run();
+//   monitor.matcher(0).subset().matches();  // representative subset
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/matcher.h"
+#include "poet/client.h"
+#include "poet/event_store.h"
+
+namespace ocep {
+
+class Monitor final : public EventSink {
+ public:
+  /// `storage` selects the timestamp backend of the internal store
+  /// (kSparse bounds memory on wide, long computations).
+  explicit Monitor(StringPool& pool,
+                   ClockStorage storage = ClockStorage::kDense)
+      : pool_(&pool), store_(storage) {}
+
+  /// Compiles and registers a pattern.  Returns its index.  Patterns must
+  /// be added before the first event arrives.
+  std::size_t add_pattern(std::string_view source, MatcherConfig config = {},
+                          MatchCallback on_match = nullptr);
+
+  void on_traces(const std::vector<Symbol>& names) override;
+  void on_event(const Event& event, const VectorClock& clock) override;
+
+  [[nodiscard]] const EventStore& store() const noexcept { return store_; }
+  [[nodiscard]] StringPool& pool() const noexcept { return *pool_; }
+
+  [[nodiscard]] std::size_t pattern_count() const noexcept {
+    return matchers_.size();
+  }
+  [[nodiscard]] OcepMatcher& matcher(std::size_t i) {
+    OCEP_ASSERT(i < matchers_.size());
+    return *matchers_[i];
+  }
+  [[nodiscard]] const OcepMatcher& matcher(std::size_t i) const {
+    OCEP_ASSERT(i < matchers_.size());
+    return *matchers_[i];
+  }
+
+  [[nodiscard]] std::uint64_t events_seen() const noexcept {
+    return events_seen_;
+  }
+
+ private:
+  StringPool* pool_;
+  EventStore store_;
+  std::vector<std::unique_ptr<OcepMatcher>> matchers_;
+  bool traces_known_ = false;
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace ocep

@@ -1,0 +1,92 @@
+// Representative subset of matches (paper §IV-B).
+//
+// A subset of all matches is representative when, for every pattern leaf
+// and every trace, it contains at least one occurrence of that leaf's
+// event on that trace if any complete match binds the leaf there.  Such a
+// subset has cardinality at most k * n (k = pattern size, n = traces),
+// which is what bounds OCEP's storage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+#include "model/ids.h"
+
+namespace ocep {
+
+/// A complete match: one event per pattern leaf.
+struct Match {
+  std::vector<EventId> bindings;
+};
+
+class RepresentativeSubset {
+ public:
+  void reset(std::size_t leaves, std::size_t traces) {
+    leaves_ = leaves;
+    traces_ = traces;
+    slot_.assign(leaves * traces, kUnset);
+    matches_.clear();
+  }
+
+  [[nodiscard]] bool covered(std::uint32_t leaf, TraceId trace) const {
+    return slot_[index(leaf, trace)] != kUnset;
+  }
+
+  /// Adds the match if it covers any (leaf, trace) pair not yet covered.
+  /// Returns true when the match was retained.
+  bool add(const Match& match) {
+    OCEP_ASSERT(match.bindings.size() == leaves_);
+    bool fresh = false;
+    for (std::uint32_t leaf = 0; leaf < leaves_; ++leaf) {
+      if (!covered(leaf, match.bindings[leaf].trace)) {
+        fresh = true;
+        break;
+      }
+    }
+    if (!fresh) {
+      return false;
+    }
+    const auto match_id = static_cast<std::uint32_t>(matches_.size());
+    matches_.push_back(match);
+    for (std::uint32_t leaf = 0; leaf < leaves_; ++leaf) {
+      std::uint32_t& entry = slot_[index(leaf, match.bindings[leaf].trace)];
+      if (entry == kUnset) {
+        entry = match_id;
+      }
+    }
+    return true;
+  }
+
+  /// Retained matches; at most leaves * traces of them.
+  [[nodiscard]] const std::vector<Match>& matches() const noexcept {
+    return matches_;
+  }
+
+  /// Number of covered (leaf, trace) pairs.
+  [[nodiscard]] std::size_t coverage() const noexcept {
+    std::size_t count = 0;
+    for (const std::uint32_t entry : slot_) {
+      count += entry != kUnset ? 1 : 0;
+    }
+    return count;
+  }
+
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return leaves_; }
+  [[nodiscard]] std::size_t trace_count() const noexcept { return traces_; }
+
+ private:
+  static constexpr std::uint32_t kUnset = 0xffffffffU;
+
+  [[nodiscard]] std::size_t index(std::uint32_t leaf, TraceId trace) const {
+    OCEP_ASSERT(leaf < leaves_ && trace < traces_);
+    return static_cast<std::size_t>(leaf) * traces_ + trace;
+  }
+
+  std::size_t leaves_ = 0;
+  std::size_t traces_ = 0;
+  std::vector<std::uint32_t> slot_;  // (leaf, trace) -> match id
+  std::vector<Match> matches_;
+};
+
+}  // namespace ocep

@@ -1,0 +1,67 @@
+#include "metrics/boxplot.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace ocep::metrics {
+namespace {
+
+/// Linear-interpolated quantile over sorted samples (type-7, the common
+/// spreadsheet/NumPy default).
+double quantile(const std::vector<double>& sorted, double q) {
+  OCEP_ASSERT(!sorted.empty());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto below = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(below);
+  if (below + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[below] + fraction * (sorted[below + 1] - sorted[below]);
+}
+
+}  // namespace
+
+Boxplot boxplot(std::vector<double>& samples) {
+  Boxplot out;
+  if (samples.empty()) {
+    return out;
+  }
+  std::sort(samples.begin(), samples.end());
+  out.count = samples.size();
+  out.min = samples.front();
+  out.max = samples.back();
+  out.q1 = quantile(samples, 0.25);
+  out.median = quantile(samples, 0.5);
+  out.q3 = quantile(samples, 0.75);
+  out.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+             static_cast<double>(samples.size());
+
+  const double iqr = out.q3 - out.q1;
+  const double top_fence = out.q3 + 1.5 * iqr;
+  const double bottom_fence = out.q1 - 1.5 * iqr;
+  // Whiskers: the extreme samples still inside the 1.5 x IQR fences.
+  out.top_whisker = out.q3;
+  for (const double v : samples) {  // sorted ascending
+    if (v <= top_fence) {
+      out.top_whisker = v;
+    }
+  }
+  out.bottom_whisker = out.q1;
+  for (const double v : samples) {
+    if (v >= bottom_fence) {
+      out.bottom_whisker = v;
+      break;
+    }
+  }
+  out.outliers = static_cast<std::size_t>(
+      std::count_if(samples.begin(), samples.end(),
+                    [top_fence](double v) { return v > top_fence; }));
+  return out;
+}
+
+}  // namespace ocep::metrics

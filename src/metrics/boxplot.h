@@ -1,0 +1,46 @@
+// Boxplot statistics, matching the paper's presentation (§V-C): the centre
+// rectangle spans the inter-quartile range with the median inside, the
+// whiskers sit 1.5 x IQR beyond the quartiles, and everything outside is
+// an outlier.  Fig 10 tabulates Q1 / Med / Q3 / Top-Whisker / Max.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ocep::metrics {
+
+struct Boxplot {
+  std::size_t count = 0;
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  /// Largest sample at or below q3 + 1.5 * IQR (the drawn whisker mark).
+  double top_whisker = 0;
+  /// Smallest sample at or above q1 - 1.5 * IQR.
+  double bottom_whisker = 0;
+  double max = 0;
+  double mean = 0;
+  std::size_t outliers = 0;  ///< samples above the top whisker
+};
+
+/// Computes boxplot statistics; `samples` is consumed (sorted in place).
+[[nodiscard]] Boxplot boxplot(std::vector<double>& samples);
+
+/// Convenience accumulator for wall-clock samples in microseconds.
+class LatencyRecorder {
+ public:
+  void add(double microseconds) { samples_.push_back(microseconds); }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  /// Computes the boxplot (sorts the internal buffer).
+  [[nodiscard]] Boxplot summarize() { return boxplot(samples_); }
+  void clear() { samples_.clear(); }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace ocep::metrics

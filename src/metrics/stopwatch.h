@@ -1,0 +1,26 @@
+// Wall-clock timing helper (the paper's execution-time metric, §V-B).
+#pragma once
+
+#include <chrono>
+
+namespace ocep::metrics {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed wall-clock time in microseconds.
+  [[nodiscard]] double elapsed_us() const {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        clock::now() - start_);
+    return static_cast<double>(ns.count()) / 1000.0;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ocep::metrics

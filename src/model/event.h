@@ -1,0 +1,46 @@
+// The primitive event: the smallest building block of the framework
+// (paper §III-A).  An event is a state transition of interest in the target
+// application, described by the 3-tuple [process, type, text]; the process
+// is implied by the trace the event occurs on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/string_pool.h"
+#include "model/ids.h"
+
+namespace ocep {
+
+/// What an event does to the causal structure.
+enum class EventKind : std::uint8_t {
+  kLocal,        ///< internal state transition, no message involved
+  kSend,         ///< message departure; partners with exactly one kReceive
+  kReceive,      ///< message arrival; merges the sender's clock
+  kBlockedSend,  ///< observation that a blocking send could not buffer
+};
+
+/// True for events that carry causal information across traces.  Used by
+/// the leaf-history redundancy elimination (§VI): two events on one trace
+/// with no communication event between them have identical causal
+/// relationships with events on all other traces.
+constexpr bool is_communication(EventKind kind) noexcept {
+  return kind == EventKind::kSend || kind == EventKind::kReceive;
+}
+
+/// Sentinel for "event carries no message".
+inline constexpr std::uint64_t kNoMessage = 0;
+
+/// A primitive event.  Attribute strings are interned in the monitor's
+/// StringPool; the vector timestamp lives in the event store, not here.
+struct Event {
+  EventId id;
+  EventKind kind = EventKind::kLocal;
+  Symbol type = kEmptySymbol;  ///< event-class type attribute
+  Symbol text = kEmptySymbol;  ///< free-form text attribute
+  /// Message identity for kSend/kReceive/kBlockedSend: the send and the
+  /// receive of one point-to-point message share the same non-zero id.
+  /// This realizes the partner operator (A <-> B) exactly.
+  std::uint64_t message = kNoMessage;
+};
+
+}  // namespace ocep

@@ -1,0 +1,46 @@
+// Identifiers for traces and events.
+//
+// Following POET's data model (Kunz et al., 1997), a *trace* is any entity
+// with sequential behaviour — a process, a thread, or a passive entity such
+// as a semaphore or a communication channel.  Events on one trace are
+// totally ordered; an event is globally identified by (trace, index).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ocep {
+
+/// Dense 0-based trace number.
+using TraceId = std::uint32_t;
+
+/// 1-based position of an event on its trace.  Index 0 is reserved to mean
+/// "no event" (e.g. "no greatest predecessor on this trace").
+using EventIndex = std::uint32_t;
+
+inline constexpr EventIndex kNoEvent = 0;
+
+/// Globally unique event identifier.
+struct EventId {
+  TraceId trace = 0;
+  EventIndex index = kNoEvent;
+
+  friend constexpr auto operator<=>(const EventId&, const EventId&) = default;
+};
+
+}  // namespace ocep
+
+template <>
+struct std::hash<ocep::EventId> {
+  std::size_t operator()(const ocep::EventId& id) const noexcept {
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(id.trace) << 32) | id.index;
+    // SplitMix64 finalizer: cheap and well mixed.
+    std::uint64_t z = packed + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

@@ -1,0 +1,86 @@
+// Abstract syntax of a pattern definition (paper §III-A/C, §IV-A).
+//
+// A definition consists of event-class definitions, optional event-variable
+// declarations, and the pattern expression itself:
+//
+//   Synch    := [$1, Synch_Leader, $2];
+//   Snapshot := [$2, Take_Snapshot, ''];
+//   Snapshot $Diff;
+//   pattern  := (Synch -> $Diff) && ($Diff -> Forward);
+//
+// Attributes are [process, type, text]: each is an exact-match literal, an
+// empty wild-card, or a variable enforcing equality across the pattern.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ocep::pattern {
+
+/// One of the three attribute positions of a class definition.
+struct AstAttr {
+  enum class Kind : std::uint8_t { kWildcard, kLiteral, kVariable };
+  Kind kind = Kind::kWildcard;
+  std::string value;  ///< literal text or variable name
+};
+
+struct AstClassDef {
+  std::string name;
+  AstAttr process;
+  AstAttr type;
+  AstAttr text;
+  int line = 1;
+};
+
+/// `Class $Var;` — declares an event variable: every occurrence of $Var in
+/// the pattern must bind to the same matched event of that class.
+struct AstVarDecl {
+  std::string class_name;
+  std::string var_name;
+  int line = 1;
+};
+
+/// Causal operators usable between (compound) operands.
+enum class AstOp : std::uint8_t {
+  kBefore,
+  kBeforeLimited,  ///< -lim->  Fig 1 limited precedence
+  kConcurrent,
+  kPartner,
+};
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+/// An operand occurrence: a class name (each occurrence is a fresh leaf) or
+/// an event variable (all occurrences share one leaf).
+struct AstOperand {
+  bool is_variable = false;
+  std::string name;
+  int line = 1;
+};
+
+/// Expression forms: operand | chain of causal ops | conjunction.
+struct AstChain {
+  /// operands.size() == ops.size() + 1; each adjacent pair is related by
+  /// the op between them, e.g. A -> B || C.
+  std::vector<AstExprPtr> operands;
+  std::vector<AstOp> ops;
+};
+
+struct AstConj {
+  std::vector<AstExprPtr> terms;
+};
+
+struct AstExpr {
+  std::variant<AstOperand, AstChain, AstConj> node;
+};
+
+struct AstProgram {
+  std::vector<AstClassDef> classes;
+  std::vector<AstVarDecl> variables;
+  AstExprPtr pattern;
+};
+
+}  // namespace ocep::pattern

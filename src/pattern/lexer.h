@@ -1,0 +1,19 @@
+// Lexer for the pattern language.
+//
+// Comments run from '#' to end of line.  String literals use single quotes
+// and may be empty (the wild-card attribute).  The paper's mathematical
+// glyphs have ASCII spellings: -> (happens-before), || (concurrent),
+// <-> (partner), && (conjunction).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pattern/token.h"
+
+namespace ocep::pattern {
+
+/// Tokenizes the whole input.  Throws ocep::ParseError on illegal input.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace ocep::pattern

@@ -1,0 +1,187 @@
+#include "pattern/parser.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "pattern/lexer.h"
+
+namespace ocep::pattern {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  AstProgram program() {
+    AstProgram out;
+    while (!at(TokenKind::kEnd)) {
+      if (at(TokenKind::kIdent) && peek().text == "pattern") {
+        advance();
+        expect(TokenKind::kAssign);
+        out.pattern = conjunction();
+        expect(TokenKind::kSemicolon);
+        continue;
+      }
+      if (at(TokenKind::kIdent) && peek(1).kind == TokenKind::kAssign) {
+        out.classes.push_back(class_def());
+        continue;
+      }
+      if (at(TokenKind::kIdent) && peek(1).kind == TokenKind::kVariable) {
+        AstVarDecl decl;
+        decl.line = peek().line;
+        decl.class_name = advance().text;
+        decl.var_name = advance().text;
+        expect(TokenKind::kSemicolon);
+        out.variables.push_back(std::move(decl));
+        continue;
+      }
+      fail("expected a class definition, variable declaration, or "
+           "'pattern :='");
+    }
+    if (out.pattern == nullptr) {
+      fail("missing 'pattern :=' definition");
+    }
+    return out;
+  }
+
+ private:
+  AstClassDef class_def() {
+    AstClassDef def;
+    def.line = peek().line;
+    def.name = expect(TokenKind::kIdent).text;
+    expect(TokenKind::kAssign);
+    expect(TokenKind::kLBracket);
+    def.process = attr();
+    expect(TokenKind::kComma);
+    def.type = attr();
+    expect(TokenKind::kComma);
+    def.text = attr();
+    expect(TokenKind::kRBracket);
+    expect(TokenKind::kSemicolon);
+    return def;
+  }
+
+  AstAttr attr() {
+    AstAttr out;
+    if (at(TokenKind::kVariable)) {
+      out.kind = AstAttr::Kind::kVariable;
+      out.value = advance().text;
+      return out;
+    }
+    if (at(TokenKind::kString)) {
+      const std::string text = advance().text;
+      if (text.empty()) {
+        out.kind = AstAttr::Kind::kWildcard;
+      } else {
+        out.kind = AstAttr::Kind::kLiteral;
+        out.value = text;
+      }
+      return out;
+    }
+    if (at(TokenKind::kIdent)) {
+      out.kind = AstAttr::Kind::kLiteral;
+      out.value = advance().text;
+      return out;
+    }
+    // Bare comma/bracket: omitted attribute is a wild-card.
+    if (at(TokenKind::kComma) || at(TokenKind::kRBracket)) {
+      out.kind = AstAttr::Kind::kWildcard;
+      return out;
+    }
+    fail("expected an attribute (literal, 'text', $variable, or empty)");
+  }
+
+  // conjunction := chain { '&&' chain }
+  AstExprPtr conjunction() {
+    AstExprPtr first = chain();
+    if (!at(TokenKind::kAnd)) {
+      return first;
+    }
+    AstConj conj;
+    conj.terms.push_back(std::move(first));
+    while (at(TokenKind::kAnd)) {
+      advance();
+      conj.terms.push_back(chain());
+    }
+    auto out = std::make_unique<AstExpr>();
+    out->node = std::move(conj);
+    return out;
+  }
+
+  // chain := operand { ('->' | '-lim->' | '||' | '<->') operand }
+  AstExprPtr chain() {
+    AstExprPtr first = operand();
+    if (!at(TokenKind::kArrow) && !at(TokenKind::kLimArrow) &&
+        !at(TokenKind::kConcur) && !at(TokenKind::kPartner)) {
+      return first;
+    }
+    AstChain out;
+    out.operands.push_back(std::move(first));
+    while (at(TokenKind::kArrow) || at(TokenKind::kLimArrow) ||
+           at(TokenKind::kConcur) || at(TokenKind::kPartner)) {
+      const TokenKind kind = advance().kind;
+      switch (kind) {
+        case TokenKind::kArrow: out.ops.push_back(AstOp::kBefore); break;
+        case TokenKind::kLimArrow:
+          out.ops.push_back(AstOp::kBeforeLimited);
+          break;
+        case TokenKind::kConcur: out.ops.push_back(AstOp::kConcurrent); break;
+        default: out.ops.push_back(AstOp::kPartner); break;
+      }
+      out.operands.push_back(operand());
+    }
+    auto expr = std::make_unique<AstExpr>();
+    expr->node = std::move(out);
+    return expr;
+  }
+
+  // operand := IDENT | VARIABLE | '(' conjunction ')'
+  AstExprPtr operand() {
+    if (at(TokenKind::kLParen)) {
+      advance();
+      AstExprPtr inner = conjunction();
+      expect(TokenKind::kRParen);
+      return inner;
+    }
+    if (at(TokenKind::kIdent) || at(TokenKind::kVariable)) {
+      AstOperand op;
+      op.is_variable = at(TokenKind::kVariable);
+      op.line = peek().line;
+      op.name = advance().text;
+      auto expr = std::make_unique<AstExpr>();
+      expr->node = std::move(op);
+      return expr;
+    }
+    fail("expected a class name, an event variable, or '('");
+  }
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  const Token& expect(TokenKind kind) {
+    if (!at(kind)) {
+      fail(std::string("expected ") + token_kind_name(kind) + " but found " +
+           token_kind_name(peek().kind));
+    }
+    return advance();
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, peek().line, peek().column);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+AstProgram parse(std::string_view source) {
+  return Parser(lex(source)).program();
+}
+
+}  // namespace ocep::pattern

@@ -1,0 +1,14 @@
+// Recursive-descent parser for the pattern language.
+#pragma once
+
+#include <string_view>
+
+#include "pattern/ast.h"
+
+namespace ocep::pattern {
+
+/// Parses a complete pattern definition.  Throws ocep::ParseError with
+/// line/column information on malformed input.
+[[nodiscard]] AstProgram parse(std::string_view source);
+
+}  // namespace ocep::pattern

@@ -1,0 +1,39 @@
+// Tokens of the OCEP pattern language (paper §III-A/B/C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ocep::pattern {
+
+enum class TokenKind : std::uint8_t {
+  kIdent,     ///< class names, keywords ("pattern")
+  kVariable,  ///< $name or $1 — event or attribute variable
+  kString,    ///< 'literal text' (may be empty: wild-card)
+  kAssign,    ///< :=
+  kArrow,     ///< ->   happens-before
+  kLimArrow,  ///< -lim->  limited precedence (Fig 1): a -> b with no event
+              ///<         of a's class causally between them
+  kConcur,    ///< ||   concurrent
+  kPartner,   ///< <->  partner events of one point-to-point communication
+  kAnd,       ///< &&   conjunction (the paper's wedge)
+  kLBracket,
+  kRBracket,
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  ///< identifier / variable name / string contents
+  int line = 1;
+  int column = 1;
+};
+
+/// Human-readable token-kind name for diagnostics.
+[[nodiscard]] const char* token_kind_name(TokenKind kind) noexcept;
+
+}  // namespace ocep::pattern

@@ -1,0 +1,33 @@
+// POET client interface (paper §V-A).
+//
+// A client connects to the POET server and receives the arriving events in
+// a linearization of the partial order: a total order in which every event
+// appears after all of its causal predecessors.  OCEP's monitor is one such
+// client; so are the baselines.
+#pragma once
+
+#include <vector>
+
+#include "causality/vector_clock.h"
+#include "common/string_pool.h"
+#include "model/event.h"
+
+namespace ocep {
+
+/// Receiver of a linearized event stream.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Announces the trace table (one name per TraceId) before any event.
+  /// Default: ignore.
+  virtual void on_traces(const std::vector<Symbol>& names) {
+    static_cast<void>(names);
+  }
+
+  /// Called once per event, in a linearization of the partial order.  The
+  /// clock reference is only valid for the duration of the call.
+  virtual void on_event(const Event& event, const VectorClock& clock) = 0;
+};
+
+}  // namespace ocep

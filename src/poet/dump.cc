@@ -1,0 +1,242 @@
+#include "poet/dump.h"
+
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/error.h"
+#include "poet/varint.h"
+
+namespace ocep {
+namespace {
+
+using poet::get_string;
+using poet::get_varint;
+using poet::put_string;
+using poet::put_varint;
+
+constexpr char kMagic[8] = {'O', 'C', 'E', 'P', 'D', 'M', 'P', '1'};
+
+/// Maps pool symbols to dense dump-local ids, interning lazily.
+class SymbolWriter {
+ public:
+  explicit SymbolWriter(const StringPool& pool) : pool_(pool) {}
+
+  std::uint32_t local_id(Symbol sym) {
+    auto [it, inserted] =
+        ids_.emplace(static_cast<std::uint32_t>(sym),
+                     static_cast<std::uint32_t>(strings_.size()));
+    if (inserted) {
+      strings_.emplace_back(pool_.view(sym));
+    }
+    return it->second;
+  }
+
+  const std::vector<std::string>& strings() const noexcept { return strings_; }
+
+ private:
+  const StringPool& pool_;
+  std::unordered_map<std::uint32_t, std::uint32_t> ids_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace
+
+void dump(const EventStore& store, const StringPool& pool, std::ostream& out) {
+  const auto n = static_cast<TraceId>(store.trace_count());
+
+  // Pass 1: collect the symbol table so it can precede the event stream.
+  SymbolWriter symbols(pool);
+  std::vector<std::uint32_t> trace_names(n);
+  for (TraceId t = 0; t < n; ++t) {
+    trace_names[t] = symbols.local_id(store.trace_name(t));
+  }
+  struct Encoded {
+    std::uint32_t type;
+    std::uint32_t text;
+  };
+  std::vector<Encoded> encoded;
+  encoded.reserve(store.event_count());
+  for (const EventId id : store.arrival_order()) {
+    const Event& event = store.event(id);
+    encoded.push_back(
+        Encoded{symbols.local_id(event.type), symbols.local_id(event.text)});
+  }
+
+  out.write(kMagic, sizeof(kMagic));
+  put_varint(out, n);
+  put_varint(out, symbols.strings().size());
+  for (const std::string& s : symbols.strings()) {
+    put_string(out, s);
+  }
+  for (TraceId t = 0; t < n; ++t) {
+    put_varint(out, trace_names[t]);
+  }
+
+  // Event stream; timestamps delta-encoded against the trace predecessor.
+  put_varint(out, store.event_count());
+  std::vector<std::vector<std::uint32_t>> prev_clock(
+      n, std::vector<std::uint32_t>(n, 0));
+  std::size_t seq = 0;
+  for (const EventId id : store.arrival_order()) {
+    const Event& event = store.event(id);
+    put_varint(out, id.trace);
+    put_varint(out, static_cast<std::uint64_t>(event.kind));
+    put_varint(out, encoded[seq].type);
+    put_varint(out, encoded[seq].text);
+    put_varint(out, event.message);
+    ++seq;
+
+    const VectorClock row = store.clock(id);
+    std::vector<std::uint32_t>& prev = prev_clock[id.trace];
+    std::uint32_t changed = 0;
+    for (TraceId s = 0; s < n; ++s) {
+      if (s != id.trace && row[s] != prev[s]) {
+        ++changed;
+      }
+    }
+    put_varint(out, changed);
+    for (TraceId s = 0; s < n; ++s) {
+      if (s != id.trace && row[s] != prev[s]) {
+        put_varint(out, s);
+        put_varint(out, row[s]);
+        prev[s] = row[s];
+      }
+    }
+    prev[id.trace] = row[id.trace];
+  }
+  if (!out) {
+    throw SerializationError("write failure while dumping computation");
+  }
+}
+
+void reload(std::istream& in, StringPool& pool, EventSink& sink) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw SerializationError("not an OCEP dump file (bad magic)");
+  }
+
+  const std::uint64_t n64 = get_varint(in);
+  if (n64 == 0 || n64 > std::numeric_limits<TraceId>::max()) {
+    throw SerializationError("corrupt dump: bad trace count");
+  }
+  const auto n = static_cast<TraceId>(n64);
+
+  const std::uint64_t symbol_count = get_varint(in);
+  std::vector<Symbol> symbols;
+  symbols.reserve(symbol_count);
+  for (std::uint64_t i = 0; i < symbol_count; ++i) {
+    symbols.push_back(pool.intern(get_string(in)));
+  }
+  auto symbol_at = [&symbols](std::uint64_t local) {
+    if (local >= symbols.size()) {
+      throw SerializationError("corrupt dump: symbol id out of range");
+    }
+    return symbols[local];
+  };
+
+  std::vector<Symbol> trace_names(n);
+  for (TraceId t = 0; t < n; ++t) {
+    trace_names[t] = symbol_at(get_varint(in));
+  }
+  sink.on_traces(trace_names);
+
+  const std::uint64_t event_count = get_varint(in);
+  std::vector<VectorClock> clocks(n, VectorClock(n));
+  std::vector<EventIndex> next(n, 1);
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    const std::uint64_t t64 = get_varint(in);
+    if (t64 >= n) {
+      throw SerializationError("corrupt dump: trace id out of range");
+    }
+    const auto t = static_cast<TraceId>(t64);
+    Event event;
+    event.id = EventId{t, next[t]++};
+    const std::uint64_t kind = get_varint(in);
+    if (kind > static_cast<std::uint64_t>(EventKind::kBlockedSend)) {
+      throw SerializationError("corrupt dump: bad event kind");
+    }
+    event.kind = static_cast<EventKind>(kind);
+    event.type = symbol_at(get_varint(in));
+    event.text = symbol_at(get_varint(in));
+    event.message = get_varint(in);
+
+    VectorClock& clock = clocks[t];
+    const std::uint64_t changed = get_varint(in);
+    if (changed >= n) {
+      throw SerializationError("corrupt dump: clock delta too wide");
+    }
+    for (std::uint64_t c = 0; c < changed; ++c) {
+      const std::uint64_t s = get_varint(in);
+      const std::uint64_t value = get_varint(in);
+      if (s >= n || s == t ||
+          value > std::numeric_limits<std::uint32_t>::max() ||
+          value < clock[static_cast<TraceId>(s)] ||
+          // An event cannot know more events of s than have been emitted:
+          // the dump order is a linearization.
+          value >= next[s]) {
+        throw SerializationError("corrupt dump: bad clock delta entry");
+      }
+      clock.raise(static_cast<TraceId>(s), static_cast<std::uint32_t>(value));
+    }
+    clock.tick(t);
+    sink.on_event(event, clock);
+  }
+}
+
+namespace {
+
+/// Adapter: builds a store (with its trace table) from a reload stream.
+class StoreBuilder final : public EventSink {
+ public:
+  explicit StoreBuilder(EventStore& store) : store_(store) {}
+
+  void on_event(const Event& event, const VectorClock& clock) override {
+    store_.append(event, clock);
+  }
+
+ private:
+  EventStore& store_;
+};
+
+}  // namespace
+
+EventStore reload_store(std::istream& in, StringPool& pool,
+                        ClockStorage storage) {
+  // Peek the header to size the trace table, then rewind and stream.
+  const std::istream::pos_type start = in.tellg();
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw SerializationError("not an OCEP dump file (bad magic)");
+  }
+  const std::uint64_t n64 = get_varint(in);
+  const std::uint64_t symbol_count = get_varint(in);
+  std::vector<std::string> strings;
+  strings.reserve(symbol_count);
+  for (std::uint64_t i = 0; i < symbol_count; ++i) {
+    strings.push_back(get_string(in));
+  }
+  EventStore store(storage);
+  for (std::uint64_t t = 0; t < n64; ++t) {
+    const std::uint64_t local = get_varint(in);
+    if (local >= strings.size()) {
+      throw SerializationError("corrupt dump: trace name out of range");
+    }
+    store.add_trace(pool.intern(strings[local]));
+  }
+  in.seekg(start);
+  StoreBuilder builder(store);
+  reload(in, pool, builder);
+  return store;
+}
+
+}  // namespace ocep

@@ -1,0 +1,39 @@
+// Dump / reload of trace-event data (paper §V-B).
+//
+// POET's dump feature saves a collected computation to a file; reload
+// passes the saved events back through the same interface used for live
+// collection, which is exactly how the paper's evaluation feeds OCEP.
+//
+// Format (little-endian, varint-compressed):
+//   magic "OCEPDMP1"
+//   trace count, then per trace its name
+//   string table (symbols referenced by events and trace names)
+//   event count, then events in arrival (linearization) order; each event's
+//   timestamp is delta-encoded against its trace predecessor, so the cost
+//   per event is proportional to the entries a receive actually changed.
+#pragma once
+
+#include <iosfwd>
+
+#include "common/string_pool.h"
+#include "poet/client.h"
+#include "poet/event_store.h"
+
+namespace ocep {
+
+/// Writes the computation to `out`.  `pool` must be the pool the store's
+/// symbols were interned in.
+void dump(const EventStore& store, const StringPool& pool, std::ostream& out);
+
+/// Reads a dumped computation, interning strings into `pool` and streaming
+/// every event to `sink` in the dumped linearization order.
+/// Throws SerializationError on malformed input.
+void reload(std::istream& in, StringPool& pool, EventSink& sink);
+
+/// Convenience: reload straight into a fresh EventStore with the chosen
+/// timestamp backend.
+[[nodiscard]] EventStore reload_store(
+    std::istream& in, StringPool& pool,
+    ClockStorage storage = ClockStorage::kDense);
+
+}  // namespace ocep

@@ -1,0 +1,147 @@
+// POET-equivalent event store (paper §V-A).
+//
+// The core information stored by POET is a set of events grouped by traces
+// plus the partial-order relationships among them.  Two timestamp storage
+// backends are provided:
+//
+//  * kDense — per trace a row-major matrix (one row per event, one column
+//    per trace): O(1) timestamp retrieval (the "future POET plugin" the
+//    paper asks for in §VI) and O(log) least-successor column searches.
+//    Memory: events x traces x 4 bytes.
+//  * kSparse — per (trace, source) column only the *changes* are kept
+//    (an entry changes only at receive events that learned something new),
+//    so memory scales with the communication volume instead of
+//    events x traces.  Timestamp reads become O(log changes); the
+//    non-decreasing-column property still gives least-successor searches
+//    directly on the change list.
+//
+// Both backends answer every causal query identically (property-tested);
+// pick kSparse for long runs with many traces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "causality/vector_clock.h"
+#include "common/string_pool.h"
+#include "model/event.h"
+#include "model/ids.h"
+
+namespace ocep {
+
+/// Sentinel index meaning "no such event" for least_successor: there is no
+/// event on the queried trace that happens after the argument.
+inline constexpr EventIndex kInfiniteIndex = 0xffffffffU;
+
+enum class ClockStorage : std::uint8_t { kDense, kSparse };
+
+class EventStore {
+ public:
+  explicit EventStore(ClockStorage storage = ClockStorage::kDense)
+      : storage_(storage) {}
+
+  EventStore(const EventStore&) = delete;
+  EventStore& operator=(const EventStore&) = delete;
+  EventStore(EventStore&&) = default;
+  EventStore& operator=(EventStore&&) = default;
+
+  [[nodiscard]] ClockStorage storage() const noexcept { return storage_; }
+
+  /// Registers a trace.  All traces must be added before the first event so
+  /// that every stored timestamp has one entry per trace.
+  TraceId add_trace(Symbol name);
+
+  [[nodiscard]] std::size_t trace_count() const noexcept {
+    return traces_.size();
+  }
+  [[nodiscard]] Symbol trace_name(TraceId t) const;
+
+  /// Appends an event with its timestamp.  `event.id.trace` must be a
+  /// registered trace, `event.id.index` the next index on it, and
+  /// `clock[trace]` equal to the index (Fidge/Mattern invariant).
+  ///
+  /// Appends across traces must form a linearization of the partial order
+  /// (each event after all its causal predecessors); this is how every
+  /// producer — the simulator, reload, the POET wire — naturally emits, and
+  /// it lets replay() run in O(1) per event.  Checked in debug builds.
+  void append(const Event& event, const VectorClock& clock);
+
+  /// The order in which events were appended: a linearization of the
+  /// partial order.
+  [[nodiscard]] std::span<const EventId> arrival_order() const noexcept {
+    return arrival_order_;
+  }
+
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return total_events_;
+  }
+  [[nodiscard]] EventIndex trace_size(TraceId t) const;
+
+  [[nodiscard]] const Event& event(EventId id) const;
+
+  /// e's knowledge of trace s: V_e[s].  O(1) dense, O(log) sparse.
+  [[nodiscard]] std::uint32_t clock_entry(EventId e, TraceId s) const;
+
+  /// Materialized copy of e's timestamp.
+  [[nodiscard]] VectorClock clock(EventId e) const;
+
+  // --- Causal queries -----------------------------------------------------
+
+  [[nodiscard]] bool happens_before(EventId a, EventId b) const;
+  [[nodiscard]] Relation relate(EventId a, EventId b) const;
+
+  /// Greatest predecessor GP(e, t): the most-recent event on trace t that
+  /// happens before e; kNoEvent (0) when no event on t precedes e.
+  [[nodiscard]] EventIndex greatest_predecessor(EventId e, TraceId t) const;
+
+  /// Least successor LS(e, t): the least-recent event on trace t that
+  /// happens after e; kInfiniteIndex when none exists (yet).
+  [[nodiscard]] EventIndex least_successor(EventId e, TraceId t) const;
+
+  /// Partner lookup for point-to-point messages (the pattern language's
+  /// '<->' operator): the send / receive event carrying message id `m`.
+  /// Returns an id with index == kNoEvent when not (yet) stored.
+  [[nodiscard]] EventId send_of(std::uint64_t message) const;
+  [[nodiscard]] EventId receive_of(std::uint64_t message) const;
+
+  /// Approximate resident size, for the memory-bound experiments.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept;
+
+ private:
+  /// One change point of a sparse column: from event `pos` (0-based) on,
+  /// the entry is `value` (until the next change).
+  struct Change {
+    std::uint32_t pos = 0;
+    std::uint32_t value = 0;
+  };
+
+  struct Trace {
+    Symbol name = kEmptySymbol;
+    std::vector<Event> events;
+    /// kDense: row-major timestamps, event j (0-based) occupies
+    /// [j * stride, (j + 1) * stride).
+    std::vector<std::uint32_t> clocks;
+    /// kSparse: per source trace, the change list of column V[.][source];
+    /// plus the last full row for O(n) append-time delta detection.
+    std::vector<std::vector<Change>> columns;
+    std::vector<std::uint32_t> last_row;
+  };
+
+  [[nodiscard]] const Trace& trace_ref(TraceId t) const;
+
+  struct Partners {
+    EventId send;
+    EventId receive;
+  };
+
+  ClockStorage storage_ = ClockStorage::kDense;
+  std::vector<Trace> traces_;
+  std::vector<EventId> arrival_order_;
+  std::unordered_map<std::uint64_t, Partners> partners_;
+  std::size_t total_events_ = 0;
+};
+
+}  // namespace ocep

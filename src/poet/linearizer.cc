@@ -1,0 +1,72 @@
+#include "poet/linearizer.h"
+
+#include "common/assert.h"
+
+namespace ocep {
+
+Linearizer::Linearizer(std::size_t trace_count, EventSink& sink)
+    : sink_(sink), delivered_(trace_count, 0), held_(trace_count) {}
+
+void Linearizer::offer(const Event& event, VectorClock clock) {
+  OCEP_ASSERT(event.id.trace < delivered_.size());
+  OCEP_ASSERT(clock.size() == delivered_.size());
+  OCEP_ASSERT_MSG(event.id.index > delivered_[event.id.trace],
+                  "duplicate or regressed event index");
+  if (deliverable(event, clock)) {
+    deliver(event, clock);
+    drain();
+  } else {
+    auto [it, inserted] = held_[event.id.trace].emplace(
+        event.id.index, Held{event, std::move(clock)});
+    OCEP_ASSERT_MSG(inserted, "duplicate buffered event");
+    static_cast<void>(it);
+    ++pending_count_;
+  }
+}
+
+bool Linearizer::deliverable(const Event& event,
+                             const VectorClock& clock) const {
+  if (delivered_[event.id.trace] != event.id.index - 1) {
+    return false;
+  }
+  for (std::size_t s = 0; s < delivered_.size(); ++s) {
+    if (s != event.id.trace && delivered_[s] < clock[static_cast<TraceId>(s)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Linearizer::deliver(const Event& event, const VectorClock& clock) {
+  delivered_[event.id.trace] = event.id.index;
+  ++delivered_total_;
+  sink_.on_event(event, clock);
+}
+
+void Linearizer::drain() {
+  // A delivery can unblock the head of any trace's buffer; iterate to a
+  // fixpoint.  Each pass only inspects buffer heads, so the amortized cost
+  // stays proportional to deliveries plus (rarely) blocked head rescans.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto& buffer : held_) {
+      while (!buffer.empty()) {
+        const auto& [index, held] = *buffer.begin();
+        if (!deliverable(held.event, held.clock)) {
+          break;
+        }
+        // Move out before erasing; deliver after erase so reentrant state
+        // stays consistent.
+        Event event = held.event;
+        VectorClock clock = std::move(buffer.begin()->second.clock);
+        buffer.erase(buffer.begin());
+        --pending_count_;
+        deliver(event, clock);
+        progressed = true;
+      }
+    }
+  }
+}
+
+}  // namespace ocep

@@ -1,0 +1,59 @@
+// Online causal-delivery queue.
+//
+// The POET server may observe instrumented events from the target system in
+// an order that is not a linearization of the partial order (reports from
+// different processes race on the wire).  The linearizer buffers such
+// events and releases them to the client exactly when every causal
+// predecessor has been released — the classic vector-clock delivery
+// condition: event e on trace t is deliverable when
+//   delivered[t] == index(e) - 1   and
+//   delivered[s] >= V_e[s]  for every s != t.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "causality/vector_clock.h"
+#include "model/event.h"
+#include "poet/client.h"
+
+namespace ocep {
+
+class Linearizer {
+ public:
+  /// Delivered events are forwarded to `sink`, which must outlive this.
+  Linearizer(std::size_t trace_count, EventSink& sink);
+
+  /// Offers one event; delivers it (and any unblocked buffered events) if
+  /// its causal predecessors have all been delivered, buffers it otherwise.
+  void offer(const Event& event, VectorClock clock);
+
+  /// Number of events buffered but not yet deliverable.
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_count_; }
+
+  /// Events delivered so far.
+  [[nodiscard]] std::size_t delivered() const noexcept {
+    return delivered_total_;
+  }
+
+ private:
+  struct Held {
+    Event event;
+    VectorClock clock;
+  };
+
+  [[nodiscard]] bool deliverable(const Event& event,
+                                 const VectorClock& clock) const;
+  void deliver(const Event& event, const VectorClock& clock);
+  void drain();
+
+  EventSink& sink_;
+  std::vector<std::uint32_t> delivered_;           // per-trace high-water mark
+  std::vector<std::map<EventIndex, Held>> held_;   // per-trace buffered events
+  std::size_t pending_count_ = 0;
+  std::size_t delivered_total_ = 0;
+};
+
+}  // namespace ocep

@@ -1,0 +1,28 @@
+#include "poet/replay.h"
+
+namespace ocep {
+
+void for_each_linearized(
+    const EventStore& store,
+    const std::function<void(const Event&, const VectorClock&)>& fn) {
+  // Appends are required to form a linearization (see EventStore::append),
+  // so replay is a single pass over the arrival order.
+  for (const EventId id : store.arrival_order()) {
+    fn(store.event(id), store.clock(id));
+  }
+}
+
+void replay(const EventStore& store, EventSink& sink) {
+  std::vector<Symbol> names;
+  names.reserve(store.trace_count());
+  for (TraceId t = 0; t < store.trace_count(); ++t) {
+    names.push_back(store.trace_name(t));
+  }
+  sink.on_traces(names);
+  for_each_linearized(store, [&sink](const Event& event,
+                                     const VectorClock& clock) {
+    sink.on_event(event, clock);
+  });
+}
+
+}  // namespace ocep

@@ -1,0 +1,25 @@
+// Replay of a stored computation to a client (paper §V-B).
+//
+// The paper's methodology collects trace-event data once (POET's dump
+// feature), then replays the saved events through the same client interface
+// used for live collection.  replay() feeds every event of a store to a
+// sink in a linearization of the partial order.
+#pragma once
+
+#include <functional>
+
+#include "poet/client.h"
+#include "poet/event_store.h"
+
+namespace ocep {
+
+/// Invokes `fn(event, clock)` for every event in `store`, in a
+/// linearization of the partial order (causal delivery order).
+void for_each_linearized(
+    const EventStore& store,
+    const std::function<void(const Event&, const VectorClock&)>& fn);
+
+/// Streams a stored computation into a client.
+void replay(const EventStore& store, EventSink& sink);
+
+}  // namespace ocep

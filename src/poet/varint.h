@@ -1,0 +1,59 @@
+// Varint and length-prefixed-string primitives shared by the dump format
+// and the wire protocol.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/error.h"
+
+namespace ocep::poet {
+
+inline void put_varint(std::ostream& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.put(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+inline std::uint64_t get_varint(std::istream& in) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof()) {
+      throw SerializationError("truncated stream: varint cut short");
+    }
+    if (shift >= 64) {
+      throw SerializationError("corrupt stream: varint too long");
+    }
+    value |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+}
+
+inline void put_string(std::ostream& out, std::string_view s) {
+  put_varint(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string get_string(std::istream& in) {
+  const std::uint64_t size = get_varint(in);
+  if (size > (1ULL << 20)) {
+    throw SerializationError("corrupt stream: unreasonable string length");
+  }
+  std::string s(size, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(size));
+  if (static_cast<std::uint64_t>(in.gcount()) != size) {
+    throw SerializationError("truncated stream: string cut short");
+  }
+  return s;
+}
+
+}  // namespace ocep::poet

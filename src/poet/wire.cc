@@ -1,0 +1,221 @@
+#include "poet/wire.h"
+
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/assert.h"
+#include "common/error.h"
+#include "poet/varint.h"
+
+namespace ocep {
+namespace {
+
+using poet::get_string;
+using poet::get_varint;
+using poet::put_string;
+using poet::put_varint;
+
+constexpr char kMagic[8] = {'O', 'C', 'E', 'P', 'W', 'I', 'R', '1'};
+
+enum class Frame : std::uint8_t { kSym = 1, kEvent = 2, kBye = 3 };
+
+}  // namespace
+
+// --- WireWriter -------------------------------------------------------------
+
+WireWriter::WireWriter(std::ostream& out, const StringPool& pool,
+                       const std::vector<Symbol>& names)
+    : out_(out), pool_(pool), traces_(names.size()) {
+  OCEP_ASSERT_MSG(traces_ > 0, "wire needs at least one trace");
+  out_.write(kMagic, sizeof(kMagic));
+  // Symbol frames may need to precede their first use, including in the
+  // HELLO trace table, so resolve the names first.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(names.size());
+  for (const Symbol name : names) {
+    ids.push_back(symbol_id(name));
+  }
+  put_varint(out_, traces_);
+  for (const std::uint32_t id : ids) {
+    put_varint(out_, id);
+  }
+  prev_clock_.assign(traces_, VectorClock(traces_));
+  next_index_.assign(traces_, 1);
+}
+
+std::uint32_t WireWriter::symbol_id(Symbol sym) {
+  auto [it, inserted] =
+      symbol_ids_.emplace(static_cast<std::uint32_t>(sym), next_symbol_);
+  if (inserted) {
+    put_varint(out_, static_cast<std::uint64_t>(Frame::kSym));
+    put_varint(out_, next_symbol_);
+    put_string(out_, pool_.view(sym));
+    ++next_symbol_;
+  }
+  return it->second;
+}
+
+void WireWriter::write(const Event& event, const VectorClock& clock) {
+  OCEP_ASSERT_MSG(!finished_, "write after finish()");
+  OCEP_ASSERT(event.id.trace < traces_);
+  OCEP_ASSERT_MSG(event.id.index == next_index_[event.id.trace],
+                  "wire events must be contiguous per trace");
+  const std::uint32_t type_id = symbol_id(event.type);
+  const std::uint32_t text_id = symbol_id(event.text);
+
+  put_varint(out_, static_cast<std::uint64_t>(Frame::kEvent));
+  put_varint(out_, event.id.trace);
+  put_varint(out_, static_cast<std::uint64_t>(event.kind));
+  put_varint(out_, type_id);
+  put_varint(out_, text_id);
+  put_varint(out_, event.message);
+
+  VectorClock& prev = prev_clock_[event.id.trace];
+  std::uint32_t changed = 0;
+  for (TraceId s = 0; s < traces_; ++s) {
+    if (s != event.id.trace && clock[s] != prev[s]) {
+      ++changed;
+    }
+  }
+  put_varint(out_, changed);
+  for (TraceId s = 0; s < traces_; ++s) {
+    if (s != event.id.trace && clock[s] != prev[s]) {
+      put_varint(out_, s);
+      put_varint(out_, clock[s]);
+      prev.raise(s, clock[s]);
+    }
+  }
+  prev.raise(event.id.trace, clock[event.id.trace]);
+  ++next_index_[event.id.trace];
+  ++events_;
+  if (!out_) {
+    throw SerializationError("write failure on the wire");
+  }
+}
+
+void WireWriter::finish() {
+  OCEP_ASSERT_MSG(!finished_, "finish() called twice");
+  finished_ = true;
+  put_varint(out_, static_cast<std::uint64_t>(Frame::kBye));
+  out_.flush();
+}
+
+// --- WireReader -------------------------------------------------------------
+
+WireReader::WireReader(std::istream& in, StringPool& pool, EventSink& sink)
+    : in_(in), pool_(pool), sink_(sink) {
+  char magic[sizeof(kMagic)];
+  in_.read(magic, sizeof(magic));
+  if (in_.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw SerializationError("not an OCEP wire stream (bad magic)");
+  }
+  // HELLO may be preceded by SYM frames for the trace names — but the
+  // writer emits them before the trace table *inside* the header block, so
+  // consume frames until the trace count arrives.  The writer's layout is:
+  // [SYM frames for names] then the plain varint trace table.  SYM frames
+  // are tagged, the table is not, so read tags as long as they are kSym.
+  std::uint64_t first = get_varint(in_);
+  while (first == static_cast<std::uint64_t>(Frame::kSym)) {
+    const std::uint64_t id = get_varint(in_);
+    if (id != symbols_.size()) {
+      throw SerializationError("corrupt wire: symbol ids must be dense");
+    }
+    symbols_.push_back(pool_.intern(get_string(in_)));
+    first = get_varint(in_);
+  }
+  const std::uint64_t n64 = first;
+  if (n64 == 0 || n64 > std::numeric_limits<TraceId>::max()) {
+    throw SerializationError("corrupt wire: bad trace count");
+  }
+  const auto n = static_cast<TraceId>(n64);
+  std::vector<Symbol> names;
+  names.reserve(n);
+  for (TraceId t = 0; t < n; ++t) {
+    names.push_back(symbol_at(get_varint(in_)));
+  }
+  clocks_.assign(n, VectorClock(n));
+  next_index_.assign(n, 1);
+  sink_.on_traces(names);
+}
+
+Symbol WireReader::symbol_at(std::uint64_t id) const {
+  if (id >= symbols_.size()) {
+    throw SerializationError("corrupt wire: symbol id out of range");
+  }
+  return symbols_[id];
+}
+
+bool WireReader::read_one() {
+  if (done_) {
+    return false;
+  }
+  while (true) {
+    const std::uint64_t tag = get_varint(in_);
+    switch (static_cast<Frame>(tag)) {
+      case Frame::kSym: {
+        const std::uint64_t id = get_varint(in_);
+        if (id != symbols_.size()) {
+          throw SerializationError("corrupt wire: symbol ids must be dense");
+        }
+        symbols_.push_back(pool_.intern(get_string(in_)));
+        continue;
+      }
+      case Frame::kBye:
+        done_ = true;
+        return false;
+      case Frame::kEvent: {
+        const std::uint64_t t64 = get_varint(in_);
+        if (t64 >= clocks_.size()) {
+          throw SerializationError("corrupt wire: trace id out of range");
+        }
+        const auto t = static_cast<TraceId>(t64);
+        Event event;
+        event.id = EventId{t, next_index_[t]++};
+        const std::uint64_t kind = get_varint(in_);
+        if (kind > static_cast<std::uint64_t>(EventKind::kBlockedSend)) {
+          throw SerializationError("corrupt wire: bad event kind");
+        }
+        event.kind = static_cast<EventKind>(kind);
+        event.type = symbol_at(get_varint(in_));
+        event.text = symbol_at(get_varint(in_));
+        event.message = get_varint(in_);
+
+        VectorClock& clock = clocks_[t];
+        const std::uint64_t changed = get_varint(in_);
+        if (changed >= clocks_.size()) {
+          throw SerializationError("corrupt wire: clock delta too wide");
+        }
+        for (std::uint64_t c = 0; c < changed; ++c) {
+          const std::uint64_t s = get_varint(in_);
+          const std::uint64_t value = get_varint(in_);
+          if (s >= clocks_.size() || s == t ||
+              value > std::numeric_limits<std::uint32_t>::max() ||
+              value < clock[static_cast<TraceId>(s)] ||
+              value >= next_index_[s]) {
+            throw SerializationError("corrupt wire: bad clock delta entry");
+          }
+          clock.raise(static_cast<TraceId>(s),
+                      static_cast<std::uint32_t>(value));
+        }
+        clock.tick(t);
+        sink_.on_event(event, clock);
+        return true;
+      }
+      default:
+        throw SerializationError("corrupt wire: unknown frame tag");
+    }
+  }
+}
+
+std::uint64_t WireReader::read_all() {
+  std::uint64_t delivered = 0;
+  while (read_one()) {
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace ocep

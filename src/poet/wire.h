@@ -1,0 +1,93 @@
+// POET wire protocol: streaming instrumented events over a byte channel
+// (paper §V-A: "a client can connect to the POET server in a way that it
+// receives the arriving events in a linearization of the partial order").
+//
+// Unlike the dump format, the wire is incremental: the writer does not know
+// the computation in advance.  Frames:
+//
+//   HELLO   magic "OCEPWIR1", trace count, trace-name symbol ids
+//   SYM     (id, bytes)      — announces a string the first time it is used
+//   EVENT   trace, kind, type-id, text-id, message, clock delta
+//   BYE     clean end of stream
+//
+// Event timestamps are delta-encoded against the same trace's previous
+// event, exactly like the dump, so the per-event cost is proportional to
+// what a receive actually changed.  The reader re-interns strings into its
+// own pool and delivers to any EventSink — a Monitor, a store builder, a
+// Linearizer front end.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_pool.h"
+#include "poet/client.h"
+#include "poet/event_store.h"
+
+namespace ocep {
+
+class WireWriter {
+ public:
+  /// Writes the HELLO frame.  `names` is the trace table; the pool must be
+  /// the one the events' symbols come from.  The stream must outlive the
+  /// writer.
+  WireWriter(std::ostream& out, const StringPool& pool,
+             const std::vector<Symbol>& names);
+
+  /// Streams one event (in linearization order, per-trace indexes
+  /// contiguous from 1).
+  void write(const Event& event, const VectorClock& clock);
+
+  /// Writes the BYE frame.  Further writes are invalid.
+  void finish();
+
+  [[nodiscard]] std::uint64_t events_written() const noexcept {
+    return events_;
+  }
+
+ private:
+  std::uint32_t symbol_id(Symbol sym);
+
+  std::ostream& out_;
+  const StringPool& pool_;
+  std::size_t traces_;
+  std::unordered_map<std::uint32_t, std::uint32_t> symbol_ids_;
+  std::uint32_t next_symbol_ = 0;
+  std::vector<VectorClock> prev_clock_;
+  std::vector<EventIndex> next_index_;
+  std::uint64_t events_ = 0;
+  bool finished_ = false;
+};
+
+class WireReader {
+ public:
+  /// Reads the HELLO frame (throws SerializationError if absent) and
+  /// announces the trace table to `sink`.
+  WireReader(std::istream& in, StringPool& pool, EventSink& sink);
+
+  /// Reads frames until one event has been delivered; returns false on a
+  /// clean BYE.  Throws SerializationError on malformed input.
+  bool read_one();
+
+  /// Drains the stream to BYE; returns the number of events delivered.
+  std::uint64_t read_all();
+
+  [[nodiscard]] std::size_t trace_count() const noexcept {
+    return clocks_.size();
+  }
+
+ private:
+  Symbol symbol_at(std::uint64_t id) const;
+
+  std::istream& in_;
+  StringPool& pool_;
+  EventSink& sink_;
+  std::vector<Symbol> symbols_;  // wire id -> local symbol
+  std::vector<VectorClock> clocks_;
+  std::vector<EventIndex> next_index_;
+  bool done_ = false;
+};
+
+}  // namespace ocep

@@ -1,0 +1,75 @@
+// Coroutine plumbing for simulated processes.
+//
+// A simulated process is a C++20 coroutine: blocking primitives (send on a
+// full channel, receive with nothing arrived, semaphore acquire) simply
+// co_await, and the deterministic scheduler resumes the coroutine when the
+// simulated operation completes.  This keeps application code in its
+// natural shape — loops with blocking calls — exactly like the MPI and
+// µC++ programs the paper instruments.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace ocep::sim {
+
+/// Return type of a simulated process body.  The simulator owns the handle
+/// and destroys it when the run ends.
+class ProcessBody {
+ public:
+  struct promise_type {
+    ProcessBody get_return_object() {
+      return ProcessBody{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    // The scheduler starts bodies explicitly at run() time.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Suspend at the end so the scheduler can observe done() before the
+    // frame is destroyed.
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+
+    std::exception_ptr exception;
+  };
+
+  ProcessBody() = default;
+  explicit ProcessBody(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+
+  ProcessBody(ProcessBody&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  ProcessBody& operator=(ProcessBody&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ProcessBody(const ProcessBody&) = delete;
+  ProcessBody& operator=(const ProcessBody&) = delete;
+  ~ProcessBody() { destroy(); }
+
+  [[nodiscard]] std::coroutine_handle<promise_type> handle() const noexcept {
+    return handle_;
+  }
+  [[nodiscard]] bool done() const {
+    return !handle_ || handle_.done();
+  }
+  [[nodiscard]] std::exception_ptr exception() const {
+    return handle_ ? handle_.promise().exception : nullptr;
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace ocep::sim

@@ -1,0 +1,450 @@
+#include "sim/sim.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace ocep::sim {
+namespace {
+
+constexpr std::uint64_t channel_key(TraceId from, TraceId to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+Sim::Sim(StringPool& pool, SimConfig config)
+    : pool_(&pool), config_(config), rng_(config.seed) {
+  OCEP_ASSERT_MSG(config_.min_latency >= 1,
+                  "latency must be >= 1 so a receive is after its send");
+  OCEP_ASSERT(config_.max_latency >= config_.min_latency);
+}
+
+Sim::~Sim() = default;
+
+TraceId Sim::add_process(std::string_view name, BodyFactory body) {
+  OCEP_ASSERT_MSG(!started_, "cannot add traces after run()");
+  const TraceId t = store_.add_trace(pool_->intern(name));
+  procs_.resize(t + 1);
+  arrived_any_.resize(t + 1);
+  auto state = std::make_unique<ProcState>();
+  state->trace = t;
+  state->ctx = std::unique_ptr<Proc>(new Proc(*this, t));
+  state->factory = std::move(body);
+  procs_[t] = std::move(state);
+  return t;
+}
+
+SemId Sim::add_semaphore(std::string_view name, std::uint32_t permits) {
+  OCEP_ASSERT_MSG(!started_, "cannot add traces after run()");
+  const TraceId t = store_.add_trace(pool_->intern(name));
+  procs_.resize(t + 1);  // null entry: passive trace
+  arrived_any_.resize(t + 1);
+  sems_.push_back(Semaphore{t, permits, {}});
+  return SemId{static_cast<std::uint32_t>(sems_.size() - 1)};
+}
+
+TraceId Sim::semaphore_trace(SemId sem) const {
+  const auto i = static_cast<std::size_t>(sem);
+  OCEP_ASSERT(i < sems_.size());
+  return sems_[i].trace;
+}
+
+Symbol Proc::sym(std::string_view s) const { return sim_->pool().intern(s); }
+
+RunResult Sim::run() {
+  OCEP_ASSERT_MSG(!started_, "run() may be called once");
+  started_ = true;
+  running_ = true;
+
+  const std::size_t n = store_.trace_count();
+  clocks_.assign(n, VectorClock(n));
+
+  if (live_sink_ != nullptr) {
+    std::vector<Symbol> names;
+    names.reserve(n);
+    for (TraceId t = 0; t < n; ++t) {
+      names.push_back(store_.trace_name(t));
+    }
+    live_sink_->on_traces(names);
+  }
+
+  // Start every process body at time 0 (op == kNone means "just resume").
+  for (auto& p : procs_) {
+    if (p != nullptr) {
+      p->body = p->factory(*p->ctx);
+      p->op = OpKind::kNone;
+      schedule(0, ActionKind::kExecOp, p->trace, 0);
+    }
+  }
+
+  RunResult result;
+  bool hit_limit = false;
+  while (!queue_.empty()) {
+    if (config_.max_events != 0 && events_ >= config_.max_events) {
+      hit_limit = true;
+      break;
+    }
+    const Action action = queue_.top();
+    queue_.pop();
+    OCEP_ASSERT(action.time >= now_);
+    now_ = action.time;
+    switch (action.kind) {
+      case ActionKind::kExecOp:
+        exec_op(*procs_[action.trace], action.time);
+        break;
+      case ActionKind::kArrival:
+        on_arrival(action.message, action.time);
+        break;
+    }
+  }
+  running_ = false;
+
+  result.events = events_;
+  result.end_time = now_;
+  bool all_done = true;
+  for (const auto& p : procs_) {
+    if (p == nullptr) {
+      continue;
+    }
+    if (!p->body.done()) {
+      all_done = false;
+      BlockedInfo info;
+      info.trace = p->trace;
+      if (p->blocked_send) {
+        info.kind = BlockedInfo::Kind::kSend;
+        info.peer = p->op_peer;
+        info.blocked_event = p->send_result.blocked_event;
+      } else if (p->waiting_recv) {
+        info.kind = BlockedInfo::Kind::kRecv;
+        info.peer = p->waiting_src;
+      } else if (p->waiting_grant) {
+        info.kind = BlockedInfo::Kind::kSemaphore;
+        info.peer = semaphore_trace(p->op_sem);
+      } else {
+        // Abandoned mid-op by the event limit; report as a recv-style stall.
+        info.kind = BlockedInfo::Kind::kRecv;
+        info.peer = p->trace;
+      }
+      result.blocked.push_back(info);
+    }
+  }
+  if (hit_limit) {
+    result.reason = EndReason::kEventLimit;
+  } else {
+    result.reason = all_done ? EndReason::kCompleted : EndReason::kQuiescent;
+  }
+  return result;
+}
+
+void Sim::submit_current_op(ProcState& p) {
+  if (p.op == OpKind::kDelay) {
+    p.op = OpKind::kNone;
+    p.local_event = EventId{};
+    schedule(p.now + config_.op_cost + p.op_delay, ActionKind::kExecOp,
+             p.trace, 0);
+    return;
+  }
+  schedule(p.now + config_.op_cost, ActionKind::kExecOp, p.trace, 0);
+}
+
+void Sim::schedule(std::uint64_t time, ActionKind kind, TraceId trace,
+                   std::uint64_t message) {
+  queue_.push(Action{time, next_seq_++, kind, trace, message});
+}
+
+void Sim::schedule_arrival(TraceId from, TraceId to, std::uint64_t message,
+                           std::uint64_t now) {
+  Channel& ch = channel(from, to);
+  const std::uint64_t at = std::max(now + latency(), ch.last_arrival);
+  ch.last_arrival = at;
+  schedule(at, ActionKind::kArrival, to, message);
+}
+
+void Sim::resume(ProcState& p, std::uint64_t at) {
+  p.now = at;
+  p.body.handle().resume();
+  if (p.body.done()) {
+    if (auto exception = p.body.exception()) {
+      std::rethrow_exception(exception);
+    }
+  }
+}
+
+void Sim::exec_op(ProcState& p, std::uint64_t now) {
+  switch (p.op) {
+    case OpKind::kNone:
+      resume(p, now);
+      break;
+    case OpKind::kSend:
+      exec_send(p, now);
+      break;
+    case OpKind::kRecv:
+      exec_recv(p, now);
+      break;
+    case OpKind::kLocal:
+      p.local_event =
+          emit(p.trace, EventKind::kLocal, p.op_type, p.op_text, kNoMessage,
+               nullptr);
+      resume(p, now);
+      break;
+    case OpKind::kAcquire:
+      exec_acquire(p, now);
+      break;
+    case OpKind::kRelease:
+      exec_release(p, now);
+      break;
+    case OpKind::kDelay:
+      OCEP_ASSERT_MSG(false, "delay is rewritten to kNone at submit time");
+      break;
+  }
+}
+
+void Sim::exec_send(ProcState& p, std::uint64_t now) {
+  const TraceId dst = p.op_peer;
+  OCEP_ASSERT_MSG(dst != p.trace, "self-sends are not modeled");
+  OCEP_ASSERT(dst < procs_.size());
+  if (is_process(dst)) {
+    Channel& ch = channel(p.trace, dst);
+    if (ch.load >= config_.channel_capacity) {
+      // The network cannot buffer the message: the blocking send blocks.
+      // Emit the observation event; the send completes when room frees up.
+      p.blocked_send = true;
+      p.send_result.blocked = true;
+      p.send_result.blocked_event =
+          emit(p.trace, EventKind::kBlockedSend, pool_->intern("blocked_send"),
+               store_.trace_name(dst), kNoMessage, nullptr);
+      ch.blocked_senders.push_back(p.trace);
+      return;
+    }
+    ch.load += 1;
+  }
+  complete_send(p, now);
+}
+
+void Sim::complete_send(ProcState& p, std::uint64_t now) {
+  const TraceId dst = p.op_peer;
+  const std::uint64_t id = next_message_++;
+  const EventId send_event =
+      emit(p.trace, EventKind::kSend, p.op_type, p.op_text, id, nullptr);
+  Message msg;
+  msg.id = id;
+  msg.from = p.trace;
+  msg.to = dst;
+  msg.type = p.op_type;
+  msg.text = p.op_text;
+  msg.payload = p.op_payload;
+  msg.clock = clocks_[p.trace];
+  in_transit_.emplace(id, std::move(msg));
+  schedule_arrival(p.trace, dst, id, now);
+  p.send_result.send_event = send_event;
+  if (!p.blocked_send) {
+    p.send_result.blocked = false;
+  }
+  p.blocked_send = false;
+  resume(p, now);
+}
+
+void Sim::exec_recv(ProcState& p, std::uint64_t now) {
+  std::uint64_t pick = 0;
+  bool found = false;
+  if (p.op_peer == kAnySource) {
+    auto& q = arrived_any_[p.trace];
+    while (!q.empty() && in_transit_.find(q.front()) == in_transit_.end()) {
+      q.pop_front();  // consumed through a named-source receive earlier
+    }
+    if (!q.empty()) {
+      pick = q.front();
+      found = true;
+    }
+  } else {
+    Channel& ch = channel(p.op_peer, p.trace);
+    if (!ch.arrived.empty()) {
+      pick = ch.arrived.front();
+      found = true;
+    }
+  }
+  if (found) {
+    consume(p, pick, now);
+  } else {
+    p.waiting_recv = true;
+    p.waiting_src = p.op_peer;
+  }
+}
+
+void Sim::consume(ProcState& p, std::uint64_t msg_id, std::uint64_t now) {
+  auto it = in_transit_.find(msg_id);
+  OCEP_ASSERT(it != in_transit_.end());
+  const Message msg = std::move(it->second);
+  in_transit_.erase(it);
+
+  Channel& ch = channel(msg.from, p.trace);
+  OCEP_ASSERT(!ch.arrived.empty() && ch.arrived.front() == msg_id);
+  ch.arrived.pop_front();
+
+  const EventId receive_event = emit(p.trace, EventKind::kReceive, p.op_type,
+                                     p.op_text, msg_id, &msg.clock);
+  p.incoming = Incoming{msg.from, msg.type,  msg.text,
+                        msg.payload, msg_id, receive_event};
+
+  // The consumed message frees buffer room; the oldest blocked sender on
+  // this channel may now complete its send.
+  OCEP_ASSERT(ch.load > 0);
+  ch.load -= 1;
+  if (!ch.blocked_senders.empty()) {
+    const TraceId sender = ch.blocked_senders.front();
+    ch.blocked_senders.pop_front();
+    ch.load += 1;
+    complete_send(*procs_[sender], now);
+  }
+  resume(p, now);
+}
+
+void Sim::exec_acquire(ProcState& p, std::uint64_t now) {
+  const auto sem_index = static_cast<std::size_t>(p.op_sem);
+  OCEP_ASSERT(sem_index < sems_.size());
+  Semaphore& sem = sems_[sem_index];
+  const std::uint64_t id = next_message_++;
+  p.acquire_result.request_event =
+      emit(p.trace, EventKind::kSend, pool_->intern("sem_request"),
+           store_.trace_name(sem.trace), id, nullptr);
+  Message msg;
+  msg.id = id;
+  msg.from = p.trace;
+  msg.to = sem.trace;
+  msg.type = pool_->intern("sem_request");
+  msg.clock = clocks_[p.trace];
+  in_transit_.emplace(id, std::move(msg));
+  schedule_arrival(p.trace, sem.trace, id, now);
+  p.waiting_grant = true;
+}
+
+void Sim::exec_release(ProcState& p, std::uint64_t now) {
+  const auto sem_index = static_cast<std::size_t>(p.op_sem);
+  OCEP_ASSERT(sem_index < sems_.size());
+  Semaphore& sem = sems_[sem_index];
+  const std::uint64_t id = next_message_++;
+  p.local_event =
+      emit(p.trace, EventKind::kSend, pool_->intern("sem_release"),
+           store_.trace_name(sem.trace), id, nullptr);
+  Message msg;
+  msg.id = id;
+  msg.from = p.trace;
+  msg.to = sem.trace;
+  msg.type = pool_->intern("sem_release");
+  msg.clock = clocks_[p.trace];
+  in_transit_.emplace(id, std::move(msg));
+  schedule_arrival(p.trace, sem.trace, id, now);
+  resume(p, now);
+}
+
+void Sim::on_arrival(std::uint64_t msg_id, std::uint64_t now) {
+  auto it = in_transit_.find(msg_id);
+  OCEP_ASSERT(it != in_transit_.end());
+  const TraceId to = it->second.to;
+  if (is_process(to)) {
+    ProcState& p = *procs_[to];
+    const Symbol grant = pool_->intern("sem_grant");
+    if (it->second.type == grant) {
+      // Semaphore grant: complete the pending acquire.
+      const Message msg = std::move(it->second);
+      in_transit_.erase(it);
+      OCEP_ASSERT(p.waiting_grant);
+      p.acquire_result.grant_event = emit(
+          p.trace, EventKind::kReceive, grant, msg.text, msg.id, &msg.clock);
+      p.waiting_grant = false;
+      resume(p, now);
+      return;
+    }
+    // Application message: queue it and wake a matching waiting receive.
+    Channel& ch = channel(it->second.from, to);
+    ch.arrived.push_back(msg_id);
+    arrived_any_[to].push_back(msg_id);
+    if (p.waiting_recv && (p.waiting_src == kAnySource ||
+                           p.waiting_src == it->second.from)) {
+      p.waiting_recv = false;
+      consume(p, msg_id, now);
+    }
+    return;
+  }
+  // Semaphore trace.
+  for (Semaphore& sem : sems_) {
+    if (sem.trace == to) {
+      const Message msg = std::move(it->second);
+      in_transit_.erase(it);
+      on_sem_arrival(sem, msg, now);
+      return;
+    }
+  }
+  OCEP_ASSERT_MSG(false, "message to unknown passive trace");
+}
+
+void Sim::on_sem_arrival(Semaphore& sem, const Message& msg,
+                         std::uint64_t now) {
+  emit(sem.trace, EventKind::kReceive, msg.type,
+       store_.trace_name(msg.from), msg.id, &msg.clock);
+  if (msg.type == pool_->intern("sem_request")) {
+    if (sem.permits > 0) {
+      sem.permits -= 1;
+      grant(sem, msg.from, now);
+    } else {
+      sem.waiters.push_back(msg.from);
+    }
+  } else {  // release
+    if (!sem.waiters.empty()) {
+      const TraceId next = sem.waiters.front();
+      sem.waiters.pop_front();
+      grant(sem, next, now);
+    } else {
+      sem.permits += 1;
+    }
+  }
+}
+
+void Sim::grant(Semaphore& sem, TraceId to, std::uint64_t now) {
+  const std::uint64_t id = next_message_++;
+  const Symbol grant_sym = pool_->intern("sem_grant");
+  emit(sem.trace, EventKind::kSend, grant_sym, store_.trace_name(to), id,
+       nullptr);
+  Message msg;
+  msg.id = id;
+  msg.from = sem.trace;
+  msg.to = to;
+  msg.type = grant_sym;
+  msg.text = store_.trace_name(sem.trace);
+  msg.clock = clocks_[sem.trace];
+  in_transit_.emplace(id, std::move(msg));
+  schedule_arrival(sem.trace, to, id, now);
+}
+
+EventId Sim::emit(TraceId t, EventKind kind, Symbol type, Symbol text,
+                  std::uint64_t message, const VectorClock* merge) {
+  VectorClock& clock = clocks_[t];
+  if (merge != nullptr) {
+    clock.merge(*merge);
+  }
+  clock.tick(t);
+  Event event;
+  event.id = EventId{t, clock[t]};
+  event.kind = kind;
+  event.type = type;
+  event.text = text;
+  event.message = message;
+  store_.append(event, clock);
+  if (live_sink_ != nullptr) {
+    live_sink_->on_event(event, clock);
+  }
+  ++events_;
+  return event.id;
+}
+
+std::uint64_t Sim::latency() {
+  return rng_.between(config_.min_latency, config_.max_latency);
+}
+
+Sim::Channel& Sim::channel(TraceId from, TraceId to) {
+  return channels_[channel_key(from, to)];
+}
+
+}  // namespace ocep::sim

@@ -1,0 +1,411 @@
+// Deterministic discrete-event simulator of a message-passing distributed
+// system (substrate for the paper's §V evaluation).
+//
+// The simulated world matches the paper's model (§III): n sequential
+// processes, no shared memory, no global clock, communication only by
+// message passing.  On top of that it reproduces the two execution
+// environments the paper instruments:
+//
+//  * MPI-like point-to-point communication: a blocking send returns as soon
+//    as the network can buffer the message and blocks otherwise (the
+//    behaviour that makes the random-walk deadlock "rarely visible",
+//    §V-C.1).  Receives may name a source or use kAnySource
+//    (MPI_ANY_SOURCE), which is what makes message races possible.
+//  * µC++-like semaphores instrumented as separate traces (§V-C.3): an
+//    acquire/release round-trips messages through the semaphore's own
+//    trace, so critical sections are causally chained through it.
+//
+// Every primitive emits instrumented events with Fidge/Mattern timestamps
+// into an EventStore (and optionally a live EventSink), in simulation-time
+// order — a linearization of the partial order, exactly what POET delivers
+// to its clients.
+//
+// Determinism: all randomness comes from the seeded Rng; the scheduler
+// breaks time ties by submission order.  Same seed, same computation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_pool.h"
+#include "poet/client.h"
+#include "poet/event_store.h"
+#include "sim/coro.h"
+
+namespace ocep::sim {
+
+/// Receive from any sender (MPI_ANY_SOURCE).
+inline constexpr TraceId kAnySource = 0xffffffffU;
+
+struct SimConfig {
+  std::uint64_t seed = 1;
+  /// Messages a directed process-to-process channel can hold before a
+  /// blocking send stops returning immediately.
+  std::uint32_t channel_capacity = 4;
+  /// Message latency is uniform in [min_latency, max_latency] ticks; must
+  /// be >= 1 so a receive is strictly later than its send.
+  std::uint32_t min_latency = 1;
+  std::uint32_t max_latency = 4;
+  /// Local ticks consumed by each primitive before it takes effect.
+  std::uint32_t op_cost = 1;
+  /// Stop the run once this many events have been emitted (0 = no limit).
+  std::uint64_t max_events = 0;
+};
+
+/// Handle to a semaphore registered with Sim.
+enum class SemId : std::uint32_t {};
+
+struct SendResult {
+  EventId send_event;
+  bool blocked = false;       ///< true if the send had to wait for buffer room
+  EventId blocked_event = {}; ///< the kBlockedSend observation, if blocked
+};
+
+struct Incoming {
+  TraceId from = 0;
+  Symbol type = kEmptySymbol;  ///< the *send* event's type
+  Symbol text = kEmptySymbol;  ///< the *send* event's text
+  std::uint64_t payload = 0;
+  std::uint64_t message = kNoMessage;
+  EventId receive_event;
+};
+
+struct AcquireResult {
+  EventId request_event;
+  EventId grant_event;
+};
+
+enum class EndReason : std::uint8_t {
+  kCompleted,   ///< every process body ran to completion
+  kQuiescent,   ///< no scheduled work but some processes still blocked
+  kEventLimit,  ///< max_events reached
+};
+
+/// Why a process was still blocked at the end of a quiescent run; this is
+/// the simulator-side ground truth the completeness experiments check
+/// OCEP's reports against.
+struct BlockedInfo {
+  TraceId trace = 0;
+  enum class Kind : std::uint8_t { kSend, kRecv, kSemaphore } kind = Kind::kSend;
+  TraceId peer = 0;           ///< send destination / named recv source
+  EventId blocked_event = {}; ///< kBlockedSend event id (send blocks only)
+};
+
+struct RunResult {
+  EndReason reason = EndReason::kCompleted;
+  std::uint64_t events = 0;
+  std::uint64_t end_time = 0;
+  std::vector<BlockedInfo> blocked;
+};
+
+class Sim;
+
+/// Per-process context passed to a process body; all simulated primitives
+/// hang off it as awaitables.
+class Proc {
+ public:
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+
+  [[nodiscard]] TraceId id() const noexcept { return trace_; }
+  [[nodiscard]] Sim& sim() const noexcept { return *sim_; }
+
+  /// Interning shortcut for event attributes.
+  [[nodiscard]] Symbol sym(std::string_view s) const;
+
+  // --- Awaitable primitives (valid only inside this process's body) ------
+
+  /// Blocking point-to-point send.  co_await yields a SendResult.
+  [[nodiscard]] auto send(TraceId dst, Symbol type,
+                          Symbol text = kEmptySymbol,
+                          std::uint64_t payload = 0);
+
+  /// Blocking receive from `src` (or kAnySource).  The receive event is
+  /// recorded with the given class attributes.  Yields an Incoming.
+  [[nodiscard]] auto recv(TraceId src, Symbol type,
+                          Symbol text = kEmptySymbol);
+
+  /// Internal event of interest.  Yields the EventId.
+  [[nodiscard]] auto local(Symbol type, Symbol text = kEmptySymbol);
+
+  /// Semaphore acquire (P).  Yields an AcquireResult.
+  [[nodiscard]] auto acquire(SemId sem);
+
+  /// Semaphore release (V).  Yields the release send's EventId.
+  [[nodiscard]] auto release(SemId sem);
+
+  /// Pure passage of local time; emits no event.  Yields void.
+  [[nodiscard]] auto delay(std::uint64_t ticks);
+
+ private:
+  friend class Sim;
+  Proc(Sim& sim, TraceId trace) : sim_(&sim), trace_(trace) {}
+
+  Sim* sim_;
+  TraceId trace_;
+};
+
+using BodyFactory = std::function<ProcessBody(Proc&)>;
+
+class Sim {
+ public:
+  Sim(StringPool& pool, SimConfig config);
+  ~Sim();
+
+  Sim(const Sim&) = delete;
+  Sim& operator=(const Sim&) = delete;
+
+  /// Registers a process trace with its body.  All registration must happen
+  /// before run().
+  TraceId add_process(std::string_view name, BodyFactory body);
+
+  /// Registers a semaphore as a passive trace with `permits` initial
+  /// permits.
+  SemId add_semaphore(std::string_view name, std::uint32_t permits);
+
+  /// Forward every emitted event to `sink` as the simulation runs (the
+  /// "online monitoring" hookup).  May be null.
+  void set_live_sink(EventSink* sink) { live_sink_ = sink; }
+
+  /// Runs to completion, quiescence, or the event limit.
+  RunResult run();
+
+  /// The recorded computation (POET's store).
+  [[nodiscard]] const EventStore& store() const noexcept { return store_; }
+
+  [[nodiscard]] StringPool& pool() const noexcept { return *pool_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+  /// Trace id backing a semaphore (to reference it in patterns).
+  [[nodiscard]] TraceId semaphore_trace(SemId sem) const;
+
+  /// Name symbol of any trace.
+  [[nodiscard]] Symbol trace_name(TraceId t) const {
+    return store_.trace_name(t);
+  }
+
+ private:
+  friend class Proc;
+
+  enum class OpKind : std::uint8_t {
+    kNone, kSend, kRecv, kLocal, kAcquire, kRelease, kDelay,
+  };
+
+  struct ProcState {
+    TraceId trace = 0;
+    std::unique_ptr<Proc> ctx;
+    BodyFactory factory;
+    ProcessBody body;
+    std::uint64_t now = 0;
+
+    // Current primitive, latched by the awaitable.
+    OpKind op = OpKind::kNone;
+    TraceId op_peer = 0;
+    Symbol op_type = kEmptySymbol;
+    Symbol op_text = kEmptySymbol;
+    std::uint64_t op_payload = 0;
+    SemId op_sem{};
+    std::uint64_t op_delay = 0;
+
+    // Result slots read by await_resume.
+    SendResult send_result;
+    Incoming incoming;
+    AcquireResult acquire_result;
+    EventId local_event;
+
+    // Blocking state.
+    bool waiting_recv = false;
+    TraceId waiting_src = 0;
+    bool waiting_grant = false;
+    bool blocked_send = false;
+    std::uint64_t arrived_seq = 0;  // per-proc arrival order for kAnySource
+  };
+
+  struct Semaphore {
+    TraceId trace = 0;
+    std::uint32_t permits = 0;
+    std::deque<TraceId> waiters;  // processes queued on acquire
+  };
+
+  struct Message {
+    std::uint64_t id = 0;
+    TraceId from = 0;
+    TraceId to = 0;
+    Symbol type = kEmptySymbol;
+    Symbol text = kEmptySymbol;
+    std::uint64_t payload = 0;
+    VectorClock clock;  // sender's clock at the send event
+  };
+
+  struct Channel {
+    std::uint32_t load = 0;  // sent (or arrived) and not yet consumed
+    std::deque<std::uint64_t> arrived;        // receivable message ids
+    std::deque<TraceId> blocked_senders;      // procs waiting for room
+    std::uint64_t last_arrival = 0;  // enforces MPI's non-overtaking rule
+  };
+
+  enum class ActionKind : std::uint8_t { kExecOp, kArrival };
+
+  struct Action {
+    std::uint64_t time = 0;
+    std::uint64_t seq = 0;
+    ActionKind kind = ActionKind::kExecOp;
+    TraceId trace = 0;        // kExecOp: which process
+    std::uint64_t message = 0;  // kArrival: which message
+  };
+
+  struct ActionAfter {
+    bool operator()(const Action& a, const Action& b) const noexcept {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // --- Awaitable machinery ------------------------------------------------
+  template <typename Result>
+  struct Awaiter;
+  template <typename Result>
+  Awaiter<Result> make_awaiter(ProcState& p);
+
+  void submit_current_op(ProcState& p);
+  void schedule(std::uint64_t time, ActionKind kind, TraceId trace,
+                std::uint64_t message);
+  /// Schedules a message arrival with random latency, clamped so messages
+  /// between one (from, to) pair never overtake each other.
+  void schedule_arrival(TraceId from, TraceId to, std::uint64_t message,
+                        std::uint64_t now);
+  void resume(ProcState& p, std::uint64_t at);
+
+  void exec_op(ProcState& p, std::uint64_t now);
+  void exec_send(ProcState& p, std::uint64_t now);
+  void exec_recv(ProcState& p, std::uint64_t now);
+  void exec_acquire(ProcState& p, std::uint64_t now);
+  void exec_release(ProcState& p, std::uint64_t now);
+
+  void on_arrival(std::uint64_t msg_id, std::uint64_t now);
+  void on_proc_arrival(ProcState& p, Message msg, std::uint64_t now);
+  void on_sem_arrival(Semaphore& sem, const Message& msg, std::uint64_t now);
+
+  void complete_send(ProcState& p, std::uint64_t now);
+  void consume(ProcState& p, std::uint64_t msg_id, std::uint64_t now);
+  void grant(Semaphore& sem, TraceId to, std::uint64_t now);
+
+  EventId emit(TraceId t, EventKind kind, Symbol type, Symbol text,
+               std::uint64_t message, const VectorClock* merge);
+
+  std::uint64_t latency();
+  Channel& channel(TraceId from, TraceId to);
+  [[nodiscard]] bool is_process(TraceId t) const {
+    return t < procs_.size() && procs_[t] != nullptr;
+  }
+
+  StringPool* pool_;
+  SimConfig config_;
+  Rng rng_;
+  EventStore store_;
+  EventSink* live_sink_ = nullptr;
+
+  // procs_ is indexed by TraceId; semaphore traces have a null entry.
+  std::vector<std::unique_ptr<ProcState>> procs_;
+  std::vector<Semaphore> sems_;
+  std::vector<VectorClock> clocks_;
+
+  std::priority_queue<Action, std::vector<Action>, ActionAfter> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_message_ = 1;
+  std::unordered_map<std::uint64_t, Message> in_transit_;
+  std::unordered_map<std::uint64_t, Channel> channels_;
+  // Per-process queue of arrived messages for kAnySource, in arrival order.
+  std::vector<std::deque<std::uint64_t>> arrived_any_;
+
+  std::uint64_t events_ = 0;
+  std::uint64_t now_ = 0;
+  bool running_ = false;
+  bool started_ = false;
+};
+
+// --- Awaitable definitions (must see Sim's definition) ---------------------
+
+template <typename Result>
+struct Sim::Awaiter {
+  Sim* sim;
+  ProcState* proc;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const {
+    sim->submit_current_op(*proc);
+  }
+  Result await_resume() const {
+    if constexpr (std::is_same_v<Result, SendResult>) {
+      return proc->send_result;
+    } else if constexpr (std::is_same_v<Result, Incoming>) {
+      return proc->incoming;
+    } else if constexpr (std::is_same_v<Result, AcquireResult>) {
+      return proc->acquire_result;
+    } else if constexpr (std::is_same_v<Result, EventId>) {
+      return proc->local_event;
+    }
+  }
+};
+
+inline auto Proc::send(TraceId dst, Symbol type, Symbol text,
+                       std::uint64_t payload) {
+  auto& p = *sim_->procs_[trace_];
+  p.op = Sim::OpKind::kSend;
+  p.op_peer = dst;
+  p.op_type = type;
+  p.op_text = text;
+  p.op_payload = payload;
+  return Sim::Awaiter<SendResult>{sim_, &p};
+}
+
+inline auto Proc::recv(TraceId src, Symbol type, Symbol text) {
+  auto& p = *sim_->procs_[trace_];
+  p.op = Sim::OpKind::kRecv;
+  p.op_peer = src;
+  p.op_type = type;
+  p.op_text = text;
+  return Sim::Awaiter<Incoming>{sim_, &p};
+}
+
+inline auto Proc::local(Symbol type, Symbol text) {
+  auto& p = *sim_->procs_[trace_];
+  p.op = Sim::OpKind::kLocal;
+  p.op_type = type;
+  p.op_text = text;
+  return Sim::Awaiter<EventId>{sim_, &p};
+}
+
+inline auto Proc::acquire(SemId sem) {
+  auto& p = *sim_->procs_[trace_];
+  p.op = Sim::OpKind::kAcquire;
+  p.op_sem = sem;
+  return Sim::Awaiter<AcquireResult>{sim_, &p};
+}
+
+inline auto Proc::release(SemId sem) {
+  auto& p = *sim_->procs_[trace_];
+  p.op = Sim::OpKind::kRelease;
+  p.op_sem = sem;
+  return Sim::Awaiter<EventId>{sim_, &p};
+}
+
+inline auto Proc::delay(std::uint64_t ticks) {
+  auto& p = *sim_->procs_[trace_];
+  p.op = Sim::OpKind::kDelay;
+  p.op_delay = ticks;
+  return Sim::Awaiter<EventId>{sim_, &p};
+}
+
+}  // namespace ocep::sim

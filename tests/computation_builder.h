@@ -1,0 +1,84 @@
+// Hand-construction helper for small test computations.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/string_pool.h"
+#include "poet/event_store.h"
+
+namespace ocep::testing {
+
+/// Builds an EventStore one event at a time with correct vector clocks.
+/// Usage:
+///   ComputationBuilder b(pool, {"P1", "P2"});
+///   b.local(0, "a");
+///   auto m = b.send(0, "ping");
+///   b.recv(1, m, "recv_ping");
+class ComputationBuilder {
+ public:
+  ComputationBuilder(StringPool& pool,
+                     const std::vector<std::string_view>& traces)
+      : pool_(pool) {
+    for (const std::string_view name : traces) {
+      store_.add_trace(pool_.intern(name));
+    }
+    clocks_.assign(traces.size(), VectorClock(traces.size()));
+  }
+
+  EventId local(TraceId t, std::string_view type, std::string_view text = "") {
+    return emit(t, EventKind::kLocal, type, text, kNoMessage, nullptr);
+  }
+
+  /// Returns the message id to pass to recv().
+  std::uint64_t send(TraceId t, std::string_view type,
+                     std::string_view text = "") {
+    const std::uint64_t message = next_message_++;
+    emit(t, EventKind::kSend, type, text, message, nullptr);
+    send_clocks_.push_back(clocks_[t]);  // index message - 1
+    return message;
+  }
+
+  EventId recv(TraceId t, std::uint64_t message, std::string_view type,
+               std::string_view text = "") {
+    OCEP_ASSERT(message >= 1 && message <= send_clocks_.size());
+    return emit(t, EventKind::kReceive, type, text, message,
+                &send_clocks_[message - 1]);
+  }
+
+  EventId blocked_send(TraceId t, std::string_view dest_trace_name) {
+    return emit(t, EventKind::kBlockedSend, "blocked_send", dest_trace_name,
+                kNoMessage, nullptr);
+  }
+
+  [[nodiscard]] const EventStore& store() const noexcept { return store_; }
+  [[nodiscard]] StringPool& pool() const noexcept { return pool_; }
+
+ private:
+  EventId emit(TraceId t, EventKind kind, std::string_view type,
+               std::string_view text, std::uint64_t message,
+               const VectorClock* merge) {
+    VectorClock& clock = clocks_[t];
+    if (merge != nullptr) {
+      clock.merge(*merge);
+    }
+    clock.tick(t);
+    Event event;
+    event.id = EventId{t, clock[t]};
+    event.kind = kind;
+    event.type = pool_.intern(type);
+    event.text = pool_.intern(text);
+    event.message = message;
+    store_.append(event, clock);
+    return event.id;
+  }
+
+  StringPool& pool_;
+  EventStore store_;
+  std::vector<VectorClock> clocks_;
+  std::vector<VectorClock> send_clocks_;
+  std::uint64_t next_message_ = 1;
+};
+
+}  // namespace ocep::testing

@@ -1,0 +1,272 @@
+// Unit tests for the baseline detectors and matchers.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "apps/patterns.h"
+#include "baseline/conflict_graph.h"
+#include "baseline/dependency_graph.h"
+#include "baseline/naive_matcher.h"
+#include "baseline/race_checker.h"
+#include "baseline/window_matcher.h"
+#include "computation_builder.h"
+#include "pattern/compiled.h"
+#include "random_computation.h"
+#include "sim/sim.h"
+
+namespace ocep {
+namespace {
+
+using testing::ComputationBuilder;
+
+// --- NaiveMatcher -----------------------------------------------------------
+
+TEST(NaiveMatcher, EnumeratesEveryMatchOnce) {
+  StringPool pool;
+  ComputationBuilder b(pool, {"P1", "P2"});
+  b.local(0, "a");
+  b.local(0, "a");
+  const std::uint64_t m = b.send(0, "x");
+  b.recv(1, m, "y");
+  b.local(1, "b");
+  b.local(1, "b");
+
+  const pattern::CompiledPattern pattern = pattern::compile(R"(
+      A := ['', a, '']; B := ['', b, ''];
+      pattern := A -> B;
+  )", pool);
+  const auto matches = baseline::enumerate_matches(b.store(), pattern);
+  EXPECT_EQ(matches.size(), 4U);  // 2 a's x 2 b's
+  for (const Match& match : matches) {
+    EXPECT_TRUE(baseline::is_valid_match(b.store(), pattern, match));
+  }
+}
+
+TEST(NaiveMatcher, MaxMatchesCapsEnumeration) {
+  StringPool pool;
+  ComputationBuilder b(pool, {"P1", "P2"});
+  for (int i = 0; i < 10; ++i) {
+    b.local(0, "a");
+    b.local(1, "b");
+  }
+  const pattern::CompiledPattern pattern = pattern::compile(R"(
+      A := ['', a, '']; B := ['', b, ''];
+      pattern := A || B;
+  )", pool);
+  baseline::NaiveOptions options;
+  options.max_matches = 7;
+  const auto matches =
+      baseline::enumerate_matches(b.store(), pattern, options);
+  EXPECT_EQ(matches.size(), 7U);
+}
+
+TEST(NaiveMatcher, IsValidMatchRejectsBrokenBindings) {
+  StringPool pool;
+  ComputationBuilder b(pool, {"P1", "P2"});
+  const EventId a = b.local(0, "a");
+  const std::uint64_t m = b.send(0, "x");
+  b.recv(1, m, "y");
+  const EventId bb = b.local(1, "b");
+
+  const pattern::CompiledPattern pattern = pattern::compile(R"(
+      A := ['', a, '']; B := ['', b, ''];
+      pattern := A -> B;
+  )", pool);
+  Match good;
+  good.bindings = {a, bb};
+  EXPECT_TRUE(baseline::is_valid_match(b.store(), pattern, good));
+
+  Match reversed;
+  reversed.bindings = {bb, a};  // b is not of class A and b -/-> a
+  EXPECT_FALSE(baseline::is_valid_match(b.store(), pattern, reversed));
+
+  Match out_of_range;
+  out_of_range.bindings = {EventId{0, 99}, bb};
+  EXPECT_FALSE(baseline::is_valid_match(b.store(), pattern, out_of_range));
+}
+
+// --- WindowMatcher ----------------------------------------------------------
+
+TEST(WindowMatcher, FindsMatchesInsideTheWindow) {
+  StringPool pool;
+  ComputationBuilder b(pool, {"P1", "P2"});
+  const std::uint64_t m = b.send(0, "x");
+  b.local(0, "a");
+  b.recv(1, m, "y");
+  b.local(1, "b");
+
+  baseline::WindowMatcher window(
+      b.store(), pattern::compile(R"(
+          A := ['', a, '']; B := ['', b, ''];
+          pattern := A -> B;
+      )", pool),
+      10);
+  for (const EventId id : b.store().arrival_order()) {
+    window.observe(b.store().event(id));
+  }
+  // a -> b? a is after the send, so a || b... build causality: a happens
+  // before nothing on P2.  Actually a (0,2) vs b (1,2): the message m was
+  // sent before a, so a and b are concurrent: no match expected.
+  EXPECT_TRUE(window.matches().empty());
+}
+
+TEST(WindowMatcher, OmitsMatchesSpanningBeyondTheWindow) {
+  StringPool pool;
+  ComputationBuilder b(pool, {"P1", "P2"});
+  const EventId a = b.local(0, "a");
+  const std::uint64_t m = b.send(0, "x");
+  // Push `a` and the send far out of the window.
+  for (int i = 0; i < 30; ++i) {
+    b.local(0, "z");
+  }
+  b.recv(1, m, "y");
+  const EventId bb = b.local(1, "b");
+  static_cast<void>(a);
+  static_cast<void>(bb);
+
+  auto compiled = [&pool] {
+    return pattern::compile(R"(
+        A := ['', a, '']; B := ['', b, ''];
+        pattern := A -> B;
+    )", pool);
+  };
+
+  baseline::WindowMatcher small_window(b.store(), compiled(), 4);
+  baseline::WindowMatcher big_window(b.store(), compiled(), 1000);
+  for (const EventId id : b.store().arrival_order()) {
+    small_window.observe(b.store().event(id));
+    big_window.observe(b.store().event(id));
+  }
+  EXPECT_TRUE(small_window.matches().empty()) << "omission expected";
+  EXPECT_EQ(big_window.matches().size(), 1U);
+}
+
+// --- DependencyGraphDetector ------------------------------------------------
+
+TEST(DependencyGraph, DetectsACycleOfBlockedSends) {
+  StringPool pool;
+  ComputationBuilder b(pool, {"A", "B", "C"});
+  baseline::DependencyGraphDetector detector(b.store());
+
+  auto feed = [&](EventId id) {
+    return detector.observe(b.store().event(id));
+  };
+
+  EXPECT_FALSE(feed(b.blocked_send(0, "B")).has_value());
+  EXPECT_FALSE(feed(b.blocked_send(1, "C")).has_value());
+  const auto cycle = feed(b.blocked_send(2, "A"));
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->members.size(), 3U);
+}
+
+TEST(DependencyGraph, SendCompletionClearsTheEdge) {
+  StringPool pool;
+  ComputationBuilder b(pool, {"A", "B"});
+  baseline::DependencyGraphDetector detector(b.store());
+
+  detector.observe(b.store().event(b.blocked_send(0, "B")));
+  // The blocked send completes: edge A -> B is removed...
+  const std::uint64_t m = b.send(0, "x");
+  detector.observe(b.store().event(EventId{0, 2}));
+  static_cast<void>(m);
+  // ...so B blocking toward A is no longer a cycle.
+  const auto cycle = detector.observe(b.store().event(b.blocked_send(1, "A")));
+  EXPECT_FALSE(cycle.has_value());
+}
+
+// --- ConflictGraphDetector --------------------------------------------------
+
+TEST(ConflictGraph, FlagsConcurrentSectionsOnly) {
+  StringPool pool;
+  ComputationBuilder b(pool, {"W1", "W2"});
+  const Symbol enter = pool.intern("cs_enter");
+  const Symbol exit = pool.intern("cs_exit");
+
+  // W1's section, then a message to W2, then W2's section: ordered.
+  b.local(0, "cs_enter");
+  b.local(0, "cs_exit");
+  const std::uint64_t m = b.send(0, "sync");
+  b.recv(1, m, "recv_sync");
+  b.local(1, "cs_enter");
+  b.local(1, "cs_exit");
+  // A second W1 section concurrent with W2's.
+  b.local(0, "cs_enter");
+  b.local(0, "cs_exit");
+
+  baseline::ConflictGraphDetector detector(b.store(), enter, exit);
+  for (const EventId id : b.store().arrival_order()) {
+    detector.observe(b.store().event(id));
+  }
+  EXPECT_EQ(detector.sections(), 3U);
+  ASSERT_EQ(detector.violations(), 1U);
+  // The violation pairs W2's section with W1's second section.
+  EXPECT_EQ(detector.edges()[0].first_enter, EventId(1, 2));
+  EXPECT_EQ(detector.edges()[0].second_enter, EventId(0, 4));
+}
+
+// --- RaceChecker -------------------------------------------------------------
+
+TEST(RaceChecker, ConcurrentSendsToOneTraceRace) {
+  StringPool pool;
+  ComputationBuilder b(pool, {"R", "S1", "S2"});
+  const std::uint64_t m1 = b.send(1, "msg");
+  const std::uint64_t m2 = b.send(2, "msg");
+  b.recv(0, m1, "recv");
+  b.recv(0, m2, "recv");
+
+  baseline::RaceChecker checker(b.store());
+  for (const EventId id : b.store().arrival_order()) {
+    checker.observe(b.store().event(id));
+  }
+  ASSERT_EQ(checker.races(), 1U);
+  EXPECT_EQ(checker.found()[0].first_receive, EventId(0, 1));
+  EXPECT_EQ(checker.found()[0].second_receive, EventId(0, 2));
+}
+
+TEST(RaceChecker, CausallyOrderedSendsDoNotRace) {
+  StringPool pool;
+  ComputationBuilder b(pool, {"R", "S1", "S2"});
+  const std::uint64_t m1 = b.send(1, "msg");
+  // S1 passes a token to S2, ordering S2's send after S1's.
+  const std::uint64_t token = b.send(1, "token");
+  b.recv(2, token, "recv_token");
+  const std::uint64_t m2 = b.send(2, "msg");
+  b.recv(0, m1, "recv");
+  b.recv(0, m2, "recv");
+
+  baseline::RaceChecker checker(b.store());
+  for (const EventId id : b.store().arrival_order()) {
+    checker.observe(b.store().event(id));
+  }
+  EXPECT_EQ(checker.races(), 0U);
+}
+
+// --- Cross-validation: RaceChecker against the race workload ---------------
+
+TEST(RaceChecker, AgreesWithStoreRelationsOnTheWorkload) {
+  StringPool pool;
+  sim::SimConfig config;
+  config.seed = 97;
+  sim::Sim sim(pool, config);
+  apps::RaceParams params;
+  params.traces = 6;
+  params.messages_each = 25;
+  apps::setup_race_bench(sim, params);
+  sim.run();
+  const EventStore& store = sim.store();
+
+  baseline::RaceChecker checker(store);
+  for (const EventId id : store.arrival_order()) {
+    checker.observe(store.event(id));
+  }
+  EXPECT_GT(checker.races(), 0U);
+  for (const auto& race : checker.found()) {
+    const Event& r1 = store.event(race.first_receive);
+    const Event& r2 = store.event(race.second_receive);
+    EXPECT_EQ(store.relate(store.send_of(r1.message),
+                           store.send_of(r2.message)),
+              Relation::kConcurrent);
+  }
+}
+
+}  // namespace
+}  // namespace ocep

@@ -1,0 +1,163 @@
+// Tests for compound-event relations (paper §III-B, eqs. (1)-(3)).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "causality/compound.h"
+#include "common/string_pool.h"
+#include "poet/event_store.h"
+#include "random_computation.h"
+
+namespace ocep {
+namespace {
+
+/// Fixture world: a 3-trace computation from the paper's style of
+/// process-time diagrams.
+///
+///   T0:  a1 --m1--> .          a2
+///   T1:       b1(recv m1) --m2--> .
+///   T2:  c1                 c2(recv m2)   c3
+class CompoundFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clocks_ = {
+        VectorClock(std::vector<std::uint32_t>{1, 0, 0}),  // a1 (send m1)
+        VectorClock(std::vector<std::uint32_t>{2, 0, 0}),  // a2
+        VectorClock(std::vector<std::uint32_t>{1, 1, 0}),  // b1 (recv m1,
+                                                           //     send m2)
+        VectorClock(std::vector<std::uint32_t>{0, 0, 1}),  // c1
+        VectorClock(std::vector<std::uint32_t>{1, 1, 2}),  // c2 (recv m2)
+        VectorClock(std::vector<std::uint32_t>{1, 1, 3}),  // c3
+    };
+    a1_ = {EventId{0, 1}, &clocks_[0]};
+    a2_ = {EventId{0, 2}, &clocks_[1]};
+    b1_ = {EventId{1, 1}, &clocks_[2]};
+    c1_ = {EventId{2, 1}, &clocks_[3]};
+    c2_ = {EventId{2, 2}, &clocks_[4]};
+    c3_ = {EventId{2, 3}, &clocks_[5]};
+  }
+
+  std::vector<VectorClock> clocks_;
+  TimedEvent a1_, a2_, b1_, c1_, c2_, c3_;
+};
+
+TEST_F(CompoundFixture, StrongVersusWeakPrecedence) {
+  const std::vector<TimedEvent> front{a1_, c1_};
+  const std::vector<TimedEvent> back{c2_, c3_};
+  // a1 -> c2 (via m1, m2) and c1 -> c2 on the trace, so strong holds.
+  EXPECT_TRUE(strong_precedes(front, back));
+  EXPECT_TRUE(weak_precedes(front, back));
+
+  const std::vector<TimedEvent> mixed{a2_, c1_};
+  // c1 -> c2 holds but a2 is concurrent with everything on T2.
+  EXPECT_FALSE(strong_precedes(mixed, back));
+  EXPECT_TRUE(weak_precedes(mixed, back));
+}
+
+TEST_F(CompoundFixture, OverlapAndDisjoint) {
+  const std::vector<TimedEvent> ab{a1_, b1_};
+  const std::vector<TimedEvent> bc{b1_, c2_};
+  const std::vector<TimedEvent> cc{c1_, c2_};
+  EXPECT_TRUE(overlaps(ab, bc));
+  EXPECT_FALSE(disjoint(ab, bc));
+  EXPECT_TRUE(disjoint(ab, cc));
+}
+
+TEST_F(CompoundFixture, CrossesRequiresBothDirectionsAndDisjointness) {
+  // A = {a1, a2}, B = {b1 ... } won't cross: nothing in B precedes A.
+  const std::vector<TimedEvent> a{a1_, a2_};
+  const std::vector<TimedEvent> b{b1_, c2_};
+  EXPECT_FALSE(crosses(a, b));
+
+  // A = {a1, c3}, B = {b1}:  a1 -> b1 and b1 -> c3, disjoint => crosses.
+  const std::vector<TimedEvent> xa{a1_, c3_};
+  const std::vector<TimedEvent> xb{b1_};
+  EXPECT_TRUE(crosses(xa, xb));
+  EXPECT_TRUE(crosses(xb, xa));
+  EXPECT_TRUE(entangled(xa, xb));
+  // Entangled pairs are neither preceding nor concurrent (eq. 2).
+  EXPECT_FALSE(precedes(xa, xb));
+  EXPECT_FALSE(precedes(xb, xa));
+  EXPECT_EQ(classify(xa, xb), CompoundRelation::kEntangled);
+}
+
+TEST_F(CompoundFixture, ConcurrentCompounds) {
+  const std::vector<TimedEvent> a{a2_};
+  const std::vector<TimedEvent> c{c1_, c3_};
+  // a2 || c1 and a2 || c3.
+  EXPECT_TRUE(concurrent(a, c));
+  EXPECT_EQ(classify(a, c), CompoundRelation::kConcurrent);
+}
+
+TEST_F(CompoundFixture, ClassifyPrecedence) {
+  const std::vector<TimedEvent> first{a1_};
+  const std::vector<TimedEvent> second{c2_, c3_};
+  EXPECT_EQ(classify(first, second), CompoundRelation::kBefore);
+  EXPECT_EQ(classify(second, first), CompoundRelation::kAfter);
+}
+
+// --- Property: the four relationships partition all pairs (paper claim) ----
+
+class CompoundPartition : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompoundPartition, ExactlyOneOfFourHolds) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = GetParam();
+  options.traces = 4;
+  options.events = 50;
+  const EventStore store = testing::random_computation(pool, options);
+
+  // Materialize clocks so TimedEvent pointers stay valid.
+  std::vector<EventId> ids;
+  std::vector<VectorClock> clocks;
+  for (TraceId t = 0; t < store.trace_count(); ++t) {
+    for (EventIndex i = 1; i <= store.trace_size(t); ++i) {
+      ids.push_back(EventId{t, i});
+    }
+  }
+  clocks.reserve(ids.size());
+  for (const EventId id : ids) {
+    clocks.push_back(store.clock(id));
+  }
+
+  Rng rng(GetParam() * 77 + 1);
+  auto random_compound = [&](std::size_t size) {
+    std::vector<TimedEvent> out;
+    for (std::size_t i = 0; i < size; ++i) {
+      const std::size_t pick = rng.below(ids.size());
+      out.push_back(TimedEvent{ids[pick], &clocks[pick]});
+    }
+    return out;
+  };
+
+  for (int round = 0; round < 50; ++round) {
+    const auto a = random_compound(1 + rng.below(4));
+    const auto b = random_compound(1 + rng.below(4));
+    const int count = (precedes(a, b) ? 1 : 0) + (precedes(b, a) ? 1 : 0) +
+                      (concurrent(a, b) ? 1 : 0) + (entangled(a, b) ? 1 : 0);
+    EXPECT_EQ(count, 1) << "pair must satisfy exactly one relationship";
+
+    // classify() must agree with the predicates.
+    switch (classify(a, b)) {
+      case CompoundRelation::kBefore:
+        EXPECT_TRUE(precedes(a, b));
+        break;
+      case CompoundRelation::kAfter:
+        EXPECT_TRUE(precedes(b, a));
+        break;
+      case CompoundRelation::kConcurrent:
+        EXPECT_TRUE(concurrent(a, b));
+        break;
+      case CompoundRelation::kEntangled:
+        EXPECT_TRUE(entangled(a, b));
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompoundPartition,
+                         ::testing::Values(10, 11, 12, 13, 14, 15));
+
+}  // namespace
+}  // namespace ocep

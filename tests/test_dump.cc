@@ -1,0 +1,123 @@
+// Dump / reload round-trip tests (paper §V-B methodology).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/string_pool.h"
+#include "poet/dump.h"
+#include "random_computation.h"
+
+namespace ocep {
+namespace {
+
+void expect_stores_equal(const EventStore& a, const EventStore& b,
+                         const StringPool& pool_a, const StringPool& pool_b) {
+  ASSERT_EQ(a.trace_count(), b.trace_count());
+  ASSERT_EQ(a.event_count(), b.event_count());
+  for (TraceId t = 0; t < a.trace_count(); ++t) {
+    EXPECT_EQ(pool_a.view(a.trace_name(t)), pool_b.view(b.trace_name(t)));
+    ASSERT_EQ(a.trace_size(t), b.trace_size(t));
+    for (EventIndex i = 1; i <= a.trace_size(t); ++i) {
+      const EventId id{t, i};
+      const Event& ea = a.event(id);
+      const Event& eb = b.event(id);
+      EXPECT_EQ(ea.kind, eb.kind);
+      EXPECT_EQ(pool_a.view(ea.type), pool_b.view(eb.type));
+      EXPECT_EQ(pool_a.view(ea.text), pool_b.view(eb.text));
+      EXPECT_EQ(ea.message, eb.message);
+      EXPECT_EQ(a.clock(id), b.clock(id));
+    }
+  }
+}
+
+class DumpRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DumpRoundTrip, ReloadReproducesTheComputation) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = GetParam();
+  options.traces = 5;
+  options.events = 250;
+  const EventStore store = testing::random_computation(pool, options);
+
+  std::stringstream buffer;
+  dump(store, pool, buffer);
+
+  StringPool fresh_pool;  // reload must not depend on the original pool
+  EventStore reloaded = reload_store(buffer, fresh_pool);
+  expect_stores_equal(store, reloaded, pool, fresh_pool);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DumpRoundTrip,
+                         ::testing::Values(61, 62, 63, 64, 65));
+
+TEST(Dump, EmptyComputationRoundTrips) {
+  StringPool pool;
+  EventStore store;
+  store.add_trace(pool.intern("only"));
+  std::stringstream buffer;
+  dump(store, pool, buffer);
+  StringPool fresh;
+  const EventStore reloaded = reload_store(buffer, fresh);
+  EXPECT_EQ(reloaded.trace_count(), 1U);
+  EXPECT_EQ(reloaded.event_count(), 0U);
+}
+
+TEST(Dump, RejectsBadMagic) {
+  std::stringstream buffer("THIS IS NOT A DUMP FILE");
+  StringPool pool;
+  EXPECT_THROW(reload_store(buffer, pool), SerializationError);
+}
+
+TEST(Dump, RejectsTruncation) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 71;
+  const EventStore store = testing::random_computation(pool, options);
+  std::stringstream buffer;
+  dump(store, pool, buffer);
+  const std::string full = buffer.str();
+  // Cut the stream at several points; every prefix must be rejected, never
+  // crash or silently succeed.
+  for (const double fraction : {0.2, 0.5, 0.9, 0.99}) {
+    const auto cut = static_cast<std::size_t>(
+        static_cast<double>(full.size()) * fraction);
+    std::stringstream truncated(full.substr(0, cut));
+    StringPool fresh;
+    EXPECT_THROW(reload_store(truncated, fresh), SerializationError)
+        << "prefix of " << cut << " bytes was accepted";
+  }
+}
+
+TEST(Dump, RejectsCorruptedClockDelta) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 73;
+  options.traces = 3;
+  options.events = 60;
+  const EventStore store = testing::random_computation(pool, options);
+  std::stringstream buffer;
+  dump(store, pool, buffer);
+  std::string bytes = buffer.str();
+  // Flip bits near the end of the event stream; decode must either throw or
+  // (rarely) still parse to the same count — it must never crash.
+  int rejected = 0;
+  for (std::size_t offset = bytes.size() - 20; offset < bytes.size();
+       ++offset) {
+    std::string corrupt = bytes;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x55);
+    std::stringstream stream(corrupt);
+    StringPool fresh;
+    try {
+      const EventStore reloaded = reload_store(stream, fresh);
+      static_cast<void>(reloaded);
+    } catch (const SerializationError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+}  // namespace
+}  // namespace ocep

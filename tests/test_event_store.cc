@@ -1,0 +1,226 @@
+// Tests for the POET-equivalent event store: append invariants, O(1)
+// timestamp retrieval, and the greatest-predecessor / least-successor
+// queries the matcher's domain restriction is built on (paper §IV-C).
+#include <gtest/gtest.h>
+
+#include "common/string_pool.h"
+#include "poet/event_store.h"
+#include "random_computation.h"
+
+namespace ocep {
+namespace {
+
+TEST(EventStore, AppendAndLookup) {
+  StringPool pool;
+  EventStore store;
+  const TraceId t0 = store.add_trace(pool.intern("P0"));
+  const TraceId t1 = store.add_trace(pool.intern("P1"));
+  EXPECT_EQ(store.trace_count(), 2U);
+  EXPECT_EQ(pool.view(store.trace_name(t0)), "P0");
+
+  Event send;
+  send.id = EventId{t0, 1};
+  send.kind = EventKind::kSend;
+  send.type = pool.intern("ping");
+  send.message = 7;
+  store.append(send, VectorClock(std::vector<std::uint32_t>{1, 0}));
+
+  Event recv;
+  recv.id = EventId{t1, 1};
+  recv.kind = EventKind::kReceive;
+  recv.type = pool.intern("recv_ping");
+  recv.message = 7;
+  store.append(recv, VectorClock(std::vector<std::uint32_t>{1, 1}));
+
+  EXPECT_EQ(store.event_count(), 2U);
+  EXPECT_EQ(store.trace_size(t0), 1U);
+  EXPECT_EQ(store.event(EventId{t0, 1}).message, 7U);
+  EXPECT_EQ(store.clock_entry(EventId{t1, 1}, t0), 1U);
+  EXPECT_TRUE(store.happens_before(EventId{t0, 1}, EventId{t1, 1}));
+  EXPECT_EQ(store.arrival_order().size(), 2U);
+}
+
+TEST(EventStore, ClockEntryMatchesMaterializedClock) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 3;
+  const EventStore store = testing::random_computation(pool, options);
+  for (TraceId t = 0; t < store.trace_count(); ++t) {
+    for (EventIndex i = 1; i <= store.trace_size(t); ++i) {
+      const EventId id{t, i};
+      const VectorClock clock = store.clock(id);
+      for (TraceId s = 0; s < store.trace_count(); ++s) {
+        EXPECT_EQ(store.clock_entry(id, s), clock[s]);
+      }
+      // Fidge/Mattern invariant: own entry equals the index.
+      EXPECT_EQ(clock[t], i);
+    }
+  }
+}
+
+// --- GP / LS ----------------------------------------------------------------
+
+class GpLsProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+// GP(e, t) must be the most-recent event on t that happens before e, and
+// LS(e, t) the least-recent event on t that happens after e — verified
+// against brute force over the whole trace (paper §IV-C definitions).
+TEST_P(GpLsProperties, MatchBruteForce) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = GetParam();
+  options.traces = 5;
+  options.events = 120;
+  const EventStore store = testing::random_computation(pool, options);
+
+  for (TraceId te = 0; te < store.trace_count(); ++te) {
+    for (EventIndex ie = 1; ie <= store.trace_size(te); ++ie) {
+      const EventId e{te, ie};
+      for (TraceId t = 0; t < store.trace_count(); ++t) {
+        // Brute-force GP: scan t from the back.
+        EventIndex expected_gp = kNoEvent;
+        for (EventIndex k = store.trace_size(t); k >= 1; --k) {
+          if (store.happens_before(EventId{t, k}, e)) {
+            expected_gp = k;
+            break;
+          }
+        }
+        EXPECT_EQ(store.greatest_predecessor(e, t), expected_gp)
+            << "GP mismatch for e=(" << te << "," << ie << ") on t=" << t;
+
+        // Brute-force LS: scan t from the front.
+        EventIndex expected_ls = kInfiniteIndex;
+        for (EventIndex k = 1; k <= store.trace_size(t); ++k) {
+          if (store.happens_before(e, EventId{t, k})) {
+            expected_ls = k;
+            break;
+          }
+        }
+        EXPECT_EQ(store.least_successor(e, t), expected_ls)
+            << "LS mismatch for e=(" << te << "," << ie << ") on t=" << t;
+      }
+    }
+  }
+}
+
+// The paper's key property (§IV-C): on trace t, events strictly inside
+// (GP(e,t), LS(e,t)) are exactly the events concurrent with e.
+TEST_P(GpLsProperties, OpenIntervalIsConcurrencyDomain) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = GetParam() + 500;
+  options.traces = 4;
+  options.events = 100;
+  const EventStore store = testing::random_computation(pool, options);
+
+  for (TraceId te = 0; te < store.trace_count(); ++te) {
+    for (EventIndex ie = 1; ie <= store.trace_size(te); ++ie) {
+      const EventId e{te, ie};
+      for (TraceId t = 0; t < store.trace_count(); ++t) {
+        if (t == te) {
+          continue;
+        }
+        const EventIndex gp = store.greatest_predecessor(e, t);
+        const EventIndex ls = store.least_successor(e, t);
+        for (EventIndex k = 1; k <= store.trace_size(t); ++k) {
+          const Relation relation = store.relate(EventId{t, k}, e);
+          const bool inside = k > gp && (ls == kInfiniteIndex || k < ls);
+          EXPECT_EQ(inside, relation == Relation::kConcurrent);
+          EXPECT_EQ(k <= gp, relation == Relation::kBefore);
+          EXPECT_EQ(ls != kInfiniteIndex && k >= ls,
+                    relation == Relation::kAfter);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpLsProperties,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+TEST(EventStore, GpLsOwnTrace) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 9;
+  options.traces = 3;
+  options.events = 30;
+  const EventStore store = testing::random_computation(pool, options);
+  const TraceId t = 0;
+  const EventIndex n = store.trace_size(t);
+  ASSERT_GE(n, 3U);
+  const EventId mid{t, 2};
+  EXPECT_EQ(store.greatest_predecessor(mid, t), 1U);
+  EXPECT_EQ(store.least_successor(mid, t), 3U);
+  EXPECT_EQ(store.greatest_predecessor(EventId{t, 1}, t), kNoEvent);
+  EXPECT_EQ(store.least_successor(EventId{t, n}, t), kInfiniteIndex);
+}
+
+// --- Sparse clock storage backend -------------------------------------------
+
+class SparseStoreEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+// Both backends must answer every causal query identically.
+TEST_P(SparseStoreEquivalence, AgreesWithDenseOnEveryQuery) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = GetParam();
+  options.traces = 5;
+  options.events = 150;
+  const EventStore dense = testing::random_computation(pool, options);
+  options.storage = ClockStorage::kSparse;
+  const EventStore sparse = testing::random_computation(pool, options);
+
+  ASSERT_EQ(dense.event_count(), sparse.event_count());
+  for (TraceId t = 0; t < dense.trace_count(); ++t) {
+    for (EventIndex i = 1; i <= dense.trace_size(t); ++i) {
+      const EventId e{t, i};
+      EXPECT_EQ(dense.clock(e), sparse.clock(e));
+      for (TraceId s = 0; s < dense.trace_count(); ++s) {
+        EXPECT_EQ(dense.clock_entry(e, s), sparse.clock_entry(e, s));
+        EXPECT_EQ(dense.greatest_predecessor(e, s),
+                  sparse.greatest_predecessor(e, s));
+        EXPECT_EQ(dense.least_successor(e, s), sparse.least_successor(e, s));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseStoreEquivalence,
+                         ::testing::Values(91, 92, 93, 94, 95));
+
+TEST(EventStore, SparseBackendUsesLessMemoryOnWideComputations) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 97;
+  options.traces = 24;
+  options.events = 4000;
+  // Mostly local events: sparse columns barely grow.
+  options.local_weight = 8;
+  options.send_weight = 1;
+  options.receive_weight = 1;
+  const EventStore dense = testing::random_computation(pool, options);
+  options.storage = ClockStorage::kSparse;
+  const EventStore sparse = testing::random_computation(pool, options);
+  EXPECT_LT(sparse.approx_bytes() * 2, dense.approx_bytes())
+      << "sparse should be at least 2x smaller here";
+}
+
+TEST(EventStore, ApproxBytesGrows) {
+  StringPool pool;
+  EventStore store;
+  store.add_trace(pool.intern("P0"));
+  store.add_trace(pool.intern("P1"));
+  const std::size_t before = store.approx_bytes();
+  VectorClock clock(2);
+  for (EventIndex i = 1; i <= 100; ++i) {
+    clock.tick(0);
+    Event event;
+    event.id = EventId{0, i};
+    store.append(event, clock);
+  }
+  EXPECT_GT(store.approx_bytes(), before);
+}
+
+}  // namespace
+}  // namespace ocep

@@ -1,0 +1,161 @@
+// Unit tests for the leaf history (with the §VI redundancy elimination and
+// the keyed secondary index) and the representative subset container.
+#include <gtest/gtest.h>
+
+#include "core/history.h"
+#include "core/subset.h"
+
+namespace ocep {
+namespace {
+
+// --- LeafHistory -------------------------------------------------------------
+
+TEST(LeafHistory, AppendAndRange) {
+  LeafHistory history;
+  history.reset(2);
+  history.append(0, 1, 0, false, false);
+  history.append(0, 5, 1, false, false);
+  history.append(0, 9, 2, false, false);
+  history.append(1, 2, 0, false, false);
+
+  EXPECT_EQ(history.total(), 4U);
+  EXPECT_EQ(history.on_trace(0).size(), 3U);
+
+  const auto mid = history.range(0, 2, 8);
+  EXPECT_EQ(mid.last - mid.first, 1U);
+  EXPECT_EQ(history.on_trace(0)[mid.first].index, 5U);
+
+  EXPECT_TRUE(history.range(0, 10, 20).empty());
+  EXPECT_TRUE(history.range(0, 8, 2).empty());  // inverted interval
+  const auto all = history.range(0, 1, 9);
+  EXPECT_EQ(all.last - all.first, 3U);
+}
+
+TEST(LeafHistory, MergeDropsCausallyIdenticalEvents) {
+  LeafHistory history;
+  history.reset(1);
+  // Three events with the same communication count: only the first stays.
+  EXPECT_TRUE(history.append(0, 1, 0, false, true));
+  EXPECT_FALSE(history.append(0, 2, 0, false, true));
+  EXPECT_FALSE(history.append(0, 3, 0, false, true));
+  // A communication event bumps the count; the next event survives.
+  EXPECT_TRUE(history.append(0, 4, 0, true, true));
+  EXPECT_TRUE(history.append(0, 5, 1, false, true));
+  EXPECT_EQ(history.total(), 3U);
+  EXPECT_EQ(history.merged(), 2U);
+}
+
+TEST(LeafHistory, CommunicationEventsAreNeverMerged) {
+  LeafHistory history;
+  history.reset(1);
+  EXPECT_TRUE(history.append(0, 1, 0, true, true));
+  EXPECT_TRUE(history.append(0, 2, 1, true, true));
+  EXPECT_TRUE(history.append(0, 3, 2, true, true));
+  EXPECT_EQ(history.merged(), 0U);
+}
+
+TEST(LeafHistory, KeyedIndexGroupsBySymbol) {
+  LeafHistory history;
+  history.reset(2, /*keyed=*/true);
+  const Symbol x{1}, y{2};
+  history.append(0, 1, 0, false, false, x);
+  history.append(0, 2, 0, false, false, y);
+  history.append(0, 3, 0, false, false, x);
+  history.append(1, 1, 0, false, false, x);
+
+  EXPECT_EQ(history.on_trace_keyed(0, x).size(), 2U);
+  EXPECT_EQ(history.on_trace_keyed(0, y).size(), 1U);
+  EXPECT_TRUE(history.on_trace_keyed(0, Symbol{9}).empty());
+  const auto ranged = history.range_keyed(0, x, 2, 3);
+  EXPECT_EQ(ranged.last - ranged.first, 1U);
+}
+
+TEST(LeafHistory, PruneFrontKeepsTheMostRecent) {
+  LeafHistory history;
+  history.reset(1);
+  for (EventIndex i = 1; i <= 20; ++i) {
+    history.append(0, i, 0, true, false);
+  }
+  history.prune_front(0, 5);
+  EXPECT_EQ(history.on_trace(0).size(), 5U);
+  EXPECT_EQ(history.on_trace(0).front().index, 16U);
+  EXPECT_EQ(history.pruned(), 15U);
+  EXPECT_EQ(history.total(), 5U);
+  // Pruning below the current size is a no-op.
+  history.prune_front(0, 10);
+  EXPECT_EQ(history.on_trace(0).size(), 5U);
+}
+
+TEST(LeafHistory, PruneFrontUpdatesKeyedIndex) {
+  LeafHistory history;
+  history.reset(1, /*keyed=*/true);
+  const Symbol x{1}, y{2};
+  for (EventIndex i = 1; i <= 10; ++i) {
+    history.append(0, i, 0, true, false, i % 2 == 0 ? x : y);
+  }
+  history.prune_front(0, 4);  // keep indexes 7..10
+  EXPECT_EQ(history.on_trace_keyed(0, x).size(), 2U);  // 8, 10
+  EXPECT_EQ(history.on_trace_keyed(0, y).size(), 2U);  // 7, 9
+  EXPECT_EQ(history.on_trace_keyed(0, x).front().index, 8U);
+}
+
+// --- RepresentativeSubset ----------------------------------------------------
+
+Match make_match(std::initializer_list<EventId> ids) {
+  Match match;
+  match.bindings.assign(ids);
+  return match;
+}
+
+TEST(RepresentativeSubset, AddsOnlyCoveringMatches) {
+  RepresentativeSubset subset;
+  subset.reset(2, 3);
+  EXPECT_FALSE(subset.covered(0, 0));
+
+  EXPECT_TRUE(subset.add(make_match({EventId{0, 1}, EventId{1, 1}})));
+  EXPECT_TRUE(subset.covered(0, 0));
+  EXPECT_TRUE(subset.covered(1, 1));
+  EXPECT_EQ(subset.coverage(), 2U);
+
+  // Same pairs again: rejected.
+  EXPECT_FALSE(subset.add(make_match({EventId{0, 7}, EventId{1, 9}})));
+  EXPECT_EQ(subset.matches().size(), 1U);
+
+  // A new trace for leaf 1: retained.
+  EXPECT_TRUE(subset.add(make_match({EventId{0, 2}, EventId{2, 1}})));
+  EXPECT_EQ(subset.coverage(), 3U);
+  EXPECT_EQ(subset.matches().size(), 2U);
+}
+
+TEST(RepresentativeSubset, CardinalityNeverExceedsKTimesN) {
+  const std::size_t k = 3, n = 4;
+  RepresentativeSubset subset;
+  subset.reset(k, n);
+  // Throw every possible binding combination at it.
+  std::size_t added = 0;
+  for (TraceId t0 = 0; t0 < n; ++t0) {
+    for (TraceId t1 = 0; t1 < n; ++t1) {
+      for (TraceId t2 = 0; t2 < n; ++t2) {
+        if (subset.add(make_match(
+                {EventId{t0, 1}, EventId{t1, 1}, EventId{t2, 1}}))) {
+          ++added;
+        }
+      }
+    }
+  }
+  EXPECT_LE(subset.matches().size(), k * n);
+  EXPECT_EQ(subset.coverage(), k * n);
+  EXPECT_EQ(added, subset.matches().size());
+}
+
+TEST(RepresentativeSubset, ResetClearsState) {
+  RepresentativeSubset subset;
+  subset.reset(1, 2);
+  EXPECT_TRUE(subset.add(make_match({EventId{0, 1}})));
+  subset.reset(1, 2);
+  EXPECT_FALSE(subset.covered(0, 0));
+  EXPECT_TRUE(subset.matches().empty());
+}
+
+}  // namespace
+}  // namespace ocep

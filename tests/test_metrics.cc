@@ -1,0 +1,88 @@
+// Unit tests for the boxplot statistics used by every figure bench.
+#include <gtest/gtest.h>
+
+#include "metrics/boxplot.h"
+#include "metrics/stopwatch.h"
+
+namespace ocep::metrics {
+namespace {
+
+TEST(Boxplot, EmptyInput) {
+  std::vector<double> samples;
+  const Boxplot box = boxplot(samples);
+  EXPECT_EQ(box.count, 0U);
+}
+
+TEST(Boxplot, SingleSample) {
+  std::vector<double> samples{7.5};
+  const Boxplot box = boxplot(samples);
+  EXPECT_EQ(box.count, 1U);
+  EXPECT_DOUBLE_EQ(box.min, 7.5);
+  EXPECT_DOUBLE_EQ(box.q1, 7.5);
+  EXPECT_DOUBLE_EQ(box.median, 7.5);
+  EXPECT_DOUBLE_EQ(box.q3, 7.5);
+  EXPECT_DOUBLE_EQ(box.max, 7.5);
+  EXPECT_EQ(box.outliers, 0U);
+}
+
+TEST(Boxplot, KnownQuartiles) {
+  // 1..9: Q1 = 3, median = 5, Q3 = 7 with type-7 interpolation.
+  std::vector<double> samples{9, 8, 7, 6, 5, 4, 3, 2, 1};
+  const Boxplot box = boxplot(samples);
+  EXPECT_DOUBLE_EQ(box.q1, 3.0);
+  EXPECT_DOUBLE_EQ(box.median, 5.0);
+  EXPECT_DOUBLE_EQ(box.q3, 7.0);
+  EXPECT_DOUBLE_EQ(box.mean, 5.0);
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.max, 9.0);
+  // IQR = 4, fences at -3 and 13: whiskers are the extremes, no outliers.
+  EXPECT_DOUBLE_EQ(box.top_whisker, 9.0);
+  EXPECT_DOUBLE_EQ(box.bottom_whisker, 1.0);
+  EXPECT_EQ(box.outliers, 0U);
+}
+
+TEST(Boxplot, OutliersBeyondTheWhisker) {
+  // Bulk at 1..8 plus an extreme value: the whisker stops at the last
+  // sample within Q3 + 1.5 IQR, the extreme is an outlier (the paper's
+  // crosses in Figs 6-9).
+  std::vector<double> samples{1, 2, 3, 4, 5, 6, 7, 8, 100};
+  const Boxplot box = boxplot(samples);
+  EXPECT_DOUBLE_EQ(box.max, 100.0);
+  EXPECT_LT(box.top_whisker, 100.0);
+  EXPECT_EQ(box.outliers, 1U);
+}
+
+TEST(Boxplot, InterpolatesBetweenSamples) {
+  std::vector<double> samples{1, 2, 3, 4};
+  const Boxplot box = boxplot(samples);
+  EXPECT_DOUBLE_EQ(box.median, 2.5);
+  EXPECT_DOUBLE_EQ(box.q1, 1.75);
+  EXPECT_DOUBLE_EQ(box.q3, 3.25);
+}
+
+TEST(LatencyRecorder, AccumulatesAndSummarizes) {
+  LatencyRecorder recorder;
+  for (int i = 1; i <= 100; ++i) {
+    recorder.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(recorder.count(), 100U);
+  const Boxplot box = recorder.summarize();
+  EXPECT_DOUBLE_EQ(box.median, 50.5);
+  recorder.clear();
+  EXPECT_EQ(recorder.count(), 0U);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  double spin = 1.0;
+  for (int i = 0; i < 100000; ++i) {
+    spin = spin * 1.0000001 + 0.1;
+  }
+  const double us = watch.elapsed_us();
+  EXPECT_GT(spin, 0.0);
+  EXPECT_GT(us, 0.0);
+  EXPECT_LT(us, 1e6);  // under a second
+}
+
+}  // namespace
+}  // namespace ocep::metrics

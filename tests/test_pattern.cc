@@ -1,0 +1,196 @@
+// Lexer, parser, and compiler tests for the pattern language (§III, §IV-A).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/string_pool.h"
+#include "pattern/compiled.h"
+#include "pattern/lexer.h"
+#include "pattern/parser.h"
+
+namespace ocep::pattern {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  const auto tokens = lex("A := [$1, Synch_Leader, 'x y']; # comment\n"
+                          "pattern := A -> B && C || D <-> E;");
+  std::vector<TokenKind> kinds;
+  for (const Token& token : tokens) {
+    kinds.push_back(token.kind);
+  }
+  const std::vector<TokenKind> expected{
+      TokenKind::kIdent, TokenKind::kAssign, TokenKind::kLBracket,
+      TokenKind::kVariable, TokenKind::kComma, TokenKind::kIdent,
+      TokenKind::kComma, TokenKind::kString, TokenKind::kRBracket,
+      TokenKind::kSemicolon, TokenKind::kIdent, TokenKind::kAssign,
+      TokenKind::kIdent, TokenKind::kArrow, TokenKind::kIdent,
+      TokenKind::kAnd, TokenKind::kIdent, TokenKind::kConcur,
+      TokenKind::kIdent, TokenKind::kPartner, TokenKind::kIdent,
+      TokenKind::kSemicolon, TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+  EXPECT_EQ(tokens[7].text, "x y");
+  EXPECT_EQ(tokens[3].text, "1");
+}
+
+TEST(Lexer, TracksPositionsAndRejectsGarbage) {
+  try {
+    static_cast<void>(lex("A := [a, b, c];\n  @"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.line(), 2);
+    EXPECT_EQ(error.column(), 3);
+  }
+  EXPECT_THROW(static_cast<void>(lex("A := 'unterminated")), ParseError);
+  EXPECT_THROW(static_cast<void>(lex("$")), ParseError);
+}
+
+TEST(Parser, ParsesThePaperOrderingPattern) {
+  const AstProgram program = parse(R"(
+      Synch    := [$1, Synch_Leader, $3];
+      Snapshot := [$2, Take_Snapshot, $3];
+      Update   := [$2, Make_Update, ''];
+      Forward  := [$2, Forward_Snapshot, $3];
+      Snapshot $Diff;
+      Update $Write;
+      pattern := (Synch -> $Diff) && ($Diff -> $Write) &&
+                 ($Write -> Forward);
+  )");
+  EXPECT_EQ(program.classes.size(), 4U);
+  EXPECT_EQ(program.variables.size(), 2U);
+  EXPECT_EQ(program.variables[0].class_name, "Snapshot");
+  EXPECT_EQ(program.variables[0].var_name, "Diff");
+  ASSERT_NE(program.pattern, nullptr);
+  const auto& conj = std::get<AstConj>(program.pattern->node);
+  EXPECT_EQ(conj.terms.size(), 3U);
+}
+
+TEST(Parser, RejectsMalformedPrograms) {
+  EXPECT_THROW(parse("A := [a, b];  pattern := A;"), ParseError);  // 2 attrs
+  EXPECT_THROW(parse("A := [a, b, c];"), ParseError);          // no pattern
+  EXPECT_THROW(parse("pattern := ;"), ParseError);
+  EXPECT_THROW(parse("pattern := A -> ;"), ParseError);
+  EXPECT_THROW(parse("pattern := (A -> B;"), ParseError);
+}
+
+TEST(Compile, EventVariablesShareOneLeaf) {
+  StringPool pool;
+  const CompiledPattern compiled = compile(R"(
+      A := ['', a, ''];
+      B := ['', b, ''];
+      C := ['', c, ''];
+      A $X;
+      pattern := ($X -> B) && ($X -> C);
+  )", pool);
+  // $X appears twice but is one leaf; B and C are one each.
+  EXPECT_EQ(compiled.size(), 3U);
+  EXPECT_EQ(compiled.constraints.size(), 2U);
+}
+
+TEST(Compile, RepeatedClassNamesAreDistinctLeaves) {
+  StringPool pool;
+  const CompiledPattern compiled = compile(R"(
+      A := ['', a, ''];
+      B := ['', b, ''];
+      pattern := (A -> B) && (A -> B);
+  )", pool);
+  EXPECT_EQ(compiled.size(), 4U);  // two As, two Bs (paper §III-C)
+}
+
+TEST(Compile, CompoundOperandsExpandPairwise) {
+  StringPool pool;
+  // The paper's Fig 2 pattern: P := (A -> B) || (C -> D).
+  const CompiledPattern compiled = compile(R"(
+      A := ['', a, '']; B := ['', b, ''];
+      C := ['', c, '']; D := ['', d, ''];
+      pattern := (A -> B) || (C -> D);
+  )", pool);
+  EXPECT_EQ(compiled.size(), 4U);
+  // a->b, c->d, and the 4 pairwise concurrency constraints of eq. (3).
+  EXPECT_EQ(compiled.constraints.size(), 6U);
+  std::size_t concurrent = 0;
+  for (const Constraint& c : compiled.constraints) {
+    concurrent += c.op == ConstraintOp::kConcurrent ? 1 : 0;
+  }
+  EXPECT_EQ(concurrent, 4U);
+}
+
+TEST(Compile, TerminatingLeavesHaveNoSuccessor) {
+  StringPool pool;
+  const CompiledPattern chain = compile(R"(
+      A := ['', a, '']; B := ['', b, '']; C := ['', c, ''];
+      pattern := A -> B -> C;
+  )", pool);
+  ASSERT_EQ(chain.terminating.size(), 1U);
+  EXPECT_EQ(chain.terminating[0], 2U);  // only C can finish a match
+
+  const CompiledPattern concurrent = compile(R"(
+      A := ['', a, '']; B := ['', b, ''];
+      pattern := A || B;
+  )", pool);
+  EXPECT_EQ(concurrent.terminating.size(), 2U);  // either side can be last
+
+  const CompiledPattern partner = compile(R"(
+      S := ['', s, '']; R := ['', r, ''];
+      pattern := S <-> R;
+  )", pool);
+  ASSERT_EQ(partner.terminating.size(), 1U);
+  EXPECT_EQ(partner.terminating[0], 1U);  // the receive arrives last
+}
+
+TEST(Compile, ChainSharesAdjacentOperands) {
+  StringPool pool;
+  const CompiledPattern compiled = compile(R"(
+      A := ['', a, '']; B := ['', b, '']; C := ['', c, ''];
+      pattern := A -> B || C;
+  )", pool);
+  EXPECT_EQ(compiled.size(), 3U);  // B shared between the two relations
+  EXPECT_EQ(compiled.constraints.size(), 2U);
+}
+
+TEST(Compile, SemanticErrors) {
+  StringPool pool;
+  EXPECT_THROW(compile("pattern := A -> B;", pool), PatternError);  // unknown
+  EXPECT_THROW(compile(R"(
+      A := ['', a, ''];
+      A $X;
+      pattern := $X -> $X;
+  )", pool), PatternError);  // self-relation via the shared leaf
+  EXPECT_THROW(compile(R"(
+      A := ['', a, '']; B := ['', b, ''];
+      pattern := (A && B) <-> A;
+  )", pool), PatternError);  // partner needs single events
+  EXPECT_THROW(compile(R"(
+      A := ['', a, ''];
+      A $X; A $Y;
+      pattern := ($X -> $Y) && ($Y -> $X);
+  )", pool), PatternError);  // no terminating leaf (cycle)
+}
+
+TEST(Compile, LimitedPrecedenceOperator) {
+  StringPool pool;
+  const CompiledPattern compiled = compile(R"(
+      A := ['', a, '']; B := ['', b, ''];
+      pattern := A -lim-> B;
+  )", pool);
+  ASSERT_EQ(compiled.constraints.size(), 1U);
+  EXPECT_EQ(compiled.constraints[0].op, ConstraintOp::kBeforeLimited);
+  // The limited-precedence source cannot terminate a match.
+  ASSERT_EQ(compiled.terminating.size(), 1U);
+  EXPECT_EQ(compiled.terminating[0], 1U);
+}
+
+TEST(Compile, AttributeVariablesGetStableIds) {
+  StringPool pool;
+  const CompiledPattern compiled = compile(R"(
+      W1 := [$1, blocked_send, $2];
+      W2 := [$2, blocked_send, $1];
+      pattern := W1 || W2;
+  )", pool);
+  EXPECT_EQ(compiled.variable_count, 2U);
+  EXPECT_EQ(compiled.leaves[0].process.variable,
+            compiled.leaves[1].text.variable);
+  EXPECT_EQ(compiled.leaves[0].text.variable,
+            compiled.leaves[1].process.variable);
+}
+
+}  // namespace
+}  // namespace ocep::pattern

@@ -1,0 +1,320 @@
+// Simulator and case-study application tests: the substrate must produce
+// valid partial-order computations before anything can be matched on them.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/apps.h"
+#include "poet/event_store.h"
+#include "sim/sim.h"
+
+namespace ocep {
+namespace {
+
+using sim::EndReason;
+using sim::Sim;
+using sim::SimConfig;
+
+SimConfig small_config(std::uint64_t seed) {
+  SimConfig config;
+  config.seed = seed;
+  config.channel_capacity = 2;
+  return config;
+}
+
+// --- basic two-process ping-pong -------------------------------------------
+
+sim::ProcessBody ping_body(sim::Proc& ctx, TraceId peer, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    co_await ctx.send(peer, ctx.sym("ping"), kEmptySymbol, i);
+    co_await ctx.recv(peer, ctx.sym("recv_pong"));
+  }
+}
+
+sim::ProcessBody pong_body(sim::Proc& ctx, TraceId peer, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const sim::Incoming in = co_await ctx.recv(peer, ctx.sym("recv_ping"));
+    EXPECT_EQ(in.payload, i);
+    co_await ctx.send(peer, ctx.sym("pong"), kEmptySymbol, i);
+  }
+}
+
+TEST(Sim, PingPongCompletesWithCausallyOrderedEvents) {
+  StringPool pool;
+  Sim sim(pool, small_config(7));
+  // Two-party setup needs the ids before the bodies; reserve them first.
+  struct Ids {
+    TraceId a = 0, b = 0;
+  };
+  auto ids = std::make_shared<Ids>();
+  ids->a = sim.add_process("A", [ids](sim::Proc& ctx) {
+    return ping_body(ctx, ids->b, 50);
+  });
+  ids->b = sim.add_process("B", [ids](sim::Proc& ctx) {
+    return pong_body(ctx, ids->a, 50);
+  });
+
+  const sim::RunResult result = sim.run();
+  EXPECT_EQ(result.reason, EndReason::kCompleted);
+  // 50 rounds x (send+recv on each side) = 200 events.
+  EXPECT_EQ(result.events, 200U);
+  const EventStore& store = sim.store();
+  EXPECT_EQ(store.event_count(), 200U);
+
+  // Every ping send happens before its matching receive, and the first
+  // ping precedes everything on B.
+  EXPECT_TRUE(store.happens_before(EventId{ids->a, 1},
+                                   EventId{ids->b, 1}));
+  // B's first pong (event 2 on B) precedes A's second round send.
+  EXPECT_TRUE(store.happens_before(EventId{ids->b, 2},
+                                   EventId{ids->a, 3}));
+}
+
+TEST(Sim, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    StringPool pool;
+    Sim sim(pool, small_config(seed));
+    apps::RaceParams params;
+    params.traces = 5;
+    params.messages_each = 40;
+    apps::setup_race_bench(sim, params);
+    const sim::RunResult result = sim.run();
+    std::vector<std::uint32_t> signature;
+    for (const EventId id : sim.store().arrival_order()) {
+      signature.push_back(id.trace);
+      signature.push_back(id.index);
+    }
+    signature.push_back(static_cast<std::uint32_t>(result.events));
+    return signature;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+// --- case studies -----------------------------------------------------------
+
+TEST(Apps, RandomWalkDeadlocksWithInjectedCycle) {
+  StringPool pool;
+  Sim sim(pool, small_config(11));
+  apps::RandomWalkParams params;
+  params.processes = 10;
+  params.cycle_length = 4;
+  params.steps = 60;
+  const apps::RandomWalkApp app = setup_random_walk(sim, params);
+  ASSERT_EQ(app.cycle.size(), 4U);
+
+  const sim::RunResult result = sim.run();
+  EXPECT_EQ(result.reason, EndReason::kQuiescent);
+
+  // Every cycle member must be blocked sending to the next member.
+  std::set<std::pair<TraceId, TraceId>> blocked_edges;
+  for (const sim::BlockedInfo& info : result.blocked) {
+    if (info.kind == sim::BlockedInfo::Kind::kSend) {
+      blocked_edges.emplace(info.trace, info.peer);
+    }
+  }
+  for (std::size_t i = 0; i < app.cycle.size(); ++i) {
+    const TraceId from = app.cycle[i];
+    const TraceId to = app.cycle[(i + 1) % app.cycle.size()];
+    EXPECT_TRUE(blocked_edges.contains({from, to}))
+        << "cycle member " << from << " should block sending to " << to;
+  }
+
+  // The cycle's blocked_send events must be pairwise concurrent: that is
+  // exactly what the deadlock pattern will match.
+  const EventStore& store = sim.store();
+  std::vector<EventId> blocked_events;
+  for (const sim::BlockedInfo& info : result.blocked) {
+    if (info.kind == sim::BlockedInfo::Kind::kSend &&
+        std::find(app.cycle.begin(), app.cycle.end(), info.trace) !=
+            app.cycle.end()) {
+      blocked_events.push_back(info.blocked_event);
+    }
+  }
+  ASSERT_EQ(blocked_events.size(), app.cycle.size());
+  for (std::size_t i = 0; i < blocked_events.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocked_events.size(); ++j) {
+      EXPECT_EQ(store.relate(blocked_events[i], blocked_events[j]),
+                Relation::kConcurrent);
+    }
+  }
+}
+
+TEST(Apps, RandomWalkWithoutInjectionCompletes) {
+  StringPool pool;
+  Sim sim(pool, small_config(13));
+  apps::RandomWalkParams params;
+  params.processes = 8;
+  params.steps = 40;
+  params.inject_deadlock = false;
+  setup_random_walk(sim, params);
+  const sim::RunResult result = sim.run();
+  EXPECT_EQ(result.reason, EndReason::kCompleted);
+  EXPECT_TRUE(result.blocked.empty());
+}
+
+TEST(Apps, RaceBenchProducesConcurrentReceives) {
+  StringPool pool;
+  Sim sim(pool, small_config(17));
+  apps::RaceParams params;
+  params.traces = 6;
+  params.messages_each = 30;
+  const apps::RaceApp app = setup_race_bench(sim, params);
+  const sim::RunResult result = sim.run();
+  EXPECT_EQ(result.reason, EndReason::kCompleted);
+
+  // Count racing pairs among consecutive receives on the receiver: two
+  // receives race iff their sends are concurrent.
+  const EventStore& store = sim.store();
+  const EventIndex receives = store.trace_size(app.receiver);
+  std::size_t racing = 0, ordered = 0;
+  for (EventIndex i = 1; i < receives; ++i) {
+    const Event& first = store.event(EventId{app.receiver, i});
+    const Event& second = store.event(EventId{app.receiver, i + 1});
+    if (first.kind != EventKind::kReceive ||
+        second.kind != EventKind::kReceive) {
+      continue;
+    }
+    // Identify the partner sends via the message ids.
+    EventId send_a, send_b;
+    bool found_a = false, found_b = false;
+    for (const TraceId sender : app.senders) {
+      for (EventIndex k = 1; k <= store.trace_size(sender); ++k) {
+        const Event& event = store.event(EventId{sender, k});
+        if (event.kind == EventKind::kSend) {
+          if (event.message == first.message) {
+            send_a = event.id;
+            found_a = true;
+          }
+          if (event.message == second.message) {
+            send_b = event.id;
+            found_b = true;
+          }
+        }
+      }
+    }
+    if (!found_a || !found_b) {
+      continue;  // one of the two was a token, not a data message
+    }
+    if (store.relate(send_a, send_b) == Relation::kConcurrent) {
+      ++racing;
+    } else {
+      ++ordered;
+    }
+  }
+  EXPECT_GT(racing, 0U) << "ANY_SOURCE receives should race";
+  EXPECT_GT(ordered, 0U) << "token chaining should order some pairs";
+}
+
+TEST(Apps, AtomicitySkipsAreConcurrentWithLegitimateSections) {
+  StringPool pool;
+  Sim sim(pool, small_config(19));
+  apps::AtomicityParams params;
+  params.workers = 6;
+  params.iterations = 80;
+  params.skip_percent = 5;  // raised so the test reliably sees injections
+  const apps::AtomicityApp app = setup_atomicity(sim, params);
+  const sim::RunResult result = sim.run();
+  EXPECT_EQ(result.reason, EndReason::kCompleted);
+  ASSERT_FALSE(app.injections->empty());
+
+  // Every injected (unprotected) entry must be concurrent with at least
+  // one other worker's entry.
+  const EventStore& store = sim.store();
+  const Symbol enter = pool.intern("cs_enter");
+  for (const apps::AtomicityInjection& injection : *app.injections) {
+    bool concurrent_with_someone = false;
+    for (const TraceId w : app.workers) {
+      if (w == injection.worker) {
+        continue;
+      }
+      for (EventIndex k = 1; k <= store.trace_size(w); ++k) {
+        const Event& event = store.event(EventId{w, k});
+        if (event.type == enter &&
+            store.relate(injection.enter_event, event.id) ==
+                Relation::kConcurrent) {
+          concurrent_with_someone = true;
+          break;
+        }
+      }
+      if (concurrent_with_someone) {
+        break;
+      }
+    }
+    EXPECT_TRUE(concurrent_with_someone);
+  }
+
+  // Legitimate (semaphore-protected) entries must be totally ordered with
+  // each other — the causal chain through the semaphore trace.
+  std::vector<EventId> legit;
+  for (const TraceId w : app.workers) {
+    for (EventIndex k = 1; k <= store.trace_size(w); ++k) {
+      const Event& event = store.event(EventId{w, k});
+      if (event.type != enter) {
+        continue;
+      }
+      bool injected = false;
+      for (const apps::AtomicityInjection& injection : *app.injections) {
+        if (injection.enter_event == event.id) {
+          injected = true;
+          break;
+        }
+      }
+      if (!injected) {
+        legit.push_back(event.id);
+      }
+    }
+  }
+  ASSERT_GT(legit.size(), 2U);
+  for (std::size_t i = 0; i < legit.size(); ++i) {
+    for (std::size_t j = i + 1; j < legit.size(); ++j) {
+      if (legit[i].trace == legit[j].trace) {
+        continue;
+      }
+      EXPECT_NE(store.relate(legit[i], legit[j]), Relation::kConcurrent)
+          << "two protected critical sections overlapped";
+    }
+  }
+}
+
+TEST(Apps, LeaderFollowerInjectsUpdateBetweenSnapshotAndForward) {
+  StringPool pool;
+  Sim sim(pool, small_config(23));
+  apps::OrderingParams params;
+  params.followers = 8;
+  params.requests_each = 30;
+  params.bug_percent = 5;
+  const apps::OrderingApp app = setup_leader_follower(sim, params);
+  const sim::RunResult result = sim.run();
+  EXPECT_EQ(result.reason, EndReason::kCompleted);
+  ASSERT_FALSE(app.injections->empty());
+
+  const EventStore& store = sim.store();
+  for (const apps::OrderingInjection& injection : *app.injections) {
+    EXPECT_TRUE(store.happens_before(injection.snapshot_event,
+                                     injection.update_event));
+    EXPECT_TRUE(store.happens_before(injection.update_event,
+                                     injection.forward_event));
+    // Snapshot and forward carry the same request tag.
+    EXPECT_EQ(store.event(injection.snapshot_event).text,
+              store.event(injection.forward_event).text);
+  }
+}
+
+TEST(Sim, EventLimitStopsTheRun) {
+  StringPool pool;
+  SimConfig config = small_config(29);
+  config.max_events = 500;
+  Sim sim(pool, config);
+  apps::RaceParams params;
+  params.traces = 5;
+  params.messages_each = 100000;  // would be far more than 500 events
+  setup_race_bench(sim, params);
+  const sim::RunResult result = sim.run();
+  EXPECT_EQ(result.reason, EndReason::kEventLimit);
+  EXPECT_GE(result.events, 500U);
+  EXPECT_LE(result.events, 520U);  // small overshoot within one action
+}
+
+}  // namespace
+}  // namespace ocep

@@ -1,0 +1,127 @@
+// Unit and property tests for vector clocks and the pairwise causal
+// relations (paper §III).
+#include <gtest/gtest.h>
+
+#include "causality/vector_clock.h"
+#include "common/string_pool.h"
+#include "poet/event_store.h"
+#include "random_computation.h"
+
+namespace ocep {
+namespace {
+
+TEST(VectorClock, TickAndMerge) {
+  VectorClock a(3), b(3);
+  a.tick(0);
+  a.tick(0);
+  b.tick(1);
+  b.merge(a);
+  EXPECT_EQ(b[0], 2U);
+  EXPECT_EQ(b[1], 1U);
+  EXPECT_EQ(b[2], 0U);
+}
+
+TEST(VectorClock, MergeIsComponentwiseMax) {
+  VectorClock a(std::vector<std::uint32_t>{5, 1, 7});
+  const VectorClock b(std::vector<std::uint32_t>{2, 9, 7});
+  a.merge(b);
+  EXPECT_EQ(a, VectorClock(std::vector<std::uint32_t>{5, 9, 7}));
+}
+
+TEST(VectorClock, RaiseRejectsNothingAndGrows) {
+  VectorClock a(2);
+  a.raise(1, 4);
+  EXPECT_EQ(a[1], 4U);
+  a.raise(1, 4);  // equal is allowed
+  EXPECT_EQ(a[1], 4U);
+}
+
+TEST(Relation, SimpleMessageChain) {
+  // Trace 0: e1 sends; trace 1: f1 receives then f2.
+  const EventId e1{0, 1};
+  const EventId f1{1, 1};
+  const EventId f2{1, 2};
+  const VectorClock ve1(std::vector<std::uint32_t>{1, 0});
+  const VectorClock vf1(std::vector<std::uint32_t>{1, 1});
+  const VectorClock vf2(std::vector<std::uint32_t>{1, 2});
+
+  EXPECT_TRUE(happens_before(e1, vf1, f1));
+  EXPECT_FALSE(happens_before(f1, ve1, e1));
+  EXPECT_EQ(relate(e1, ve1, f1, vf1), Relation::kBefore);
+  EXPECT_EQ(relate(f1, vf1, e1, ve1), Relation::kAfter);
+  EXPECT_EQ(relate(f1, vf1, f2, vf2), Relation::kBefore);
+  EXPECT_EQ(relate(e1, ve1, e1, ve1), Relation::kEqual);
+}
+
+TEST(Relation, ConcurrentEvents) {
+  const EventId a{0, 1};
+  const EventId b{1, 1};
+  const VectorClock va(std::vector<std::uint32_t>{1, 0});
+  const VectorClock vb(std::vector<std::uint32_t>{0, 1});
+  EXPECT_EQ(relate(a, va, b, vb), Relation::kConcurrent);
+  EXPECT_EQ(relate(b, vb, a, va), Relation::kConcurrent);
+}
+
+// --- Property sweep over random computations --------------------------------
+
+class RelationProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+// relate() must be a strict partial order extended with symmetric
+// concurrency: antisymmetric, transitive, and consistent under swap.
+TEST_P(RelationProperties, PartialOrderAxiomsHold) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = GetParam();
+  options.traces = 4;
+  options.events = 60;
+  const EventStore store = testing::random_computation(pool, options);
+
+  std::vector<EventId> ids;
+  for (TraceId t = 0; t < store.trace_count(); ++t) {
+    for (EventIndex i = 1; i <= store.trace_size(t); ++i) {
+      ids.push_back(EventId{t, i});
+    }
+  }
+
+  for (const EventId a : ids) {
+    EXPECT_EQ(store.relate(a, a), Relation::kEqual);
+    for (const EventId b : ids) {
+      const Relation ab = store.relate(a, b);
+      const Relation ba = store.relate(b, a);
+      if (ab == Relation::kBefore) {
+        EXPECT_EQ(ba, Relation::kAfter);
+      } else if (ab == Relation::kConcurrent) {
+        EXPECT_EQ(ba, Relation::kConcurrent);
+      }
+      for (const EventId c : ids) {
+        if (ab == Relation::kBefore &&
+            store.relate(b, c) == Relation::kBefore) {
+          EXPECT_EQ(store.relate(a, c), Relation::kBefore)
+              << "transitivity violated";
+        }
+      }
+    }
+  }
+}
+
+// Events on one trace must be totally ordered by index.
+TEST_P(RelationProperties, TraceOrderIsTotal) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = GetParam() + 1000;
+  options.traces = 3;
+  options.events = 80;
+  const EventStore store = testing::random_computation(pool, options);
+  for (TraceId t = 0; t < store.trace_count(); ++t) {
+    for (EventIndex i = 1; i < store.trace_size(t); ++i) {
+      EXPECT_EQ(store.relate(EventId{t, i}, EventId{t, i + 1}),
+                Relation::kBefore);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ocep

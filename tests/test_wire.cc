@@ -1,0 +1,192 @@
+// Wire protocol tests: incremental streaming of instrumented events from a
+// producer to a monitor (the POET server -> client link, §V-A).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "apps/apps.h"
+#include "apps/patterns.h"
+#include "common/error.h"
+#include "core/monitor.h"
+#include "poet/wire.h"
+#include "random_computation.h"
+#include "sim/sim.h"
+
+namespace ocep {
+namespace {
+
+std::vector<Symbol> names_of(const EventStore& store) {
+  std::vector<Symbol> names;
+  for (TraceId t = 0; t < store.trace_count(); ++t) {
+    names.push_back(store.trace_name(t));
+  }
+  return names;
+}
+
+class CollectingSink final : public EventSink {
+ public:
+  void on_traces(const std::vector<Symbol>& names) override {
+    trace_names = names;
+  }
+  void on_event(const Event& event, const VectorClock& clock) override {
+    events.push_back(event);
+    clocks.push_back(clock);
+  }
+
+  std::vector<Symbol> trace_names;
+  std::vector<Event> events;
+  std::vector<VectorClock> clocks;
+};
+
+class WireRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireRoundTrip, PreservesEventsAndClocks) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = GetParam();
+  options.traces = 5;
+  options.events = 300;
+  const EventStore store = testing::random_computation(pool, options);
+
+  std::stringstream channel;
+  WireWriter writer(channel, pool, names_of(store));
+  for (const EventId id : store.arrival_order()) {
+    writer.write(store.event(id), store.clock(id));
+  }
+  writer.finish();
+  EXPECT_EQ(writer.events_written(), store.event_count());
+
+  StringPool fresh;  // the reader interns into its own pool
+  CollectingSink sink;
+  WireReader reader(channel, fresh, sink);
+  EXPECT_EQ(reader.read_all(), store.event_count());
+  ASSERT_EQ(sink.events.size(), store.event_count());
+
+  std::size_t i = 0;
+  for (const EventId id : store.arrival_order()) {
+    const Event& original = store.event(id);
+    const Event& received = sink.events[i];
+    EXPECT_EQ(received.id, original.id);
+    EXPECT_EQ(received.kind, original.kind);
+    EXPECT_EQ(received.message, original.message);
+    EXPECT_EQ(fresh.view(received.type), pool.view(original.type));
+    EXPECT_EQ(fresh.view(received.text), pool.view(original.text));
+    EXPECT_EQ(sink.clocks[i], store.clock(id));
+    ++i;
+  }
+  for (TraceId t = 0; t < store.trace_count(); ++t) {
+    EXPECT_EQ(fresh.view(sink.trace_names[t]), pool.view(store.trace_name(t)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTrip,
+                         ::testing::Values(81, 82, 83, 84));
+
+TEST(Wire, MonitorOverTheWireMatchesLiveMonitoring) {
+  // Live monitor.
+  StringPool pool;
+  sim::SimConfig config;
+  config.seed = 91;
+  sim::Sim sim(pool, config);
+  apps::OrderingParams params;
+  params.followers = 6;
+  params.requests_each = 25;
+  params.bug_percent = 4;
+  apps::setup_leader_follower(sim, params);
+  Monitor live(pool);
+  live.add_pattern(apps::ordering_pattern());
+  sim.set_live_sink(&live);
+  ASSERT_EQ(sim.run().reason, sim::EndReason::kCompleted);
+
+  // Same computation through the wire into a second monitor with its own
+  // string pool (a genuinely separate process's view).
+  std::stringstream channel;
+  WireWriter writer(channel, pool, names_of(sim.store()));
+  for (const EventId id : sim.store().arrival_order()) {
+    writer.write(sim.store().event(id), sim.store().clock(id));
+  }
+  writer.finish();
+
+  StringPool remote_pool;
+  Monitor remote(remote_pool);
+  remote.add_pattern(apps::ordering_pattern());
+  WireReader reader(channel, remote_pool, remote);
+  reader.read_all();
+
+  ASSERT_EQ(remote.events_seen(), sim.store().event_count());
+  const auto& live_subset = live.matcher(0).subset().matches();
+  const auto& remote_subset = remote.matcher(0).subset().matches();
+  ASSERT_EQ(live_subset.size(), remote_subset.size());
+  for (std::size_t i = 0; i < live_subset.size(); ++i) {
+    EXPECT_EQ(live_subset[i].bindings, remote_subset[i].bindings);
+  }
+}
+
+TEST(Wire, ReadOneDeliversIncrementally) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 85;
+  options.traces = 3;
+  options.events = 20;
+  const EventStore store = testing::random_computation(pool, options);
+
+  std::stringstream channel;
+  WireWriter writer(channel, pool, names_of(store));
+  for (const EventId id : store.arrival_order()) {
+    writer.write(store.event(id), store.clock(id));
+  }
+  writer.finish();
+
+  StringPool fresh;
+  CollectingSink sink;
+  WireReader reader(channel, fresh, sink);
+  EXPECT_TRUE(reader.read_one());
+  EXPECT_EQ(sink.events.size(), 1U);
+  EXPECT_TRUE(reader.read_one());
+  EXPECT_EQ(sink.events.size(), 2U);
+  std::uint64_t rest = 0;
+  while (reader.read_one()) {
+    ++rest;
+  }
+  EXPECT_EQ(rest + 2, store.event_count());
+  EXPECT_FALSE(reader.read_one());  // after BYE: stays done
+}
+
+TEST(Wire, RejectsGarbageAndTruncation) {
+  StringPool pool;
+  {
+    std::stringstream garbage("not a wire stream at all");
+    CollectingSink sink;
+    EXPECT_THROW(WireReader(garbage, pool, sink), SerializationError);
+  }
+  {
+    // Valid header, then cut mid-event.
+    StringPool source;
+    testing::RandomComputationOptions options;
+    options.seed = 86;
+    options.traces = 3;
+    options.events = 30;
+    const EventStore store = testing::random_computation(source, options);
+    std::stringstream channel;
+    WireWriter writer(channel, source, names_of(store));
+    for (const EventId id : store.arrival_order()) {
+      writer.write(store.event(id), store.clock(id));
+    }
+    // No finish(): simulate a dead producer, then truncate.
+    std::string bytes = channel.str();
+    bytes.resize(bytes.size() - 3);
+    std::stringstream cut(bytes);
+    CollectingSink sink;
+    WireReader reader(cut, pool, sink);
+    EXPECT_THROW(
+        {
+          while (reader.read_one()) {
+          }
+        },
+        SerializationError);
+  }
+}
+
+}  // namespace
+}  // namespace ocep

@@ -1,0 +1,142 @@
+// ocep_draw — render a window of a recorded computation as an ASCII
+// process-time diagram (the paper's Figs 3/5 style), one column per trace,
+// one row per delivered event.
+//
+//   ocep_draw --dump FILE [--from N] [--count M] [--traces-limit K]
+//
+// Sends and receives are annotated with their message ids so partner pairs
+// can be followed visually; `*` marks communication events.
+//
+//   seq   | P0           P1           P2
+//   ------+--------------------------------------
+//   12    | walker>7     .            .
+//   13    | .            walker<7     .
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/flags.h"
+#include "poet/dump.h"
+
+using namespace ocep;
+
+namespace {
+
+constexpr std::size_t kColumnWidth = 14;
+
+std::string cell_for(const Event& event, const StringPool& pool) {
+  std::string text(pool.view(event.type));
+  if (text.size() > kColumnWidth - 6) {
+    text.resize(kColumnWidth - 6);
+  }
+  switch (event.kind) {
+    case EventKind::kSend:
+      text += ">" + std::to_string(event.message);
+      break;
+    case EventKind::kReceive:
+      text += "<" + std::to_string(event.message);
+      break;
+    case EventKind::kBlockedSend:
+      text += "!";
+      break;
+    case EventKind::kLocal:
+      break;
+  }
+  if (text.size() > kColumnWidth - 1) {
+    text.resize(kColumnWidth - 1);
+  }
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    const std::string dump_path = flags.get_string("dump", "");
+    const auto from =
+        static_cast<std::size_t>(flags.get_int("from", 0));
+    const auto count =
+        static_cast<std::size_t>(flags.get_int("count", 40));
+    const auto traces_limit =
+        static_cast<std::size_t>(flags.get_int("traces-limit", 8));
+    flags.check_unused();
+    if (dump_path.empty()) {
+      throw Error("--dump FILE is required");
+    }
+
+    StringPool pool;
+    std::ifstream in(dump_path, std::ios::binary);
+    if (!in) {
+      throw Error("cannot read '" + dump_path + "'");
+    }
+    const EventStore store = reload_store(in, pool);
+    const auto order = store.arrival_order();
+    const std::size_t end = std::min(order.size(), from + count);
+    if (from >= order.size()) {
+      throw Error("--from is past the end of the computation (" +
+                  std::to_string(order.size()) + " events)");
+    }
+
+    // Pick the traces that actually appear in the window, up to the limit.
+    std::vector<TraceId> shown;
+    for (std::size_t i = from; i < end; ++i) {
+      const TraceId t = order[i].trace;
+      if (std::find(shown.begin(), shown.end(), t) == shown.end()) {
+        shown.push_back(t);
+      }
+    }
+    std::sort(shown.begin(), shown.end());
+    bool truncated_traces = false;
+    if (shown.size() > traces_limit) {
+      shown.resize(traces_limit);
+      truncated_traces = true;
+    }
+
+    // Header.
+    std::printf("%-6s|", "seq");
+    for (const TraceId t : shown) {
+      std::printf(" %-*s", static_cast<int>(kColumnWidth - 1),
+                  std::string(pool.view(store.trace_name(t))).c_str());
+    }
+    std::printf("\n------+");
+    for (std::size_t i = 0; i < shown.size() * kColumnWidth; ++i) {
+      std::printf("-");
+    }
+    std::printf("\n");
+
+    for (std::size_t i = from; i < end; ++i) {
+      const EventId id = order[i];
+      const auto column =
+          std::find(shown.begin(), shown.end(), id.trace) - shown.begin();
+      if (static_cast<std::size_t>(column) == shown.size()) {
+        continue;  // trace beyond the display limit
+      }
+      std::printf("%-6zu|", i);
+      for (std::size_t c = 0; c < shown.size(); ++c) {
+        if (c == static_cast<std::size_t>(column)) {
+          std::printf(" %-*s", static_cast<int>(kColumnWidth - 1),
+                      cell_for(store.event(id), pool).c_str());
+        } else {
+          std::printf(" %-*s", static_cast<int>(kColumnWidth - 1), ".");
+        }
+      }
+      std::printf("\n");
+    }
+    if (truncated_traces) {
+      std::printf("(more traces active in this window; raise "
+                  "--traces-limit)\n");
+    }
+    if (end < order.size()) {
+      std::printf("(%zu more events; use --from %zu)\n", order.size() - end,
+                  end);
+    }
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "ocep_draw: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,135 @@
+// ocep_inspect — summarize a recorded computation: traces, event kinds,
+// message statistics, and a sampled concurrency profile.
+//
+//   ocep_inspect --dump FILE [--relate T1:I1 T2:I2]
+//
+// With --relate, prints the exact causal relationship between two events
+// (the two-integer-comparison query of §III-A).
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "poet/dump.h"
+
+using namespace ocep;
+
+namespace {
+
+EventId parse_event(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    throw Error("expected TRACE:INDEX, got '" + text + "'");
+  }
+  EventId id;
+  id.trace = static_cast<TraceId>(std::stoul(text.substr(0, colon)));
+  id.index = static_cast<EventIndex>(std::stoul(text.substr(colon + 1)));
+  return id;
+}
+
+const char* relation_name(Relation relation) {
+  switch (relation) {
+    case Relation::kEqual: return "equal";
+    case Relation::kBefore: return "happens-before";
+    case Relation::kAfter: return "happens-after";
+    case Relation::kConcurrent: return "concurrent";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    const std::string dump_path = flags.get_string("dump", "");
+    const std::string relate_a = flags.get_string("relate", "");
+    const std::string relate_b = flags.get_string("with", "");
+    flags.check_unused();
+    if (dump_path.empty()) {
+      throw Error("--dump FILE is required");
+    }
+
+    StringPool pool;
+    std::ifstream in(dump_path, std::ios::binary);
+    if (!in) {
+      throw Error("cannot read '" + dump_path + "'");
+    }
+    const EventStore store = reload_store(in, pool);
+
+    std::printf("traces: %zu   events: %zu   approx memory: %.1f MiB\n",
+                store.trace_count(), store.event_count(),
+                static_cast<double>(store.approx_bytes()) / (1024 * 1024));
+
+    std::uint64_t kinds[4] = {0, 0, 0, 0};
+    for (TraceId t = 0; t < store.trace_count(); ++t) {
+      for (EventIndex i = 1; i <= store.trace_size(t); ++i) {
+        kinds[static_cast<int>(store.event(EventId{t, i}).kind)] += 1;
+      }
+    }
+    std::printf("kinds: local %" PRIu64 "  send %" PRIu64 "  receive %"
+                PRIu64 "  blocked_send %" PRIu64 "\n",
+                kinds[0], kinds[1], kinds[2], kinds[3]);
+
+    std::printf("%-12s %10s   first/last event types\n", "trace", "events");
+    for (TraceId t = 0; t < store.trace_count(); ++t) {
+      const EventIndex size = store.trace_size(t);
+      std::string first = "-", last = "-";
+      if (size > 0) {
+        first = pool.view(store.event(EventId{t, 1}).type);
+        last = pool.view(store.event(EventId{t, size}).type);
+      }
+      std::printf("%-12s %10u   %s .. %s\n",
+                  std::string(pool.view(store.trace_name(t))).c_str(), size,
+                  first.c_str(), last.c_str());
+      if (t >= 19 && store.trace_count() > 20) {
+        std::printf("... (%zu more traces)\n", store.trace_count() - 20);
+        break;
+      }
+    }
+
+    // Sampled concurrency profile: how much genuine parallelism the
+    // computation has.
+    if (store.event_count() >= 2 && store.trace_count() >= 2) {
+      Rng rng(12345);
+      std::uint64_t concurrent = 0, total = 0;
+      for (int i = 0; i < 10000; ++i) {
+        const auto t1 = static_cast<TraceId>(rng.below(store.trace_count()));
+        const auto t2 = static_cast<TraceId>(rng.below(store.trace_count()));
+        if (store.trace_size(t1) == 0 || store.trace_size(t2) == 0 ||
+            t1 == t2) {
+          continue;
+        }
+        const EventId a{t1, static_cast<EventIndex>(
+                                1 + rng.below(store.trace_size(t1)))};
+        const EventId b{t2, static_cast<EventIndex>(
+                                1 + rng.below(store.trace_size(t2)))};
+        ++total;
+        concurrent +=
+            store.relate(a, b) == Relation::kConcurrent ? 1U : 0U;
+      }
+      if (total > 0) {
+        std::printf("sampled cross-trace concurrency: %.1f%%\n",
+                    100.0 * static_cast<double>(concurrent) /
+                        static_cast<double>(total));
+      }
+    }
+
+    if (!relate_a.empty() && !relate_b.empty()) {
+      const EventId a = parse_event(relate_a);
+      const EventId b = parse_event(relate_b);
+      std::printf("(%u,%u) is %s (%u,%u)\n", a.trace, a.index,
+                  relation_name(store.relate(a, b)), b.trace, b.index);
+    }
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "ocep_inspect: %s\n", error.what());
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ocep_inspect: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,132 @@
+// ocep_match — match a causal event pattern against a recorded
+// computation, offline, through the same client interface live monitoring
+// uses (paper §V-B's reload methodology).
+//
+//   ocep_match --dump FILE (--pattern FILE | --pattern-text 'SRC')
+//              [--no-prune] [--no-jump] [--no-merge] [--quiet]
+//
+// Prints the representative subset of matches with event details, plus the
+// matcher statistics and per-event timing summary.
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/flags.h"
+#include "core/monitor.h"
+#include "metrics/boxplot.h"
+#include "metrics/stopwatch.h"
+#include "poet/dump.h"
+
+using namespace ocep;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot read '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    const std::string dump_path = flags.get_string("dump", "");
+    const std::string pattern_path = flags.get_string("pattern", "");
+    std::string pattern_text = flags.get_string("pattern-text", "");
+    MatcherConfig config;
+    config.domain_pruning = !flags.get_bool("no-prune", false);
+    config.backjumping = !flags.get_bool("no-jump", false);
+    config.merge_redundant_history = !flags.get_bool("no-merge", false);
+    const bool quiet = flags.get_bool("quiet", false);
+    const ClockStorage storage = flags.get_bool("sparse", false)
+                                     ? ClockStorage::kSparse
+                                     : ClockStorage::kDense;
+    flags.check_unused();
+
+    if (dump_path.empty()) {
+      throw Error("--dump FILE is required");
+    }
+    if (pattern_text.empty()) {
+      if (pattern_path.empty()) {
+        throw Error("one of --pattern FILE or --pattern-text is required");
+      }
+      pattern_text = read_file(pattern_path);
+    }
+
+    StringPool pool;
+    Monitor monitor(pool, storage);
+    metrics::LatencyRecorder latencies;
+    std::uint64_t reported = 0;
+    monitor.add_pattern(pattern_text, config,
+                        [&](const Match&, bool) { ++reported; });
+
+    // Stream the dump through the monitor, timing each arrival.
+    class TimedSink final : public EventSink {
+     public:
+      TimedSink(Monitor& monitor, metrics::LatencyRecorder& latencies)
+          : monitor_(monitor), latencies_(latencies) {}
+      void on_traces(const std::vector<Symbol>& names) override {
+        monitor_.on_traces(names);
+      }
+      void on_event(const Event& event, const VectorClock& clock) override {
+        metrics::Stopwatch watch;
+        monitor_.on_event(event, clock);
+        latencies_.add(watch.elapsed_us());
+      }
+
+     private:
+      Monitor& monitor_;
+      metrics::LatencyRecorder& latencies_;
+    } sink(monitor, latencies);
+
+    std::ifstream in(dump_path, std::ios::binary);
+    if (!in) {
+      throw Error("cannot read '" + dump_path + "'");
+    }
+    reload(in, pool, sink);
+
+    const OcepMatcher& matcher = monitor.matcher(0);
+    const auto& subset = matcher.subset().matches();
+    std::printf("events: %" PRIu64 "   matches reported: %" PRIu64
+                "   representative subset: %zu\n",
+                monitor.events_seen(), reported, subset.size());
+    if (!quiet) {
+      for (std::size_t i = 0; i < subset.size(); ++i) {
+        std::printf("match %zu:\n", i);
+        for (std::size_t leaf = 0; leaf < subset[i].bindings.size();
+             ++leaf) {
+          const EventId id = subset[i].bindings[leaf];
+          const Event& event = monitor.store().event(id);
+          std::printf("  %-12s = %s #%u  type=%s text='%s'\n",
+                      matcher.pattern().leaves[leaf].class_name.c_str(),
+                      std::string(pool.view(
+                          monitor.store().trace_name(id.trace))).c_str(),
+                      id.index,
+                      std::string(pool.view(event.type)).c_str(),
+                      std::string(pool.view(event.text)).c_str());
+        }
+      }
+    }
+    const MatcherStats& stats = matcher.stats();
+    std::printf("searches: %" PRIu64 "   nodes: %" PRIu64 "   backjumps: %"
+                PRIu64 "   history: %" PRIu64 " (+%" PRIu64 " merged)\n",
+                stats.searches, stats.nodes_explored, stats.backjumps,
+                stats.history_entries, stats.history_merged);
+    const metrics::Boxplot box = latencies.summarize();
+    std::printf("per-event us: median %.2f   q3 %.2f   max %.2f\n",
+                box.median, box.q3, box.max);
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "ocep_match: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,18 @@
+# Runs the record -> inspect -> match workflow and fails on any error.
+execute_process(COMMAND ${RECORD} --app ordering --traces 6 --events 8000
+                        --out ${WORK}/pipeline.poet
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ocep_record failed: ${rc}")
+endif()
+execute_process(COMMAND ${INSPECT} --dump ${WORK}/pipeline.poet
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "traces: 6")
+  message(FATAL_ERROR "ocep_inspect failed: ${rc}\n${out}")
+endif()
+execute_process(COMMAND ${MATCH} --dump ${WORK}/pipeline.poet
+                        --pattern ${SRC}/zk962.ocep --quiet
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "matches reported")
+  message(FATAL_ERROR "ocep_match failed: ${rc}\n${out}")
+endif()
