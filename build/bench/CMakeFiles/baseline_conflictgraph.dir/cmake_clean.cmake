@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_conflictgraph.dir/baseline_conflictgraph.cc.o"
+  "CMakeFiles/baseline_conflictgraph.dir/baseline_conflictgraph.cc.o.d"
+  "baseline_conflictgraph"
+  "baseline_conflictgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_conflictgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

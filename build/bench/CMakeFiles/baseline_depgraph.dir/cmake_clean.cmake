@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_depgraph.dir/baseline_depgraph.cc.o"
+  "CMakeFiles/baseline_depgraph.dir/baseline_depgraph.cc.o.d"
+  "baseline_depgraph"
+  "baseline_depgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_depgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/completeness.dir/completeness.cc.o"
+  "CMakeFiles/completeness.dir/completeness.cc.o.d"
+  "completeness"
+  "completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_table.dir/fig10_table.cc.o"
+  "CMakeFiles/fig10_table.dir/fig10_table.cc.o.d"
+  "fig10_table"
+  "fig10_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

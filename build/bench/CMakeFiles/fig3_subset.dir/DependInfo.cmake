@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_subset.cc" "bench/CMakeFiles/fig3_subset.dir/fig3_subset.cc.o" "gcc" "bench/CMakeFiles/fig3_subset.dir/fig3_subset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ocep_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ocep_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ocep_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ocep_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ocep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ocep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/poet/CMakeFiles/ocep_poet.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/ocep_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/ocep_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ocep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

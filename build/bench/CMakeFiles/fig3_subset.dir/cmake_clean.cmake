@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_subset.dir/fig3_subset.cc.o"
+  "CMakeFiles/fig3_subset.dir/fig3_subset.cc.o.d"
+  "fig3_subset"
+  "fig3_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

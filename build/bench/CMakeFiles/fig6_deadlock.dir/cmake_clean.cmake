@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_deadlock.dir/fig6_deadlock.cc.o"
+  "CMakeFiles/fig6_deadlock.dir/fig6_deadlock.cc.o.d"
+  "fig6_deadlock"
+  "fig6_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_races.dir/fig7_races.cc.o"
+  "CMakeFiles/fig7_races.dir/fig7_races.cc.o.d"
+  "fig7_races"
+  "fig7_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

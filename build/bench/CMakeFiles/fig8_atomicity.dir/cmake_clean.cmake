@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_atomicity.dir/fig8_atomicity.cc.o"
+  "CMakeFiles/fig8_atomicity.dir/fig8_atomicity.cc.o.d"
+  "fig8_atomicity"
+  "fig8_atomicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_ordering.dir/fig9_ordering.cc.o"
+  "CMakeFiles/fig9_ordering.dir/fig9_ordering.cc.o.d"
+  "fig9_ordering"
+  "fig9_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_store.dir/memory_store.cc.o"
+  "CMakeFiles/memory_store.dir/memory_store.cc.o.d"
+  "memory_store"
+  "memory_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

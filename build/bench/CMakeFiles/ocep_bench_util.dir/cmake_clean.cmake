@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ocep_bench_util.dir/bench_util.cc.o.d"
+  "libocep_bench_util.a"
+  "libocep_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

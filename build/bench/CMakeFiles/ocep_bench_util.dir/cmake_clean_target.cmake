@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libocep_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomicity_monitor.dir/atomicity_monitor.cpp.o"
+  "CMakeFiles/atomicity_monitor.dir/atomicity_monitor.cpp.o.d"
+  "atomicity_monitor"
+  "atomicity_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomicity_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

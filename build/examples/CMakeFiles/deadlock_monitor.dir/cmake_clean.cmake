@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_monitor.dir/deadlock_monitor.cpp.o"
+  "CMakeFiles/deadlock_monitor.dir/deadlock_monitor.cpp.o.d"
+  "deadlock_monitor"
+  "deadlock_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_bug_monitor.dir/ordering_bug_monitor.cpp.o"
+  "CMakeFiles/ordering_bug_monitor.dir/ordering_bug_monitor.cpp.o.d"
+  "ordering_bug_monitor"
+  "ordering_bug_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_bug_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_monitor.dir/race_monitor.cpp.o"
+  "CMakeFiles/race_monitor.dir/race_monitor.cpp.o.d"
+  "race_monitor"
+  "race_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

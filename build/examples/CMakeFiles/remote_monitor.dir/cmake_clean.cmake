@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_monitor.dir/remote_monitor.cpp.o"
+  "CMakeFiles/remote_monitor.dir/remote_monitor.cpp.o.d"
+  "remote_monitor"
+  "remote_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_deadlock "/root/repo/build/examples/deadlock_monitor" "--traces" "8" "--steps" "60")
+set_tests_properties(example_deadlock PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_race "/root/repo/build/examples/race_monitor" "--traces" "5" "--messages" "15")
+set_tests_properties(example_race PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_atomicity "/root/repo/build/examples/atomicity_monitor" "--workers" "5" "--iterations" "60")
+set_tests_properties(example_atomicity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_atomicity_clean "/root/repo/build/examples/atomicity_monitor" "--workers" "5" "--iterations" "40" "--skip-percent" "0")
+set_tests_properties(example_atomicity_clean PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ordering "/root/repo/build/examples/ordering_bug_monitor" "--followers" "6" "--requests" "40")
+set_tests_properties(example_ordering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_traffic "/root/repo/build/examples/traffic_monitor" "--lights" "4" "--cycles" "150")
+set_tests_properties(example_traffic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_remote "/root/repo/build/examples/remote_monitor" "--followers" "6" "--requests" "40")
+set_tests_properties(example_remote PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_traffic_clean "/root/repo/build/examples/traffic_monitor" "--lights" "4" "--cycles" "80" "--bug-percent" "0")
+set_tests_properties(example_traffic_clean PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")

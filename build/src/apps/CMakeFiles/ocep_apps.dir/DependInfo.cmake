@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/atomicity_app.cc" "src/apps/CMakeFiles/ocep_apps.dir/atomicity_app.cc.o" "gcc" "src/apps/CMakeFiles/ocep_apps.dir/atomicity_app.cc.o.d"
+  "/root/repo/src/apps/leader_follower.cc" "src/apps/CMakeFiles/ocep_apps.dir/leader_follower.cc.o" "gcc" "src/apps/CMakeFiles/ocep_apps.dir/leader_follower.cc.o.d"
+  "/root/repo/src/apps/patterns.cc" "src/apps/CMakeFiles/ocep_apps.dir/patterns.cc.o" "gcc" "src/apps/CMakeFiles/ocep_apps.dir/patterns.cc.o.d"
+  "/root/repo/src/apps/race_bench.cc" "src/apps/CMakeFiles/ocep_apps.dir/race_bench.cc.o" "gcc" "src/apps/CMakeFiles/ocep_apps.dir/race_bench.cc.o.d"
+  "/root/repo/src/apps/random_walk.cc" "src/apps/CMakeFiles/ocep_apps.dir/random_walk.cc.o" "gcc" "src/apps/CMakeFiles/ocep_apps.dir/random_walk.cc.o.d"
+  "/root/repo/src/apps/traffic_light.cc" "src/apps/CMakeFiles/ocep_apps.dir/traffic_light.cc.o" "gcc" "src/apps/CMakeFiles/ocep_apps.dir/traffic_light.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ocep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/poet/CMakeFiles/ocep_poet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ocep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/ocep_causality.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

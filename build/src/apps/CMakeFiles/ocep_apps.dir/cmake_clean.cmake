@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_apps.dir/atomicity_app.cc.o"
+  "CMakeFiles/ocep_apps.dir/atomicity_app.cc.o.d"
+  "CMakeFiles/ocep_apps.dir/leader_follower.cc.o"
+  "CMakeFiles/ocep_apps.dir/leader_follower.cc.o.d"
+  "CMakeFiles/ocep_apps.dir/patterns.cc.o"
+  "CMakeFiles/ocep_apps.dir/patterns.cc.o.d"
+  "CMakeFiles/ocep_apps.dir/race_bench.cc.o"
+  "CMakeFiles/ocep_apps.dir/race_bench.cc.o.d"
+  "CMakeFiles/ocep_apps.dir/random_walk.cc.o"
+  "CMakeFiles/ocep_apps.dir/random_walk.cc.o.d"
+  "CMakeFiles/ocep_apps.dir/traffic_light.cc.o"
+  "CMakeFiles/ocep_apps.dir/traffic_light.cc.o.d"
+  "libocep_apps.a"
+  "libocep_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/conflict_graph.cc" "src/baseline/CMakeFiles/ocep_baseline.dir/conflict_graph.cc.o" "gcc" "src/baseline/CMakeFiles/ocep_baseline.dir/conflict_graph.cc.o.d"
+  "/root/repo/src/baseline/dependency_graph.cc" "src/baseline/CMakeFiles/ocep_baseline.dir/dependency_graph.cc.o" "gcc" "src/baseline/CMakeFiles/ocep_baseline.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/baseline/naive_matcher.cc" "src/baseline/CMakeFiles/ocep_baseline.dir/naive_matcher.cc.o" "gcc" "src/baseline/CMakeFiles/ocep_baseline.dir/naive_matcher.cc.o.d"
+  "/root/repo/src/baseline/race_checker.cc" "src/baseline/CMakeFiles/ocep_baseline.dir/race_checker.cc.o" "gcc" "src/baseline/CMakeFiles/ocep_baseline.dir/race_checker.cc.o.d"
+  "/root/repo/src/baseline/window_matcher.cc" "src/baseline/CMakeFiles/ocep_baseline.dir/window_matcher.cc.o" "gcc" "src/baseline/CMakeFiles/ocep_baseline.dir/window_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ocep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/ocep_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/poet/CMakeFiles/ocep_poet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ocep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/ocep_causality.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

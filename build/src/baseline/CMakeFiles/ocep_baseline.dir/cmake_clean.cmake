@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_baseline.dir/conflict_graph.cc.o"
+  "CMakeFiles/ocep_baseline.dir/conflict_graph.cc.o.d"
+  "CMakeFiles/ocep_baseline.dir/dependency_graph.cc.o"
+  "CMakeFiles/ocep_baseline.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/ocep_baseline.dir/naive_matcher.cc.o"
+  "CMakeFiles/ocep_baseline.dir/naive_matcher.cc.o.d"
+  "CMakeFiles/ocep_baseline.dir/race_checker.cc.o"
+  "CMakeFiles/ocep_baseline.dir/race_checker.cc.o.d"
+  "CMakeFiles/ocep_baseline.dir/window_matcher.cc.o"
+  "CMakeFiles/ocep_baseline.dir/window_matcher.cc.o.d"
+  "libocep_baseline.a"
+  "libocep_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

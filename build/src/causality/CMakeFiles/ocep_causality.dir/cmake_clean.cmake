@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_causality.dir/compound.cc.o"
+  "CMakeFiles/ocep_causality.dir/compound.cc.o.d"
+  "libocep_causality.a"
+  "libocep_causality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_causality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

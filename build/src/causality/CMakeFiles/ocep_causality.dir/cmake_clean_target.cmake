@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libocep_causality.a"
+)

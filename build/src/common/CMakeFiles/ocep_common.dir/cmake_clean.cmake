@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_common.dir/flags.cc.o"
+  "CMakeFiles/ocep_common.dir/flags.cc.o.d"
+  "CMakeFiles/ocep_common.dir/string_pool.cc.o"
+  "CMakeFiles/ocep_common.dir/string_pool.cc.o.d"
+  "libocep_common.a"
+  "libocep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/matcher.cc" "src/core/CMakeFiles/ocep_core.dir/matcher.cc.o" "gcc" "src/core/CMakeFiles/ocep_core.dir/matcher.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/ocep_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/ocep_core.dir/monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pattern/CMakeFiles/ocep_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/poet/CMakeFiles/ocep_poet.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/ocep_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ocep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

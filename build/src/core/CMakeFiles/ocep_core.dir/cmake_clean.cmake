@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_core.dir/matcher.cc.o"
+  "CMakeFiles/ocep_core.dir/matcher.cc.o.d"
+  "CMakeFiles/ocep_core.dir/monitor.cc.o"
+  "CMakeFiles/ocep_core.dir/monitor.cc.o.d"
+  "libocep_core.a"
+  "libocep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_metrics.dir/boxplot.cc.o"
+  "CMakeFiles/ocep_metrics.dir/boxplot.cc.o.d"
+  "libocep_metrics.a"
+  "libocep_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/compile.cc" "src/pattern/CMakeFiles/ocep_pattern.dir/compile.cc.o" "gcc" "src/pattern/CMakeFiles/ocep_pattern.dir/compile.cc.o.d"
+  "/root/repo/src/pattern/lexer.cc" "src/pattern/CMakeFiles/ocep_pattern.dir/lexer.cc.o" "gcc" "src/pattern/CMakeFiles/ocep_pattern.dir/lexer.cc.o.d"
+  "/root/repo/src/pattern/parser.cc" "src/pattern/CMakeFiles/ocep_pattern.dir/parser.cc.o" "gcc" "src/pattern/CMakeFiles/ocep_pattern.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ocep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

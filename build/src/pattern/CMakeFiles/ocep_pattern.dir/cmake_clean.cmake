@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_pattern.dir/compile.cc.o"
+  "CMakeFiles/ocep_pattern.dir/compile.cc.o.d"
+  "CMakeFiles/ocep_pattern.dir/lexer.cc.o"
+  "CMakeFiles/ocep_pattern.dir/lexer.cc.o.d"
+  "CMakeFiles/ocep_pattern.dir/parser.cc.o"
+  "CMakeFiles/ocep_pattern.dir/parser.cc.o.d"
+  "libocep_pattern.a"
+  "libocep_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poet/dump.cc" "src/poet/CMakeFiles/ocep_poet.dir/dump.cc.o" "gcc" "src/poet/CMakeFiles/ocep_poet.dir/dump.cc.o.d"
+  "/root/repo/src/poet/event_store.cc" "src/poet/CMakeFiles/ocep_poet.dir/event_store.cc.o" "gcc" "src/poet/CMakeFiles/ocep_poet.dir/event_store.cc.o.d"
+  "/root/repo/src/poet/linearizer.cc" "src/poet/CMakeFiles/ocep_poet.dir/linearizer.cc.o" "gcc" "src/poet/CMakeFiles/ocep_poet.dir/linearizer.cc.o.d"
+  "/root/repo/src/poet/replay.cc" "src/poet/CMakeFiles/ocep_poet.dir/replay.cc.o" "gcc" "src/poet/CMakeFiles/ocep_poet.dir/replay.cc.o.d"
+  "/root/repo/src/poet/wire.cc" "src/poet/CMakeFiles/ocep_poet.dir/wire.cc.o" "gcc" "src/poet/CMakeFiles/ocep_poet.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/causality/CMakeFiles/ocep_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ocep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_poet.dir/dump.cc.o"
+  "CMakeFiles/ocep_poet.dir/dump.cc.o.d"
+  "CMakeFiles/ocep_poet.dir/event_store.cc.o"
+  "CMakeFiles/ocep_poet.dir/event_store.cc.o.d"
+  "CMakeFiles/ocep_poet.dir/linearizer.cc.o"
+  "CMakeFiles/ocep_poet.dir/linearizer.cc.o.d"
+  "CMakeFiles/ocep_poet.dir/replay.cc.o"
+  "CMakeFiles/ocep_poet.dir/replay.cc.o.d"
+  "CMakeFiles/ocep_poet.dir/wire.cc.o"
+  "CMakeFiles/ocep_poet.dir/wire.cc.o.d"
+  "libocep_poet.a"
+  "libocep_poet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_poet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

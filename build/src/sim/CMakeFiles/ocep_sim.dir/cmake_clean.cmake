@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_sim.dir/sim.cc.o"
+  "CMakeFiles/ocep_sim.dir/sim.cc.o.d"
+  "libocep_sim.a"
+  "libocep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

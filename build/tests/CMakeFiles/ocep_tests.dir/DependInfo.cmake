@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cc" "tests/CMakeFiles/ocep_tests.dir/test_baseline.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_baseline.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/ocep_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_compound.cc" "tests/CMakeFiles/ocep_tests.dir/test_compound.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_compound.cc.o.d"
+  "/root/repo/tests/test_dump.cc" "tests/CMakeFiles/ocep_tests.dir/test_dump.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_dump.cc.o.d"
+  "/root/repo/tests/test_event_store.cc" "tests/CMakeFiles/ocep_tests.dir/test_event_store.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_event_store.cc.o.d"
+  "/root/repo/tests/test_history_subset.cc" "tests/CMakeFiles/ocep_tests.dir/test_history_subset.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_history_subset.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/ocep_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_linearizer.cc" "tests/CMakeFiles/ocep_tests.dir/test_linearizer.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_linearizer.cc.o.d"
+  "/root/repo/tests/test_matcher.cc" "tests/CMakeFiles/ocep_tests.dir/test_matcher.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_matcher.cc.o.d"
+  "/root/repo/tests/test_matcher_property.cc" "tests/CMakeFiles/ocep_tests.dir/test_matcher_property.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_matcher_property.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/ocep_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_misc.cc" "tests/CMakeFiles/ocep_tests.dir/test_misc.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_misc.cc.o.d"
+  "/root/repo/tests/test_pattern.cc" "tests/CMakeFiles/ocep_tests.dir/test_pattern.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_pattern.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/ocep_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_sim_semaphore.cc" "tests/CMakeFiles/ocep_tests.dir/test_sim_semaphore.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_sim_semaphore.cc.o.d"
+  "/root/repo/tests/test_vector_clock.cc" "tests/CMakeFiles/ocep_tests.dir/test_vector_clock.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_vector_clock.cc.o.d"
+  "/root/repo/tests/test_wire.cc" "tests/CMakeFiles/ocep_tests.dir/test_wire.cc.o" "gcc" "tests/CMakeFiles/ocep_tests.dir/test_wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/ocep_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ocep_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ocep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/ocep_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ocep_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ocep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/poet/CMakeFiles/ocep_poet.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/ocep_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ocep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_draw.dir/ocep_draw.cpp.o"
+  "CMakeFiles/ocep_draw.dir/ocep_draw.cpp.o.d"
+  "ocep_draw"
+  "ocep_draw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_draw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_inspect.dir/ocep_inspect.cpp.o"
+  "CMakeFiles/ocep_inspect.dir/ocep_inspect.cpp.o.d"
+  "ocep_inspect"
+  "ocep_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

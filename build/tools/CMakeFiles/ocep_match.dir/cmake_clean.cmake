@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_match.dir/ocep_match.cpp.o"
+  "CMakeFiles/ocep_match.dir/ocep_match.cpp.o.d"
+  "ocep_match"
+  "ocep_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocep_record.dir/ocep_record.cpp.o"
+  "CMakeFiles/ocep_record.dir/ocep_record.cpp.o.d"
+  "ocep_record"
+  "ocep_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocep_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

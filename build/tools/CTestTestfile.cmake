@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_pipeline "/usr/bin/cmake" "-DRECORD=/root/repo/build/tools/ocep_record" "-DINSPECT=/root/repo/build/tools/ocep_inspect" "-DMATCH=/root/repo/build/tools/ocep_match" "-DWORK=/root/repo/build/tools" "-DSRC=/root/repo/tools" "-P" "/root/repo/tools/pipeline_test.cmake")
+set_tests_properties(tools_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
