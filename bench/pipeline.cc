@@ -1,0 +1,144 @@
+// Pipeline scaling — multi-pattern throughput vs worker threads.
+//
+// Patterns shard across workers (core/pipeline.h), so the win grows with
+// the number of registered patterns: one pattern cannot go faster than
+// one worker, sixteen patterns on eight workers should.  Each cell replays
+// the same random computation through a Monitor configured with the given
+// worker count, times replay + drain, and reports events/second.  The
+// speedup column is against worker_threads = 0 (the exact synchronous
+// path) at the same pattern count.  Results are identical across the row
+// by construction (tests/test_pipeline.cc checks exactly that); this
+// bench measures only the cost.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/error.h"
+#include "core/monitor.h"
+#include "metrics/stopwatch.h"
+#include "poet/replay.h"
+#include "random_computation.h"
+
+using namespace ocep;
+using namespace ocep::bench;
+
+namespace {
+
+/// Sixteen two-leaf precedence patterns over the type alphabet A..D —
+/// enough to keep eight workers busy with distinct shards.
+std::vector<std::string> make_patterns() {
+  std::vector<std::string> patterns;
+  for (char x = 'A'; x <= 'D'; ++x) {
+    for (char y = 'A'; y <= 'D'; ++y) {
+      std::string text;
+      text += "P := ['', ";
+      text += x;
+      text += ", '']; Q := ['', ";
+      text += y;
+      text += ", ''];\npattern := P -> Q;\n";
+      patterns.push_back(text);
+    }
+  }
+  return patterns;
+}
+
+struct Cell {
+  double seconds = 0;
+  std::uint64_t stalls = 0;
+};
+
+Cell run_config(const EventStore& source, StringPool& pool,
+                const std::vector<std::string>& patterns,
+                std::size_t pattern_count, std::size_t workers,
+                std::uint32_t reps) {
+  Cell cell;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    MonitorConfig config;
+    config.worker_threads = workers;
+    Monitor monitor(pool, config, source.storage());
+    for (std::size_t i = 0; i < pattern_count; ++i) {
+      monitor.add_pattern(patterns[i]);
+    }
+    metrics::Stopwatch watch;
+    replay(source, monitor);
+    monitor.drain();
+    cell.seconds += watch.elapsed_us() / 1e6;
+    for (const PipelineWorkerStats& worker : monitor.stats().workers) {
+      cell.stalls += worker.ring_full_stalls;
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    BenchParams params = parse_params(flags);
+    const auto traces =
+        static_cast<std::uint32_t>(flags.get_int("traces", 8));
+    flags.check_unused();
+    if (traces < 2) {
+      // The generator needs a send peer; one trace would spin forever.
+      std::fprintf(stderr, "pipeline: --traces must be >= 2\n");
+      return 1;
+    }
+
+    StringPool pool;
+    testing::RandomComputationOptions options;
+    options.traces = traces;
+    options.events = static_cast<std::uint32_t>(params.events);
+    options.seed = params.seed;
+    const EventStore source = testing::random_computation(pool, options);
+    const std::vector<std::string> patterns = make_patterns();
+
+    const std::vector<std::size_t> pattern_counts = {1, 2, 4, 8, 16};
+    const std::vector<std::size_t> worker_counts = {0, 1, 2, 4, 8};
+
+    std::printf("# Pipeline scaling (random computation, %u traces, "
+                "%" PRIu64 " events, %u reps, %u hardware threads)\n",
+                traces, static_cast<std::uint64_t>(options.events),
+                params.reps, std::thread::hardware_concurrency());
+    std::printf("# cells: events/sec over replay+drain; (xN.NN) speedup vs "
+                "workers=0 at the same pattern count\n");
+    std::printf("%-9s", "patterns");
+    for (const std::size_t workers : worker_counts) {
+      std::printf(" %17s%zu", "workers=", workers);
+    }
+    std::printf("\n");
+
+    for (const std::size_t pattern_count : pattern_counts) {
+      std::printf("%-9zu", pattern_count);
+      double base_seconds = 0;
+      for (const std::size_t workers : worker_counts) {
+        const Cell cell = run_config(source, pool, patterns, pattern_count,
+                                     workers, params.reps);
+        const double events_total =
+            static_cast<double>(options.events) * params.reps;
+        const double rate = events_total / cell.seconds;
+        if (workers == 0) {
+          base_seconds = cell.seconds;
+          std::printf(" %12.0f ev/s  -  ", rate);
+        } else {
+          std::printf(" %12.0f (x%4.2f)", rate, base_seconds / cell.seconds);
+        }
+        if (params.verbose && cell.stalls > 0) {
+          std::fprintf(stderr, "# patterns=%zu workers=%zu stalls=%" PRIu64
+                       "\n", pattern_count, workers, cell.stalls);
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("# speedup requires real cores: with %u hardware threads, "
+                "workers beyond that only add hand-off cost.\n",
+                std::thread::hardware_concurrency());
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "pipeline: %s\n", error.what());
+    return 1;
+  }
+}

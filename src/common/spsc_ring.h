@@ -1,0 +1,64 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// Lock-free in the classic two-index form: the producer owns head_, the
+// consumer owns tail_, and each release-stores its own index after
+// touching a slot so the other side's acquire-load orders the slot
+// access.  try_push/try_pop never block — backoff policy (spin, yield,
+// sleep) is the caller's concern, which lets the pipeline count
+// queue-full stalls explicitly.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+namespace ocep {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity)
+      : slots_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(slots_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer only.  False when the ring is full.
+  bool try_push(const T& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) {
+      return false;
+    }
+    slots_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only.  False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) {
+      return false;
+    }
+    out = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  /// Separate cache lines so the producer's head stores don't invalidate
+  /// the consumer's tail line and vice versa.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace ocep

@@ -74,6 +74,14 @@ struct MatcherStats {
 /// match extended the representative subset's coverage.
 using MatchCallback = std::function<void(const Match&, bool newly_covering)>;
 
+/// Threading contract: a matcher is single-owner — exactly one thread
+/// calls observe(), and the const read path (pattern(), subset(),
+/// stats()) is only safe from another thread after a happens-before
+/// hand-off (Monitor::drain()).  The matcher itself takes no locks; it
+/// reads the shared EventStore exclusively through the store's published
+/// prefix (see event_store.h), which may run ahead of the event being
+/// observed — causal relations are immutable, so the results are
+/// identical to a synchronous run.
 class OcepMatcher {
  public:
   /// The store must outlive the matcher and must already contain every

@@ -4,6 +4,17 @@
 
 namespace ocep {
 
+Monitor::Monitor(StringPool& pool, const MonitorConfig& config,
+                 ClockStorage storage)
+    : pool_(&pool), store_(storage), config_(config) {
+  if (config_.worker_threads > 0) {
+    OCEP_ASSERT_MSG(config_.batch_size > 0, "batch_size must be positive");
+    store_.set_concurrent(true);
+    pipeline_ = std::make_unique<MatchPipeline>(
+        store_, config_.worker_threads, config_.ring_batches);
+  }
+}
+
 std::size_t Monitor::add_pattern(std::string_view source,
                                  MatcherConfig config,
                                  MatchCallback on_match) {
@@ -12,6 +23,9 @@ std::size_t Monitor::add_pattern(std::string_view source,
   pattern::CompiledPattern compiled = pattern::compile(source, *pool_);
   matchers_.push_back(std::make_unique<OcepMatcher>(
       store_, std::move(compiled), config, std::move(on_match)));
+  if (pipeline_) {
+    pipeline_->add_matcher(matchers_.back().get());
+  }
   return matchers_.size() - 1;
 }
 
@@ -28,9 +42,40 @@ void Monitor::on_event(const Event& event, const VectorClock& clock) {
                   "on_traces must be delivered before the first event");
   store_.append(event, clock);
   ++events_seen_;
-  for (const std::unique_ptr<OcepMatcher>& matcher : matchers_) {
-    matcher->observe(event);
+  if (pipeline_ == nullptr) {
+    for (const std::unique_ptr<OcepMatcher>& matcher : matchers_) {
+      matcher->observe(event);
+    }
+    drained_through_ = events_seen_;
+    return;
   }
+  if (events_seen_ - pipeline_->dispatched() >= config_.batch_size) {
+    pipeline_->dispatch(events_seen_);
+  }
+}
+
+void Monitor::flush() {
+  if (pipeline_) {
+    pipeline_->dispatch(events_seen_);
+  }
+}
+
+void Monitor::drain() {
+  if (pipeline_) {
+    pipeline_->dispatch(events_seen_);
+    pipeline_->drain();
+  }
+  drained_through_ = events_seen_;
+}
+
+PipelineStats Monitor::stats() const {
+  if (pipeline_) {
+    assert_drained();
+    return pipeline_->stats();
+  }
+  PipelineStats out;
+  out.events_dispatched = events_seen_;
+  return out;
 }
 
 }  // namespace ocep

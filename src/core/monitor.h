@@ -13,6 +13,12 @@
 //   sim.set_live_sink(&monitor);
 //   sim.run();
 //   monitor.matcher(0).subset().matches();  // representative subset
+//
+// With MonitorConfig::worker_threads > 0 the matchers run on a parallel
+// pipeline (see core/pipeline.h): events are appended and published on
+// the delivery thread, matched on worker threads in batches.  Call
+// drain() before reading matcher state; worker_threads = 0 (the default)
+// preserves the exact synchronous behaviour.
 #pragma once
 
 #include <memory>
@@ -20,10 +26,24 @@
 #include <vector>
 
 #include "core/matcher.h"
+#include "core/pipeline.h"
 #include "poet/client.h"
 #include "poet/event_store.h"
 
 namespace ocep {
+
+struct MonitorConfig {
+  /// 0 = match synchronously on the delivery thread (default; exact
+  /// single-threaded behaviour).  N > 0 = shard patterns across N worker
+  /// threads fed by bounded rings of event batches.
+  std::size_t worker_threads = 0;
+  /// Events per batch descriptor handed to the workers.  Smaller batches
+  /// cut match latency; larger ones amortize hand-off overhead.
+  std::size_t batch_size = 64;
+  /// Bound (in batches) of each worker's ring; a full ring backpressures
+  /// the delivery thread, keeping memory bounded.
+  std::size_t ring_batches = 128;
+};
 
 class Monitor final : public EventSink {
  public:
@@ -31,28 +51,46 @@ class Monitor final : public EventSink {
   /// (kSparse bounds memory on wide, long computations).
   explicit Monitor(StringPool& pool,
                    ClockStorage storage = ClockStorage::kDense)
-      : pool_(&pool), store_(storage) {}
+      : Monitor(pool, MonitorConfig{}, storage) {}
+
+  Monitor(StringPool& pool, const MonitorConfig& config,
+          ClockStorage storage = ClockStorage::kDense);
 
   /// Compiles and registers a pattern.  Returns its index.  Patterns must
-  /// be added before the first event arrives.
+  /// be added before the first event arrives (enforced: aborts once
+  /// events_seen() > 0).
   std::size_t add_pattern(std::string_view source, MatcherConfig config = {},
                           MatchCallback on_match = nullptr);
 
   void on_traces(const std::vector<Symbol>& names) override;
   void on_event(const Event& event, const VectorClock& clock) override;
 
+  /// Pushes any partially filled batch to the workers without waiting.
+  /// No-op in synchronous mode.
+  void flush();
+
+  /// Barrier: flushes and blocks until every matcher has observed every
+  /// event seen so far.  Required before reading matcher state (subset(),
+  /// stats()) in pipeline mode; no-op in synchronous mode.
+  void drain();
+
   [[nodiscard]] const EventStore& store() const noexcept { return store_; }
   [[nodiscard]] StringPool& pool() const noexcept { return *pool_; }
+  [[nodiscard]] const MonitorConfig& config() const noexcept {
+    return config_;
+  }
 
   [[nodiscard]] std::size_t pattern_count() const noexcept {
     return matchers_.size();
   }
   [[nodiscard]] OcepMatcher& matcher(std::size_t i) {
     OCEP_ASSERT(i < matchers_.size());
+    assert_drained();
     return *matchers_[i];
   }
   [[nodiscard]] const OcepMatcher& matcher(std::size_t i) const {
     OCEP_ASSERT(i < matchers_.size());
+    assert_drained();
     return *matchers_[i];
   }
 
@@ -60,12 +98,30 @@ class Monitor final : public EventSink {
     return events_seen_;
   }
 
+  /// Pipeline counters (per-worker batches/events/stalls, per-pattern
+  /// observe latency).  Exact after drain(); in synchronous mode only
+  /// events_dispatched is populated.
+  [[nodiscard]] PipelineStats stats() const;
+
  private:
+  /// Reading matcher state while workers may still be observing events is
+  /// a race; drain() is the hand-off.  Fails loudly instead of silently
+  /// returning torn subsets.
+  void assert_drained() const {
+    OCEP_ASSERT_MSG(pipeline_ == nullptr || drained_through_ == events_seen_,
+                    "drain() the pipeline before reading matcher state");
+  }
+
   StringPool* pool_;
   EventStore store_;
+  MonitorConfig config_;
   std::vector<std::unique_ptr<OcepMatcher>> matchers_;
   bool traces_known_ = false;
   std::uint64_t events_seen_ = 0;
+  std::uint64_t drained_through_ = 0;
+  /// Declared last: destroyed first, so workers join while the store and
+  /// matchers they reference are still alive.
+  std::unique_ptr<MatchPipeline> pipeline_;
 };
 
 }  // namespace ocep

@@ -1,0 +1,148 @@
+#include "core/pipeline.h"
+
+#include <chrono>
+
+#include "common/assert.h"
+#include "metrics/stopwatch.h"
+
+namespace ocep {
+
+MatchPipeline::MatchPipeline(const EventStore& store, std::size_t workers,
+                             std::size_t ring_batches)
+    : store_(store) {
+  OCEP_ASSERT_MSG(workers > 0, "a pipeline needs at least one worker");
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(ring_batches));
+  }
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    Worker& ref = *worker;
+    ref.thread = std::thread([this, &ref] { worker_loop(ref); });
+  }
+}
+
+MatchPipeline::~MatchPipeline() {
+  stop_.store(true, std::memory_order_release);
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+}
+
+void MatchPipeline::add_matcher(OcepMatcher* matcher) {
+  OCEP_ASSERT_MSG(!started_,
+                  "matchers must be registered before the first dispatch");
+  Worker& worker = *workers_[next_shard_];
+  next_shard_ = (next_shard_ + 1) % workers_.size();
+  PatternSlot slot;
+  slot.matcher = matcher;
+  slot.pattern_index = pattern_count_++;
+  worker.patterns.push_back(slot);
+}
+
+void MatchPipeline::backoff(unsigned& spins) {
+  ++spins;
+  if (spins < 64) {
+    return;  // brief busy wait: the peer is typically mid-batch
+  }
+  if (spins < 1024) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(100));
+}
+
+void MatchPipeline::dispatch(std::uint64_t end) {
+  OCEP_ASSERT(end >= dispatched_);
+  if (end == dispatched_) {
+    return;
+  }
+  started_ = true;
+  const Batch batch{dispatched_, end};
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (!worker->ring.try_push(batch)) {
+      // Backpressure: the ring bounds how far this worker may lag.
+      ++worker->stalls;
+      unsigned spins = 0;
+      do {
+        backoff(spins);
+      } while (!worker->ring.try_push(batch));
+    }
+  }
+  dispatched_ = end;
+}
+
+void MatchPipeline::drain() {
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    unsigned spins = 0;
+    // The acquire pairs with the worker's release after its last batch:
+    // once the watermark reaches dispatched_, all matcher writes of that
+    // worker happen-before our return.
+    while (worker->processed.load(std::memory_order_acquire) < dispatched_) {
+      backoff(spins);
+    }
+  }
+}
+
+void MatchPipeline::run_batch(Worker& worker, const Batch& batch) {
+  OCEP_ASSERT_MSG(store_.visible_count() >= batch.end,
+                  "batch dispatched before its events were published");
+  for (PatternSlot& slot : worker.patterns) {
+    const metrics::Stopwatch watch;
+    for (std::uint64_t pos = batch.begin; pos < batch.end; ++pos) {
+      slot.matcher->observe(store_.event(store_.arrival(pos)));
+    }
+    const double us = watch.elapsed_us();
+    slot.us_total += us;
+    slot.us_max = us > slot.us_max ? us : slot.us_max;
+    slot.events += batch.end - batch.begin;
+  }
+  worker.batches.fetch_add(1, std::memory_order_relaxed);
+  worker.processed.store(batch.end, std::memory_order_release);
+}
+
+void MatchPipeline::worker_loop(Worker& worker) {
+  unsigned spins = 0;
+  for (;;) {
+    Batch batch;
+    if (worker.ring.try_pop(batch)) {
+      run_batch(worker, batch);
+      spins = 0;
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // The producer is gone; whatever is still queued was pushed before
+      // the stop flag, so drain it and exit.
+      while (worker.ring.try_pop(batch)) {
+        run_batch(worker, batch);
+      }
+      break;
+    }
+    backoff(spins);
+  }
+}
+
+PipelineStats MatchPipeline::stats() const {
+  PipelineStats out;
+  out.events_dispatched = dispatched_;
+  out.workers.resize(workers_.size());
+  out.patterns.resize(pattern_count_);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const Worker& worker = *workers_[w];
+    PipelineWorkerStats& stats = out.workers[w];
+    stats.batches = worker.batches.load(std::memory_order_relaxed);
+    stats.ring_full_stalls = worker.stalls;
+    for (const PatternSlot& slot : worker.patterns) {
+      stats.events += slot.events;
+      PipelinePatternStats& pattern = out.patterns[slot.pattern_index];
+      pattern.worker = w;
+      pattern.events_observed = slot.events;
+      pattern.observe_us_total = slot.us_total;
+      pattern.observe_us_max = slot.us_max;
+    }
+  }
+  return out;
+}
+
+}  // namespace ocep

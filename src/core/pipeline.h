@@ -1,0 +1,142 @@
+// Parallel multi-pattern matching pipeline.
+//
+// Monitor::on_event used to feed every registered matcher sequentially on
+// the delivery thread, so per-event latency grew linearly with the number
+// of patterns.  The matchers are independent per pattern, which makes the
+// decomposition free: this module shards compiled patterns across a fixed
+// pool of worker threads and keeps the delivery thread doing nothing but
+// appending to the EventStore and handing off batch descriptors.
+//
+// Threading model
+// ---------------
+//  * One producer: the delivery thread (Monitor::on_event).  It appends
+//    events to the shared store (publishing them, see event_store.h) and,
+//    once a batch fills, pushes a {begin, end) arrival-range descriptor
+//    into every worker's bounded SPSC ring.  A full ring applies
+//    backpressure: the producer spins/yields (counted as a stall) until
+//    the worker catches up, so memory stays bounded.
+//  * N workers: each owns a disjoint subset of the matchers (round-robin
+//    sharding at add_matcher time), pops batch descriptors, reads the
+//    events from the store's published prefix, and runs observe() on its
+//    matchers only.  Matcher state is single-owner, so no matcher locking
+//    exists anywhere.
+//  * drain() is the barrier: after it returns, every dispatched event has
+//    been observed by every matcher, and the release/acquire pair on each
+//    worker's processed counter makes the matchers' state (subsets,
+//    stats) safe to read from the caller's thread.
+//
+// Determinism: workers observe events in arrival order, and a worker may
+// see the store *ahead* of the event it is observing.  That is harmless —
+// candidates come from matcher-owned histories (observed events only) and
+// causal relations between stored events are immutable, so every search
+// returns exactly what the sequential run returns (tested in
+// tests/test_pipeline.cc against worker_threads = 0).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_ring.h"
+#include "core/matcher.h"
+#include "poet/event_store.h"
+
+namespace ocep {
+
+/// Producer-side and worker-side counters.  Exact after drain().
+struct PipelineWorkerStats {
+  std::uint64_t batches = 0;         ///< batches processed
+  std::uint64_t events = 0;          ///< events processed (all its patterns)
+  std::uint64_t ring_full_stalls = 0;  ///< producer pushes that had to wait
+};
+
+/// Per-pattern observation cost, measured on the owning worker with
+/// metrics::Stopwatch at batch granularity.
+struct PipelinePatternStats {
+  std::size_t worker = 0;            ///< owning shard
+  std::uint64_t events_observed = 0;
+  double observe_us_total = 0.0;     ///< summed batch observe time
+  double observe_us_max = 0.0;       ///< slowest single batch
+};
+
+struct PipelineStats {
+  std::uint64_t events_dispatched = 0;
+  std::vector<PipelineWorkerStats> workers;
+  std::vector<PipelinePatternStats> patterns;
+};
+
+class MatchPipeline {
+ public:
+  /// Spawns `workers` threads immediately (they idle on empty rings).
+  /// `ring_batches` bounds each worker's queue of batch descriptors.
+  MatchPipeline(const EventStore& store, std::size_t workers,
+                std::size_t ring_batches);
+  ~MatchPipeline();
+
+  MatchPipeline(const MatchPipeline&) = delete;
+  MatchPipeline& operator=(const MatchPipeline&) = delete;
+
+  /// Registers a matcher into the next shard (round-robin).  Must happen
+  /// before the first dispatch(); the matcher must outlive the pipeline.
+  void add_matcher(OcepMatcher* matcher);
+
+  /// Hands the arrival range [dispatched(), end) to every worker.  The
+  /// events must already be appended (and thereby published) to the
+  /// store.  Delivery thread only.
+  void dispatch(std::uint64_t end);
+
+  /// Blocks until every worker has processed everything dispatched so
+  /// far.  After it returns, reading matcher state from the calling
+  /// thread is race-free.  Delivery thread only.
+  void drain();
+
+  [[nodiscard]] std::uint64_t dispatched() const noexcept {
+    return dispatched_;
+  }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Snapshot of the counters.  Call after drain() for exact values.
+  [[nodiscard]] PipelineStats stats() const;
+
+ private:
+  struct Batch {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+
+  struct PatternSlot {
+    OcepMatcher* matcher = nullptr;
+    std::size_t pattern_index = 0;
+    std::uint64_t events = 0;   // worker-thread only until drain()
+    double us_total = 0.0;
+    double us_max = 0.0;
+  };
+
+  struct Worker {
+    explicit Worker(std::size_t ring_batches) : ring(ring_batches) {}
+    SpscRing<Batch> ring;
+    std::vector<PatternSlot> patterns;
+    std::atomic<std::uint64_t> processed{0};  ///< arrival watermark done
+    std::atomic<std::uint64_t> batches{0};
+    std::uint64_t stalls = 0;  ///< producer-side, producer thread only
+    std::thread thread;
+  };
+
+  void worker_loop(Worker& worker);
+  void run_batch(Worker& worker, const Batch& batch);
+  static void backoff(unsigned& spins);
+
+  const EventStore& store_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  std::uint64_t dispatched_ = 0;
+  bool started_ = false;
+  std::size_t next_shard_ = 0;
+  std::size_t pattern_count_ = 0;
+};
+
+}  // namespace ocep

@@ -17,15 +17,35 @@
 //
 // Both backends answer every causal query identically (property-tested);
 // pick kSparse for long runs with many traces.
+//
+// Concurrency / publication contract
+// ----------------------------------
+// The store supports one writer thread (the delivery thread calling
+// append()) and any number of reader threads (the matching pipeline's
+// workers).  All storage is append-only and address-stable (StableVector
+// chunks never move), and the append path has an explicit publish point:
+// append() finishes by release-storing the new total into an atomic
+// visible count.  A reader that acquire-loads visible_count() — directly,
+// or transitively through the pipeline's ring hand-off — may freely query
+// any event in the published prefix; no lock is taken on any read path.
+// Causal queries are monotone: extra published events only tighten
+// least_successor, never change the relation between stored events, so
+// readers lagging behind the writer still compute identical answers.
+// The partner map is the one hash-based structure; its accesses are
+// guarded by a shared mutex when set_concurrent(true) was called (before
+// any thread is spawned) and unguarded in single-threaded use.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <span>
+#include <iterator>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "causality/vector_clock.h"
+#include "common/stable_vector.h"
 #include "common/string_pool.h"
 #include "model/event.h"
 #include "model/ids.h"
@@ -45,10 +65,15 @@ class EventStore {
 
   EventStore(const EventStore&) = delete;
   EventStore& operator=(const EventStore&) = delete;
-  EventStore(EventStore&&) = default;
-  EventStore& operator=(EventStore&&) = default;
+  EventStore(EventStore&& other) noexcept;
+  EventStore& operator=(EventStore&& other) noexcept;
 
   [[nodiscard]] ClockStorage storage() const noexcept { return storage_; }
+
+  /// Declares that reader threads will query the store while the writer
+  /// appends.  Must be called before any reader thread exists; turns on
+  /// locking of the partner map (all other read paths are lock-free).
+  void set_concurrent(bool concurrent) noexcept { concurrent_ = concurrent; }
 
   /// Registers a trace.  All traces must be added before the first event so
   /// that every stored timestamp has one entry per trace.
@@ -67,17 +92,84 @@ class EventStore {
   /// (each event after all its causal predecessors); this is how every
   /// producer — the simulator, reload, the POET wire — naturally emits, and
   /// it lets replay() run in O(1) per event.  Checked in debug builds.
+  ///
+  /// Writer thread only.  The event is published (visible to concurrent
+  /// readers) when append() returns.
   void append(const Event& event, const VectorClock& clock);
 
-  /// The order in which events were appended: a linearization of the
-  /// partial order.
-  [[nodiscard]] std::span<const EventId> arrival_order() const noexcept {
-    return arrival_order_;
+  /// Read-only view of the order in which events were appended: a
+  /// linearization of the partial order.  Sized at the published count, so
+  /// it is safe to take on a reader thread.
+  class ArrivalView {
+   public:
+    class Iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = EventId;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const EventId*;
+      using reference = const EventId&;
+
+      Iterator(const StableVector<EventId>* order, std::size_t pos)
+          : order_(order), pos_(pos) {}
+      reference operator*() const { return (*order_)[pos_]; }
+      Iterator& operator++() {
+        ++pos_;
+        return *this;
+      }
+      Iterator operator++(int) {
+        Iterator copy = *this;
+        ++pos_;
+        return copy;
+      }
+      friend bool operator==(const Iterator& a, const Iterator& b) {
+        return a.pos_ == b.pos_;
+      }
+      friend bool operator!=(const Iterator& a, const Iterator& b) {
+        return a.pos_ != b.pos_;
+      }
+
+     private:
+      const StableVector<EventId>* order_;
+      std::size_t pos_;
+    };
+
+    ArrivalView(const StableVector<EventId>& order, std::size_t count)
+        : order_(&order), count_(count) {}
+    [[nodiscard]] Iterator begin() const { return Iterator(order_, 0); }
+    [[nodiscard]] Iterator end() const { return Iterator(order_, count_); }
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    [[nodiscard]] EventId operator[](std::size_t pos) const {
+      return (*order_)[pos];
+    }
+
+   private:
+    const StableVector<EventId>* order_;
+    std::size_t count_;
+  };
+
+  [[nodiscard]] ArrivalView arrival_order() const noexcept {
+    return ArrivalView(arrival_order_, arrival_order_.visible_size());
   }
 
+  /// The id of the event at arrival position `pos` (0-based); `pos` must be
+  /// below event_count() on the writer or visible_count() on a reader.
+  [[nodiscard]] EventId arrival(std::uint64_t pos) const {
+    return arrival_order_[static_cast<std::size_t>(pos)];
+  }
+
+  /// Writer's view of the total.
   [[nodiscard]] std::size_t event_count() const noexcept {
     return total_events_;
   }
+
+  /// The publish point's acquire side: every arrival position below the
+  /// returned count is safe to read from this thread.
+  [[nodiscard]] std::uint64_t visible_count() const noexcept {
+    return visible_count_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] EventIndex trace_size(TraceId t) const;
 
   [[nodiscard]] const Event& event(EventId id) const;
@@ -118,15 +210,19 @@ class EventStore {
     std::uint32_t value = 0;
   };
 
+  /// Sparse columns start tiny (16 elements): most (trace, source) pairs
+  /// see few changes, and the chunk geometry doubles for the busy ones.
+  using ChangeColumn = StableVector<Change, 4>;
+
   struct Trace {
     Symbol name = kEmptySymbol;
-    std::vector<Event> events;
+    StableVector<Event> events;
     /// kDense: row-major timestamps, event j (0-based) occupies
     /// [j * stride, (j + 1) * stride).
-    std::vector<std::uint32_t> clocks;
+    StableVector<std::uint32_t> clocks;
     /// kSparse: per source trace, the change list of column V[.][source];
     /// plus the last full row for O(n) append-time delta detection.
-    std::vector<std::vector<Change>> columns;
+    std::vector<ChangeColumn> columns;
     std::vector<std::uint32_t> last_row;
   };
 
@@ -138,10 +234,13 @@ class EventStore {
   };
 
   ClockStorage storage_ = ClockStorage::kDense;
+  bool concurrent_ = false;
   std::vector<Trace> traces_;
-  std::vector<EventId> arrival_order_;
+  StableVector<EventId> arrival_order_;
   std::unordered_map<std::uint64_t, Partners> partners_;
+  mutable std::shared_mutex partners_mutex_;
   std::size_t total_events_ = 0;
+  std::atomic<std::uint64_t> visible_count_{0};
 };
 
 }  // namespace ocep

@@ -1,0 +1,282 @@
+// The parallel matching pipeline must be a pure performance feature:
+//
+//   1. Equivalence — the same stream through worker_threads = 0 and
+//      worker_threads > 0 yields identical representative subsets (exact
+//      matches, in order) and identical report counts per pattern, on
+//      both timestamp backends.  This is what licenses the "store may run
+//      ahead of the observation point" design (core/pipeline.h).
+//   2. Backpressure — a tiny ring with many events must stall the
+//      producer (bounded memory) and still produce identical results.
+//   3. Drain barrier — reading matcher state without drain() aborts;
+//      after drain() every counter is exact.
+//   4. add_pattern after the first event fails loudly (regression for the
+//      documented-but-once-unenforced contract).
+//
+// Plus unit coverage for the two new concurrency substrates
+// (StableVector, SpscRing).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/spsc_ring.h"
+#include "common/stable_vector.h"
+#include "core/monitor.h"
+#include "poet/replay.h"
+#include "random_computation.h"
+
+namespace ocep {
+namespace {
+
+// Eight patterns over the random computation's alphabets (types A..D,
+// texts ''/x/y, traces T0..), exercising every operator the matcher
+// implements plus attribute variables.
+const std::vector<std::string>& pattern_set() {
+  static const std::vector<std::string> patterns = {
+      "P := ['', A, '']; Q := ['', B, ''];\npattern := P -> Q;\n",
+      "P := ['', B, '']; Q := ['', C, ''];\npattern := P || Q;\n",
+      "S := ['', '', '']; R := ['', '', ''];\npattern := S <-> R;\n",
+      "P := ['', D, '']; Q := ['', A, ''];\npattern := P -lim-> Q;\n",
+      "P := ['', C, '$t']; Q := ['', '', '$t'];\npattern := P -> Q;\n",
+      "P := ['', A, '']; Q := ['', B, '']; R := ['', C, ''];\n"
+      "pattern := P -> Q -> R;\n",
+      "P := ['', A, '']; Q := ['', D, ''];\npattern := P || Q;\n",
+      "P := ['$p', B, '']; Q := ['$p', C, ''];\npattern := P -> Q;\n",
+  };
+  return patterns;
+}
+
+struct PatternOutcome {
+  std::vector<std::vector<EventId>> matches;  // subset, in report order
+  std::uint64_t reported = 0;
+  std::uint64_t observed = 0;
+};
+
+std::vector<PatternOutcome> run_with(const EventStore& source,
+                                     StringPool& pool,
+                                     const MonitorConfig& config) {
+  Monitor monitor(pool, config, source.storage());
+  for (const std::string& pattern : pattern_set()) {
+    monitor.add_pattern(pattern);
+  }
+  replay(source, monitor);
+  monitor.drain();
+  std::vector<PatternOutcome> out(monitor.pattern_count());
+  for (std::size_t i = 0; i < monitor.pattern_count(); ++i) {
+    const OcepMatcher& matcher = monitor.matcher(i);
+    for (const Match& match : matcher.subset().matches()) {
+      out[i].matches.push_back(match.bindings);
+    }
+    out[i].reported = matcher.stats().matches_reported;
+    out[i].observed = matcher.stats().events_observed;
+  }
+  return out;
+}
+
+void expect_same(const std::vector<PatternOutcome>& sequential,
+                 const std::vector<PatternOutcome>& parallel) {
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    SCOPED_TRACE("pattern " + std::to_string(i));
+    EXPECT_EQ(sequential[i].matches, parallel[i].matches)
+        << "representative subset diverged";
+    EXPECT_EQ(sequential[i].reported, parallel[i].reported);
+    EXPECT_EQ(sequential[i].observed, parallel[i].observed);
+  }
+}
+
+class PipelineEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineEquivalence, ParallelSubsetsMatchSequential) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = GetParam();
+  options.traces = 4;
+  options.events = 160;
+  // Odd seeds also cover the sparse timestamp backend.
+  if (GetParam() % 2 == 1) {
+    options.storage = ClockStorage::kSparse;
+  }
+  const EventStore source = testing::random_computation(pool, options);
+
+  const std::vector<PatternOutcome> sequential =
+      run_with(source, pool, MonitorConfig{});
+
+  // Several shard shapes: more workers than needed, uneven sharding, and
+  // a batch size that leaves a partial batch for drain() to flush.
+  for (const std::size_t workers : {1U, 3U, 4U}) {
+    SCOPED_TRACE("workers " + std::to_string(workers));
+    MonitorConfig config;
+    config.worker_threads = workers;
+    config.batch_size = 7;
+    config.ring_batches = 4;
+    expect_same(sequential, run_with(source, pool, config));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineEquivalence,
+                         ::testing::Values(11, 12, 13, 14));
+
+TEST(Pipeline, TinyRingBackpressuresWithoutChangingResults) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 21;
+  options.traces = 4;
+  options.events = 800;
+  const EventStore source = testing::random_computation(pool, options);
+
+  const std::vector<PatternOutcome> sequential =
+      run_with(source, pool, MonitorConfig{});
+
+  MonitorConfig config;
+  config.worker_threads = 2;
+  // One event per descriptor, and ring room for only two of them.
+  config.batch_size = 1;
+  config.ring_batches = 2;
+  Monitor monitor(pool, config, source.storage());
+  for (const std::string& pattern : pattern_set()) {
+    monitor.add_pattern(pattern);
+  }
+  replay(source, monitor);
+  monitor.drain();
+
+  std::vector<PatternOutcome> parallel(monitor.pattern_count());
+  for (std::size_t i = 0; i < monitor.pattern_count(); ++i) {
+    const OcepMatcher& matcher = monitor.matcher(i);
+    for (const Match& match : matcher.subset().matches()) {
+      parallel[i].matches.push_back(match.bindings);
+    }
+    parallel[i].reported = matcher.stats().matches_reported;
+    parallel[i].observed = matcher.stats().events_observed;
+  }
+  expect_same(sequential, parallel);
+
+  // 800 events through a 2-slot ring on finite hardware: the producer
+  // must have hit a full ring at least once.
+  const PipelineStats stats = monitor.stats();
+  std::uint64_t stalls = 0;
+  for (const PipelineWorkerStats& worker : stats.workers) {
+    stalls += worker.ring_full_stalls;
+  }
+  EXPECT_GT(stalls, 0U) << "tiny ring never backpressured the producer";
+}
+
+TEST(Pipeline, DrainMakesEveryCounterExact) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 22;
+  options.traces = 3;
+  options.events = 200;
+  const EventStore source = testing::random_computation(pool, options);
+
+  MonitorConfig config;
+  config.worker_threads = 2;
+  config.batch_size = 16;
+  Monitor monitor(pool, config, source.storage());
+  for (const std::string& pattern : pattern_set()) {
+    monitor.add_pattern(pattern);
+  }
+  replay(source, monitor);
+  monitor.drain();
+
+  EXPECT_EQ(monitor.events_seen(), source.event_count());
+  const PipelineStats stats = monitor.stats();
+  EXPECT_EQ(stats.events_dispatched, monitor.events_seen());
+  ASSERT_EQ(stats.workers.size(), 2U);
+  ASSERT_EQ(stats.patterns.size(), pattern_set().size());
+  for (std::size_t i = 0; i < stats.patterns.size(); ++i) {
+    EXPECT_EQ(stats.patterns[i].events_observed, monitor.events_seen());
+    EXPECT_LT(stats.patterns[i].worker, stats.workers.size());
+    EXPECT_EQ(monitor.matcher(i).stats().events_observed,
+              monitor.events_seen());
+  }
+  std::uint64_t worker_events = 0;
+  for (const PipelineWorkerStats& worker : stats.workers) {
+    worker_events += worker.events;
+  }
+  // Every worker observed every event once per pattern it owns.
+  EXPECT_EQ(worker_events, monitor.events_seen() * pattern_set().size());
+}
+
+TEST(PipelineDeathTest, ReadingMatcherStateWithoutDrainAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 23;
+  options.traces = 3;
+  options.events = 120;
+  const EventStore source = testing::random_computation(pool, options);
+
+  MonitorConfig config;
+  config.worker_threads = 1;
+  config.batch_size = 8;
+  Monitor monitor(pool, config, source.storage());
+  monitor.add_pattern(pattern_set()[0]);
+  replay(source, monitor);
+  // No drain(): the subset may still be mid-update on the worker.
+  EXPECT_DEATH(static_cast<void>(monitor.matcher(0)),
+               "drain\\(\\) the pipeline");
+  monitor.drain();
+  EXPECT_NO_FATAL_FAILURE(static_cast<void>(monitor.matcher(0)));
+}
+
+TEST(MonitorDeathTest, AddPatternAfterFirstEventAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  StringPool pool;
+  Monitor monitor(pool);
+  monitor.on_traces({pool.intern("T0")});
+  VectorClock clock(1);
+  clock.tick(0);
+  Event event;
+  event.id = EventId{0, 1};
+  event.type = pool.intern("A");
+  monitor.on_event(event, clock);
+  // The documented contract ("patterns must be added before the first
+  // event") must be enforced, not just stated.
+  EXPECT_DEATH(
+      monitor.add_pattern(
+          "P := ['', A, '']; Q := ['', B, ''];\npattern := P -> Q;\n"),
+      "before the first event");
+}
+
+TEST(StableVector, AddressesStayStableAcrossGrowth) {
+  StableVector<std::uint32_t, 4> vector;  // 16-element first chunk
+  vector.push_back(7);
+  const std::uint32_t* first = &vector[0];
+  for (std::uint32_t i = 1; i < 10000; ++i) {
+    vector.push_back(i);
+  }
+  EXPECT_EQ(first, &vector[0]) << "growth moved an element";
+  EXPECT_EQ(vector.size(), 10000U);
+  EXPECT_EQ(vector.visible_size(), 10000U);
+  EXPECT_EQ(vector[0], 7U);
+  for (std::uint32_t i = 1; i < 10000; ++i) {
+    ASSERT_EQ(vector[i], i);
+  }
+  EXPECT_GE(vector.capacity(), vector.size());
+}
+
+TEST(SpscRing, FifoOrderAndBoundedCapacity) {
+  SpscRing<int> ring(3);  // rounds up to 4
+  EXPECT_EQ(ring.capacity(), 4U);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.try_push(i));
+  }
+  EXPECT_FALSE(ring.try_push(99)) << "ring exceeded its bound";
+  int value = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(value));
+    EXPECT_EQ(value, i);
+  }
+  EXPECT_FALSE(ring.try_pop(value));
+  // Wrap-around keeps FIFO order.
+  for (int round = 0; round < 9; ++round) {
+    ASSERT_TRUE(ring.try_push(100 + round));
+    ASSERT_TRUE(ring.try_pop(value));
+    EXPECT_EQ(value, 100 + round);
+  }
+}
+
+}  // namespace
+}  // namespace ocep
