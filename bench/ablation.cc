@@ -51,7 +51,7 @@ std::vector<Config> configurations() {
 
 void run_case(const char* case_name,
               const std::vector<Workload>& workloads,
-              const std::string& pattern_text) {
+              const std::string& pattern_text, JsonReport& report) {
   for (const Config& config : configurations()) {
     Populations populations;
     MatchTotals totals;
@@ -65,6 +65,11 @@ void run_case(const char* case_name,
                 case_name, config.name, box.median, box.max,
                 totals.nodes_explored, totals.history_entries,
                 totals.history_pruned, totals.matches_reported);
+    report.begin_row(std::string(case_name) + "/" + config.name);
+    report.add("case", std::string(case_name));
+    report.add("config", std::string(config.name));
+    report.add_totals(totals);
+    report.add_latency("searched", populations.searched);
   }
 }
 
@@ -84,13 +89,14 @@ int main(int argc, char** argv) {
                 "config", "med_us", "max_us", "nodes", "history", "pruned",
                 "matches");
 
+    JsonReport report("ablation", params);
     {
       std::vector<Workload> workloads;
       for (std::uint32_t rep = 0; rep < params.reps; ++rep) {
         workloads.push_back(make_ordering_workload(traces, params.events,
                                                    params.seed + rep));
       }
-      run_case("ordering", workloads, apps::ordering_pattern());
+      run_case("ordering", workloads, apps::ordering_pattern(), report);
     }
     {
       std::vector<Workload> workloads;
@@ -98,7 +104,7 @@ int main(int argc, char** argv) {
         workloads.push_back(make_atomicity_workload(traces, params.events,
                                                     params.seed + rep));
       }
-      run_case("atomicity", workloads, apps::atomicity_pattern());
+      run_case("atomicity", workloads, apps::atomicity_pattern(), report);
     }
     {
       std::vector<Workload> workloads;
@@ -106,8 +112,9 @@ int main(int argc, char** argv) {
         workloads.push_back(make_deadlock_workload(traces, 4, params.events,
                                                    params.seed + rep));
       }
-      run_case("deadlock", workloads, apps::deadlock_pattern(4));
+      run_case("deadlock", workloads, apps::deadlock_pattern(4), report);
     }
+    report.write();
     return 0;
   } catch (const Error& error) {
     std::fprintf(stderr, "ablation: %s\n", error.what());

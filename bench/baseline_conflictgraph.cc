@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
     std::printf("%-6s %12s | %10s %10s | %12s %12s %12s %12s\n", "traces",
                 "events", "ocep_med", "ocep_max", "graph_q1med",
                 "graph_q4med", "graph_max", "violations");
+    JsonReport report("baseline_conflictgraph", params);
     for (const std::uint32_t traces : trace_counts) {
       Populations ocep_pop;
       MatchTotals ocep_totals;
@@ -84,7 +85,16 @@ int main(int argc, char** argv) {
                   "%12.2f %12" PRIu64 "\n",
                   traces, events, ocep_box.median, ocep_box.max,
                   early_box.median, late_box.median, graph_max, violations);
+      report.begin_row(std::to_string(traces));
+      report.add("traces", static_cast<std::uint64_t>(traces));
+      report.add("graph_q1_median_us", early_box.median);
+      report.add("graph_q4_median_us", late_box.median);
+      report.add("graph_max_us", graph_max);
+      report.add("violations", violations);
+      report.add_totals(ocep_totals);
+      report.add_latency("searched", ocep_pop.searched);
     }
+    report.write();
     std::printf("# graph_q4med >> graph_q1med: the conflict graph slows "
                 "down as sections accumulate; OCEP stays flat.\n");
     return 0;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <utility>
 
 #include "apps/patterns.h"
 #include "common/assert.h"
+#include "common/error.h"
 #include "metrics/stopwatch.h"
 
 namespace ocep::bench {
@@ -23,6 +25,7 @@ BenchParams parse_params(Flags& flags) {
   params.seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 1));
   params.verbose = flags.get_bool("verbose", false);
+  params.json_path = flags.get_string("json", "");
   return params;
 }
 
@@ -166,6 +169,155 @@ void print_row(const std::string& label, std::uint64_t events,
               "%10.2f %10" PRIu64 "\n",
               label.c_str(), events, box.count, box.q1, box.median, box.q3,
               box.top_whisker, box.max, matches);
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string json_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+/// Nearest-rank quantile over an ascending-sorted sample vector.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[rank < sorted.size() ? rank : sorted.size() - 1];
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string bench, const BenchParams& params)
+    : bench_(std::move(bench)), path_(params.json_path) {
+  params_json_ = "{\"events\": " + std::to_string(params.events) +
+                 ", \"reps\": " + std::to_string(params.reps) +
+                 ", \"seed\": " + std::to_string(params.seed) + "}";
+}
+
+void JsonReport::begin_row(const std::string& label) {
+  if (path_.empty()) {
+    return;
+  }
+  if (row_open_) {
+    rows_.push_back(current_ + "}");
+  }
+  current_ = "{\"label\": \"" + json_escape(label) + "\"";
+  row_open_ = true;
+}
+
+void JsonReport::field_sep() { current_ += ", "; }
+
+void JsonReport::add(const std::string& key, std::uint64_t value) {
+  if (!row_open_) {
+    return;
+  }
+  field_sep();
+  current_ += "\"" + json_escape(key) + "\": " + std::to_string(value);
+}
+
+void JsonReport::add(const std::string& key, std::int64_t value) {
+  if (!row_open_) {
+    return;
+  }
+  field_sep();
+  current_ += "\"" + json_escape(key) + "\": " + std::to_string(value);
+}
+
+void JsonReport::add(const std::string& key, double value) {
+  if (!row_open_) {
+    return;
+  }
+  field_sep();
+  current_ += "\"" + json_escape(key) + "\": " + json_double(value);
+}
+
+void JsonReport::add(const std::string& key, const std::string& value) {
+  if (!row_open_) {
+    return;
+  }
+  field_sep();
+  current_ +=
+      "\"" + json_escape(key) + "\": \"" + json_escape(value) + "\"";
+}
+
+void JsonReport::add_latency(const std::string& prefix,
+                             metrics::LatencyRecorder& recorder) {
+  if (!row_open_) {
+    return;
+  }
+  const metrics::Boxplot box = recorder.summarize();  // sorts in place
+  const std::vector<double>& sorted = recorder.samples();
+  add(prefix + "_samples", static_cast<std::uint64_t>(box.count));
+  add(prefix + "_p50_us", box.median);
+  add(prefix + "_p95_us", sorted_quantile(sorted, 0.95));
+  add(prefix + "_p99_us", sorted_quantile(sorted, 0.99));
+  add(prefix + "_q1_us", box.q1);
+  add(prefix + "_q3_us", box.q3);
+  add(prefix + "_top_whisker_us", box.top_whisker);
+  add(prefix + "_mean_us", box.mean);
+  add(prefix + "_max_us", box.max);
+}
+
+void JsonReport::add_totals(const MatchTotals& totals) {
+  if (!row_open_) {
+    return;
+  }
+  add("events", totals.events);
+  add("matches", totals.matches_reported);
+  add("subset_size", totals.subset_size);
+  add("searches", totals.searches);
+  add("nodes_explored", totals.nodes_explored);
+  add("backjumps", totals.backjumps);
+  add("history_entries", totals.history_entries);
+  add("history_merged", totals.history_merged);
+  add("history_pruned", totals.history_pruned);
+}
+
+bool JsonReport::write() {
+  if (path_.empty()) {
+    return false;
+  }
+  if (row_open_) {
+    rows_.push_back(current_ + "}");
+    row_open_ = false;
+    current_.clear();
+  }
+  std::string doc = "{\n  \"bench\": \"" + json_escape(bench_) + "\",\n" +
+                    "  \"params\": " + params_json_ + ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    doc += i == 0 ? "\n    " : ",\n    ";
+    doc += rows_[i];
+  }
+  doc += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  std::FILE* out = std::fopen(path_.c_str(), "wb");
+  if (out == nullptr) {
+    throw Error("cannot write '" + path_ + "'");
+  }
+  std::fwrite(doc.data(), 1, doc.size(), out);
+  std::fclose(out);
+  return true;
 }
 
 }  // namespace ocep::bench

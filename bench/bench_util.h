@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/apps.h"
 #include "common/flags.h"
@@ -29,10 +30,11 @@ struct BenchParams {
   std::uint32_t reps = 3;         ///< runs per configuration (paper: 5)
   std::uint64_t seed = 1;
   bool verbose = false;
+  std::string json_path;          ///< --json FILE: machine-readable record
 };
 
-/// Parses --events/--reps/--seed/--full/--verbose; --full selects the
-/// paper-scale methodology (1e6 events, 5 reps).
+/// Parses --events/--reps/--seed/--full/--verbose/--json; --full selects
+/// the paper-scale methodology (1e6 events, 5 reps).
 [[nodiscard]] BenchParams parse_params(Flags& flags);
 
 /// A generated workload: the simulator is kept alive because it owns the
@@ -97,5 +99,45 @@ void print_row(const std::string& label, std::uint64_t events,
 /// Prints the standard table header.
 void print_header(const std::string& title, const std::string& label_name,
                   const BenchParams& params);
+
+/// Machine-readable bench record (the BENCH_*.json trajectory files).
+///
+/// Accumulates one JSON object per result row and, when the bench was
+/// invoked with --json FILE, writes
+///   {"bench": ..., "params": {...}, "rows": [{...}, ...]}
+/// Without --json every call is a cheap no-op, so benches can emit rows
+/// unconditionally.  Latency fields are microseconds, matching the
+/// printed tables.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, const BenchParams& params);
+
+  /// Starts a new row; subsequent add_* calls attach fields to it.
+  void begin_row(const std::string& label);
+  void add(const std::string& key, std::uint64_t value);
+  void add(const std::string& key, std::int64_t value);
+  void add(const std::string& key, double value);
+  void add(const std::string& key, const std::string& value);
+  /// Per-arrival latency quantiles (count, p50/p95/p99, boxplot marks).
+  /// Sorts the recorder's samples in place.
+  void add_latency(const std::string& prefix,
+                   metrics::LatencyRecorder& recorder);
+  /// The matcher search counters.
+  void add_totals(const MatchTotals& totals);
+
+  /// Writes the document; returns false (silently) when --json was not
+  /// given.  Throws ocep::Error when the file cannot be written.
+  bool write();
+
+ private:
+  void field_sep();
+
+  std::string bench_;
+  std::string path_;
+  std::string params_json_;
+  std::vector<std::string> rows_;
+  std::string current_;
+  bool row_open_ = false;
+};
 
 }  // namespace ocep::bench

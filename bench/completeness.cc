@@ -28,14 +28,19 @@ struct Row {
   std::uint64_t events = 0;
 };
 
-void print(const char* name, const Row& row) {
+void print(const char* name, const Row& row, JsonReport& report) {
+  const bool pass =
+      row.detected == row.injected && row.false_positives == 0;
   std::printf("%-10s %12" PRIu64 " %10" PRIu64 " %10" PRIu64 " %16" PRIu64
               " %10s\n",
               name, row.events, row.injected, row.detected,
-              row.false_positives,
-              (row.detected == row.injected && row.false_positives == 0)
-                  ? "PASS"
-                  : "FAIL");
+              row.false_positives, pass ? "PASS" : "FAIL");
+  report.begin_row(name);
+  report.add("events", row.events);
+  report.add("injected", row.injected);
+  report.add("detected", row.detected);
+  report.add("false_positives", row.false_positives);
+  report.add("verdict", std::string(pass ? "PASS" : "FAIL"));
 }
 
 std::vector<Match> run_matcher(const EventStore& store, StringPool& pool,
@@ -66,6 +71,7 @@ int main(int argc, char** argv) {
                 "false positives (%u traces)\n", traces);
     std::printf("%-10s %12s %10s %10s %16s %10s\n", "case", "events",
                 "injected", "detected", "false_positives", "verdict");
+    JsonReport report("completeness", params);
 
     // --- Deadlock: one injected cycle per run -------------------------
     {
@@ -93,7 +99,7 @@ int main(int argc, char** argv) {
         }
         row.detected += found ? 1 : 0;
       }
-      print("Deadlock", row);
+      print("Deadlock", row, report);
     }
 
     // --- Races: oracle = timestamp comparison --------------------------
@@ -138,7 +144,7 @@ int main(int argc, char** argv) {
           row.false_positives += oracle.contains(r) ? 0U : 1U;
         }
       }
-      print("Races", row);
+      print("Races", row, report);
     }
 
     // --- Atomicity: injection log --------------------------------------
@@ -176,7 +182,7 @@ int main(int argc, char** argv) {
           row.detected += matched_enters.contains(enter) ? 1U : 0U;
         }
       }
-      print("Atomicity", row);
+      print("Atomicity", row, report);
     }
 
     // --- Ordering: injection log ---------------------------------------
@@ -209,8 +215,9 @@ int main(int argc, char** argv) {
         }
         row.detected += detected.size();
       }
-      print("Ordering", row);
+      print("Ordering", row, report);
     }
+    report.write();
     return 0;
   } catch (const Error& error) {
     std::fprintf(stderr, "completeness: %s\n", error.what());

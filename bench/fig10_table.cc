@@ -18,7 +18,7 @@ void run_case(const char* name, Workload (*make)(std::uint32_t,
                                                  std::uint64_t,
                                                  std::uint64_t),
               const std::string& pattern_text, std::uint32_t traces,
-              const BenchParams& params) {
+              const BenchParams& params, JsonReport& report) {
   Populations populations;
   MatchTotals totals;
   for (std::uint32_t rep = 0; rep < params.reps; ++rep) {
@@ -30,6 +30,11 @@ void run_case(const char* name, Workload (*make)(std::uint32_t,
   std::printf("%-10s %8" PRIu64 " %10.0f %10.0f %10.0f %14.0f %10.0f\n",
               name, totals.events / params.reps, box.q1, box.median, box.q3,
               box.top_whisker, box.max);
+  report.begin_row(name);
+  report.add("traces", static_cast<std::uint64_t>(traces));
+  report.add_totals(totals);
+  report.add_latency("searched", populations.searched);
+  report.add_latency("all", populations.all);
 }
 
 Workload make_deadlock_50(std::uint32_t traces, std::uint64_t events,
@@ -56,14 +61,16 @@ int main(int argc, char** argv) {
                 small, large, params.reps, params.events);
     std::printf("%-10s %8s %10s %10s %10s %14s %10s\n", "case", "events",
                 "Q1", "Med", "Q3", "TopWhisker", "Max");
+    JsonReport report("fig10_table", params);
     run_case("Deadlock", make_deadlock_50, apps::deadlock_pattern(4), small,
-             params);
+             params, report);
     run_case("Races", make_race_workload, apps::race_pattern(), small,
-             params);
+             params, report);
     run_case("Atomicity", make_atomicity_workload, apps::atomicity_pattern(),
-             small, params);
+             small, params, report);
     run_case("Ordering", make_ordering_workload, apps::ordering_pattern(),
-             large, params);
+             large, params, report);
+    report.write();
     return 0;
   } catch (const Error& error) {
     std::fprintf(stderr, "fig10_table: %s\n", error.what());

@@ -13,6 +13,7 @@
 
 #include "baseline/naive_matcher.h"
 #include "baseline/window_matcher.h"
+#include "bench_util.h"
 #include "common/error.h"
 #include "common/flags.h"
 #include "common/string_pool.h"
@@ -129,10 +130,18 @@ Report compare(const EventStore& store, StringPool& pool,
   return out;
 }
 
-void print_report(const char* name, const Report& r) {
+void print_report(const char* name, const Report& r,
+                  bench::JsonReport& report) {
   std::printf("%-22s %10zu %10zu %10zu %10zu %10zu %10zu\n", name,
               r.all_matches, r.all_pairs, r.window_matches, r.window_pairs,
               r.ocep_subset, r.ocep_pairs);
+  report.begin_row(name);
+  report.add("all_matches", static_cast<std::uint64_t>(r.all_matches));
+  report.add("all_pairs", static_cast<std::uint64_t>(r.all_pairs));
+  report.add("window_matches", static_cast<std::uint64_t>(r.window_matches));
+  report.add("window_pairs", static_cast<std::uint64_t>(r.window_pairs));
+  report.add("ocep_subset", static_cast<std::uint64_t>(r.ocep_subset));
+  report.add("ocep_pairs", static_cast<std::uint64_t>(r.ocep_pairs));
 }
 
 }  // namespace
@@ -144,7 +153,10 @@ int main(int argc, char** argv) {
         flags.get_int("traces", 6));
     const auto groups = static_cast<std::uint32_t>(
         flags.get_int("groups", 4));
+    bench::BenchParams params;
+    params.json_path = flags.get_string("json", "");
     flags.check_unused();
+    bench::JsonReport json_report("fig3_subset", params);
 
     std::printf("# Fig 3: representative subset vs sliding window "
                 "(pattern A -> B; window = n^2 events)\n");
@@ -171,7 +183,7 @@ int main(int argc, char** argv) {
       c.local(pool, 1, "e");
       c.recv(pool, 1, m, "recv");
       c.local(pool, 1, "b");  // b25
-      print_report("paper-diagram", compare(c.store, pool, 9));
+      print_report("paper-diagram", compare(c.store, pool, 9), json_report);
     }
     {
       // Part 2: matches span far beyond any window.  Each trace t >= 1
@@ -193,10 +205,12 @@ int main(int argc, char** argv) {
         }
         c.local(pool, 0, "b");
       }
-      print_report("window-spanning", compare(c.store, pool, window));
+      print_report("window-spanning", compare(c.store, pool, window),
+                   json_report);
     }
     std::printf("# win_pairs < all_pairs shows the omission problem; "
                 "ocep_pairs == all_pairs shows representativeness.\n");
+    json_report.write();
     return 0;
   } catch (const Error& error) {
     std::fprintf(stderr, "fig3_subset: %s\n", error.what());

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     print_header("Fig 6: deadlock detection time (random walk, cycle "
                  "length " + std::to_string(cycle) + ")",
                  "traces", params);
+    JsonReport report("fig6_deadlock", params);
     for (const std::uint32_t traces : trace_counts) {
       Populations populations;
       MatchTotals totals;
@@ -60,11 +61,19 @@ int main(int argc, char** argv) {
       }
       print_row(std::to_string(traces), totals.events, populations.searched,
                 totals.matches_reported);
+      report.begin_row(std::to_string(traces));
+      report.add("traces", static_cast<std::uint64_t>(traces));
+      report.add("cycle", static_cast<std::uint64_t>(cycle));
+      report.add("deadlocks_found", deadlocks_found);
+      report.add_totals(totals);
+      report.add_latency("searched", populations.searched);
+      report.add_latency("all", populations.all);
       if (deadlocks_found != params.reps) {
         std::printf("# WARNING: deadlock detected in %" PRIu64 "/%u runs\n",
                     deadlocks_found, params.reps);
       }
     }
+    report.write();
     return 0;
   } catch (const Error& error) {
     std::fprintf(stderr, "fig6_deadlock: %s\n", error.what());

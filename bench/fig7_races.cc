@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
 
     print_header("Fig 7: message-race detection time (many-to-one with "
                  "ANY_SOURCE)", "traces", params);
+    JsonReport report("fig7_races", params);
     for (const std::uint32_t traces : trace_counts) {
       Populations populations;
       MatchTotals totals;
@@ -38,7 +39,13 @@ int main(int argc, char** argv) {
       }
       print_row(std::to_string(traces), totals.events, populations.searched,
                 totals.matches_reported);
+      report.begin_row(std::to_string(traces));
+      report.add("traces", static_cast<std::uint64_t>(traces));
+      report.add_totals(totals);
+      report.add_latency("searched", populations.searched);
+      report.add_latency("all", populations.all);
     }
+    report.write();
     return 0;
   } catch (const Error& error) {
     std::fprintf(stderr, "fig7_races: %s\n", error.what());

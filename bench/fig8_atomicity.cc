@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     print_header("Fig 8: atomicity-violation detection time "
                  "(semaphore-protected method, 1% skipped acquires)",
                  "traces", params);
+    JsonReport report("fig8_atomicity", params);
     for (const std::uint32_t traces : trace_counts) {
       Populations populations;
       MatchTotals totals;
@@ -39,7 +40,13 @@ int main(int argc, char** argv) {
       }
       print_row(std::to_string(traces), totals.events, populations.searched,
                 totals.matches_reported);
+      report.begin_row(std::to_string(traces));
+      report.add("traces", static_cast<std::uint64_t>(traces));
+      report.add_totals(totals);
+      report.add_latency("searched", populations.searched);
+      report.add_latency("all", populations.all);
     }
+    report.write();
     return 0;
   } catch (const Error& error) {
     std::fprintf(stderr, "fig8_atomicity: %s\n", error.what());

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
     std::printf("%-6s %12s | %14s %12s | %14s %12s | %8s\n", "traces",
                 "events", "dense_MiB", "dense_med", "sparse_MiB",
                 "sparse_med", "ratio");
+    JsonReport report("memory_store", params);
     for (const std::uint32_t traces : trace_counts) {
       double dense_bytes = 0, sparse_bytes = 0;
       Populations dense_pop, sparse_pop;
@@ -76,7 +77,15 @@ int main(int argc, char** argv) {
                   traces, events, dense_bytes / (1024 * 1024),
                   dense_box.median, sparse_bytes / (1024 * 1024),
                   sparse_box.median, dense_bytes / sparse_bytes);
+      report.begin_row(std::to_string(traces));
+      report.add("traces", static_cast<std::uint64_t>(traces));
+      report.add("events", events);
+      report.add("dense_bytes", dense_bytes);
+      report.add("sparse_bytes", sparse_bytes);
+      report.add("dense_median_us", dense_box.median);
+      report.add("sparse_median_us", sparse_box.median);
     }
+    report.write();
     std::printf("# ratio = dense bytes / sparse bytes; medians are "
                 "per-terminating-event microseconds.\n");
     return 0;

@@ -53,11 +53,12 @@ struct Cell {
 Cell run_config(const EventStore& source, StringPool& pool,
                 const std::vector<std::string>& patterns,
                 std::size_t pattern_count, std::size_t workers,
-                std::uint32_t reps) {
+                std::uint32_t reps, bool metrics) {
   Cell cell;
   for (std::uint32_t rep = 0; rep < reps; ++rep) {
     MonitorConfig config;
     config.worker_threads = workers;
+    config.metrics = metrics;
     Monitor monitor(pool, config, source.storage());
     for (std::size_t i = 0; i < pattern_count; ++i) {
       monitor.add_pattern(patterns[i]);
@@ -81,6 +82,9 @@ int main(int argc, char** argv) {
     BenchParams params = parse_params(flags);
     const auto traces =
         static_cast<std::uint32_t>(flags.get_int("traces", 8));
+    // Measure the telemetry layer's own cost (off by default, like
+    // MonitorConfig::metrics).
+    const bool metrics = flags.get_bool("metrics", false);
     flags.check_unused();
     if (traces < 2) {
       // The generator needs a send peer; one trace would spin forever.
@@ -111,12 +115,13 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
 
+    JsonReport report("pipeline", params);
     for (const std::size_t pattern_count : pattern_counts) {
       std::printf("%-9zu", pattern_count);
       double base_seconds = 0;
       for (const std::size_t workers : worker_counts) {
         const Cell cell = run_config(source, pool, patterns, pattern_count,
-                                     workers, params.reps);
+                                     workers, params.reps, metrics);
         const double events_total =
             static_cast<double>(options.events) * params.reps;
         const double rate = events_total / cell.seconds;
@@ -126,6 +131,15 @@ int main(int argc, char** argv) {
         } else {
           std::printf(" %12.0f (x%4.2f)", rate, base_seconds / cell.seconds);
         }
+        report.begin_row("patterns=" + std::to_string(pattern_count) +
+                         "/workers=" + std::to_string(workers));
+        report.add("patterns", static_cast<std::uint64_t>(pattern_count));
+        report.add("workers", static_cast<std::uint64_t>(workers));
+        report.add("events_per_sec", rate);
+        report.add("seconds", cell.seconds);
+        report.add("speedup",
+                   workers == 0 ? 1.0 : base_seconds / cell.seconds);
+        report.add("ring_stalls", cell.stalls);
         if (params.verbose && cell.stalls > 0) {
           std::fprintf(stderr, "# patterns=%zu workers=%zu stalls=%" PRIu64
                        "\n", pattern_count, workers, cell.stalls);
@@ -133,6 +147,7 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
+    report.write();
     std::printf("# speedup requires real cores: with %u hardware threads, "
                 "workers beyond that only add hand-off cost.\n",
                 std::thread::hardware_concurrency());

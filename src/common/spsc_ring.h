@@ -52,6 +52,14 @@ class SpscRing {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
 
+  /// Approximate occupancy (exact when called by the producer between its
+  /// own pushes; the consumer may concurrently pop).  Telemetry only.
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return head - tail;
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t mask_;

@@ -1,6 +1,7 @@
 #include "core/matcher.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/assert.h"
 
@@ -187,6 +188,9 @@ bool OcepMatcher::leaf_accepts(const pattern::Leaf& leaf,
 
 void OcepMatcher::observe(const Event& event) {
   lazy_init();
+  // Snapshot for the per-observe telemetry deltas; skipped entirely (one
+  // predictable branch) when no sinks are attached.
+  const MatcherStats before = telemetry_on_ ? stats_ : MatcherStats{};
   ++stats_.events_observed;
   const TraceId trace = event.id.trace;
   OCEP_ASSERT(trace < traces_);
@@ -240,6 +244,41 @@ void OcepMatcher::observe(const Event& event) {
     stats_.history_merged += history.merged();
     stats_.history_pruned += history.pruned();
   }
+  if (telemetry_on_) {
+    publish_telemetry(before);
+  }
+}
+
+void OcepMatcher::publish_telemetry(const MatcherStats& before) {
+  const auto bump = [](obs::Counter* counter, std::uint64_t delta) {
+    if (counter != nullptr && delta != 0) {
+      counter->add(delta);
+    }
+  };
+  bump(telemetry_.events, 1);
+  bump(telemetry_.leaf_hits, stats_.leaf_hits - before.leaf_hits);
+  bump(telemetry_.searches, stats_.searches - before.searches);
+  bump(telemetry_.matches, stats_.matches_reported - before.matches_reported);
+  bump(telemetry_.nodes, stats_.nodes_explored - before.nodes_explored);
+  bump(telemetry_.domain_prunes, stats_.domain_prunes - before.domain_prunes);
+  bump(telemetry_.backjumps, stats_.backjumps - before.backjumps);
+  bump(telemetry_.pins_run, stats_.pins_run - before.pins_run);
+  bump(telemetry_.pins_skipped, stats_.pins_skipped - before.pins_skipped);
+  if (stats_.searches == before.searches) {
+    return;  // not a terminating event: no search distributions to record
+  }
+  if (telemetry_.levels_visited != nullptr) {
+    telemetry_.levels_visited->record(stats_.levels_entered -
+                                      before.levels_entered);
+  }
+  if (telemetry_.candidates_scanned != nullptr) {
+    telemetry_.candidates_scanned->record(stats_.nodes_explored -
+                                          before.nodes_explored);
+  }
+  if (telemetry_.matches_found != nullptr) {
+    telemetry_.matches_found->record(stats_.matches_reported -
+                                     before.matches_reported);
+  }
 }
 
 void OcepMatcher::run_anchor(std::uint32_t anchor_leaf, const Event& event) {
@@ -281,6 +320,10 @@ void OcepMatcher::run_anchor(std::uint32_t anchor_leaf, const Event& event) {
   ++stats_.searches;
   std::uint64_t conflicts = 0;
   if (!extend(order, 1, Pin{}, conflicts)) {
+    if (telemetry_.conflict_set_size != nullptr) {
+      telemetry_.conflict_set_size->record(
+          static_cast<std::uint64_t>(std::popcount(conflicts)));
+    }
     return;  // no match contains the anchor: nothing to cover
   }
   report(/*pinned=*/false);
@@ -296,13 +339,10 @@ void OcepMatcher::run_anchor(std::uint32_t anchor_leaf, const Event& event) {
       continue;  // the anchor is fixed to this event's trace
     }
     for (TraceId t = 0; t < traces_; ++t) {
-      if (local_covered[static_cast<std::size_t>(leaf) * traces_ + t]) {
-        continue;
-      }
-      if (config_.global_coverage && subset_.covered(leaf, t)) {
-        continue;
-      }
-      if (histories_[leaf].on_trace(t).empty()) {
+      if (local_covered[static_cast<std::size_t>(leaf) * traces_ + t] ||
+          (config_.global_coverage && subset_.covered(leaf, t)) ||
+          histories_[leaf].on_trace(t).empty()) {
+        ++stats_.pins_skipped;
         continue;
       }
       // Pinned order: the anchor, then the pinned leaf, then the greedy
@@ -312,6 +352,7 @@ void OcepMatcher::run_anchor(std::uint32_t anchor_leaf, const Event& event) {
       if (!prepare(pin_order)) {
         continue;
       }
+      ++stats_.pins_run;
       ++stats_.searches;
       std::uint64_t pin_conflicts = 0;
       if (extend(pin_order, 1, Pin{true, leaf, t}, pin_conflicts)) {
@@ -339,6 +380,7 @@ bool OcepMatcher::extend(const std::vector<std::uint32_t>& order,
   if (depth == order.size()) {
     return true;
   }
+  ++stats_.levels_entered;
   const std::uint32_t leaf = order[depth];
   const pattern::Leaf& spec = pattern_.leaves[leaf];
 
@@ -397,6 +439,7 @@ bool OcepMatcher::extend(const std::vector<std::uint32_t>& order,
     if (config_.domain_pruning) {
       std::uint64_t blame = 0;
       if (!domain_on_trace(leaf, t, lo, hi, blame, setters)) {
+        ++stats_.domain_prunes;
         my_conflicts |= blame;
         continue;
       }
@@ -517,6 +560,16 @@ bool OcepMatcher::try_candidate(const std::vector<std::uint32_t>& order,
     // This level's choice is irrelevant to the failure below: jump past it
     // (the paper's goBackward with recorded conflict timestamps).
     ++stats_.backjumps;
+    if (telemetry_.backjump_distance != nullptr) {
+      // Levels the jump skips: down to the deepest blamed level below this
+      // one (or to the anchor when nothing below is blamed).
+      const std::uint64_t blamed_below = child_conflicts & (bit(depth) - 1);
+      const std::size_t land =
+          blamed_below == 0
+              ? 0
+              : static_cast<std::size_t>(std::bit_width(blamed_below)) - 1;
+      telemetry_.backjump_distance->record(depth - land);
+    }
     conflict_out |= child_conflicts;
     backjump = true;
     return false;

@@ -26,8 +26,10 @@
 #include <functional>
 #include <vector>
 
+#include "common/assert.h"
 #include "core/history.h"
 #include "core/subset.h"
+#include "obs/metrics.h"
 #include "pattern/compiled.h"
 #include "poet/event_store.h"
 
@@ -68,6 +70,32 @@ struct MatcherStats {
   std::uint64_t history_entries = 0;
   std::uint64_t history_merged = 0;
   std::uint64_t history_pruned = 0;
+  std::uint64_t levels_entered = 0;     ///< backtracking levels visited
+  std::uint64_t domain_prunes = 0;      ///< empty Fig-4 intervals (goBackward)
+  std::uint64_t pins_run = 0;           ///< coverage pin searches executed
+  std::uint64_t pins_skipped = 0;       ///< pins avoided (covered / empty)
+};
+
+/// Optional per-matcher telemetry sinks (src/obs/metrics.h).  Counters
+/// receive the per-observe deltas of the matching MatcherStats fields;
+/// histograms record per-terminating-event distributions.  Null pointers
+/// disable the corresponding instrument; a default-constructed struct
+/// disables everything (the hot path then pays one branch per observe).
+struct MatcherTelemetry {
+  obs::Counter* events = nullptr;
+  obs::Counter* leaf_hits = nullptr;
+  obs::Counter* searches = nullptr;
+  obs::Counter* matches = nullptr;
+  obs::Counter* nodes = nullptr;
+  obs::Counter* domain_prunes = nullptr;
+  obs::Counter* backjumps = nullptr;
+  obs::Counter* pins_run = nullptr;
+  obs::Counter* pins_skipped = nullptr;
+  obs::Histogram* levels_visited = nullptr;      ///< per terminating event
+  obs::Histogram* candidates_scanned = nullptr;  ///< per terminating event
+  obs::Histogram* matches_found = nullptr;       ///< per terminating event
+  obs::Histogram* backjump_distance = nullptr;   ///< per backjump (levels)
+  obs::Histogram* conflict_set_size = nullptr;   ///< per failed free search
 };
 
 /// Called for every reported match.  `newly_covering` is true when the
@@ -92,6 +120,15 @@ class OcepMatcher {
 
   /// Feeds one event; runs anchored searches when it is terminating.
   void observe(const Event& event);
+
+  /// Attaches telemetry sinks.  Must be called before the first observe()
+  /// and from the owning thread; the instruments must outlive the matcher.
+  void set_telemetry(const MatcherTelemetry& telemetry) {
+    OCEP_ASSERT_MSG(stats_.events_observed == 0,
+                    "telemetry must be attached before the first event");
+    telemetry_ = telemetry;
+    telemetry_on_ = true;
+  }
 
   [[nodiscard]] const pattern::CompiledPattern& pattern() const noexcept {
     return pattern_;
@@ -129,6 +166,9 @@ class OcepMatcher {
 
   void run_anchor(std::uint32_t anchor_leaf, const Event& event);
   void report(bool pinned);
+  /// Per-observe telemetry publication: counter deltas against `before`,
+  /// plus the per-terminating-event histograms when a search ran.
+  void publish_telemetry(const MatcherStats& before);
 
   /// Search machinery (one search at a time; scratch state is reused).
   struct Pin {
@@ -170,6 +210,8 @@ class OcepMatcher {
   pattern::CompiledPattern pattern_;
   MatcherConfig config_;
   MatchCallback on_match_;
+  MatcherTelemetry telemetry_;
+  bool telemetry_on_ = false;
 
   /// Builds a selectivity-aware evaluation order (the pattern tree's Order
   /// attribute): starting from `seeds`, greedily append the leaf whose

@@ -1,18 +1,70 @@
 #include "core/monitor.h"
 
+#include <string>
+
 #include "common/assert.h"
+#include "metrics/stopwatch.h"
 
 namespace ocep {
 
 Monitor::Monitor(StringPool& pool, const MonitorConfig& config,
                  ClockStorage storage)
     : pool_(&pool), store_(storage), config_(config) {
+  if (config_.metrics) {
+    registry_ = std::make_unique<obs::Registry>();
+    arrival_ns_ = &registry_->histogram(
+        "monitor.arrival_ns", "",
+        "per-arrival delivery-thread latency (ns)");
+    store_events_ =
+        &registry_->gauge("store.events", "", "events held by the store");
+    store_bytes_ = &registry_->gauge("store.bytes", "",
+                                     "approximate store footprint (bytes)");
+    store_traces_ =
+        &registry_->gauge("store.traces", "", "traces announced");
+  }
   if (config_.worker_threads > 0) {
     OCEP_ASSERT_MSG(config_.batch_size > 0, "batch_size must be positive");
     store_.set_concurrent(true);
     pipeline_ = std::make_unique<MatchPipeline>(
         store_, config_.worker_threads, config_.ring_batches);
+    if (registry_) {
+      pipeline_->enable_metrics(*registry_);
+    }
   }
+}
+
+MatcherTelemetry Monitor::make_telemetry(std::size_t index) {
+  const std::string label = "pattern=\"" + std::to_string(index) + "\"";
+  obs::Registry& reg = *registry_;
+  MatcherTelemetry t;
+  t.events = &reg.counter("matcher.events", label, "events observed");
+  t.leaf_hits = &reg.counter("matcher.leaf_hits", label,
+                             "events appended to >= 1 history");
+  t.searches =
+      &reg.counter("matcher.searches", label, "anchored searches run");
+  t.matches = &reg.counter("matcher.matches", label, "matches reported");
+  t.nodes = &reg.counter("matcher.nodes", label,
+                         "candidate instantiations tried");
+  t.domain_prunes = &reg.counter("matcher.domain_prunes", label,
+                                 "empty Fig-4 candidate intervals");
+  t.backjumps =
+      &reg.counter("matcher.backjumps", label, "conflict-directed jumps");
+  t.pins_run =
+      &reg.counter("matcher.pins_run", label, "coverage pins searched");
+  t.pins_skipped = &reg.counter("matcher.pins_skipped", label,
+                                "coverage pins skipped");
+  t.levels_visited = &reg.histogram("matcher.levels_visited", label,
+                                    "levels per terminating event");
+  t.candidates_scanned =
+      &reg.histogram("matcher.candidates_scanned", label,
+                     "candidates per terminating event");
+  t.matches_found = &reg.histogram("matcher.matches_found", label,
+                                   "matches per terminating event");
+  t.backjump_distance = &reg.histogram("matcher.backjump_distance", label,
+                                       "levels skipped per backjump");
+  t.conflict_set_size = &reg.histogram("matcher.conflict_set_size", label,
+                                       "conflict-set size per failed search");
+  return t;
 }
 
 std::size_t Monitor::add_pattern(std::string_view source,
@@ -23,10 +75,20 @@ std::size_t Monitor::add_pattern(std::string_view source,
   pattern::CompiledPattern compiled = pattern::compile(source, *pool_);
   matchers_.push_back(std::make_unique<OcepMatcher>(
       store_, std::move(compiled), config, std::move(on_match)));
+  const std::size_t index = matchers_.size() - 1;
+  if (registry_) {
+    matchers_.back()->set_telemetry(make_telemetry(index));
+    if (pipeline_ == nullptr) {
+      observe_ns_.push_back(&registry_->histogram(
+          "monitor.observe_ns",
+          "pattern=\"" + std::to_string(index) + "\"",
+          "per-arrival observe latency (ns)"));
+    }
+  }
   if (pipeline_) {
     pipeline_->add_matcher(matchers_.back().get());
   }
-  return matchers_.size() - 1;
+  return index;
 }
 
 void Monitor::on_traces(const std::vector<Symbol>& names) {
@@ -43,10 +105,30 @@ void Monitor::on_event(const Event& event, const VectorClock& clock) {
   store_.append(event, clock);
   ++events_seen_;
   if (pipeline_ == nullptr) {
-    for (const std::unique_ptr<OcepMatcher>& matcher : matchers_) {
-      matcher->observe(event);
+    if (registry_) {
+      const metrics::Stopwatch arrival;
+      for (std::size_t i = 0; i < matchers_.size(); ++i) {
+        const metrics::Stopwatch watch;
+        matchers_[i]->observe(event);
+        observe_ns_[i]->record(watch.elapsed_ns());
+      }
+      arrival_ns_->record(arrival.elapsed_ns());
+    } else {
+      for (const std::unique_ptr<OcepMatcher>& matcher : matchers_) {
+        matcher->observe(event);
+      }
     }
     drained_through_ = events_seen_;
+    return;
+  }
+  if (registry_) {
+    // Delivery-thread cost only: append + (maybe) dispatch.  Matching
+    // latency lands in monitor.observe_ns on the owning worker.
+    const metrics::Stopwatch arrival;
+    if (events_seen_ - pipeline_->dispatched() >= config_.batch_size) {
+      pipeline_->dispatch(events_seen_);
+    }
+    arrival_ns_->record(arrival.elapsed_ns());
     return;
   }
   if (events_seen_ - pipeline_->dispatched() >= config_.batch_size) {
@@ -66,6 +148,15 @@ void Monitor::drain() {
     pipeline_->drain();
   }
   drained_through_ = events_seen_;
+  if (registry_) {
+    update_store_gauges();
+  }
+}
+
+void Monitor::update_store_gauges() {
+  store_events_->set(static_cast<std::int64_t>(store_.event_count()));
+  store_bytes_->set(static_cast<std::int64_t>(store_.approx_bytes()));
+  store_traces_->set(static_cast<std::int64_t>(store_.trace_count()));
 }
 
 PipelineStats Monitor::stats() const {

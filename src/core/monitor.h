@@ -27,6 +27,7 @@
 
 #include "core/matcher.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "poet/client.h"
 #include "poet/event_store.h"
 
@@ -43,6 +44,10 @@ struct MonitorConfig {
   /// Bound (in batches) of each worker's ring; a full ring backpressures
   /// the delivery thread, keeping memory bounded.
   std::size_t ring_batches = 128;
+  /// Collect search telemetry (src/obs/metrics.h) into a registry
+  /// readable via Monitor::metrics().  Off by default: the hot paths
+  /// then pay one predictable branch per event.
+  bool metrics = false;
 };
 
 class Monitor final : public EventSink {
@@ -103,6 +108,29 @@ class Monitor final : public EventSink {
   /// events_dispatched is populated.
   [[nodiscard]] PipelineStats stats() const;
 
+  /// The telemetry registry (counters, latency histograms, store gauges).
+  /// Requires MonitorConfig::metrics; like stats(), reading it while
+  /// workers may still be matching is a race, so it aborts unless the
+  /// pipeline is drained.
+  [[nodiscard]] const obs::Registry& metrics() const {
+    OCEP_ASSERT_MSG(registry_ != nullptr,
+                    "enable MonitorConfig::metrics to collect telemetry");
+    assert_drained();
+    return *registry_;
+  }
+  /// Mutable overload, e.g. for binding external instruments
+  /// (Linearizer::bind_metrics) onto the monitor's registry.
+  [[nodiscard]] obs::Registry& metrics() {
+    OCEP_ASSERT_MSG(registry_ != nullptr,
+                    "enable MonitorConfig::metrics to collect telemetry");
+    assert_drained();
+    return *registry_;
+  }
+
+  [[nodiscard]] bool metrics_enabled() const noexcept {
+    return registry_ != nullptr;
+  }
+
  private:
   /// Reading matcher state while workers may still be observing events is
   /// a race; drain() is the hand-off.  Fails loudly instead of silently
@@ -112,6 +140,10 @@ class Monitor final : public EventSink {
                     "drain() the pipeline before reading matcher state");
   }
 
+  /// Builds the MatcherTelemetry instrument set for pattern `index`.
+  [[nodiscard]] MatcherTelemetry make_telemetry(std::size_t index);
+  void update_store_gauges();
+
   StringPool* pool_;
   EventStore store_;
   MonitorConfig config_;
@@ -119,6 +151,16 @@ class Monitor final : public EventSink {
   bool traces_known_ = false;
   std::uint64_t events_seen_ = 0;
   std::uint64_t drained_through_ = 0;
+  /// Declared before pipeline_: workers write registry instruments until
+  /// they join, so the registry must be destroyed after the pipeline.
+  std::unique_ptr<obs::Registry> registry_;
+  // Synchronous-mode latency sinks (pipeline mode records these on the
+  // owning worker instead; see MatchPipeline::run_batch).
+  std::vector<obs::Histogram*> observe_ns_;
+  obs::Histogram* arrival_ns_ = nullptr;
+  obs::Gauge* store_events_ = nullptr;
+  obs::Gauge* store_bytes_ = nullptr;
+  obs::Gauge* store_traces_ = nullptr;
   /// Declared last: destroyed first, so workers join while the store and
   /// matchers they reference are still alive.
   std::unique_ptr<MatchPipeline> pipeline_;

@@ -30,6 +30,24 @@ MatchPipeline::~MatchPipeline() {
   }
 }
 
+void MatchPipeline::enable_metrics(obs::Registry& registry) {
+  OCEP_ASSERT_MSG(pattern_count_ == 0,
+                  "enable_metrics must precede add_matcher");
+  registry_ = &registry;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    Worker& worker = *workers_[w];
+    const std::string label = "worker=\"" + std::to_string(w) + "\"";
+    worker.batches_counter = &registry.counter(
+        "pipeline.batches", label, "batch descriptors processed");
+    worker.events_counter = &registry.counter(
+        "pipeline.events", label, "events observed across owned patterns");
+    worker.stalls_counter = &registry.counter(
+        "pipeline.ring_stalls", label, "producer pushes that had to wait");
+    worker.ring_depth = &registry.histogram(
+        "pipeline.ring_depth", label, "ring occupancy seen at dispatch");
+  }
+}
+
 void MatchPipeline::add_matcher(OcepMatcher* matcher) {
   OCEP_ASSERT_MSG(!started_,
                   "matchers must be registered before the first dispatch");
@@ -38,6 +56,12 @@ void MatchPipeline::add_matcher(OcepMatcher* matcher) {
   PatternSlot slot;
   slot.matcher = matcher;
   slot.pattern_index = pattern_count_++;
+  if (registry_ != nullptr) {
+    slot.observe_ns = &registry_->histogram(
+        "monitor.observe_ns",
+        "pattern=\"" + std::to_string(slot.pattern_index) + "\"",
+        "per-arrival observe latency (ns)");
+  }
   worker.patterns.push_back(slot);
 }
 
@@ -61,9 +85,15 @@ void MatchPipeline::dispatch(std::uint64_t end) {
   started_ = true;
   const Batch batch{dispatched_, end};
   for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->ring_depth != nullptr) {
+      worker->ring_depth->record(worker->ring.size());
+    }
     if (!worker->ring.try_push(batch)) {
       // Backpressure: the ring bounds how far this worker may lag.
       ++worker->stalls;
+      if (worker->stalls_counter != nullptr) {
+        worker->stalls_counter->add(1);
+      }
       unsigned spins = 0;
       do {
         backoff(spins);
@@ -89,16 +119,38 @@ void MatchPipeline::run_batch(Worker& worker, const Batch& batch) {
   OCEP_ASSERT_MSG(store_.visible_count() >= batch.end,
                   "batch dispatched before its events were published");
   for (PatternSlot& slot : worker.patterns) {
-    const metrics::Stopwatch watch;
-    for (std::uint64_t pos = batch.begin; pos < batch.end; ++pos) {
-      slot.matcher->observe(store_.event(store_.arrival(pos)));
+    if (slot.observe_ns != nullptr) {
+      // Metrics path: time each arrival individually so the histogram
+      // captures per-event latency, then fold the total back into the
+      // batch-granular counters the stats() snapshot reports.
+      std::uint64_t batch_ns = 0;
+      for (std::uint64_t pos = batch.begin; pos < batch.end; ++pos) {
+        const metrics::Stopwatch watch;
+        slot.matcher->observe(store_.event(store_.arrival(pos)));
+        const std::uint64_t ns = watch.elapsed_ns();
+        slot.observe_ns->record(ns);
+        batch_ns += ns;
+      }
+      const double us = static_cast<double>(batch_ns) / 1000.0;
+      slot.us_total += us;
+      slot.us_max = us > slot.us_max ? us : slot.us_max;
+    } else {
+      const metrics::Stopwatch watch;
+      for (std::uint64_t pos = batch.begin; pos < batch.end; ++pos) {
+        slot.matcher->observe(store_.event(store_.arrival(pos)));
+      }
+      const double us = watch.elapsed_us();
+      slot.us_total += us;
+      slot.us_max = us > slot.us_max ? us : slot.us_max;
     }
-    const double us = watch.elapsed_us();
-    slot.us_total += us;
-    slot.us_max = us > slot.us_max ? us : slot.us_max;
     slot.events += batch.end - batch.begin;
   }
   worker.batches.fetch_add(1, std::memory_order_relaxed);
+  if (worker.batches_counter != nullptr) {
+    worker.batches_counter->add(1);
+    worker.events_counter->add(
+        (batch.end - batch.begin) * worker.patterns.size());
+  }
   worker.processed.store(batch.end, std::memory_order_release);
 }
 

@@ -41,6 +41,7 @@
 
 #include "common/spsc_ring.h"
 #include "core/matcher.h"
+#include "obs/metrics.h"
 #include "poet/event_store.h"
 
 namespace ocep {
@@ -78,6 +79,13 @@ class MatchPipeline {
   MatchPipeline(const MatchPipeline&) = delete;
   MatchPipeline& operator=(const MatchPipeline&) = delete;
 
+  /// Mirrors the per-worker counters onto `registry` and records
+  /// per-arrival observe latency per pattern (monitor.observe_ns) plus
+  /// ring occupancy at dispatch (pipeline.ring_depth).  Must be called
+  /// before the first add_matcher(); the registry must outlive the
+  /// pipeline.
+  void enable_metrics(obs::Registry& registry);
+
   /// Registers a matcher into the next shard (round-robin).  Must happen
   /// before the first dispatch(); the matcher must outlive the pipeline.
   void add_matcher(OcepMatcher* matcher);
@@ -114,6 +122,7 @@ class MatchPipeline {
     std::uint64_t events = 0;   // worker-thread only until drain()
     double us_total = 0.0;
     double us_max = 0.0;
+    obs::Histogram* observe_ns = nullptr;  ///< per-arrival latency sink
   };
 
   struct Worker {
@@ -123,6 +132,11 @@ class MatchPipeline {
     std::atomic<std::uint64_t> processed{0};  ///< arrival watermark done
     std::atomic<std::uint64_t> batches{0};
     std::uint64_t stalls = 0;  ///< producer-side, producer thread only
+    // Registry mirrors (null when metrics are off).
+    obs::Counter* batches_counter = nullptr;
+    obs::Counter* events_counter = nullptr;
+    obs::Counter* stalls_counter = nullptr;
+    obs::Histogram* ring_depth = nullptr;  ///< occupancy seen at dispatch
     std::thread thread;
   };
 
@@ -131,6 +145,7 @@ class MatchPipeline {
   static void backoff(unsigned& spins);
 
   const EventStore& store_;
+  obs::Registry* registry_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_{false};
   std::uint64_t dispatched_ = 0;

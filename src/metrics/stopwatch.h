@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace ocep::metrics {
 
@@ -13,9 +14,14 @@ class Stopwatch {
 
   /// Elapsed wall-clock time in microseconds.
   [[nodiscard]] double elapsed_us() const {
+    return static_cast<double>(elapsed_ns()) / 1000.0;
+  }
+
+  /// Elapsed wall-clock time in whole nanoseconds (histogram unit).
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
         clock::now() - start_);
-    return static_cast<double>(ns.count()) / 1000.0;
+    return static_cast<std::uint64_t>(ns.count());
   }
 
  private:

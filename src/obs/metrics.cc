@@ -1,0 +1,329 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace ocep::obs {
+
+// --- Histogram -----------------------------------------------------------
+
+std::size_t Histogram::bucket_of(std::uint64_t value) noexcept {
+  if (value < 8) {
+    return static_cast<std::size_t>(value);
+  }
+  const auto width = static_cast<int>(std::bit_width(value));  // >= 4
+  const std::uint64_t sub = (value >> (width - 3)) & 3;
+  return 8 + (static_cast<std::size_t>(width) - 4) * 4 +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_lo(std::size_t bucket) noexcept {
+  if (bucket < 8) {
+    return bucket;
+  }
+  const std::size_t width = (bucket - 8) / 4 + 4;
+  const std::uint64_t sub = (bucket - 8) % 4;
+  return (1ULL << (width - 1)) | (sub << (width - 3));
+}
+
+std::uint64_t Histogram::bucket_hi(std::size_t bucket) noexcept {
+  if (bucket < 8) {
+    return bucket;
+  }
+  const std::size_t width = (bucket - 8) / 4 + 4;
+  return bucket_lo(bucket) + (1ULL << (width - 3)) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~0ULL ? 0 : v;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the sample the quantile falls on (nearest-rank, 1-based).
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket =
+        buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const auto lo = static_cast<double>(std::max(bucket_lo(b), min()));
+    const auto hi = static_cast<double>(std::min(bucket_hi(b), max()));
+    if (in_bucket == 1 || hi <= lo) {
+      return lo;
+    }
+    // Interpolate the rank's position within the bucket.
+    const double pos = static_cast<double>(rank - cumulative - 1) /
+                       static_cast<double>(in_bucket - 1);
+    return lo + (hi - lo) * pos;
+  }
+  return static_cast<double>(max());
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count();
+  snap.sum = sum();
+  snap.min = min();
+  snap.max = max();
+  snap.p50 = quantile(0.50);
+  snap.p90 = quantile(0.90);
+  snap.p95 = quantile(0.95);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
+// --- Registry ------------------------------------------------------------
+
+namespace {
+
+std::string canonical_key(std::string_view name, std::string_view labels) {
+  std::string key(name);
+  if (!labels.empty()) {
+    key += '{';
+    key += labels;
+    key += '}';
+  }
+  return key;
+}
+
+/// `ocep_` + name with '.' -> '_' (Prometheus metric-name charset).
+std::string prometheus_name(std::string_view name) {
+  std::string out = "ocep_";
+  for (const char c : name) {
+    out += c == '.' ? '_' : c;
+  }
+  return out;
+}
+
+void json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\';
+    }
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Registry::Entry& Registry::find_or_create(Kind kind, std::string_view name,
+                                          std::string_view labels,
+                                          std::string_view help) {
+  std::string key = canonical_key(name, labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    OCEP_ASSERT_MSG(it->second.kind == kind,
+                    "instrument re-registered with a different kind");
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.name = std::string(name);
+  entry.labels = std::string(labels);
+  entry.help = std::string(help);
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = &counters_.emplace_back();
+      break;
+    case Kind::kGauge:
+      entry.gauge = &gauges_.emplace_back();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = &histograms_.emplace_back();
+      break;
+  }
+  return entries_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view labels,
+                           std::string_view help) {
+  return *find_or_create(Kind::kCounter, name, labels, help).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view labels,
+                       std::string_view help) {
+  return *find_or_create(Kind::kGauge, name, labels, help).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view labels,
+                               std::string_view help) {
+  return *find_or_create(Kind::kHistogram, name, labels, help).histogram;
+}
+
+std::uint64_t Registry::counter_value(std::string_view key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.kind != Kind::kCounter) {
+    return 0;
+  }
+  return it->second.counter->value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.kind == Kind::kCounter) {
+      out.emplace_back(key, entry.counter->value());
+    }
+  }
+  return out;
+}
+
+void Registry::to_text(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << key << " = " << entry.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        out << key << " = " << entry.gauge->value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = entry.histogram->snapshot();
+        out << key << " count=" << snap.count << " sum=" << snap.sum
+            << " min=" << snap.min << " p50=" << snap.p50
+            << " p95=" << snap.p95 << " p99=" << snap.p99
+            << " max=" << snap.max << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void Registry::to_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto section = [&](Kind kind, const char* title, auto&& emit) {
+    out << '"' << title << "\":{";
+    bool first = true;
+    for (const auto& [key, entry] : entries_) {
+      if (entry.kind != kind) {
+        continue;
+      }
+      if (!first) {
+        out << ',';
+      }
+      first = false;
+      json_string(out, key);
+      out << ':';
+      emit(entry);
+    }
+    out << '}';
+  };
+  out << '{';
+  section(Kind::kCounter, "counters",
+          [&](const Entry& e) { out << e.counter->value(); });
+  out << ',';
+  section(Kind::kGauge, "gauges",
+          [&](const Entry& e) { out << e.gauge->value(); });
+  out << ',';
+  section(Kind::kHistogram, "histograms", [&](const Entry& e) {
+    const HistogramSnapshot snap = e.histogram->snapshot();
+    out << "{\"count\":" << snap.count << ",\"sum\":" << snap.sum
+        << ",\"min\":" << snap.min << ",\"max\":" << snap.max
+        << ",\"p50\":" << snap.p50 << ",\"p90\":" << snap.p90
+        << ",\"p95\":" << snap.p95 << ",\"p99\":" << snap.p99 << '}';
+  });
+  out << '}';
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream out;
+  to_json(out);
+  return out.str();
+}
+
+std::string Registry::to_text() const {
+  std::ostringstream out;
+  to_text(out);
+  return out.str();
+}
+
+std::string Registry::to_prometheus() const {
+  std::ostringstream out;
+  to_prometheus(out);
+  return out.str();
+}
+
+void Registry::to_prometheus(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string last_name;
+  for (const auto& [key, entry] : entries_) {
+    const std::string name = prometheus_name(entry.name);
+    const std::string braced =
+        entry.labels.empty() ? std::string() : "{" + entry.labels + "}";
+    if (entry.name != last_name) {
+      last_name = entry.name;
+      if (!entry.help.empty()) {
+        out << "# HELP " << name << ' ' << entry.help << '\n';
+      }
+      out << "# TYPE " << name << ' '
+          << (entry.kind == Kind::kCounter
+                  ? "counter"
+                  : entry.kind == Kind::kGauge ? "gauge" : "summary")
+          << '\n';
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << name << braced << ' ' << entry.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        out << name << braced << ' ' << entry.gauge->value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = entry.histogram->snapshot();
+        const std::string comma = entry.labels.empty() ? "" : ",";
+        const std::pair<const char*, double> quantiles[] = {
+            {"0.5", snap.p50},
+            {"0.9", snap.p90},
+            {"0.95", snap.p95},
+            {"0.99", snap.p99}};
+        for (const auto& [q, v] : quantiles) {
+          out << name << '{' << entry.labels << comma << "quantile=\"" << q
+              << "\"} " << v << '\n';
+        }
+        out << name << "_sum" << braced << ' ' << snap.sum << '\n';
+        out << name << "_count" << braced << ' ' << snap.count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace ocep::obs

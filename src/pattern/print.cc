@@ -1,0 +1,85 @@
+#include "pattern/print.h"
+
+#include <variant>
+
+namespace ocep::pattern {
+namespace {
+
+std::string print_attr(const AstAttr& attr) {
+  switch (attr.kind) {
+    case AstAttr::Kind::kWildcard: return "''";
+    case AstAttr::Kind::kVariable: return "$" + attr.value;
+    case AstAttr::Kind::kLiteral: break;
+  }
+  return "'" + attr.value + "'";
+}
+
+const char* op_text(AstOp op) {
+  switch (op) {
+    case AstOp::kBefore: return " -> ";
+    case AstOp::kBeforeLimited: return " -lim-> ";
+    case AstOp::kConcurrent: return " || ";
+    case AstOp::kPartner: return " <-> ";
+  }
+  return " -> ";
+}
+
+/// Prints `expr`, parenthesizing when it is structurally below an
+/// operand position (the grammar only allows bare names there).
+void print_expr(const AstExpr& expr, bool as_operand, std::string& out) {
+  if (const auto* operand = std::get_if<AstOperand>(&expr.node)) {
+    if (operand->is_variable) {
+      out += "$";
+    }
+    out += operand->name;
+    return;
+  }
+  if (as_operand) {
+    out += "(";
+  }
+  if (const auto* chain = std::get_if<AstChain>(&expr.node)) {
+    for (std::size_t i = 0; i < chain->operands.size(); ++i) {
+      if (i > 0) {
+        out += op_text(chain->ops[i - 1]);
+      }
+      print_expr(*chain->operands[i], /*as_operand=*/true, out);
+    }
+  } else {
+    const auto& conj = std::get<AstConj>(expr.node);
+    for (std::size_t i = 0; i < conj.terms.size(); ++i) {
+      if (i > 0) {
+        out += " && ";
+      }
+      // Conjunction terms are chains in the grammar; a nested
+      // conjunction must re-enter through parentheses.
+      const bool nested = std::holds_alternative<AstConj>(conj.terms[i]->node);
+      print_expr(*conj.terms[i], nested, out);
+    }
+  }
+  if (as_operand) {
+    out += ")";
+  }
+}
+
+}  // namespace
+
+std::string print(const AstExpr& expr) {
+  std::string out;
+  print_expr(expr, /*as_operand=*/false, out);
+  return out;
+}
+
+std::string print(const AstProgram& program) {
+  std::string out;
+  for (const AstClassDef& def : program.classes) {
+    out += def.name + " := [" + print_attr(def.process) + ", " +
+           print_attr(def.type) + ", " + print_attr(def.text) + "];\n";
+  }
+  for (const AstVarDecl& decl : program.variables) {
+    out += decl.class_name + " $" + decl.var_name + ";\n";
+  }
+  out += "pattern := " + print(*program.pattern) + ";\n";
+  return out;
+}
+
+}  // namespace ocep::pattern

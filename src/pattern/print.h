@@ -1,0 +1,23 @@
+// Serializes a parsed pattern back to source text.
+//
+// The printed form is canonical: attributes are always quoted, one class
+// definition or variable declaration per line, and parentheses are
+// emitted exactly where the grammar needs them.  parse(print(ast))
+// yields a structurally identical program, so print-then-parse is the
+// round-trip check the fuzz tests rely on.
+#pragma once
+
+#include <string>
+
+#include "pattern/ast.h"
+
+namespace ocep::pattern {
+
+/// Prints one pattern expression (without the trailing ';').
+[[nodiscard]] std::string print(const AstExpr& expr);
+
+/// Prints a complete program: class definitions, variable declarations,
+/// and the `pattern := ...;` line.
+[[nodiscard]] std::string print(const AstProgram& program);
+
+}  // namespace ocep::pattern

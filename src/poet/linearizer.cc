@@ -7,20 +7,50 @@ namespace ocep {
 Linearizer::Linearizer(std::size_t trace_count, EventSink& sink)
     : sink_(sink), delivered_(trace_count, 0), held_(trace_count) {}
 
+void Linearizer::bind_metrics(obs::Registry& registry) {
+  OCEP_ASSERT_MSG(offered_total_ == 0,
+                  "metrics must be bound before the first offer");
+  offered_counter_ =
+      &registry.counter("linearizer.offered", "", "events offered");
+  delivered_counter_ =
+      &registry.counter("linearizer.delivered", "", "events delivered");
+  held_counter_ = &registry.counter("linearizer.held", "",
+                                    "events buffered for predecessors");
+  queue_depth_ = &registry.histogram("linearizer.queue_depth", "",
+                                     "events pending after each offer");
+  delivery_lag_ =
+      &registry.histogram("linearizer.delivery_lag", "",
+                          "offers elapsed while an event sat buffered");
+  pending_gauge_ =
+      &registry.gauge("linearizer.pending", "", "events currently buffered");
+}
+
 void Linearizer::offer(const Event& event, VectorClock clock) {
   OCEP_ASSERT(event.id.trace < delivered_.size());
   OCEP_ASSERT(clock.size() == delivered_.size());
   OCEP_ASSERT_MSG(event.id.index > delivered_[event.id.trace],
                   "duplicate or regressed event index");
+  ++offered_total_;
   if (deliverable(event, clock)) {
+    if (delivery_lag_ != nullptr) {
+      delivery_lag_->record(0);  // delivered on the offer that carried it
+    }
     deliver(event, clock);
     drain();
   } else {
     auto [it, inserted] = held_[event.id.trace].emplace(
-        event.id.index, Held{event, std::move(clock)});
+        event.id.index, Held{event, std::move(clock), offered_total_});
     OCEP_ASSERT_MSG(inserted, "duplicate buffered event");
     static_cast<void>(it);
     ++pending_count_;
+    if (held_counter_ != nullptr) {
+      held_counter_->add(1);
+    }
+  }
+  if (offered_counter_ != nullptr) {
+    offered_counter_->add(1);
+    queue_depth_->record(pending_count_);
+    pending_gauge_->set(static_cast<std::int64_t>(pending_count_));
   }
 }
 
@@ -40,6 +70,9 @@ bool Linearizer::deliverable(const Event& event,
 void Linearizer::deliver(const Event& event, const VectorClock& clock) {
   delivered_[event.id.trace] = event.id.index;
   ++delivered_total_;
+  if (delivered_counter_ != nullptr) {
+    delivered_counter_->add(1);
+  }
   sink_.on_event(event, clock);
 }
 
@@ -60,6 +93,9 @@ void Linearizer::drain() {
         // stays consistent.
         Event event = held.event;
         VectorClock clock = std::move(buffer.begin()->second.clock);
+        if (delivery_lag_ != nullptr) {
+          delivery_lag_->record(offered_total_ - held.offered_at);
+        }
         buffer.erase(buffer.begin());
         --pending_count_;
         deliver(event, clock);

@@ -17,6 +17,7 @@
 
 #include "causality/vector_clock.h"
 #include "model/event.h"
+#include "obs/metrics.h"
 #include "poet/client.h"
 
 namespace ocep {
@@ -25,6 +26,12 @@ class Linearizer {
  public:
   /// Delivered events are forwarded to `sink`, which must outlive this.
   Linearizer(std::size_t trace_count, EventSink& sink);
+
+  /// Attaches delivery telemetry to `registry` (linearizer.* instruments:
+  /// offered/delivered/held counters, queue_depth and delivery_lag
+  /// histograms, pending gauge).  Call before the first offer(); the
+  /// registry must outlive this.
+  void bind_metrics(obs::Registry& registry);
 
   /// Offers one event; delivers it (and any unblocked buffered events) if
   /// its causal predecessors have all been delivered, buffers it otherwise.
@@ -42,6 +49,7 @@ class Linearizer {
   struct Held {
     Event event;
     VectorClock clock;
+    std::uint64_t offered_at = 0;  ///< offer sequence number when buffered
   };
 
   [[nodiscard]] bool deliverable(const Event& event,
@@ -54,6 +62,14 @@ class Linearizer {
   std::vector<std::map<EventIndex, Held>> held_;   // per-trace buffered events
   std::size_t pending_count_ = 0;
   std::size_t delivered_total_ = 0;
+  std::uint64_t offered_total_ = 0;
+  // Telemetry sinks (null when unbound).
+  obs::Counter* offered_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* held_counter_ = nullptr;
+  obs::Histogram* queue_depth_ = nullptr;   ///< pending after each offer
+  obs::Histogram* delivery_lag_ = nullptr;  ///< offers waited while buffered
+  obs::Gauge* pending_gauge_ = nullptr;
 };
 
 }  // namespace ocep

@@ -1,0 +1,211 @@
+// Unit tests for the observability layer (src/obs): histogram bucket
+// arithmetic and quantile error bounds, registry lookup/export formats,
+// and the death-tested access invariants on Monitor::metrics().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_pool.h"
+#include "core/monitor.h"
+#include "obs/metrics.h"
+#include "poet/replay.h"
+#include "random_computation.h"
+
+namespace ocep::obs {
+namespace {
+
+TEST(Histogram, BucketArithmeticIsConsistent) {
+  // Exhaustive below 4096, then random draws across the full range:
+  // every value lands in a bucket whose [lo, hi] contains it, and bucket
+  // indices are monotone in the value.
+  std::size_t last = 0;
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const std::size_t b = Histogram::bucket_of(v);
+    EXPECT_LE(Histogram::bucket_lo(b), v);
+    EXPECT_GE(Histogram::bucket_hi(b), v);
+    EXPECT_GE(b, last);
+    last = b;
+  }
+  Rng rng(0x0B5E01);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng() >> rng.below(64);
+    const std::size_t b = Histogram::bucket_of(v);
+    ASSERT_LT(b, Histogram::kBuckets);
+    EXPECT_LE(Histogram::bucket_lo(b), v);
+    EXPECT_GE(Histogram::bucket_hi(b), v);
+  }
+  // The extremes stay inside the bucket table.
+  EXPECT_LT(Histogram::bucket_of(~0ULL), Histogram::kBuckets);
+  EXPECT_EQ(Histogram::bucket_of(0), 0U);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    for (std::uint64_t r = 0; r <= v; ++r) {
+      h.record(v);
+    }
+  }
+  EXPECT_EQ(h.count(), 8U + 7 * 8 / 2);
+  EXPECT_EQ(h.min(), 0U);
+  EXPECT_EQ(h.max(), 7U);
+  // Values below 8 occupy exact buckets, so quantiles there are exact:
+  // the median of {0, 1,1, 2,2,2, ...} (v appears v+1 times).
+  EXPECT_EQ(h.quantile(1.0), 7.0);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, QuantilesWithinRelativeErrorBound) {
+  Rng rng(0x0B5E02);
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.below(1'000'000);
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : samples) {
+    sum += v;
+  }
+  EXPECT_EQ(h.count(), samples.size());
+  EXPECT_EQ(h.sum(), sum);
+  EXPECT_EQ(h.min(), samples.front());
+  EXPECT_EQ(h.max(), samples.back());
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1));
+    const auto exact = static_cast<double>(samples[rank]);
+    // Four sub-buckets per power of two => <= 25% relative error.
+    EXPECT_NEAR(h.quantile(q), exact, exact * 0.25) << "q=" << q;
+  }
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.sum(), 0U);
+  EXPECT_EQ(h.min(), 0U);
+  EXPECT_EQ(h.max(), 0U);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Registry, LookupIsIdempotent) {
+  Registry registry;
+  Counter& a = registry.counter("matcher.events", "pattern=\"0\"");
+  Counter& b = registry.counter("matcher.events", "pattern=\"0\"");
+  EXPECT_EQ(&a, &b);  // address-stable, created once
+  Counter& other = registry.counter("matcher.events", "pattern=\"1\"");
+  EXPECT_NE(&a, &other);
+
+  a.add(3);
+  b.add(2);
+  EXPECT_EQ(registry.counter_value("matcher.events{pattern=\"0\"}"), 5U);
+  EXPECT_EQ(registry.counter_value("matcher.events{pattern=\"1\"}"), 0U);
+  EXPECT_EQ(registry.counter_value("no.such.counter"), 0U);
+}
+
+TEST(Registry, CounterValuesAreSortedByKey) {
+  Registry registry;
+  registry.counter("zebra").add(1);
+  registry.counter("alpha").add(2);
+  registry.counter("mid", "k=\"v\"").add(3);
+  registry.gauge("a.gauge").set(-7);  // not a counter: excluded
+  const auto values = registry.counter_values();
+  ASSERT_EQ(values.size(), 3U);
+  EXPECT_EQ(values[0].first, "alpha");
+  EXPECT_EQ(values[1].first, "mid{k=\"v\"}");
+  EXPECT_EQ(values[2].first, "zebra");
+  EXPECT_EQ(values[0].second, 2U);
+}
+
+TEST(Registry, ExportFormats) {
+  Registry registry;
+  registry.counter("matcher.events", "pattern=\"0\"", "events observed")
+      .add(42);
+  registry.gauge("store.bytes").set(1024);
+  Histogram& h = registry.histogram("monitor.arrival_ns");
+  h.record(5);
+  h.record(5);
+
+  const std::string text = registry.to_text();
+  EXPECT_NE(text.find("matcher.events{pattern=\"0\"} = 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("store.bytes = 1024"), std::string::npos);
+  EXPECT_NE(text.find("monitor.arrival_ns count=2 sum=10"),
+            std::string::npos);
+
+  const std::string json = registry.to_json();
+  EXPECT_NE(
+      json.find("\"counters\":{\"matcher.events{pattern=\\\"0\\\"}\":42}"),
+      std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"gauges\":{\"store.bytes\":1024}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"count\":2,\"sum\":10"), std::string::npos);
+
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE ocep_matcher_events counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ocep_matcher_events{pattern=\"0\"} 42"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# HELP ocep_matcher_events events observed"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE ocep_store_bytes gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE ocep_monitor_arrival_ns summary"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ocep_monitor_arrival_ns{quantile=\"0.5\"} 5"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ocep_monitor_arrival_ns_count 2"),
+            std::string::npos);
+}
+
+TEST(RegistryDeathTest, KindMismatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Registry registry;
+  registry.counter("dual.use");
+  EXPECT_DEATH(registry.histogram("dual.use"), "different kind");
+}
+
+TEST(MonitorMetricsDeathTest, MetricsWhenDisabledAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  StringPool pool;
+  const Monitor monitor(pool);  // MonitorConfig::metrics defaults off
+  EXPECT_FALSE(monitor.metrics_enabled());
+  EXPECT_DEATH(static_cast<void>(monitor.metrics()),
+               "enable MonitorConfig::metrics");
+}
+
+TEST(MonitorMetricsDeathTest, ReadingMetricsWithoutDrainAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  StringPool pool;
+  ocep::testing::RandomComputationOptions options;
+  options.seed = 31;
+  options.traces = 3;
+  options.events = 120;
+  const EventStore source = ocep::testing::random_computation(pool, options);
+
+  MonitorConfig config;
+  config.metrics = true;
+  config.worker_threads = 1;
+  config.batch_size = 8;
+  Monitor monitor(pool, config, source.storage());
+  monitor.add_pattern(
+      "P := ['', A, '']; Q := ['', B, ''];\npattern := P -> Q;\n");
+  replay(source, monitor);
+  // Workers may still be recording into the histograms: reading the
+  // registry mid-flight is the same race as reading matcher state.
+  EXPECT_DEATH(static_cast<void>(monitor.metrics()),
+               "drain\\(\\) the pipeline");
+  monitor.drain();
+  EXPECT_GT(monitor.metrics().counter_value("matcher.events{pattern=\"0\"}"),
+            0U);
+}
+
+}  // namespace
+}  // namespace ocep::obs

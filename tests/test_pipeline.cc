@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/spsc_ring.h"
@@ -197,6 +198,64 @@ TEST(Pipeline, DrainMakesEveryCounterExact) {
   }
   // Every worker observed every event once per pattern it owns.
   EXPECT_EQ(worker_events, monitor.events_seen() * pattern_set().size());
+}
+
+TEST(Pipeline, MetricsCountersMatchAcrossWorkerCounts) {
+  // The stream-deterministic registry counters (events, leaf hits,
+  // searches, matches, pins) must be identical whether matching runs
+  // synchronously or sharded across 2 or 4 workers.  Search-shape
+  // counters (domain_prunes, nodes, backjumps) are excluded by design:
+  // the candidate domain's upper bound is the store's live trace size
+  // (matcher.cc domain scan), and in pipeline mode the store runs ahead
+  // of the observation point, so how much got pruned depends on
+  // scheduling even though what matched never does (that invariance is
+  // PipelineEquivalence's job).
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 29;
+  options.traces = 4;
+  options.events = 200;
+  const EventStore source = testing::random_computation(pool, options);
+
+  const auto matcher_counters = [&](std::uint32_t workers) {
+    MonitorConfig config;
+    config.metrics = true;
+    config.worker_threads = workers;
+    config.batch_size = 16;
+    Monitor monitor(pool, config, source.storage());
+    for (const std::string& pattern : pattern_set()) {
+      monitor.add_pattern(pattern);
+    }
+    replay(source, monitor);
+    monitor.drain();
+    static constexpr const char* kDeterministic[] = {
+        "matcher.events",  "matcher.leaf_hits",    "matcher.searches",
+        "matcher.matches", "matcher.pins_run",     "matcher.pins_skipped",
+    };
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (const auto& [key, value] : monitor.metrics().counter_values()) {
+      for (const char* name : kDeterministic) {
+        if (key.rfind(name, 0) == 0) {
+          out.emplace_back(key, value);
+          break;
+        }
+      }
+    }
+    return out;
+  };
+
+  const auto sequential = matcher_counters(0);
+  // 6 deterministic counters per pattern; all patterns present.
+  EXPECT_EQ(sequential.size(), 6 * pattern_set().size());
+  std::uint64_t events_total = 0;
+  for (const auto& [key, value] : sequential) {
+    if (key.rfind("matcher.events", 0) == 0) {
+      events_total += value;
+    }
+  }
+  EXPECT_EQ(events_total, source.event_count() * pattern_set().size());
+  EXPECT_EQ(sequential, matcher_counters(2));
+  EXPECT_EQ(sequential, matcher_counters(4));
 }
 
 TEST(PipelineDeathTest, ReadingMatcherStateWithoutDrainAborts) {

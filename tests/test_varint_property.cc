@@ -1,0 +1,129 @@
+// Property tests for the varint / length-prefixed-string primitives the
+// dump format and wire protocol share (poet/varint.h).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "poet/varint.h"
+
+namespace ocep::poet {
+namespace {
+
+std::string encode(std::uint64_t value) {
+  std::ostringstream out;
+  put_varint(out, value);
+  return out.str();
+}
+
+std::uint64_t decode(const std::string& bytes) {
+  std::istringstream in(bytes);
+  return get_varint(in);
+}
+
+/// Expected LEB128 length: ceil(bit_width / 7), minimum 1.
+std::size_t expected_length(std::uint64_t value) {
+  std::size_t length = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++length;
+  }
+  return length;
+}
+
+TEST(VarintProperty, EveryLengthBoundaryRoundTrips) {
+  // For each encoded length k in 1..10 bytes, the first and last value
+  // of that length plus both neighbours across the boundary.
+  for (std::size_t k = 1; k <= 10; ++k) {
+    const std::uint64_t lo = k == 1 ? 0 : 1ULL << (7 * (k - 1));
+    const std::uint64_t hi =
+        7 * k >= 64 ? ~0ULL : (1ULL << (7 * k)) - 1;
+    for (const std::uint64_t value : {lo, lo + 1, hi - 1, hi}) {
+      const std::string bytes = encode(value);
+      EXPECT_EQ(bytes.size(), k) << "value " << value;
+      EXPECT_EQ(decode(bytes), value);
+    }
+  }
+  // Sanity: the max value really needs all ten bytes.
+  EXPECT_EQ(encode(~0ULL).size(), 10U);
+}
+
+TEST(VarintProperty, RandomValuesRoundTrip) {
+  Rng rng(0x7A91A701);
+  for (int i = 0; i < 20000; ++i) {
+    // Uniform over bit widths, not values, so short encodings are hit
+    // as often as long ones.
+    const std::uint64_t width = rng.between(1, 64);
+    std::uint64_t value = rng();
+    if (width < 64) {
+      value &= (1ULL << width) - 1;
+    }
+    const std::string bytes = encode(value);
+    EXPECT_EQ(bytes.size(), expected_length(value));
+    EXPECT_EQ(decode(bytes), value);
+  }
+}
+
+TEST(VarintProperty, EveryTruncationIsRejected) {
+  Rng rng(0x7A91A702);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t width = rng.between(8, 64);
+    std::uint64_t value = rng() | (1ULL << (width - 1));
+    if (width < 64) {
+      value &= (1ULL << width) - 1;
+    }
+    const std::string bytes = encode(value);
+    ASSERT_GE(bytes.size(), 2U);
+    // Cutting the stream anywhere before the final byte must throw, not
+    // return a partial value.
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      EXPECT_THROW((void)decode(bytes.substr(0, cut)), SerializationError);
+    }
+  }
+}
+
+TEST(VarintProperty, OverlongEncodingIsRejected) {
+  // Ten continuation bytes would shift past bit 63; an eleventh byte can
+  // never be legitimate.
+  std::string bytes(10, '\x80');
+  bytes += '\x01';
+  EXPECT_THROW((void)decode(bytes), SerializationError);
+  // All-ones for eleven bytes likewise.
+  EXPECT_THROW((void)decode(std::string(11, '\xff')), SerializationError);
+  // But the genuine 10-byte encoding of 2^64-1 decodes fine.
+  EXPECT_EQ(decode(encode(~0ULL)), ~0ULL);
+}
+
+TEST(VarintProperty, StringsRoundTripAndRejectTruncation) {
+  Rng rng(0x7A91A703);
+  for (int i = 0; i < 500; ++i) {
+    std::string payload(rng.below(200), '\0');
+    for (char& c : payload) {
+      c = static_cast<char>(rng.below(256));
+    }
+    std::ostringstream out;
+    put_string(out, payload);
+    const std::string bytes = out.str();
+    {
+      std::istringstream in(bytes);
+      EXPECT_EQ(get_string(in), payload);
+    }
+    if (!payload.empty()) {
+      // Drop the last payload byte: length prefix now overruns.
+      std::istringstream in(bytes.substr(0, bytes.size() - 1));
+      EXPECT_THROW((void)get_string(in), SerializationError);
+    }
+  }
+  // A length prefix far beyond any sane string is rejected before
+  // allocation.
+  std::ostringstream out;
+  put_varint(out, 1ULL << 32);
+  std::istringstream in(out.str());
+  EXPECT_THROW((void)get_string(in), SerializationError);
+}
+
+}  // namespace
+}  // namespace ocep::poet

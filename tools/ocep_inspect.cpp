@@ -2,9 +2,13 @@
 // message statistics, and a sampled concurrency profile.
 //
 //   ocep_inspect --dump FILE [--relate T1:I1 T2:I2]
+//                [--metrics [--pattern TEXT] [--metrics-format FMT]]
 //
 // With --relate, prints the exact causal relationship between two events
-// (the two-integer-comparison query of §III-A).
+// (the two-integer-comparison query of §III-A).  With --metrics, the
+// computation is replayed through a metrics-enabled Monitor (matching
+// --pattern when given) and the telemetry registry is printed in
+// Prometheus text format (--metrics-format prom|json|text).
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -13,7 +17,10 @@
 #include "common/error.h"
 #include "common/flags.h"
 #include "common/rng.h"
+#include "core/monitor.h"
 #include "poet/dump.h"
+#include "poet/linearizer.h"
+#include "poet/replay.h"
 
 using namespace ocep;
 
@@ -48,6 +55,10 @@ int main(int argc, char** argv) {
     const std::string dump_path = flags.get_string("dump", "");
     const std::string relate_a = flags.get_string("relate", "");
     const std::string relate_b = flags.get_string("with", "");
+    const bool metrics = flags.get_bool("metrics", false);
+    const std::string pattern_text = flags.get_string("pattern", "");
+    const std::string metrics_format =
+        flags.get_string("metrics-format", "prom");
     flags.check_unused();
     if (dump_path.empty()) {
       throw Error("--dump FILE is required");
@@ -123,6 +134,43 @@ int main(int argc, char** argv) {
       const EventId b = parse_event(relate_b);
       std::printf("(%u,%u) is %s (%u,%u)\n", a.trace, a.index,
                   relation_name(store.relate(a, b)), b.trace, b.index);
+    }
+
+    if (metrics) {
+      // Replay the computation through a metrics-enabled Monitor, going
+      // through a Linearizer so delivery telemetry is populated too.
+      MonitorConfig config;
+      config.metrics = true;
+      Monitor monitor(pool, config, store.storage());
+      if (!pattern_text.empty()) {
+        monitor.add_pattern(pattern_text);
+      }
+      std::vector<Symbol> names;
+      names.reserve(store.trace_count());
+      for (TraceId t = 0; t < store.trace_count(); ++t) {
+        names.push_back(store.trace_name(t));
+      }
+      monitor.on_traces(names);
+      Linearizer linearizer(store.trace_count(), monitor);
+      linearizer.bind_metrics(monitor.metrics());
+      for_each_linearized(store,
+                          [&linearizer](const Event& event,
+                                        const VectorClock& clock) {
+                            linearizer.offer(event, clock);
+                          });
+      monitor.drain();
+      std::string rendered;
+      if (metrics_format == "json") {
+        rendered = monitor.metrics().to_json();
+      } else if (metrics_format == "text") {
+        rendered = monitor.metrics().to_text();
+      } else if (metrics_format == "prom") {
+        rendered = monitor.metrics().to_prometheus();
+      } else {
+        throw Error("unknown --metrics-format '" + metrics_format +
+                    "' (expected prom, json, or text)");
+      }
+      std::fputs(rendered.c_str(), stdout);
     }
     return 0;
   } catch (const Error& error) {
