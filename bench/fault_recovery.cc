@@ -1,0 +1,164 @@
+// Fault recovery — cost and fidelity of the lossy-session stack under
+// each fault family.
+//
+// Each row replays the same random computation through SessionServer ->
+// FaultyChannel -> SessionClient -> Monitor with one fault family enabled
+// (plus a clean baseline and an "everything" soup), and reports wall
+// clock, throughput, the resync/recovery counters, and whether the run
+// ended identical to the clean-channel match set or degraded to a subset.
+// The clean row doubles as the sequencing+CRC overhead measurement: its
+// events/sec against the dump-replay path is the price of the envelope.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/error.h"
+#include "core/monitor.h"
+#include "metrics/stopwatch.h"
+#include "random_computation.h"
+#include "testing/chaos_harness.h"
+
+using namespace ocep;
+using namespace ocep::bench;
+
+namespace {
+
+constexpr const char* kPattern =
+    "P := ['', A, '']; Q := ['', B, ''];\npattern := P -> Q;\n";
+
+struct FaultCase {
+  const char* label;
+  testing::FaultSpec spec;
+};
+
+std::vector<FaultCase> make_cases(std::uint64_t seed) {
+  std::vector<FaultCase> cases;
+  const auto with = [&](const char* label, auto&& tweak) {
+    testing::FaultSpec spec;
+    spec.seed = seed;
+    tweak(spec);
+    cases.push_back(FaultCase{label, spec});
+  };
+  with("clean", [](testing::FaultSpec&) {});
+  with("drop", [](testing::FaultSpec& s) { s.drop_per_1000 = 20; });
+  with("duplicate",
+       [](testing::FaultSpec& s) { s.duplicate_per_1000 = 20; });
+  with("reorder", [](testing::FaultSpec& s) { s.reorder_per_1000 = 20; });
+  with("bitflip", [](testing::FaultSpec& s) { s.bitflip_per_1000 = 20; });
+  with("truncate", [](testing::FaultSpec& s) { s.truncate_per_1000 = 20; });
+  with("disconnect", [](testing::FaultSpec& s) {
+    s.disconnect_every = 500;
+    s.disconnect_burst = 16;
+  });
+  with("soup", [](testing::FaultSpec& s) {
+    s.drop_per_1000 = 10;
+    s.duplicate_per_1000 = 10;
+    s.reorder_per_1000 = 10;
+    s.bitflip_per_1000 = 10;
+    s.truncate_per_1000 = 5;
+  });
+  return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    BenchParams params = parse_params(flags);
+    const auto traces =
+        static_cast<std::uint32_t>(flags.get_int("traces", 4));
+    flags.check_unused();
+    if (traces < 2) {
+      std::fprintf(stderr, "fault_recovery: --traces must be >= 2\n");
+      return 1;
+    }
+
+    StringPool pool;
+    ocep::testing::RandomComputationOptions options;
+    options.traces = traces;
+    options.events = static_cast<std::uint32_t>(params.events);
+    options.seed = params.seed;
+    const EventStore source = ocep::testing::random_computation(pool, options);
+    const std::vector<std::string> clean =
+        ocep::testing::clean_matches(source, pool, kPattern);
+
+    std::printf("# Fault recovery (random computation, %u traces, %" PRIu64
+                " events, %u reps)\n",
+                traces, static_cast<std::uint64_t>(options.events),
+                params.reps);
+    std::printf("%-11s %10s %9s %8s %8s %7s %6s %9s\n", "fault", "events/s",
+                "resyncs", "recov", "sheds", "corrupt", "degr", "fidelity");
+
+    JsonReport report("fault_recovery", params);
+    bool consistent = true;
+    for (const FaultCase& fault_case : make_cases(params.seed)) {
+      ocep::testing::ChaosOptions chaos;
+      chaos.faults = fault_case.spec;
+      double seconds = 0;
+      ocep::testing::ChaosResult result;
+      for (std::uint32_t rep = 0; rep < params.reps; ++rep) {
+        // A fresh pool per rep: run_chaos interns into it and the chaos
+        // client re-interns the session's inline strings.
+        StringPool rep_pool;
+        ocep::testing::RandomComputationOptions rep_options = options;
+        const EventStore rep_source =
+            ocep::testing::random_computation(rep_pool, rep_options);
+        metrics::Stopwatch watch;
+        result = ocep::testing::run_chaos(rep_source, rep_pool, kPattern,
+                                          chaos);
+        seconds += watch.elapsed_us() / 1e6;
+      }
+      const double events_per_sec =
+          seconds > 0 ? static_cast<double>(options.events) * params.reps /
+                            seconds
+                      : 0;
+      const bool identical = result.matches == clean;
+      const bool subset =
+          ocep::testing::is_subset_of(result.matches, clean);
+      const char* fidelity = identical ? "identical"
+                             : (result.degraded && subset) ? "subset"
+                                                           : "DIVERGED";
+      if (!result.done || (!identical && !(result.degraded && subset))) {
+        consistent = false;
+      }
+      std::printf("%-11s %10.0f %9" PRIu64 " %8" PRIu64 " %8" PRIu64
+                  " %7" PRIu64 " %6s %9s\n",
+                  fault_case.label, events_per_sec, result.ingest.resyncs,
+                  result.ingest.recoveries, result.ingest.sheds,
+                  result.ingest.frames_corrupt,
+                  result.degraded ? "yes" : "no", fidelity);
+
+      report.begin_row(fault_case.label);
+      report.add("events_per_sec", events_per_sec);
+      report.add("seconds", seconds);
+      report.add("resyncs", result.ingest.resyncs);
+      report.add("resync_failures", result.ingest.resync_failures);
+      report.add("recoveries", result.ingest.recoveries);
+      report.add("recovery_ticks", result.ingest.recovery_ticks);
+      report.add("sheds", result.ingest.sheds);
+      report.add("duplicates", result.ingest.duplicates);
+      report.add("frames_corrupt", result.ingest.frames_corrupt);
+      report.add("frames_gap", result.ingest.frames_gap);
+      report.add("bytes_skipped", result.ingest.bytes_skipped);
+      report.add("faults_injected", result.faults.faults());
+      report.add("degraded", std::string(result.degraded ? "yes" : "no"));
+      report.add("fidelity", std::string(fidelity));
+      report.add("matches", static_cast<std::uint64_t>(
+                                result.matches.size()));
+      report.add("matches_clean",
+                 static_cast<std::uint64_t>(clean.size()));
+    }
+    report.write();
+    if (!consistent) {
+      std::printf("FAIL: at least one fault family diverged\n");
+      return 2;
+    }
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "fault_recovery: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,46 @@
+// CRC-32C (Castagnoli) over byte ranges.
+//
+// The session layer (poet/session.h) protects every frame with a CRC so a
+// flipped bit on a lossy channel is detected per frame instead of
+// desynchronizing the whole stream, and the checkpoint format seals its
+// payload the same way.  Table-driven, one byte per step; the table is
+// computed at compile time.  Chaining: pass the previous result as `seed`
+// to extend a checksum over multiple fragments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ocep {
+namespace detail {
+
+consteval std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1U) != 0 ? 0x82f63b78U : 0U);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    make_crc32c_table();
+
+}  // namespace detail
+
+/// CRC-32C of `data`, continuing from `seed` (0 for a fresh checksum).
+[[nodiscard]] inline std::uint32_t crc32c(std::string_view data,
+                                          std::uint32_t seed = 0) noexcept {
+  std::uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = detail::kCrc32cTable[(crc ^ static_cast<unsigned char>(c)) & 0xffU] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ocep

@@ -5,6 +5,7 @@
 // internal invariant violations use OCEP_ASSERT instead.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -34,9 +35,44 @@ class ParseError : public Error {
 };
 
 /// Raised when a dump file cannot be decoded (bad magic, truncation, ...).
+///
+/// Readers that know where in the stream decoding failed attach the byte
+/// offset (and, for framed session streams, the frame index) so a corrupt
+/// recording can be inspected at the exact position instead of by bisection.
+/// Either position is -1 when unknown.
 class SerializationError : public Error {
  public:
   explicit SerializationError(const std::string& what) : Error(what) {}
+
+  SerializationError(const std::string& what, std::int64_t byte_offset,
+                     std::int64_t frame_index = -1)
+      : Error(annotate(what, byte_offset, frame_index)),
+        byte_offset_(byte_offset),
+        frame_index_(frame_index) {}
+
+  [[nodiscard]] std::int64_t byte_offset() const noexcept {
+    return byte_offset_;
+  }
+  [[nodiscard]] std::int64_t frame_index() const noexcept {
+    return frame_index_;
+  }
+
+ private:
+  static std::string annotate(const std::string& what, std::int64_t byte,
+                              std::int64_t frame) {
+    std::string out = what;
+    if (byte >= 0) {
+      out += " (at byte " + std::to_string(byte);
+      if (frame >= 0) {
+        out += ", frame " + std::to_string(frame);
+      }
+      out += ")";
+    }
+    return out;
+  }
+
+  std::int64_t byte_offset_ = -1;
+  std::int64_t frame_index_ = -1;
 };
 
 /// Raised on semantically invalid pattern definitions (unknown class ids,

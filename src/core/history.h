@@ -42,6 +42,7 @@ class LeafHistory {
     by_key_.assign(keyed ? traces : 0, {});
     total_ = 0;
     merged_ = 0;
+    pruned_ = 0;
   }
 
   [[nodiscard]] bool keyed() const noexcept { return keyed_; }
@@ -124,6 +125,28 @@ class LeafHistory {
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
   [[nodiscard]] std::size_t merged() const noexcept { return merged_; }
   [[nodiscard]] std::size_t pruned() const noexcept { return pruned_; }
+
+  /// Checkpoint support: re-inserts a surviving entry exactly as stored,
+  /// bypassing the merge heuristic (the entry already survived it when it
+  /// was first appended).  Counters are restored via set_counters().
+  void restore_entry(TraceId trace, EventIndex index,
+                     std::uint32_t comm_before, Symbol key) {
+    OCEP_ASSERT(trace < per_trace_.size());
+    std::vector<HistoryEntry>& entries = per_trace_[trace];
+    OCEP_ASSERT(entries.empty() || entries.back().index < index);
+    entries.push_back(HistoryEntry{index, comm_before});
+    if (keyed_) {
+      by_key_[trace][static_cast<std::uint32_t>(key)].push_back(
+          HistoryEntry{index, comm_before});
+    }
+    ++total_;
+  }
+
+  /// Checkpoint support: restores the merge/prune counters.
+  void set_counters(std::size_t merged, std::size_t pruned) {
+    merged_ = merged;
+    pruned_ = pruned;
+  }
 
   /// Retention (paper §VI future work): drops the oldest entries on
   /// `trace`, keeping the `keep` most recent.  The caller decides *when*

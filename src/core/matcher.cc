@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "common/assert.h"
+#include "common/error.h"
+#include "poet/varint.h"
 
 namespace ocep {
 namespace {
@@ -734,6 +737,128 @@ bool OcepMatcher::partner_kind_ok(std::uint32_t leaf,
     }
   }
   return true;
+}
+
+namespace {
+
+/// The MatcherStats fields in checkpoint order.
+template <typename Stats, typename Fn>
+void for_each_stat(Stats& stats, Fn&& fn) {
+  fn(stats.events_observed);
+  fn(stats.leaf_hits);
+  fn(stats.searches);
+  fn(stats.matches_reported);
+  fn(stats.nodes_explored);
+  fn(stats.backjumps);
+  fn(stats.history_entries);
+  fn(stats.history_merged);
+  fn(stats.history_pruned);
+  fn(stats.levels_entered);
+  fn(stats.domain_prunes);
+  fn(stats.pins_run);
+  fn(stats.pins_skipped);
+}
+
+}  // namespace
+
+void OcepMatcher::checkpoint(std::ostream& out) {
+  lazy_init();
+  const std::size_t k = pattern_.size();
+  for_each_stat(stats_,
+                [&out](std::uint64_t field) { poet::put_varint(out, field); });
+  for (TraceId t = 0; t < traces_; ++t) {
+    poet::put_varint(out, comm_before_[t]);
+  }
+  for (std::uint32_t leaf = 0; leaf < k; ++leaf) {
+    const LeafHistory& history = histories_[leaf];
+    poet::put_varint(out, history.merged());
+    poet::put_varint(out, history.pruned());
+    for (TraceId t = 0; t < traces_; ++t) {
+      const std::span<const HistoryEntry> entries = history.on_trace(t);
+      poet::put_varint(out, entries.size());
+      for (const HistoryEntry& entry : entries) {
+        poet::put_varint(out, entry.index);
+        poet::put_varint(out, entry.comm_before);
+      }
+    }
+  }
+  for (const std::uint32_t slot : subset_.slots()) {
+    poet::put_varint(out, slot);
+  }
+  const std::vector<Match>& matches = subset_.matches();
+  poet::put_varint(out, matches.size());
+  for (const Match& match : matches) {
+    OCEP_ASSERT(match.bindings.size() == k);
+    for (const EventId id : match.bindings) {
+      poet::put_varint(out, id.trace);
+      poet::put_varint(out, id.index);
+    }
+  }
+}
+
+void OcepMatcher::restore(std::istream& in) {
+  OCEP_ASSERT_MSG(stats_.events_observed == 0,
+                  "restore requires a fresh matcher");
+  lazy_init();
+  const std::size_t k = pattern_.size();
+  for_each_stat(stats_,
+                [&in](std::uint64_t& field) { field = poet::get_varint(in); });
+  for (TraceId t = 0; t < traces_; ++t) {
+    comm_before_[t] = static_cast<std::uint32_t>(poet::get_varint(in));
+  }
+  for (std::uint32_t leaf = 0; leaf < k; ++leaf) {
+    // Two reads, sequenced: as direct arguments their evaluation order
+    // would be unspecified.
+    const std::uint64_t merged = poet::get_varint(in);
+    const std::uint64_t pruned = poet::get_varint(in);
+    histories_[leaf].set_counters(merged, pruned);
+    for (TraceId t = 0; t < traces_; ++t) {
+      const std::uint64_t count = poet::get_varint(in);
+      if (count > store_.trace_size(t)) {
+        throw SerializationError("checkpoint history longer than its trace");
+      }
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto index = static_cast<EventIndex>(poet::get_varint(in));
+        const auto comm = static_cast<std::uint32_t>(poet::get_varint(in));
+        if (index == kNoEvent || index > store_.trace_size(t)) {
+          throw SerializationError("checkpoint history entry out of range");
+        }
+        const Event& event = store_.event(EventId{t, index});
+        const Symbol key = key_attr_[leaf] == KeyAttr::kText
+                               ? event.text
+                               : (key_attr_[leaf] == KeyAttr::kType
+                                      ? event.type
+                                      : kEmptySymbol);
+        histories_[leaf].restore_entry(t, index, comm, key);
+      }
+    }
+  }
+  std::vector<std::uint32_t> slots(k * traces_);
+  for (std::uint32_t& slot : slots) {
+    slot = static_cast<std::uint32_t>(poet::get_varint(in));
+  }
+  const std::uint64_t match_count = poet::get_varint(in);
+  if (match_count > k * traces_) {
+    throw SerializationError("checkpoint retains too many matches");
+  }
+  std::vector<Match> matches(match_count);
+  for (Match& match : matches) {
+    match.bindings.resize(k);
+    for (EventId& id : match.bindings) {
+      id.trace = static_cast<TraceId>(poet::get_varint(in));
+      id.index = static_cast<EventIndex>(poet::get_varint(in));
+      if (id.trace >= traces_ || id.index == kNoEvent ||
+          id.index > store_.trace_size(id.trace)) {
+        throw SerializationError("checkpoint match binding out of range");
+      }
+    }
+  }
+  for (const std::uint32_t slot : slots) {
+    if (slot != RepresentativeSubset::kUnsetSlot && slot >= match_count) {
+      throw SerializationError("checkpoint coverage slot out of range");
+    }
+  }
+  subset_.restore(std::move(slots), std::move(matches));
 }
 
 bool OcepMatcher::satisfied(std::uint32_t leaf, Role role, EventId me,

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <vector>
 
 #include "common/assert.h"
@@ -137,6 +138,19 @@ class OcepMatcher {
     return subset_;
   }
   [[nodiscard]] const MatcherStats& stats() const noexcept { return stats_; }
+
+  /// Serializes the matcher's incremental state: stats, per-trace comm
+  /// counters, per-leaf histories, and the representative subset.  The
+  /// store and pattern are not serialized — restore() must run on a
+  /// matcher built over the restored store with the identical pattern and
+  /// config.  History keys are recomputed from the store on restore, so
+  /// they are not written either.
+  void checkpoint(std::ostream& out);
+
+  /// Counterpart of checkpoint().  Requires a fresh matcher (no events
+  /// observed) whose store already holds every checkpointed event; throws
+  /// SerializationError when the blob is inconsistent with the store.
+  void restore(std::istream& in);
 
  private:
   /// A constraint as seen from one endpoint leaf.

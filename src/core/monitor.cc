@@ -1,9 +1,15 @@
 #include "core/monitor.h"
 
+#include <algorithm>
+#include <sstream>
 #include <string>
 
 #include "common/assert.h"
+#include "common/crc32c.h"
+#include "common/error.h"
 #include "metrics/stopwatch.h"
+#include "poet/dump.h"
+#include "poet/varint.h"
 
 namespace ocep {
 
@@ -160,13 +166,113 @@ void Monitor::update_store_gauges() {
 }
 
 PipelineStats Monitor::stats() const {
+  PipelineStats out;
   if (pipeline_) {
     assert_drained();
-    return pipeline_->stats();
+    out = pipeline_->stats();
+  } else {
+    out.events_dispatched = events_seen_;
   }
-  PipelineStats out;
-  out.events_dispatched = events_seen_;
+  if (ingest_source_) {
+    out.ingest = ingest_source_();
+  }
   return out;
+}
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'O', 'C', 'E', 'P',
+                                      'C', 'K', 'P', '1'};
+
+}  // namespace
+
+void Monitor::checkpoint(std::ostream& out) {
+  OCEP_ASSERT_MSG(traces_known_,
+                  "nothing to checkpoint before traces are announced");
+  drain();
+  // Body first: framing carries its length and CRC so restore() can tell
+  // a torn or bit-flipped checkpoint from a valid one.
+  std::ostringstream body;
+  dump(store_, *pool_, body);
+  poet::put_varint(body, events_seen_);
+  poet::put_varint(body, matchers_.size());
+  for (const std::unique_ptr<OcepMatcher>& matcher : matchers_) {
+    matcher->checkpoint(body);
+  }
+  const std::string bytes = body.str();
+  out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  poet::put_varint(out, bytes.size());
+  poet::put_varint(out, crc32c(bytes));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void Monitor::restore(std::istream& in) {
+  OCEP_ASSERT_MSG(events_seen_ == 0 && !traces_known_,
+                  "restore requires a fresh monitor (patterns added, no "
+                  "events seen)");
+  char magic[sizeof(kCheckpointMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      !std::equal(std::begin(magic), std::end(magic),
+                  std::begin(kCheckpointMagic))) {
+    throw SerializationError("not an OCEP checkpoint (bad magic)");
+  }
+  const std::uint64_t length = poet::get_varint(in);
+  const auto expected_crc =
+      static_cast<std::uint32_t>(poet::get_varint(in));
+  if (length > (1ULL << 32)) {
+    throw SerializationError("corrupt checkpoint: unreasonable body length");
+  }
+  std::string bytes(length, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(length));
+  if (static_cast<std::uint64_t>(in.gcount()) != length) {
+    throw SerializationError("truncated checkpoint body");
+  }
+  if (crc32c(bytes) != expected_crc) {
+    throw SerializationError("checkpoint body fails its CRC");
+  }
+
+  // Replay the embedded dump straight into the store, bypassing the
+  // matchers: their state is restored from the per-matcher blobs below,
+  // not recomputed.
+  struct RestoreSink final : EventSink {
+    explicit RestoreSink(Monitor& m) : monitor(m) {}
+    void on_traces(const std::vector<Symbol>& names) override {
+      OCEP_ASSERT(!monitor.traces_known_);
+      monitor.traces_known_ = true;
+      for (const Symbol name : names) {
+        monitor.store_.add_trace(name);
+      }
+    }
+    void on_event(const Event& event, const VectorClock& clock) override {
+      monitor.store_.append(event, clock);
+    }
+    Monitor& monitor;
+  };
+  std::istringstream body(bytes);
+  RestoreSink sink(*this);
+  reload(body, *pool_, sink);
+
+  events_seen_ = poet::get_varint(body);
+  if (events_seen_ != store_.event_count()) {
+    throw SerializationError("checkpoint event watermark disagrees with "
+                             "its embedded dump");
+  }
+  const std::uint64_t matcher_count = poet::get_varint(body);
+  if (matcher_count != matchers_.size()) {
+    throw SerializationError(
+        "checkpoint pattern count does not match the registered patterns");
+  }
+  for (const std::unique_ptr<OcepMatcher>& matcher : matchers_) {
+    matcher->restore(body);
+  }
+  if (pipeline_) {
+    pipeline_->resume_at(events_seen_);
+  }
+  drained_through_ = events_seen_;
+  if (registry_) {
+    update_store_gauges();
+  }
 }
 
 }  // namespace ocep

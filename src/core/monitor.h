@@ -21,6 +21,8 @@
 // preserves the exact synchronous behaviour.
 #pragma once
 
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -105,8 +107,31 @@ class Monitor final : public EventSink {
 
   /// Pipeline counters (per-worker batches/events/stalls, per-pattern
   /// observe latency).  Exact after drain(); in synchronous mode only
-  /// events_dispatched is populated.
+  /// events_dispatched is populated.  The `ingest` member is filled from
+  /// the source attached with set_ingest_source(), when any.
   [[nodiscard]] PipelineStats stats() const;
+
+  /// Attaches the ingestion-side counter source merged into stats() —
+  /// typically SessionClient::stats or Linearizer::ingest_stats.  The
+  /// source must stay callable for the monitor's lifetime.
+  void set_ingest_source(std::function<IngestStats()> source) {
+    ingest_source_ = std::move(source);
+  }
+
+  /// Serializes the monitor's full matching state — store contents, event
+  /// watermark, and every matcher's incremental state — framed with a
+  /// magic, a length, and a CRC32C so a torn write is detected on restore.
+  /// Drains the pipeline first; layout in docs/ROBUSTNESS.md.
+  void checkpoint(std::ostream& out);
+
+  /// Restores a checkpoint into this monitor.  Requires a fresh monitor
+  /// (no traces announced, no events seen) constructed with the same
+  /// configuration and with the same patterns added in the same order;
+  /// throws SerializationError on a corrupt or mismatched checkpoint.
+  /// Afterwards the monitor continues exactly where checkpoint() left
+  /// off: feeding it the remaining suffix of the event stream yields the
+  /// same matcher state as an uninterrupted run.
+  void restore(std::istream& in);
 
   /// The telemetry registry (counters, latency histograms, store gauges).
   /// Requires MonitorConfig::metrics; like stats(), reading it while
@@ -147,6 +172,7 @@ class Monitor final : public EventSink {
   StringPool* pool_;
   EventStore store_;
   MonitorConfig config_;
+  std::function<IngestStats()> ingest_source_;
   std::vector<std::unique_ptr<OcepMatcher>> matchers_;
   bool traces_known_ = false;
   std::uint64_t events_seen_ = 0;

@@ -115,6 +115,15 @@ void MatchPipeline::drain() {
   }
 }
 
+void MatchPipeline::resume_at(std::uint64_t events) {
+  OCEP_ASSERT_MSG(!started_ && dispatched_ == 0,
+                  "resume_at must precede the first dispatch");
+  dispatched_ = events;
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    worker->processed.store(events, std::memory_order_release);
+  }
+}
+
 void MatchPipeline::run_batch(Worker& worker, const Batch& batch) {
   OCEP_ASSERT_MSG(store_.visible_count() >= batch.end,
                   "batch dispatched before its events were published");

@@ -43,6 +43,7 @@
 #include "core/matcher.h"
 #include "obs/metrics.h"
 #include "poet/event_store.h"
+#include "poet/linearizer.h"
 
 namespace ocep {
 
@@ -66,6 +67,9 @@ struct PipelineStats {
   std::uint64_t events_dispatched = 0;
   std::vector<PipelineWorkerStats> workers;
   std::vector<PipelinePatternStats> patterns;
+  /// Ingestion-side counters (linearizer + wire session), populated when
+  /// the monitor has an ingest source attached (Monitor::set_ingest_source).
+  IngestStats ingest{};
 };
 
 class MatchPipeline {
@@ -99,6 +103,11 @@ class MatchPipeline {
   /// far.  After it returns, reading matcher state from the calling
   /// thread is race-free.  Delivery thread only.
   void drain();
+
+  /// Checkpoint support: primes the dispatch and processed watermarks
+  /// after Monitor::restore(), so the first post-restore batch starts at
+  /// arrival position `events`.  Must precede the first dispatch.
+  void resume_at(std::uint64_t events);
 
   [[nodiscard]] std::uint64_t dispatched() const noexcept {
     return dispatched_;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/assert.h"
@@ -62,6 +63,24 @@ class RepresentativeSubset {
   [[nodiscard]] const std::vector<Match>& matches() const noexcept {
     return matches_;
   }
+
+  /// Raw coverage table for checkpointing: (leaf, trace) -> match id, with
+  /// kUnset (0xffffffff) marking uncovered pairs.
+  [[nodiscard]] std::span<const std::uint32_t> slots() const noexcept {
+    return slot_;
+  }
+
+  /// Checkpoint support: replaces the coverage table and retained matches
+  /// after reset() sized them.  Slot values must be kUnset or valid match
+  /// ids — the caller validates before handing over.
+  void restore(std::vector<std::uint32_t> slots, std::vector<Match> matches) {
+    OCEP_ASSERT(slots.size() == leaves_ * traces_);
+    slot_ = std::move(slots);
+    matches_ = std::move(matches);
+  }
+
+  /// The sentinel used in slots().
+  static constexpr std::uint32_t kUnsetSlot = 0xffffffffU;
 
   /// Number of covered (leaf, trace) pairs.
   [[nodiscard]] std::size_t coverage() const noexcept {

@@ -116,25 +116,44 @@ void dump(const EventStore& store, const StringPool& pool, std::ostream& out) {
 }
 
 void reload(std::istream& in, StringPool& pool, EventSink& sink) {
-  char magic[sizeof(kMagic)];
-  in.read(magic, sizeof(magic));
-  if (in.gcount() != sizeof(magic) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw SerializationError("not an OCEP dump file (bad magic)");
-  }
-
-  const std::uint64_t n64 = get_varint(in);
-  if (n64 == 0 || n64 > std::numeric_limits<TraceId>::max()) {
-    throw SerializationError("corrupt dump: bad trace count");
-  }
-  const auto n = static_cast<TraceId>(n64);
-
-  const std::uint64_t symbol_count = get_varint(in);
+  const std::int64_t header_start = poet::stream_pos(in);
+  std::uint64_t event_count = 0;
+  TraceId n = 0;
   std::vector<Symbol> symbols;
-  symbols.reserve(symbol_count);
-  for (std::uint64_t i = 0; i < symbol_count; ++i) {
-    symbols.push_back(pool.intern(get_string(in)));
+  try {
+    char magic[sizeof(kMagic)];
+    in.read(magic, sizeof(magic));
+    if (in.gcount() != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      throw SerializationError("not an OCEP dump file (bad magic)");
+    }
+
+    const std::uint64_t n64 = get_varint(in);
+    if (n64 == 0 || n64 > std::numeric_limits<TraceId>::max()) {
+      throw SerializationError("corrupt dump: bad trace count");
+    }
+    n = static_cast<TraceId>(n64);
+
+    const std::uint64_t symbol_count = get_varint(in);
+    symbols.reserve(symbol_count);
+    for (std::uint64_t i = 0; i < symbol_count; ++i) {
+      symbols.push_back(pool.intern(get_string(in)));
+    }
+
+    std::vector<Symbol> trace_names(n);
+    for (TraceId t = 0; t < n; ++t) {
+      const std::uint64_t local = get_varint(in);
+      if (local >= symbols.size()) {
+        throw SerializationError("corrupt dump: symbol id out of range");
+      }
+      trace_names[t] = symbols[local];
+    }
+    sink.on_traces(trace_names);
+    event_count = get_varint(in);
+  } catch (const SerializationError& e) {
+    poet::rethrow_positioned(e, header_start, 0);
   }
+
   auto symbol_at = [&symbols](std::uint64_t local) {
     if (local >= symbols.size()) {
       throw SerializationError("corrupt dump: symbol id out of range");
@@ -142,52 +161,52 @@ void reload(std::istream& in, StringPool& pool, EventSink& sink) {
     return symbols[local];
   };
 
-  std::vector<Symbol> trace_names(n);
-  for (TraceId t = 0; t < n; ++t) {
-    trace_names[t] = symbol_at(get_varint(in));
-  }
-  sink.on_traces(trace_names);
-
-  const std::uint64_t event_count = get_varint(in);
   std::vector<VectorClock> clocks(n, VectorClock(n));
   std::vector<EventIndex> next(n, 1);
   for (std::uint64_t i = 0; i < event_count; ++i) {
-    const std::uint64_t t64 = get_varint(in);
-    if (t64 >= n) {
-      throw SerializationError("corrupt dump: trace id out of range");
-    }
-    const auto t = static_cast<TraceId>(t64);
-    Event event;
-    event.id = EventId{t, next[t]++};
-    const std::uint64_t kind = get_varint(in);
-    if (kind > static_cast<std::uint64_t>(EventKind::kBlockedSend)) {
-      throw SerializationError("corrupt dump: bad event kind");
-    }
-    event.kind = static_cast<EventKind>(kind);
-    event.type = symbol_at(get_varint(in));
-    event.text = symbol_at(get_varint(in));
-    event.message = get_varint(in);
-
-    VectorClock& clock = clocks[t];
-    const std::uint64_t changed = get_varint(in);
-    if (changed >= n) {
-      throw SerializationError("corrupt dump: clock delta too wide");
-    }
-    for (std::uint64_t c = 0; c < changed; ++c) {
-      const std::uint64_t s = get_varint(in);
-      const std::uint64_t value = get_varint(in);
-      if (s >= n || s == t ||
-          value > std::numeric_limits<std::uint32_t>::max() ||
-          value < clock[static_cast<TraceId>(s)] ||
-          // An event cannot know more events of s than have been emitted:
-          // the dump order is a linearization.
-          value >= next[s]) {
-        throw SerializationError("corrupt dump: bad clock delta entry");
+    // Record positions so a corrupt event reports "byte X, frame i+1"
+    // instead of a bare message; the header counts as frame 0.
+    const std::int64_t record_start = poet::stream_pos(in);
+    try {
+      const std::uint64_t t64 = get_varint(in);
+      if (t64 >= n) {
+        throw SerializationError("corrupt dump: trace id out of range");
       }
-      clock.raise(static_cast<TraceId>(s), static_cast<std::uint32_t>(value));
+      const auto t = static_cast<TraceId>(t64);
+      Event event;
+      event.id = EventId{t, next[t]++};
+      const std::uint64_t kind = get_varint(in);
+      if (kind > static_cast<std::uint64_t>(EventKind::kBlockedSend)) {
+        throw SerializationError("corrupt dump: bad event kind");
+      }
+      event.kind = static_cast<EventKind>(kind);
+      event.type = symbol_at(get_varint(in));
+      event.text = symbol_at(get_varint(in));
+      event.message = get_varint(in);
+
+      VectorClock& clock = clocks[t];
+      const std::uint64_t changed = get_varint(in);
+      if (changed >= n) {
+        throw SerializationError("corrupt dump: clock delta too wide");
+      }
+      for (std::uint64_t c = 0; c < changed; ++c) {
+        const std::uint64_t s = get_varint(in);
+        const std::uint64_t value = get_varint(in);
+        if (s >= n || s == t ||
+            value > std::numeric_limits<std::uint32_t>::max() ||
+            value < clock[static_cast<TraceId>(s)] ||
+            // An event cannot know more events of s than have been emitted:
+            // the dump order is a linearization.
+            value >= next[s]) {
+          throw SerializationError("corrupt dump: bad clock delta entry");
+        }
+        clock.raise(static_cast<TraceId>(s), static_cast<std::uint32_t>(value));
+      }
+      clock.tick(t);
+      sink.on_event(event, clock);
+    } catch (const SerializationError& e) {
+      poet::rethrow_positioned(e, record_start, static_cast<std::int64_t>(i + 1));
     }
-    clock.tick(t);
-    sink.on_event(event, clock);
   }
 }
 
@@ -212,27 +231,32 @@ EventStore reload_store(std::istream& in, StringPool& pool,
                         ClockStorage storage) {
   // Peek the header to size the trace table, then rewind and stream.
   const std::istream::pos_type start = in.tellg();
-  char magic[sizeof(kMagic)];
-  in.read(magic, sizeof(magic));
-  if (in.gcount() != sizeof(magic) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw SerializationError("not an OCEP dump file (bad magic)");
-  }
-  const std::uint64_t n64 = get_varint(in);
-  const std::uint64_t symbol_count = get_varint(in);
-  std::vector<std::string> strings;
-  strings.reserve(symbol_count);
-  for (std::uint64_t i = 0; i < symbol_count; ++i) {
-    strings.push_back(get_string(in));
-  }
   EventStore store(storage);
-  for (std::uint64_t t = 0; t < n64; ++t) {
-    const std::uint64_t local = get_varint(in);
-    if (local >= strings.size()) {
-      throw SerializationError("corrupt dump: trace name out of range");
+  try {
+    char magic[sizeof(kMagic)];
+    in.read(magic, sizeof(magic));
+    if (in.gcount() != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      throw SerializationError("not an OCEP dump file (bad magic)");
     }
-    store.add_trace(pool.intern(strings[local]));
+    const std::uint64_t n64 = get_varint(in);
+    const std::uint64_t symbol_count = get_varint(in);
+    std::vector<std::string> strings;
+    strings.reserve(symbol_count);
+    for (std::uint64_t i = 0; i < symbol_count; ++i) {
+      strings.push_back(get_string(in));
+    }
+    for (std::uint64_t t = 0; t < n64; ++t) {
+      const std::uint64_t local = get_varint(in);
+      if (local >= strings.size()) {
+        throw SerializationError("corrupt dump: trace name out of range");
+      }
+      store.add_trace(pool.intern(strings[local]));
+    }
+  } catch (const SerializationError& e) {
+    poet::rethrow_positioned(e, static_cast<std::int64_t>(start), 0);
   }
+  in.clear();
   in.seekg(start);
   StoreBuilder builder(store);
   reload(in, pool, builder);

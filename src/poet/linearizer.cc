@@ -1,11 +1,31 @@
 #include "poet/linearizer.h"
 
+#include <istream>
+#include <limits>
+#include <ostream>
+
 #include "common/assert.h"
+#include "common/error.h"
+#include "common/string_pool.h"
+#include "poet/varint.h"
 
 namespace ocep {
 
-Linearizer::Linearizer(std::size_t trace_count, EventSink& sink)
-    : sink_(sink), delivered_(trace_count, 0), held_(trace_count) {}
+Linearizer::Linearizer(std::size_t trace_count, EventSink& sink,
+                       LinearizerConfig config)
+    : sink_(sink),
+      config_(config),
+      delivered_(trace_count, 0),
+      held_(trace_count),
+      last_clock_(trace_count, VectorClock(trace_count)),
+      stalled_(trace_count, false) {
+  if (config_.high_watermark > 0 && config_.low_watermark == 0) {
+    config_.low_watermark = config_.high_watermark / 2;
+  }
+  OCEP_ASSERT_MSG(config_.low_watermark <= config_.high_watermark ||
+                      config_.high_watermark == 0,
+                  "low watermark above high watermark");
+}
 
 void Linearizer::bind_metrics(obs::Registry& registry) {
   OCEP_ASSERT_MSG(offered_total_ == 0,
@@ -16,6 +36,10 @@ void Linearizer::bind_metrics(obs::Registry& registry) {
       &registry.counter("linearizer.delivered", "", "events delivered");
   held_counter_ = &registry.counter("linearizer.held", "",
                                     "events buffered for predecessors");
+  duplicate_counter_ = &registry.counter("linearizer.duplicates", "",
+                                         "duplicate offers dropped");
+  shed_counter_ = &registry.counter("linearizer.sheds", "",
+                                    "placeholder events synthesized");
   queue_depth_ = &registry.histogram("linearizer.queue_depth", "",
                                      "events pending after each offer");
   delivery_lag_ =
@@ -23,35 +47,62 @@ void Linearizer::bind_metrics(obs::Registry& registry) {
                           "offers elapsed while an event sat buffered");
   pending_gauge_ =
       &registry.gauge("linearizer.pending", "", "events currently buffered");
+  stalled_gauge_ = &registry.gauge("linearizer.stalled_traces", "",
+                                   "traces stalled past the horizon");
 }
 
-void Linearizer::offer(const Event& event, VectorClock clock) {
+OfferResult Linearizer::offer(const Event& event, VectorClock clock) {
   OCEP_ASSERT(event.id.trace < delivered_.size());
   OCEP_ASSERT(clock.size() == delivered_.size());
-  OCEP_ASSERT_MSG(event.id.index > delivered_[event.id.trace],
-                  "duplicate or regressed event index");
   ++offered_total_;
-  if (deliverable(event, clock)) {
+  OfferResult result;
+
+  const bool regressed = event.id.index <= delivered_[event.id.trace];
+  const bool already_held =
+      !regressed && held_[event.id.trace].count(event.id.index) != 0;
+  if (regressed || already_held) {
+    if (config_.strict) {
+      OCEP_ASSERT_MSG(!regressed, "duplicate or regressed event index");
+      OCEP_ASSERT_MSG(!already_held, "duplicate buffered event");
+    }
+    ++duplicates_;
+    if (duplicate_counter_ != nullptr) {
+      duplicate_counter_->add(1);
+    }
+    result = OfferResult::kDuplicate;
+  } else if (deliverable(event, clock)) {
     if (delivery_lag_ != nullptr) {
       delivery_lag_->record(0);  // delivered on the offer that carried it
     }
     deliver(event, clock);
     drain();
+    result = OfferResult::kDelivered;
+  } else if (config_.policy == OverflowPolicy::kBlock &&
+             config_.high_watermark > 0 &&
+             pending_count_ >= config_.high_watermark) {
+    ++blocked_;
+    result = OfferResult::kBlocked;
   } else {
-    auto [it, inserted] = held_[event.id.trace].emplace(
+    held_[event.id.trace].emplace(
         event.id.index, Held{event, std::move(clock), offered_total_});
-    OCEP_ASSERT_MSG(inserted, "duplicate buffered event");
-    static_cast<void>(it);
     ++pending_count_;
+    if (pending_count_ > max_pending_) {
+      max_pending_ = pending_count_;
+    }
     if (held_counter_ != nullptr) {
       held_counter_->add(1);
     }
+    result = OfferResult::kBuffered;
   }
+
+  update_stalls();
+  apply_policy();
   if (offered_counter_ != nullptr) {
     offered_counter_->add(1);
     queue_depth_->record(pending_count_);
-    pending_gauge_->set(static_cast<std::int64_t>(pending_count_));
   }
+  update_gauges();
+  return result;
 }
 
 bool Linearizer::deliverable(const Event& event,
@@ -69,6 +120,7 @@ bool Linearizer::deliverable(const Event& event,
 
 void Linearizer::deliver(const Event& event, const VectorClock& clock) {
   delivered_[event.id.trace] = event.id.index;
+  last_clock_[event.id.trace] = clock;
   ++delivered_total_;
   if (delivered_counter_ != nullptr) {
     delivered_counter_->add(1);
@@ -103,6 +155,254 @@ void Linearizer::drain() {
       }
     }
   }
+}
+
+void Linearizer::synthesize_through(TraceId trace, EventIndex index) {
+  // Placeholders extend the trace's last delivered clock row one tick at a
+  // time, so every downstream invariant (store monotonicity, linearization
+  // order) holds exactly as it would for a real local event.
+  while (delivered_[trace] < index) {
+    Event placeholder;
+    placeholder.id = EventId{trace, delivered_[trace] + 1};
+    placeholder.kind = EventKind::kLocal;
+    placeholder.type = config_.shed_type;
+    VectorClock clock = last_clock_[trace];
+    clock.tick(trace);
+    ++sheds_;
+    if (shed_counter_ != nullptr) {
+      shed_counter_->add(1);
+    }
+    deliver(placeholder, clock);
+  }
+}
+
+void Linearizer::update_stalls() {
+  if (config_.stall_horizon == 0) {
+    return;
+  }
+  for (TraceId t = 0; t < held_.size(); ++t) {
+    bool now_stalled = false;
+    if (!held_[t].empty()) {
+      const std::uint64_t waited =
+          offered_total_ - held_[t].begin()->second.offered_at;
+      now_stalled = waited > config_.stall_horizon;
+    }
+    if (now_stalled && !stalled_[t]) {
+      ++stall_events_;
+      ++stalled_count_;
+    } else if (!now_stalled && stalled_[t]) {
+      --stalled_count_;
+    }
+    stalled_[t] = now_stalled;
+  }
+}
+
+void Linearizer::apply_policy() {
+  if (config_.policy != OverflowPolicy::kShed) {
+    return;
+  }
+  if (config_.high_watermark > 0 && pending_count_ > config_.high_watermark) {
+    shed_to(config_.low_watermark);
+  }
+  while (stalled_count_ > 0) {
+    const std::size_t before = delivered_total_;
+    if (!fill_cross_trace_needs()) {
+      fill_trace_gaps();
+    }
+    drain();
+    update_stalls();
+    if (delivered_total_ == before) {
+      break;  // no progress possible; leave the stall visible in stats
+    }
+  }
+}
+
+void Linearizer::fill_trace_gaps() {
+  // Phase-1 shed: give every buffered head its same-trace predecessors.
+  for (TraceId t = 0; t < held_.size(); ++t) {
+    if (!held_[t].empty()) {
+      synthesize_through(t, held_[t].begin()->first - 1);
+    }
+  }
+}
+
+bool Linearizer::fill_cross_trace_needs() {
+  // Force-deliver one buffered head that is causally minimal among all
+  // buffered events: no other trace holds an event at or below what this
+  // head's clock requires, so its missing predecessors are genuinely lost
+  // (not merely late in our own buffers) and may be synthesized safely.
+  for (TraceId t = 0; t < held_.size(); ++t) {
+    if (held_[t].empty()) {
+      continue;
+    }
+    const Held& head = held_[t].begin()->second;
+    bool minimal = true;
+    for (TraceId s = 0; s < held_.size() && minimal; ++s) {
+      if (s != t && !held_[s].empty() &&
+          held_[s].begin()->first <= head.clock[s]) {
+        minimal = false;
+      }
+    }
+    if (!minimal) {
+      continue;
+    }
+    synthesize_through(t, head.event.id.index - 1);
+    for (TraceId s = 0; s < held_.size(); ++s) {
+      if (s != t) {
+        synthesize_through(s, head.clock[s]);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+void Linearizer::shed_to(std::size_t target_pending) {
+  while (pending_count_ > target_pending) {
+    const std::size_t before = pending_count_;
+    if (!fill_cross_trace_needs()) {
+      // Corrupt clocks could make every head non-minimal; fall back to
+      // same-trace gap filling so the loop still terminates.
+      fill_trace_gaps();
+    }
+    drain();
+    if (pending_count_ >= before) {
+      break;  // no progress; give up rather than loop forever
+    }
+  }
+  update_stalls();
+  update_gauges();
+}
+
+void Linearizer::update_gauges() {
+  if (pending_gauge_ != nullptr) {
+    pending_gauge_->set(static_cast<std::int64_t>(pending_count_));
+  }
+  if (stalled_gauge_ != nullptr) {
+    stalled_gauge_->set(static_cast<std::int64_t>(stalled_count_));
+  }
+}
+
+IngestStats Linearizer::ingest_stats() const {
+  IngestStats stats;
+  stats.offered = offered_total_;
+  stats.delivered = delivered_total_;
+  stats.duplicates = duplicates_;
+  stats.sheds = sheds_;
+  stats.stall_events = stall_events_;
+  stats.blocked = blocked_;
+  stats.pending = pending_count_;
+  stats.max_pending = max_pending_;
+  stats.stalled_traces = stalled_count_;
+  return stats;
+}
+
+// --- checkpoint -------------------------------------------------------------
+//
+// Layout (varints unless noted): trace count, per-trace delivered
+// watermark, per-trace last delivered clock (full rows), the eight
+// counters, then the held events with symbols spelled out as strings so
+// the restoring pool need not match the dumping one.
+
+void Linearizer::checkpoint(std::ostream& out, const StringPool& pool) const {
+  const std::size_t n = delivered_.size();
+  poet::put_varint(out, n);
+  for (std::size_t t = 0; t < n; ++t) {
+    poet::put_varint(out, delivered_[t]);
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    for (TraceId s = 0; s < n; ++s) {
+      poet::put_varint(out, last_clock_[t][s]);
+    }
+  }
+  poet::put_varint(out, offered_total_);
+  poet::put_varint(out, delivered_total_);
+  poet::put_varint(out, duplicates_);
+  poet::put_varint(out, sheds_);
+  poet::put_varint(out, stall_events_);
+  poet::put_varint(out, blocked_);
+  poet::put_varint(out, max_pending_);
+  poet::put_varint(out, pending_count_);
+  for (TraceId t = 0; t < n; ++t) {
+    for (const auto& [index, held] : held_[t]) {
+      poet::put_varint(out, t);
+      poet::put_varint(out, index);
+      poet::put_varint(out, static_cast<std::uint64_t>(held.event.kind));
+      poet::put_string(out, pool.view(held.event.type));
+      poet::put_string(out, pool.view(held.event.text));
+      poet::put_varint(out, held.event.message);
+      for (TraceId s = 0; s < n; ++s) {
+        poet::put_varint(out, held.clock[s]);
+      }
+      poet::put_varint(out, held.offered_at);
+    }
+  }
+  if (!out) {
+    throw SerializationError("write failure while checkpointing linearizer");
+  }
+}
+
+void Linearizer::restore(std::istream& in, StringPool& pool) {
+  OCEP_ASSERT_MSG(offered_total_ == 0 && pending_count_ == 0,
+                  "restore requires a fresh linearizer");
+  const std::uint64_t n = poet::get_varint(in);
+  if (n != delivered_.size()) {
+    throw SerializationError("linearizer checkpoint trace count mismatch");
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::uint64_t v = poet::get_varint(in);
+    if (v > std::numeric_limits<std::uint32_t>::max()) {
+      throw SerializationError("corrupt checkpoint: bad delivery watermark");
+    }
+    delivered_[t] = static_cast<std::uint32_t>(v);
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    std::vector<std::uint32_t> entries(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      entries[s] = static_cast<std::uint32_t>(poet::get_varint(in));
+    }
+    last_clock_[t] = VectorClock(std::move(entries));
+  }
+  offered_total_ = poet::get_varint(in);
+  delivered_total_ = poet::get_varint(in);
+  duplicates_ = poet::get_varint(in);
+  sheds_ = poet::get_varint(in);
+  stall_events_ = poet::get_varint(in);
+  blocked_ = poet::get_varint(in);
+  max_pending_ = poet::get_varint(in);
+  const std::uint64_t held_count = poet::get_varint(in);
+  for (std::uint64_t i = 0; i < held_count; ++i) {
+    const std::uint64_t t64 = poet::get_varint(in);
+    if (t64 >= n) {
+      throw SerializationError("corrupt checkpoint: held trace out of range");
+    }
+    const auto t = static_cast<TraceId>(t64);
+    Held held;
+    held.event.id.trace = t;
+    held.event.id.index = static_cast<EventIndex>(poet::get_varint(in));
+    const std::uint64_t kind = poet::get_varint(in);
+    if (kind > static_cast<std::uint64_t>(EventKind::kBlockedSend)) {
+      throw SerializationError("corrupt checkpoint: bad held event kind");
+    }
+    held.event.kind = static_cast<EventKind>(kind);
+    held.event.type = pool.intern(poet::get_string(in));
+    held.event.text = pool.intern(poet::get_string(in));
+    held.event.message = poet::get_varint(in);
+    std::vector<std::uint32_t> entries(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      entries[s] = static_cast<std::uint32_t>(poet::get_varint(in));
+    }
+    held.clock = VectorClock(std::move(entries));
+    held.offered_at = poet::get_varint(in);
+    const EventIndex index = held.event.id.index;
+    if (index <= delivered_[t] ||
+        !held_[t].emplace(index, std::move(held)).second) {
+      throw SerializationError("corrupt checkpoint: duplicate held event");
+    }
+    ++pending_count_;
+  }
+  update_stalls();
+  update_gauges();
 }
 
 }  // namespace ocep

@@ -43,6 +43,29 @@ inline void put_string(std::ostream& out, std::string_view s) {
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
+/// Current read position of `in`, or -1 when the stream cannot tell (a
+/// failed read poisons tellg).  Readers capture this at record boundaries
+/// so SerializationError can point at the offending bytes.
+[[nodiscard]] inline std::int64_t stream_pos(std::istream& in) {
+  if (!in.good()) {
+    return -1;
+  }
+  const std::istream::pos_type pos = in.tellg();
+  return pos < 0 ? -1 : static_cast<std::int64_t>(pos);
+}
+
+/// Rethrows `e` annotated with the position of the record being decoded.
+/// An error that already carries a byte offset is forwarded untouched, so
+/// the innermost (most precise) position wins.
+[[noreturn]] inline void rethrow_positioned(const SerializationError& e,
+                                            std::int64_t byte_offset,
+                                            std::int64_t frame_index = -1) {
+  if (e.byte_offset() >= 0) {
+    throw e;
+  }
+  throw SerializationError(e.what(), byte_offset, frame_index);
+}
+
 inline std::string get_string(std::istream& in) {
   const std::uint64_t size = get_varint(in);
   if (size > (1ULL << 20)) {

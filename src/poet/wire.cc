@@ -106,39 +106,44 @@ void WireWriter::finish() {
 
 WireReader::WireReader(std::istream& in, StringPool& pool, EventSink& sink)
     : in_(in), pool_(pool), sink_(sink) {
-  char magic[sizeof(kMagic)];
-  in_.read(magic, sizeof(magic));
-  if (in_.gcount() != sizeof(magic) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw SerializationError("not an OCEP wire stream (bad magic)");
-  }
-  // HELLO may be preceded by SYM frames for the trace names — but the
-  // writer emits them before the trace table *inside* the header block, so
-  // consume frames until the trace count arrives.  The writer's layout is:
-  // [SYM frames for names] then the plain varint trace table.  SYM frames
-  // are tagged, the table is not, so read tags as long as they are kSym.
-  std::uint64_t first = get_varint(in_);
-  while (first == static_cast<std::uint64_t>(Frame::kSym)) {
-    const std::uint64_t id = get_varint(in_);
-    if (id != symbols_.size()) {
-      throw SerializationError("corrupt wire: symbol ids must be dense");
+  const std::int64_t header_start = poet::stream_pos(in_);
+  try {
+    char magic[sizeof(kMagic)];
+    in_.read(magic, sizeof(magic));
+    if (in_.gcount() != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      throw SerializationError("not an OCEP wire stream (bad magic)");
     }
-    symbols_.push_back(pool_.intern(get_string(in_)));
-    first = get_varint(in_);
+    // HELLO may be preceded by SYM frames for the trace names — but the
+    // writer emits them before the trace table *inside* the header block, so
+    // consume frames until the trace count arrives.  The writer's layout is:
+    // [SYM frames for names] then the plain varint trace table.  SYM frames
+    // are tagged, the table is not, so read tags as long as they are kSym.
+    std::uint64_t first = get_varint(in_);
+    while (first == static_cast<std::uint64_t>(Frame::kSym)) {
+      const std::uint64_t id = get_varint(in_);
+      if (id != symbols_.size()) {
+        throw SerializationError("corrupt wire: symbol ids must be dense");
+      }
+      symbols_.push_back(pool_.intern(get_string(in_)));
+      first = get_varint(in_);
+    }
+    const std::uint64_t n64 = first;
+    if (n64 == 0 || n64 > std::numeric_limits<TraceId>::max()) {
+      throw SerializationError("corrupt wire: bad trace count");
+    }
+    const auto n = static_cast<TraceId>(n64);
+    std::vector<Symbol> names;
+    names.reserve(n);
+    for (TraceId t = 0; t < n; ++t) {
+      names.push_back(symbol_at(get_varint(in_)));
+    }
+    clocks_.assign(n, VectorClock(n));
+    next_index_.assign(n, 1);
+    sink_.on_traces(names);
+  } catch (const SerializationError& e) {
+    poet::rethrow_positioned(e, header_start, 0);
   }
-  const std::uint64_t n64 = first;
-  if (n64 == 0 || n64 > std::numeric_limits<TraceId>::max()) {
-    throw SerializationError("corrupt wire: bad trace count");
-  }
-  const auto n = static_cast<TraceId>(n64);
-  std::vector<Symbol> names;
-  names.reserve(n);
-  for (TraceId t = 0; t < n; ++t) {
-    names.push_back(symbol_at(get_varint(in_)));
-  }
-  clocks_.assign(n, VectorClock(n));
-  next_index_.assign(n, 1);
-  sink_.on_traces(names);
 }
 
 Symbol WireReader::symbol_at(std::uint64_t id) const {
@@ -153,59 +158,70 @@ bool WireReader::read_one() {
     return false;
   }
   while (true) {
-    const std::uint64_t tag = get_varint(in_);
-    switch (static_cast<Frame>(tag)) {
-      case Frame::kSym: {
-        const std::uint64_t id = get_varint(in_);
-        if (id != symbols_.size()) {
-          throw SerializationError("corrupt wire: symbol ids must be dense");
-        }
-        symbols_.push_back(pool_.intern(get_string(in_)));
-        continue;
-      }
-      case Frame::kBye:
-        done_ = true;
-        return false;
-      case Frame::kEvent: {
-        const std::uint64_t t64 = get_varint(in_);
-        if (t64 >= clocks_.size()) {
-          throw SerializationError("corrupt wire: trace id out of range");
-        }
-        const auto t = static_cast<TraceId>(t64);
-        Event event;
-        event.id = EventId{t, next_index_[t]++};
-        const std::uint64_t kind = get_varint(in_);
-        if (kind > static_cast<std::uint64_t>(EventKind::kBlockedSend)) {
-          throw SerializationError("corrupt wire: bad event kind");
-        }
-        event.kind = static_cast<EventKind>(kind);
-        event.type = symbol_at(get_varint(in_));
-        event.text = symbol_at(get_varint(in_));
-        event.message = get_varint(in_);
-
-        VectorClock& clock = clocks_[t];
-        const std::uint64_t changed = get_varint(in_);
-        if (changed >= clocks_.size()) {
-          throw SerializationError("corrupt wire: clock delta too wide");
-        }
-        for (std::uint64_t c = 0; c < changed; ++c) {
-          const std::uint64_t s = get_varint(in_);
-          const std::uint64_t value = get_varint(in_);
-          if (s >= clocks_.size() || s == t ||
-              value > std::numeric_limits<std::uint32_t>::max() ||
-              value < clock[static_cast<TraceId>(s)] ||
-              value >= next_index_[s]) {
-            throw SerializationError("corrupt wire: bad clock delta entry");
+    // Captured per frame so a decode failure can report where the frame
+    // started, not wherever the stream cursor happened to die.
+    const std::int64_t frame_start = poet::stream_pos(in_);
+    try {
+      const std::uint64_t tag = get_varint(in_);
+      switch (static_cast<Frame>(tag)) {
+        case Frame::kSym: {
+          const std::uint64_t id = get_varint(in_);
+          if (id != symbols_.size()) {
+            throw SerializationError("corrupt wire: symbol ids must be dense");
           }
-          clock.raise(static_cast<TraceId>(s),
-                      static_cast<std::uint32_t>(value));
+          symbols_.push_back(pool_.intern(get_string(in_)));
+          ++frames_read_;
+          continue;
         }
-        clock.tick(t);
-        sink_.on_event(event, clock);
-        return true;
+        case Frame::kBye:
+          done_ = true;
+          ++frames_read_;
+          return false;
+        case Frame::kEvent: {
+          const std::uint64_t t64 = get_varint(in_);
+          if (t64 >= clocks_.size()) {
+            throw SerializationError("corrupt wire: trace id out of range");
+          }
+          const auto t = static_cast<TraceId>(t64);
+          Event event;
+          event.id = EventId{t, next_index_[t]++};
+          const std::uint64_t kind = get_varint(in_);
+          if (kind > static_cast<std::uint64_t>(EventKind::kBlockedSend)) {
+            throw SerializationError("corrupt wire: bad event kind");
+          }
+          event.kind = static_cast<EventKind>(kind);
+          event.type = symbol_at(get_varint(in_));
+          event.text = symbol_at(get_varint(in_));
+          event.message = get_varint(in_);
+
+          VectorClock& clock = clocks_[t];
+          const std::uint64_t changed = get_varint(in_);
+          if (changed >= clocks_.size()) {
+            throw SerializationError("corrupt wire: clock delta too wide");
+          }
+          for (std::uint64_t c = 0; c < changed; ++c) {
+            const std::uint64_t s = get_varint(in_);
+            const std::uint64_t value = get_varint(in_);
+            if (s >= clocks_.size() || s == t ||
+                value > std::numeric_limits<std::uint32_t>::max() ||
+                value < clock[static_cast<TraceId>(s)] ||
+                value >= next_index_[s]) {
+              throw SerializationError("corrupt wire: bad clock delta entry");
+            }
+            clock.raise(static_cast<TraceId>(s),
+                        static_cast<std::uint32_t>(value));
+          }
+          clock.tick(t);
+          ++frames_read_;
+          sink_.on_event(event, clock);
+          return true;
+        }
+        default:
+          throw SerializationError("corrupt wire: unknown frame tag");
       }
-      default:
-        throw SerializationError("corrupt wire: unknown frame tag");
+    } catch (const SerializationError& e) {
+      poet::rethrow_positioned(e, frame_start,
+                               static_cast<std::int64_t>(frames_read_ + 1));
     }
   }
 }

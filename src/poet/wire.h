@@ -78,6 +78,12 @@ class WireReader {
     return clocks_.size();
   }
 
+  /// Frames fully decoded so far (the HELLO header is frame 0).  The next
+  /// SerializationError reports this + 1 as its frame index.
+  [[nodiscard]] std::uint64_t frames_read() const noexcept {
+    return frames_read_;
+  }
+
  private:
   Symbol symbol_at(std::uint64_t id) const;
 
@@ -87,6 +93,7 @@ class WireReader {
   std::vector<Symbol> symbols_;  // wire id -> local symbol
   std::vector<VectorClock> clocks_;
   std::vector<EventIndex> next_index_;
+  std::uint64_t frames_read_ = 0;
   bool done_ = false;
 };
 

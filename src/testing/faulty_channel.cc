@@ -1,0 +1,72 @@
+#include "testing/faulty_channel.h"
+
+namespace ocep::testing {
+
+void FaultyChannel::write(std::string_view bytes) {
+  ++stats_.frames;
+  stats_.bytes_in += bytes.size();
+
+  if (spec_.disconnect_every > 0 &&
+      stats_.frames % spec_.disconnect_every == 0) {
+    burst_left_ = spec_.disconnect_burst;
+  }
+  if (burst_left_ > 0) {
+    --burst_left_;
+    ++stats_.disconnect_losses;
+    return;
+  }
+  if (spec_.drop_per_1000 > 0 && rng_.chance(spec_.drop_per_1000, 1000)) {
+    ++stats_.dropped;
+    return;
+  }
+
+  std::string frame(bytes);
+  if (spec_.truncate_per_1000 > 0 && frame.size() > 1 &&
+      rng_.chance(spec_.truncate_per_1000, 1000)) {
+    frame.resize(rng_.between(1, frame.size() - 1));
+    ++stats_.truncated;
+  }
+  if (spec_.bitflip_per_1000 > 0 && !frame.empty() &&
+      rng_.chance(spec_.bitflip_per_1000, 1000)) {
+    const std::size_t pos = rng_.below(frame.size());
+    frame[pos] = static_cast<char>(
+        static_cast<unsigned char>(frame[pos]) ^ (1U << rng_.below(8)));
+    ++stats_.bit_flips;
+  }
+
+  if (spec_.reorder_per_1000 > 0 && !holding_ &&
+      rng_.chance(spec_.reorder_per_1000, 1000)) {
+    // Hold this frame; it goes out right after the next one (a one-frame
+    // transposition, the common reordering a datagram path produces).
+    held_ = std::move(frame);
+    holding_ = true;
+    ++stats_.reordered;
+    return;
+  }
+
+  const bool duplicate = spec_.duplicate_per_1000 > 0 &&
+                         rng_.chance(spec_.duplicate_per_1000, 1000);
+  deliver(frame);
+  if (duplicate) {
+    deliver(frame);
+    ++stats_.duplicated;
+  }
+  if (holding_) {
+    holding_ = false;
+    deliver(held_);
+  }
+}
+
+void FaultyChannel::flush() {
+  if (holding_) {
+    holding_ = false;
+    deliver(held_);
+  }
+}
+
+void FaultyChannel::deliver(std::string_view frame) {
+  stats_.bytes_out += frame.size();
+  downstream_.write(frame);
+}
+
+}  // namespace ocep::testing

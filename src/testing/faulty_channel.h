@@ -1,0 +1,79 @@
+// Deterministic fault injection for the session byte channel.
+//
+// A FaultyChannel sits between a SessionServer and whatever feeds the
+// SessionClient, mangling the forward byte stream with seeded faults: whole
+// frames dropped, duplicated, reordered, or black-holed in disconnect
+// bursts; payload bytes bit-flipped or truncated.  Every decision comes
+// from one Rng seeded by FaultSpec::seed, so a chaos run replays exactly —
+// a failing seed in CI is a local repro, not a flake.
+//
+// The unit of injection is one write() call.  SessionServer emits exactly
+// one write per frame, so fault rates read as per-frame probabilities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "poet/session.h"
+
+namespace ocep::testing {
+
+/// Per-frame fault probabilities, in parts per thousand.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  std::uint32_t drop_per_1000 = 0;       ///< frame vanishes entirely
+  std::uint32_t duplicate_per_1000 = 0;  ///< frame delivered twice
+  std::uint32_t reorder_per_1000 = 0;    ///< frame held, delivered after next
+  std::uint32_t bitflip_per_1000 = 0;    ///< one random bit flipped
+  std::uint32_t truncate_per_1000 = 0;   ///< only a random prefix delivered
+  /// Every Nth frame starts a disconnect: that frame and the next
+  /// `disconnect_burst - 1` are black-holed (0 = never disconnect).
+  std::uint32_t disconnect_every = 0;
+  std::uint32_t disconnect_burst = 16;
+};
+
+class FaultyChannel final : public ByteSink {
+ public:
+  struct Stats {
+    std::uint64_t frames = 0;       ///< writes seen
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t bit_flips = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t disconnect_losses = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+
+    [[nodiscard]] std::uint64_t faults() const noexcept {
+      return dropped + duplicated + reordered + bit_flips + truncated +
+             disconnect_losses;
+    }
+  };
+
+  FaultyChannel(ByteSink& downstream, const FaultSpec& spec)
+      : downstream_(downstream), spec_(spec), rng_(spec.seed) {}
+
+  void write(std::string_view bytes) override;
+
+  /// Delivers a frame still held for reordering; call when the stream
+  /// ends, or the held frame is lost without ever counting as dropped.
+  void flush();
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void deliver(std::string_view frame);
+
+  ByteSink& downstream_;
+  FaultSpec spec_;
+  Rng rng_;
+  std::string held_;
+  bool holding_ = false;
+  std::uint32_t burst_left_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ocep::testing

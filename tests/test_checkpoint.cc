@@ -1,0 +1,282 @@
+// Checkpoint/resume equivalence: a monitor restored from a checkpoint and
+// fed the remaining suffix must end in *byte-identical* state to an
+// uninterrupted run — same store dump, same matcher stats, same
+// representative subset, hence identical match reports.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/monitor.h"
+#include "poet/dump.h"
+#include "poet/session.h"
+#include "random_computation.h"
+#include "testing/chaos_harness.h"
+
+namespace ocep {
+namespace {
+
+constexpr const char* kPattern =
+    "P := ['', A, '']; Q := ['', B, ''];\npattern := P -> Q;\n";
+
+std::string checkpoint_bytes(Monitor& monitor) {
+  std::ostringstream out;
+  monitor.checkpoint(out);
+  return out.str();
+}
+
+std::vector<Symbol> trace_names(const EventStore& store) {
+  std::vector<Symbol> names;
+  for (TraceId t = 0; t < store.trace_count(); ++t) {
+    names.push_back(store.trace_name(t));
+  }
+  return names;
+}
+
+void feed_range(Monitor& monitor, const EventStore& store,
+                std::uint64_t begin, std::uint64_t end) {
+  for (std::uint64_t pos = begin; pos < end; ++pos) {
+    const EventId id = store.arrival(pos);
+    monitor.on_event(store.event(id), store.clock(id));
+  }
+}
+
+/// Runs the uninterrupted reference and, for each split, the
+/// checkpoint-at-split / restore / finish run; both must produce the same
+/// checkpoint bytes at the end.
+void check_splits(const EventStore& store, StringPool& pool,
+                  const std::string& pattern,
+                  const std::vector<std::uint64_t>& splits,
+                  const MonitorConfig& resume_config = {}) {
+  const std::uint64_t total = store.event_count();
+  Monitor reference(pool, store.storage());
+  reference.add_pattern(pattern);
+  reference.on_traces(trace_names(store));
+  feed_range(reference, store, 0, total);
+  const std::string expected = checkpoint_bytes(reference);
+  const std::vector<std::string> expected_matches =
+      testing::match_signature(reference, 0);
+
+  for (const std::uint64_t split : splits) {
+    ASSERT_LE(split, total);
+    Monitor first(pool, store.storage());
+    first.add_pattern(pattern);
+    first.on_traces(trace_names(store));
+    feed_range(first, store, 0, split);
+    std::istringstream saved(checkpoint_bytes(first));
+
+    Monitor resumed(pool, resume_config, store.storage());
+    resumed.add_pattern(pattern);
+    resumed.restore(saved);
+    EXPECT_EQ(resumed.events_seen(), split);
+    feed_range(resumed, store, split, total);
+    resumed.drain();
+
+    EXPECT_EQ(checkpoint_bytes(resumed), expected)
+        << "resume at " << split << "/" << total
+        << " diverged from the uninterrupted run";
+    EXPECT_EQ(testing::match_signature(resumed, 0), expected_matches);
+  }
+}
+
+TEST(Checkpoint, ResumeAtRandomPrefixesIsByteIdentical) {
+  for (const std::uint64_t seed : {101ULL, 102ULL, 103ULL}) {
+    StringPool pool;
+    testing::RandomComputationOptions options;
+    options.seed = seed;
+    options.traces = 4;
+    options.events = 250;
+    const EventStore store = testing::random_computation(pool, options);
+    Rng rng(seed * 77 + 1);
+    std::vector<std::uint64_t> splits{0, store.event_count()};
+    for (int i = 0; i < 4; ++i) {
+      splits.push_back(rng.below(store.event_count() + 1));
+    }
+    check_splits(store, pool, kPattern, splits);
+  }
+}
+
+TEST(Checkpoint, GoldenDumpResumesAtArbitraryInterruptionPoints) {
+  const std::string root(OCEP_SOURCE_DIR);
+  std::ifstream dump_in(root + "/tools/zk962_golden.poet",
+                        std::ios::binary);
+  ASSERT_TRUE(dump_in) << "golden dump fixture missing";
+  std::ifstream pattern_in(root + "/tools/zk962.ocep");
+  ASSERT_TRUE(pattern_in) << "golden pattern fixture missing";
+  std::stringstream pattern_text;
+  pattern_text << pattern_in.rdbuf();
+
+  StringPool pool;
+  const EventStore store = reload_store(dump_in, pool);
+  const std::uint64_t n = store.event_count();
+  check_splits(store, pool, pattern_text.str(),
+               {0, 1, n / 3, n / 2, n - 1, n});
+}
+
+TEST(Checkpoint, RestoredPipelineMatchesSynchronousRun) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 311;
+  options.events = 300;
+  const EventStore store = testing::random_computation(pool, options);
+  MonitorConfig pipelined;
+  pipelined.worker_threads = 2;
+  pipelined.batch_size = 16;
+  check_splits(store, pool, kPattern,
+               {store.event_count() / 2}, pipelined);
+}
+
+TEST(Checkpoint, CorruptionIsDetectedNotTrusted) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 7;
+  options.events = 120;
+  const EventStore store = testing::random_computation(pool, options);
+  Monitor monitor(pool, store.storage());
+  monitor.add_pattern(kPattern);
+  monitor.on_traces(trace_names(store));
+  feed_range(monitor, store, 0, store.event_count());
+  const std::string bytes = checkpoint_bytes(monitor);
+
+  const auto restore_from = [&](std::string data) {
+    Monitor fresh(pool, store.storage());
+    fresh.add_pattern(kPattern);
+    std::istringstream in(std::move(data));
+    fresh.restore(in);
+  };
+
+  // Bit flip inside the body: caught by the CRC.
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] = static_cast<char>(
+      static_cast<unsigned char>(flipped[flipped.size() / 2]) ^ 0x04U);
+  EXPECT_THROW(restore_from(flipped), SerializationError);
+
+  // Torn write: caught before anything is replayed.
+  EXPECT_THROW(restore_from(bytes.substr(0, bytes.size() - 5)),
+               SerializationError);
+
+  // Not a checkpoint at all.
+  EXPECT_THROW(restore_from("OCEPDMP1 definitely not a checkpoint"),
+               SerializationError);
+
+  // The pristine bytes still restore fine after all that.
+  restore_from(bytes);
+}
+
+TEST(Checkpoint, PatternCountMismatchIsRejected) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 9;
+  options.events = 60;
+  const EventStore store = testing::random_computation(pool, options);
+  Monitor monitor(pool, store.storage());
+  monitor.add_pattern(kPattern);
+  monitor.on_traces(trace_names(store));
+  feed_range(monitor, store, 0, store.event_count());
+  const std::string bytes = checkpoint_bytes(monitor);
+
+  Monitor two_patterns(pool, store.storage());
+  two_patterns.add_pattern(kPattern);
+  two_patterns.add_pattern(kPattern);
+  std::istringstream in(bytes);
+  EXPECT_THROW(two_patterns.restore(in), SerializationError);
+}
+
+// A full process restart mid-session: monitor AND session client are
+// checkpointed at an arbitrary *byte* offset of the forward stream (the
+// partial frame in the receive buffer is deliberately lost, as it would be
+// in a crash), restored into fresh objects, and the rest of the stream is
+// delivered.  The seq discontinuity is healed by a resync; the final state
+// must be byte-identical to a never-interrupted run.
+TEST(Checkpoint, SessionClientAndMonitorResumeAcrossRestart) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 41;
+  options.events = 200;
+  const EventStore store = testing::random_computation(pool, options);
+  const std::vector<Symbol> names = trace_names(store);
+
+  // Reference: clean monitor over the raw computation.
+  Monitor reference(pool, store.storage());
+  reference.add_pattern(kPattern);
+  reference.on_traces(names);
+  feed_range(reference, store, 0, store.event_count());
+  const std::string expected = checkpoint_bytes(reference);
+
+  // Capture the whole session stream as frames.
+  class FrameCapture final : public ByteSink {
+   public:
+    void write(std::string_view bytes) override {
+      frames.emplace_back(bytes);
+    }
+    std::vector<std::string> frames;
+  } capture;
+  class QueueTransport final : public ResyncTransport {
+   public:
+    void request_resync(const ResyncRequest& request) override {
+      requests.push_back(request);
+    }
+    std::vector<ResyncRequest> requests;
+  } transport;
+  SessionServer server(capture, pool, names, SessionConfig{});
+  for (std::uint64_t pos = 0; pos < store.event_count(); ++pos) {
+    const EventId id = store.arrival(pos);
+    server.write(store.event(id), store.clock(id));
+  }
+  server.finish();
+  std::string stream;
+  for (const std::string& frame : capture.frames) {
+    stream += frame;
+  }
+
+  // First life: feed an arbitrary byte prefix (mid-frame), then checkpoint.
+  const std::size_t cut = stream.size() / 2 + 13;
+  Monitor first(pool, store.storage());
+  first.add_pattern(kPattern);
+  SessionClient client_a(first, pool, transport, SessionConfig{});
+  client_a.feed(std::string_view(stream).substr(0, cut));
+  std::ostringstream saved_monitor;
+  first.checkpoint(saved_monitor);
+  std::ostringstream saved_client;
+  client_a.checkpoint(saved_client);
+
+  // Second life: restore monitor + client, deliver the rest of the stream.
+  Monitor resumed(pool, store.storage());
+  resumed.add_pattern(kPattern);
+  std::istringstream monitor_in(saved_monitor.str());
+  resumed.restore(monitor_in);
+  SessionClient client_b(resumed, pool, transport, SessionConfig{});
+  std::istringstream client_in(saved_client.str());
+  client_b.restore(client_in);
+  EXPECT_EQ(client_b.next_position(), client_a.next_position());
+
+  std::size_t served_frames = capture.frames.size();
+  client_b.feed(std::string_view(stream).substr(cut));
+  client_b.finish_input();
+  for (std::uint64_t tick = 0; tick < 4096 && !client_b.done(); ++tick) {
+    while (!transport.requests.empty()) {
+      const ResyncRequest request = transport.requests.front();
+      transport.requests.erase(transport.requests.begin());
+      server.handle_resync(request);
+    }
+    while (served_frames < capture.frames.size()) {
+      client_b.feed(capture.frames[served_frames++]);
+    }
+    client_b.tick();
+  }
+
+  EXPECT_TRUE(client_b.done());
+  EXPECT_FALSE(client_b.degraded())
+      << "a restart healed by resync is not degradation";
+  resumed.drain();
+  EXPECT_EQ(resumed.events_seen(), store.event_count());
+  EXPECT_EQ(checkpoint_bytes(resumed), expected)
+      << "restarted session diverged from the uninterrupted run";
+}
+
+}  // namespace
+}  // namespace ocep

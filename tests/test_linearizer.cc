@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/rng.h"
@@ -124,6 +127,215 @@ TEST(Linearizer, BuffersUntilPredecessorArrives) {
   EXPECT_EQ(sink.order()[0], send.id);
   EXPECT_EQ(sink.order()[1], recv.id);
 }
+
+TEST(Linearizer, DuplicateOffersAreCountedAndDropped) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 61;
+  options.traces = 3;
+  options.events = 60;
+  const EventStore store = testing::random_computation(pool, options);
+
+  CheckingSink sink(store.trace_count());
+  Linearizer linearizer(store.trace_count(), sink);
+  std::uint64_t duplicates = 0;
+  for (const EventId id : store.arrival_order()) {
+    EXPECT_NE(linearizer.offer(store.event(id), store.clock(id)),
+              OfferResult::kDuplicate);
+    // Immediately re-offer every third event (a retransmission).
+    if (id.index % 3 == 0) {
+      EXPECT_EQ(linearizer.offer(store.event(id), store.clock(id)),
+                OfferResult::kDuplicate);
+      ++duplicates;
+    }
+  }
+  EXPECT_GT(duplicates, 0U);
+  EXPECT_EQ(linearizer.ingest_stats().duplicates, duplicates);
+  // Duplicates must not distort delivery: everything arrives exactly once.
+  EXPECT_EQ(linearizer.delivered(), store.event_count());
+  EXPECT_EQ(sink.order().size(), store.event_count());
+  EXPECT_EQ(linearizer.ingest_stats().offered,
+            store.event_count() + duplicates);
+}
+
+TEST(Linearizer, DuplicateOfBufferedEventIsDropped) {
+  StringPool pool;
+  EventStore store;
+  static_cast<void>(store.add_trace(pool.intern("P0")));
+  const TraceId t1 = store.add_trace(pool.intern("P1"));
+
+  Event recv;
+  recv.id = EventId{t1, 1};
+  recv.kind = EventKind::kReceive;
+  recv.message = 1;
+  const VectorClock recv_clock(std::vector<std::uint32_t>{1, 1});
+
+  CheckingSink sink(2);
+  Linearizer linearizer(2, sink);
+  EXPECT_EQ(linearizer.offer(recv, recv_clock), OfferResult::kBuffered);
+  EXPECT_EQ(linearizer.offer(recv, recv_clock), OfferResult::kDuplicate);
+  EXPECT_EQ(linearizer.pending(), 1U);
+  EXPECT_EQ(linearizer.ingest_stats().duplicates, 1U);
+}
+
+TEST(LinearizerDeathTest, StrictModeAbortsOnDuplicate) {
+  StringPool pool;
+  EventStore store;
+  const TraceId t0 = store.add_trace(pool.intern("P0"));
+  Event local;
+  local.id = EventId{t0, 1};
+  local.kind = EventKind::kLocal;
+  const VectorClock clock(std::vector<std::uint32_t>{1});
+
+  CheckingSink sink(1);
+  LinearizerConfig config;
+  config.strict = true;
+  Linearizer linearizer(1, sink, config);
+  EXPECT_EQ(linearizer.offer(local, clock), OfferResult::kDelivered);
+  EXPECT_DEATH(static_cast<void>(linearizer.offer(local, clock)),
+               "duplicate or regressed event index");
+}
+
+/// Sink for degraded runs: checks causal delivery like CheckingSink but
+/// also tallies placeholders so tests can separate real from synthesized.
+class DegradedSink final : public EventSink {
+ public:
+  DegradedSink(std::size_t traces, Symbol shed_type)
+      : delivered_counts_(traces, 0), shed_type_(shed_type) {}
+
+  void on_event(const Event& event, const VectorClock& clock) override {
+    ASSERT_EQ(delivered_counts_[event.id.trace], event.id.index - 1);
+    for (TraceId s = 0; s < delivered_counts_.size(); ++s) {
+      if (s != event.id.trace) {
+        ASSERT_GE(delivered_counts_[s], clock[s]);
+      }
+    }
+    delivered_counts_[event.id.trace] = event.id.index;
+    ++total_;
+    if (event.type == shed_type_) {
+      ++placeholders_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t placeholders() const noexcept {
+    return placeholders_;
+  }
+
+ private:
+  std::vector<std::uint32_t> delivered_counts_;
+  Symbol shed_type_;
+  std::uint64_t total_ = 0;
+  std::uint64_t placeholders_ = 0;
+};
+
+class LinearizerProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, OverflowPolicy>> {
+};
+
+// Adversarial ingestion: cross-trace shuffles, dropped events (gaps that
+// only shedding or blocking can resolve), and duplicated offers.  Whatever
+// happens, causal delivery must hold for every released event and the
+// counters must reconcile exactly with the offered totals:
+//
+//   offered == (delivered - sheds) + pending + duplicates + blocked
+//
+// (sheds are synthesized, never offered; a blocked offer was refused).
+TEST_P(LinearizerProperty, CountersReconcileUnderAdversarialStreams) {
+  const auto& [seed, policy] = GetParam();
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = seed;
+  options.traces = 5;
+  options.events = 300;
+  const EventStore store = testing::random_computation(pool, options);
+
+  Rng rng(seed * 31 + 5);
+  // Cross-trace shuffle preserving per-trace order.
+  std::vector<EventId> offers(store.arrival_order().begin(),
+                              store.arrival_order().end());
+  for (int pass = 0; pass < 3000; ++pass) {
+    const std::size_t i = rng.below(offers.size() - 1);
+    if (offers[i].trace != offers[i + 1].trace) {
+      std::swap(offers[i], offers[i + 1]);
+    }
+  }
+  // Drop ~8% (gaps) and duplicate ~10% of the survivors in place.
+  std::vector<EventId> stream;
+  for (const EventId id : offers) {
+    if (rng.chance(8, 100)) {
+      continue;
+    }
+    stream.push_back(id);
+    if (rng.chance(10, 100)) {
+      stream.push_back(id);
+    }
+  }
+
+  LinearizerConfig config;
+  config.high_watermark = 24;
+  config.stall_horizon = 64;
+  config.policy = policy;
+  config.shed_type = pool.intern("__shed");
+  DegradedSink sink(store.trace_count(), config.shed_type);
+  Linearizer linearizer(store.trace_count(), sink, config);
+
+  std::uint64_t duplicates = 0;
+  std::uint64_t blocked = 0;
+  for (const EventId id : stream) {
+    switch (linearizer.offer(store.event(id), store.clock(id))) {
+      case OfferResult::kDuplicate:
+        ++duplicates;
+        break;
+      case OfferResult::kBlocked:
+        ++blocked;
+        break;
+      case OfferResult::kDelivered:
+      case OfferResult::kBuffered:
+        break;
+    }
+  }
+
+  const auto reconcile = [&](const IngestStats& stats) {
+    EXPECT_EQ(stats.offered, stream.size());
+    EXPECT_EQ(stats.duplicates, duplicates);
+    EXPECT_EQ(stats.blocked, blocked);
+    EXPECT_EQ(stats.pending, linearizer.pending());
+    EXPECT_GE(stats.delivered, stats.sheds);
+    EXPECT_EQ(stats.offered, (stats.delivered - stats.sheds) + stats.pending +
+                                 stats.duplicates + stats.blocked);
+    EXPECT_GE(stats.max_pending, stats.pending);
+  };
+  reconcile(linearizer.ingest_stats());
+
+  // End-of-stream flush: everything still held is forced out through
+  // placeholders; the identity must survive with pending == 0.
+  linearizer.shed_to(0);
+  const IngestStats stats = linearizer.ingest_stats();
+  EXPECT_EQ(linearizer.pending(), 0U);
+  reconcile(stats);
+  EXPECT_EQ(sink.total(), linearizer.delivered());
+  EXPECT_EQ(sink.placeholders(), stats.sheds);
+  // Under kShed the watermark must have actually bounded the buffer (the
+  // +1 is the offer that trips the policy before it sheds).
+  if (policy == OverflowPolicy::kShed) {
+    EXPECT_LE(stats.max_pending, config.high_watermark + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, LinearizerProperty,
+    ::testing::Combine(::testing::Values(std::uint64_t{71}, std::uint64_t{72},
+                                         std::uint64_t{73}, std::uint64_t{74},
+                                         std::uint64_t{75}, std::uint64_t{76}),
+                       ::testing::Values(OverflowPolicy::kShed,
+                                         OverflowPolicy::kBlock)),
+    [](const auto& param_info) {
+      return std::string(std::get<1>(param_info.param) == OverflowPolicy::kShed
+                             ? "shed"
+                             : "block") +
+             "_seed" + std::to_string(std::get<0>(param_info.param));
+    });
 
 TEST(Replay, DeliversWholeStoreInLinearization) {
   StringPool pool;

@@ -1,0 +1,388 @@
+// Tests for the sessionized lossy-wire transport (poet/session.h): frame
+// round trips, per-frame corruption containment, the resync handshake,
+// budget exhaustion and degraded flush, plus the positioned
+// SerializationError contract of the loss-free formats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "poet/dump.h"
+#include "poet/session.h"
+#include "poet/wire.h"
+#include "random_computation.h"
+
+namespace ocep {
+namespace {
+
+/// Records each server write as one frame, so tests can drop / corrupt /
+/// reorder individual frames before handing them to the client.
+class FrameCapture final : public ByteSink {
+ public:
+  void write(std::string_view bytes) override {
+    frames.emplace_back(bytes);
+  }
+  std::vector<std::string> frames;
+};
+
+class QueueTransport final : public ResyncTransport {
+ public:
+  void request_resync(const ResyncRequest& request) override {
+    requests.push_back(request);
+  }
+  std::vector<ResyncRequest> requests;
+};
+
+/// A transport that swallows requests: resyncs can never succeed.
+class BlackHoleTransport final : public ResyncTransport {
+ public:
+  void request_resync(const ResyncRequest&) override { ++swallowed; }
+  std::uint64_t swallowed = 0;
+};
+
+class CollectingSink final : public EventSink {
+ public:
+  void on_traces(const std::vector<Symbol>& names) override {
+    trace_names = names;
+  }
+  void on_event(const Event& event, const VectorClock&) override {
+    events.push_back(event);
+  }
+  std::vector<Symbol> trace_names;
+  std::vector<Event> events;
+};
+
+struct Rig {
+  explicit Rig(std::uint64_t seed = 11, std::uint32_t events = 150)
+      : store(make_store(pool, seed, events)) {
+    for (TraceId t = 0; t < store.trace_count(); ++t) {
+      names.push_back(store.trace_name(t));
+    }
+  }
+
+  static EventStore make_store(StringPool& pool, std::uint64_t seed,
+                               std::uint32_t events) {
+    testing::RandomComputationOptions options;
+    options.seed = seed;
+    options.events = events;
+    return testing::random_computation(pool, options);
+  }
+
+  /// Streams the whole computation through a server into `capture`.
+  SessionServer make_server(FrameCapture& capture,
+                            SessionConfig config = {}) {
+    SessionServer server(capture, pool, names, config);
+    for (std::uint64_t pos = 0; pos < store.event_count(); ++pos) {
+      const EventId id = store.arrival(pos);
+      server.write(store.event(id), store.clock(id));
+    }
+    server.finish();
+    return server;
+  }
+
+  StringPool pool;
+  EventStore store;
+  std::vector<Symbol> names;
+};
+
+/// Feeds `frames` to the client, then answers queued resyncs (appending
+/// the server's snapshot frames and feeding those too) until the client is
+/// done or `max_ticks` idle ticks elapsed.
+void pump(SessionClient& client, SessionServer& server,
+          FrameCapture& capture, QueueTransport& transport,
+          std::size_t already_fed = 0, std::uint64_t max_ticks = 4096) {
+  std::size_t fed = already_fed;
+  const auto feed_new = [&] {
+    while (fed < capture.frames.size()) {
+      client.feed(capture.frames[fed++]);
+    }
+  };
+  feed_new();
+  client.finish_input();
+  std::uint64_t ticks = 0;
+  while (!client.done() && ticks < max_ticks) {
+    while (!transport.requests.empty()) {
+      const ResyncRequest request = transport.requests.front();
+      transport.requests.erase(transport.requests.begin());
+      server.handle_resync(request);
+    }
+    feed_new();
+    client.tick();
+    ++ticks;
+  }
+}
+
+void expect_full_delivery(const Rig& rig, const CollectingSink& sink) {
+  ASSERT_EQ(sink.events.size(), rig.store.event_count());
+  for (std::uint64_t pos = 0; pos < rig.store.event_count(); ++pos) {
+    EXPECT_EQ(sink.events[pos].id, rig.store.arrival(pos))
+        << "delivery diverged from arrival order at position " << pos;
+  }
+}
+
+TEST(Session, CleanRoundTripPreservesArrivalOrder) {
+  Rig rig;
+  FrameCapture capture;
+  SessionServer server = rig.make_server(capture);
+  EXPECT_EQ(server.stats().frames_written,
+            rig.store.event_count() + 2);  // HELLO + events + BYE
+
+  CollectingSink sink;
+  QueueTransport transport;
+  SessionClient client(sink, rig.pool, transport);
+  pump(client, server, capture, transport);
+
+  EXPECT_TRUE(client.done());
+  EXPECT_FALSE(client.degraded());
+  expect_full_delivery(rig, sink);
+  ASSERT_EQ(sink.trace_names.size(), rig.names.size());
+  const IngestStats stats = client.stats();
+  EXPECT_EQ(stats.frames_corrupt, 0U);
+  EXPECT_EQ(stats.resyncs, 0U);
+  EXPECT_EQ(stats.sheds, 0U);
+}
+
+TEST(Session, BitFlipIsContainedAndResyncRefills) {
+  Rig rig;
+  FrameCapture capture;
+  SessionServer server = rig.make_server(capture);
+  // Flip one bit in the middle of an event frame's payload.
+  std::string& victim = capture.frames[capture.frames.size() / 2];
+  victim[victim.size() / 2] = static_cast<char>(
+      static_cast<unsigned char>(victim[victim.size() / 2]) ^ 0x10U);
+
+  CollectingSink sink;
+  QueueTransport transport;
+  SessionClient client(sink, rig.pool, transport);
+  pump(client, server, capture, transport);
+
+  EXPECT_TRUE(client.done());
+  EXPECT_FALSE(client.degraded()) << "a resync recovery is not degradation";
+  expect_full_delivery(rig, sink);
+  const IngestStats stats = client.stats();
+  EXPECT_GE(stats.frames_corrupt, 1U);
+  EXPECT_GE(stats.resyncs, 1U);
+  EXPECT_GE(stats.recoveries, 1U);
+  EXPECT_GT(server.stats().resyncs_served, 0U);
+}
+
+TEST(Session, DroppedFramesAreRefilledBySnapshot) {
+  Rig rig;
+  FrameCapture capture;
+  SessionServer server = rig.make_server(capture);
+  // Drop a run of frames (but keep HELLO, frame 0).
+  capture.frames.erase(capture.frames.begin() + 20,
+                       capture.frames.begin() + 27);
+
+  CollectingSink sink;
+  QueueTransport transport;
+  SessionClient client(sink, rig.pool, transport);
+  pump(client, server, capture, transport);
+
+  EXPECT_TRUE(client.done());
+  EXPECT_FALSE(client.degraded());
+  expect_full_delivery(rig, sink);
+  const IngestStats stats = client.stats();
+  EXPECT_GE(stats.frames_gap, 7U);
+  EXPECT_GE(stats.resyncs, 1U);
+  EXPECT_GE(stats.snapshots, 1U);
+}
+
+TEST(Session, LostHelloIsRecoveredFromSnapshot) {
+  Rig rig;
+  FrameCapture capture;
+  SessionServer server = rig.make_server(capture);
+  capture.frames.erase(capture.frames.begin());  // HELLO gone
+
+  CollectingSink sink;
+  QueueTransport transport;
+  SessionClient client(sink, rig.pool, transport);
+  pump(client, server, capture, transport);
+
+  EXPECT_TRUE(client.done());
+  expect_full_delivery(rig, sink);
+  ASSERT_EQ(sink.trace_names.size(), rig.names.size());
+  for (std::size_t i = 0; i < rig.names.size(); ++i) {
+    EXPECT_EQ(rig.pool.view(sink.trace_names[i]),
+              rig.pool.view(rig.names[i]));
+  }
+}
+
+TEST(Session, DuplicatedFramesAreIdempotent) {
+  Rig rig;
+  FrameCapture capture;
+  SessionServer server = rig.make_server(capture);
+  // Deliver the whole stream twice, interleaved as duplicates.
+  std::vector<std::string> doubled;
+  for (const std::string& frame : capture.frames) {
+    doubled.push_back(frame);
+    doubled.push_back(frame);
+  }
+  capture.frames = std::move(doubled);
+
+  CollectingSink sink;
+  QueueTransport transport;
+  SessionClient client(sink, rig.pool, transport);
+  pump(client, server, capture, transport);
+
+  EXPECT_TRUE(client.done());
+  EXPECT_FALSE(client.degraded());
+  expect_full_delivery(rig, sink);
+  EXPECT_GE(client.stats().duplicates, rig.store.event_count());
+}
+
+TEST(Session, ReorderedFramesNeedNoResync) {
+  Rig rig;
+  FrameCapture capture;
+  SessionServer server = rig.make_server(capture);
+  // Transpose a few adjacent event frames; default grace (8 ticks) is far
+  // longer than the one-frame displacement, so position buffering alone
+  // must absorb it.
+  for (const std::size_t i : {5UL, 20UL, 40UL, 60UL}) {
+    std::swap(capture.frames[i], capture.frames[i + 1]);
+  }
+
+  CollectingSink sink;
+  QueueTransport transport;
+  SessionClient client(sink, rig.pool, transport);
+  pump(client, server, capture, transport);
+
+  EXPECT_TRUE(client.done());
+  EXPECT_FALSE(client.degraded());
+  expect_full_delivery(rig, sink);
+  EXPECT_EQ(client.stats().resyncs, 0U);
+}
+
+TEST(Session, ResyncBudgetExhaustionDegradesLoudly) {
+  Rig rig;
+  FrameCapture capture;
+  SessionConfig config;
+  config.resync_grace = 2;
+  config.backoff_initial = 2;
+  config.backoff_max = 8;
+  config.max_resync_attempts = 3;
+  SessionServer server = rig.make_server(capture, config);
+  // Lose some frames AND the reverse channel: recovery is impossible.
+  capture.frames.erase(capture.frames.begin() + 10,
+                       capture.frames.begin() + 14);
+
+  CollectingSink sink;
+  BlackHoleTransport transport;
+  SessionClient client(sink, rig.pool, transport, config);
+  for (const std::string& frame : capture.frames) {
+    client.feed(frame);
+  }
+  client.finish_input();
+  for (std::uint64_t tick = 0; tick < 4096 && !client.done(); ++tick) {
+    client.tick();
+  }
+
+  EXPECT_TRUE(client.done()) << "budget exhaustion must not deadlock";
+  EXPECT_TRUE(client.degraded()) << "an unrecovered loss must be reported";
+  EXPECT_GE(transport.swallowed, 1U);
+  const IngestStats stats = client.stats();
+  EXPECT_GE(stats.resync_failures, 1U);
+  EXPECT_LE(stats.resyncs, config.max_resync_attempts);
+  // Everything that did arrive was still delivered, in order.
+  EXPECT_GT(sink.events.size(), 0U);
+}
+
+TEST(Session, GarbageBytesBetweenFramesAreSkipped) {
+  Rig rig(23, 60);
+  FrameCapture capture;
+  SessionServer server = rig.make_server(capture);
+  // Splice noise between frames; the marker scan must step over it.
+  std::vector<std::string> noisy;
+  for (std::size_t i = 0; i < capture.frames.size(); ++i) {
+    noisy.push_back(capture.frames[i]);
+    if (i % 3 == 0) {
+      noisy.emplace_back("\x13\x37garbage\xa7");  // includes a lone marker byte
+    }
+  }
+  capture.frames = std::move(noisy);
+
+  CollectingSink sink;
+  QueueTransport transport;
+  SessionClient client(sink, rig.pool, transport);
+  pump(client, server, capture, transport);
+
+  EXPECT_TRUE(client.done());
+  expect_full_delivery(rig, sink);
+  EXPECT_GT(client.stats().bytes_skipped, 0U);
+}
+
+TEST(Session, ChunkedFeedReassemblesFrames) {
+  Rig rig(29, 80);
+  FrameCapture capture;
+  SessionServer server = rig.make_server(capture);
+  std::string stream;
+  for (const std::string& frame : capture.frames) {
+    stream += frame;
+  }
+
+  CollectingSink sink;
+  QueueTransport transport;
+  SessionClient client(sink, rig.pool, transport);
+  // One byte at a time: every partial-header / partial-payload path runs.
+  for (const char byte : stream) {
+    client.feed(std::string_view(&byte, 1));
+  }
+  client.finish_input();
+  EXPECT_TRUE(client.done());
+  EXPECT_FALSE(client.degraded());
+  expect_full_delivery(rig, sink);
+}
+
+// --- positioned SerializationError (error.h satellite) ---------------------
+
+TEST(PositionedErrors, TruncatedDumpReportsByteAndRecord) {
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 5;
+  options.events = 40;
+  const EventStore store = testing::random_computation(pool, options);
+  std::ostringstream out;
+  dump(store, pool, out);
+  const std::string bytes = out.str();
+
+  // Cut inside the event section: the error must carry the offset of the
+  // record being decoded and its 1-based record index.
+  std::istringstream cut(bytes.substr(0, bytes.size() - 3));
+  StringPool reload_pool;
+  try {
+    static_cast<void>(reload_store(cut, reload_pool));
+    FAIL() << "truncated dump must not reload";
+  } catch (const SerializationError& error) {
+    EXPECT_GE(error.byte_offset(), 0);
+    EXPECT_GT(error.frame_index(), 0);
+    EXPECT_NE(std::string(error.what()).find("at byte"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(PositionedErrors, CorruptDumpHeaderIsFrameZero) {
+  std::istringstream bogus("OCEPDMP1\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff");
+  StringPool pool;
+  try {
+    static_cast<void>(reload_store(bogus, pool));
+    FAIL() << "corrupt header must not reload";
+  } catch (const SerializationError& error) {
+    EXPECT_EQ(error.frame_index(), 0);
+    EXPECT_GE(error.byte_offset(), 0);
+  }
+}
+
+TEST(PositionedErrors, UnknownPositionFormatsWithoutSuffix) {
+  const SerializationError plain("boom");
+  EXPECT_EQ(plain.byte_offset(), -1);
+  EXPECT_EQ(plain.frame_index(), -1);
+  EXPECT_EQ(std::string(plain.what()).find("at byte"), std::string::npos);
+  const SerializationError at(std::string("boom"), 17, 3);
+  EXPECT_EQ(at.byte_offset(), 17);
+  EXPECT_EQ(at.frame_index(), 3);
+}
+
+}  // namespace
+}  // namespace ocep
