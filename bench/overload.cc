@@ -1,0 +1,190 @@
+// Overload governance — pathological-pattern latency with budgets off/on.
+//
+// The adversarial case for the backtracking matcher is a wide concurrent
+// pattern: six '||' pairs over same-type leaves (twelve backtracking
+// levels) over a computation with high genuine concurrency.  Every
+// terminating event then anchors a search whose candidate cross-product
+// grows with the history, so unbudgeted per-observe latency keeps climbing
+// while the governed configurations (docs/GOVERNANCE.md) cut each search
+// off at the step budget and, once the breaker trips, shed whole observes.
+//
+// Rows: budgets off, a per-observe step budget, and budget + circuit
+// breaker.  Cells report the per-observe boxplot plus p99 and the
+// governance counters (aborted searches, shed observes, breaker trips).
+//
+// --golden flips the bench into the CI smoke: a benign two-leaf pattern
+// under a generous budget must finish with zero aborts, sheds, and trips
+// (and at least one match), otherwise the process exits non-zero — the
+// regression guard that governance stays invisible on healthy workloads.
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "common/error.h"
+#include "core/matcher.h"
+#include "metrics/stopwatch.h"
+#include "random_computation.h"
+
+using namespace ocep;
+using namespace ocep::bench;
+
+namespace {
+
+/// Every leaf reference instantiates a fresh leaf, so this compiles to
+/// six independent same-type concurrent pairs — twelve backtracking
+/// levels whose candidate cross-product no precedence edge prunes.
+constexpr const char* kPathological = R"(
+    E1 := ['', A, '']; E2 := ['', A, ''];
+    E3 := ['', A, '']; E4 := ['', A, ''];
+    pattern := (E1 || E2) && (E1 || E3) && (E1 || E4) &&
+               (E2 || E3) && (E2 || E4) && (E3 || E4);
+)";
+
+/// The golden-smoke pattern: a plain precedence pair, cheap to search.
+constexpr const char* kBenign = R"(
+    P := ['', A, '']; Q := ['', B, ''];
+    pattern := P -> Q;
+)";
+
+struct RunResult {
+  metrics::LatencyRecorder latency;  ///< per-observe, microseconds
+  MatcherStats stats;
+};
+
+RunResult run_config(const EventStore& store, StringPool& pool,
+                     const char* pattern_text, const MatcherConfig& config,
+                     std::uint32_t reps) {
+  RunResult result;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    pattern::CompiledPattern compiled = pattern::compile(pattern_text, pool);
+    OcepMatcher matcher(store, std::move(compiled), config);
+    metrics::Stopwatch watch;
+    for (const EventId id : store.arrival_order()) {
+      const Event& event = store.event(id);
+      watch.restart();
+      matcher.observe(event);
+      result.latency.add(watch.elapsed_us());
+    }
+    result.stats = matcher.stats();
+  }
+  return result;
+}
+
+/// p99 over the recorder's samples; summarize() must have sorted them.
+double p99(const metrics::LatencyRecorder& recorder) {
+  const std::vector<double>& sorted = recorder.samples();
+  if (sorted.empty()) {
+    return 0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(sorted.size())));
+  return sorted[rank > 0 ? rank - 1 : 0];
+}
+
+void report_row(JsonReport& report, const std::string& label,
+                RunResult& result) {
+  const metrics::Boxplot box = result.latency.summarize();
+  std::printf("%-10s %10zu %10.2f %10.2f %10.2f %10.2f %8" PRIu64
+              " %8" PRIu64 " %8" PRIu64 " %8" PRIu64 "\n",
+              label.c_str(), box.count, box.median, box.q3,
+              p99(result.latency), box.max, result.stats.matches_reported,
+              result.stats.searches_aborted, result.stats.observes_shed,
+              result.stats.breaker_trips);
+  report.begin_row(label);
+  report.add("matches", result.stats.matches_reported);
+  report.add("searches", result.stats.searches);
+  report.add("searches_aborted", result.stats.searches_aborted);
+  report.add("observes_shed", result.stats.observes_shed);
+  report.add("breaker_trips", result.stats.breaker_trips);
+  report.add("history_evicted", result.stats.history_evicted);
+  report.add_latency("observe", result.latency);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    BenchParams params = parse_params(flags);
+    const auto traces =
+        static_cast<std::uint32_t>(flags.get_int("traces", 12));
+    const auto steps =
+        static_cast<std::uint64_t>(flags.get_int("steps", 64));
+    // CI smoke: benign pattern, generous budget, zero tolerance for any
+    // governance intervention.
+    const bool golden = flags.get_bool("golden", false);
+    flags.check_unused();
+    if (traces < 2) {
+      std::fprintf(stderr, "overload: --traces must be >= 2\n");
+      return 1;
+    }
+    // The unbudgeted search is polynomial in the history per observe;
+    // cap the event count so the "off" row finishes in CI-friendly time.
+    const std::uint64_t events =
+        golden ? params.events
+               : (params.events < 4000 ? params.events : 4000);
+
+    StringPool pool;
+    testing::RandomComputationOptions options;
+    options.traces = traces;
+    options.events = static_cast<std::uint32_t>(events);
+    options.seed = params.seed;
+    const EventStore store = testing::random_computation(pool, options);
+
+    if (golden) {
+      MatcherConfig config;
+      config.budget.max_steps = 1U << 20U;
+      config.breaker.trip_failures = 3;
+      RunResult result = run_config(store, pool, kBenign, config, 1);
+      const bool clean = result.stats.searches_aborted == 0 &&
+                         result.stats.observes_shed == 0 &&
+                         result.stats.breaker_trips == 0 &&
+                         result.stats.matches_reported > 0;
+      std::printf("overload --golden: %" PRIu64 " events, %" PRIu64
+                  " matches, %" PRIu64 " aborted, %" PRIu64 " shed, %" PRIu64
+                  " trips -> %s\n",
+                  result.stats.events_observed,
+                  result.stats.matches_reported,
+                  result.stats.searches_aborted, result.stats.observes_shed,
+                  result.stats.breaker_trips, clean ? "ok" : "DEGRADED");
+      return clean ? 0 : 1;
+    }
+
+    std::printf("# Overload governance (concurrent pairs, %u traces, "
+                "%" PRIu64 " events, %u reps, budget=%" PRIu64 " steps)\n",
+                traces, events, params.reps, steps);
+    std::printf("# cells: per-observe latency (us) over every arrival\n");
+    std::printf("%-10s %10s %10s %10s %10s %10s %8s %8s %8s %8s\n", "config",
+                "samples", "median_us", "Q3_us", "p99_us", "max_us",
+                "matches", "aborted", "shed", "trips");
+
+    JsonReport report("overload", params);
+
+    MatcherConfig off;  // governance disabled: the baseline
+    RunResult off_result = run_config(store, pool, kPathological, off,
+                                      params.reps);
+    report_row(report, "off", off_result);
+
+    MatcherConfig budget;
+    budget.budget.max_steps = steps;
+    RunResult budget_result = run_config(store, pool, kPathological, budget,
+                                         params.reps);
+    report_row(report, "budget", budget_result);
+
+    MatcherConfig breaker = budget;
+    breaker.breaker.trip_failures = 3;
+    breaker.breaker.window_observes = 256;
+    breaker.breaker.cooldown_observes = 128;
+    RunResult breaker_result = run_config(store, pool, kPathological,
+                                          breaker, params.reps);
+    report_row(report, "breaker", breaker_result);
+
+    report.write();
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "overload: %s\n", error.what());
+    return 1;
+  }
+}

@@ -82,4 +82,26 @@ class PatternError : public Error {
   explicit PatternError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when a leaf-history invariant is violated by the caller —
+/// an out-of-order append or an unknown trace.  Positioned like
+/// SerializationError: the offending trace id and event index travel with
+/// the message so a bad ingestion path can be pinpointed without a core
+/// dump (these conditions used to be OCEP_ASSERT aborts).
+class HistoryError : public Error {
+ public:
+  HistoryError(const std::string& what, std::uint32_t trace,
+               std::uint32_t index)
+      : Error(what + " (trace " + std::to_string(trace) + ", event index " +
+              std::to_string(index) + ")"),
+        trace_(trace),
+        index_(index) {}
+
+  [[nodiscard]] std::uint32_t trace() const noexcept { return trace_; }
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+
+ private:
+  std::uint32_t trace_;
+  std::uint32_t index_;
+};
+
 }  // namespace ocep

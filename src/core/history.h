@@ -12,12 +12,14 @@
 // patterns that relate two events on the same trace.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/assert.h"
+#include "common/error.h"
 #include "common/string_pool.h"
 #include "model/ids.h"
 
@@ -43,6 +45,8 @@ class LeafHistory {
     total_ = 0;
     merged_ = 0;
     pruned_ = 0;
+    evicted_ = 0;
+    bytes_ = 0;
   }
 
   [[nodiscard]] bool keyed() const noexcept { return keyed_; }
@@ -54,20 +58,14 @@ class LeafHistory {
   /// the history is not keyed).
   bool append(TraceId trace, EventIndex index, std::uint32_t comm_before,
               bool is_communication, bool merge, Symbol key = kEmptySymbol) {
-    OCEP_ASSERT(trace < per_trace_.size());
+    check_insert(trace, index);
     std::vector<HistoryEntry>& entries = per_trace_[trace];
-    OCEP_ASSERT(entries.empty() || entries.back().index < index);
     if (merge && !is_communication && !entries.empty() &&
         entries.back().comm_before == comm_before) {
       ++merged_;
       return false;
     }
-    entries.push_back(HistoryEntry{index, comm_before});
-    if (keyed_) {
-      by_key_[trace][static_cast<std::uint32_t>(key)].push_back(
-          HistoryEntry{index, comm_before});
-    }
-    ++total_;
+    store(trace, index, comm_before, key);
     return true;
   }
 
@@ -125,27 +123,43 @@ class LeafHistory {
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
   [[nodiscard]] std::size_t merged() const noexcept { return merged_; }
   [[nodiscard]] std::size_t pruned() const noexcept { return pruned_; }
+  [[nodiscard]] std::size_t evicted() const noexcept { return evicted_; }
+
+  /// Deterministic size estimate for memory governance: stored entry count
+  /// times entry size (main plus keyed copies) plus a flat per-key bucket
+  /// overhead.  Counted from sizes, never capacities, so identical inputs
+  /// give identical figures across allocators and growth policies.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept { return bytes_; }
+
+  /// Largest per-trace entry count, and which trace holds it (lowest trace
+  /// wins ties, keeping eviction order deterministic).
+  [[nodiscard]] std::size_t largest_trace(TraceId& trace) const noexcept {
+    std::size_t best = 0;
+    trace = 0;
+    for (std::size_t t = 0; t < per_trace_.size(); ++t) {
+      if (per_trace_[t].size() > best) {
+        best = per_trace_[t].size();
+        trace = static_cast<TraceId>(t);
+      }
+    }
+    return best;
+  }
 
   /// Checkpoint support: re-inserts a surviving entry exactly as stored,
   /// bypassing the merge heuristic (the entry already survived it when it
   /// was first appended).  Counters are restored via set_counters().
   void restore_entry(TraceId trace, EventIndex index,
                      std::uint32_t comm_before, Symbol key) {
-    OCEP_ASSERT(trace < per_trace_.size());
-    std::vector<HistoryEntry>& entries = per_trace_[trace];
-    OCEP_ASSERT(entries.empty() || entries.back().index < index);
-    entries.push_back(HistoryEntry{index, comm_before});
-    if (keyed_) {
-      by_key_[trace][static_cast<std::uint32_t>(key)].push_back(
-          HistoryEntry{index, comm_before});
-    }
-    ++total_;
+    check_insert(trace, index);
+    store(trace, index, comm_before, key);
   }
 
-  /// Checkpoint support: restores the merge/prune counters.
-  void set_counters(std::size_t merged, std::size_t pruned) {
+  /// Checkpoint support: restores the merge/prune/evict counters.
+  void set_counters(std::size_t merged, std::size_t pruned,
+                    std::size_t evicted = 0) {
     merged_ = merged;
     pruned_ = pruned;
+    evicted_ = evicted;
   }
 
   /// Retention (paper §VI future work): drops the oldest entries on
@@ -154,16 +168,62 @@ class LeafHistory {
   /// the representative subset, so the dropped events can no longer
   /// contribute new coverage there.
   void prune_front(TraceId trace, std::size_t keep) {
+    drop_front(trace, keep, pruned_);
+  }
+
+  /// Memory governance (docs/GOVERNANCE.md): same front-drop as
+  /// prune_front but charged to the `evicted` counter — these entries were
+  /// *not* known to be covered, so the drop is reported as coverage loss.
+  /// Returns the approximate bytes freed.
+  std::size_t evict_front(TraceId trace, std::size_t keep) {
+    return drop_front(trace, keep, evicted_);
+  }
+
+ private:
+  /// Caller-invariant checks for append/restore_entry.  These are caller
+  /// errors (a bad ingestion path), not internal bugs, so they throw a
+  /// positioned HistoryError instead of aborting.
+  void check_insert(TraceId trace, EventIndex index) const {
+    if (trace >= per_trace_.size()) {
+      throw HistoryError("leaf history append to unknown trace", trace, index);
+    }
+    const std::vector<HistoryEntry>& entries = per_trace_[trace];
+    if (!entries.empty() && entries.back().index >= index) {
+      throw HistoryError("out-of-order leaf history append (last stored " +
+                             std::to_string(entries.back().index) + ")",
+                         trace, index);
+    }
+  }
+
+  void store(TraceId trace, EventIndex index, std::uint32_t comm_before,
+             Symbol key) {
+    per_trace_[trace].push_back(HistoryEntry{index, comm_before});
+    bytes_ += sizeof(HistoryEntry);
+    if (keyed_) {
+      std::vector<HistoryEntry>& keyed_entries =
+          by_key_[trace][static_cast<std::uint32_t>(key)];
+      if (keyed_entries.empty()) {
+        bytes_ += kKeyBucketBytes;
+      }
+      keyed_entries.push_back(HistoryEntry{index, comm_before});
+      bytes_ += sizeof(HistoryEntry);
+    }
+    ++total_;
+  }
+
+  std::size_t drop_front(TraceId trace, std::size_t keep,
+                         std::size_t& counter) {
     OCEP_ASSERT(trace < per_trace_.size());
     std::vector<HistoryEntry>& entries = per_trace_[trace];
     if (entries.size() <= keep) {
-      return;
+      return 0;
     }
     const std::size_t drop = entries.size() - keep;
     entries.erase(entries.begin(),
                   entries.begin() + static_cast<std::ptrdiff_t>(drop));
-    pruned_ += drop;
+    counter += drop;
     total_ -= drop;
+    std::size_t freed = drop * sizeof(HistoryEntry);
     if (keyed_) {
       // Rebuild the secondary index for this trace from the survivors.
       // (The entry keys are not stored; drop every keyed entry older than
@@ -176,11 +236,22 @@ class LeafHistory {
         keyed_entries.erase(
             keyed_entries.begin(),
             keyed_entries.begin() + static_cast<std::ptrdiff_t>(cut));
+        freed += cut * sizeof(HistoryEntry);
+        if (cut > 0 && keyed_entries.empty()) {
+          // Release the bucket charge so the figure always equals the
+          // survivors' accounting (what a checkpoint restore recomputes).
+          freed += kKeyBucketBytes;
+        }
       }
     }
+    bytes_ -= std::min(bytes_, freed);
+    return freed;
   }
 
- private:
+  /// Flat charge for a new keyed bucket (node + hashing overhead); a fixed
+  /// constant keeps the accounting deterministic across libraries.
+  static constexpr std::size_t kKeyBucketBytes = 64;
+
   static std::size_t lower_bound(std::span<const HistoryEntry> entries,
                                  EventIndex value) {
     std::size_t lo = 0, hi = entries.size();
@@ -216,6 +287,8 @@ class LeafHistory {
   std::size_t total_ = 0;
   std::size_t merged_ = 0;
   std::size_t pruned_ = 0;
+  std::size_t evicted_ = 0;
+  std::size_t bytes_ = 0;
 };
 
 }  // namespace ocep

@@ -26,6 +26,7 @@ OcepMatcher::OcepMatcher(const EventStore& store,
       on_match_(std::move(on_match)) {
   OCEP_ASSERT_MSG(pattern_.size() >= 1 && pattern_.size() <= 63,
                   "pattern size must be in [1, 63]");
+  governor_.configure(config_.budget, config_.breaker);
 }
 
 void OcepMatcher::lazy_init() {
@@ -217,10 +218,40 @@ void OcepMatcher::observe(const Event& event) {
   }
   if (hit) {
     ++stats_.leaf_hits;
+    bool terminating_hit = false;
     for (std::uint32_t leaf = 0; leaf < pattern_.size(); ++leaf) {
       if (is_terminating_[leaf] &&
           leaf_accepts(pattern_.leaves[leaf], event)) {
-        run_anchor(leaf, event);
+        terminating_hit = true;
+        break;
+      }
+    }
+    // The governor gates the whole search phase of this observe: an open
+    // or quarantined breaker degrades it to the O(1) appends above, and an
+    // admitted search runs under one shared budget across every anchor and
+    // pin (at most one abort per observe).  The breaker clock is the
+    // observe count, so the outcome is identical across worker counts and
+    // checkpoint splits.
+    SearchBudget effective;
+    if (terminating_hit) {
+      if (!governor_.admit(stats_.events_observed, effective)) {
+        ++stats_.observes_shed;
+      } else {
+        begin_search_budget(effective);
+        for (std::uint32_t leaf = 0; leaf < pattern_.size(); ++leaf) {
+          if (is_terminating_[leaf] &&
+              leaf_accepts(pattern_.leaves[leaf], event)) {
+            run_anchor(leaf, event);
+            if (search_aborted_) {
+              break;
+            }
+          }
+        }
+        if (search_aborted_) {
+          ++stats_.searches_aborted;
+        }
+        governor_.on_search_result(stats_.events_observed, search_aborted_);
+        stats_.breaker_trips = governor_.trips();
       }
     }
   }
@@ -239,17 +270,104 @@ void OcepMatcher::observe(const Event& event) {
       }
     }
   }
+  if (config_.history_bytes_limit > 0) {
+    enforce_history_budget();
+  }
   stats_.history_entries = 0;
   stats_.history_merged = 0;
   stats_.history_pruned = 0;
+  stats_.history_evicted = 0;
   for (const LeafHistory& history : histories_) {
     stats_.history_entries += history.total();
     stats_.history_merged += history.merged();
     stats_.history_pruned += history.pruned();
+    stats_.history_evicted += history.evicted();
   }
   if (telemetry_on_) {
     publish_telemetry(before);
   }
+}
+
+void OcepMatcher::begin_search_budget(const SearchBudget& budget) {
+  search_aborted_ = false;
+  search_steps_ = 0;
+  search_step_limit_ = budget.max_steps;
+  search_has_deadline_ = budget.deadline_ns > 0;
+  search_limited_ = search_step_limit_ > 0 || search_has_deadline_;
+  if (search_has_deadline_) {
+    search_deadline_ = std::chrono::steady_clock::now() +
+                       std::chrono::nanoseconds(budget.deadline_ns);
+  }
+}
+
+bool OcepMatcher::budget_exhausted() {
+  if (search_step_limit_ > 0 && search_steps_ > search_step_limit_) {
+    return true;
+  }
+  return search_has_deadline_ && (search_steps_ & 255U) == 0 &&
+         std::chrono::steady_clock::now() >= search_deadline_;
+}
+
+void OcepMatcher::enforce_history_budget() {
+  std::size_t bytes = history_bytes();
+  if (bytes <= config_.history_bytes_limit) {
+    return;
+  }
+  const auto low = static_cast<std::size_t>(
+      static_cast<double>(config_.history_bytes_limit) *
+      config_.history_low_fraction);
+  while (bytes > low) {
+    std::uint32_t best_leaf = 0;
+    TraceId best_trace = 0;
+    std::size_t best_size = 0;
+    for (std::uint32_t leaf = 0; leaf < pattern_.size(); ++leaf) {
+      TraceId trace = 0;
+      const std::size_t size = histories_[leaf].largest_trace(trace);
+      if (size > best_size) {
+        best_size = size;
+        best_leaf = leaf;
+        best_trace = trace;
+      }
+    }
+    if (best_size <= 1) {
+      break;  // nothing evictable left without emptying a pair entirely
+    }
+    const std::size_t freed =
+        histories_[best_leaf].evict_front(best_trace, best_size / 2);
+    if (freed == 0) {
+      break;
+    }
+    bytes -= std::min(bytes, freed);
+  }
+}
+
+std::size_t OcepMatcher::history_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const LeafHistory& history : histories_) {
+    bytes += history.approx_bytes();
+  }
+  return bytes;
+}
+
+PatternHealth OcepMatcher::health() const {
+  PatternHealth health;
+  health.state = governor_.state();
+  health.searches = stats_.searches;
+  health.searches_aborted = stats_.searches_aborted;
+  health.observes_shed = stats_.observes_shed;
+  health.breaker_trips = governor_.trips();
+  health.breaker_probes = governor_.probes();
+  health.history_entries = stats_.history_entries;
+  health.history_bytes = history_bytes();
+  health.history_evicted = stats_.history_evicted;
+  health.callback_errors = stats_.callback_errors;
+  health.last_error = governor_.last_error();
+  return health;
+}
+
+void OcepMatcher::quarantine(std::string reason) {
+  governor_.quarantine(std::move(reason));
+  stats_.breaker_trips = governor_.trips();
 }
 
 void OcepMatcher::publish_telemetry(const MatcherStats& before) {
@@ -267,6 +385,14 @@ void OcepMatcher::publish_telemetry(const MatcherStats& before) {
   bump(telemetry_.backjumps, stats_.backjumps - before.backjumps);
   bump(telemetry_.pins_run, stats_.pins_run - before.pins_run);
   bump(telemetry_.pins_skipped, stats_.pins_skipped - before.pins_skipped);
+  bump(telemetry_.searches_aborted,
+       stats_.searches_aborted - before.searches_aborted);
+  bump(telemetry_.observes_shed, stats_.observes_shed - before.observes_shed);
+  bump(telemetry_.breaker_trips, stats_.breaker_trips - before.breaker_trips);
+  bump(telemetry_.history_evicted,
+       stats_.history_evicted - before.history_evicted);
+  bump(telemetry_.callback_errors,
+       stats_.callback_errors - before.callback_errors);
   if (stats_.searches == before.searches) {
     return;  // not a terminating event: no search distributions to record
   }
@@ -323,6 +449,9 @@ void OcepMatcher::run_anchor(std::uint32_t anchor_leaf, const Event& event) {
   ++stats_.searches;
   std::uint64_t conflicts = 0;
   if (!extend(order, 1, Pin{}, conflicts)) {
+    if (search_aborted_) {
+      return;  // budget blew mid-search: not a real conflict to record
+    }
     if (telemetry_.conflict_set_size != nullptr) {
       telemetry_.conflict_set_size->record(
           static_cast<std::uint64_t>(std::popcount(conflicts)));
@@ -342,6 +471,9 @@ void OcepMatcher::run_anchor(std::uint32_t anchor_leaf, const Event& event) {
       continue;  // the anchor is fixed to this event's trace
     }
     for (TraceId t = 0; t < traces_; ++t) {
+      if (search_aborted_) {
+        return;  // budget blew: skip the remaining pins this observe
+      }
       if (local_covered[static_cast<std::size_t>(leaf) * traces_ + t] ||
           (config_.global_coverage && subset_.covered(leaf, t)) ||
           histories_[leaf].on_trace(t).empty()) {
@@ -372,8 +504,25 @@ void OcepMatcher::report(bool pinned) {
   match.bindings = binding_;
   const bool fresh = subset_.add(match);
   ++stats_.matches_reported;
-  if (on_match_) {
+  if (!on_match_) {
+    return;
+  }
+  if (!config_.contain_callback_errors) {
     on_match_(match, fresh);
+    return;
+  }
+  // A throwing user callback must not unwind through the search: the
+  // matcher's own state (subset, stats, histories) is already consistent
+  // at this point, so count the error, keep its message for the health
+  // report, and carry on matching.
+  try {
+    on_match_(match, fresh);
+  } catch (const std::exception& e) {
+    ++stats_.callback_errors;
+    governor_.record_error(std::string("match callback threw: ") + e.what());
+  } catch (...) {
+    ++stats_.callback_errors;
+    governor_.record_error("match callback threw a non-standard exception");
   }
 }
 
@@ -382,6 +531,9 @@ bool OcepMatcher::extend(const std::vector<std::uint32_t>& order,
                          std::uint64_t& conflict_out) {
   if (depth == order.size()) {
     return true;
+  }
+  if (search_aborted_) {
+    return false;
   }
   ++stats_.levels_entered;
   const std::uint32_t leaf = order[depth];
@@ -473,6 +625,10 @@ bool OcepMatcher::extend(const std::vector<std::uint32_t>& order,
                         backjump)) {
         return true;
       }
+      if (search_aborted_) {
+        conflict_out |= my_conflicts;
+        return false;
+      }
       if (backjump) {
         // The failure below did not involve this level: skip its remaining
         // candidates and traces entirely.
@@ -500,6 +656,13 @@ bool OcepMatcher::try_candidate(const std::vector<std::uint32_t>& order,
                                 bool& backjump) {
   ++stats_.nodes_explored;
   backjump = false;
+  if (search_limited_) {
+    ++search_steps_;
+    if (budget_exhausted()) {
+      search_aborted_ = true;
+      return false;
+    }
+  }
   const Event& event = store_.event(candidate);
 
   // Without domain pruning (chronological baseline), constraints against
@@ -559,6 +722,9 @@ bool OcepMatcher::try_candidate(const std::vector<std::uint32_t>& order,
     var_bound_[*it] = false;
   }
 
+  if (search_aborted_) {
+    return false;  // unwind without recording a backjump: not a conflict
+  }
   if (config_.backjumping && (child_conflicts & bit(depth)) == 0) {
     // This level's choice is irrelevant to the failure below: jump past it
     // (the paper's goBackward with recorded conflict timestamps).
@@ -766,6 +932,12 @@ void OcepMatcher::checkpoint(std::ostream& out) {
   const std::size_t k = pattern_.size();
   for_each_stat(stats_,
                 [&out](std::uint64_t field) { poet::put_varint(out, field); });
+  // v2 governance counters.  breaker_trips and history_evicted are not
+  // written: they are recomputed on restore from the governor blob and the
+  // per-leaf evicted counters, keeping each figure stored exactly once.
+  poet::put_varint(out, stats_.searches_aborted);
+  poet::put_varint(out, stats_.observes_shed);
+  poet::put_varint(out, stats_.callback_errors);
   for (TraceId t = 0; t < traces_; ++t) {
     poet::put_varint(out, comm_before_[t]);
   }
@@ -773,6 +945,7 @@ void OcepMatcher::checkpoint(std::ostream& out) {
     const LeafHistory& history = histories_[leaf];
     poet::put_varint(out, history.merged());
     poet::put_varint(out, history.pruned());
+    poet::put_varint(out, history.evicted());
     for (TraceId t = 0; t < traces_; ++t) {
       const std::span<const HistoryEntry> entries = history.on_trace(t);
       poet::put_varint(out, entries.size());
@@ -794,24 +967,33 @@ void OcepMatcher::checkpoint(std::ostream& out) {
       poet::put_varint(out, id.index);
     }
   }
+  governor_.checkpoint(out);
 }
 
-void OcepMatcher::restore(std::istream& in) {
+void OcepMatcher::restore(std::istream& in, int version) {
   OCEP_ASSERT_MSG(stats_.events_observed == 0,
                   "restore requires a fresh matcher");
+  OCEP_ASSERT_MSG(version >= 1 && version <= kCheckpointVersion,
+                  "unsupported matcher checkpoint version");
   lazy_init();
   const std::size_t k = pattern_.size();
   for_each_stat(stats_,
                 [&in](std::uint64_t& field) { field = poet::get_varint(in); });
+  if (version >= 2) {
+    stats_.searches_aborted = poet::get_varint(in);
+    stats_.observes_shed = poet::get_varint(in);
+    stats_.callback_errors = poet::get_varint(in);
+  }
   for (TraceId t = 0; t < traces_; ++t) {
     comm_before_[t] = static_cast<std::uint32_t>(poet::get_varint(in));
   }
   for (std::uint32_t leaf = 0; leaf < k; ++leaf) {
-    // Two reads, sequenced: as direct arguments their evaluation order
-    // would be unspecified.
+    // Sequenced reads: as direct arguments their evaluation order would be
+    // unspecified.
     const std::uint64_t merged = poet::get_varint(in);
     const std::uint64_t pruned = poet::get_varint(in);
-    histories_[leaf].set_counters(merged, pruned);
+    const std::uint64_t evicted = version >= 2 ? poet::get_varint(in) : 0;
+    histories_[leaf].set_counters(merged, pruned, evicted);
     for (TraceId t = 0; t < traces_; ++t) {
       const std::uint64_t count = poet::get_varint(in);
       if (count > store_.trace_size(t)) {
@@ -859,6 +1041,14 @@ void OcepMatcher::restore(std::istream& in) {
     }
   }
   subset_.restore(std::move(slots), std::move(matches));
+  if (version >= 2) {
+    governor_.restore(in);
+  }
+  stats_.breaker_trips = governor_.trips();
+  stats_.history_evicted = 0;
+  for (const LeafHistory& history : histories_) {
+    stats_.history_evicted += history.evicted();
+  }
 }
 
 bool OcepMatcher::satisfied(std::uint32_t leaf, Role role, EventId me,

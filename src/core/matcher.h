@@ -22,12 +22,15 @@
 // most k*n matches are ever retained.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "common/assert.h"
+#include "core/governor.h"
 #include "core/history.h"
 #include "core/subset.h"
 #include "obs/metrics.h"
@@ -59,6 +62,21 @@ struct MatcherConfig {
   /// event can in rare shapes be the only witness for a *different*
   /// still-uncovered pair.
   std::size_t history_retention = 0;
+  /// Overload governance (docs/GOVERNANCE.md).  All defaults are the
+  /// do-nothing configuration: unlimited budget, breaker disabled, no
+  /// byte cap — guaranteed zero-cost and zero-semantics.
+  SearchBudget budget;
+  BreakerConfig breaker;
+  /// Byte-accounted cap across this pattern's leaf histories (including
+  /// the keyed index), 0 = unbounded.  Past the cap the matcher evicts
+  /// oldest-per-trace entries — counted as `history_evicted` coverage
+  /// loss — down to `history_low_fraction` of the cap.
+  std::size_t history_bytes_limit = 0;
+  double history_low_fraction = 0.5;
+  /// Contain exceptions thrown by the MatchCallback: count them, record
+  /// the message in the health report, and keep matching.  Off restores
+  /// the legacy propagate-mid-search behaviour.
+  bool contain_callback_errors = true;
 };
 
 struct MatcherStats {
@@ -75,6 +93,12 @@ struct MatcherStats {
   std::uint64_t domain_prunes = 0;      ///< empty Fig-4 intervals (goBackward)
   std::uint64_t pins_run = 0;           ///< coverage pin searches executed
   std::uint64_t pins_skipped = 0;       ///< pins avoided (covered / empty)
+  // Governance counters (checkpoint format v2; docs/GOVERNANCE.md).
+  std::uint64_t searches_aborted = 0;   ///< observes whose search blew budget
+  std::uint64_t observes_shed = 0;      ///< searches skipped (breaker open)
+  std::uint64_t breaker_trips = 0;      ///< closed->open transitions
+  std::uint64_t history_evicted = 0;    ///< entries dropped by the byte cap
+  std::uint64_t callback_errors = 0;    ///< contained MatchCallback throws
 };
 
 /// Optional per-matcher telemetry sinks (src/obs/metrics.h).  Counters
@@ -92,6 +116,11 @@ struct MatcherTelemetry {
   obs::Counter* backjumps = nullptr;
   obs::Counter* pins_run = nullptr;
   obs::Counter* pins_skipped = nullptr;
+  obs::Counter* searches_aborted = nullptr;
+  obs::Counter* observes_shed = nullptr;
+  obs::Counter* breaker_trips = nullptr;
+  obs::Counter* history_evicted = nullptr;
+  obs::Counter* callback_errors = nullptr;
   obs::Histogram* levels_visited = nullptr;      ///< per terminating event
   obs::Histogram* candidates_scanned = nullptr;  ///< per terminating event
   obs::Histogram* matches_found = nullptr;       ///< per terminating event
@@ -138,6 +167,21 @@ class OcepMatcher {
     return subset_;
   }
   [[nodiscard]] const MatcherStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const PatternGovernor& governor() const noexcept {
+    return governor_;
+  }
+
+  /// Governance snapshot for Monitor::health().  The caller fills
+  /// PatternHealth::pattern (the matcher does not know its index).
+  [[nodiscard]] PatternHealth health() const;
+
+  /// Approximate bytes held by this pattern's leaf histories.
+  [[nodiscard]] std::size_t history_bytes() const noexcept;
+
+  /// Forces the breaker into its terminal quarantined state: subsequent
+  /// observes degrade to history appends.  Used by worker supervision
+  /// after a callback or internal error escaped an observe.
+  void quarantine(std::string reason);
 
   /// Serializes the matcher's incremental state: stats, per-trace comm
   /// counters, per-leaf histories, and the representative subset.  The
@@ -147,10 +191,15 @@ class OcepMatcher {
   /// they are not written either.
   void checkpoint(std::ostream& out);
 
+  /// Checkpoint blob format written by checkpoint() (OCEPCKP2).  restore()
+  /// also accepts `version` 1 blobs (OCEPCKP1, PR 3): the governance
+  /// counters and breaker state then start from their defaults.
+  static constexpr int kCheckpointVersion = 2;
+
   /// Counterpart of checkpoint().  Requires a fresh matcher (no events
   /// observed) whose store already holds every checkpointed event; throws
   /// SerializationError when the blob is inconsistent with the store.
-  void restore(std::istream& in);
+  void restore(std::istream& in, int version = kCheckpointVersion);
 
  private:
   /// A constraint as seen from one endpoint leaf.
@@ -180,6 +229,17 @@ class OcepMatcher {
 
   void run_anchor(std::uint32_t anchor_leaf, const Event& event);
   void report(bool pinned);
+
+  /// Arms the per-observe search budget before the anchor searches run.
+  void begin_search_budget(const SearchBudget& budget);
+  /// Cooperative budget check, called once per candidate instantiation.
+  /// The wall-clock deadline is polled every 256 steps to keep the common
+  /// case a single integer compare.
+  [[nodiscard]] bool budget_exhausted();
+  /// Evicts oldest-per-trace history entries until the byte figure is back
+  /// under history_low_fraction of the cap (largest (leaf, trace) pair
+  /// first; deterministic tie-break on the lowest leaf then trace).
+  void enforce_history_budget();
   /// Per-observe telemetry publication: counter deltas against `before`,
   /// plus the per-terminating-event histograms when a search ran.
   void publish_telemetry(const MatcherStats& before);
@@ -257,6 +317,15 @@ class OcepMatcher {
   std::vector<Symbol> var_value_;            // per attribute variable
   std::vector<bool> var_bound_;
   std::vector<std::size_t> var_binder_;      // depth that bound the variable
+
+  // Overload governance (docs/GOVERNANCE.md).
+  PatternGovernor governor_;
+  bool search_limited_ = false;  ///< a finite budget is armed this observe
+  bool search_aborted_ = false;
+  std::uint64_t search_steps_ = 0;
+  std::uint64_t search_step_limit_ = 0;
+  bool search_has_deadline_ = false;
+  std::chrono::steady_clock::time_point search_deadline_{};
 
   RepresentativeSubset subset_;
   MatcherStats stats_;

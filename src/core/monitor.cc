@@ -59,6 +59,16 @@ MatcherTelemetry Monitor::make_telemetry(std::size_t index) {
       &reg.counter("matcher.pins_run", label, "coverage pins searched");
   t.pins_skipped = &reg.counter("matcher.pins_skipped", label,
                                 "coverage pins skipped");
+  t.searches_aborted = &reg.counter("matcher.searches_aborted", label,
+                                    "searches aborted by the budget");
+  t.observes_shed = &reg.counter("matcher.observes_shed", label,
+                                 "searches shed by an open breaker");
+  t.breaker_trips =
+      &reg.counter("matcher.breaker_trips", label, "breaker trips");
+  t.history_evicted = &reg.counter("matcher.history_evicted", label,
+                                   "history entries evicted by the byte cap");
+  t.callback_errors = &reg.counter("matcher.callback_errors", label,
+                                   "contained match-callback exceptions");
   t.levels_visited = &reg.histogram("matcher.levels_visited", label,
                                     "levels per terminating event");
   t.candidates_scanned =
@@ -179,10 +189,33 @@ PipelineStats Monitor::stats() const {
   return out;
 }
 
+HealthReport Monitor::health() const {
+  assert_drained();
+  HealthReport report;
+  report.patterns.reserve(matchers_.size());
+  for (std::size_t i = 0; i < matchers_.size(); ++i) {
+    PatternHealth pattern = matchers_[i]->health();
+    pattern.pattern = i;
+    report.patterns.push_back(std::move(pattern));
+  }
+  if (pipeline_) {
+    pipeline_->fill_health(report);
+  }
+  if (ingest_source_) {
+    report.ingest = ingest_source_();
+  }
+  return report;
+}
+
 namespace {
 
+// Checkpoint framing magic: "OCEPCKP" + format version digit.  Version 2
+// (this layout) added the governance counters and breaker state; version 1
+// blobs (PR 3) still restore, with governance starting from its defaults.
 constexpr char kCheckpointMagic[8] = {'O', 'C', 'E', 'P',
-                                      'C', 'K', 'P', '1'};
+                                      'C', 'K', 'P', '2'};
+constexpr char kCheckpointMagicV1[8] = {'O', 'C', 'E', 'P',
+                                        'C', 'K', 'P', '1'};
 
 }  // namespace
 
@@ -212,9 +245,17 @@ void Monitor::restore(std::istream& in) {
                   "events seen)");
   char magic[sizeof(kCheckpointMagic)] = {};
   in.read(magic, sizeof(magic));
-  if (in.gcount() != sizeof(magic) ||
-      !std::equal(std::begin(magic), std::end(magic),
-                  std::begin(kCheckpointMagic))) {
+  int version = 0;
+  if (in.gcount() == sizeof(magic)) {
+    if (std::equal(std::begin(magic), std::end(magic),
+                   std::begin(kCheckpointMagic))) {
+      version = 2;
+    } else if (std::equal(std::begin(magic), std::end(magic),
+                          std::begin(kCheckpointMagicV1))) {
+      version = 1;
+    }
+  }
+  if (version == 0) {
     throw SerializationError("not an OCEP checkpoint (bad magic)");
   }
   const std::uint64_t length = poet::get_varint(in);
@@ -264,7 +305,7 @@ void Monitor::restore(std::istream& in) {
         "checkpoint pattern count does not match the registered patterns");
   }
   for (const std::unique_ptr<OcepMatcher>& matcher : matchers_) {
-    matcher->restore(body);
+    matcher->restore(body, version);
   }
   if (pipeline_) {
     pipeline_->resume_at(events_seen_);

@@ -111,6 +111,12 @@ class Monitor final : public EventSink {
   /// the source attached with set_ingest_source(), when any.
   [[nodiscard]] PipelineStats stats() const;
 
+  /// Governance snapshot (docs/GOVERNANCE.md): per-pattern breaker state
+  /// and budget/eviction counters, per-worker supervision counters, plus
+  /// the ingestion-side stats when a source is attached.  Like stats(),
+  /// requires a drained pipeline.
+  [[nodiscard]] HealthReport health() const;
+
   /// Attaches the ingestion-side counter source merged into stats() —
   /// typically SessionClient::stats or Linearizer::ingest_stats.  The
   /// source must stay callable for the monitor's lifetime.

@@ -1,11 +1,21 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "common/assert.h"
 #include "metrics/stopwatch.h"
 
 namespace ocep {
+namespace {
+
+/// Marker thrown at the end of a batch in which an observe escaped: it
+/// unwinds run_batch (after the watermark is published) so supervise()
+/// counts a restart and re-enters the worker loop with clean state.
+struct WorkerRespawn {};
+
+}  // namespace
 
 MatchPipeline::MatchPipeline(const EventStore& store, std::size_t workers,
                              std::size_t ring_batches)
@@ -17,7 +27,7 @@ MatchPipeline::MatchPipeline(const EventStore& store, std::size_t workers,
   }
   for (const std::unique_ptr<Worker>& worker : workers_) {
     Worker& ref = *worker;
-    ref.thread = std::thread([this, &ref] { worker_loop(ref); });
+    ref.thread = std::thread([this, &ref] { supervise(ref); });
   }
 }
 
@@ -43,6 +53,9 @@ void MatchPipeline::enable_metrics(obs::Registry& registry) {
         "pipeline.events", label, "events observed across owned patterns");
     worker.stalls_counter = &registry.counter(
         "pipeline.ring_stalls", label, "producer pushes that had to wait");
+    worker.restarts_counter = &registry.counter(
+        "pipeline.worker_restarts", label,
+        "supervised worker respawns after an escaped exception");
     worker.ring_depth = &registry.histogram(
         "pipeline.ring_depth", label, "ring occupancy seen at dispatch");
   }
@@ -124,9 +137,46 @@ void MatchPipeline::resume_at(std::uint64_t events) {
   }
 }
 
+void MatchPipeline::quarantine_slot(PatternSlot& slot,
+                                    const std::string& reason) {
+  if (slot.quarantined) {
+    return;
+  }
+  slot.quarantined = true;
+  // The matcher's breaker goes terminal: its remaining observes degrade
+  // to O(1) history appends, so the other patterns (and this worker's
+  // throughput) are unaffected.
+  slot.matcher->quarantine("pattern " + std::to_string(slot.pattern_index) +
+                           " quarantined: " + reason);
+}
+
+void MatchPipeline::observe_one(Worker& worker, PatternSlot& slot,
+                                const Event& event) {
+  const std::uint64_t errors_before = slot.matcher->stats().callback_errors;
+  try {
+    slot.matcher->observe(event);
+  } catch (const std::exception& e) {
+    quarantine_slot(slot, e.what());
+    worker.respawn_pending = true;
+    return;
+  } catch (...) {
+    quarantine_slot(slot, "non-standard exception escaped observe");
+    worker.respawn_pending = true;
+    return;
+  }
+  if (!slot.quarantined &&
+      slot.matcher->stats().callback_errors > errors_before) {
+    // The matcher contained a throwing MatchCallback.  The user sink for
+    // this pattern is broken, so supervision still shuts the pattern down
+    // — but the worker survives without a respawn.
+    quarantine_slot(slot, slot.matcher->governor().last_error());
+  }
+}
+
 void MatchPipeline::run_batch(Worker& worker, const Batch& batch) {
   OCEP_ASSERT_MSG(store_.visible_count() >= batch.end,
                   "batch dispatched before its events were published");
+  worker.current_batch_end = batch.end;
   for (PatternSlot& slot : worker.patterns) {
     if (slot.observe_ns != nullptr) {
       // Metrics path: time each arrival individually so the histogram
@@ -135,7 +185,7 @@ void MatchPipeline::run_batch(Worker& worker, const Batch& batch) {
       std::uint64_t batch_ns = 0;
       for (std::uint64_t pos = batch.begin; pos < batch.end; ++pos) {
         const metrics::Stopwatch watch;
-        slot.matcher->observe(store_.event(store_.arrival(pos)));
+        observe_one(worker, slot, store_.event(store_.arrival(pos)));
         const std::uint64_t ns = watch.elapsed_ns();
         slot.observe_ns->record(ns);
         batch_ns += ns;
@@ -146,7 +196,7 @@ void MatchPipeline::run_batch(Worker& worker, const Batch& batch) {
     } else {
       const metrics::Stopwatch watch;
       for (std::uint64_t pos = batch.begin; pos < batch.end; ++pos) {
-        slot.matcher->observe(store_.event(store_.arrival(pos)));
+        observe_one(worker, slot, store_.event(store_.arrival(pos)));
       }
       const double us = watch.elapsed_us();
       slot.us_total += us;
@@ -155,12 +205,42 @@ void MatchPipeline::run_batch(Worker& worker, const Batch& batch) {
     slot.events += batch.end - batch.begin;
   }
   worker.batches.fetch_add(1, std::memory_order_relaxed);
+  worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
   if (worker.batches_counter != nullptr) {
     worker.batches_counter->add(1);
     worker.events_counter->add(
         (batch.end - batch.begin) * worker.patterns.size());
   }
   worker.processed.store(batch.end, std::memory_order_release);
+  if (worker.respawn_pending) {
+    // Unwind only after the watermark is published: drain() never hangs
+    // on a batch whose observe escaped.
+    worker.respawn_pending = false;
+    throw WorkerRespawn{};
+  }
+}
+
+void MatchPipeline::supervise(Worker& worker) {
+  for (;;) {
+    try {
+      worker_loop(worker);
+      return;  // clean stop
+    } catch (...) {
+      // An exception escaped a batch (WorkerRespawn after a throwing
+      // observe, or an unexpected internal error).  The offending pattern
+      // is already quarantined at the throw site; make sure the watermark
+      // covers the batch so drain() cannot hang, count the restart, and
+      // respawn the worker loop.
+      worker.processed.store(
+          std::max(worker.processed.load(std::memory_order_relaxed),
+                   worker.current_batch_end),
+          std::memory_order_release);
+      worker.restarts.fetch_add(1, std::memory_order_relaxed);
+      if (worker.restarts_counter != nullptr) {
+        worker.restarts_counter->add(1);
+      }
+    }
+  }
 }
 
 void MatchPipeline::worker_loop(Worker& worker) {
@@ -180,6 +260,7 @@ void MatchPipeline::worker_loop(Worker& worker) {
       }
       break;
     }
+    worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
     backoff(spins);
   }
 }
@@ -194,6 +275,8 @@ PipelineStats MatchPipeline::stats() const {
     PipelineWorkerStats& stats = out.workers[w];
     stats.batches = worker.batches.load(std::memory_order_relaxed);
     stats.ring_full_stalls = worker.stalls;
+    stats.restarts = worker.restarts.load(std::memory_order_relaxed);
+    stats.heartbeat = worker.heartbeat.load(std::memory_order_relaxed);
     for (const PatternSlot& slot : worker.patterns) {
       stats.events += slot.events;
       PipelinePatternStats& pattern = out.patterns[slot.pattern_index];
@@ -201,9 +284,28 @@ PipelineStats MatchPipeline::stats() const {
       pattern.events_observed = slot.events;
       pattern.observe_us_total = slot.us_total;
       pattern.observe_us_max = slot.us_max;
+      pattern.quarantined = slot.quarantined;
     }
   }
   return out;
+}
+
+void MatchPipeline::fill_health(HealthReport& report) const {
+  report.workers.resize(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const Worker& worker = *workers_[w];
+    WorkerHealth& health = report.workers[w];
+    health.worker = w;
+    health.batches = worker.batches.load(std::memory_order_relaxed);
+    health.heartbeat = worker.heartbeat.load(std::memory_order_relaxed);
+    health.restarts = worker.restarts.load(std::memory_order_relaxed);
+    health.quarantined_patterns = 0;
+    for (const PatternSlot& slot : worker.patterns) {
+      if (slot.quarantined) {
+        ++health.quarantined_patterns;
+      }
+    }
+  }
 }
 
 }  // namespace ocep

@@ -36,10 +36,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/spsc_ring.h"
+#include "core/governor.h"
 #include "core/matcher.h"
 #include "obs/metrics.h"
 #include "poet/event_store.h"
@@ -52,6 +54,8 @@ struct PipelineWorkerStats {
   std::uint64_t batches = 0;         ///< batches processed
   std::uint64_t events = 0;          ///< events processed (all its patterns)
   std::uint64_t ring_full_stalls = 0;  ///< producer pushes that had to wait
+  std::uint64_t restarts = 0;        ///< supervised respawns (see supervise)
+  std::uint64_t heartbeat = 0;       ///< liveness ticks (batches + idle)
 };
 
 /// Per-pattern observation cost, measured on the owning worker with
@@ -61,6 +65,7 @@ struct PipelinePatternStats {
   std::uint64_t events_observed = 0;
   double observe_us_total = 0.0;     ///< summed batch observe time
   double observe_us_max = 0.0;       ///< slowest single batch
+  bool quarantined = false;          ///< shut down by worker supervision
 };
 
 struct PipelineStats {
@@ -119,6 +124,10 @@ class MatchPipeline {
   /// Snapshot of the counters.  Call after drain() for exact values.
   [[nodiscard]] PipelineStats stats() const;
 
+  /// Fills the per-worker section of a HealthReport (batches, heartbeat,
+  /// restarts, quarantined pattern count).  Call after drain().
+  void fill_health(HealthReport& report) const;
+
  private:
   struct Batch {
     std::uint64_t begin = 0;
@@ -131,6 +140,7 @@ class MatchPipeline {
     std::uint64_t events = 0;   // worker-thread only until drain()
     double us_total = 0.0;
     double us_max = 0.0;
+    bool quarantined = false;   // worker-thread only until drain()
     obs::Histogram* observe_ns = nullptr;  ///< per-arrival latency sink
   };
 
@@ -140,17 +150,37 @@ class MatchPipeline {
     std::vector<PatternSlot> patterns;
     std::atomic<std::uint64_t> processed{0};  ///< arrival watermark done
     std::atomic<std::uint64_t> batches{0};
+    // Supervision (see supervise()): heartbeat ticks on every batch and
+    // idle backoff; restarts counts worker-loop respawns after an escaped
+    // exception.
+    std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<std::uint64_t> restarts{0};
+    std::uint64_t current_batch_end = 0;  ///< worker thread only
+    bool respawn_pending = false;         ///< worker thread only
     std::uint64_t stalls = 0;  ///< producer-side, producer thread only
     // Registry mirrors (null when metrics are off).
     obs::Counter* batches_counter = nullptr;
     obs::Counter* events_counter = nullptr;
     obs::Counter* stalls_counter = nullptr;
+    obs::Counter* restarts_counter = nullptr;
     obs::Histogram* ring_depth = nullptr;  ///< occupancy seen at dispatch
     std::thread thread;
   };
 
+  /// Thread entry: runs worker_loop under exception containment.  An
+  /// exception that escapes a batch quarantines the offending pattern
+  /// (done at the throw site), publishes the batch watermark so drain()
+  /// cannot hang, counts a restart, and re-enters the loop — the process
+  /// never terminates for one pattern's failure.
+  void supervise(Worker& worker);
   void worker_loop(Worker& worker);
   void run_batch(Worker& worker, const Batch& batch);
+  /// One matcher observe under supervision: an escaped exception or a
+  /// contained callback error quarantines the slot.  Per-event (not
+  /// per-batch) so the quarantine point is identical across batch sizes
+  /// and worker counts.
+  void observe_one(Worker& worker, PatternSlot& slot, const Event& event);
+  void quarantine_slot(PatternSlot& slot, const std::string& reason);
   static void backoff(unsigned& spins);
 
   const EventStore& store_;

@@ -278,5 +278,91 @@ TEST(Checkpoint, SessionClientAndMonitorResumeAcrossRestart) {
       << "restarted session diverged from the uninterrupted run";
 }
 
+// Governance state must ride the checkpoint (format v2): a breaker that
+// tripped before the split must still be open/cooling in the restored
+// process, giving the same shed/probe schedule — and hence byte-identical
+// final state — as the uninterrupted run.
+TEST(Checkpoint, GovernedRunSplitsAreByteIdenticalMidQuarantine) {
+  constexpr const char* kHostile = R"(
+      E1 := ['', A, '']; E2 := ['', A, ''];
+      E3 := ['', A, '']; E4 := ['', A, ''];
+      pattern := (E1 || E2) && (E1 || E3) && (E1 || E4) &&
+                 (E2 || E3) && (E2 || E4) && (E3 || E4);
+  )";
+  StringPool pool;
+  testing::RandomComputationOptions options;
+  options.seed = 19;
+  options.traces = 8;
+  options.events = 500;
+  const EventStore store = testing::random_computation(pool, options);
+
+  MatcherConfig tight;
+  tight.budget.max_steps = 16;
+  tight.breaker.trip_failures = 2;
+  tight.breaker.window_observes = 64;
+  tight.breaker.cooldown_observes = 48;
+
+  const std::uint64_t total = store.event_count();
+  Monitor reference(pool, store.storage());
+  reference.add_pattern(kHostile, tight);
+  reference.on_traces(trace_names(store));
+  feed_range(reference, store, 0, total);
+  const std::string expected = checkpoint_bytes(reference);
+  ASSERT_GT(reference.health().patterns[0].breaker_trips, 0U)
+      << "the breaker never engaged — the split test is vacuous";
+
+  for (const std::uint64_t split : {total / 4, total / 2, total - 3}) {
+    Monitor first(pool, store.storage());
+    first.add_pattern(kHostile, tight);
+    first.on_traces(trace_names(store));
+    feed_range(first, store, 0, split);
+    std::istringstream saved(checkpoint_bytes(first));
+
+    Monitor resumed(pool, store.storage());
+    resumed.add_pattern(kHostile, tight);
+    resumed.restore(saved);
+    feed_range(resumed, store, split, total);
+
+    EXPECT_EQ(checkpoint_bytes(resumed), expected)
+        << "governed resume at " << split << "/" << total
+        << " diverged (breaker state not carried across the checkpoint?)";
+  }
+}
+
+// The committed OCEPCKP1 fixture (written by the previous checkpoint
+// format, before governance existed) must keep restoring: the governance
+// state then starts from its defaults and the match state is exactly what
+// a fresh full replay of the golden dump produces.
+TEST(Checkpoint, LegacyV1CheckpointRestores) {
+  const std::string root(OCEP_SOURCE_DIR);
+  std::ifstream ckpt_in(root + "/tools/zk962_v1.ckpt", std::ios::binary);
+  ASSERT_TRUE(ckpt_in) << "v1 checkpoint fixture missing";
+  std::ifstream pattern_in(root + "/tools/zk962.ocep");
+  ASSERT_TRUE(pattern_in) << "golden pattern fixture missing";
+  std::stringstream pattern_text;
+  pattern_text << pattern_in.rdbuf();
+  std::ifstream dump_in(root + "/tools/zk962_golden.poet",
+                        std::ios::binary);
+  ASSERT_TRUE(dump_in) << "golden dump fixture missing";
+
+  StringPool pool;
+  const EventStore store = reload_store(dump_in, pool);
+  Monitor reference(pool, store.storage());
+  reference.add_pattern(pattern_text.str());
+  reference.on_traces(trace_names(store));
+  feed_range(reference, store, 0, store.event_count());
+
+  Monitor restored(pool, store.storage());
+  restored.add_pattern(pattern_text.str());
+  restored.restore(ckpt_in);
+  EXPECT_EQ(restored.events_seen(), store.event_count());
+  EXPECT_EQ(testing::match_signature(restored, 0),
+            testing::match_signature(reference, 0));
+  const HealthReport health = restored.health();
+  EXPECT_EQ(health.patterns[0].state, BreakerState::kClosed);
+  EXPECT_FALSE(health.degraded())
+      << "a clean v1 checkpoint must restore to a clean health report";
+}
+
 }  // namespace
 }  // namespace ocep

@@ -1,0 +1,470 @@
+// Overload governance (docs/GOVERNANCE.md): search budgets, the per-pattern
+// circuit breaker, byte-capped histories, callback containment, and worker
+// supervision.  The through-line of every test is the degradation contract:
+// governance may drop *work* (searches, matches, history), never
+// *correctness* — whatever is still reported is a subset of the unbudgeted
+// run, other patterns are unaffected, and every loss is counted in the
+// health report.  Determinism is the second contract: the breaker clock is
+// the observe count, so identical inputs and budgets produce identical
+// match sets and health across worker counts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/governor.h"
+#include "core/monitor.h"
+#include "random_computation.h"
+#include "testing/chaos_harness.h"
+
+namespace ocep {
+namespace {
+
+/// A cheap two-leaf precedence pattern (the well-behaved tenant).
+constexpr const char* kBenign =
+    "P := ['', A, '']; Q := ['', B, ''];\npattern := P -> Q;\n";
+
+/// The adversarial tenant.  Every leaf reference instantiates a fresh
+/// leaf, so this compiles to six independent concurrent pairs — twelve
+/// same-type backtracking levels with no precedence edge to prune on, the
+/// worst case for the search.
+constexpr const char* kHostile = R"(
+    E1 := ['', A, '']; E2 := ['', A, ''];
+    E3 := ['', A, '']; E4 := ['', A, ''];
+    pattern := (E1 || E2) && (E1 || E3) && (E1 || E4) &&
+               (E2 || E3) && (E2 || E4) && (E3 || E4);
+)";
+
+EventStore make_store(StringPool& pool, std::uint32_t events = 600,
+                      std::uint64_t seed = 1, std::uint32_t traces = 8) {
+  testing::RandomComputationOptions options;
+  options.traces = traces;
+  options.events = events;
+  options.seed = seed;
+  return testing::random_computation(pool, options);
+}
+
+std::vector<Symbol> trace_names(const EventStore& store) {
+  std::vector<Symbol> names;
+  for (TraceId t = 0; t < store.trace_count(); ++t) {
+    names.push_back(store.trace_name(t));
+  }
+  return names;
+}
+
+void feed_all(Monitor& monitor, const EventStore& store) {
+  monitor.on_traces(trace_names(store));
+  for (std::uint64_t pos = 0; pos < store.event_count(); ++pos) {
+    const EventId id = store.arrival(pos);
+    monitor.on_event(store.event(id), store.clock(id));
+  }
+  monitor.drain();
+}
+
+// ---------------------------------------------------------------------------
+// PatternGovernor state machine.
+
+TEST(Governor, TripsAfterKBlownBudgetsInsideTheWindow) {
+  PatternGovernor governor;
+  SearchBudget budget;
+  budget.max_steps = 10;
+  BreakerConfig breaker;
+  breaker.trip_failures = 3;
+  breaker.window_observes = 100;
+  breaker.cooldown_observes = 5;
+  governor.configure(budget, breaker);
+
+  SearchBudget effective;
+  for (std::uint64_t i = 1; i <= 2; ++i) {
+    ASSERT_TRUE(governor.admit(i, effective));
+    EXPECT_EQ(effective.max_steps, 10U);
+    governor.on_search_result(i, true);
+    EXPECT_EQ(governor.state(), BreakerState::kClosed);
+  }
+  ASSERT_TRUE(governor.admit(3, effective));
+  governor.on_search_result(3, true);  // third blow: trip
+  EXPECT_EQ(governor.state(), BreakerState::kOpen);
+  EXPECT_EQ(governor.trips(), 1U);
+
+  // Open: observes are shed until the cooldown elapses.
+  EXPECT_FALSE(governor.admit(4, effective));
+  EXPECT_FALSE(governor.admit(7, effective));
+  // Cooldown over: half-open probe with the reduced budget.
+  ASSERT_TRUE(governor.admit(8, effective));
+  EXPECT_EQ(governor.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(effective.max_steps, 5U);
+  EXPECT_EQ(governor.probes(), 1U);
+
+  // Probe succeeds: closed again, with a clean failure window.
+  governor.on_search_result(8, false);
+  EXPECT_EQ(governor.state(), BreakerState::kClosed);
+  ASSERT_TRUE(governor.admit(9, effective));
+  EXPECT_EQ(effective.max_steps, 10U);
+  governor.on_search_result(9, true);
+  EXPECT_EQ(governor.state(), BreakerState::kClosed)
+      << "the pre-trip failures must not count after a successful probe";
+}
+
+TEST(Governor, FailuresOutsideTheRollingWindowDoNotCount) {
+  PatternGovernor governor;
+  SearchBudget budget;
+  budget.max_steps = 1;
+  BreakerConfig breaker;
+  breaker.trip_failures = 2;
+  breaker.window_observes = 10;
+  governor.configure(budget, breaker);
+
+  SearchBudget effective;
+  ASSERT_TRUE(governor.admit(1, effective));
+  governor.on_search_result(1, true);
+  // The second blow lands 11 observes later: the first has expired.
+  ASSERT_TRUE(governor.admit(12, effective));
+  governor.on_search_result(12, true);
+  EXPECT_EQ(governor.state(), BreakerState::kClosed);
+  // A third inside the window of the second trips.
+  ASSERT_TRUE(governor.admit(13, effective));
+  governor.on_search_result(13, true);
+  EXPECT_EQ(governor.state(), BreakerState::kOpen);
+}
+
+TEST(Governor, FailedProbeReopensTheBreaker) {
+  PatternGovernor governor;
+  SearchBudget budget;
+  budget.max_steps = 8;
+  BreakerConfig breaker;
+  breaker.trip_failures = 1;
+  breaker.cooldown_observes = 4;
+  governor.configure(budget, breaker);
+
+  SearchBudget effective;
+  ASSERT_TRUE(governor.admit(1, effective));
+  governor.on_search_result(1, true);
+  EXPECT_EQ(governor.state(), BreakerState::kOpen);
+  ASSERT_TRUE(governor.admit(5, effective));  // half-open probe
+  governor.on_search_result(5, true);         // probe blows too
+  EXPECT_EQ(governor.state(), BreakerState::kOpen);
+  EXPECT_EQ(governor.trips(), 2U);
+  // The cooldown restarts from the failed probe.
+  EXPECT_FALSE(governor.admit(6, effective));
+  EXPECT_TRUE(governor.admit(9, effective));
+}
+
+TEST(Governor, QuarantineIsTerminal) {
+  PatternGovernor governor;
+  governor.configure(SearchBudget{}, BreakerConfig{});
+  governor.quarantine("callback exploded");
+  EXPECT_EQ(governor.state(), BreakerState::kQuarantined);
+  EXPECT_EQ(governor.last_error(), "callback exploded");
+  SearchBudget effective;
+  for (std::uint64_t i = 1; i < 100000; i *= 3) {
+    EXPECT_FALSE(governor.admit(i, effective));
+  }
+}
+
+TEST(Governor, CheckpointRoundTripsTheDynamicState) {
+  PatternGovernor governor;
+  SearchBudget budget;
+  budget.max_steps = 4;
+  BreakerConfig breaker;
+  breaker.trip_failures = 2;
+  breaker.cooldown_observes = 50;
+  governor.configure(budget, breaker);
+  SearchBudget effective;
+  ASSERT_TRUE(governor.admit(1, effective));
+  governor.on_search_result(1, true);
+  ASSERT_TRUE(governor.admit(2, effective));
+  governor.on_search_result(2, true);  // trip at observe 2
+  ASSERT_EQ(governor.state(), BreakerState::kOpen);
+
+  std::ostringstream out;
+  governor.checkpoint(out);
+  PatternGovernor restored;
+  restored.configure(budget, breaker);
+  std::istringstream in(out.str());
+  restored.restore(in);
+  EXPECT_EQ(restored.state(), BreakerState::kOpen);
+  EXPECT_EQ(restored.trips(), 1U);
+  // Same cooldown clock: still shedding at 51, probing at 52.
+  EXPECT_FALSE(restored.admit(51, effective));
+  EXPECT_TRUE(restored.admit(52, effective));
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted matching: drops work, never correctness.
+
+TEST(Governance, BudgetedMatchesStayGenuineAndMatchingContinues) {
+  StringPool pool;
+  const EventStore store = make_store(pool);
+
+  MatcherConfig tight;
+  tight.budget.max_steps = 32;
+  Monitor budgeted(pool, store.storage());
+  budgeted.add_pattern(kHostile, tight);
+  feed_all(budgeted, store);
+
+  const MatcherStats& stats = budgeted.matcher(0).stats();
+  EXPECT_GT(stats.searches_aborted, 0U) << "the budget never engaged — the "
+                                           "workload is not adversarial";
+  EXPECT_LT(stats.searches_aborted, stats.searches)
+      << "some searches must still complete";
+  EXPECT_GT(stats.matches_reported, 0U)
+      << "aborted searches must not wedge the matcher";
+  // Aborting mid-search may drop matches and shift which representative
+  // the coverage pins retain, but everything that *is* reported must be a
+  // genuine match: each constrained pair (2i, 2i+1) genuinely concurrent.
+  ASSERT_FALSE(budgeted.matcher(0).subset().matches().empty());
+  for (const Match& match : budgeted.matcher(0).subset().matches()) {
+    ASSERT_EQ(match.bindings.size() % 2, 0U);
+    for (std::size_t pair = 0; pair + 1 < match.bindings.size(); pair += 2) {
+      EXPECT_EQ(store.relate(match.bindings[pair], match.bindings[pair + 1]),
+                Relation::kConcurrent);
+    }
+  }
+  EXPECT_TRUE(budgeted.health().degraded());
+}
+
+TEST(Governance, DefaultAndExplicitUnlimitedBudgetsAreByteIdentical) {
+  StringPool pool;
+  const EventStore store = make_store(pool, 400, 5);
+
+  const auto checkpoint_of = [&](const MatcherConfig& config) {
+    Monitor monitor(pool, store.storage());
+    monitor.add_pattern(kHostile, config);
+    feed_all(monitor, store);
+    std::ostringstream out;
+    monitor.checkpoint(out);
+    return out.str();
+  };
+
+  MatcherConfig explicit_unlimited;
+  explicit_unlimited.budget.max_steps = 0;
+  explicit_unlimited.budget.deadline_ns = 0;
+  explicit_unlimited.breaker.trip_failures = 0;
+  EXPECT_EQ(checkpoint_of(MatcherConfig{}),
+            checkpoint_of(explicit_unlimited))
+      << "governance at its defaults must be bit-for-bit invisible";
+}
+
+/// The acceptance scenario: a hostile pattern trips its breaker while the
+/// benign tenant's match set stays bit-identical to a solo run — in both
+/// synchronous and pipelined modes.
+void check_isolation(std::size_t worker_threads) {
+  StringPool pool;
+  const EventStore store = make_store(pool, 800, 3);
+
+  Monitor solo(pool, store.storage());
+  solo.add_pattern(kBenign);
+  feed_all(solo, store);
+  const std::vector<std::string> expected =
+      testing::match_signature(solo, 0);
+
+  MonitorConfig mode;
+  mode.worker_threads = worker_threads;
+  mode.batch_size = 16;
+  MatcherConfig tight;
+  tight.budget.max_steps = 16;
+  tight.breaker.trip_failures = 3;
+  tight.breaker.window_observes = 64;
+  tight.breaker.cooldown_observes = 32;
+  Monitor shared(pool, mode, store.storage());
+  shared.add_pattern(kBenign);
+  shared.add_pattern(kHostile, tight);
+  feed_all(shared, store);
+
+  EXPECT_EQ(testing::match_signature(shared, 0), expected)
+      << "the hostile tenant leaked into the benign pattern's results";
+  const HealthReport health = shared.health();
+  ASSERT_EQ(health.patterns.size(), 2U);
+  EXPECT_EQ(health.patterns[0].state, BreakerState::kClosed);
+  EXPECT_EQ(health.patterns[0].searches_aborted, 0U);
+  EXPECT_GT(health.patterns[1].breaker_trips, 0U);
+  EXPECT_GT(health.patterns[1].observes_shed, 0U);
+  EXPECT_TRUE(health.degraded());
+}
+
+TEST(Governance, HostilePatternCannotStarveItsNeighborSynchronous) {
+  check_isolation(0);
+}
+
+TEST(Governance, HostilePatternCannotStarveItsNeighborPipelined) {
+  check_isolation(2);
+}
+
+TEST(Governance, MatchSetsAndHealthAreIdenticalAcrossWorkerCounts) {
+  StringPool pool;
+  const EventStore store = make_store(pool, 700, 11);
+  MatcherConfig tight;
+  tight.budget.max_steps = 24;
+  tight.breaker.trip_failures = 2;
+  tight.breaker.window_observes = 128;
+  tight.breaker.cooldown_observes = 64;
+
+  std::vector<std::vector<std::string>> hostile_matches;
+  std::vector<std::vector<std::string>> benign_matches;
+  std::vector<std::vector<PatternHealth>> healths;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+    MonitorConfig mode;
+    mode.worker_threads = workers;
+    mode.batch_size = 8;
+    Monitor monitor(pool, mode, store.storage());
+    monitor.add_pattern(kHostile, tight);
+    monitor.add_pattern(kBenign);
+    feed_all(monitor, store);
+    hostile_matches.push_back(testing::match_signature(monitor, 0));
+    benign_matches.push_back(testing::match_signature(monitor, 1));
+    healths.push_back(monitor.health().patterns);
+  }
+  EXPECT_GT(healths[0][0].breaker_trips, 0U)
+      << "the breaker never engaged — the comparison is vacuous";
+  EXPECT_EQ(hostile_matches[0], hostile_matches[1]);
+  EXPECT_EQ(benign_matches[0], benign_matches[1]);
+  // The per-pattern section is deterministic; the worker section is
+  // process-local (heartbeats, shard layout) and deliberately excluded.
+  EXPECT_EQ(healths[0], healths[1]);
+}
+
+// ---------------------------------------------------------------------------
+// History byte cap.
+
+TEST(Governance, ByteCapBoundsHistoryAndCountsEvictions) {
+  StringPool pool;
+  const EventStore store = make_store(pool, 1200, 17);
+
+  Monitor unbounded(pool, store.storage());
+  unbounded.add_pattern(kBenign);
+  feed_all(unbounded, store);
+  const std::vector<std::string> full =
+      testing::match_signature(unbounded, 0);
+  const std::size_t full_bytes = unbounded.matcher(0).history_bytes();
+  ASSERT_GT(full_bytes, 4096U) << "workload too small to exercise the cap";
+
+  MatcherConfig capped;
+  capped.history_bytes_limit = 4096;
+  Monitor bounded(pool, store.storage());
+  bounded.add_pattern(kBenign, capped);
+  feed_all(bounded, store);
+
+  EXPECT_LE(bounded.matcher(0).history_bytes(), capped.history_bytes_limit);
+  const PatternHealth health = bounded.matcher(0).health();
+  EXPECT_GT(health.history_evicted, 0U);
+  EXPECT_EQ(health.history_bytes, bounded.matcher(0).history_bytes());
+  EXPECT_TRUE(testing::is_subset_of(testing::match_signature(bounded, 0),
+                                    full))
+      << "eviction may lose matches, never invent them";
+}
+
+// ---------------------------------------------------------------------------
+// Callback containment and worker supervision.
+
+TEST(Governance, ThrowingCallbackIsContainedSynchronously) {
+  StringPool pool;
+  const EventStore store = make_store(pool, 400, 23);
+  std::uint64_t calls = 0;
+  Monitor monitor(pool, store.storage());
+  monitor.add_pattern(kBenign, MatcherConfig{},
+                      [&calls](const Match&, bool) {
+                        ++calls;
+                        throw std::runtime_error("sink on fire");
+                      });
+  // The legacy behaviour propagated mid-search; containment must both
+  // swallow the exception and keep the matcher running.
+  EXPECT_NO_THROW(feed_all(monitor, store));
+  const MatcherStats& stats = monitor.matcher(0).stats();
+  EXPECT_GT(calls, 1U) << "matching must continue past the first throw";
+  EXPECT_EQ(stats.callback_errors, calls);
+  const HealthReport health = monitor.health();
+  EXPECT_TRUE(health.degraded());
+  EXPECT_NE(health.patterns[0].last_error.find("sink on fire"),
+            std::string::npos);
+}
+
+TEST(Governance, EscapedCallbackQuarantinesPatternAndRespawnsWorker) {
+  StringPool pool;
+  const EventStore store = make_store(pool, 500, 29);
+
+  Monitor solo(pool, store.storage());
+  solo.add_pattern(kBenign);
+  feed_all(solo, store);
+  const std::vector<std::string> expected =
+      testing::match_signature(solo, 0);
+
+  MonitorConfig mode;
+  mode.worker_threads = 2;
+  mode.batch_size = 16;
+  MatcherConfig legacy;  // propagate: the exception escapes observe()
+  legacy.contain_callback_errors = false;
+  Monitor monitor(pool, mode, store.storage());
+  monitor.add_pattern(kBenign);
+  monitor.add_pattern(kBenign, legacy, [](const Match&, bool) {
+    throw std::runtime_error("poisoned sink");
+  });
+  feed_all(monitor, store);  // must not hang or kill the process
+
+  const HealthReport health = monitor.health();
+  ASSERT_EQ(health.patterns.size(), 2U);
+  EXPECT_EQ(health.patterns[0].state, BreakerState::kClosed);
+  EXPECT_EQ(health.patterns[1].state, BreakerState::kQuarantined);
+  EXPECT_NE(health.patterns[1].last_error.find("poisoned sink"),
+            std::string::npos);
+  std::uint64_t restarts = 0;
+  std::uint64_t quarantined = 0;
+  for (const WorkerHealth& worker : health.workers) {
+    restarts += worker.restarts;
+    quarantined += worker.quarantined_patterns;
+  }
+  EXPECT_GE(restarts, 1U) << "the supervisor never respawned the worker";
+  EXPECT_EQ(quarantined, 1U);
+  EXPECT_EQ(testing::match_signature(monitor, 0), expected)
+      << "the healthy pattern was disturbed by its neighbor's quarantine";
+  // The quarantined matcher degraded to appends but kept its histories:
+  // every event it admitted is still there.
+  EXPECT_EQ(monitor.stats().patterns[1].quarantined, true);
+}
+
+TEST(Governance, ContainedCallbackErrorsQuarantineWithoutRespawn) {
+  StringPool pool;
+  const EventStore store = make_store(pool, 500, 29);
+  MonitorConfig mode;
+  mode.worker_threads = 2;
+  mode.batch_size = 16;
+  Monitor monitor(pool, mode, store.storage());
+  monitor.add_pattern(kBenign);
+  monitor.add_pattern(kBenign, MatcherConfig{}, [](const Match&, bool) {
+    throw std::runtime_error("contained sink failure");
+  });
+  feed_all(monitor, store);
+
+  const HealthReport health = monitor.health();
+  EXPECT_EQ(health.patterns[1].state, BreakerState::kQuarantined);
+  EXPECT_GT(health.patterns[1].callback_errors, 0U);
+  std::uint64_t restarts = 0;
+  for (const WorkerHealth& worker : health.workers) {
+    restarts += worker.restarts;
+  }
+  EXPECT_EQ(restarts, 0U)
+      << "a contained callback error must not cost a worker respawn";
+}
+
+TEST(Governance, HealthReportRendersBothFormats) {
+  StringPool pool;
+  const EventStore store = make_store(pool, 300, 31);
+  MatcherConfig tight;
+  tight.budget.max_steps = 8;
+  tight.breaker.trip_failures = 1;
+  Monitor monitor(pool, store.storage());
+  monitor.add_pattern(kHostile, tight);
+  feed_all(monitor, store);
+
+  const HealthReport health = monitor.health();
+  const std::string text = health.to_text();
+  EXPECT_NE(text.find("pattern"), std::string::npos);
+  const std::string json = health.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"searches_aborted\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocep

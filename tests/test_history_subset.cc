@@ -99,6 +99,71 @@ TEST(LeafHistory, PruneFrontUpdatesKeyedIndex) {
   EXPECT_EQ(history.on_trace_keyed(0, x).front().index, 8U);
 }
 
+// Feeding a corrupt stream used to abort the process (OCEP_ASSERT); a
+// monitor embedded in a long-lived service needs a catchable, positioned
+// error instead.
+TEST(LeafHistory, OutOfOrderAppendThrowsPositionedError) {
+  LeafHistory history;
+  history.reset(2);
+  history.append(0, 5, 0, false, false);
+  try {
+    history.append(0, 5, 1, false, false);  // same index: not increasing
+    FAIL() << "expected a HistoryError";
+  } catch (const HistoryError& error) {
+    EXPECT_EQ(error.trace(), 0U);
+    EXPECT_EQ(error.index(), 5U);
+    const std::string what = error.what();
+    EXPECT_NE(what.find("out-of-order"), std::string::npos);
+    EXPECT_NE(what.find("(trace 0, event index 5)"), std::string::npos);
+  }
+  EXPECT_THROW(history.append(0, 3, 1, false, false), HistoryError);
+  // The history survives the rejected appends untouched.
+  EXPECT_EQ(history.total(), 1U);
+  history.append(0, 6, 1, false, false);
+  EXPECT_EQ(history.total(), 2U);
+}
+
+TEST(LeafHistory, UnknownTraceAppendThrowsPositionedError) {
+  LeafHistory history;
+  history.reset(2);
+  try {
+    history.append(7, 1, 0, false, false);
+    FAIL() << "expected a HistoryError";
+  } catch (const HistoryError& error) {
+    EXPECT_EQ(error.trace(), 7U);
+    EXPECT_EQ(error.index(), 1U);
+    EXPECT_NE(std::string(error.what()).find("unknown trace"),
+              std::string::npos);
+  }
+  // HistoryError is an ocep::Error, so existing catch sites keep working.
+  EXPECT_THROW(history.append(7, 1, 0, false, false), Error);
+}
+
+TEST(LeafHistory, EvictFrontCountsAndFreesBytes) {
+  LeafHistory history;
+  history.reset(2, /*keyed=*/true);
+  const Symbol x{1};
+  for (EventIndex i = 1; i <= 8; ++i) {
+    history.append(0, i, 0, true, false, x);
+    history.append(1, i, 0, true, false, x);
+  }
+  const std::size_t before = history.approx_bytes();
+  TraceId largest = 99;
+  EXPECT_EQ(history.largest_trace(largest), 8U);
+  EXPECT_EQ(largest, 0U) << "ties break to the lowest trace";
+
+  const std::size_t freed = history.evict_front(0, /*keep=*/3);
+  EXPECT_GT(freed, 0U);
+  EXPECT_EQ(history.approx_bytes(), before - freed);
+  EXPECT_EQ(history.evicted(), 5U);
+  EXPECT_EQ(history.on_trace(0).size(), 3U);
+  EXPECT_EQ(history.on_trace(0).front().index, 6U);
+  // The keyed index was cut consistently with the main entries.
+  EXPECT_EQ(history.on_trace_keyed(0, x).front().index, 6U);
+  // Eviction and pruning are separate ledgers (coverage loss vs benign).
+  EXPECT_EQ(history.pruned(), 0U);
+}
+
 // --- RepresentativeSubset ----------------------------------------------------
 
 Match make_match(std::initializer_list<EventId> ids) {

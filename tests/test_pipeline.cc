@@ -235,7 +235,10 @@ TEST(Pipeline, MetricsCountersMatchAcrossWorkerCounts) {
     std::vector<std::pair<std::string, std::uint64_t>> out;
     for (const auto& [key, value] : monitor.metrics().counter_values()) {
       for (const char* name : kDeterministic) {
-        if (key.rfind(name, 0) == 0) {
+        // Exact instrument name: the key is "name{labels}", and a bare
+        // prefix test would also sweep up e.g. matcher.searches_aborted.
+        const std::string prefix = std::string(name) + "{";
+        if (key.rfind(prefix, 0) == 0) {
           out.emplace_back(key, value);
           break;
         }

@@ -3,12 +3,19 @@
 //
 //   ocep_inspect --dump FILE [--relate T1:I1 T2:I2]
 //                [--metrics [--pattern TEXT] [--metrics-format FMT]]
+//                [--health [--health-format text|json]
+//                 [--budget-steps N] [--budget-ns N] [--breaker-trip K]
+//                 [--breaker-window N] [--breaker-cooldown N]
+//                 [--history-bytes N]]
 //
 // With --relate, prints the exact causal relationship between two events
 // (the two-integer-comparison query of §III-A).  With --metrics, the
 // computation is replayed through a metrics-enabled Monitor (matching
 // --pattern when given) and the telemetry registry is printed in
-// Prometheus text format (--metrics-format prom|json|text).
+// Prometheus text format (--metrics-format prom|json|text).  With
+// --health, the replay additionally reports the governance snapshot
+// (docs/GOVERNANCE.md) — breaker states, budget aborts, evictions — under
+// the budget/breaker/byte-cap flags above (all unlimited by default).
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -59,6 +66,22 @@ int main(int argc, char** argv) {
     const std::string pattern_text = flags.get_string("pattern", "");
     const std::string metrics_format =
         flags.get_string("metrics-format", "prom");
+    const bool health = flags.get_bool("health", false);
+    const std::string health_format =
+        flags.get_string("health-format", "text");
+    MatcherConfig matcher_config;
+    matcher_config.budget.max_steps =
+        static_cast<std::uint64_t>(flags.get_int("budget-steps", 0));
+    matcher_config.budget.deadline_ns =
+        static_cast<std::uint64_t>(flags.get_int("budget-ns", 0));
+    matcher_config.breaker.trip_failures =
+        static_cast<std::uint32_t>(flags.get_int("breaker-trip", 0));
+    matcher_config.breaker.window_observes =
+        static_cast<std::uint64_t>(flags.get_int("breaker-window", 1024));
+    matcher_config.breaker.cooldown_observes =
+        static_cast<std::uint64_t>(flags.get_int("breaker-cooldown", 256));
+    matcher_config.history_bytes_limit =
+        static_cast<std::size_t>(flags.get_int("history-bytes", 0));
     flags.check_unused();
     if (dump_path.empty()) {
       throw Error("--dump FILE is required");
@@ -136,14 +159,14 @@ int main(int argc, char** argv) {
                   relation_name(store.relate(a, b)), b.trace, b.index);
     }
 
-    if (metrics) {
-      // Replay the computation through a metrics-enabled Monitor, going
-      // through a Linearizer so delivery telemetry is populated too.
+    if (metrics || health) {
+      // Replay the computation through a Monitor, going through a
+      // Linearizer so delivery/ingest telemetry is populated too.
       MonitorConfig config;
-      config.metrics = true;
+      config.metrics = metrics;
       Monitor monitor(pool, config, store.storage());
       if (!pattern_text.empty()) {
-        monitor.add_pattern(pattern_text);
+        monitor.add_pattern(pattern_text, matcher_config);
       }
       std::vector<Symbol> names;
       names.reserve(store.trace_count());
@@ -152,25 +175,44 @@ int main(int argc, char** argv) {
       }
       monitor.on_traces(names);
       Linearizer linearizer(store.trace_count(), monitor);
-      linearizer.bind_metrics(monitor.metrics());
+      if (metrics) {
+        linearizer.bind_metrics(monitor.metrics());
+      }
+      monitor.set_ingest_source(
+          [&linearizer] { return linearizer.ingest_stats(); });
       for_each_linearized(store,
                           [&linearizer](const Event& event,
                                         const VectorClock& clock) {
                             linearizer.offer(event, clock);
                           });
       monitor.drain();
-      std::string rendered;
-      if (metrics_format == "json") {
-        rendered = monitor.metrics().to_json();
-      } else if (metrics_format == "text") {
-        rendered = monitor.metrics().to_text();
-      } else if (metrics_format == "prom") {
-        rendered = monitor.metrics().to_prometheus();
-      } else {
-        throw Error("unknown --metrics-format '" + metrics_format +
-                    "' (expected prom, json, or text)");
+      if (metrics) {
+        std::string rendered;
+        if (metrics_format == "json") {
+          rendered = monitor.metrics().to_json();
+        } else if (metrics_format == "text") {
+          rendered = monitor.metrics().to_text();
+        } else if (metrics_format == "prom") {
+          rendered = monitor.metrics().to_prometheus();
+        } else {
+          throw Error("unknown --metrics-format '" + metrics_format +
+                      "' (expected prom, json, or text)");
+        }
+        std::fputs(rendered.c_str(), stdout);
       }
-      std::fputs(rendered.c_str(), stdout);
+      if (health) {
+        const HealthReport report = monitor.health();
+        if (health_format == "json") {
+          std::string rendered = report.to_json();
+          rendered += '\n';
+          std::fputs(rendered.c_str(), stdout);
+        } else if (health_format == "text") {
+          std::fputs(report.to_text().c_str(), stdout);
+        } else {
+          throw Error("unknown --health-format '" + health_format +
+                      "' (expected text or json)");
+        }
+      }
     }
     return 0;
   } catch (const Error& error) {
