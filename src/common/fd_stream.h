@@ -1,9 +1,22 @@
 // Minimal iostream adapters over POSIX file descriptors, used to run the
-// wire protocol across pipes and sockets (the POET server/client link).
+// wire protocol across pipes and sockets (the POET server/client link and
+// the ocep_served loopback tools).
+//
+// Socket-hardened: short writes loop from the first *unwritten* byte,
+// EINTR retries, and EAGAIN waits for readiness, so a partial write never
+// resends bytes the kernel already accepted (resent bytes would corrupt
+// the framing downstream).  On a hard error the unwritten remainder is
+// compacted to the buffer front before sync() reports failure, which
+// keeps a caller-driven retry exact.  EOF and error are distinguished
+// (eof()/error()), and offset() counts bytes actually transferred so
+// failures can be reported positioned.
 #pragma once
 
+#include <poll.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -26,8 +39,14 @@ class FdOutBuf final : public std::streambuf {
   FdOutBuf(const FdOutBuf&) = delete;
   FdOutBuf& operator=(const FdOutBuf&) = delete;
 
+  /// True when the last sync() failed; last_errno() says why.
+  [[nodiscard]] bool error() const noexcept { return error_; }
+  [[nodiscard]] int last_errno() const noexcept { return errno_; }
+  /// Bytes successfully handed to the kernel since construction.
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
  protected:
-  int overflow(int_type ch) override {
+  int_type overflow(int_type ch) override {
     if (sync() != 0) {
       return traits_type::eof();
     }
@@ -39,13 +58,34 @@ class FdOutBuf final : public std::streambuf {
   }
 
   int sync() override {
+    error_ = false;
     const char* at = pbase();
     while (at < pptr()) {
       const ssize_t wrote =
           ::write(fd_, at, static_cast<std::size_t>(pptr() - at));
       if (wrote < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // Mirror blocking-write semantics on a non-blocking fd.
+          pollfd pfd{fd_, POLLOUT, 0};
+          if (::poll(&pfd, 1, -1) >= 0 || errno == EINTR) {
+            continue;
+          }
+        }
+        error_ = true;
+        errno_ = errno;
+        // Compact the unwritten suffix to the buffer front: a retry after
+        // the caller clears the stream state resumes at exactly the first
+        // unwritten byte instead of resending [pbase, at).
+        const std::size_t rest = static_cast<std::size_t>(pptr() - at);
+        std::memmove(buffer_.data(), at, rest);
+        setp(buffer_.data(), buffer_.data() + buffer_.size());
+        pbump(static_cast<int>(rest));
         return -1;
       }
+      offset_ += static_cast<std::uint64_t>(wrote);
       at += wrote;
     }
     setp(buffer_.data(), buffer_.data() + buffer_.size());
@@ -55,6 +95,9 @@ class FdOutBuf final : public std::streambuf {
  private:
   int fd_;
   std::vector<char> buffer_;
+  bool error_ = false;
+  int errno_ = 0;
+  std::uint64_t offset_ = 0;
 };
 
 /// Input streambuf reading from a file descriptor (not owned).
@@ -68,23 +111,53 @@ class FdInBuf final : public std::streambuf {
   FdInBuf(const FdInBuf&) = delete;
   FdInBuf& operator=(const FdInBuf&) = delete;
 
+  /// True after a clean end-of-stream (peer closed); false on error.
+  [[nodiscard]] bool eof() const noexcept { return eof_; }
+  /// True after a read error; last_errno() says why.
+  [[nodiscard]] bool error() const noexcept { return error_; }
+  [[nodiscard]] int last_errno() const noexcept { return errno_; }
+  /// Bytes successfully read from the fd since construction.
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
  protected:
   int_type underflow() override {
     if (gptr() < egptr()) {
       return traits_type::to_int_type(*gptr());
     }
-    const ssize_t got = ::read(fd_, buffer_.data(), buffer_.size());
-    if (got <= 0) {
+    while (true) {
+      const ssize_t got = ::read(fd_, buffer_.data(), buffer_.size());
+      if (got > 0) {
+        offset_ += static_cast<std::uint64_t>(got);
+        setg(buffer_.data(), buffer_.data(),
+             buffer_.data() + static_cast<std::size_t>(got));
+        return traits_type::to_int_type(*gptr());
+      }
+      if (got == 0) {
+        eof_ = true;
+        return traits_type::eof();
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd pfd{fd_, POLLIN, 0};
+        if (::poll(&pfd, 1, -1) >= 0 || errno == EINTR) {
+          continue;
+        }
+      }
+      error_ = true;
+      errno_ = errno;
       return traits_type::eof();
     }
-    setg(buffer_.data(), buffer_.data(),
-         buffer_.data() + static_cast<std::size_t>(got));
-    return traits_type::to_int_type(*gptr());
   }
 
  private:
   int fd_;
   std::vector<char> buffer_;
+  bool eof_ = false;
+  bool error_ = false;
+  int errno_ = 0;
+  std::uint64_t offset_ = 0;
 };
 
 /// Convenience owners pairing a buf with its stream.
@@ -92,6 +165,7 @@ class FdOStream {
  public:
   explicit FdOStream(int fd) : buf_(fd), stream_(&buf_) {}
   std::ostream& get() noexcept { return stream_; }
+  [[nodiscard]] FdOutBuf& buf() noexcept { return buf_; }
 
  private:
   FdOutBuf buf_;
@@ -102,6 +176,7 @@ class FdIStream {
  public:
   explicit FdIStream(int fd) : buf_(fd), stream_(&buf_) {}
   std::istream& get() noexcept { return stream_; }
+  [[nodiscard]] FdInBuf& buf() noexcept { return buf_; }
 
  private:
   FdInBuf buf_;

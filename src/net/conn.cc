@@ -1,0 +1,69 @@
+#include "net/conn.h"
+
+namespace ocep::net {
+
+IoStatus Conn::fill() {
+  char chunk[65536];
+  while (true) {
+    const IoResult result = read_some(fd_.get(), chunk, sizeof(chunk));
+    switch (result.status) {
+      case IoStatus::kOk:
+        bytes_in_ += result.bytes;
+        rbuf_.append(chunk, result.bytes);
+        continue;
+      case IoStatus::kWouldBlock:
+      case IoStatus::kEof:
+      case IoStatus::kError:
+        return result.status;
+    }
+  }
+}
+
+void Conn::consume(std::size_t n) {
+  rpos_ += n;
+  if (rpos_ == rbuf_.size()) {
+    rbuf_.clear();
+    rpos_ = 0;
+  } else if (rpos_ > 65536) {
+    rbuf_.erase(0, rpos_);
+    rpos_ = 0;
+  }
+}
+
+bool Conn::queue_write(std::string bytes) {
+  if (bytes.empty()) {
+    return true;
+  }
+  if (wq_bytes_ + bytes.size() > kMaxWriteQueue) {
+    return false;
+  }
+  wq_bytes_ += bytes.size();
+  wq_.push_back(std::move(bytes));
+  return true;
+}
+
+IoStatus Conn::flush_writes() {
+  while (!wq_.empty()) {
+    const std::string& head = wq_.front();
+    const IoResult result = write_some(fd_.get(), head.data() + wq_head_off_,
+                                       head.size() - wq_head_off_);
+    switch (result.status) {
+      case IoStatus::kOk:
+        bytes_out_ += result.bytes;
+        wq_head_off_ += result.bytes;
+        wq_bytes_ -= result.bytes;
+        if (wq_head_off_ == head.size()) {
+          wq_.pop_front();
+          wq_head_off_ = 0;
+        }
+        continue;
+      case IoStatus::kWouldBlock:
+      case IoStatus::kEof:
+      case IoStatus::kError:
+        return result.status;
+    }
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace ocep::net

@@ -1,0 +1,40 @@
+#include "net/listener.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace ocep::net {
+
+Listener::Listener(const std::string& host, std::uint16_t port)
+    : port_(port) {
+  fd_ = tcp_listen(host, port_);
+}
+
+void Listener::accept_ready(const std::function<void(OwnedFd)>& on_accept) {
+  while (fd_.valid()) {
+    const int got =
+        ::accept4(fd_.get(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;  // backlog drained
+      }
+      // ECONNABORTED (peer gave up), EMFILE/ENFILE (fd pressure), and
+      // friends poison one accept, not the listener; count and move on.
+      ++accept_errors_;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        return;  // pressure: retry on the next readiness edge
+      }
+      continue;
+    }
+    OwnedFd conn(got);
+    set_nodelay(conn.get());
+    on_accept(std::move(conn));
+  }
+}
+
+}  // namespace ocep::net

@@ -1,0 +1,42 @@
+// Accepting socket for one plane (ingest or admin).  Accept handling is
+// edge-triggered like everything else: one readiness event drains the
+// whole backlog, retrying EINTR and stopping at EAGAIN, so a burst of
+// connects cannot be half-observed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/socket.h"
+
+namespace ocep::net {
+
+class Listener {
+ public:
+  /// Binds and listens on host:port (0 = ephemeral; see port()).
+  Listener(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Drains the accept queue, invoking `on_accept` with each new
+  /// connection (already non-blocking, TCP_NODELAY set).  Transient
+  /// per-connection failures (ECONNABORTED, EMFILE) are counted in
+  /// `accept_errors` and skipped; the listener itself stays healthy.
+  void accept_ready(const std::function<void(OwnedFd)>& on_accept);
+
+  /// Stops accepting: closes the socket.  Safe to call twice.
+  void close() noexcept { fd_.reset(); }
+
+  [[nodiscard]] std::uint64_t accept_errors() const noexcept {
+    return accept_errors_;
+  }
+
+ private:
+  OwnedFd fd_;
+  std::uint16_t port_ = 0;
+  std::uint64_t accept_errors_ = 0;
+};
+
+}  // namespace ocep::net

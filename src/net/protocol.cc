@@ -1,0 +1,278 @@
+#include "net/protocol.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/crc32c.h"
+
+namespace ocep::net {
+namespace {
+
+void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_varint(out, s.size());
+  out.append(s);
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xffU));
+  out.push_back(static_cast<char>((v >> 8U) & 0xffU));
+  out.push_back(static_cast<char>((v >> 16U) & 0xffU));
+  out.push_back(static_cast<char>((v >> 24U) & 0xffU));
+}
+
+std::uint32_t read_u32le(const char* bytes) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[1]))
+          << 8U) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[2]))
+          << 16U) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[3]))
+          << 24U);
+}
+
+/// Bounded decoder over a complete, CRC-verified body.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view buf) : buf_(buf) {}
+
+  std::uint64_t u64() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (ok_) {
+      if (pos_ >= buf_.size() || shift >= 64) {
+        ok_ = false;
+        break;
+      }
+      const auto c = static_cast<unsigned char>(buf_[pos_++]);
+      value |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+      if ((c & 0x80) == 0) {
+        return value;
+      }
+      shift += 7;
+    }
+    return 0;
+  }
+
+  std::string_view str() {
+    const std::uint64_t size = u64();
+    if (!ok_ || size > buf_.size() - pos_) {
+      ok_ = false;
+      return {};
+    }
+    const std::string_view s = buf_.substr(pos_, size);
+    pos_ += size;
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool done() const noexcept {
+    return ok_ && pos_ == buf_.size();
+  }
+
+ private:
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::string envelope(const char magic[8], std::string_view body) {
+  std::string out;
+  out.reserve(8 + 8 + body.size());
+  out.append(magic, 8);
+  put_u32le(out, static_cast<std::uint32_t>(body.size()));
+  put_u32le(out, crc32c(body));
+  out.append(body);
+  return out;
+}
+
+/// Shared envelope scanner: magic(8) | len u32le | crc u32le | body.
+ParseStatus parse_envelope(std::string_view buf, std::size_t& pos,
+                           const char magic[8], std::string_view& body,
+                           std::string& error) {
+  if (buf.size() - pos < 16) {
+    return ParseStatus::kNeedMore;
+  }
+  if (std::memcmp(buf.data() + pos, magic, 8) != 0) {
+    error = "bad protocol magic";
+    return ParseStatus::kError;
+  }
+  const std::uint32_t len = read_u32le(buf.data() + pos + 8);
+  if (len > kMaxHandshakeBody) {
+    error = "oversized body (" + std::to_string(len) + " bytes)";
+    return ParseStatus::kError;
+  }
+  if (buf.size() - pos < 16 + static_cast<std::size_t>(len)) {
+    return ParseStatus::kNeedMore;
+  }
+  const std::uint32_t stored_crc = read_u32le(buf.data() + pos + 12);
+  body = buf.substr(pos + 16, len);
+  if (crc32c(body) != stored_crc) {
+    error = "body CRC mismatch";
+    return ParseStatus::kError;
+  }
+  pos += 16 + len;
+  return ParseStatus::kDone;
+}
+
+}  // namespace
+
+std::string encode_handshake(const HandshakeRequest& request) {
+  std::string body;
+  put_varint(body, request.flags);
+  put_string(body, request.tenant);
+  put_varint(body, request.patterns.size());
+  for (const std::string& pattern : request.patterns) {
+    put_string(body, pattern);
+  }
+  return envelope(kHandshakeMagic, body);
+}
+
+std::string encode_ack(const HandshakeAck& ack) {
+  std::string body;
+  put_varint(body, static_cast<std::uint64_t>(ack.status));
+  put_varint(body, ack.resume_position);
+  put_string(body, ack.message);
+  return envelope(kAckMagic, body);
+}
+
+std::string encode_resync_frame(const ResyncRequest& request) {
+  std::string body;
+  put_varint(body, request.request_id);
+  put_varint(body, request.next_position);
+  std::string out;
+  out.push_back(kReverseResync);
+  put_u32le(out, static_cast<std::uint32_t>(body.size()));
+  put_u32le(out, crc32c(body));
+  out.append(body);
+  return out;
+}
+
+std::string encode_fin_frame(bool degraded, std::string_view message) {
+  std::string body;
+  put_varint(body, degraded ? 1 : 0);
+  put_string(body, message);
+  std::string out;
+  out.push_back(kReverseFin);
+  put_u32le(out, static_cast<std::uint32_t>(body.size()));
+  put_u32le(out, crc32c(body));
+  out.append(body);
+  return out;
+}
+
+std::string encode_notice_frame(std::string_view message) {
+  std::string body;
+  put_string(body, message);
+  std::string out;
+  out.push_back(kReverseNotice);
+  put_u32le(out, static_cast<std::uint32_t>(body.size()));
+  put_u32le(out, crc32c(body));
+  out.append(body);
+  return out;
+}
+
+ParseStatus parse_handshake(std::string_view buf, std::size_t& pos,
+                            HandshakeRequest& out, std::string& error) {
+  std::string_view body;
+  const ParseStatus status =
+      parse_envelope(buf, pos, kHandshakeMagic, body, error);
+  if (status != ParseStatus::kDone) {
+    return status;
+  }
+  Cursor cursor(body);
+  out.flags = cursor.u64();
+  out.tenant = std::string(cursor.str());
+  const std::uint64_t n = cursor.u64();
+  if (!cursor.ok() || n > 1024) {
+    error = "malformed handshake body";
+    return ParseStatus::kError;
+  }
+  out.patterns.clear();
+  out.patterns.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.patterns.emplace_back(cursor.str());
+  }
+  if (!cursor.done() || out.tenant.empty()) {
+    error = "malformed handshake body";
+    return ParseStatus::kError;
+  }
+  return ParseStatus::kDone;
+}
+
+ParseStatus parse_ack(std::string_view buf, std::size_t& pos,
+                      HandshakeAck& out, std::string& error) {
+  std::string_view body;
+  const ParseStatus status = parse_envelope(buf, pos, kAckMagic, body, error);
+  if (status != ParseStatus::kDone) {
+    return status;
+  }
+  Cursor cursor(body);
+  const std::uint64_t raw_status = cursor.u64();
+  out.resume_position = cursor.u64();
+  out.message = std::string(cursor.str());
+  if (!cursor.done() ||
+      raw_status > static_cast<std::uint64_t>(AckStatus::kRejected)) {
+    error = "malformed ack body";
+    return ParseStatus::kError;
+  }
+  out.status = static_cast<AckStatus>(raw_status);
+  return ParseStatus::kDone;
+}
+
+ParseStatus parse_reverse_frame(std::string_view buf, std::size_t& pos,
+                                ReverseFrame& out, std::string& error) {
+  if (buf.size() - pos < 9) {
+    return ParseStatus::kNeedMore;
+  }
+  const char type = buf[pos];
+  if (type != kReverseResync && type != kReverseFin &&
+      type != kReverseNotice) {
+    error = "unknown reverse frame type";
+    return ParseStatus::kError;
+  }
+  const std::uint32_t len = read_u32le(buf.data() + pos + 1);
+  if (len > kMaxHandshakeBody) {
+    error = "oversized reverse frame";
+    return ParseStatus::kError;
+  }
+  if (buf.size() - pos < 9 + static_cast<std::size_t>(len)) {
+    return ParseStatus::kNeedMore;
+  }
+  const std::uint32_t stored_crc = read_u32le(buf.data() + pos + 5);
+  const std::string_view body = buf.substr(pos + 9, len);
+  if (crc32c(body) != stored_crc) {
+    error = "reverse frame CRC mismatch";
+    return ParseStatus::kError;
+  }
+  Cursor cursor(body);
+  out = ReverseFrame{};
+  out.type = type;
+  switch (type) {
+    case kReverseResync:
+      out.resync.request_id = cursor.u64();
+      out.resync.next_position = cursor.u64();
+      break;
+    case kReverseFin:
+      out.degraded = cursor.u64() == 1;
+      out.message = std::string(cursor.str());
+      break;
+    default:  // kReverseNotice
+      out.message = std::string(cursor.str());
+      break;
+  }
+  if (!cursor.done()) {
+    error = "malformed reverse frame body";
+    return ParseStatus::kError;
+  }
+  pos += 9 + len;
+  return ParseStatus::kDone;
+}
+
+}  // namespace ocep::net

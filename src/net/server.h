@@ -1,0 +1,164 @@
+// The serving loop: one epoll reactor multiplexing the ingest plane, the
+// admin plane, and time.
+//
+// Single-threaded by design.  The reactor thread owns every connection,
+// every tenant, and the registry; tenant *monitors* fan work out to their
+// own pipeline workers (MonitorConfig::worker_threads), so matching
+// parallelism comes from the monitors, not from the network layer — the
+// classic "reactor + worker pools" split with no locks in the serving
+// path.
+//
+// Planes:
+//   ingest (config.port)   — handshake envelope, then raw session frames
+//                            forward and CRC-framed control frames back
+//                            (docs/SERVER.md has the wire grammar).
+//   admin  (config.admin_port) — HTTP/1.0: GET /metrics (Prometheus),
+//                            GET /healthz (JSON), POST /checkpoint.
+//
+// Shutdown: request_shutdown() is async-signal-safe (atomic flag + one
+// byte down a self-pipe).  The loop then closes both listeners, drains
+// every tenant pipeline, writes per-tenant checkpoints (when
+// checkpoint_dir is set), closes connections, and returns from run().
+// Tenants are retained after run() returns so embedders and tests can
+// inspect final monitor state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/conn.h"
+#include "net/listener.h"
+#include "net/poller.h"
+#include "net/protocol.h"
+#include "net/tenant.h"
+#include "obs/metrics.h"
+
+namespace ocep::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;        ///< ingest plane; 0 = ephemeral
+  std::uint16_t admin_port = 0;  ///< admin plane; 0 = ephemeral
+  /// Monitor / matcher / session configuration stamped onto every tenant.
+  TenantConfig tenant;
+  /// Directory for OCEPNTC1 tenant checkpoints.  Non-empty enables
+  /// checkpoint-on-shutdown, the /checkpoint admin trigger, and
+  /// restore-on-start (every *.ckp found is loaded before serving).
+  std::string checkpoint_dir;
+  /// Connections silent this long are closed (their tenant detaches).
+  std::uint64_t idle_timeout_ms = 30000;
+  /// Grace for a disconnected producer to come back before its tenant is
+  /// finalized (degraded if events are missing).
+  std::uint64_t detach_linger_ms = 2000;
+  /// Governance: shed a tenant past this many received bytes (0 = off).
+  std::uint64_t max_tenant_bytes = 0;
+  /// Governance: shed a tenant past this many corrupt frames (0 = off).
+  std::uint64_t max_corrupt_frames = 4096;
+  std::size_t max_connections = 1024;
+  std::size_t max_tenants = 256;
+  /// Test/bench tap on every event released into a tenant monitor.
+  ObserveHook observe_hook;
+};
+
+class Server {
+ public:
+  /// Binds both planes and restores any checkpoints; throws NetError when
+  /// a port cannot be bound.
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bound ports (resolve ephemeral requests); valid after construction.
+  [[nodiscard]] std::uint16_t port() const noexcept;
+  [[nodiscard]] std::uint16_t admin_port() const noexcept;
+
+  /// Serves until request_shutdown().  Call from exactly one thread.
+  void run();
+
+  /// Async-signal-safe stop: flips the flag and wakes the reactor.
+  void request_shutdown() noexcept;
+
+  /// Post-run inspection (single-threaded: only call after run() returns
+  /// or before it starts).
+  [[nodiscard]] Tenant* find_tenant(const std::string& name);
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return tenants_.size();
+  }
+  [[nodiscard]] obs::Registry& metrics() noexcept { return registry_; }
+
+  /// Writes one checkpoint per tenant into checkpoint_dir (tmp + rename,
+  /// so a crash mid-write never leaves a torn file).  Returns the number
+  /// written; 0 when no directory is configured.
+  std::size_t write_checkpoints();
+
+ private:
+  static constexpr std::uint64_t kTagWake = 0;
+  static constexpr std::uint64_t kTagIngest = 1;
+  static constexpr std::uint64_t kTagAdmin = 2;
+  static constexpr std::uint64_t kFirstConnId = 16;
+
+  [[nodiscard]] static std::uint64_t now_ms() noexcept;
+
+  void restore_checkpoints();
+  void accept_plane(Listener& listener, ConnKind kind);
+  void on_conn_event(std::uint64_t id, std::uint32_t events);
+  void on_readable(Conn& conn);
+  void advance_handshake(Conn& conn);
+  void handle_handshake(Conn& conn, const HandshakeRequest& request);
+  void reject(Conn& conn, const std::string& message);
+  void on_stream_bytes(Conn& conn);
+  void pump_tenant(Conn& conn, Tenant& tenant);
+  void send_fin(Conn& conn, Tenant& tenant);
+  void advance_admin(Conn& conn);
+  void respond_http(Conn& conn, int code, const std::string& content_type,
+                    std::string body);
+  [[nodiscard]] std::string healthz_json();
+  void queue_or_close(Conn& conn, std::string bytes);
+  void settle(std::uint64_t id);
+  void want_epollout(Conn& conn, bool want);
+  void close_conn(std::uint64_t id);
+  void detach_tenant(Conn& conn);
+  void sweep_timers();
+  [[nodiscard]] int loop_timeout_ms() const;
+  void graceful_shutdown();
+
+  ServerConfig config_;
+  Poller poller_;
+  std::unique_ptr<Listener> ingest_;
+  std::unique_ptr<Listener> admin_;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::uint64_t next_conn_id_ = kFirstConnId;
+  std::uint64_t clock_ms_ = 0;
+
+  obs::Registry registry_;
+
+  /// Per-tenant registry instruments plus the last snapshot folded into
+  /// them (session counters are cumulative; the registry wants deltas).
+  struct Meters {
+    obs::Counter* bytes = nullptr;
+    obs::Counter* frames = nullptr;
+    obs::Counter* events = nullptr;
+    obs::Counter* corrupt = nullptr;
+    std::uint64_t last_bytes = 0;
+    std::uint64_t last_frames = 0;
+    std::uint64_t last_events = 0;
+    std::uint64_t last_corrupt = 0;
+  };
+  void update_meters(Tenant& tenant);
+  std::map<std::string, Meters> meters_;
+};
+
+}  // namespace ocep::net

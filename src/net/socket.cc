@@ -1,0 +1,182 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ocep::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& op) {
+  throw NetError(op + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void OwnedFd::reset(int fd) noexcept {
+  if (fd_ >= 0) {
+    // POSIX leaves the descriptor state after EINTR-on-close unspecified;
+    // retrying close() risks racing a concurrent open, so close once.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+IoResult read_some(int fd, char* buf, std::size_t len) {
+  while (true) {
+    const ssize_t got = ::read(fd, buf, len);
+    if (got > 0) {
+      return {IoStatus::kOk, static_cast<std::size_t>(got), 0};
+    }
+    if (got == 0) {
+      return {IoStatus::kEof, 0, 0};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0, 0};
+    }
+    return {IoStatus::kError, 0, errno};
+  }
+}
+
+IoResult write_some(int fd, const char* buf, std::size_t len) {
+  while (true) {
+    const ssize_t wrote = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (wrote >= 0) {
+      return {IoStatus::kOk, static_cast<std::size_t>(wrote), 0};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0, 0};
+    }
+    return {IoStatus::kError, 0, errno};
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best effort: TCP_NODELAY fails on non-TCP fds (socketpair in tests).
+  static_cast<void>(
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)));
+}
+
+OwnedFd tcp_listen(const std::string& host, std::uint16_t& port,
+                   int backlog) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    throw_errno("socket");
+  }
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    throw_errno("getsockname");
+  }
+  port = ntohs(bound.sin_port);
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+OwnedFd tcp_connect(const std::string& host, std::uint16_t port) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    throw_errno("socket");
+  }
+  const sockaddr_in addr = make_addr(host, port);
+  while (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) < 0) {
+    if (errno == EINTR) {
+      continue;
+    }
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+void write_all(int fd, std::string_view bytes, int timeout_ms) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const IoResult result =
+        write_some(fd, bytes.data() + done, bytes.size() - done);
+    switch (result.status) {
+      case IoStatus::kOk:
+        done += result.bytes;
+        continue;
+      case IoStatus::kWouldBlock: {
+        pollfd pfd{fd, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready < 0 && errno != EINTR) {
+          throw_errno("poll(POLLOUT)");
+        }
+        if (ready == 0) {
+          throw NetError("write timed out after " + std::to_string(done) +
+                         " of " + std::to_string(bytes.size()) + " bytes");
+        }
+        continue;
+      }
+      case IoStatus::kEof:
+      case IoStatus::kError:
+        throw NetError("write failed after " + std::to_string(done) +
+                       " of " + std::to_string(bytes.size()) + " bytes: " +
+                       std::strerror(result.error));
+    }
+  }
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  while (true) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("poll(POLLIN)");
+    }
+    return ready > 0;
+  }
+}
+
+}  // namespace ocep::net

@@ -1,0 +1,112 @@
+// POSIX TCP plumbing for the serving layer: an RAII descriptor and the
+// EINTR/EAGAIN-correct read/write primitives every state machine in
+// src/net builds on.
+//
+// Two I/O disciplines live here, matching the two sides of the protocol:
+//
+//  * read_some / write_some — one non-blocking attempt, EINTR retried,
+//    outcome classified (kOk / kWouldBlock / kEof / kError).  The epoll
+//    loop uses these: edge-triggered readiness means "call until
+//    kWouldBlock", never "call once".
+//  * write_all / read_ready — the connector (client) side, where blocking
+//    with a poll() deadline is simpler and correct: short writes loop,
+//    EAGAIN waits for writability, and a stuck peer surfaces as a timeout
+//    instead of a hung process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace ocep::net {
+
+/// Raised on socket-level failures (bind, connect, timeout, hard I/O
+/// error).  Messages carry the failing operation and errno text.
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error(what) {}
+};
+
+/// Move-only owner of a file descriptor.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { reset(); }
+
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Closes the held descriptor (EINTR-safe) and adopts `fd`.
+  void reset(int fd = -1) noexcept;
+
+  /// Relinquishes ownership without closing.
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of one non-blocking I/O attempt.
+enum class IoStatus : std::uint8_t {
+  kOk,          ///< progress was made (`bytes` > 0)
+  kWouldBlock,  ///< EAGAIN: wait for the next readiness edge
+  kEof,         ///< orderly shutdown from the peer (reads only)
+  kError,       ///< hard failure; `error` holds errno
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;
+  int error = 0;
+};
+
+/// One read attempt with EINTR retry.  A zero-byte read is kEof.
+[[nodiscard]] IoResult read_some(int fd, char* buf, std::size_t len);
+
+/// One write attempt with EINTR retry.  Short writes are kOk with the
+/// partial count; the caller loops.
+[[nodiscard]] IoResult write_some(int fd, const char* buf, std::size_t len);
+
+void set_nonblocking(int fd);
+void set_nodelay(int fd);
+
+/// Binds and listens on host:port.  port 0 picks an ephemeral port; the
+/// chosen one is written back.  The returned socket is non-blocking.
+[[nodiscard]] OwnedFd tcp_listen(const std::string& host, std::uint16_t& port,
+                                 int backlog = 128);
+
+/// Blocking connect; the returned socket stays blocking (the connector
+/// uses poll-bounded I/O on it).  Throws NetError on failure.
+[[nodiscard]] OwnedFd tcp_connect(const std::string& host,
+                                  std::uint16_t port);
+
+/// Writes every byte, retrying EINTR and short writes and waiting (via
+/// poll) through EAGAIN.  Throws NetError on error or after `timeout_ms`
+/// without progress; the message reports how many bytes had been written
+/// so a failure is positioned in the stream.
+void write_all(int fd, std::string_view bytes, int timeout_ms);
+
+/// Waits up to `timeout_ms` for readability.  Returns false on timeout;
+/// throws NetError on poll failure.
+[[nodiscard]] bool wait_readable(int fd, int timeout_ms);
+
+}  // namespace ocep::net

@@ -1,0 +1,220 @@
+#include "net/tenant.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/error.h"
+#include "poet/varint.h"
+
+namespace ocep::net {
+namespace {
+
+constexpr std::string_view kTenantCkpMagic = "OCEPNTC1";
+constexpr std::size_t kMaxCheckpointPatterns = 1024;
+
+void put_u32le(std::ostream& out, std::uint32_t value) {
+  char raw[4];
+  raw[0] = static_cast<char>(value & 0xffU);
+  raw[1] = static_cast<char>((value >> 8U) & 0xffU);
+  raw[2] = static_cast<char>((value >> 16U) & 0xffU);
+  raw[3] = static_cast<char>((value >> 24U) & 0xffU);
+  out.write(raw, 4);
+}
+
+}  // namespace
+
+const char* to_string(TenantState state) noexcept {
+  switch (state) {
+    case TenantState::kStreaming:
+      return "streaming";
+    case TenantState::kComplete:
+      return "complete";
+    case TenantState::kDegraded:
+      return "degraded";
+    case TenantState::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+Tenant::Tenant(std::string name, const TenantConfig& config,
+               ObserveHook observe_hook)
+    : name_(std::move(name)),
+      config_(config),
+      observe_hook_(std::move(observe_hook)) {}
+
+Tenant::~Tenant() = default;
+
+void Tenant::TapSink::on_traces(const std::vector<Symbol>& names) {
+  owner_.monitor_->on_traces(names);
+}
+
+void Tenant::TapSink::on_event(const Event& event, const VectorClock& clock) {
+  owner_.monitor_->on_event(event, clock);
+  const std::uint64_t position = owner_.released_++;
+  if (owner_.observe_hook_) {
+    owner_.observe_hook_(owner_.name_, position);
+  }
+}
+
+void Tenant::build(const std::vector<std::string>& patterns) {
+  patterns_ = patterns;
+  pool_ = std::make_unique<StringPool>();
+  monitor_ =
+      std::make_unique<Monitor>(*pool_, config_.monitor, config_.storage);
+  for (const std::string& pattern : patterns_) {
+    monitor_->add_pattern(pattern, config_.matcher);
+  }
+  tap_ = std::make_unique<TapSink>(*this);
+  transport_ = std::make_unique<QueuedTransport>();
+  SessionConfig session = config_.session;
+  if (session.linearizer.shed_type == kEmptySymbol) {
+    session.linearizer.shed_type = pool_->intern("__shed");
+  }
+  session_ =
+      std::make_unique<SessionClient>(*tap_, *pool_, *transport_, session);
+  if (monitor_->metrics_enabled()) {
+    session_->bind_metrics(monitor_->metrics());
+  }
+  monitor_->set_ingest_source([this] { return session_->stats(); });
+}
+
+void Tenant::register_patterns(const std::vector<std::string>& patterns) {
+  build(patterns);
+}
+
+void Tenant::feed(std::string_view bytes) {
+  if (state_ != TenantState::kStreaming) {
+    return;  // late bytes after FIN: a replaying reconnect, ignore
+  }
+  bytes_in_ += bytes.size();
+  session_->feed(bytes);
+}
+
+void Tenant::tick() {
+  if (state_ == TenantState::kStreaming) {
+    session_->tick();
+  }
+}
+
+std::vector<ResyncRequest> Tenant::take_resyncs() {
+  std::vector<ResyncRequest> taken = std::move(transport_->pending);
+  transport_->pending.clear();
+  return taken;
+}
+
+bool Tenant::maybe_finish() {
+  if (state_ != TenantState::kStreaming || !session_->done()) {
+    return false;
+  }
+  monitor_->drain();
+  state_ =
+      session_->degraded() ? TenantState::kDegraded : TenantState::kComplete;
+  return true;
+}
+
+void Tenant::finalize() {
+  if (state_ != TenantState::kStreaming) {
+    return;
+  }
+  session_->finish_input();
+  for (std::uint64_t i = 0; i < config_.settle_ticks && !session_->done();
+       ++i) {
+    session_->tick();
+    transport_->pending.clear();  // nobody is attached to answer resyncs
+  }
+  monitor_->drain();
+  if (session_->done() && !session_->degraded()) {
+    state_ = TenantState::kComplete;
+  } else {
+    state_ = TenantState::kDegraded;
+  }
+}
+
+void Tenant::shed(std::string reason) {
+  shed_reason_ = std::move(reason);
+  finalize();
+  state_ = TenantState::kShed;
+}
+
+bool Tenant::degraded() const {
+  return session_ != nullptr && session_->degraded();
+}
+
+void Tenant::checkpoint(std::ostream& out) {
+  std::ostringstream body;
+  poet::put_varint(body, patterns_.size());
+  for (const std::string& pattern : patterns_) {
+    poet::put_string(body, pattern);
+  }
+  std::ostringstream monitor_blob;
+  monitor_->checkpoint(monitor_blob);
+  poet::put_string(body, monitor_blob.str());
+  std::ostringstream session_blob;
+  session_->checkpoint(session_blob);
+  poet::put_string(body, session_blob.str());
+  const std::string bytes = body.str();
+  out.write(kTenantCkpMagic.data(),
+            static_cast<std::streamsize>(kTenantCkpMagic.size()));
+  put_u32le(out, crc32c(bytes));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw SerializationError("tenant checkpoint: write failed");
+  }
+}
+
+void Tenant::restore(std::istream& in) {
+  TenantCheckpoint ckp = read_tenant_checkpoint(in);
+  build(ckp.patterns);
+  std::istringstream monitor_blob(ckp.monitor_blob);
+  monitor_->restore(monitor_blob);
+  std::istringstream session_blob(ckp.session_blob);
+  session_->restore(session_blob);
+  // The monitor already holds everything the session released before the
+  // checkpoint; keep the tap's position counter in step with it.
+  released_ = monitor_->events_seen();
+}
+
+TenantCheckpoint read_tenant_checkpoint(std::istream& in) {
+  char magic[8];
+  in.read(magic, 8);
+  if (in.gcount() != 8 ||
+      std::string_view(magic, 8) != kTenantCkpMagic) {
+    throw SerializationError("tenant checkpoint: bad magic");
+  }
+  char raw_crc[4];
+  in.read(raw_crc, 4);
+  if (in.gcount() != 4) {
+    throw SerializationError("tenant checkpoint: truncated header");
+  }
+  std::uint32_t expect = 0;
+  for (int i = 3; i >= 0; --i) {
+    expect = (expect << 8U) | static_cast<unsigned char>(raw_crc[i]);
+  }
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (crc32c(body) != expect) {
+    throw SerializationError("tenant checkpoint: CRC mismatch");
+  }
+  std::istringstream body_in(body);
+  TenantCheckpoint ckp;
+  const std::uint64_t count = poet::get_varint(body_in);
+  if (count > kMaxCheckpointPatterns) {
+    throw SerializationError("tenant checkpoint: implausible pattern count");
+  }
+  ckp.patterns.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ckp.patterns.push_back(poet::get_string(body_in));
+  }
+  ckp.monitor_blob = poet::get_string(body_in);
+  ckp.session_blob = poet::get_string(body_in);
+  if (body_in.peek() != std::char_traits<char>::eof()) {
+    throw SerializationError("tenant checkpoint: trailing bytes");
+  }
+  return ckp;
+}
+
+}  // namespace ocep::net

@@ -183,6 +183,11 @@ class SessionClient {
     return next_release_;
   }
 
+  /// CRC-verified frames accepted so far (wire-level accounting).
+  [[nodiscard]] std::uint64_t frames_ok() const noexcept {
+    return frames_ok_;
+  }
+
   /// Serializes the ingestion state (release watermark, decoded-but-
   /// unreleased events, linearizer holds and counters) so a restarted
   /// client can resume and re-request the tail via resync.

@@ -1,0 +1,603 @@
+// Loopback tests for the serving layer (src/net): a real ocep_served
+// reactor on its own thread, real TCP connections from producer threads,
+// checked against the clean-channel golden match set
+// (tools/zk962_golden.poet — 342 events, 4 traces, 1 representative
+// match).  Labeled `net` in ctest; the multi-client cases also run under
+// TSan in CI.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fd_stream.h"
+#include "common/string_pool.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "poet/dump.h"
+#include "testing/chaos_harness.h"
+
+namespace ocep {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string golden_bytes() {
+  return read_file(std::string(OCEP_SOURCE_DIR) + "/tools/zk962_golden.poet");
+}
+
+std::string golden_pattern() {
+  return read_file(std::string(OCEP_SOURCE_DIR) + "/tools/zk962.ocep");
+}
+
+EventStore golden_store(StringPool& pool) {
+  std::istringstream in(golden_bytes());
+  return reload_store(in, pool);
+}
+
+/// The clean-channel reference match signature set.
+std::vector<std::string> golden_clean() {
+  StringPool pool;
+  const EventStore store = golden_store(pool);
+  return testing::clean_matches(store, pool, golden_pattern());
+}
+
+/// Runs a Server on its own thread; stop() is idempotent and joins.
+class ServerThread {
+ public:
+  explicit ServerThread(net::ServerConfig config)
+      : server(std::move(config)) {
+    thread_ = std::thread([this] { server.run(); });
+  }
+  ~ServerThread() { stop(); }
+
+  void stop() {
+    if (thread_.joinable()) {
+      server.request_shutdown();
+      thread_.join();
+    }
+  }
+
+  net::Server server;
+
+ private:
+  std::thread thread_;
+};
+
+/// Polls a registry counter until it reaches `at_least` (5 s timeout).
+bool wait_counter(net::Server& server, const std::string& key,
+                  std::uint64_t at_least) {
+  for (int i = 0; i < 500; ++i) {
+    if (server.metrics().counter_value(key) >= at_least) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+/// Streams the golden store as `tenant`, retrying while the server still
+/// considers a predecessor connection attached (detach is asynchronous).
+net::StreamResult stream_golden(std::uint16_t port, const std::string& tenant,
+                                const net::StreamOptions& options = {}) {
+  StringPool pool;
+  const EventStore store = golden_store(pool);
+  net::ConnectorConfig config;
+  config.port = port;
+  config.tenant = tenant;
+  config.patterns = {golden_pattern()};
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    const net::StreamResult result =
+        net::stream_store(store, pool, config, options);
+    if (result.ack.status != net::AckStatus::kRejected ||
+        result.ack.message.find("attached") == std::string::npos) {
+      return result;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ADD_FAILURE() << "tenant '" << tenant << "' never detached";
+  return {};
+}
+
+TEST(NetProtocol, HandshakeRoundTripsIncrementally) {
+  net::HandshakeRequest request;
+  request.flags = net::kFlagResume;
+  request.tenant = "tenant-a";
+  request.patterns = {"p1", "p2"};
+  const std::string wire = net::encode_handshake(request);
+
+  net::HandshakeRequest decoded;
+  std::string error;
+  std::size_t pos = 0;
+  // Byte-at-a-time: kNeedMore until the last byte, pos untouched.
+  for (std::size_t cut = 0; cut + 1 < wire.size(); ++cut) {
+    ASSERT_EQ(net::parse_handshake(wire.substr(0, cut), pos, decoded, error),
+              net::ParseStatus::kNeedMore);
+    ASSERT_EQ(pos, 0U);
+  }
+  ASSERT_EQ(net::parse_handshake(wire, pos, decoded, error),
+            net::ParseStatus::kDone);
+  EXPECT_EQ(pos, wire.size());
+  EXPECT_EQ(decoded.tenant, "tenant-a");
+  EXPECT_EQ(decoded.patterns, request.patterns);
+  EXPECT_TRUE(decoded.want_resume());
+}
+
+TEST(NetProtocol, CorruptHandshakeIsRejected) {
+  net::HandshakeRequest request;
+  request.tenant = "t";
+  std::string wire = net::encode_handshake(request);
+  wire[wire.size() - 1] = static_cast<char>(wire[wire.size() - 1] ^ 0x40);
+  std::size_t pos = 0;
+  net::HandshakeRequest decoded;
+  std::string error;
+  EXPECT_EQ(net::parse_handshake(wire, pos, decoded, error),
+            net::ParseStatus::kError);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(NetProtocol, ReverseFramesRoundTrip) {
+  ResyncRequest resync;
+  resync.request_id = 7;
+  resync.next_position = 123;
+  const std::string wire = net::encode_resync_frame(resync) +
+                           net::encode_fin_frame(true, "why") +
+                           net::encode_notice_frame("note");
+  std::size_t pos = 0;
+  net::ReverseFrame frame;
+  std::string error;
+  ASSERT_EQ(net::parse_reverse_frame(wire, pos, frame, error),
+            net::ParseStatus::kDone);
+  EXPECT_EQ(frame.type, net::kReverseResync);
+  EXPECT_EQ(frame.resync.request_id, 7U);
+  EXPECT_EQ(frame.resync.next_position, 123U);
+  ASSERT_EQ(net::parse_reverse_frame(wire, pos, frame, error),
+            net::ParseStatus::kDone);
+  EXPECT_EQ(frame.type, net::kReverseFin);
+  EXPECT_TRUE(frame.degraded);
+  EXPECT_EQ(frame.message, "why");
+  ASSERT_EQ(net::parse_reverse_frame(wire, pos, frame, error),
+            net::ParseStatus::kDone);
+  EXPECT_EQ(frame.type, net::kReverseNotice);
+  EXPECT_EQ(frame.message, "note");
+  EXPECT_EQ(pos, wire.size());
+}
+
+TEST(NetServe, SingleClientMatchesGolden) {
+  ServerThread st(net::ServerConfig{});
+  const net::StreamResult result =
+      stream_golden(st.server.port(), "solo");
+  ASSERT_EQ(result.ack.status, net::AckStatus::kFresh);
+  ASSERT_TRUE(result.fin_received);
+  EXPECT_FALSE(result.fin.degraded);
+  st.stop();
+
+  net::Tenant* tenant = st.server.find_tenant("solo");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->state(), net::TenantState::kComplete);
+  EXPECT_EQ(tenant->monitor().events_seen(), 342U);
+  EXPECT_EQ(testing::match_signature(tenant->monitor(), 0), golden_clean());
+}
+
+// The acceptance bar: 8 concurrent clients, one tenant each, all equal to
+// the clean-channel reference.  Runs under TSan in CI (-R MultiClient).
+TEST(NetServe, MultiClientConcurrentGoldenEquivalence) {
+  constexpr int kClients = 8;
+  net::ServerConfig config;
+  config.tenant.monitor.worker_threads = 2;  // parallel pipeline per tenant
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  std::vector<std::thread> producers;
+  std::vector<net::StreamResult> results(kClients);
+  producers.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    producers.emplace_back([&results, port, i] {
+      results[static_cast<std::size_t>(i)] =
+          stream_golden(port, "t" + std::to_string(i));
+    });
+  }
+  for (std::thread& t : producers) {
+    t.join();
+  }
+  st.stop();
+
+  const std::vector<std::string> clean = golden_clean();
+  for (int i = 0; i < kClients; ++i) {
+    SCOPED_TRACE("tenant t" + std::to_string(i));
+    const net::StreamResult& result = results[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(result.fin_received);
+    EXPECT_FALSE(result.fin.degraded);
+    net::Tenant* tenant = st.server.find_tenant("t" + std::to_string(i));
+    ASSERT_NE(tenant, nullptr);
+    EXPECT_EQ(tenant->state(), net::TenantState::kComplete);
+    EXPECT_EQ(testing::match_signature(tenant->monitor(), 0), clean);
+  }
+}
+
+TEST(NetServe, ByteAtATimeTrickleReassembles) {
+  ServerThread st(net::ServerConfig{});
+  net::StreamOptions options;
+  options.session.max_frame_payload = 1U << 12U;
+  const std::uint16_t port = st.server.port();
+
+  StringPool pool;
+  const EventStore store = golden_store(pool);
+  net::ConnectorConfig config;
+  config.port = port;
+  config.tenant = "trickle";
+  config.patterns = {golden_pattern()};
+  config.write_chunk = 1;  // one byte per send()
+  const net::StreamResult result =
+      net::stream_store(store, pool, config, options);
+  ASSERT_TRUE(result.fin_received);
+  EXPECT_FALSE(result.fin.degraded);
+  st.stop();
+
+  net::Tenant* tenant = st.server.find_tenant("trickle");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->state(), net::TenantState::kComplete);
+  EXPECT_EQ(testing::match_signature(tenant->monitor(), 0), golden_clean());
+}
+
+// Satellite regression: a client dying mid-frame must finalize its tenant
+// through the session's degradation machinery — monitor retained and
+// reporting, never leaked, never wedging the server.
+TEST(NetServe, MidFrameDisconnectFinalizesDegraded) {
+  net::ServerConfig config;
+  config.detach_linger_ms = 100;
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  StringPool pool;
+  const EventStore store = golden_store(pool);
+  {
+    // Capture the session encoding, then send a prefix that ends inside a
+    // frame (three bytes short of a frame boundary).
+    class Capture final : public ByteSink {
+     public:
+      void write(std::string_view bytes) override { data.append(bytes); }
+      std::string data;
+    };
+    Capture capture;
+    std::vector<Symbol> names;
+    for (TraceId t = 0; t < store.trace_count(); ++t) {
+      names.push_back(store.trace_name(t));
+    }
+    SessionServer session(capture, pool, names);
+    for (std::uint64_t pos = 0; pos < store.event_count() / 2; ++pos) {
+      const EventId id = store.arrival(pos);
+      session.write(store.event(id), store.clock(id));
+    }
+    net::ConnectorConfig cc;
+    cc.port = port;
+    cc.tenant = "lossy";
+    cc.patterns = {golden_pattern()};
+    net::Connector connector(cc);
+    ASSERT_NE(connector.ack().status, net::AckStatus::kRejected);
+    connector.write(
+        std::string_view(capture.data).substr(0, capture.data.size() - 3));
+    connector.close();  // abrupt death, mid-frame
+  }
+
+  ASSERT_TRUE(wait_counter(st.server, "net.linger_finalized", 1));
+
+  // The server must keep serving: a second tenant streams cleanly while
+  // the first sits finalized.
+  const net::StreamResult clean_run = stream_golden(port, "healthy");
+  ASSERT_TRUE(clean_run.fin_received);
+  EXPECT_FALSE(clean_run.fin.degraded);
+  st.stop();
+
+  net::Tenant* lossy = st.server.find_tenant("lossy");
+  ASSERT_NE(lossy, nullptr);
+  EXPECT_EQ(lossy->state(), net::TenantState::kDegraded);
+  EXPECT_GT(lossy->monitor().events_seen(), 0U);
+  EXPECT_LT(lossy->monitor().events_seen(), 342U);
+  // Whatever it matched is consistent with (a prefix of) the clean run.
+  EXPECT_TRUE(testing::is_subset_of(
+      testing::match_signature(lossy->monitor(), 0), golden_clean()));
+
+  net::Tenant* healthy = st.server.find_tenant("healthy");
+  ASSERT_NE(healthy, nullptr);
+  EXPECT_EQ(testing::match_signature(healthy->monitor(), 0), golden_clean());
+}
+
+// Kill a producer mid-stream, reconnect, and resume past a deliberate gap:
+// the server-side session requests a resync over the reverse channel and
+// the snapshot frames refill the hole over TCP.
+TEST(NetServe, KillAndReconnectResumesViaSnapshotResync) {
+  net::ServerConfig config;
+  config.detach_linger_ms = 10000;  // survive the reconnect window
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  net::StreamOptions first_half;
+  first_half.max_events = 150;
+  const net::StreamResult first = stream_golden(port, "phoenix", first_half);
+  ASSERT_EQ(first.ack.status, net::AckStatus::kFresh);
+  EXPECT_FALSE(first.fin_received);  // killed before BYE
+
+  // Reconnect, suppressing everything below position 200.  The server saw
+  // at most 150 events, so the hole [watermark, 200) is real and only a
+  // snapshot resync over the reverse channel can fill it.
+  net::StreamOptions rest;
+  rest.skip_below = 200;
+  const net::StreamResult second = stream_golden(port, "phoenix", rest);
+  ASSERT_EQ(second.ack.status, net::AckStatus::kResumed);
+  EXPECT_GT(second.ack.resume_position, 0U);
+  ASSERT_TRUE(second.fin_received);
+  // Recovered purely via resync: NOT degraded.
+  EXPECT_FALSE(second.fin.degraded);
+  EXPECT_GT(second.session.resyncs_served, 0U);
+  st.stop();
+
+  net::Tenant* tenant = st.server.find_tenant("phoenix");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->state(), net::TenantState::kComplete);
+  EXPECT_EQ(tenant->monitor().events_seen(), 342U);
+  EXPECT_EQ(testing::match_signature(tenant->monitor(), 0), golden_clean());
+}
+
+// The shutdown/restart acceptance bar: SIGTERM (request_shutdown — same
+// code path) mid-stream checkpoints the tenant; a restarted server
+// restores it, the producer resumes at the watermark, and the final
+// monitor state is byte-identical to an uninterrupted run.
+TEST(NetServe, CheckpointOnShutdownThenRestartResumesByteIdentical) {
+  const std::string dir =
+      ::testing::TempDir() + "ocep_net_ckp_" + std::to_string(::getpid());
+  constexpr std::uint64_t kHalf = 171;
+
+  std::atomic<std::uint64_t> released{0};
+  net::ServerConfig config;
+  config.checkpoint_dir = dir;
+  config.detach_linger_ms = 10000;
+  config.observe_hook = [&released](std::string_view, std::uint64_t) {
+    released.fetch_add(1, std::memory_order_relaxed);
+  };
+  auto st = std::make_unique<ServerThread>(std::move(config));
+  const std::uint16_t port1 = st->server.port();
+
+  StringPool pool;
+  const EventStore store = golden_store(pool);
+  net::ConnectorConfig cc;
+  cc.port = port1;
+  cc.tenant = "durable";
+  cc.patterns = {golden_pattern()};
+  {
+    // Keep the connection open while the server is terminated, as a real
+    // daemon kill would.
+    net::Connector connector(cc);
+    ASSERT_EQ(connector.ack().status, net::AckStatus::kFresh);
+    std::vector<Symbol> names;
+    for (TraceId t = 0; t < store.trace_count(); ++t) {
+      names.push_back(store.trace_name(t));
+    }
+    SessionServer session(connector, pool, names);
+    for (std::uint64_t pos = 0; pos < kHalf; ++pos) {
+      const EventId id = store.arrival(pos);
+      session.write(store.event(id), store.clock(id));
+    }
+    for (int i = 0; i < 500 && released.load() < kHalf; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(released.load(), kHalf);
+    st->stop();  // graceful shutdown: drains + checkpoints mid-stream
+  }
+
+  // Restart against the same checkpoint directory and finish the stream
+  // from the watermark on.
+  net::ServerConfig config2;
+  config2.checkpoint_dir = dir;
+  config2.detach_linger_ms = 10000;
+  ServerThread st2(std::move(config2));
+  net::StreamOptions rest;
+  rest.skip_below = kHalf;
+  const net::StreamResult second =
+      stream_golden(st2.server.port(), "durable", rest);
+  ASSERT_EQ(second.ack.status, net::AckStatus::kResumed)
+      << second.ack.message;
+  ASSERT_EQ(second.ack.resume_position, kHalf);
+  ASSERT_TRUE(second.fin_received);
+  EXPECT_FALSE(second.fin.degraded);
+  st2.stop();
+
+  net::Tenant* resumed = st2.server.find_tenant("durable");
+  ASSERT_NE(resumed, nullptr);
+  EXPECT_EQ(resumed->state(), net::TenantState::kComplete);
+  EXPECT_EQ(resumed->monitor().events_seen(), 342U);
+  EXPECT_EQ(testing::match_signature(resumed->monitor(), 0), golden_clean());
+
+  // Byte-identity of the matching state against an uninterrupted run.
+  ServerThread st3(net::ServerConfig{});
+  const net::StreamResult uninterrupted =
+      stream_golden(st3.server.port(), "durable");
+  ASSERT_TRUE(uninterrupted.fin_received);
+  st3.stop();
+  net::Tenant* reference = st3.server.find_tenant("durable");
+  ASSERT_NE(reference, nullptr);
+
+  std::stringstream resumed_ckp;
+  resumed->checkpoint(resumed_ckp);
+  std::stringstream reference_ckp;
+  reference->checkpoint(reference_ckp);
+  const net::TenantCheckpoint a = net::read_tenant_checkpoint(resumed_ckp);
+  const net::TenantCheckpoint b = net::read_tenant_checkpoint(reference_ckp);
+  EXPECT_EQ(a.monitor_blob, b.monitor_blob);
+}
+
+TEST(NetServe, ByteBudgetShedsTenantAndRejectsReattach) {
+  net::ServerConfig config;
+  config.max_tenant_bytes = 2048;
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  // The shed closes the connection while the producer may still be
+  // writing; both a degraded FIN and a dropped connection are valid
+  // producer-side observations.
+  try {
+    const net::StreamResult result = stream_golden(port, "greedy");
+    if (result.fin_received) {
+      EXPECT_TRUE(result.fin.degraded);
+    }
+  } catch (const net::NetError&) {
+    // Producer lost the race to the close; the server-side state decides.
+  }
+  ASSERT_TRUE(wait_counter(st.server, "net.tenants_shed", 1));
+
+  // Re-attaching a shed tenant is refused.
+  StringPool pool;
+  const EventStore store = golden_store(pool);
+  net::ConnectorConfig cc;
+  cc.port = port;
+  cc.tenant = "greedy";
+  cc.patterns = {golden_pattern()};
+  const net::StreamResult retry = net::stream_store(store, pool, cc, {});
+  EXPECT_EQ(retry.ack.status, net::AckStatus::kRejected);
+  EXPECT_NE(retry.ack.message.find("shed"), std::string::npos);
+  st.stop();
+
+  net::Tenant* tenant = st.server.find_tenant("greedy");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->state(), net::TenantState::kShed);
+}
+
+TEST(NetServe, AdminPlaneServesMetricsAndHealth) {
+  ServerThread st(net::ServerConfig{});
+  const net::StreamResult result = stream_golden(st.server.port(), "adm");
+  ASSERT_TRUE(result.fin_received);
+
+  const auto http_get = [&](const std::string& target) {
+    net::OwnedFd fd = net::tcp_connect("127.0.0.1", st.server.admin_port());
+    const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+    net::write_all(fd.get(), request, 5000);
+    std::string response;
+    char chunk[4096];
+    while (true) {
+      if (!net::wait_readable(fd.get(), 5000)) {
+        break;
+      }
+      const net::IoResult got = net::read_some(fd.get(), chunk, sizeof(chunk));
+      if (got.status == net::IoStatus::kOk) {
+        response.append(chunk, got.bytes);
+        continue;
+      }
+      break;
+    }
+    return response;
+  };
+
+  const std::string metrics = http_get("/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(metrics.find("net_accepted"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("tenant=\"adm\""), std::string::npos);
+
+  const std::string health = http_get("/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(health.find("\"adm\""), std::string::npos);
+  EXPECT_NE(health.find("\"state\":\"complete\""), std::string::npos);
+
+  const std::string missing = http_get("/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+  st.stop();
+}
+
+// Satellite regression for common/fd_stream.h: a short-write/EAGAIN storm
+// through a tiny socket buffer must deliver every byte exactly once (the
+// old sync() restarted from pbase() after a failure, resending bytes the
+// kernel had already accepted).
+TEST(NetFdStream, ShortWritesNeverResendBytes) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int sndbuf = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+  // Non-blocking writer: forces the EAGAIN path in FdOutBuf::sync().
+  ASSERT_NO_THROW(net::set_nonblocking(fds[0]));
+
+  std::string sent(1U << 20U, '\0');
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<char>((i * 131) & 0xff);
+  }
+
+  std::string received;
+  std::thread reader([&received, fd = fds[1]] {
+    char chunk[8192];
+    while (true) {
+      const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+      if (got > 0) {
+        received.append(chunk, static_cast<std::size_t>(got));
+        // A slow consumer keeps the kernel buffer full on purpose.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      if (got < 0 && errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+  });
+
+  {
+    FdOStream out(fds[0]);
+    out.get().write(sent.data(), static_cast<std::streamsize>(sent.size()));
+    out.get().flush();
+    ASSERT_TRUE(out.get().good());
+    EXPECT_EQ(out.buf().offset(), sent.size());
+    EXPECT_FALSE(out.buf().error());
+  }
+  ::close(fds[0]);
+  reader.join();
+  ::close(fds[1]);
+
+  ASSERT_EQ(received.size(), sent.size());
+  EXPECT_EQ(received, sent);  // any resend or loss breaks this
+}
+
+TEST(NetFdStream, DistinguishesEofFromError) {
+  ::signal(SIGPIPE, SIG_IGN);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  {  // EOF: peer closes cleanly.
+    FdIStream in(fds[0]);
+    ::close(fds[1]);
+    char c = 0;
+    in.get().read(&c, 1);
+    EXPECT_TRUE(in.get().eof());
+    EXPECT_TRUE(in.buf().eof());
+    EXPECT_FALSE(in.buf().error());
+  }
+  ::close(fds[0]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  {  // Error: writing into a closed peer is EPIPE, not EOF.
+    ::close(fds[1]);
+    FdOutBuf out(fds[0]);
+    std::ostream stream(&out);
+    const std::string bytes(1U << 16U, 'x');
+    stream.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    stream.flush();
+    EXPECT_FALSE(stream.good());
+    EXPECT_TRUE(out.error());
+    EXPECT_EQ(out.last_errno(), EPIPE);
+  }
+  ::close(fds[0]);
+}
+
+}  // namespace
+}  // namespace ocep

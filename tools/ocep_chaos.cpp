@@ -11,14 +11,22 @@
 // the faulty run recovered (identical matches) or degraded consistently
 // (a reported subset of the clean matches); 2 on silent divergence or a
 // livelocked client; 1 on usage/input errors.
+//
+// Live mode: `--serve HOST:PORT --tenant NAME` injects the same faults
+// into a real TCP stream feeding a running ocep_served daemon; the
+// verdict then comes from the server's FIN (clean vs degraded).
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
 #include "common/flags.h"
+#include "net/client.h"
 #include "poet/dump.h"
 #include "testing/chaos_harness.h"
 
@@ -34,6 +42,71 @@ std::string read_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+std::pair<std::string, std::uint16_t> split_endpoint(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 == spec.size()) {
+    throw Error("--serve expects HOST:PORT, got '" + spec + "'");
+  }
+  const int port = std::stoi(spec.substr(colon + 1));
+  if (port <= 0 || port > 65535) {
+    throw Error("--serve port out of range in '" + spec + "'");
+  }
+  return {spec.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+/// Streams `source` to a live daemon through a FaultyChannel, answering
+/// resyncs over the reverse channel.  Returns the process exit status.
+int run_serve(const EventStore& source, const StringPool& pool,
+              const std::string& serve, const std::string& tenant,
+              const std::string& pattern_text,
+              const testing::FaultSpec& faults) {
+  net::ConnectorConfig config;
+  std::tie(config.host, config.port) = split_endpoint(serve);
+  config.tenant = tenant;
+  if (!pattern_text.empty()) {
+    config.patterns.push_back(pattern_text);
+  }
+  net::Connector connector(config);
+  if (connector.ack().status == net::AckStatus::kRejected) {
+    throw Error("server rejected the handshake: " + connector.ack().message);
+  }
+  testing::FaultyChannel channel(connector, faults);
+  std::vector<Symbol> names;
+  for (TraceId t = 0; t < source.trace_count(); ++t) {
+    names.push_back(source.trace_name(t));
+  }
+  SessionServer session(channel, pool, names);
+  const std::uint64_t total = source.event_count();
+  for (std::uint64_t pos = 0; pos < total; ++pos) {
+    const EventId id = source.arrival(pos);
+    session.write(source.event(id), source.clock(id));
+    if ((pos + 1) % 32 == 0) {
+      connector.poll_reverse(&session, 0);
+    }
+  }
+  session.finish();
+  channel.flush();
+  // The forward direction stays open while waiting: a dropped BYE (or any
+  // tail loss the injector caused) is recovered by a server resync whose
+  // snapshot answer travels forward.
+  const bool fin = connector.wait_fin(&session, 30000);
+  std::printf("events: %" PRIu64 "   faults injected: %" PRIu64
+              "   resyncs answered: %" PRIu64 "\n",
+              total, channel.stats().faults(), connector.resyncs_answered());
+  if (!fin) {
+    std::printf("FAIL: no FIN from the server\n");
+    return 2;
+  }
+  if (connector.fin().degraded) {
+    std::printf("OK: server reported a degraded (but consistent) stream%s%s\n",
+                connector.fin().message.empty() ? "" : ": ",
+                connector.fin().message.c_str());
+  } else {
+    std::printf("OK: server recovered a clean stream\n");
+  }
+  return 0;
 }
 
 }  // namespace
@@ -65,6 +138,8 @@ int main(int argc, char** argv) {
     options.feed_chunk =
         static_cast<std::size_t>(flags.get_int("feed-chunk", 0));
     const bool quiet = flags.get_bool("quiet", false);
+    const std::string serve = flags.get_string("serve", "");
+    const std::string tenant = flags.get_string("tenant", "chaos");
     flags.check_unused();
 
     if (dump_path.empty()) {
@@ -83,6 +158,10 @@ int main(int argc, char** argv) {
       throw Error("cannot read '" + dump_path + "'");
     }
     const EventStore source = reload_store(in, pool);
+
+    if (!serve.empty()) {
+      return run_serve(source, pool, serve, tenant, pattern_text, faults);
+    }
 
     const std::vector<std::string> clean =
         testing::clean_matches(source, pool, pattern_text);

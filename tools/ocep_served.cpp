@@ -1,0 +1,102 @@
+// ocep_served — run the monitor as a network daemon (docs/SERVER.md).
+//
+//   ocep_served [--host H] [--port P] [--admin-port P]
+//               [--workers N] [--batch N] [--metrics]
+//               [--checkpoint-dir DIR] [--idle-timeout-ms N]
+//               [--linger-ms N] [--max-tenant-bytes N]
+//               [--max-corrupt-frames N] [--max-tenants N] [--max-conns N]
+//               [--budget-steps N] [--budget-ns N] [--breaker-trip K]
+//               [--breaker-window N] [--breaker-cooldown N]
+//               [--history-bytes N]
+//
+// The ingest plane accepts handshaking producers (ocep_record --serve,
+// ocep_chaos --serve) and multiplexes their session streams into
+// per-tenant monitors; the admin plane answers GET /metrics (Prometheus),
+// GET /healthz (JSON), and POST /checkpoint.  SIGINT/SIGTERM shut down
+// gracefully: every tenant pipeline is drained and checkpointed (when
+// --checkpoint-dir is set), so a restarted daemon with the same directory
+// resumes mid-stream tenants exactly.  Both ports are printed on stdout
+// at startup (pass 0 for ephemeral — handy under test harnesses).
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "common/error.h"
+#include "common/flags.h"
+#include "net/server.h"
+
+using namespace ocep;
+
+namespace {
+
+net::Server* g_server = nullptr;
+
+void handle_signal(int /*sig*/) {
+  if (g_server != nullptr) {
+    g_server->request_shutdown();  // async-signal-safe: flag + self-pipe
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    net::ServerConfig config;
+    config.host = flags.get_string("host", "127.0.0.1");
+    config.port = static_cast<std::uint16_t>(flags.get_int("port", 7440));
+    config.admin_port =
+        static_cast<std::uint16_t>(flags.get_int("admin-port", 7441));
+    config.tenant.monitor.worker_threads =
+        static_cast<std::size_t>(flags.get_int("workers", 0));
+    config.tenant.monitor.batch_size =
+        static_cast<std::size_t>(flags.get_int("batch", 64));
+    config.tenant.monitor.metrics = flags.get_bool("metrics", false);
+    config.checkpoint_dir = flags.get_string("checkpoint-dir", "");
+    config.idle_timeout_ms =
+        static_cast<std::uint64_t>(flags.get_int("idle-timeout-ms", 30000));
+    config.detach_linger_ms =
+        static_cast<std::uint64_t>(flags.get_int("linger-ms", 2000));
+    config.max_tenant_bytes =
+        static_cast<std::uint64_t>(flags.get_int("max-tenant-bytes", 0));
+    config.max_corrupt_frames =
+        static_cast<std::uint64_t>(flags.get_int("max-corrupt-frames", 4096));
+    config.max_tenants =
+        static_cast<std::size_t>(flags.get_int("max-tenants", 256));
+    config.max_connections =
+        static_cast<std::size_t>(flags.get_int("max-conns", 1024));
+    MatcherConfig& matcher = config.tenant.matcher;
+    matcher.budget.max_steps =
+        static_cast<std::uint64_t>(flags.get_int("budget-steps", 0));
+    matcher.budget.deadline_ns =
+        static_cast<std::uint64_t>(flags.get_int("budget-ns", 0));
+    matcher.breaker.trip_failures =
+        static_cast<std::uint32_t>(flags.get_int("breaker-trip", 0));
+    matcher.breaker.window_observes =
+        static_cast<std::uint32_t>(flags.get_int("breaker-window", 1024));
+    matcher.breaker.cooldown_observes =
+        static_cast<std::uint32_t>(flags.get_int("breaker-cooldown", 256));
+    matcher.history_bytes_limit =
+        static_cast<std::size_t>(flags.get_int("history-bytes", 0));
+    flags.check_unused();
+
+    net::Server server(std::move(config));
+    g_server = &server;
+    struct sigaction action {};
+    action.sa_handler = handle_signal;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+
+    std::printf("ocep_served: ingest port %u admin port %u\n",
+                static_cast<unsigned>(server.port()),
+                static_cast<unsigned>(server.admin_port()));
+    std::fflush(stdout);
+    server.run();
+    std::printf("ocep_served: shut down (%zu tenants)\n",
+                server.tenant_count());
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "ocep_served: %s\n", error.what());
+    return 1;
+  }
+}
