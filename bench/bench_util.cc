@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "apps/patterns.h"
@@ -304,7 +305,13 @@ bool JsonReport::write() {
     row_open_ = false;
     current_.clear();
   }
-  std::string doc = "{\n  \"bench\": \"" + json_escape(bench_) + "\",\n" +
+  // Schema header first, so trajectory tooling can detect format drift
+  // before interpreting any row.  The git revision comes from the
+  // environment (CI exports OCEP_GIT_SHA); local runs record "unknown".
+  const char* sha = std::getenv("OCEP_GIT_SHA");
+  std::string doc = "{\n  \"schema\": \"ocep-bench-v1\",\n  \"bench\": \"" +
+                    json_escape(bench_) + "\",\n  \"git\": \"" +
+                    json_escape(sha != nullptr ? sha : "unknown") + "\",\n" +
                     "  \"params\": " + params_json_ + ",\n  \"rows\": [";
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     doc += i == 0 ? "\n    " : ",\n    ";

@@ -104,10 +104,13 @@ void print_header(const std::string& title, const std::string& label_name,
 ///
 /// Accumulates one JSON object per result row and, when the bench was
 /// invoked with --json FILE, writes
-///   {"bench": ..., "params": {...}, "rows": [{...}, ...]}
-/// Without --json every call is a cheap no-op, so benches can emit rows
-/// unconditionally.  Latency fields are microseconds, matching the
-/// printed tables.
+///   {"schema": "ocep-bench-v1", "bench": ..., "git": <sha>,
+///    "params": {...}, "rows": [{...}, ...]}
+/// The schema field lets trajectory tooling (scripts/bench_trajectory.py)
+/// detect format drift; the git revision is read from the OCEP_GIT_SHA
+/// environment variable ("unknown" when unset).  Without --json every
+/// call is a cheap no-op, so benches can emit rows unconditionally.
+/// Latency fields are microseconds, matching the printed tables.
 class JsonReport {
  public:
   JsonReport(std::string bench, const BenchParams& params);

@@ -1,0 +1,331 @@
+// Open-loop load generator for the sharded serving daemon (docs/SERVER.md,
+// docs/BENCHMARKS.md).
+//
+// Spawns --producers concurrent producer threads against an in-process
+// Server, each streaming a private random computation as its own tenant.
+// Three properties distinguish this from bench/net_serve:
+//
+//  * Zipf-skewed tenant sizes: producer i carries ~1/(i+1)^zipf of the
+//    event volume, so a few hot tenants dominate while a long tail of
+//    small ones churns — the placement hash has to spread both.
+//  * Connect/disconnect churn: every producer tears its connection down
+//    --churn times mid-stream (no BYE — an abrupt death) and reconnects,
+//    resuming from its last position.  Reconnects retry while the server
+//    still holds the dead connection, and must land on the tenant's
+//    owning shard via migration.
+//  * Open-loop pacing: with --rate R each producer stamps event k with
+//    its *scheduled* send time (producer start + k/R) and sleeps until
+//    that instant before writing.  A stalled server cannot slow the
+//    schedule down, so queueing delay is charged to latency instead of
+//    being silently absorbed — the coordinated-omission correction.
+//    --rate 0 (default) stamps actual send times and runs flat out.
+//
+// --shards takes a comma list ("1,4") and emits one row per shard count
+// per rep, which is how CI derives the shard-scaling ratio.  Latency is
+// send-to-observe: ServerConfig::observe_hook fires per released event on
+// the owning shard's thread (serial per tenant, so per-producer recorders
+// stay single-writer).  `--json FILE` writes an ocep-bench-v1 document.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/error.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "random_computation.h"
+
+using namespace ocep;
+using namespace ocep::bench;
+
+namespace {
+
+constexpr const char* kPattern =
+    "P := ['', A, '']; Q := ['', B, ''];\npattern := P -> Q;\n";
+
+[[nodiscard]] std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One producer's pre-generated workload, reused across shard counts.
+struct ProducerPlan {
+  std::unique_ptr<StringPool> pool;
+  EventStore store;
+};
+
+/// Parses "1,4" into shard counts.
+std::vector<std::size_t> parse_shard_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string item = text.substr(begin, end - begin);
+    if (!item.empty()) {
+      const long value = std::strtol(item.c_str(), nullptr, 10);
+      if (value < 1) {
+        throw Error("load_gen: bad --shards entry '" + item + "'");
+      }
+      out.push_back(static_cast<std::size_t>(value));
+    }
+    begin = end + 1;
+  }
+  if (out.empty()) {
+    throw Error("load_gen: --shards must name at least one shard count");
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    BenchParams params = parse_params(flags);
+    const auto producers =
+        static_cast<std::uint32_t>(flags.get_int("producers", 64));
+    const auto churn = static_cast<std::uint32_t>(flags.get_int("churn", 3));
+    const double rate = flags.get_double("rate", 0.0);
+    const double zipf = flags.get_double("zipf", 0.8);
+    const auto traces = static_cast<std::uint32_t>(flags.get_int("traces", 4));
+    const std::vector<std::size_t> shard_counts =
+        parse_shard_list(flags.get_string("shards", "1"));
+    flags.check_unused();
+    if (producers == 0 || churn == 0) {
+      std::fprintf(stderr, "load_gen: --producers and --churn must be >= 1\n");
+      return 1;
+    }
+
+    // Zipf-skewed per-producer event targets with mean params.events.
+    std::vector<double> weights(producers);
+    double weight_sum = 0.0;
+    for (std::uint32_t i = 0; i < producers; ++i) {
+      weights[i] = 1.0 / std::pow(static_cast<double>(i) + 1.0, zipf);
+      weight_sum += weights[i];
+    }
+    const double scale =
+        static_cast<double>(params.events) *
+        static_cast<double>(producers) / weight_sum;
+    std::vector<ProducerPlan> plans;
+    plans.reserve(producers);
+    std::uint64_t events_total = 0;
+    for (std::uint32_t i = 0; i < producers; ++i) {
+      ProducerPlan plan;
+      plan.pool = std::make_unique<StringPool>();
+      ocep::testing::RandomComputationOptions options;
+      options.traces = traces;
+      options.events = static_cast<std::uint32_t>(
+          std::max(16.0, weights[i] * scale));
+      options.seed = params.seed + i;
+      plan.store = ocep::testing::random_computation(*plan.pool, options);
+      events_total += plan.store.event_count();
+      plans.push_back(std::move(plan));
+    }
+
+    std::printf("# load_gen (%u producers, zipf %.2f, %" PRIu64
+                " events total, churn %u, rate %.0f ev/s/producer, %u reps)\n",
+                producers, zipf, events_total, churn, rate, params.reps);
+    std::printf("%-10s %12s %11s %9s %9s %9s %8s %8s %8s\n", "config",
+                "events/s", "wall_ms", "p50_us", "p99_us", "max_us", "resync",
+                "retry", "migrate");
+
+    JsonReport report("load_gen", params);
+    for (const std::size_t shards : shard_counts) {
+      for (std::uint32_t rep = 0; rep < params.reps; ++rep) {
+        // Per-(tenant, position) scheduled-send timestamps: written by the
+        // producer threads, read by the owning shard's observe hook.
+        std::vector<std::unique_ptr<std::atomic<std::int64_t>[]>> sent;
+        sent.reserve(producers);
+        for (std::uint32_t i = 0; i < producers; ++i) {
+          const std::uint64_t n = plans[i].store.event_count();
+          auto stamps = std::make_unique<std::atomic<std::int64_t>[]>(n);
+          for (std::uint64_t p = 0; p < n; ++p) {
+            stamps[p].store(0, std::memory_order_relaxed);
+          }
+          sent.push_back(std::move(stamps));
+        }
+        std::vector<metrics::LatencyRecorder> latencies(producers);
+        std::atomic<std::uint64_t> observed{0};
+
+        net::ServerConfig config;
+        config.shards = shards;
+        config.max_tenants = static_cast<std::size_t>(producers) * 2;
+        config.max_connections = static_cast<std::size_t>(producers) * 2;
+        config.observe_hook = [&](std::string_view tenant,
+                                  std::uint64_t position) {
+          // Tenant names are "p<index>".
+          const std::size_t idx = static_cast<std::size_t>(
+              std::stoul(std::string(tenant.substr(1))));
+          if (idx < latencies.size() &&
+              position < plans[idx].store.event_count()) {
+            const std::int64_t at =
+                sent[idx][position].load(std::memory_order_acquire);
+            if (at != 0) {
+              latencies[idx].add(static_cast<double>(now_ns() - at) / 1000.0);
+            }
+          }
+          observed.fetch_add(1, std::memory_order_relaxed);
+        };
+        net::Server server(std::move(config));
+        std::thread reactor([&server] { server.run(); });
+
+        std::atomic<std::uint32_t> failures{0};
+        std::atomic<std::uint64_t> resyncs{0};
+        std::atomic<std::uint64_t> retries{0};
+        const std::int64_t start_ns = now_ns();
+        std::vector<std::thread> threads;
+        threads.reserve(producers);
+        for (std::uint32_t i = 0; i < producers; ++i) {
+          threads.emplace_back([&, i] {
+            try {
+              const EventStore& store = plans[i].store;
+              const std::uint64_t total = store.event_count();
+              const std::int64_t schedule_start = now_ns();
+              const double interval_ns =
+                  rate > 0.0 ? 1e9 / rate : 0.0;
+              net::ConnectorConfig cc;
+              cc.port = server.port();
+              cc.tenant = "p" + std::to_string(i);
+              cc.patterns = {kPattern};
+              bool ok = true;
+              for (std::uint32_t seg = 0; seg < churn && ok; ++seg) {
+                const std::uint64_t lo = total * seg / churn;
+                const bool last = seg + 1 == churn;
+                const std::uint64_t hi = last ? 0 : total * (seg + 1) / churn;
+                net::StreamOptions so;
+                so.skip_below = lo;
+                so.max_events = hi;
+                so.before_write = [&, lo](std::uint64_t pos) {
+                  if (pos < lo) {
+                    return;  // suppressed replay prefix: not sent now
+                  }
+                  std::int64_t stamp = now_ns();
+                  if (interval_ns > 0.0) {
+                    // Open loop: the schedule is fixed at producer start;
+                    // server stalls surface as latency, not lower rate.
+                    const std::int64_t scheduled =
+                        schedule_start +
+                        static_cast<std::int64_t>(
+                            static_cast<double>(pos) * interval_ns);
+                    while (now_ns() < scheduled) {
+                      std::this_thread::sleep_for(
+                          std::chrono::microseconds(50));
+                    }
+                    stamp = scheduled;
+                  }
+                  sent[i][pos].store(stamp, std::memory_order_release);
+                };
+                // The previous segment died abruptly; the server may not
+                // have reaped that socket yet, so retry while it still
+                // counts the tenant as attached.
+                for (int attempt = 0;; ++attempt) {
+                  const net::StreamResult result =
+                      net::stream_store(store, *plans[i].pool, cc, so);
+                  if (result.ack.status == net::AckStatus::kRejected) {
+                    if (result.ack.message.find("attached") !=
+                            std::string::npos &&
+                        attempt < 2000) {
+                      retries.fetch_add(1, std::memory_order_relaxed);
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(2));
+                      continue;
+                    }
+                    ok = false;
+                  } else {
+                    resyncs.fetch_add(result.session.resyncs_served,
+                                      std::memory_order_relaxed);
+                    if (last &&
+                        (!result.fin_received || result.fin.degraded)) {
+                      ok = false;
+                    }
+                  }
+                  break;
+                }
+              }
+              if (!ok) {
+                failures.fetch_add(1, std::memory_order_relaxed);
+              }
+            } catch (const Error&) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+        }
+        for (std::thread& t : threads) {
+          t.join();
+        }
+        const double wall_s = static_cast<double>(now_ns() - start_ns) / 1e9;
+        server.request_shutdown();
+        reactor.join();
+
+        if (failures.load() != 0) {
+          std::fprintf(stderr,
+                       "load_gen: %u of %u producers failed to stream "
+                       "cleanly (shards=%zu)\n",
+                       failures.load(), producers, shards);
+          return 1;
+        }
+        const std::uint64_t migrations =
+            server.counter_value("net.conn_migrations");
+        const double throughput =
+            static_cast<double>(observed.load()) / wall_s;
+        metrics::LatencyRecorder latency;
+        for (const metrics::LatencyRecorder& r : latencies) {
+          for (const double sample : r.samples()) {
+            latency.add(sample);
+          }
+        }
+        const metrics::Boxplot box = latency.summarize();
+        const std::vector<double>& samples = latency.samples();
+        const auto quantile = [&samples](double q) {
+          if (samples.empty()) {
+            return 0.0;
+          }
+          const auto idx = static_cast<std::size_t>(
+              q * static_cast<double>(samples.size() - 1));
+          return samples[idx];
+        };
+        const std::string label =
+            "s" + std::to_string(shards) + "_rep" + std::to_string(rep);
+        std::printf("%-10s %12.0f %11.1f %9.1f %9.1f %9.1f %8" PRIu64
+                    " %8" PRIu64 " %8" PRIu64 "\n",
+                    label.c_str(), throughput, wall_s * 1e3, quantile(0.50),
+                    quantile(0.99), box.max, resyncs.load(), retries.load(),
+                    migrations);
+
+        report.begin_row(label);
+        report.add("shards", static_cast<std::uint64_t>(shards));
+        report.add("producers", static_cast<std::uint64_t>(producers));
+        report.add("churn_segments", static_cast<std::uint64_t>(churn));
+        report.add("rate_eps", rate);
+        report.add("zipf", zipf);
+        report.add("events_total", events_total);
+        report.add("events_observed", observed.load());
+        report.add("wall_ms", wall_s * 1e3);
+        report.add("throughput_eps", throughput);
+        report.add("latency_p50_us", quantile(0.50));
+        report.add("latency_p99_us", quantile(0.99));
+        report.add("latency_max_us", box.max);
+        report.add("resyncs", resyncs.load());
+        report.add("reconnect_retries", retries.load());
+        report.add("migrations", migrations);
+      }
+    }
+    report.write();
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "load_gen: %s\n", error.what());
+    return 1;
+  }
+}

@@ -9,8 +9,11 @@
 // difference is the full pipe — session encode, socket, epoll wakeup,
 // frame reassembly, linearization — reported as a per-event latency
 // population.  Throughput is aggregate released events over the wall
-// clock of the whole fan-in.  `--json FILE` records rows for trend
-// tracking; CI floors the reported throughput.
+// clock of the whole fan-in.  `--shards N` sizes the reactor pool
+// (latency samples are recorded per client — each tenant's hook runs
+// serially on its owning shard, so per-client recorders stay
+// single-writer — and merged before reporting).  `--json FILE` records
+// rows for trend tracking; CI floors the reported throughput.
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
@@ -52,6 +55,8 @@ int main(int argc, char** argv) {
     const auto traces = static_cast<std::uint32_t>(flags.get_int("traces", 4));
     const auto workers =
         static_cast<std::size_t>(flags.get_int("workers", 0));
+    const auto shards =
+        static_cast<std::size_t>(flags.get_int("shards", 1));
     flags.check_unused();
     if (clients == 0) {
       std::fprintf(stderr, "net_serve: --clients must be >= 1\n");
@@ -67,8 +72,8 @@ int main(int argc, char** argv) {
     const std::uint64_t per_client = source.event_count();
 
     std::printf("# net_serve (random computation, %u traces, %" PRIu64
-                " events/client, %u clients, %u reps)\n",
-                traces, per_client, clients, params.reps);
+                " events/client, %u clients, %zu shards, %u reps)\n",
+                traces, per_client, clients, shards, params.reps);
     std::printf("%-6s %12s %11s %9s %9s %9s %8s\n", "rep", "events/s",
                 "wall_ms", "p50_us", "p99_us", "max_us", "resyncs");
 
@@ -86,23 +91,25 @@ int main(int argc, char** argv) {
         }
         sent.push_back(std::move(stamps));
       }
-      // Latency samples are recorded on the reactor thread only; read
-      // after the server stopped.
-      metrics::LatencyRecorder latency;
+      // With --shards the hook fires concurrently from shard threads,
+      // but always serially per tenant — so one recorder per client is
+      // single-writer.  Merged after the server stopped.
+      std::vector<metrics::LatencyRecorder> latencies(clients);
       std::atomic<std::uint64_t> observed{0};
 
       net::ServerConfig config;
+      config.shards = shards;
       config.tenant.monitor.worker_threads = workers;
       config.observe_hook = [&](std::string_view tenant,
                                 std::uint64_t position) {
         // Tenant names are "c<index>".
         const std::size_t idx =
             static_cast<std::size_t>(std::stoul(std::string(tenant.substr(1))));
-        if (idx < sent.size() && position < per_client) {
+        if (idx < latencies.size() && position < per_client) {
           const std::int64_t at =
               sent[idx][position].load(std::memory_order_acquire);
           if (at != 0) {
-            latency.add(static_cast<double>(now_ns() - at) / 1000.0);
+            latencies[idx].add(static_cast<double>(now_ns() - at) / 1000.0);
           }
         }
         observed.fetch_add(1, std::memory_order_relaxed);
@@ -159,6 +166,12 @@ int main(int argc, char** argv) {
       }
       const double throughput =
           static_cast<double>(observed.load()) / wall_s;
+      metrics::LatencyRecorder latency;
+      for (const metrics::LatencyRecorder& r : latencies) {
+        for (const double sample : r.samples()) {
+          latency.add(sample);
+        }
+      }
       const metrics::Boxplot box = latency.summarize();
       // summarize() sorted the samples; index quantiles directly.
       const std::vector<double>& samples = latency.samples();
@@ -176,6 +189,7 @@ int main(int argc, char** argv) {
 
       report.begin_row("rep" + std::to_string(rep));
       report.add("clients", static_cast<std::uint64_t>(clients));
+      report.add("shards", static_cast<std::uint64_t>(shards));
       report.add("events_per_client", per_client);
       report.add("events_observed", observed.load());
       report.add("wall_ms", wall_s * 1e3);

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Maintain the BENCH_*.json performance-trajectory files (docs/BENCHMARKS.md).
+
+Each tracked bench has one pinned scenario — small enough for CI, large
+enough to exercise the machinery — whose --json output is normalized into
+a canonical file at the repo root:
+
+    BENCH_net.json       bench/net_serve   (serving reactor fan-in)
+    BENCH_pipeline.json  bench/pipeline    (monitor pipeline scaling)
+    BENCH_overload.json  bench/overload    (governed degradation)
+
+Committed files form a per-PR trajectory of measured performance; CI does
+not compare the *numbers* (runners are noisy) but does fail when a
+committed file is structurally stale — missing, unparsable, wrong schema
+version, wrong pinned parameters, or with row labels / field names that no
+longer match what the bench binary emits today.  Whoever changes a bench's
+JSON surface regenerates in the same PR:
+
+    python3 scripts/bench_trajectory.py generate --build-dir build
+
+Subcommands:
+    generate [names...]   run pinned scenarios, rewrite BENCH_*.json
+    check    [names...]   run pinned scenarios, structural diff vs committed
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "ocep-bench-v1"
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# name -> (binary, pinned args, output file).  The pinned args must pin
+# --events/--reps/--seed: they are recorded in the params block and
+# byte-compared by `check`.
+SCENARIOS = {
+    "net": {
+        "binary": "bench/net_serve",
+        "args": ["--events", "2000", "--reps", "2", "--seed", "7",
+                 "--clients", "8", "--shards", "2"],
+        "file": "BENCH_net.json",
+    },
+    "pipeline": {
+        "binary": "bench/pipeline",
+        "args": ["--events", "8000", "--reps", "1", "--seed", "7"],
+        "file": "BENCH_pipeline.json",
+    },
+    "overload": {
+        "binary": "bench/overload",
+        "args": ["--events", "4000", "--reps", "2", "--seed", "7"],
+        "file": "BENCH_overload.json",
+    },
+}
+
+
+def run_scenario(name, build_dir):
+    """Runs one pinned scenario; returns the parsed --json document."""
+    scenario = SCENARIOS[name]
+    binary = os.path.join(build_dir, scenario["binary"])
+    if not os.path.exists(binary):
+        raise SystemExit(f"bench_trajectory: missing binary {binary} "
+                         "(build the repo first)")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        cmd = [binary, *scenario["args"], "--json", out_path]
+        result = subprocess.run(cmd, stdout=subprocess.PIPE,
+                                stderr=subprocess.STDOUT, text=True)
+        if result.returncode != 0:
+            sys.stderr.write(result.stdout)
+            raise SystemExit(f"bench_trajectory: {name} exited "
+                             f"{result.returncode}")
+        with open(out_path, encoding="utf-8") as handle:
+            return json.load(handle)
+    finally:
+        os.unlink(out_path)
+
+
+def normalize(doc):
+    """Canonical form: sorted keys, stable layout; values untouched."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def structure(doc):
+    """The schema-relevant surface: everything except measured values."""
+    return {
+        "schema": doc.get("schema"),
+        "bench": doc.get("bench"),
+        "params": doc.get("params"),
+        "rows": [
+            {"label": row.get("label"), "fields": sorted(row.keys())}
+            for row in doc.get("rows", [])
+        ],
+    }
+
+
+def validate(name, doc, source):
+    scenario = SCENARIOS[name]
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(f"bench_trajectory: {source}: schema "
+                         f"{doc.get('schema')!r}, expected {SCHEMA!r} "
+                         "(regenerate with scripts/bench_trajectory.py)")
+    expected_bench = os.path.basename(scenario["binary"])
+    if doc.get("bench") != expected_bench:
+        raise SystemExit(f"bench_trajectory: {source}: bench "
+                         f"{doc.get('bench')!r}, expected "
+                         f"{expected_bench!r}")
+    args = scenario["args"]
+    pinned = {key: int(args[args.index(f"--{key}") + 1])
+              for key in ("events", "reps", "seed")}
+    if doc.get("params") != pinned:
+        raise SystemExit(f"bench_trajectory: {source}: params "
+                         f"{doc.get('params')!r} do not match the pinned "
+                         f"scenario {pinned!r}")
+    if not doc.get("rows"):
+        raise SystemExit(f"bench_trajectory: {source}: no rows")
+
+
+def cmd_generate(names, build_dir):
+    for name in names:
+        doc = run_scenario(name, build_dir)
+        validate(name, doc, f"fresh {name} output")
+        path = os.path.join(REPO_ROOT, SCENARIOS[name]["file"])
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(normalize(doc))
+        print(f"bench_trajectory: wrote {SCENARIOS[name]['file']} "
+              f"({len(doc['rows'])} rows)")
+
+
+def cmd_check(names, build_dir):
+    failed = False
+    for name in names:
+        committed_path = os.path.join(REPO_ROOT, SCENARIOS[name]["file"])
+        if not os.path.exists(committed_path):
+            print(f"bench_trajectory: FAIL {name}: "
+                  f"{SCENARIOS[name]['file']} is not committed")
+            failed = True
+            continue
+        with open(committed_path, encoding="utf-8") as handle:
+            try:
+                committed = json.load(handle)
+            except json.JSONDecodeError as err:
+                print(f"bench_trajectory: FAIL {name}: "
+                      f"{SCENARIOS[name]['file']}: {err}")
+                failed = True
+                continue
+        validate(name, committed, SCENARIOS[name]["file"])
+        fresh = run_scenario(name, build_dir)
+        validate(name, fresh, f"fresh {name} output")
+        if structure(committed) != structure(fresh):
+            print(f"bench_trajectory: FAIL {name}: committed "
+                  f"{SCENARIOS[name]['file']} is stale — the bench now "
+                  "emits a different row/field structure; regenerate with "
+                  "scripts/bench_trajectory.py generate")
+            print(f"  committed: {json.dumps(structure(committed))}")
+            print(f"  fresh:     {json.dumps(structure(fresh))}")
+            failed = True
+        else:
+            print(f"bench_trajectory: OK {name} "
+                  f"({len(committed['rows'])} rows, structure current)")
+    if failed:
+        raise SystemExit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=["generate", "check"])
+    parser.add_argument("names", nargs="*", default=None,
+                        help="scenario subset (default: all)")
+    parser.add_argument("--build-dir", default="build")
+    args = parser.parse_args()
+    names = args.names or sorted(SCENARIOS)
+    for name in names:
+        if name not in SCENARIOS:
+            raise SystemExit(f"bench_trajectory: unknown scenario {name!r} "
+                             f"(known: {', '.join(sorted(SCENARIOS))})")
+    if args.command == "generate":
+        cmd_generate(names, args.build_dir)
+    else:
+        cmd_check(names, args.build_dir)
+
+
+if __name__ == "__main__":
+    main()

@@ -84,6 +84,22 @@ class Conn {
     return bytes_out_;
   }
 
+  /// Injects bytes ahead of socket reads, as if they had arrived on the
+  /// wire.  Used when a connection migrates between reactor shards: the
+  /// source shard hands over whatever it had buffered past the handshake
+  /// and the adopting shard seeds its fresh Conn with them.
+  void seed_inbound(std::string_view bytes) {
+    rbuf_.append(bytes);
+    bytes_in_ += bytes.size();
+  }
+
+  /// Relinquishes the socket without closing it (shard migration).  The
+  /// Conn is dead afterwards (kClosed) and must be discarded.
+  [[nodiscard]] OwnedFd take_fd() noexcept {
+    state_ = ConnState::kClosed;
+    return std::move(fd_);
+  }
+
   /// Tenant this ingest connection is attached to ("" before handshake).
   std::string tenant;
   /// Millisecond timestamp of the last read/write, maintained by the

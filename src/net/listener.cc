@@ -6,9 +6,10 @@
 
 namespace ocep::net {
 
-Listener::Listener(const std::string& host, std::uint16_t port)
+Listener::Listener(const std::string& host, std::uint16_t port,
+                   bool reuseport)
     : port_(port) {
-  fd_ = tcp_listen(host, port_);
+  fd_ = tcp_listen(host, port_, 128, reuseport);
 }
 
 void Listener::accept_ready(const std::function<void(OwnedFd)>& on_accept) {

@@ -14,8 +14,11 @@ namespace ocep::net {
 
 class Listener {
  public:
-  /// Binds and listens on host:port (0 = ephemeral; see port()).
-  Listener(const std::string& host, std::uint16_t port);
+  /// Binds and listens on host:port (0 = ephemeral; see port()).  With
+  /// `reuseport`, SO_REUSEPORT lets sibling shard listeners share the
+  /// port.
+  Listener(const std::string& host, std::uint16_t port,
+           bool reuseport = false);
 
   [[nodiscard]] int fd() const noexcept { return fd_.get(); }
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }

@@ -5,44 +5,49 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <ctime>
-#include <filesystem>
-#include <fstream>
+#include <future>
 #include <sstream>
 #include <utility>
 
 #include "common/error.h"
+#include "net/shard.h"
 
 namespace ocep::net {
 namespace {
 
-namespace fs = std::filesystem;
-
-/// Tenant names become checkpoint filenames and Prometheus label values;
-/// a conservative charset keeps both planes trivially safe.
-bool valid_tenant_name(std::string_view name) {
-  if (name.empty() || name.size() > 128) {
-    return false;
-  }
-  for (const char c : name) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
-    if (!ok) {
-      return false;
-    }
-  }
-  return name != "." && name != "..";
-}
-
-std::string tenant_label(const std::string& name) {
-  return "tenant=\"" + name + "\"";
-}
+/// How long the admin plane waits for a shard thread to answer a posted
+/// /healthz or /checkpoint task before reporting 503.  Generous: a shard
+/// only stalls this long when a tenant pipeline drain wedges.
+constexpr std::chrono::seconds kShardReplyDeadline{2};
 
 }  // namespace
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {
-  ingest_ = std::make_unique<Listener>(config_.host, config_.port);
+  if (config_.shards == 0) {
+    config_.shards = 1;
+  }
+  const bool reuseport = config_.shards > 1;
+  // Shard 0 binds first so an ephemeral port request resolves once; the
+  // siblings then join the same port via SO_REUSEPORT.
+  shards_.push_back(std::make_unique<Shard>(
+      config_, 0, config_.shards, config_.port, reuseport, tenant_total_));
+  const std::uint16_t ingest_port = shards_[0]->port();
+  for (std::size_t i = 1; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        config_, i, config_.shards, ingest_port, reuseport, tenant_total_));
+  }
+  std::vector<Shard*> peers;
+  peers.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    peers.push_back(shard.get());
+  }
+  for (const auto& shard : shards_) {
+    shard->set_peers(peers);
+  }
+
   admin_ = std::make_unique<Listener>(config_.host, config_.admin_port);
   int pipe_fds[2];
   if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
@@ -51,10 +56,8 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
   wake_read_ = pipe_fds[0];
   wake_write_ = pipe_fds[1];
   poller_.add(wake_read_, EPOLLIN, kTagWake);
-  poller_.add(ingest_->fd(), EPOLLIN, kTagIngest);
   poller_.add(admin_->fd(), EPOLLIN, kTagAdmin);
   clock_ms_ = now_ms();
-  restore_checkpoints();
 }
 
 Server::~Server() {
@@ -66,7 +69,7 @@ Server::~Server() {
   }
 }
 
-std::uint16_t Server::port() const noexcept { return ingest_->port(); }
+std::uint16_t Server::port() const noexcept { return shards_[0]->port(); }
 std::uint16_t Server::admin_port() const noexcept { return admin_->port(); }
 
 std::uint64_t Server::now_ms() noexcept {
@@ -77,6 +80,9 @@ std::uint64_t Server::now_ms() noexcept {
 }
 
 void Server::request_shutdown() noexcept {
+  for (const auto& shard : shards_) {
+    shard->request_stop();
+  }
   stop_.store(true, std::memory_order_release);
   if (wake_write_ >= 0) {
     const char byte = 'q';
@@ -85,52 +91,85 @@ void Server::request_shutdown() noexcept {
   }
 }
 
-Tenant* Server::find_tenant(const std::string& name) {
-  const auto it = tenants_.find(name);
-  return it == tenants_.end() ? nullptr : it->second.get();
+std::uint64_t Server::counter_value(std::string_view key) const {
+  std::uint64_t total = registry_.counter_value(key);
+  for (const auto& shard : shards_) {
+    total += shard->metrics().counter_value(key);
+  }
+  return total;
 }
 
-void Server::restore_checkpoints() {
-  if (config_.checkpoint_dir.empty()) {
-    return;
+void Server::merge_metrics(obs::Registry& into) const {
+  for (const auto& shard : shards_) {
+    into.merge_from(shard->metrics());
   }
-  std::error_code ec;
-  if (!fs::is_directory(config_.checkpoint_dir, ec)) {
-    return;
-  }
-  for (const fs::directory_entry& entry :
-       fs::directory_iterator(config_.checkpoint_dir, ec)) {
-    if (ec) {
-      break;
-    }
-    if (!entry.is_regular_file() || entry.path().extension() != ".ckp") {
-      continue;
-    }
-    const std::string name = entry.path().stem().string();
-    if (!valid_tenant_name(name) || tenants_.contains(name)) {
-      continue;
-    }
-    try {
-      std::ifstream in(entry.path(), std::ios::binary);
-      auto tenant =
-          std::make_unique<Tenant>(name, config_.tenant, config_.observe_hook);
-      tenant->restore(in);
-      // Restored tenants start detached; a producer gets one linger window
-      // to reconnect before the stream is finalized as degraded.
-      tenant->detach_deadline_ms = clock_ms_ + config_.detach_linger_ms;
-      registry_.counter("net.tenants_restored").add(1);
-      tenants_.emplace(name, std::move(tenant));
-    } catch (const Error&) {
-      registry_.counter("net.restore_errors").add(1);
+  into.merge_from(registry_);
+}
+
+Tenant* Server::find_tenant(const std::string& name) {
+  for (const auto& shard : shards_) {
+    if (Tenant* tenant = shard->find_tenant(name)) {
+      return tenant;
     }
   }
+  return nullptr;
+}
+
+std::size_t Server::tenant_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->tenant_count();
+  }
+  return total;
+}
+
+int Server::tenant_shard(const std::string& name) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->find_tenant(name) != nullptr) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::size_t Server::write_checkpoints() {
+  std::size_t written = 0;
+  for (const auto& shard : shards_) {
+    written += shard->write_checkpoints();
+  }
+  return written;
 }
 
 void Server::run() {
-  running_ = true;
+  running_.store(true, std::memory_order_release);
+  shard_threads_.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    shard_threads_.emplace_back([s = shard.get()] { s->run(); });
+  }
+  try {
+    run_admin();
+  } catch (...) {
+    request_shutdown();
+    for (std::thread& thread : shard_threads_) {
+      thread.join();
+    }
+    shard_threads_.clear();
+    running_.store(false, std::memory_order_release);
+    throw;
+  }
+  for (std::thread& thread : shard_threads_) {
+    thread.join();
+  }
+  shard_threads_.clear();
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::run_admin() {
   std::vector<Poller::Event> events;
   while (!stop_.load(std::memory_order_acquire)) {
-    const std::size_t n = poller_.wait(events, loop_timeout_ms());
+    // The admin plane has no tick-driven work beyond idle sweeps, so a
+    // coarse timeout keeps the thread cold between scrapes.
+    const std::size_t n = poller_.wait(events, 200);
     clock_ms_ = now_ms();
     for (std::size_t i = 0; i < n; ++i) {
       const Poller::Event& ev = events[i];
@@ -141,66 +180,45 @@ void Server::run() {
           }
           break;
         }
-        case kTagIngest:
-          accept_plane(*ingest_, ConnKind::kIngest);
-          break;
         case kTagAdmin:
-          accept_plane(*admin_, ConnKind::kAdmin);
+          accept_admin();
           break;
         default:
-          on_conn_event(ev.tag, ev.events);
+          on_admin_event(ev.tag, ev.events);
           break;
       }
     }
-    sweep_timers();
+    sweep_admin_timers();
   }
-  graceful_shutdown();
-  running_ = false;
+  poller_.del(admin_->fd());
+  admin_->close();
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) {
+    ids.push_back(id);
+  }
+  for (const std::uint64_t id : ids) {
+    close_admin(id);
+  }
 }
 
-int Server::loop_timeout_ms() const {
-  bool attached_streaming = false;
-  bool pending_deadline = false;
-  for (const auto& [name, tenant] : tenants_) {
-    if (!tenant->streaming()) {
-      continue;
-    }
-    if (tenant->conn_id != 0) {
-      attached_streaming = true;
-    } else if (tenant->detach_deadline_ms != 0) {
-      pending_deadline = true;
-    }
-  }
-  if (attached_streaming) {
-    return 5;  // drive session ticks (resync grace/backoff are tick-based)
-  }
-  if (pending_deadline || (config_.idle_timeout_ms != 0 && !conns_.empty())) {
-    return 50;
-  }
-  return 500;
-}
-
-void Server::accept_plane(Listener& listener, ConnKind kind) {
-  listener.accept_ready([this, kind](OwnedFd fd) {
+void Server::accept_admin() {
+  admin_->accept_ready([this](OwnedFd fd) {
     if (conns_.size() >= config_.max_connections) {
       registry_.counter("net.accept_overflow").add(1);
       return;  // fd closes on scope exit; the peer sees a reset
     }
     const std::uint64_t id = next_conn_id_++;
-    auto conn = std::make_unique<Conn>(std::move(fd), id, kind);
+    auto conn = std::make_unique<Conn>(std::move(fd), id, ConnKind::kAdmin);
     conn->last_active_ms = clock_ms_;
     poller_.add(conn->fd(), EPOLLIN, id);
     conns_.emplace(id, std::move(conn));
-    registry_
-        .counter("net.accepted", kind == ConnKind::kIngest ? "plane=\"ingest\""
-                                                           : "plane=\"admin\"")
-        .add(1);
-    registry_.gauge("net.connections")
-        .add(1);
+    registry_.counter("net.accepted", "plane=\"admin\"").add(1);
+    registry_.gauge("net.connections").add(1);
   });
 }
 
-void Server::on_conn_event(std::uint64_t id, std::uint32_t events) {
+void Server::on_admin_event(std::uint64_t id, std::uint32_t events) {
   const auto it = conns_.find(id);
   if (it == conns_.end()) {
     return;  // closed earlier in this batch
@@ -208,217 +226,21 @@ void Server::on_conn_event(std::uint64_t id, std::uint32_t events) {
   Conn& conn = *it->second;
   conn.last_active_ms = clock_ms_;
   if ((events & EPOLLIN) != 0 || (events & (EPOLLHUP | EPOLLERR)) != 0) {
-    on_readable(conn);
-  }
-  settle(id);
-}
-
-void Server::on_readable(Conn& conn) {
-  const IoStatus status = conn.fill();
-  switch (conn.state()) {
-    case ConnState::kHandshake:
-      advance_handshake(conn);
-      break;
-    case ConnState::kStreaming:
-      on_stream_bytes(conn);
-      break;
-    case ConnState::kRequest:
+    const IoStatus status = conn.fill();
+    if (conn.state() == ConnState::kRequest) {
       advance_admin(conn);
-      break;
-    case ConnState::kClosing:
-    case ConnState::kClosed:
-      conn.consume(conn.pending().size());  // discard: peer is done
-      break;
-  }
-  if (status == IoStatus::kEof) {
-    // Half-close is honoured: flush queued control frames (the FIN a
-    // just-finished stream is owed), then close.
-    if (conn.state() == ConnState::kStreaming ||
-        conn.state() == ConnState::kHandshake) {
-      detach_tenant(conn);
+    } else {
+      conn.consume(conn.pending().size());
     }
-    if (conn.state() != ConnState::kClosed) {
-      conn.set_state(ConnState::kClosing);
-    }
-  } else if (status == IoStatus::kError) {
-    detach_tenant(conn);
-    conn.set_state(ConnState::kClosed);
-  }
-}
-
-void Server::advance_handshake(Conn& conn) {
-  std::size_t pos = conn.rpos();
-  HandshakeRequest request;
-  std::string error;
-  const ParseStatus status =
-      parse_handshake(conn.rbuf(), pos, request, error);
-  switch (status) {
-    case ParseStatus::kNeedMore:
-      if (conn.pending().size() > Conn::kMaxPrefaceBytes) {
-        conn.set_state(ConnState::kClosed);  // oversized, untrusted
+    if (status == IoStatus::kEof) {
+      if (conn.state() != ConnState::kClosed) {
+        conn.set_state(ConnState::kClosing);
       }
-      return;
-    case ParseStatus::kError:
-      registry_.counter("net.handshake_errors").add(1);
+    } else if (status == IoStatus::kError) {
       conn.set_state(ConnState::kClosed);
-      return;
-    case ParseStatus::kDone:
-      break;
-  }
-  conn.consume(pos - conn.rpos());
-  handle_handshake(conn, request);
-}
-
-void Server::handle_handshake(Conn& conn, const HandshakeRequest& request) {
-  if (!valid_tenant_name(request.tenant)) {
-    reject(conn, "invalid tenant name");
-    return;
-  }
-  Tenant* tenant = find_tenant(request.tenant);
-  HandshakeAck ack;
-  if (tenant == nullptr) {
-    if (tenants_.size() >= config_.max_tenants) {
-      reject(conn, "tenant limit reached");
-      return;
-    }
-    auto fresh = std::make_unique<Tenant>(request.tenant, config_.tenant,
-                                          config_.observe_hook);
-    try {
-      fresh->register_patterns(request.patterns);
-    } catch (const Error& e) {
-      reject(conn, std::string("bad pattern: ") + e.what());
-      return;
-    }
-    tenant = fresh.get();
-    tenants_.emplace(request.tenant, std::move(fresh));
-    ack.status = AckStatus::kFresh;
-    ack.resume_position = 0;
-  } else {
-    if (tenant->conn_id != 0) {
-      reject(conn, "tenant already attached");
-      return;
-    }
-    if (tenant->state() == TenantState::kShed) {
-      reject(conn, "tenant was shed: " + tenant->shed_reason());
-      return;
-    }
-    if (tenant->patterns() != request.patterns) {
-      reject(conn, "pattern set does not match the registered tenant");
-      return;
-    }
-    ack.status = AckStatus::kResumed;
-    ack.resume_position = tenant->session().next_position();
-  }
-  tenant->conn_id = conn.id();
-  tenant->detach_deadline_ms = 0;
-  conn.tenant = request.tenant;
-  conn.set_state(ConnState::kStreaming);
-  registry_
-      .counter("net.handshakes", ack.status == AckStatus::kFresh
-                                     ? "status=\"fresh\""
-                                     : "status=\"resumed\"")
-      .add(1);
-  queue_or_close(conn, encode_ack(ack));
-  if (conn.state() == ConnState::kClosed) {
-    return;
-  }
-  if (!tenant->streaming()) {
-    // The stream already ended (a reconnect after completion); answer with
-    // the terminal FIN immediately.
-    send_fin(conn, *tenant);
-    return;
-  }
-  on_stream_bytes(conn);  // bytes pipelined behind the handshake
-}
-
-void Server::reject(Conn& conn, const std::string& message) {
-  registry_.counter("net.handshakes", "status=\"rejected\"").add(1);
-  HandshakeAck ack;
-  ack.status = AckStatus::kRejected;
-  ack.message = message;
-  queue_or_close(conn, encode_ack(ack));
-  if (conn.state() != ConnState::kClosed) {
-    conn.set_state(ConnState::kClosing);
-  }
-}
-
-void Server::on_stream_bytes(Conn& conn) {
-  Tenant* tenant = find_tenant(conn.tenant);
-  if (tenant == nullptr) {
-    conn.set_state(ConnState::kClosed);
-    return;
-  }
-  const std::string_view bytes = conn.pending();
-  if (!bytes.empty()) {
-    tenant->feed(bytes);
-    conn.consume(bytes.size());
-  }
-  pump_tenant(conn, *tenant);
-}
-
-void Server::pump_tenant(Conn& conn, Tenant& tenant) {
-  for (const ResyncRequest& request : tenant.take_resyncs()) {
-    registry_.counter("net.resyncs_forwarded").add(1);
-    queue_or_close(conn, encode_resync_frame(request));
-    if (conn.state() == ConnState::kClosed) {
-      return;
     }
   }
-  if (tenant.streaming()) {
-    const bool over_bytes = config_.max_tenant_bytes != 0 &&
-                            tenant.bytes_in() > config_.max_tenant_bytes;
-    const bool over_corrupt =
-        config_.max_corrupt_frames != 0 &&
-        tenant.session().stats().frames_corrupt > config_.max_corrupt_frames;
-    if (over_bytes || over_corrupt) {
-      tenant.shed(over_bytes ? "byte budget exceeded"
-                             : "corrupt-frame budget exceeded");
-      registry_.counter("net.tenants_shed").add(1);
-      update_meters(tenant);
-      send_fin(conn, tenant);
-      return;
-    }
-  }
-  update_meters(tenant);
-  if (tenant.maybe_finish()) {
-    send_fin(conn, tenant);
-  }
-}
-
-void Server::send_fin(Conn& conn, Tenant& tenant) {
-  const bool degraded = tenant.state() == TenantState::kDegraded ||
-                        tenant.state() == TenantState::kShed;
-  queue_or_close(conn, encode_fin_frame(degraded, tenant.shed_reason()));
-  if (conn.state() != ConnState::kClosed) {
-    conn.set_state(ConnState::kClosing);
-  }
-}
-
-void Server::update_meters(Tenant& tenant) {
-  Meters& m = meters_[tenant.name()];
-  if (m.bytes == nullptr) {
-    const std::string label = tenant_label(tenant.name());
-    m.bytes = &registry_.counter("net.tenant.bytes", label,
-                                 "stream bytes received");
-    m.frames = &registry_.counter("net.tenant.frames", label,
-                                  "session frames accepted");
-    m.events = &registry_.counter("net.tenant.events", label,
-                                  "events released to the monitor");
-    m.corrupt = &registry_.counter("net.tenant.corrupt_frames", label,
-                                   "frames rejected by CRC/length checks");
-  }
-  const std::uint64_t bytes = tenant.bytes_in();
-  const std::uint64_t frames = tenant.session().frames_ok();
-  const std::uint64_t events = tenant.events_released();
-  const std::uint64_t corrupt = tenant.session().stats().frames_corrupt;
-  m.bytes->add(bytes - m.last_bytes);
-  m.frames->add(frames - m.last_frames);
-  m.events->add(events - m.last_events);
-  m.corrupt->add(corrupt - m.last_corrupt);
-  m.last_bytes = bytes;
-  m.last_frames = frames;
-  m.last_events = events;
-  m.last_corrupt = corrupt;
+  settle_admin(id);
 }
 
 void Server::advance_admin(Conn& conn) {
@@ -447,17 +269,28 @@ void Server::advance_admin(Conn& conn) {
 
   if (method == "GET" && path == "/metrics") {
     respond_http(conn, 200, "text/plain; version=0.0.4",
-                 registry_.to_prometheus());
+                 metrics_prometheus());
   } else if (method == "GET" && path == "/healthz") {
-    respond_http(conn, 200, "application/json", healthz_json());
+    std::string body = healthz_json();
+    if (body.empty()) {
+      respond_http(conn, 503, "application/json",
+                   "{\"error\":\"shard did not answer\"}\n");
+    } else {
+      respond_http(conn, 200, "application/json", std::move(body));
+    }
   } else if ((method == "POST" || method == "GET") && path == "/checkpoint") {
     if (config_.checkpoint_dir.empty()) {
       respond_http(conn, 409, "application/json",
                    "{\"error\":\"checkpoint_dir not configured\"}\n");
     } else {
-      const std::size_t written = write_checkpoints();
-      respond_http(conn, 200, "application/json",
-                   "{\"written\":" + std::to_string(written) + "}\n");
+      const long written = checkpoint_live();
+      if (written < 0) {
+        respond_http(conn, 503, "application/json",
+                     "{\"error\":\"shard did not answer\"}\n");
+      } else {
+        respond_http(conn, 200, "application/json",
+                     "{\"written\":" + std::to_string(written) + "}\n");
+      }
     }
   } else {
     respond_http(conn, 404, "text/plain", "not found\n");
@@ -469,66 +302,117 @@ void Server::respond_http(Conn& conn, int code,
   const char* reason = code == 200   ? "OK"
                        : code == 404 ? "Not Found"
                        : code == 409 ? "Conflict"
+                       : code == 503 ? "Service Unavailable"
                                      : "Error";
   std::string response = "HTTP/1.0 " + std::to_string(code) + " " + reason +
                          "\r\nContent-Type: " + content_type +
                          "\r\nContent-Length: " + std::to_string(body.size()) +
                          "\r\nConnection: close\r\n\r\n";
   response += body;
-  queue_or_close(conn, std::move(response));
+  if (!conn.queue_write(std::move(response))) {
+    registry_.counter("net.write_overflow").add(1);
+    conn.set_state(ConnState::kClosed);
+    return;
+  }
   if (conn.state() != ConnState::kClosed) {
     conn.set_state(ConnState::kClosing);
   }
 }
 
+std::string Server::metrics_prometheus() const {
+  // Merge shard registries into a scratch per scrape: instruments are
+  // relaxed atomics, so reading them while shard threads record is safe,
+  // and a scratch keeps the merged totals from compounding.
+  obs::Registry merged;
+  merge_metrics(merged);
+  return merged.to_prometheus();
+}
+
 std::string Server::healthz_json() {
+  std::vector<std::string> rows(shards_.size());
+  std::size_t connections = conns_.size();
+  if (running_.load(std::memory_order_acquire)) {
+    // Tenant state belongs to shard threads; render on each one.
+    using Reply = std::pair<std::string, std::size_t>;
+    std::vector<std::future<Reply>> replies;
+    replies.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      auto promise = std::make_shared<std::promise<Reply>>();
+      replies.push_back(promise->get_future());
+      Shard* raw = shard.get();
+      shard->post([promise, raw] {
+        promise->set_value({raw->healthz_rows(), raw->connection_count()});
+      });
+    }
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+      if (replies[i].wait_for(kShardReplyDeadline) !=
+          std::future_status::ready) {
+        return {};
+      }
+      Reply reply = replies[i].get();
+      rows[i] = std::move(reply.first);
+      connections += reply.second;
+    }
+  } else {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      rows[i] = shards_[i]->healthz_rows();
+      connections += shards_[i]->connection_count();
+    }
+  }
   std::ostringstream out;
-  out << "{\"tenants\":[";
+  out << "{\"shards\":" << shards_.size() << ",\"tenants\":[";
   bool first = true;
-  for (const auto& [name, tenant] : tenants_) {
+  for (const std::string& shard_rows : rows) {
+    if (shard_rows.empty()) {
+      continue;
+    }
     if (!first) {
       out << ",";
     }
     first = false;
-    tenant->monitor().drain();
-    out << "{\"name\":\"" << name << "\",\"state\":\""
-        << to_string(tenant->state()) << "\",\"attached\":"
-        << (tenant->conn_id != 0 ? "true" : "false")
-        << ",\"degraded\":" << (tenant->degraded() ? "true" : "false")
-        << ",\"bytes_in\":" << tenant->bytes_in()
-        << ",\"events\":" << tenant->events_released() << ",\"health\":";
-    tenant->monitor().health().to_json(out);
-    out << "}";
+    out << shard_rows;
   }
-  out << "],\"connections\":" << conns_.size() << "}\n";
+  out << "],\"connections\":" << connections << "}\n";
   return out.str();
 }
 
-void Server::queue_or_close(Conn& conn, std::string bytes) {
-  if (!conn.queue_write(std::move(bytes))) {
-    // The peer stopped reading long enough to blow the queue bound; it
-    // forfeits the connection (never the tenant).
-    registry_.counter("net.write_overflow").add(1);
-    detach_tenant(conn);
-    conn.set_state(ConnState::kClosed);
+long Server::checkpoint_live() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return static_cast<long>(write_checkpoints());
   }
+  std::vector<std::future<std::size_t>> replies;
+  replies.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    auto promise = std::make_shared<std::promise<std::size_t>>();
+    replies.push_back(promise->get_future());
+    Shard* raw = shard.get();
+    shard->post([promise, raw] { promise->set_value(raw->write_checkpoints()); });
+  }
+  long written = 0;
+  for (auto& reply : replies) {
+    if (reply.wait_for(kShardReplyDeadline) != std::future_status::ready) {
+      return -1;
+    }
+    written += static_cast<long>(reply.get());
+  }
+  return written;
 }
 
-void Server::settle(std::uint64_t id) {
+void Server::settle_admin(std::uint64_t id) {
   const auto it = conns_.find(id);
   if (it == conns_.end()) {
     return;
   }
   Conn& conn = *it->second;
   if (conn.state() == ConnState::kClosed) {
-    close_conn(id);
+    close_admin(id);
     return;
   }
   switch (conn.flush_writes()) {
     case IoStatus::kOk:
       want_epollout(conn, false);
       if (conn.state() == ConnState::kClosing) {
-        close_conn(id);
+        close_admin(id);
       }
       break;
     case IoStatus::kWouldBlock:
@@ -536,8 +420,7 @@ void Server::settle(std::uint64_t id) {
       break;
     case IoStatus::kEof:
     case IoStatus::kError:
-      detach_tenant(conn);
-      close_conn(id);
+      close_admin(id);
       break;
   }
 }
@@ -550,32 +433,12 @@ void Server::want_epollout(Conn& conn, bool want) {
   conn.epollout_armed = want;
 }
 
-void Server::detach_tenant(Conn& conn) {
-  if (conn.tenant.empty()) {
-    return;
-  }
-  Tenant* tenant = find_tenant(conn.tenant);
-  conn.tenant.clear();
-  if (tenant == nullptr || tenant->conn_id != conn.id()) {
-    return;
-  }
-  tenant->conn_id = 0;
-  if (tenant->streaming()) {
-    // A partial frame tail left in the session buffer is fine: the next
-    // attach's bytes re-synchronize via the frame markers, and position
-    // dedup makes any replay idempotent.
-    tenant->detach_deadline_ms = clock_ms_ + config_.detach_linger_ms;
-    registry_.counter("net.detaches").add(1);
-  }
-}
-
-void Server::close_conn(std::uint64_t id) {
+void Server::close_admin(std::uint64_t id) {
   const auto it = conns_.find(id);
   if (it == conns_.end()) {
     return;
   }
   Conn& conn = *it->second;
-  detach_tenant(conn);
   poller_.del(conn.fd());
   registry_.counter("net.bytes_in_total").add(conn.bytes_in());
   registry_.counter("net.bytes_out_total").add(conn.bytes_out());
@@ -583,94 +446,20 @@ void Server::close_conn(std::uint64_t id) {
   conns_.erase(it);
 }
 
-void Server::sweep_timers() {
+void Server::sweep_admin_timers() {
   clock_ms_ = now_ms();
-  if (config_.idle_timeout_ms != 0) {
-    std::vector<std::uint64_t> idle;
-    for (const auto& [id, conn] : conns_) {
-      if (clock_ms_ - conn->last_active_ms > config_.idle_timeout_ms) {
-        idle.push_back(id);
-      }
-    }
-    for (const std::uint64_t id : idle) {
-      registry_.counter("net.idle_closed").add(1);
-      close_conn(id);
-    }
+  if (config_.idle_timeout_ms == 0) {
+    return;
   }
-  for (const auto& [name, tenant] : tenants_) {
-    if (!tenant->streaming()) {
-      continue;
-    }
-    if (tenant->conn_id != 0) {
-      // Attached: advance session time so resync grace and backoff fire
-      // even when no bytes arrive, then forward whatever the tick raised.
-      tenant->tick();
-      const auto it = conns_.find(tenant->conn_id);
-      if (it != conns_.end()) {
-        pump_tenant(*it->second, *tenant);
-        settle(tenant->conn_id);
-      }
-    } else if (tenant->detach_deadline_ms != 0 &&
-               clock_ms_ >= tenant->detach_deadline_ms) {
-      tenant->detach_deadline_ms = 0;
-      tenant->finalize();
-      update_meters(*tenant);
-      registry_.counter("net.linger_finalized").add(1);
-    }
-  }
-}
-
-std::size_t Server::write_checkpoints() {
-  if (config_.checkpoint_dir.empty()) {
-    return 0;
-  }
-  std::error_code ec;
-  fs::create_directories(config_.checkpoint_dir, ec);
-  std::size_t written = 0;
-  for (const auto& [name, tenant] : tenants_) {
-    const fs::path final_path =
-        fs::path(config_.checkpoint_dir) / (name + ".ckp");
-    const fs::path tmp_path =
-        fs::path(config_.checkpoint_dir) / (name + ".ckp.tmp");
-    try {
-      {
-        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-        tenant->checkpoint(out);
-        if (!out) {
-          throw SerializationError("checkpoint write failed");
-        }
-      }
-      fs::rename(tmp_path, final_path);
-      ++written;
-    } catch (const Error&) {
-      registry_.counter("net.checkpoint_errors").add(1);
-      fs::remove(tmp_path, ec);
-    }
-  }
-  registry_.counter("net.checkpoints_written").add(written);
-  return written;
-}
-
-void Server::graceful_shutdown() {
-  poller_.del(ingest_->fd());
-  poller_.del(admin_->fd());
-  ingest_->close();
-  admin_->close();
-  // Drain every pipeline so checkpoints capture a settled state; tenants
-  // stay in whatever stream state they reached (a mid-stream tenant is
-  // checkpointed mid-stream — that is the restart-resume contract).
-  for (const auto& [name, tenant] : tenants_) {
-    tenant->monitor().drain();
-    update_meters(*tenant);
-  }
-  write_checkpoints();
-  std::vector<std::uint64_t> ids;
-  ids.reserve(conns_.size());
+  std::vector<std::uint64_t> idle;
   for (const auto& [id, conn] : conns_) {
-    ids.push_back(id);
+    if (clock_ms_ - conn->last_active_ms > config_.idle_timeout_ms) {
+      idle.push_back(id);
+    }
   }
-  for (const std::uint64_t id : ids) {
-    close_conn(id);
+  for (const std::uint64_t id : idle) {
+    registry_.counter("net.idle_closed").add(1);
+    close_admin(id);
   }
 }
 

@@ -1,54 +1,66 @@
-// The serving loop: one epoll reactor multiplexing the ingest plane, the
-// admin plane, and time.
+// The serving daemon: N reactor shards for the ingest plane plus an
+// admin-plane reactor on the run() caller's thread.
 //
-// Single-threaded by design.  The reactor thread owns every connection,
-// every tenant, and the registry; tenant *monitors* fan work out to their
-// own pipeline workers (MonitorConfig::worker_threads), so matching
-// parallelism comes from the monitors, not from the network layer — the
-// classic "reactor + worker pools" split with no locks in the serving
-// path.
+// Each shard (src/net/shard.h) is the PR-5 single-threaded epoll loop —
+// it owns its listener, connections, tenants, and a private metrics
+// registry, so the per-tenant Monitor + SessionClient remain
+// single-threaded and lock-free at any shard count.  Tenants are placed
+// by a stable affinity hash (shard_for); connections accepted by the
+// wrong shard migrate at handshake time, before the ack is sent, so
+// producers never observe the hop.  With shards == 1 the daemon behaves
+// exactly like the original single-reactor server (no SO_REUSEPORT, one
+// loop, same timings).
 //
 // Planes:
 //   ingest (config.port)   — handshake envelope, then raw session frames
 //                            forward and CRC-framed control frames back
 //                            (docs/SERVER.md has the wire grammar).
-//   admin  (config.admin_port) — HTTP/1.0: GET /metrics (Prometheus),
-//                            GET /healthz (JSON), POST /checkpoint.
+//                            Shared by all shards via SO_REUSEPORT.
+//   admin  (config.admin_port) — HTTP/1.0: GET /metrics (Prometheus,
+//                            merged across shards), GET /healthz (JSON,
+//                            aggregated), POST /checkpoint (fans out).
 //
-// Shutdown: request_shutdown() is async-signal-safe (atomic flag + one
-// byte down a self-pipe).  The loop then closes both listeners, drains
-// every tenant pipeline, writes per-tenant checkpoints (when
-// checkpoint_dir is set), closes connections, and returns from run().
-// Tenants are retained after run() returns so embedders and tests can
-// inspect final monitor state.
+// Shutdown: request_shutdown() is async-signal-safe (atomic flags + one
+// byte down each reactor's self-pipe).  Every shard drains its tenant
+// pipelines, writes its checkpoint partition into the shared directory,
+// and closes its connections; the admin loop then joins the shard
+// threads and run() returns.  Tenants are retained after run() so
+// embedders and tests can inspect final monitor state.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "net/conn.h"
 #include "net/listener.h"
 #include "net/poller.h"
-#include "net/protocol.h"
 #include "net/tenant.h"
 #include "obs/metrics.h"
 
 namespace ocep::net {
 
+class Shard;
+
 struct ServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;        ///< ingest plane; 0 = ephemeral
   std::uint16_t admin_port = 0;  ///< admin plane; 0 = ephemeral
+  /// Reactor shards for the ingest plane.  1 (the default) reproduces
+  /// the single-reactor daemon; N > 1 runs N epoll loops on N threads
+  /// behind SO_REUSEPORT listeners with tenant-affinity placement.
+  std::size_t shards = 1;
   /// Monitor / matcher / session configuration stamped onto every tenant.
   TenantConfig tenant;
   /// Directory for OCEPNTC1 tenant checkpoints.  Non-empty enables
   /// checkpoint-on-shutdown, the /checkpoint admin trigger, and
-  /// restore-on-start (every *.ckp found is loaded before serving).
+  /// restore-on-start (every *.ckp found is loaded before serving, each
+  /// shard restoring its affinity partition).
   std::string checkpoint_dir;
   /// Connections silent this long are closed (their tenant detaches).
   std::uint64_t idle_timeout_ms = 30000;
@@ -59,16 +71,21 @@ struct ServerConfig {
   std::uint64_t max_tenant_bytes = 0;
   /// Governance: shed a tenant past this many corrupt frames (0 = off).
   std::uint64_t max_corrupt_frames = 4096;
+  /// Per-shard connection bound (the kernel spreads accepts, so the
+  /// daemon-wide ceiling is about shards * max_connections).
   std::size_t max_connections = 1024;
+  /// Daemon-wide tenant bound, enforced across shards.
   std::size_t max_tenants = 256;
   /// Test/bench tap on every event released into a tenant monitor.
+  /// With shards > 1 it is invoked concurrently from shard threads
+  /// (serially per tenant); the hook must be thread-safe.
   ObserveHook observe_hook;
 };
 
 class Server {
  public:
-  /// Binds both planes and restores any checkpoints; throws NetError when
-  /// a port cannot be bound.
+  /// Binds every shard listener and the admin plane, and restores any
+  /// checkpoints; throws NetError when a port cannot be bound.
   explicit Server(ServerConfig config);
   ~Server();
 
@@ -76,89 +93,88 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Bound ports (resolve ephemeral requests); valid after construction.
+  /// All shards share the ingest port.
   [[nodiscard]] std::uint16_t port() const noexcept;
   [[nodiscard]] std::uint16_t admin_port() const noexcept;
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
 
-  /// Serves until request_shutdown().  Call from exactly one thread.
+  /// Serves until request_shutdown(): spawns one thread per shard and
+  /// runs the admin plane on the calling thread.
   void run();
 
-  /// Async-signal-safe stop: flips the flag and wakes the reactor.
+  /// Async-signal-safe stop: flips every reactor's flag and wakes it.
   void request_shutdown() noexcept;
 
-  /// Post-run inspection (single-threaded: only call after run() returns
-  /// or before it starts).
+  /// Sum of a counter across every shard registry plus the admin-plane
+  /// registry, looked up by canonical key (`name{labels}`).  Thread-safe
+  /// at any time — this is how tests and embedders watch a live server.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view key) const;
+
+  /// Merges every shard registry plus the admin-plane registry into
+  /// `into` (counters add, gauges add, histograms merge bucket-wise).
+  /// Thread-safe at any time; `into` is typically a scratch registry.
+  void merge_metrics(obs::Registry& into) const;
+
+  /// Post-run inspection (only call after run() returns or before it
+  /// starts — tenant state is owned by shard threads while running).
   [[nodiscard]] Tenant* find_tenant(const std::string& name);
-  [[nodiscard]] std::size_t tenant_count() const noexcept {
-    return tenants_.size();
-  }
-  [[nodiscard]] obs::Registry& metrics() noexcept { return registry_; }
+  [[nodiscard]] std::size_t tenant_count() const noexcept;
+  /// Index of the shard holding `name`, or -1 when absent (post-run).
+  [[nodiscard]] int tenant_shard(const std::string& name) const;
 
   /// Writes one checkpoint per tenant into checkpoint_dir (tmp + rename,
   /// so a crash mid-write never leaves a torn file).  Returns the number
-  /// written; 0 when no directory is configured.
+  /// written; 0 when no directory is configured.  Post-run only; while
+  /// running, POST /checkpoint fans the same work out to shard threads.
   std::size_t write_checkpoints();
 
  private:
   static constexpr std::uint64_t kTagWake = 0;
-  static constexpr std::uint64_t kTagIngest = 1;
   static constexpr std::uint64_t kTagAdmin = 2;
   static constexpr std::uint64_t kFirstConnId = 16;
 
   [[nodiscard]] static std::uint64_t now_ms() noexcept;
 
-  void restore_checkpoints();
-  void accept_plane(Listener& listener, ConnKind kind);
-  void on_conn_event(std::uint64_t id, std::uint32_t events);
-  void on_readable(Conn& conn);
-  void advance_handshake(Conn& conn);
-  void handle_handshake(Conn& conn, const HandshakeRequest& request);
-  void reject(Conn& conn, const std::string& message);
-  void on_stream_bytes(Conn& conn);
-  void pump_tenant(Conn& conn, Tenant& tenant);
-  void send_fin(Conn& conn, Tenant& tenant);
+  void run_admin();
+  void accept_admin();
+  void on_admin_event(std::uint64_t id, std::uint32_t events);
   void advance_admin(Conn& conn);
   void respond_http(Conn& conn, int code, const std::string& content_type,
                     std::string body);
+  /// Aggregated /healthz document; empty string when a shard failed to
+  /// answer within the deadline (the caller responds 503).
   [[nodiscard]] std::string healthz_json();
-  void queue_or_close(Conn& conn, std::string bytes);
-  void settle(std::uint64_t id);
+  /// Fans write_checkpoints out to every shard thread and sums; -1 when
+  /// a shard failed to answer within the deadline.
+  [[nodiscard]] long checkpoint_live();
+  [[nodiscard]] std::string metrics_prometheus() const;
+  void settle_admin(std::uint64_t id);
   void want_epollout(Conn& conn, bool want);
-  void close_conn(std::uint64_t id);
-  void detach_tenant(Conn& conn);
-  void sweep_timers();
-  [[nodiscard]] int loop_timeout_ms() const;
-  void graceful_shutdown();
+  void close_admin(std::uint64_t id);
+  void sweep_admin_timers();
 
   ServerConfig config_;
+  std::atomic<std::size_t> tenant_total_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> shard_threads_;
+
   Poller poller_;
-  std::unique_ptr<Listener> ingest_;
   std::unique_ptr<Listener> admin_;
   int wake_read_ = -1;
   int wake_write_ = -1;
   std::atomic<bool> stop_{false};
-  bool running_ = false;
+  std::atomic<bool> running_{false};
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
-  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
   std::uint64_t next_conn_id_ = kFirstConnId;
   std::uint64_t clock_ms_ = 0;
 
+  /// Admin-plane instruments (accepts, scrape counts); shard registries
+  /// hold everything ingest-side.  Merged views come from
+  /// merge_metrics() / counter_value().
   obs::Registry registry_;
-
-  /// Per-tenant registry instruments plus the last snapshot folded into
-  /// them (session counters are cumulative; the registry wants deltas).
-  struct Meters {
-    obs::Counter* bytes = nullptr;
-    obs::Counter* frames = nullptr;
-    obs::Counter* events = nullptr;
-    obs::Counter* corrupt = nullptr;
-    std::uint64_t last_bytes = 0;
-    std::uint64_t last_frames = 0;
-    std::uint64_t last_events = 0;
-    std::uint64_t last_corrupt = 0;
-  };
-  void update_meters(Tenant& tenant);
-  std::map<std::string, Meters> meters_;
 };
 
 }  // namespace ocep::net

@@ -1,0 +1,723 @@
+#include "net/shard.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ocep::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Tenant names become checkpoint filenames and Prometheus label values;
+/// a conservative charset keeps both planes trivially safe.
+bool valid_tenant_name(std::string_view name) {
+  if (name.empty() || name.size() > 128) {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) {
+      return false;
+    }
+  }
+  return name != "." && name != "..";
+}
+
+std::string tenant_label(const std::string& name) {
+  return "tenant=\"" + name + "\"";
+}
+
+}  // namespace
+
+std::size_t shard_for(std::string_view tenant,
+                      std::size_t shard_count) noexcept {
+  if (shard_count <= 1) {
+    return 0;
+  }
+  // FNV-1a, 64-bit: stable across builds and platforms, so restart with a
+  // different shard count repartitions tenants deterministically.
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : tenant) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(hash % shard_count);
+}
+
+Shard::Shard(const ServerConfig& config, std::size_t index,
+             std::size_t shard_count, std::uint16_t ingest_port,
+             bool reuseport, std::atomic<std::size_t>& tenant_total)
+    : config_(config),
+      index_(index),
+      shard_count_(shard_count),
+      tenant_total_(tenant_total) {
+  ingest_ = std::make_unique<Listener>(config_.host, ingest_port, reuseport);
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    throw NetError("pipe2(wake): " + std::string(std::strerror(errno)));
+  }
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  poller_.add(wake_read_, EPOLLIN, kTagWake);
+  poller_.add(ingest_->fd(), EPOLLIN, kTagIngest);
+  clock_ms_ = now_ms();
+  restore_checkpoints();
+}
+
+Shard::~Shard() {
+  if (wake_read_ >= 0) {
+    ::close(wake_read_);
+  }
+  if (wake_write_ >= 0) {
+    ::close(wake_write_);
+  }
+}
+
+std::uint64_t Shard::now_ms() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000U +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000000U;
+}
+
+void Shard::request_stop() noexcept {
+  stop_.store(true, std::memory_order_release);
+  if (wake_write_ >= 0) {
+    const char byte = 'q';
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t rc = ::write(wake_write_, &byte, 1);
+  }
+}
+
+void Shard::post(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mail_mutex_);
+    mail_tasks_.push_back(std::move(task));
+  }
+  mail_pending_.store(true, std::memory_order_release);
+  if (wake_write_ >= 0) {
+    const char byte = 'm';
+    [[maybe_unused]] const ssize_t rc = ::write(wake_write_, &byte, 1);
+  }
+}
+
+void Shard::adopt(ConnHandoff handoff) {
+  {
+    const std::lock_guard<std::mutex> lock(mail_mutex_);
+    mail_handoffs_.push_back(std::move(handoff));
+  }
+  mail_pending_.store(true, std::memory_order_release);
+  if (wake_write_ >= 0) {
+    const char byte = 'a';
+    [[maybe_unused]] const ssize_t rc = ::write(wake_write_, &byte, 1);
+  }
+}
+
+Tenant* Shard::find_tenant(const std::string& name) {
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+void Shard::restore_checkpoints() {
+  if (config_.checkpoint_dir.empty()) {
+    return;
+  }
+  std::error_code ec;
+  if (!fs::is_directory(config_.checkpoint_dir, ec)) {
+    return;
+  }
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(config_.checkpoint_dir, ec)) {
+    if (ec) {
+      break;
+    }
+    if (!entry.is_regular_file() || entry.path().extension() != ".ckp") {
+      continue;
+    }
+    const std::string name = entry.path().stem().string();
+    if (!valid_tenant_name(name) || tenants_.contains(name)) {
+      continue;
+    }
+    // The checkpoint directory is shared across shards; each shard
+    // restores only its affinity partition, so a restart with a
+    // different shard count redistributes tenants without coordination.
+    if (shard_for(name, shard_count_) != index_) {
+      continue;
+    }
+    try {
+      std::ifstream in(entry.path(), std::ios::binary);
+      auto tenant =
+          std::make_unique<Tenant>(name, config_.tenant, config_.observe_hook);
+      tenant->restore(in);
+      // Restored tenants start detached; a producer gets one linger window
+      // to reconnect before the stream is finalized as degraded.
+      tenant->detach_deadline_ms = clock_ms_ + config_.detach_linger_ms;
+      registry_.counter("net.tenants_restored").add(1);
+      tenant_total_.fetch_add(1, std::memory_order_relaxed);
+      tenants_.emplace(name, std::move(tenant));
+    } catch (const Error&) {
+      registry_.counter("net.restore_errors").add(1);
+    }
+  }
+}
+
+void Shard::run() {
+  std::vector<Poller::Event> events;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::size_t n = poller_.wait(events, loop_timeout_ms());
+    clock_ms_ = now_ms();
+    drain_mailbox();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Poller::Event& ev = events[i];
+      switch (ev.tag) {
+        case kTagWake: {
+          char sink[64];
+          while (::read(wake_read_, sink, sizeof(sink)) > 0) {
+          }
+          break;
+        }
+        case kTagIngest:
+          accept_ingest();
+          break;
+        default:
+          on_conn_event(ev.tag, ev.events);
+          break;
+      }
+    }
+    sweep_timers();
+  }
+  graceful_shutdown();
+  // Late mail (an admin scrape racing shutdown, a connection migrating
+  // from a sibling that stopped a beat later) still gets serviced once so
+  // no waiter is abandoned; adopted fds just close.
+  drain_mailbox();
+}
+
+void Shard::drain_mailbox() {
+  if (!mail_pending_.exchange(false, std::memory_order_acquire)) {
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  std::vector<ConnHandoff> handoffs;
+  {
+    const std::lock_guard<std::mutex> lock(mail_mutex_);
+    tasks.swap(mail_tasks_);
+    handoffs.swap(mail_handoffs_);
+  }
+  for (std::function<void()>& task : tasks) {
+    task();
+  }
+  for (ConnHandoff& handoff : handoffs) {
+    adopt_now(std::move(handoff));
+  }
+}
+
+int Shard::loop_timeout_ms() const {
+  bool attached_streaming = false;
+  bool pending_deadline = false;
+  for (const auto& [name, tenant] : tenants_) {
+    if (!tenant->streaming()) {
+      continue;
+    }
+    if (tenant->conn_id != 0) {
+      attached_streaming = true;
+    } else if (tenant->detach_deadline_ms != 0) {
+      pending_deadline = true;
+    }
+  }
+  if (attached_streaming) {
+    return 5;  // drive session ticks (resync grace/backoff are tick-based)
+  }
+  if (pending_deadline || (config_.idle_timeout_ms != 0 && !conns_.empty())) {
+    return 50;
+  }
+  return 500;
+}
+
+void Shard::accept_ingest() {
+  ingest_->accept_ready([this](OwnedFd fd) {
+    if (conns_.size() >= config_.max_connections) {
+      registry_.counter("net.accept_overflow").add(1);
+      return;  // fd closes on scope exit; the peer sees a reset
+    }
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(std::move(fd), id, ConnKind::kIngest);
+    conn->last_active_ms = clock_ms_;
+    poller_.add(conn->fd(), EPOLLIN, id);
+    conns_.emplace(id, std::move(conn));
+    registry_.counter("net.accepted", "plane=\"ingest\"").add(1);
+    registry_.gauge("net.connections").add(1);
+  });
+}
+
+void Shard::adopt_now(ConnHandoff handoff) {
+  if (stop_.load(std::memory_order_acquire) || !handoff.fd.valid()) {
+    return;  // shutting down: the orphaned fd closes, the peer sees a reset
+  }
+  const std::uint64_t id = next_conn_id_++;
+  auto conn =
+      std::make_unique<Conn>(std::move(handoff.fd), id, ConnKind::kIngest);
+  conn->last_active_ms = clock_ms_;
+  conn->seed_inbound(handoff.leftover);
+  // EPOLL_CTL_ADD on an already-readable fd reports the current state as
+  // a fresh edge, so bytes that raced the migration are not lost.
+  poller_.add(conn->fd(), EPOLLIN, id);
+  Conn& ref = *conns_.emplace(id, std::move(conn)).first->second;
+  registry_.counter("net.conns_adopted").add(1);
+  registry_.gauge("net.connections").add(1);
+  handle_handshake(ref, handoff.request);
+  settle(id);
+}
+
+void Shard::migrate(Conn& conn, const HandshakeRequest& request,
+                    std::size_t target) {
+  ConnHandoff handoff;
+  handoff.request = request;
+  handoff.leftover = std::string(conn.pending());
+  // The fd must leave this shard's epoll interest set before the owner
+  // adds it, or both reactors could race on the same readiness edge.
+  poller_.del(conn.fd());
+  handoff.fd = conn.take_fd();  // conn is kClosed now; settle() reaps it
+  registry_.counter("net.conn_migrations").add(1);
+  peers_[target]->adopt(std::move(handoff));
+}
+
+void Shard::on_conn_event(std::uint64_t id, std::uint32_t events) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;  // closed earlier in this batch
+  }
+  Conn& conn = *it->second;
+  conn.last_active_ms = clock_ms_;
+  if ((events & EPOLLIN) != 0 || (events & (EPOLLHUP | EPOLLERR)) != 0) {
+    on_readable(conn);
+  }
+  settle(id);
+}
+
+void Shard::on_readable(Conn& conn) {
+  const IoStatus status = conn.fill();
+  switch (conn.state()) {
+    case ConnState::kHandshake:
+      advance_handshake(conn);
+      break;
+    case ConnState::kStreaming:
+      on_stream_bytes(conn);
+      break;
+    case ConnState::kRequest:
+      conn.set_state(ConnState::kClosed);  // HTTP has no ingest-plane home
+      break;
+    case ConnState::kClosing:
+    case ConnState::kClosed:
+      conn.consume(conn.pending().size());  // discard: peer is done
+      break;
+  }
+  if (status == IoStatus::kEof) {
+    // Half-close is honoured: flush queued control frames (the FIN a
+    // just-finished stream is owed), then close.
+    if (conn.state() == ConnState::kStreaming ||
+        conn.state() == ConnState::kHandshake) {
+      detach_tenant(conn);
+    }
+    if (conn.state() != ConnState::kClosed) {
+      conn.set_state(ConnState::kClosing);
+    }
+  } else if (status == IoStatus::kError) {
+    detach_tenant(conn);
+    conn.set_state(ConnState::kClosed);
+  }
+}
+
+void Shard::advance_handshake(Conn& conn) {
+  std::size_t pos = conn.rpos();
+  HandshakeRequest request;
+  std::string error;
+  const ParseStatus status = parse_handshake(conn.rbuf(), pos, request, error);
+  switch (status) {
+    case ParseStatus::kNeedMore:
+      if (conn.pending().size() > Conn::kMaxPrefaceBytes) {
+        conn.set_state(ConnState::kClosed);  // oversized, untrusted
+      }
+      return;
+    case ParseStatus::kError:
+      registry_.counter("net.handshake_errors").add(1);
+      conn.set_state(ConnState::kClosed);
+      return;
+    case ParseStatus::kDone:
+      break;
+  }
+  conn.consume(pos - conn.rpos());
+  handle_handshake(conn, request);
+}
+
+void Shard::handle_handshake(Conn& conn, const HandshakeRequest& request) {
+  if (!valid_tenant_name(request.tenant)) {
+    reject(conn, "invalid tenant name");
+    return;
+  }
+  const std::size_t owner = shard_for(request.tenant, shard_count_);
+  if (owner != index_ && !peers_.empty()) {
+    migrate(conn, request, owner);
+    return;
+  }
+  Tenant* tenant = find_tenant(request.tenant);
+  HandshakeAck ack;
+  if (tenant == nullptr) {
+    // max_tenants is daemon-wide: claim a slot in the shared count first,
+    // back out on overflow.  Tenants are never erased, so the count only
+    // grows and the claim cannot race a release.
+    const std::size_t prev =
+        tenant_total_.fetch_add(1, std::memory_order_relaxed);
+    if (prev >= config_.max_tenants) {
+      tenant_total_.fetch_sub(1, std::memory_order_relaxed);
+      reject(conn, "tenant limit reached");
+      return;
+    }
+    auto fresh = std::make_unique<Tenant>(request.tenant, config_.tenant,
+                                          config_.observe_hook);
+    try {
+      fresh->register_patterns(request.patterns);
+    } catch (const Error& e) {
+      tenant_total_.fetch_sub(1, std::memory_order_relaxed);
+      reject(conn, std::string("bad pattern: ") + e.what());
+      return;
+    }
+    tenant = fresh.get();
+    tenants_.emplace(request.tenant, std::move(fresh));
+    ack.status = AckStatus::kFresh;
+    ack.resume_position = 0;
+  } else {
+    if (tenant->conn_id != 0) {
+      reject(conn, "tenant already attached");
+      return;
+    }
+    if (tenant->state() == TenantState::kShed) {
+      reject(conn, "tenant was shed: " + tenant->shed_reason());
+      return;
+    }
+    if (tenant->patterns() != request.patterns) {
+      reject(conn, "pattern set does not match the registered tenant");
+      return;
+    }
+    ack.status = AckStatus::kResumed;
+    ack.resume_position = tenant->session().next_position();
+  }
+  tenant->conn_id = conn.id();
+  tenant->detach_deadline_ms = 0;
+  conn.tenant = request.tenant;
+  conn.set_state(ConnState::kStreaming);
+  registry_
+      .counter("net.handshakes", ack.status == AckStatus::kFresh
+                                     ? "status=\"fresh\""
+                                     : "status=\"resumed\"")
+      .add(1);
+  queue_or_close(conn, encode_ack(ack));
+  if (conn.state() == ConnState::kClosed) {
+    return;
+  }
+  if (!tenant->streaming()) {
+    // The stream already ended (a reconnect after completion); answer with
+    // the terminal FIN immediately.
+    send_fin(conn, *tenant);
+    return;
+  }
+  on_stream_bytes(conn);  // bytes pipelined behind the handshake
+}
+
+void Shard::reject(Conn& conn, const std::string& message) {
+  registry_.counter("net.handshakes", "status=\"rejected\"").add(1);
+  HandshakeAck ack;
+  ack.status = AckStatus::kRejected;
+  ack.message = message;
+  queue_or_close(conn, encode_ack(ack));
+  if (conn.state() != ConnState::kClosed) {
+    conn.set_state(ConnState::kClosing);
+  }
+}
+
+void Shard::on_stream_bytes(Conn& conn) {
+  Tenant* tenant = find_tenant(conn.tenant);
+  if (tenant == nullptr) {
+    conn.set_state(ConnState::kClosed);
+    return;
+  }
+  const std::string_view bytes = conn.pending();
+  if (!bytes.empty()) {
+    tenant->feed(bytes);
+    conn.consume(bytes.size());
+  }
+  pump_tenant(conn, *tenant);
+}
+
+void Shard::pump_tenant(Conn& conn, Tenant& tenant) {
+  for (const ResyncRequest& request : tenant.take_resyncs()) {
+    registry_.counter("net.resyncs_forwarded").add(1);
+    queue_or_close(conn, encode_resync_frame(request));
+    if (conn.state() == ConnState::kClosed) {
+      return;
+    }
+  }
+  if (tenant.streaming()) {
+    const bool over_bytes = config_.max_tenant_bytes != 0 &&
+                            tenant.bytes_in() > config_.max_tenant_bytes;
+    const bool over_corrupt =
+        config_.max_corrupt_frames != 0 &&
+        tenant.session().stats().frames_corrupt > config_.max_corrupt_frames;
+    if (over_bytes || over_corrupt) {
+      tenant.shed(over_bytes ? "byte budget exceeded"
+                             : "corrupt-frame budget exceeded");
+      registry_.counter("net.tenants_shed").add(1);
+      update_meters(tenant);
+      send_fin(conn, tenant);
+      return;
+    }
+  }
+  update_meters(tenant);
+  if (tenant.maybe_finish()) {
+    send_fin(conn, tenant);
+  }
+}
+
+void Shard::send_fin(Conn& conn, Tenant& tenant) {
+  const bool degraded = tenant.state() == TenantState::kDegraded ||
+                        tenant.state() == TenantState::kShed;
+  queue_or_close(conn, encode_fin_frame(degraded, tenant.shed_reason()));
+  if (conn.state() != ConnState::kClosed) {
+    conn.set_state(ConnState::kClosing);
+  }
+}
+
+void Shard::update_meters(Tenant& tenant) {
+  Meters& m = meters_[tenant.name()];
+  if (m.bytes == nullptr) {
+    const std::string label = tenant_label(tenant.name());
+    m.bytes = &registry_.counter("net.tenant.bytes", label,
+                                 "stream bytes received");
+    m.frames = &registry_.counter("net.tenant.frames", label,
+                                  "session frames accepted");
+    m.events = &registry_.counter("net.tenant.events", label,
+                                  "events released to the monitor");
+    m.corrupt = &registry_.counter("net.tenant.corrupt_frames", label,
+                                   "frames rejected by CRC/length checks");
+  }
+  const std::uint64_t bytes = tenant.bytes_in();
+  const std::uint64_t frames = tenant.session().frames_ok();
+  const std::uint64_t events = tenant.events_released();
+  const std::uint64_t corrupt = tenant.session().stats().frames_corrupt;
+  m.bytes->add(bytes - m.last_bytes);
+  m.frames->add(frames - m.last_frames);
+  m.events->add(events - m.last_events);
+  m.corrupt->add(corrupt - m.last_corrupt);
+  m.last_bytes = bytes;
+  m.last_frames = frames;
+  m.last_events = events;
+  m.last_corrupt = corrupt;
+}
+
+std::string Shard::healthz_rows() {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [name, tenant] : tenants_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    tenant->monitor().drain();
+    out << "{\"name\":\"" << name << "\",\"shard\":" << index_
+        << ",\"state\":\"" << to_string(tenant->state()) << "\",\"attached\":"
+        << (tenant->conn_id != 0 ? "true" : "false")
+        << ",\"degraded\":" << (tenant->degraded() ? "true" : "false")
+        << ",\"bytes_in\":" << tenant->bytes_in()
+        << ",\"events\":" << tenant->events_released() << ",\"health\":";
+    tenant->monitor().health().to_json(out);
+    out << "}";
+  }
+  return out.str();
+}
+
+void Shard::queue_or_close(Conn& conn, std::string bytes) {
+  if (!conn.queue_write(std::move(bytes))) {
+    // The peer stopped reading long enough to blow the queue bound; it
+    // forfeits the connection (never the tenant).
+    registry_.counter("net.write_overflow").add(1);
+    detach_tenant(conn);
+    conn.set_state(ConnState::kClosed);
+  }
+}
+
+void Shard::settle(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
+  }
+  Conn& conn = *it->second;
+  if (conn.state() == ConnState::kClosed) {
+    close_conn(id);
+    return;
+  }
+  switch (conn.flush_writes()) {
+    case IoStatus::kOk:
+      want_epollout(conn, false);
+      if (conn.state() == ConnState::kClosing) {
+        close_conn(id);
+      }
+      break;
+    case IoStatus::kWouldBlock:
+      want_epollout(conn, true);
+      break;
+    case IoStatus::kEof:
+    case IoStatus::kError:
+      detach_tenant(conn);
+      close_conn(id);
+      break;
+  }
+}
+
+void Shard::want_epollout(Conn& conn, bool want) {
+  if (want == conn.epollout_armed) {
+    return;
+  }
+  poller_.mod(conn.fd(), want ? (EPOLLIN | EPOLLOUT) : EPOLLIN, conn.id());
+  conn.epollout_armed = want;
+}
+
+void Shard::detach_tenant(Conn& conn) {
+  if (conn.tenant.empty()) {
+    return;
+  }
+  Tenant* tenant = find_tenant(conn.tenant);
+  conn.tenant.clear();
+  if (tenant == nullptr || tenant->conn_id != conn.id()) {
+    return;
+  }
+  tenant->conn_id = 0;
+  if (tenant->streaming()) {
+    // A partial frame tail left in the session buffer is fine: the next
+    // attach's bytes re-synchronize via the frame markers, and position
+    // dedup makes any replay idempotent.
+    tenant->detach_deadline_ms = clock_ms_ + config_.detach_linger_ms;
+    registry_.counter("net.detaches").add(1);
+  }
+}
+
+void Shard::close_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
+  }
+  Conn& conn = *it->second;
+  detach_tenant(conn);
+  if (conn.fd() >= 0) {
+    // A migrated-away conn already left the interest set with its fd.
+    poller_.del(conn.fd());
+  }
+  registry_.counter("net.bytes_in_total").add(conn.bytes_in());
+  registry_.counter("net.bytes_out_total").add(conn.bytes_out());
+  registry_.gauge("net.connections").add(-1);
+  conns_.erase(it);
+}
+
+void Shard::sweep_timers() {
+  clock_ms_ = now_ms();
+  if (config_.idle_timeout_ms != 0) {
+    std::vector<std::uint64_t> idle;
+    for (const auto& [id, conn] : conns_) {
+      if (clock_ms_ - conn->last_active_ms > config_.idle_timeout_ms) {
+        idle.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : idle) {
+      registry_.counter("net.idle_closed").add(1);
+      close_conn(id);
+    }
+  }
+  for (const auto& [name, tenant] : tenants_) {
+    if (!tenant->streaming()) {
+      continue;
+    }
+    if (tenant->conn_id != 0) {
+      // Attached: advance session time so resync grace and backoff fire
+      // even when no bytes arrive, then forward whatever the tick raised.
+      tenant->tick();
+      const auto it = conns_.find(tenant->conn_id);
+      if (it != conns_.end()) {
+        pump_tenant(*it->second, *tenant);
+        settle(tenant->conn_id);
+      }
+    } else if (tenant->detach_deadline_ms != 0 &&
+               clock_ms_ >= tenant->detach_deadline_ms) {
+      tenant->detach_deadline_ms = 0;
+      tenant->finalize();
+      update_meters(*tenant);
+      registry_.counter("net.linger_finalized").add(1);
+    }
+  }
+}
+
+std::size_t Shard::write_checkpoints() {
+  if (config_.checkpoint_dir.empty()) {
+    return 0;
+  }
+  std::error_code ec;
+  fs::create_directories(config_.checkpoint_dir, ec);
+  std::size_t written = 0;
+  for (const auto& [name, tenant] : tenants_) {
+    const fs::path final_path =
+        fs::path(config_.checkpoint_dir) / (name + ".ckp");
+    const fs::path tmp_path =
+        fs::path(config_.checkpoint_dir) / (name + ".ckp.tmp");
+    try {
+      {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        tenant->checkpoint(out);
+        if (!out) {
+          throw SerializationError("checkpoint write failed");
+        }
+      }
+      fs::rename(tmp_path, final_path);
+      ++written;
+    } catch (const Error&) {
+      registry_.counter("net.checkpoint_errors").add(1);
+      fs::remove(tmp_path, ec);
+    }
+  }
+  registry_.counter("net.checkpoints_written").add(written);
+  return written;
+}
+
+void Shard::graceful_shutdown() {
+  poller_.del(ingest_->fd());
+  ingest_->close();
+  // Drain every pipeline so checkpoints capture a settled state; tenants
+  // stay in whatever stream state they reached (a mid-stream tenant is
+  // checkpointed mid-stream — that is the restart-resume contract).
+  for (const auto& [name, tenant] : tenants_) {
+    tenant->monitor().drain();
+    update_meters(*tenant);
+  }
+  // The checkpoint directory is shared, but tenant name sets are disjoint
+  // by affinity, so concurrent shard shutdowns never collide on a file.
+  write_checkpoints();
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) {
+    ids.push_back(id);
+  }
+  for (const std::uint64_t id : ids) {
+    close_conn(id);
+  }
+}
+
+}  // namespace ocep::net

@@ -1,0 +1,188 @@
+// One reactor shard: the single-threaded epoll loop that owns a slice of
+// the ingest plane — its own listener, connections, tenants, and metrics
+// registry — so every tenant's Monitor + SessionClient stays
+// single-threaded and lock-free no matter how many shards the daemon
+// runs.
+//
+// Tenant affinity.  A tenant lives on shard `shard_for(name, N)` — a
+// stable FNV-1a hash of its name — so a reconnecting producer always
+// lands back on the shard that holds its session state, and a restart
+// with a different shard count repartitions deterministically.  All
+// shards listen on the same port via SO_REUSEPORT; the kernel picks an
+// arbitrary shard per connect, and a shard that accepts a handshake for
+// a tenant it does not own migrates the connection (fd + any bytes
+// buffered past the handshake) to the owner before the ack is sent, so
+// the producer never observes the hop.
+//
+// Cross-thread traffic reaches a shard only through its mailbox: post()
+// runs a closure on the shard thread (the admin plane uses this for
+// /healthz and /checkpoint), adopt() delivers a migrating connection.
+// Both wake the reactor via its self-pipe; the shard drains the mailbox
+// once per loop iteration.  Everything else — conns_, tenants_, the
+// session state machines — is touched exclusively by the shard thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/conn.h"
+#include "net/listener.h"
+#include "net/poller.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/tenant.h"
+#include "obs/metrics.h"
+
+namespace ocep::net {
+
+/// Stable tenant → shard affinity: FNV-1a (64-bit) of the name, mod the
+/// shard count.  Deterministic across processes and restarts, so
+/// checkpoint restore and producer reconnects agree on placement.
+[[nodiscard]] std::size_t shard_for(std::string_view tenant,
+                                    std::size_t shard_count) noexcept;
+
+/// A connection mid-migration between shards: the socket, the parsed
+/// handshake that revealed the tenant's affinity, and whatever the
+/// source shard had buffered past the handshake envelope.
+struct ConnHandoff {
+  OwnedFd fd;
+  HandshakeRequest request;
+  std::string leftover;
+};
+
+class Shard {
+ public:
+  /// Binds this shard's ingest listener (SO_REUSEPORT when the daemon
+  /// runs more than one shard) and restores the checkpoint partition
+  /// owned by `index` from the shared directory.  `tenant_total` is the
+  /// daemon-wide tenant count the max_tenants limit is enforced against.
+  Shard(const ServerConfig& config, std::size_t index,
+        std::size_t shard_count, std::uint16_t ingest_port, bool reuseport,
+        std::atomic<std::size_t>& tenant_total);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return ingest_->port();
+  }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+  /// Sibling shards for connection migration, indexed by shard number
+  /// (peers[index()] == this).  Set once before run().
+  void set_peers(std::vector<Shard*> peers) { peers_ = std::move(peers); }
+
+  /// Serves until request_stop(); call from exactly one thread.
+  void run();
+
+  /// Async-signal-safe stop: flips the flag and wakes the reactor.
+  void request_stop() noexcept;
+
+  /// Runs `task` on the shard thread at the next loop iteration.  Tasks
+  /// posted after the shard stopped still run (once, during the final
+  /// mailbox drain) so waiters are never abandoned.
+  void post(std::function<void()> task);
+
+  /// Delivers a migrating connection; called from a sibling shard.
+  void adopt(ConnHandoff handoff);
+
+  /// Shard-local registry.  Reads are thread-safe any time (instruments
+  /// are atomics); the admin plane merges all shard registries per
+  /// scrape.
+  [[nodiscard]] const obs::Registry& metrics() const noexcept {
+    return registry_;
+  }
+
+  // --- shard-thread or post-run access only -------------------------
+  [[nodiscard]] Tenant* find_tenant(const std::string& name);
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return tenants_.size();
+  }
+  [[nodiscard]] std::size_t connection_count() const noexcept {
+    return conns_.size();
+  }
+  /// One checkpoint per tenant into the shared directory (tmp + rename).
+  std::size_t write_checkpoints();
+  /// This shard's tenants as comma-joined /healthz JSON objects.
+  [[nodiscard]] std::string healthz_rows();
+
+ private:
+  static constexpr std::uint64_t kTagWake = 0;
+  static constexpr std::uint64_t kTagIngest = 1;
+  static constexpr std::uint64_t kFirstConnId = 16;
+
+  [[nodiscard]] static std::uint64_t now_ms() noexcept;
+
+  void restore_checkpoints();
+  void accept_ingest();
+  void drain_mailbox();
+  void adopt_now(ConnHandoff handoff);
+  void migrate(Conn& conn, const HandshakeRequest& request,
+               std::size_t target);
+  void on_conn_event(std::uint64_t id, std::uint32_t events);
+  void on_readable(Conn& conn);
+  void advance_handshake(Conn& conn);
+  void handle_handshake(Conn& conn, const HandshakeRequest& request);
+  void reject(Conn& conn, const std::string& message);
+  void on_stream_bytes(Conn& conn);
+  void pump_tenant(Conn& conn, Tenant& tenant);
+  void send_fin(Conn& conn, Tenant& tenant);
+  void queue_or_close(Conn& conn, std::string bytes);
+  void settle(std::uint64_t id);
+  void want_epollout(Conn& conn, bool want);
+  void close_conn(std::uint64_t id);
+  void detach_tenant(Conn& conn);
+  void sweep_timers();
+  [[nodiscard]] int loop_timeout_ms() const;
+  void graceful_shutdown();
+
+  const ServerConfig& config_;
+  std::size_t index_;
+  std::size_t shard_count_;
+  std::atomic<std::size_t>& tenant_total_;
+  std::vector<Shard*> peers_;
+
+  Poller poller_;
+  std::unique_ptr<Listener> ingest_;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::atomic<bool> stop_{false};
+
+  std::mutex mail_mutex_;
+  std::atomic<bool> mail_pending_{false};
+  std::vector<std::function<void()>> mail_tasks_;
+  std::vector<ConnHandoff> mail_handoffs_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::uint64_t next_conn_id_ = kFirstConnId;
+  std::uint64_t clock_ms_ = 0;
+
+  obs::Registry registry_;
+
+  /// Per-tenant registry instruments plus the last snapshot folded into
+  /// them (session counters are cumulative; the registry wants deltas).
+  struct Meters {
+    obs::Counter* bytes = nullptr;
+    obs::Counter* frames = nullptr;
+    obs::Counter* events = nullptr;
+    obs::Counter* corrupt = nullptr;
+    std::uint64_t last_bytes = 0;
+    std::uint64_t last_frames = 0;
+    std::uint64_t last_events = 0;
+    std::uint64_t last_corrupt = 0;
+  };
+  void update_meters(Tenant& tenant);
+  std::map<std::string, Meters> meters_;
+};
+
+}  // namespace ocep::net

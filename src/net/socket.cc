@@ -89,7 +89,7 @@ void set_nodelay(int fd) {
 }
 
 OwnedFd tcp_listen(const std::string& host, std::uint16_t& port,
-                   int backlog) {
+                   int backlog, bool reuseport) {
   OwnedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) {
     throw_errno("socket");
@@ -98,6 +98,11 @@ OwnedFd tcp_listen(const std::string& host, std::uint16_t& port,
   if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
       0) {
     throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (reuseport &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+          0) {
+    throw_errno("setsockopt(SO_REUSEPORT)");
   }
   sockaddr_in addr = make_addr(host, port);
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),

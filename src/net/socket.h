@@ -91,8 +91,11 @@ void set_nodelay(int fd);
 
 /// Binds and listens on host:port.  port 0 picks an ephemeral port; the
 /// chosen one is written back.  The returned socket is non-blocking.
+/// With `reuseport` set, SO_REUSEPORT is enabled before bind so several
+/// listeners (one per reactor shard) can share the port and let the
+/// kernel spread incoming connections across them.
 [[nodiscard]] OwnedFd tcp_listen(const std::string& host, std::uint16_t& port,
-                                 int backlog = 128);
+                                 int backlog = 128, bool reuseport = false);
 
 /// Blocking connect; the returned socket stays blocking (the connector
 /// uses poll-bounded I/O on it).  Throws NetError on failure.

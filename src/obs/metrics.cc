@@ -52,6 +52,29 @@ void Histogram::record(std::uint64_t value) noexcept {
   }
 }
 
+void Histogram::merge_from(const Histogram& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) {
+      buckets_[b].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const std::uint64_t other_min = other.min_.load(std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (other_min < seen && !min_.compare_exchange_weak(
+                                 seen, other_min, std::memory_order_relaxed)) {
+  }
+  const std::uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+  seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen && !max_.compare_exchange_weak(
+                                 seen, other_max, std::memory_order_relaxed)) {
+  }
+}
+
 std::uint64_t Histogram::min() const noexcept {
   const std::uint64_t v = min_.load(std::memory_order_relaxed);
   return v == ~0ULL ? 0 : v;
@@ -182,6 +205,46 @@ Gauge& Registry::gauge(std::string_view name, std::string_view labels,
 Histogram& Registry::histogram(std::string_view name, std::string_view labels,
                                std::string_view help) {
   return *find_or_create(Kind::kHistogram, name, labels, help).histogram;
+}
+
+void Registry::merge_from(const Registry& other) {
+  OCEP_ASSERT_MSG(this != &other, "registry merged into itself");
+  // Snapshot the directory under the source's mutex, then release it:
+  // instrument addresses are stable for the registry's lifetime, so the
+  // actual value reads (relaxed atomics) need no lock.  Never holding
+  // both mutexes also makes cross-merges deadlock-free.
+  struct Item {
+    Kind kind;
+    std::string name;
+    std::string labels;
+    std::string help;
+    const Counter* counter;
+    const Gauge* gauge;
+    const Histogram* histogram;
+  };
+  std::vector<Item> items;
+  {
+    const std::lock_guard<std::mutex> lock(other.mutex_);
+    items.reserve(other.entries_.size());
+    for (const auto& [key, entry] : other.entries_) {
+      items.push_back({entry.kind, entry.name, entry.labels, entry.help,
+                       entry.counter, entry.gauge, entry.histogram});
+    }
+  }
+  for (const Item& item : items) {
+    switch (item.kind) {
+      case Kind::kCounter:
+        counter(item.name, item.labels, item.help).add(item.counter->value());
+        break;
+      case Kind::kGauge:
+        gauge(item.name, item.labels, item.help).add(item.gauge->value());
+        break;
+      case Kind::kHistogram:
+        histogram(item.name, item.labels, item.help)
+            .merge_from(*item.histogram);
+        break;
+    }
+  }
 }
 
 std::uint64_t Registry::counter_value(std::string_view key) const {

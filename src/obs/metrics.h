@@ -105,6 +105,13 @@ class Histogram {
 
   [[nodiscard]] HistogramSnapshot snapshot() const;
 
+  /// Folds another histogram's samples into this one, bucket by bucket
+  /// (relaxed atomic reads of `other`, so merging while writers are
+  /// recording yields a consistent-enough point-in-time view).  Quantiles
+  /// of the merge are exact at the bucket resolution — the same <= 25%
+  /// relative error as recording directly.
+  void merge_from(const Histogram& other) noexcept;
+
   /// Bucket arithmetic, exposed for tests.
   [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) noexcept;
   [[nodiscard]] static std::uint64_t bucket_lo(std::size_t bucket) noexcept;
@@ -134,6 +141,15 @@ class Registry {
                std::string_view help = {});
   Histogram& histogram(std::string_view name, std::string_view labels = {},
                        std::string_view help = {});
+
+  /// Folds every instrument of `other` into this registry: counters and
+  /// gauges add their current value, histograms merge bucket-wise.
+  /// Instruments missing here are created.  Safe while writers are still
+  /// recording into `other` (values are read relaxed); the two registries
+  /// must be distinct objects.  The shard → admin-plane aggregation path:
+  /// each reactor shard owns a private registry and the admin plane merges
+  /// them into a scratch registry per scrape.
+  void merge_from(const Registry& other);
 
   /// Value of the counter with the exact canonical key (`name{labels}`),
   /// or 0 when absent.

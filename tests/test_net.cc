@@ -12,6 +12,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -23,6 +24,7 @@
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "net/shard.h"
 #include "poet/dump.h"
 #include "testing/chaos_harness.h"
 
@@ -57,6 +59,20 @@ std::vector<std::string> golden_clean() {
   return testing::clean_matches(store, pool, golden_pattern());
 }
 
+/// Default server config honouring OCEP_TEST_SHARDS, so CI can run the
+/// whole suite against a single-reactor and a 4-shard daemon without
+/// duplicating every test.
+net::ServerConfig base_config() {
+  net::ServerConfig config;
+  if (const char* env = std::getenv("OCEP_TEST_SHARDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      config.shards = static_cast<std::size_t>(n);
+    }
+  }
+  return config;
+}
+
 /// Runs a Server on its own thread; stop() is idempotent and joins.
 class ServerThread {
  public:
@@ -83,7 +99,7 @@ class ServerThread {
 bool wait_counter(net::Server& server, const std::string& key,
                   std::uint64_t at_least) {
   for (int i = 0; i < 500; ++i) {
-    if (server.metrics().counter_value(key) >= at_least) {
+    if (server.counter_value(key) >= at_least) {
       return true;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -179,7 +195,7 @@ TEST(NetProtocol, ReverseFramesRoundTrip) {
 }
 
 TEST(NetServe, SingleClientMatchesGolden) {
-  ServerThread st(net::ServerConfig{});
+  ServerThread st(base_config());
   const net::StreamResult result =
       stream_golden(st.server.port(), "solo");
   ASSERT_EQ(result.ack.status, net::AckStatus::kFresh);
@@ -198,7 +214,7 @@ TEST(NetServe, SingleClientMatchesGolden) {
 // the clean-channel reference.  Runs under TSan in CI (-R MultiClient).
 TEST(NetServe, MultiClientConcurrentGoldenEquivalence) {
   constexpr int kClients = 8;
-  net::ServerConfig config;
+  net::ServerConfig config = base_config();
   config.tenant.monitor.worker_threads = 2;  // parallel pipeline per tenant
   ServerThread st(std::move(config));
   const std::uint16_t port = st.server.port();
@@ -231,7 +247,7 @@ TEST(NetServe, MultiClientConcurrentGoldenEquivalence) {
 }
 
 TEST(NetServe, ByteAtATimeTrickleReassembles) {
-  ServerThread st(net::ServerConfig{});
+  ServerThread st(base_config());
   net::StreamOptions options;
   options.session.max_frame_payload = 1U << 12U;
   const std::uint16_t port = st.server.port();
@@ -259,7 +275,7 @@ TEST(NetServe, ByteAtATimeTrickleReassembles) {
 // through the session's degradation machinery — monitor retained and
 // reporting, never leaked, never wedging the server.
 TEST(NetServe, MidFrameDisconnectFinalizesDegraded) {
-  net::ServerConfig config;
+  net::ServerConfig config = base_config();
   config.detach_linger_ms = 100;
   ServerThread st(std::move(config));
   const std::uint16_t port = st.server.port();
@@ -322,7 +338,7 @@ TEST(NetServe, MidFrameDisconnectFinalizesDegraded) {
 // the server-side session requests a resync over the reverse channel and
 // the snapshot frames refill the hole over TCP.
 TEST(NetServe, KillAndReconnectResumesViaSnapshotResync) {
-  net::ServerConfig config;
+  net::ServerConfig config = base_config();
   config.detach_linger_ms = 10000;  // survive the reconnect window
   ServerThread st(std::move(config));
   const std::uint16_t port = st.server.port();
@@ -364,7 +380,7 @@ TEST(NetServe, CheckpointOnShutdownThenRestartResumesByteIdentical) {
   constexpr std::uint64_t kHalf = 171;
 
   std::atomic<std::uint64_t> released{0};
-  net::ServerConfig config;
+  net::ServerConfig config = base_config();
   config.checkpoint_dir = dir;
   config.detach_linger_ms = 10000;
   config.observe_hook = [&released](std::string_view, std::uint64_t) {
@@ -402,7 +418,7 @@ TEST(NetServe, CheckpointOnShutdownThenRestartResumesByteIdentical) {
 
   // Restart against the same checkpoint directory and finish the stream
   // from the watermark on.
-  net::ServerConfig config2;
+  net::ServerConfig config2 = base_config();
   config2.checkpoint_dir = dir;
   config2.detach_linger_ms = 10000;
   ServerThread st2(std::move(config2));
@@ -424,7 +440,7 @@ TEST(NetServe, CheckpointOnShutdownThenRestartResumesByteIdentical) {
   EXPECT_EQ(testing::match_signature(resumed->monitor(), 0), golden_clean());
 
   // Byte-identity of the matching state against an uninterrupted run.
-  ServerThread st3(net::ServerConfig{});
+  ServerThread st3(base_config());
   const net::StreamResult uninterrupted =
       stream_golden(st3.server.port(), "durable");
   ASSERT_TRUE(uninterrupted.fin_received);
@@ -442,7 +458,7 @@ TEST(NetServe, CheckpointOnShutdownThenRestartResumesByteIdentical) {
 }
 
 TEST(NetServe, ByteBudgetShedsTenantAndRejectsReattach) {
-  net::ServerConfig config;
+  net::ServerConfig config = base_config();
   config.max_tenant_bytes = 2048;
   ServerThread st(std::move(config));
   const std::uint16_t port = st.server.port();
@@ -478,7 +494,7 @@ TEST(NetServe, ByteBudgetShedsTenantAndRejectsReattach) {
 }
 
 TEST(NetServe, AdminPlaneServesMetricsAndHealth) {
-  ServerThread st(net::ServerConfig{});
+  ServerThread st(base_config());
   const net::StreamResult result = stream_golden(st.server.port(), "adm");
   ASSERT_TRUE(result.fin_received);
 
@@ -515,6 +531,171 @@ TEST(NetServe, AdminPlaneServesMetricsAndHealth) {
   const std::string missing = http_get("/nope");
   EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
   st.stop();
+}
+
+// The sharded acceptance bar: 8 concurrent clients against a 4-shard
+// daemon, every tenant equal to the clean-channel reference and placed on
+// its affinity shard.  Runs under TSan in CI (-R MultiClient).
+TEST(NetShard, MultiClientShardedGoldenEquivalence) {
+  constexpr int kClients = 8;
+  constexpr std::size_t kShards = 4;
+  net::ServerConfig config;
+  config.shards = kShards;
+  config.tenant.monitor.worker_threads = 2;  // parallel pipeline per tenant
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  std::vector<std::thread> producers;
+  std::vector<net::StreamResult> results(kClients);
+  producers.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    producers.emplace_back([&results, port, i] {
+      results[static_cast<std::size_t>(i)] =
+          stream_golden(port, "s" + std::to_string(i));
+    });
+  }
+  for (std::thread& t : producers) {
+    t.join();
+  }
+  st.stop();
+
+  const std::vector<std::string> clean = golden_clean();
+  for (int i = 0; i < kClients; ++i) {
+    const std::string name = "s" + std::to_string(i);
+    SCOPED_TRACE("tenant " + name);
+    const net::StreamResult& result = results[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(result.fin_received);
+    EXPECT_FALSE(result.fin.degraded);
+    net::Tenant* tenant = st.server.find_tenant(name);
+    ASSERT_NE(tenant, nullptr);
+    EXPECT_EQ(tenant->state(), net::TenantState::kComplete);
+    EXPECT_EQ(testing::match_signature(tenant->monitor(), 0), clean);
+    EXPECT_EQ(st.server.tenant_shard(name),
+              static_cast<int>(net::shard_for(name, kShards)));
+  }
+}
+
+// With SO_REUSEPORT the kernel picks an arbitrary shard per connect, so
+// across 24 tenants some handshakes must land on a non-owning shard and
+// migrate (P(all 24 land on their owner) = 4^-24).  Every tenant must
+// end up on its affinity shard regardless of where it connected.
+TEST(NetShard, HandshakeMigratesTenantsToOwningShard) {
+  constexpr int kTenants = 24;
+  constexpr std::size_t kShards = 4;
+  net::ServerConfig config;
+  config.shards = kShards;
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  for (int i = 0; i < kTenants; ++i) {
+    const net::StreamResult result =
+        stream_golden(port, "mig" + std::to_string(i));
+    ASSERT_TRUE(result.fin_received) << "tenant mig" << i;
+    EXPECT_FALSE(result.fin.degraded);
+  }
+  EXPECT_GE(st.server.counter_value("net.conn_migrations"), 1U);
+  st.stop();
+
+  for (int i = 0; i < kTenants; ++i) {
+    const std::string name = "mig" + std::to_string(i);
+    SCOPED_TRACE("tenant " + name);
+    net::Tenant* tenant = st.server.find_tenant(name);
+    ASSERT_NE(tenant, nullptr);
+    EXPECT_EQ(tenant->state(), net::TenantState::kComplete);
+    EXPECT_EQ(st.server.tenant_shard(name),
+              static_cast<int>(net::shard_for(name, kShards)));
+  }
+}
+
+// Shard-affinity resume across a repartition: kill the producer
+// mid-stream, SIGTERM a 3-shard daemon (checkpointing into the shared
+// directory), restart with 2 shards, and the tenant must restore on its
+// new affinity shard and finish byte-identical to an uninterrupted run.
+TEST(NetShard, RestartWithDifferentShardCountResumesByteIdentical) {
+  const std::string dir =
+      ::testing::TempDir() + "ocep_net_reshard_" + std::to_string(::getpid());
+  constexpr std::uint64_t kHalf = 171;
+  const std::string name = "resharded";
+
+  std::atomic<std::uint64_t> released{0};
+  net::ServerConfig config;
+  config.shards = 3;
+  config.checkpoint_dir = dir;
+  config.detach_linger_ms = 10000;
+  config.observe_hook = [&released](std::string_view, std::uint64_t) {
+    released.fetch_add(1, std::memory_order_relaxed);
+  };
+  auto st = std::make_unique<ServerThread>(std::move(config));
+  const std::uint16_t port1 = st->server.port();
+
+  StringPool pool;
+  const EventStore store = golden_store(pool);
+  net::ConnectorConfig cc;
+  cc.port = port1;
+  cc.tenant = name;
+  cc.patterns = {golden_pattern()};
+  {
+    net::Connector connector(cc);
+    ASSERT_EQ(connector.ack().status, net::AckStatus::kFresh);
+    std::vector<Symbol> names;
+    for (TraceId t = 0; t < store.trace_count(); ++t) {
+      names.push_back(store.trace_name(t));
+    }
+    SessionServer session(connector, pool, names);
+    for (std::uint64_t pos = 0; pos < kHalf; ++pos) {
+      const EventId id = store.arrival(pos);
+      session.write(store.event(id), store.clock(id));
+    }
+    for (int i = 0; i < 500 && released.load() < kHalf; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(released.load(), kHalf);
+    st->stop();  // graceful shutdown: drains + checkpoints mid-stream
+  }
+  EXPECT_EQ(st->server.tenant_shard(name),
+            static_cast<int>(net::shard_for(name, 3)));
+
+  // Restart against the same checkpoint directory with a different shard
+  // count; the tenant must restore on its new owner and resume exactly.
+  net::ServerConfig config2;
+  config2.shards = 2;
+  config2.checkpoint_dir = dir;
+  config2.detach_linger_ms = 10000;
+  ServerThread st2(std::move(config2));
+  net::StreamOptions rest;
+  rest.skip_below = kHalf;
+  const net::StreamResult second =
+      stream_golden(st2.server.port(), name, rest);
+  ASSERT_EQ(second.ack.status, net::AckStatus::kResumed) << second.ack.message;
+  ASSERT_EQ(second.ack.resume_position, kHalf);
+  ASSERT_TRUE(second.fin_received);
+  EXPECT_FALSE(second.fin.degraded);
+  st2.stop();
+
+  EXPECT_EQ(st2.server.tenant_shard(name),
+            static_cast<int>(net::shard_for(name, 2)));
+  net::Tenant* resumed = st2.server.find_tenant(name);
+  ASSERT_NE(resumed, nullptr);
+  EXPECT_EQ(resumed->state(), net::TenantState::kComplete);
+  EXPECT_EQ(resumed->monitor().events_seen(), 342U);
+  EXPECT_EQ(testing::match_signature(resumed->monitor(), 0), golden_clean());
+
+  // Byte-identity of the matching state against an uninterrupted run.
+  ServerThread st3(base_config());
+  const net::StreamResult uninterrupted =
+      stream_golden(st3.server.port(), name);
+  ASSERT_TRUE(uninterrupted.fin_received);
+  st3.stop();
+  net::Tenant* reference = st3.server.find_tenant(name);
+  ASSERT_NE(reference, nullptr);
+
+  std::stringstream resumed_ckp;
+  resumed->checkpoint(resumed_ckp);
+  std::stringstream reference_ckp;
+  reference->checkpoint(reference_ckp);
+  const net::TenantCheckpoint a = net::read_tenant_checkpoint(resumed_ckp);
+  const net::TenantCheckpoint b = net::read_tenant_checkpoint(reference_ckp);
+  EXPECT_EQ(a.monitor_blob, b.monitor_blob);
 }
 
 // Satellite regression for common/fd_stream.h: a short-write/EAGAIN storm

@@ -165,6 +165,59 @@ TEST(Registry, ExportFormats) {
             std::string::npos);
 }
 
+TEST(Histogram, MergePreservesDistributionAndExtremes) {
+  Histogram a;
+  Histogram b;
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    a.record(v);
+  }
+  b.record(3);
+  b.record(100000);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 10U);
+  EXPECT_EQ(a.sum(), 28U + 3U + 100000U);
+  EXPECT_EQ(a.min(), 0U);
+  EXPECT_EQ(a.max(), 100000U);
+  // Exact buckets stay exact through a merge: two 3s out of ten samples.
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 0.0);
+  EXPECT_NEAR(a.quantile(0.35), 3.0, 0.001);
+  // Merging an empty histogram changes nothing (min untouched by ~0).
+  const Histogram empty;
+  a.merge_from(empty);
+  EXPECT_EQ(a.count(), 10U);
+  EXPECT_EQ(a.min(), 0U);
+  EXPECT_EQ(a.max(), 100000U);
+}
+
+// The shard → admin-plane aggregation path: per-shard registries merge
+// into a scratch per scrape.  Counters and gauges add; histograms fold
+// bucket-wise; instruments missing in the target are created.
+TEST(Registry, MergeAggregatesAcrossRegistries) {
+  Registry shard0;
+  Registry shard1;
+  shard0.counter("net.accepted", "plane=\"ingest\"").add(3);
+  shard1.counter("net.accepted", "plane=\"ingest\"").add(4);
+  shard1.counter("net.conn_migrations").add(1);  // only shard 1 has it
+  shard0.gauge("net.connections").add(2);
+  shard1.gauge("net.connections").add(1);
+  shard0.histogram("serve.latency_us").record(10);
+  shard1.histogram("serve.latency_us").record(1000);
+
+  Registry merged;
+  merged.merge_from(shard0);
+  merged.merge_from(shard1);
+  EXPECT_EQ(merged.counter_value("net.accepted{plane=\"ingest\"}"), 7U);
+  EXPECT_EQ(merged.counter_value("net.conn_migrations"), 1U);
+  const std::string text = merged.to_text();
+  EXPECT_NE(text.find("net.connections = 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("serve.latency_us count=2 sum=1010"),
+            std::string::npos)
+      << text;
+  // Sources are untouched by the merge.
+  EXPECT_EQ(shard0.counter_value("net.accepted{plane=\"ingest\"}"), 3U);
+  EXPECT_EQ(shard1.counter_value("net.conn_migrations"), 1U);
+}
+
 TEST(RegistryDeathTest, KindMismatchAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   Registry registry;

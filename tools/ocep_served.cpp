@@ -1,6 +1,6 @@
 // ocep_served — run the monitor as a network daemon (docs/SERVER.md).
 //
-//   ocep_served [--host H] [--port P] [--admin-port P]
+//   ocep_served [--host H] [--port P] [--admin-port P] [--shards N]
 //               [--workers N] [--batch N] [--metrics]
 //               [--checkpoint-dir DIR] [--idle-timeout-ms N]
 //               [--linger-ms N] [--max-tenant-bytes N]
@@ -11,12 +11,15 @@
 //
 // The ingest plane accepts handshaking producers (ocep_record --serve,
 // ocep_chaos --serve) and multiplexes their session streams into
-// per-tenant monitors; the admin plane answers GET /metrics (Prometheus),
-// GET /healthz (JSON), and POST /checkpoint.  SIGINT/SIGTERM shut down
-// gracefully: every tenant pipeline is drained and checkpointed (when
-// --checkpoint-dir is set), so a restarted daemon with the same directory
-// resumes mid-stream tenants exactly.  Both ports are printed on stdout
-// at startup (pass 0 for ephemeral — handy under test harnesses).
+// per-tenant monitors; with --shards N it runs N reactor threads behind
+// SO_REUSEPORT listeners with tenant-affinity placement (docs/SERVER.md).
+// The admin plane answers GET /metrics (Prometheus, merged across
+// shards), GET /healthz (JSON), and POST /checkpoint.  SIGINT/SIGTERM
+// shut down gracefully: every tenant pipeline is drained and
+// checkpointed (when --checkpoint-dir is set), so a restarted daemon
+// with the same directory resumes mid-stream tenants exactly — even when
+// restarted with a different shard count.  Both ports are printed on
+// stdout at startup (pass 0 for ephemeral — handy under test harnesses).
 #include <csignal>
 #include <cstdio>
 #include <string>
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
     config.port = static_cast<std::uint16_t>(flags.get_int("port", 7440));
     config.admin_port =
         static_cast<std::uint16_t>(flags.get_int("admin-port", 7441));
+    config.shards = static_cast<std::size_t>(flags.get_int("shards", 1));
     config.tenant.monitor.worker_threads =
         static_cast<std::size_t>(flags.get_int("workers", 0));
     config.tenant.monitor.batch_size =
@@ -87,9 +91,10 @@ int main(int argc, char** argv) {
     ::sigaction(SIGINT, &action, nullptr);
     ::sigaction(SIGTERM, &action, nullptr);
 
-    std::printf("ocep_served: ingest port %u admin port %u\n",
+    std::printf("ocep_served: ingest port %u admin port %u shards %zu\n",
                 static_cast<unsigned>(server.port()),
-                static_cast<unsigned>(server.admin_port()));
+                static_cast<unsigned>(server.admin_port()),
+                server.shard_count());
     std::fflush(stdout);
     server.run();
     std::printf("ocep_served: shut down (%zu tenants)\n",
