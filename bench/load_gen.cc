@@ -102,6 +102,9 @@ int main(int argc, char** argv) {
     const auto traces = static_cast<std::uint32_t>(flags.get_int("traces", 4));
     const std::vector<std::size_t> shard_counts =
         parse_shard_list(flags.get_string("shards", "1"));
+    const bool rebalance = flags.get_bool("rebalance", false);
+    const auto rebalance_interval_ms = static_cast<std::uint64_t>(
+        flags.get_int("rebalance-interval-ms", 100));
     flags.check_unused();
     if (producers == 0 || churn == 0) {
       std::fprintf(stderr, "load_gen: --producers and --churn must be >= 1\n");
@@ -128,7 +131,15 @@ int main(int argc, char** argv) {
       options.traces = traces;
       options.events = static_cast<std::uint32_t>(
           std::max(16.0, weights[i] * scale));
-      options.seed = params.seed + i;
+      // Each producer's stream derives from the global seed and its own
+      // index through a splitmix64 finalizer: adjacent producers get
+      // decorrelated workloads, and `--seed S` reproduces the exact fleet
+      // (seed+i would alias producer j of run S with producer j-1 of
+      // run S+1).
+      std::uint64_t derived = params.seed + 0x9e3779b97f4a7c15ULL * (i + 1ULL);
+      derived = (derived ^ (derived >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+      derived = (derived ^ (derived >> 27U)) * 0x94d049bb133111ebULL;
+      options.seed = derived ^ (derived >> 31U);
       plan.store = ocep::testing::random_computation(*plan.pool, options);
       events_total += plan.store.event_count();
       plans.push_back(std::move(plan));
@@ -137,9 +148,9 @@ int main(int argc, char** argv) {
     std::printf("# load_gen (%u producers, zipf %.2f, %" PRIu64
                 " events total, churn %u, rate %.0f ev/s/producer, %u reps)\n",
                 producers, zipf, events_total, churn, rate, params.reps);
-    std::printf("%-10s %12s %11s %9s %9s %9s %8s %8s %8s\n", "config",
+    std::printf("%-12s %12s %11s %9s %9s %9s %8s %8s %8s %6s %7s\n", "config",
                 "events/s", "wall_ms", "p50_us", "p99_us", "max_us", "resync",
-                "retry", "migrate");
+                "retry", "migrate", "tmigr", "spread");
 
     JsonReport report("load_gen", params);
     for (const std::size_t shards : shard_counts) {
@@ -163,6 +174,12 @@ int main(int argc, char** argv) {
         config.shards = shards;
         config.max_tenants = static_cast<std::size_t>(producers) * 2;
         config.max_connections = static_cast<std::size_t>(producers) * 2;
+        config.rebalance = rebalance;
+        config.rebalance_interval_ms = rebalance_interval_ms;
+        // Benches run seconds, not minutes: act on smaller gaps and let a
+        // hot tenant move again within the run.
+        config.rebalance_min_rate = 4096;
+        config.rebalance_cooldown_ms = 4 * rebalance_interval_ms;
         config.observe_hook = [&](std::string_view tenant,
                                   std::uint64_t position) {
           // Tenant names are "p<index>".
@@ -234,8 +251,13 @@ int main(int argc, char** argv) {
                   const net::StreamResult result =
                       net::stream_store(store, *plans[i].pool, cc, so);
                   if (result.ack.status == net::AckStatus::kRejected) {
-                    if (result.ack.message.find("attached") !=
-                            std::string::npos &&
+                    // "attached": the abrupt previous segment not reaped
+                    // yet; "migrating": the tenant is mid-flight between
+                    // shards.  Both clear in milliseconds.
+                    if ((result.ack.message.find("attached") !=
+                             std::string::npos ||
+                         result.ack.message.find("migrating") !=
+                             std::string::npos) &&
                         attempt < 2000) {
                       retries.fetch_add(1, std::memory_order_relaxed);
                       std::this_thread::sleep_for(
@@ -278,6 +300,34 @@ int main(int argc, char** argv) {
         }
         const std::uint64_t migrations =
             server.counter_value("net.conn_migrations");
+        const std::uint64_t tenant_migrations =
+            server.counter_value("net.tenant_migrations");
+        // Per-shard utilization spread: each shard registry keeps the
+        // events it observed (a migrated tenant's history stays with the
+        // shard that served it), so max/mean over shards is 1.0 for a
+        // perfectly even daemon and `shards` when one shard did all the
+        // work.
+        double util_spread = 0.0;
+        {
+          std::vector<double> shard_events(shards, 0.0);
+          for (std::size_t s = 0; s < shards; ++s) {
+            for (const auto& [key, value] :
+                 server.shard_metrics(s).counter_values()) {
+              if (key.rfind("net.tenant.events{", 0) == 0) {
+                shard_events[s] += static_cast<double>(value);
+              }
+            }
+          }
+          double total = 0.0;
+          double hottest = 0.0;
+          for (const double e : shard_events) {
+            total += e;
+            hottest = std::max(hottest, e);
+          }
+          if (total > 0.0) {
+            util_spread = hottest / (total / static_cast<double>(shards));
+          }
+        }
         const double throughput =
             static_cast<double>(observed.load()) / wall_s;
         metrics::LatencyRecorder latency;
@@ -296,13 +346,14 @@ int main(int argc, char** argv) {
               q * static_cast<double>(samples.size() - 1));
           return samples[idx];
         };
-        const std::string label =
-            "s" + std::to_string(shards) + "_rep" + std::to_string(rep);
-        std::printf("%-10s %12.0f %11.1f %9.1f %9.1f %9.1f %8" PRIu64
-                    " %8" PRIu64 " %8" PRIu64 "\n",
+        const std::string label = "s" + std::to_string(shards) +
+                                  (rebalance ? "_rb" : "") + "_rep" +
+                                  std::to_string(rep);
+        std::printf("%-12s %12.0f %11.1f %9.1f %9.1f %9.1f %8" PRIu64
+                    " %8" PRIu64 " %8" PRIu64 " %6" PRIu64 " %7.2f\n",
                     label.c_str(), throughput, wall_s * 1e3, quantile(0.50),
                     quantile(0.99), box.max, resyncs.load(), retries.load(),
-                    migrations);
+                    migrations, tenant_migrations, util_spread);
 
         report.begin_row(label);
         report.add("shards", static_cast<std::uint64_t>(shards));
@@ -320,6 +371,9 @@ int main(int argc, char** argv) {
         report.add("resyncs", resyncs.load());
         report.add("reconnect_retries", retries.load());
         report.add("migrations", migrations);
+        report.add("rebalance", static_cast<std::uint64_t>(rebalance ? 1 : 0));
+        report.add("tenant_migrations", tenant_migrations);
+        report.add("util_spread", util_spread);
       }
     }
     report.write();

@@ -5,9 +5,10 @@ Each tracked bench has one pinned scenario — small enough for CI, large
 enough to exercise the machinery — whose --json output is normalized into
 a canonical file at the repo root:
 
-    BENCH_net.json       bench/net_serve   (serving reactor fan-in)
-    BENCH_pipeline.json  bench/pipeline    (monitor pipeline scaling)
-    BENCH_overload.json  bench/overload    (governed degradation)
+    BENCH_net.json        bench/net_serve   (serving reactor fan-in)
+    BENCH_pipeline.json   bench/pipeline    (monitor pipeline scaling)
+    BENCH_overload.json   bench/overload    (governed degradation)
+    BENCH_rebalance.json  bench/load_gen    (hot-shard live rebalancing)
 
 Committed files form a per-PR trajectory of measured performance; CI does
 not compare the *numbers* (runners are noisy) but does fail when a
@@ -53,6 +54,16 @@ SCENARIOS = {
         "binary": "bench/overload",
         "args": ["--events", "4000", "--reps", "2", "--seed", "7"],
         "file": "BENCH_overload.json",
+    },
+    # Zipf-skewed producers pile onto one hash bucket; the rebalancer must
+    # spread them live.  Records tenant_migrations and util_spread next to
+    # the latency columns so the trajectory shows migration activity.
+    "rebalance": {
+        "binary": "bench/load_gen",
+        "args": ["--events", "1500", "--reps", "1", "--seed", "7",
+                 "--producers", "16", "--zipf", "1.0", "--shards", "4",
+                 "--rebalance", "true", "--rebalance-interval-ms", "50"],
+        "file": "BENCH_rebalance.json",
     },
 }
 

@@ -105,6 +105,10 @@ class Monitor final : public EventSink {
     return events_seen_;
   }
 
+  /// True once announce_traces() ran (or a restore supplied the table) —
+  /// the earliest point checkpoint() is legal.
+  [[nodiscard]] bool traces_known() const noexcept { return traces_known_; }
+
   /// Pipeline counters (per-worker batches/events/stalls, per-pattern
   /// observe latency).  Exact after drain(); in synchronous mode only
   /// events_dispatched is populated.  The `ingest` member is filled from

@@ -42,6 +42,24 @@ bool Conn::queue_write(std::string bytes) {
   return true;
 }
 
+std::string Conn::take_pending_writes() {
+  std::string out;
+  out.reserve(wq_bytes_);
+  bool head = true;
+  for (const std::string& chunk : wq_) {
+    if (head) {
+      out.append(chunk, wq_head_off_, std::string::npos);
+      head = false;
+    } else {
+      out.append(chunk);
+    }
+  }
+  wq_.clear();
+  wq_bytes_ = 0;
+  wq_head_off_ = 0;
+  return out;
+}
+
 IoStatus Conn::flush_writes() {
   while (!wq_.empty()) {
     const std::string& head = wq_.front();

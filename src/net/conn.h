@@ -100,6 +100,12 @@ class Conn {
     return std::move(fd_);
   }
 
+  /// Drains the write queue into one string without sending it,
+  /// honouring the partial-write offset of the head chunk, and leaves the
+  /// queue empty.  A live tenant migration carries these bytes to the
+  /// adopting shard so no queued resync/FIN frame is lost mid-hop.
+  [[nodiscard]] std::string take_pending_writes();
+
   /// Tenant this ingest connection is attached to ("" before handshake).
   std::string tenant;
   /// Millisecond timestamp of the last read/write, maintained by the

@@ -1,0 +1,273 @@
+#include "net/placement.h"
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/crc32c.h"
+#include "common/error.h"
+#include "poet/varint.h"
+
+namespace ocep::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kPlacementMagic = "OCEPPLC1";
+constexpr std::string_view kPlacementFile = "placement.map";
+constexpr std::uint64_t kMaxPlacementEntries = 1U << 20U;
+
+void put_u32le(std::ostream& out, std::uint32_t value) {
+  char raw[4];
+  raw[0] = static_cast<char>(value & 0xffU);
+  raw[1] = static_cast<char>((value >> 8U) & 0xffU);
+  raw[2] = static_cast<char>((value >> 16U) & 0xffU);
+  raw[3] = static_cast<char>((value >> 24U) & 0xffU);
+  out.write(raw, 4);
+}
+
+}  // namespace
+
+std::size_t shard_for(std::string_view tenant,
+                      std::size_t shard_count) noexcept {
+  if (shard_count <= 1) {
+    return 0;
+  }
+  // FNV-1a, 64-bit: stable across builds and platforms, so restart with a
+  // different shard count repartitions tenants deterministically.
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : tenant) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(hash % shard_count);
+}
+
+PlacementMap::PlacementMap(std::size_t shard_count)
+    : shard_count_(shard_count == 0 ? 1 : shard_count),
+      load_hints_(shard_count_, 0.0) {}
+
+std::size_t PlacementMap::owner_of(std::string_view tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(tenant);
+  if (it != entries_.end() && it->second.shard < shard_count_) {
+    return it->second.shard;
+  }
+  return shard_for(tenant, shard_count_);
+}
+
+std::optional<std::size_t> PlacementMap::shard_of(
+    std::string_view tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(tenant);
+  if (it == entries_.end() || it->second.shard >= shard_count_) {
+    return std::nullopt;
+  }
+  return it->second.shard;
+}
+
+bool PlacementMap::is_migrating(std::string_view tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(tenant);
+  return it != entries_.end() && it->second.migrating;
+}
+
+std::size_t PlacementMap::route_or_assign(const std::string& tenant) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(tenant);
+  if (it != entries_.end() && it->second.shard < shard_count_) {
+    return it->second.shard;
+  }
+  // Least-loaded: primary key is the rebalancer's load hint, resident
+  // count breaks ties (so an idle daemon round-robins), index last for
+  // determinism.
+  std::vector<std::size_t> counts(shard_count_, 0);
+  for (const auto& [name, entry] : entries_) {
+    if (entry.shard < shard_count_) {
+      ++counts[entry.shard];
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < shard_count_; ++i) {
+    const bool lighter =
+        load_hints_[i] < load_hints_[best] ||
+        (load_hints_[i] == load_hints_[best] && counts[i] < counts[best]);
+    if (lighter) {
+      best = i;
+    }
+  }
+  entries_[tenant] = Entry{best, /*overridden=*/true, /*migrating=*/false};
+  return best;
+}
+
+void PlacementMap::set_resident(const std::string& tenant, std::size_t shard) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[tenant];
+  entry.shard = shard;
+  entry.migrating = false;
+}
+
+void PlacementMap::begin_migration(const std::string& tenant,
+                                   std::size_t target) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[tenant];
+  entry.shard = target;
+  entry.overridden = true;
+  entry.migrating = true;
+}
+
+void PlacementMap::finish_migration(const std::string& tenant,
+                                    std::size_t shard) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[tenant];
+  entry.shard = shard;
+  entry.overridden = true;
+  entry.migrating = false;
+}
+
+void PlacementMap::cancel_migration(const std::string& tenant,
+                                    std::size_t shard) {
+  finish_migration(tenant, shard);
+}
+
+void PlacementMap::set_load_hints(std::vector<double> hints) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (hints.size() == shard_count_) {
+    load_hints_ = std::move(hints);
+  }
+}
+
+std::vector<std::pair<std::string, std::size_t>> PlacementMap::residents()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.migrating && entry.shard < shard_count_) {
+      out.emplace_back(name, entry.shard);
+    }
+  }
+  return out;
+}
+
+std::size_t PlacementMap::override_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.overridden) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void PlacementMap::save(std::ostream& out) const {
+  std::ostringstream body;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t overridden = 0;
+    for (const auto& [name, entry] : entries_) {
+      if (entry.overridden) {
+        ++overridden;
+      }
+    }
+    poet::put_varint(body, overridden);
+    for (const auto& [name, entry] : entries_) {
+      if (!entry.overridden) {
+        continue;
+      }
+      poet::put_string(body, name);
+      poet::put_varint(body, entry.shard);
+    }
+  }
+  const std::string bytes = body.str();
+  out.write(kPlacementMagic.data(),
+            static_cast<std::streamsize>(kPlacementMagic.size()));
+  put_u32le(out, crc32c(bytes));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw SerializationError("placement map: write failed");
+  }
+}
+
+void PlacementMap::load(std::istream& in) {
+  char magic[8];
+  in.read(magic, 8);
+  if (in.gcount() != 8 || std::string_view(magic, 8) != kPlacementMagic) {
+    throw SerializationError("placement map: bad magic");
+  }
+  char raw_crc[4];
+  in.read(raw_crc, 4);
+  if (in.gcount() != 4) {
+    throw SerializationError("placement map: truncated header");
+  }
+  std::uint32_t expect = 0;
+  for (int i = 3; i >= 0; --i) {
+    expect = (expect << 8U) | static_cast<unsigned char>(raw_crc[i]);
+  }
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (crc32c(body) != expect) {
+    throw SerializationError("placement map: CRC mismatch");
+  }
+  std::istringstream body_in(body);
+  const std::uint64_t count = poet::get_varint(body_in);
+  if (count > kMaxPlacementEntries) {
+    throw SerializationError("placement map: implausible entry count");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string name = poet::get_string(body_in);
+    const std::uint64_t shard = poet::get_varint(body_in);
+    // A shard index from a bigger daemon falls back to the hash: the
+    // tenant's checkpoint is then restored by its hash owner.
+    if (shard >= shard_count_) {
+      continue;
+    }
+    entries_[name] =
+        Entry{static_cast<std::size_t>(shard), /*overridden=*/true,
+              /*migrating=*/false};
+  }
+  if (body_in.peek() != std::char_traits<char>::eof()) {
+    throw SerializationError("placement map: trailing bytes");
+  }
+}
+
+bool PlacementMap::save_file(const std::string& dir) const {
+  if (dir.empty()) {
+    return true;
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const fs::path final_path = fs::path(dir) / kPlacementFile;
+  const fs::path tmp_path = fs::path(dir) / "placement.map.tmp";
+  try {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    save(out);
+  } catch (const Error&) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  return true;
+}
+
+void PlacementMap::load_file(const std::string& dir) {
+  if (dir.empty()) {
+    return;
+  }
+  const fs::path path = fs::path(dir) / kPlacementFile;
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec)) {
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  load(in);
+}
+
+}  // namespace ocep::net

@@ -140,6 +140,7 @@ std::string encode_ack(const HandshakeAck& ack) {
   put_varint(body, static_cast<std::uint64_t>(ack.status));
   put_varint(body, ack.resume_position);
   put_string(body, ack.message);
+  put_varint(body, ack.shard);
   return envelope(kAckMagic, body);
 }
 
@@ -217,6 +218,9 @@ ParseStatus parse_ack(std::string_view buf, std::size_t& pos,
   const std::uint64_t raw_status = cursor.u64();
   out.resume_position = cursor.u64();
   out.message = std::string(cursor.str());
+  // The shard field joined the ack later; tolerate its absence so a new
+  // client still parses a pre-rebalance server's acks.
+  out.shard = cursor.done() ? 0 : cursor.u64();
   if (!cursor.done() ||
       raw_status > static_cast<std::uint64_t>(AckStatus::kRejected)) {
     error = "malformed ack body";

@@ -65,6 +65,11 @@ struct HandshakeAck {
   /// correct — the session dedups on position).
   std::uint64_t resume_position = 0;
   std::string message;
+  /// Index of the shard that answered (the tenant's current placement —
+  /// which live rebalancing may have moved off the affinity hash).
+  /// Informational: producers need not act on it.  Absent in pre-rebalance
+  /// acks; the parser defaults it to 0.
+  std::uint64_t shard = 0;
 };
 
 /// Reverse-channel frame types.

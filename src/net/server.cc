@@ -4,6 +4,7 @@
 #include <sys/epoll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -29,15 +30,27 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
   if (config_.shards == 0) {
     config_.shards = 1;
   }
+  // Placement first: shards consult it (overrides loaded from the
+  // checkpoint dir) when partitioning the restore scan.
+  placement_ = std::make_unique<PlacementMap>(config_.shards);
+  try {
+    placement_->load_file(config_.checkpoint_dir);
+  } catch (const Error&) {
+    // A corrupt placement map degrades to pure hash placement; the
+    // tenant checkpoints themselves are untouched.
+    registry_.counter("net.placement_load_errors").add(1);
+  }
   const bool reuseport = config_.shards > 1;
   // Shard 0 binds first so an ephemeral port request resolves once; the
   // siblings then join the same port via SO_REUSEPORT.
-  shards_.push_back(std::make_unique<Shard>(
-      config_, 0, config_.shards, config_.port, reuseport, tenant_total_));
+  shards_.push_back(std::make_unique<Shard>(config_, 0, config_.shards,
+                                            config_.port, reuseport,
+                                            tenant_total_, *placement_));
   const std::uint16_t ingest_port = shards_[0]->port();
   for (std::size_t i = 1; i < config_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(
-        config_, i, config_.shards, ingest_port, reuseport, tenant_total_));
+    shards_.push_back(std::make_unique<Shard>(config_, i, config_.shards,
+                                              ingest_port, reuseport,
+                                              tenant_total_, *placement_));
   }
   std::vector<Shard*> peers;
   peers.reserve(shards_.size());
@@ -124,12 +137,11 @@ std::size_t Server::tenant_count() const noexcept {
 }
 
 int Server::tenant_shard(const std::string& name) const {
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    if (shards_[i]->find_tenant(name) != nullptr) {
-      return static_cast<int>(i);
-    }
-  }
-  return -1;
+  // The placement map, not the shard tenant tables: it answers under its
+  // own mutex, so this is safe against live shard threads (a mid-flight
+  // migration reports the shard routing already points at).
+  const std::optional<std::size_t> shard = placement_->shard_of(name);
+  return shard ? static_cast<int>(*shard) : -1;
 }
 
 std::size_t Server::write_checkpoints() {
@@ -137,7 +149,14 @@ std::size_t Server::write_checkpoints() {
   for (const auto& shard : shards_) {
     written += shard->write_checkpoints();
   }
+  if (!placement_->save_file(config_.checkpoint_dir)) {
+    registry_.counter("net.placement_save_errors").add(1);
+  }
   return written;
+}
+
+const obs::Registry& Server::shard_metrics(std::size_t index) const {
+  return shards_.at(index)->metrics();
 }
 
 void Server::run() {
@@ -146,30 +165,45 @@ void Server::run() {
   for (const auto& shard : shards_) {
     shard_threads_.emplace_back([s = shard.get()] { s->run(); });
   }
-  try {
-    run_admin();
-  } catch (...) {
-    request_shutdown();
+  const auto join_all = [this] {
     for (std::thread& thread : shard_threads_) {
       thread.join();
     }
     shard_threads_.clear();
+    // A tenant handed off to a shard that had already drained its final
+    // mailbox would otherwise be stranded (and silently lost) in the
+    // queue; service leftovers now that every shard thread is done.
+    for (const auto& shard : shards_) {
+      shard->drain_stranded();
+    }
     running_.store(false, std::memory_order_release);
+  };
+  try {
+    run_admin();
+  } catch (...) {
+    request_shutdown();
+    join_all();
     throw;
   }
-  for (std::thread& thread : shard_threads_) {
-    thread.join();
+  join_all();
+  if (!placement_->save_file(config_.checkpoint_dir)) {
+    registry_.counter("net.placement_save_errors").add(1);
   }
-  shard_threads_.clear();
-  running_.store(false, std::memory_order_release);
 }
 
 void Server::run_admin() {
+  // The admin plane has no tick-driven work beyond idle sweeps, so a
+  // coarse timeout keeps the thread cold between scrapes; a live
+  // rebalancer needs ticks at least as fine as its interval.
+  int timeout_ms = 200;
+  if (config_.rebalance) {
+    const std::uint64_t interval =
+        std::max<std::uint64_t>(config_.rebalance_interval_ms, 1);
+    timeout_ms = static_cast<int>(std::min<std::uint64_t>(200, interval));
+  }
   std::vector<Poller::Event> events;
   while (!stop_.load(std::memory_order_acquire)) {
-    // The admin plane has no tick-driven work beyond idle sweeps, so a
-    // coarse timeout keeps the thread cold between scrapes.
-    const std::size_t n = poller_.wait(events, 200);
+    const std::size_t n = poller_.wait(events, timeout_ms);
     clock_ms_ = now_ms();
     for (std::size_t i = 0; i < n; ++i) {
       const Poller::Event& ev = events[i];
@@ -189,6 +223,10 @@ void Server::run_admin() {
       }
     }
     sweep_admin_timers();
+    if (config_.rebalance && clock_ms_ >= next_rebalance_ms_) {
+      next_rebalance_ms_ = clock_ms_ + config_.rebalance_interval_ms;
+      rebalance_cycle();
+    }
   }
   poller_.del(admin_->fd());
   admin_->close();
@@ -261,11 +299,17 @@ void Server::advance_admin(Conn& conn) {
       sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
   const std::string method(sp1 == std::string_view::npos ? line
                                                          : line.substr(0, sp1));
-  const std::string path(
+  std::string path(
       sp1 == std::string_view::npos || sp2 == std::string_view::npos
           ? std::string_view{}
           : line.substr(sp1 + 1, sp2 - sp1 - 1));
   conn.consume(head_end + 4);
+
+  std::string query;
+  if (const std::size_t qpos = path.find('?'); qpos != std::string::npos) {
+    query = path.substr(qpos + 1);
+    path.resize(qpos);
+  }
 
   if (method == "GET" && path == "/metrics") {
     respond_http(conn, 200, "text/plain; version=0.0.4",
@@ -291,6 +335,57 @@ void Server::advance_admin(Conn& conn) {
         respond_http(conn, 200, "application/json",
                      "{\"written\":" + std::to_string(written) + "}\n");
       }
+    }
+  } else if (method == "POST" && path == "/rebalance") {
+    // Plain POST runs one scoring + migration cycle; ?tenant=X&to=N
+    // forces a single targeted migration instead.
+    std::string tenant;
+    std::size_t target = 0;
+    bool targeted = false;
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+      std::size_t amp = query.find('&', pos);
+      if (amp == std::string::npos) {
+        amp = query.size();
+      }
+      const std::string_view pair =
+          std::string_view(query).substr(pos, amp - pos);
+      const std::size_t eq = pair.find('=');
+      if (eq != std::string_view::npos) {
+        const std::string_view key = pair.substr(0, eq);
+        const std::string_view value = pair.substr(eq + 1);
+        if (key == "tenant") {
+          tenant = std::string(value);
+        } else if (key == "to") {
+          targeted = true;
+          target = 0;
+          for (const char c : value) {
+            if (c < '0' || c > '9') {
+              targeted = false;
+              break;
+            }
+            target = target * 10 + static_cast<std::size_t>(c - '0');
+          }
+        }
+      }
+      pos = amp + 1;
+    }
+    if (!tenant.empty() || targeted) {
+      if (tenant.empty() || !targeted || target >= shards_.size()) {
+        respond_http(conn, 409, "application/json",
+                     "{\"error\":\"need tenant=<name>&to=<shard>\"}\n");
+      } else if (migrate_tenant(tenant, target)) {
+        respond_http(conn, 200, "application/json",
+                     "{\"migrated\":\"" + tenant +
+                         "\",\"to\":" + std::to_string(target) + "}\n");
+      } else {
+        respond_http(conn, 409, "application/json",
+                     "{\"error\":\"migration refused\"}\n");
+      }
+    } else {
+      const std::size_t moves = rebalance_cycle();
+      respond_http(conn, 200, "application/json",
+                   "{\"moves\":" + std::to_string(moves) + "}\n");
     }
   } else {
     respond_http(conn, 404, "text/plain", "not found\n");
@@ -395,7 +490,138 @@ long Server::checkpoint_live() {
     }
     written += static_cast<long>(reply.get());
   }
+  if (!placement_->save_file(config_.checkpoint_dir)) {
+    registry_.counter("net.placement_save_errors").add(1);
+  }
   return written;
+}
+
+bool Server::migrate_tenant(const std::string& name, std::size_t target) {
+  if (!running_.load(std::memory_order_acquire) || target >= shards_.size()) {
+    return false;
+  }
+  const std::size_t source = placement_->owner_of(name);
+  if (source >= shards_.size() || source == target) {
+    return false;
+  }
+  auto promise = std::make_shared<std::promise<bool>>();
+  std::future<bool> reply = promise->get_future();
+  Shard* raw = shards_[source].get();
+  raw->post([promise, raw, name, target] {
+    promise->set_value(raw->migrate_tenant(name, target));
+  });
+  if (reply.wait_for(kShardReplyDeadline) != std::future_status::ready) {
+    return false;
+  }
+  return reply.get();
+}
+
+std::size_t Server::rebalance_cycle() {
+  registry_.counter("net.rebalance_cycles").add(1);
+  const std::size_t shard_count = shards_.size();
+  if (shard_count < 2) {
+    return 0;
+  }
+  const std::uint64_t now = now_ms();
+
+  // Score: per-tenant byte rate over the window since the last cycle
+  // (cumulative counters survive migration — each shard registry keeps
+  // the bytes from the tenant's residency there, so the cross-shard sum
+  // is monotone).  A tenant's first sighting scores 0: no move decisions
+  // on a single sample.
+  struct Candidate {
+    std::string name;
+    std::size_t shard;
+    std::uint64_t rate;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<double> loads(shard_count, 0.0);
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& [name, shard] : placement_->residents()) {
+    const std::uint64_t total =
+        counter_value("net.tenant.bytes{tenant=\"" + name + "\"}");
+    const auto it = rebalance_last_bytes_.find(name);
+    const std::uint64_t rate =
+        it == rebalance_last_bytes_.end() || total < it->second
+            ? 0
+            : total - it->second;
+    totals[name] = total;
+    candidates.push_back(Candidate{name, shard, rate});
+    loads[shard] += static_cast<double>(rate);
+  }
+  rebalance_last_bytes_ = std::move(totals);
+  placement_->set_load_hints(loads);
+
+  std::size_t hottest = 0;
+  std::size_t coldest = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    sum += loads[i];
+    if (loads[i] > loads[hottest]) {
+      hottest = i;
+    }
+    if (loads[i] < loads[coldest]) {
+      coldest = i;
+    }
+  }
+  const double mean = sum / static_cast<double>(shard_count);
+  // Hysteresis + an absolute imbalance floor: an idle or already-even
+  // daemon must not churn tenants over measurement noise.
+  if (loads[hottest] < mean * config_.rebalance_hysteresis ||
+      loads[hottest] - loads[coldest] <=
+          static_cast<double>(config_.rebalance_min_rate)) {
+    return 0;
+  }
+
+  // Largest movers first: fewer migrations shed the most load.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.rate > b.rate;
+            });
+  std::size_t moves = 0;
+  for (const Candidate& candidate : candidates) {
+    if (moves >= config_.rebalance_budget || loads[hottest] <= mean) {
+      break;
+    }
+    if (candidate.shard != hottest || candidate.rate == 0) {
+      continue;
+    }
+    const auto cooled = rebalance_cooldown_.find(candidate.name);
+    if (cooled != rebalance_cooldown_.end() && now < cooled->second) {
+      continue;
+    }
+    // Re-pick the sink each move so the budget spreads across shards,
+    // and skip movers so hot they would just invert the imbalance.
+    coldest = 0;
+    for (std::size_t i = 1; i < shard_count; ++i) {
+      if (loads[i] < loads[coldest]) {
+        coldest = i;
+      }
+    }
+    if (coldest == hottest ||
+        static_cast<double>(candidate.rate) >=
+            loads[hottest] - loads[coldest]) {
+      continue;
+    }
+    // Fire and forget: the source shard freezes + hands off on its own
+    // thread; adoption lands whenever the destination drains its mail.
+    Shard* raw = shards_[hottest].get();
+    const std::string name = candidate.name;
+    const std::size_t target = coldest;
+    raw->post([raw, name, target] { raw->migrate_tenant(name, target); });
+    rebalance_cooldown_[name] = now + config_.rebalance_cooldown_ms;
+    loads[hottest] -= static_cast<double>(candidate.rate);
+    loads[coldest] += static_cast<double>(candidate.rate);
+    registry_.counter("net.rebalance_moves").add(1);
+    ++moves;
+  }
+  // Expired cooldowns are dead weight; prune so the map stays bounded by
+  // the live tenant set.
+  for (auto it = rebalance_cooldown_.begin();
+       it != rebalance_cooldown_.end();) {
+    it = now >= it->second ? rebalance_cooldown_.erase(it) : ++it;
+  }
+  return moves;
 }
 
 void Server::settle_admin(std::uint64_t id) {

@@ -30,6 +30,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -39,6 +41,7 @@
 
 #include "net/conn.h"
 #include "net/listener.h"
+#include "net/placement.h"
 #include "net/poller.h"
 #include "net/tenant.h"
 #include "obs/metrics.h"
@@ -46,6 +49,20 @@
 namespace ocep::net {
 
 class Shard;
+
+/// Phases of a live tenant migration (docs/SERVER.md "Rebalancing"):
+/// freeze quiesces the tenant on the source shard (pipeline drained at a
+/// frame boundary), transfer serializes the OCEPNTC1 blob plus any
+/// attached socket through the destination's mailbox, adopt rebuilds the
+/// tenant there and resumes byte-identically.
+enum class MigrationPhase : std::uint8_t { kFreeze, kTransfer, kAdopt };
+
+/// Test-only fault injection: invoked at each migration phase; returning
+/// true makes that phase fail (freeze/transfer abort on the source,
+/// adopt bounces the tenant back to it).  Called from shard threads —
+/// must be thread-safe.  Production deployments leave it unset.
+using MigrationHook =
+    std::function<bool(MigrationPhase phase, std::string_view tenant)>;
 
 struct ServerConfig {
   std::string host = "127.0.0.1";
@@ -80,6 +97,26 @@ struct ServerConfig {
   /// With shards > 1 it is invoked concurrently from shard threads
   /// (serially per tenant); the hook must be thread-safe.
   ObserveHook observe_hook;
+  /// Live rebalancing (docs/SERVER.md "Rebalancing").  Off by default:
+  /// placement stays the pure affinity hash and nothing moves.  On, the
+  /// admin thread scores shards by per-tenant byte rates every
+  /// rebalance_interval_ms and migrates the hottest tenants off the
+  /// hottest shard, and fresh tenants are placed least-loaded instead of
+  /// by hash (recorded in the persisted placement override map).
+  bool rebalance = false;
+  std::uint64_t rebalance_interval_ms = 500;
+  /// Hysteresis: the hottest shard must exceed the mean shard load by
+  /// this factor before anything moves (guards against noise churn).
+  double rebalance_hysteresis = 1.25;
+  /// Migrations per rebalance cycle.
+  std::size_t rebalance_budget = 4;
+  /// Minimum byte-rate gap (per interval) between the hottest and
+  /// coldest shard before a cycle acts.
+  std::uint64_t rebalance_min_rate = 16384;
+  /// A migrated tenant is not moved again for this long (anti-ping-pong).
+  std::uint64_t rebalance_cooldown_ms = 2000;
+  /// Test-only migration fault injection; see MigrationHook.
+  MigrationHook migration_hook;
 };
 
 class Server {
@@ -124,6 +161,27 @@ class Server {
   /// Index of the shard holding `name`, or -1 when absent (post-run).
   [[nodiscard]] int tenant_shard(const std::string& name) const;
 
+  /// The live placement map (thread-safe); tests watch migrations settle
+  /// through shard_of()/is_migrating().
+  [[nodiscard]] const PlacementMap& placement() const noexcept {
+    return *placement_;
+  }
+  /// One shard's registry (thread-safe reads); load_gen derives per-shard
+  /// utilization spread from these.
+  [[nodiscard]] const obs::Registry& shard_metrics(std::size_t index) const;
+
+  /// Forces one live migration of `name` to shard `target` and waits for
+  /// the source shard to freeze + hand it off (not for the adoption —
+  /// watch net.tenant_adoptions or placement() for that).  False when
+  /// the tenant is unknown, the target is this shard or out of range,
+  /// the server is not running, or the source did not answer in time.
+  bool migrate_tenant(const std::string& name, std::size_t target);
+
+  /// One load-scoring + migration pass (the same logic the periodic
+  /// rebalancer runs); returns migrations initiated.  Thread-safe, but
+  /// intended for the admin thread and tests.
+  std::size_t rebalance_cycle();
+
   /// Writes one checkpoint per tenant into checkpoint_dir (tmp + rename,
   /// so a crash mid-write never leaves a torn file).  Returns the number
   /// written; 0 when no directory is configured.  Post-run only; while
@@ -157,8 +215,17 @@ class Server {
 
   ServerConfig config_;
   std::atomic<std::size_t> tenant_total_{0};
+  /// Built (and placement.map loaded) before the shards, which hold
+  /// references into it.
+  std::unique_ptr<PlacementMap> placement_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> shard_threads_;
+
+  /// Rebalancer state (admin thread only): last per-tenant byte totals
+  /// for rate deltas, per-tenant cooldown deadlines, next cycle time.
+  std::map<std::string, std::uint64_t> rebalance_last_bytes_;
+  std::map<std::string, std::uint64_t> rebalance_cooldown_;
+  std::uint64_t next_rebalance_ms_ = 0;
 
   Poller poller_;
   std::unique_ptr<Listener> admin_;

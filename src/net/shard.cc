@@ -41,28 +41,15 @@ std::string tenant_label(const std::string& name) {
 
 }  // namespace
 
-std::size_t shard_for(std::string_view tenant,
-                      std::size_t shard_count) noexcept {
-  if (shard_count <= 1) {
-    return 0;
-  }
-  // FNV-1a, 64-bit: stable across builds and platforms, so restart with a
-  // different shard count repartitions tenants deterministically.
-  std::uint64_t hash = 14695981039346656037ULL;
-  for (const char c : tenant) {
-    hash ^= static_cast<std::uint8_t>(c);
-    hash *= 1099511628211ULL;
-  }
-  return static_cast<std::size_t>(hash % shard_count);
-}
-
 Shard::Shard(const ServerConfig& config, std::size_t index,
              std::size_t shard_count, std::uint16_t ingest_port,
-             bool reuseport, std::atomic<std::size_t>& tenant_total)
+             bool reuseport, std::atomic<std::size_t>& tenant_total,
+             PlacementMap& placement)
     : config_(config),
       index_(index),
       shard_count_(shard_count),
-      tenant_total_(tenant_total) {
+      tenant_total_(tenant_total),
+      placement_(placement) {
   ingest_ = std::make_unique<Listener>(config_.host, ingest_port, reuseport);
   int pipe_fds[2];
   if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
@@ -125,6 +112,20 @@ void Shard::adopt(ConnHandoff handoff) {
   }
 }
 
+void Shard::adopt_tenant(TenantHandoff handoff) {
+  {
+    const std::lock_guard<std::mutex> lock(mail_mutex_);
+    mail_tenant_handoffs_.push_back(std::move(handoff));
+  }
+  mail_pending_.store(true, std::memory_order_release);
+  if (wake_write_ >= 0) {
+    const char byte = 't';
+    [[maybe_unused]] const ssize_t rc = ::write(wake_write_, &byte, 1);
+  }
+}
+
+void Shard::drain_stranded() { drain_mailbox(); }
+
 Tenant* Shard::find_tenant(const std::string& name) {
   const auto it = tenants_.find(name);
   return it == tenants_.end() ? nullptr : it->second.get();
@@ -151,9 +152,11 @@ void Shard::restore_checkpoints() {
       continue;
     }
     // The checkpoint directory is shared across shards; each shard
-    // restores only its affinity partition, so a restart with a
-    // different shard count redistributes tenants without coordination.
-    if (shard_for(name, shard_count_) != index_) {
+    // restores only its placement partition — the affinity hash unless a
+    // persisted override (live migration, least-loaded placement) says
+    // otherwise — so a restart with a different shard count
+    // redistributes tenants without coordination.
+    if (placement_.owner_of(name) != index_) {
       continue;
     }
     try {
@@ -167,6 +170,7 @@ void Shard::restore_checkpoints() {
       registry_.counter("net.tenants_restored").add(1);
       tenant_total_.fetch_add(1, std::memory_order_relaxed);
       tenants_.emplace(name, std::move(tenant));
+      placement_.set_resident(name, index_);
     } catch (const Error&) {
       registry_.counter("net.restore_errors").add(1);
     }
@@ -211,13 +215,20 @@ void Shard::drain_mailbox() {
   }
   std::vector<std::function<void()>> tasks;
   std::vector<ConnHandoff> handoffs;
+  std::vector<TenantHandoff> tenant_handoffs;
   {
     const std::lock_guard<std::mutex> lock(mail_mutex_);
     tasks.swap(mail_tasks_);
     handoffs.swap(mail_handoffs_);
+    tenant_handoffs.swap(mail_tenant_handoffs_);
   }
   for (std::function<void()>& task : tasks) {
     task();
+  }
+  // Tenants before connections: a connection handed off alongside its
+  // tenant's migration then finds the tenant already adopted.
+  for (TenantHandoff& handoff : tenant_handoffs) {
+    adopt_tenant_now(std::move(handoff));
   }
   for (ConnHandoff& handoff : handoffs) {
     adopt_now(std::move(handoff));
@@ -294,6 +305,188 @@ void Shard::migrate(Conn& conn, const HandshakeRequest& request,
   peers_[target]->adopt(std::move(handoff));
 }
 
+bool Shard::migrate_tenant(const std::string& name, std::size_t target) {
+  if (peers_.empty() || target == index_ || target >= peers_.size() ||
+      stop_.load(std::memory_order_acquire)) {
+    // Refusing while stopping matters for correctness: the target's
+    // reactor may already be past its final mailbox drain, and a handoff
+    // posted after that would strand the tenant.
+    return false;
+  }
+  Tenant* tenant = find_tenant(name);
+  if (tenant == nullptr || !tenant->can_checkpoint()) {
+    // Absent, or handshook with the trace announcement still in flight —
+    // nothing coherent to freeze yet.  Callers retry a beat later.
+    return false;
+  }
+  const MigrationHook& hook = config_.migration_hook;
+  if (hook && hook(MigrationPhase::kFreeze, name)) {
+    registry_.counter("net.tenant_migration_failures").add(1);
+    return false;
+  }
+  // From here handshakes route to the destination; until the adoption
+  // lands they are refused with a retryable "migrating" message.
+  placement_.begin_migration(name, target);
+  TenantHandoff handoff;
+  handoff.name = name;
+  handoff.from_shard = index_;
+  handoff.migrations = tenant->migrations + 1;
+  std::ostringstream blob;
+  try {
+    // Freeze: checkpoint() drains the pipeline at a frame boundary, so
+    // the blob is the same OCEPNTC1 image a restart would read.
+    tenant->checkpoint(blob);
+  } catch (const Error&) {
+    placement_.cancel_migration(name, index_);
+    registry_.counter("net.tenant_migration_failures").add(1);
+    return false;
+  }
+  handoff.blob = std::move(blob).str();
+  if (hook && hook(MigrationPhase::kTransfer, name)) {
+    placement_.cancel_migration(name, index_);
+    registry_.counter("net.tenant_migration_failures").add(1);
+    return false;
+  }
+  handoff.bytes_in = tenant->bytes_in();
+  handoff.detach_deadline_ms = tenant->detach_deadline_ms;
+  if (tenant->conn_id != 0) {
+    const auto it = conns_.find(tenant->conn_id);
+    if (it != conns_.end() && it->second->state() == ConnState::kStreaming) {
+      // The socket travels with the tenant: capture unparsed inbound
+      // bytes and unflushed outbound frames, deregister, release the fd.
+      Conn& conn = *it->second;
+      handoff.leftover = std::string(conn.pending());
+      handoff.outbound = conn.take_pending_writes();
+      poller_.del(conn.fd());
+      handoff.fd = conn.take_fd();
+      conn.tenant.clear();  // the husk must not detach the departed tenant
+      close_conn(conn.id());
+    } else if (it != conns_.end()) {
+      // A closing connection (FIN already queued) stays to finish its
+      // flush; unbind it so its close cannot touch the departed tenant.
+      it->second->tenant.clear();
+    }
+    tenant->conn_id = 0;
+  }
+  update_meters(*tenant);
+  meters_.erase(name);  // a return hop re-seeds at the restored values
+  tenants_.erase(name);
+  registry_.counter("net.tenant_migrations").add(1);
+  peers_[target]->adopt_tenant(std::move(handoff));
+  return true;
+}
+
+void Shard::adopt_tenant_now(TenantHandoff handoff) {
+  const MigrationHook& hook = config_.migration_hook;
+  if (!handoff.bounced && hook && hook(MigrationPhase::kAdopt, handoff.name)) {
+    registry_.counter("net.tenant_migration_failures").add(1);
+    bounce_or_drop(std::move(handoff));
+    return;
+  }
+  auto tenant = std::make_unique<Tenant>(handoff.name, config_.tenant,
+                                         config_.observe_hook);
+  try {
+    std::istringstream in(handoff.blob);
+    tenant->restore(in);
+  } catch (const Error&) {
+    registry_.counter("net.tenant_migration_failures").add(1);
+    bounce_or_drop(std::move(handoff));
+    return;
+  }
+  tenant->restore_bytes_in(handoff.bytes_in);
+  tenant->migrations = handoff.migrations;
+  const bool stopping = stop_.load(std::memory_order_acquire);
+  if (stopping) {
+    // This reactor already checkpointed and will not run again; write
+    // the image to disk directly so the shutdown still captures it, and
+    // keep the tenant for post-run inspection.  The fd just closes (the
+    // producer reconnects to the restarted daemon).
+    write_blob_checkpoint(handoff.name, handoff.blob);
+  }
+  Tenant& ref = *tenants_.insert_or_assign(handoff.name, std::move(tenant))
+                     .first->second;
+  seed_meters(ref);
+  placement_.finish_migration(handoff.name, index_);
+  registry_
+      .counter(handoff.bounced ? "net.tenant_bounced" : "net.tenant_adoptions")
+      .add(1);
+  if (stopping || !handoff.fd.valid()) {
+    ref.conn_id = 0;
+    if (!stopping && ref.streaming()) {
+      ref.detach_deadline_ms = handoff.detach_deadline_ms != 0
+                                   ? handoff.detach_deadline_ms
+                                   : clock_ms_ + config_.detach_linger_ms;
+    }
+    return;
+  }
+  // Re-hang the live socket under a fresh Conn already in streaming
+  // state: inbound bytes the source had buffered are seeded ahead of the
+  // socket, unflushed outbound frames are re-queued, and EPOLL_CTL_ADD
+  // reports any readiness that raced the hop as a fresh edge — no byte
+  // is lost in either direction.
+  const std::uint64_t id = next_conn_id_++;
+  auto conn =
+      std::make_unique<Conn>(std::move(handoff.fd), id, ConnKind::kIngest);
+  conn->last_active_ms = clock_ms_;
+  conn->tenant = handoff.name;
+  conn->set_state(ConnState::kStreaming);
+  conn->seed_inbound(handoff.leftover);
+  if (!conn->queue_write(std::move(handoff.outbound))) {
+    // Unreachable (the bytes came from a queue under the same bound),
+    // but keep the overflow contract: drop the connection, never the
+    // tenant.
+    registry_.counter("net.write_overflow").add(1);
+    ref.conn_id = 0;
+    ref.detach_deadline_ms = clock_ms_ + config_.detach_linger_ms;
+    return;
+  }
+  poller_.add(conn->fd(), EPOLLIN, id);
+  Conn& cref = *conns_.emplace(id, std::move(conn)).first->second;
+  registry_.gauge("net.connections").add(1);
+  ref.conn_id = id;
+  ref.detach_deadline_ms = 0;
+  on_stream_bytes(cref);  // seeded bytes, pending resyncs, FIN checks
+  settle(id);
+}
+
+void Shard::bounce_or_drop(TenantHandoff handoff) {
+  if (!handoff.bounced && handoff.from_shard < peers_.size() &&
+      peers_[handoff.from_shard] != this) {
+    handoff.bounced = true;
+    peers_[handoff.from_shard]->adopt_tenant(std::move(handoff));
+    return;
+  }
+  // No way home (the bounce itself failed): preserve the image on disk
+  // and surface the loss — a tenant must never vanish silently.  Routing
+  // settles here so a reconnecting producer is not refused forever.
+  write_blob_checkpoint(handoff.name, handoff.blob);
+  placement_.finish_migration(handoff.name, index_);
+  registry_.counter("net.tenant_migration_dropped").add(1);
+}
+
+void Shard::write_blob_checkpoint(const std::string& name,
+                                  const std::string& blob) {
+  if (config_.checkpoint_dir.empty()) {
+    return;
+  }
+  std::error_code ec;
+  fs::create_directories(config_.checkpoint_dir, ec);
+  const fs::path final_path =
+      fs::path(config_.checkpoint_dir) / (name + ".ckp");
+  const fs::path tmp_path =
+      fs::path(config_.checkpoint_dir) / (name + ".ckp.tmp");
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.close();
+  fs::rename(tmp_path, final_path, ec);
+  if (!out || ec) {
+    registry_.counter("net.checkpoint_errors").add(1);
+    fs::remove(tmp_path, ec);
+    return;
+  }
+  registry_.counter("net.checkpoints_written").add(1);
+}
+
 void Shard::on_conn_event(std::uint64_t id, std::uint32_t events) {
   const auto it = conns_.find(id);
   if (it == conns_.end()) {
@@ -367,9 +560,21 @@ void Shard::handle_handshake(Conn& conn, const HandshakeRequest& request) {
     reject(conn, "invalid tenant name");
     return;
   }
-  const std::size_t owner = shard_for(request.tenant, shard_count_);
+  // Route by placement: the affinity hash unless an override (live
+  // migration, least-loaded placement) redirects.  With rebalancing on,
+  // a never-seen tenant is assigned the least-loaded shard right here,
+  // so the connection hops at most once.
+  const std::size_t owner = config_.rebalance
+                                ? placement_.route_or_assign(request.tenant)
+                                : placement_.owner_of(request.tenant);
   if (owner != index_ && !peers_.empty()) {
     migrate(conn, request, owner);
+    return;
+  }
+  if (placement_.is_migrating(request.tenant)) {
+    // Frozen on its source shard, not yet adopted here.  Retryable, like
+    // racing a still-attached predecessor connection.
+    reject(conn, "tenant is migrating; retry");
     return;
   }
   Tenant* tenant = find_tenant(request.tenant);
@@ -396,6 +601,7 @@ void Shard::handle_handshake(Conn& conn, const HandshakeRequest& request) {
     }
     tenant = fresh.get();
     tenants_.emplace(request.tenant, std::move(fresh));
+    placement_.set_resident(request.tenant, index_);
     ack.status = AckStatus::kFresh;
     ack.resume_position = 0;
   } else {
@@ -418,6 +624,7 @@ void Shard::handle_handshake(Conn& conn, const HandshakeRequest& request) {
   tenant->detach_deadline_ms = 0;
   conn.tenant = request.tenant;
   conn.set_state(ConnState::kStreaming);
+  ack.shard = index_;
   registry_
       .counter("net.handshakes", ack.status == AckStatus::kFresh
                                      ? "status=\"fresh\""
@@ -499,7 +706,7 @@ void Shard::send_fin(Conn& conn, Tenant& tenant) {
   }
 }
 
-void Shard::update_meters(Tenant& tenant) {
+Shard::Meters& Shard::meters_for(Tenant& tenant) {
   Meters& m = meters_[tenant.name()];
   if (m.bytes == nullptr) {
     const std::string label = tenant_label(tenant.name());
@@ -512,6 +719,23 @@ void Shard::update_meters(Tenant& tenant) {
     m.corrupt = &registry_.counter("net.tenant.corrupt_frames", label,
                                    "frames rejected by CRC/length checks");
   }
+  return m;
+}
+
+void Shard::seed_meters(Tenant& tenant) {
+  // An adopted tenant's cumulative counters cover history the shards it
+  // lived on already metered; start the delta snapshot at the current
+  // values — without adding — so the merged totals never double count.
+  meters_.erase(tenant.name());
+  Meters& m = meters_for(tenant);
+  m.last_bytes = tenant.bytes_in();
+  m.last_frames = tenant.session().frames_ok();
+  m.last_events = tenant.events_released();
+  m.last_corrupt = tenant.session().stats().frames_corrupt;
+}
+
+void Shard::update_meters(Tenant& tenant) {
+  Meters& m = meters_for(tenant);
   const std::uint64_t bytes = tenant.bytes_in();
   const std::uint64_t frames = tenant.session().frames_ok();
   const std::uint64_t events = tenant.events_released();
@@ -540,7 +764,8 @@ std::string Shard::healthz_rows() {
         << (tenant->conn_id != 0 ? "true" : "false")
         << ",\"degraded\":" << (tenant->degraded() ? "true" : "false")
         << ",\"bytes_in\":" << tenant->bytes_in()
-        << ",\"events\":" << tenant->events_released() << ",\"health\":";
+        << ",\"events\":" << tenant->events_released()
+        << ",\"migrations\":" << tenant->migrations << ",\"health\":";
     tenant->monitor().health().to_json(out);
     out << "}";
   }
@@ -674,6 +899,9 @@ std::size_t Shard::write_checkpoints() {
   fs::create_directories(config_.checkpoint_dir, ec);
   std::size_t written = 0;
   for (const auto& [name, tenant] : tenants_) {
+    if (!tenant->can_checkpoint()) {
+      continue;  // handshook, trace table never arrived: nothing to save
+    }
     const fs::path final_path =
         fs::path(config_.checkpoint_dir) / (name + ".ckp");
     const fs::path tmp_path =

@@ -43,11 +43,8 @@
 
 namespace ocep::net {
 
-/// Stable tenant → shard affinity: FNV-1a (64-bit) of the name, mod the
-/// shard count.  Deterministic across processes and restarts, so
-/// checkpoint restore and producer reconnects agree on placement.
-[[nodiscard]] std::size_t shard_for(std::string_view tenant,
-                                    std::size_t shard_count) noexcept;
+// shard_for (the affinity hash) lives in net/placement.h, next to the
+// override map that can re-route around it.
 
 /// A connection mid-migration between shards: the socket, the parsed
 /// handshake that revealed the tenant's affinity, and whatever the
@@ -58,15 +55,35 @@ struct ConnHandoff {
   std::string leftover;
 };
 
+/// A whole tenant mid-migration between shards: the serialized OCEPNTC1
+/// image (the same bytes a checkpoint file would hold), bookkeeping the
+/// image deliberately omits, and — when a producer was attached — the
+/// live socket with both directions' buffered bytes so the stream
+/// resumes without losing a byte in either direction.
+struct TenantHandoff {
+  std::string name;
+  std::string blob;      ///< Tenant::checkpoint() bytes
+  OwnedFd fd;            ///< attached socket; invalid when detached
+  std::string leftover;  ///< inbound bytes buffered past the last parse
+  std::string outbound;  ///< unflushed reverse-channel bytes
+  std::uint64_t bytes_in = 0;  ///< cumulative, for governance budgets
+  std::uint64_t detach_deadline_ms = 0;  ///< linger expiry carried over
+  std::uint64_t migrations = 0;          ///< hops including this one
+  std::size_t from_shard = 0;
+  bool bounced = false;  ///< adoption failed; returning to from_shard
+};
+
 class Shard {
  public:
   /// Binds this shard's ingest listener (SO_REUSEPORT when the daemon
   /// runs more than one shard) and restores the checkpoint partition
   /// owned by `index` from the shared directory.  `tenant_total` is the
-  /// daemon-wide tenant count the max_tenants limit is enforced against.
+  /// daemon-wide tenant count the max_tenants limit is enforced against;
+  /// `placement` is the daemon-wide placement/override map (already
+  /// loaded from disk) that routing consults.
   Shard(const ServerConfig& config, std::size_t index,
         std::size_t shard_count, std::uint16_t ingest_port, bool reuseport,
-        std::atomic<std::size_t>& tenant_total);
+        std::atomic<std::size_t>& tenant_total, PlacementMap& placement);
   ~Shard();
 
   Shard(const Shard&) = delete;
@@ -94,6 +111,21 @@ class Shard {
 
   /// Delivers a migrating connection; called from a sibling shard.
   void adopt(ConnHandoff handoff);
+
+  /// Delivers a migrating tenant; called from a sibling shard.
+  void adopt_tenant(TenantHandoff handoff);
+
+  /// Live tenant migration source side; must run on the shard thread
+  /// (post() it).  Freezes `name` at a frame boundary, serializes it, and
+  /// hands tenant + attached socket to `target`'s mailbox.  Returns false
+  /// (tenant untouched) when the tenant is absent, the target invalid,
+  /// the shard stopping, or a migration-hook fault fired.
+  bool migrate_tenant(const std::string& name, std::size_t target);
+
+  /// Services any mail still queued after run() returned (a tenant
+  /// handed off by a sibling that stopped a beat later).  Caller must
+  /// guarantee the shard thread is done (Server::run() joins first).
+  void drain_stranded();
 
   /// Shard-local registry.  Reads are thread-safe any time (instruments
   /// are atomics); the admin plane merges all shard registries per
@@ -126,6 +158,12 @@ class Shard {
   void accept_ingest();
   void drain_mailbox();
   void adopt_now(ConnHandoff handoff);
+  void adopt_tenant_now(TenantHandoff handoff);
+  void bounce_or_drop(TenantHandoff handoff);
+  /// Raw OCEPNTC1 bytes straight to `<name>.ckp` (tmp + rename): the
+  /// stop_-raced adoption path, where no reactor will run again.
+  void write_blob_checkpoint(const std::string& name,
+                             const std::string& blob);
   void migrate(Conn& conn, const HandshakeRequest& request,
                std::size_t target);
   void on_conn_event(std::uint64_t id, std::uint32_t events);
@@ -149,6 +187,7 @@ class Shard {
   std::size_t index_;
   std::size_t shard_count_;
   std::atomic<std::size_t>& tenant_total_;
+  PlacementMap& placement_;
   std::vector<Shard*> peers_;
 
   Poller poller_;
@@ -161,6 +200,7 @@ class Shard {
   std::atomic<bool> mail_pending_{false};
   std::vector<std::function<void()>> mail_tasks_;
   std::vector<ConnHandoff> mail_handoffs_;
+  std::vector<TenantHandoff> mail_tenant_handoffs_;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
   std::map<std::string, std::unique_ptr<Tenant>> tenants_;
@@ -181,7 +221,12 @@ class Shard {
     std::uint64_t last_events = 0;
     std::uint64_t last_corrupt = 0;
   };
+  [[nodiscard]] Meters& meters_for(Tenant& tenant);
   void update_meters(Tenant& tenant);
+  /// Primes a fresh Meters snapshot at the tenant's current cumulative
+  /// values without adding — an adopted tenant's history was already
+  /// counted by the shards it lived on.
+  void seed_meters(Tenant& tenant);
   std::map<std::string, Meters> meters_;
 };
 

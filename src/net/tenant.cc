@@ -176,6 +176,15 @@ void Tenant::restore(std::istream& in) {
   // The monitor already holds everything the session released before the
   // checkpoint; keep the tap's position counter in step with it.
   released_ = monitor_->events_seen();
+  // A stream that reached its terminal state before the checkpoint must
+  // restore terminal too: the session watermarks round-trip, so done()
+  // is answerable here, and leaving a finished tenant kStreaming would
+  // let a post-completion migration (or a restart after BYE) resurrect
+  // it as live with no connection ever coming to finish it.
+  if (session_->done()) {
+    state_ = session_->degraded() ? TenantState::kDegraded
+                                  : TenantState::kComplete;
+  }
 }
 
 TenantCheckpoint read_tenant_checkpoint(std::istream& in) {

@@ -84,6 +84,14 @@ class Tenant {
   /// framed.  Drains the pipeline first; safe mid-stream.
   void checkpoint(std::ostream& out);
 
+  /// True once the monitor can legally checkpoint (trace table announced
+  /// or restored).  A tenant that handshook but whose announcement frames
+  /// are still in flight has nothing coherent to freeze: callers skip the
+  /// checkpoint or retry the migration a beat later.
+  [[nodiscard]] bool can_checkpoint() const noexcept {
+    return monitor_ != nullptr && monitor_->traces_known();
+  }
+
   /// Feeds received forward-stream bytes into the session.
   void feed(std::string_view bytes);
   /// Advances session time without bytes (resync backoff, stall aging).
@@ -126,9 +134,15 @@ class Tenant {
   }
   [[nodiscard]] bool degraded() const;
 
+  /// Reinstates the cumulative received-byte count after a live shard
+  /// migration: the OCEPNTC1 image deliberately omits it (a restart
+  /// resets governance budgets), but an in-flight hop must not.
+  void restore_bytes_in(std::uint64_t bytes) noexcept { bytes_in_ = bytes; }
+
   // Attachment bookkeeping (owned by the server's policy).
   std::uint64_t conn_id = 0;          ///< 0 = detached
   std::uint64_t detach_deadline_ms = 0;  ///< linger expiry when detached
+  std::uint64_t migrations = 0;  ///< live shard hops this tenant survived
 
  private:
   /// Forwards releases to the monitor, counting them and invoking the

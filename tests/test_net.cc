@@ -10,10 +10,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -95,16 +98,30 @@ class ServerThread {
   std::thread thread_;
 };
 
-/// Polls a registry counter until it reaches `at_least` (5 s timeout).
+/// Deadline-based readiness poll: true as soon as `condition` holds,
+/// false only after `deadline` elapses with it still false.  The one
+/// blessed way this file waits on cross-thread state — no fixed-iteration
+/// sleep loops, which under TSan or load turn into flaky truncated waits.
+bool wait_until(const std::function<bool()>& condition,
+                std::chrono::milliseconds deadline =
+                    std::chrono::milliseconds(5000)) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (!condition()) {
+    if (std::chrono::steady_clock::now() >= until) {
+      return condition();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+/// Polls a registry counter until it reaches `at_least` (5 s deadline).
 bool wait_counter(net::Server& server, const std::string& key,
                   std::uint64_t at_least) {
-  for (int i = 0; i < 500; ++i) {
-    if (server.counter_value(key) >= at_least) {
-      return true;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  return false;
+  return wait_until(
+      [&server, &key, at_least] {
+        return server.counter_value(key) >= at_least;
+      });
 }
 
 /// Streams the golden store as `tenant`, retrying while the server still
@@ -117,14 +134,18 @@ net::StreamResult stream_golden(std::uint16_t port, const std::string& tenant,
   config.port = port;
   config.tenant = tenant;
   config.patterns = {golden_pattern()};
-  for (int attempt = 0; attempt < 40; ++attempt) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
     const net::StreamResult result =
         net::stream_store(store, pool, config, options);
+    // Two transient rejections: "attached" (a dead predecessor connection
+    // not reaped yet) and "migrating" (the tenant is mid-hop between
+    // shards).  Both clear in milliseconds.
     if (result.ack.status != net::AckStatus::kRejected ||
-        result.ack.message.find("attached") == std::string::npos) {
+        (result.ack.message.find("attached") == std::string::npos &&
+         result.ack.message.find("migrating") == std::string::npos)) {
       return result;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   ADD_FAILURE() << "tenant '" << tenant << "' never detached";
   return {};
@@ -152,6 +173,29 @@ TEST(NetProtocol, HandshakeRoundTripsIncrementally) {
   EXPECT_EQ(decoded.tenant, "tenant-a");
   EXPECT_EQ(decoded.patterns, request.patterns);
   EXPECT_TRUE(decoded.want_resume());
+}
+
+TEST(NetProtocol, AckCarriesOwningShardAndDefaultsToZero) {
+  net::HandshakeAck ack;
+  ack.status = net::AckStatus::kResumed;
+  ack.resume_position = 42;
+  ack.message = "hi";
+  ack.shard = 3;
+  const std::string wire = net::encode_ack(ack);
+
+  net::HandshakeAck decoded;
+  std::string error;
+  std::size_t pos = 0;
+  ASSERT_EQ(net::parse_ack(wire, pos, decoded, error), net::ParseStatus::kDone);
+  EXPECT_EQ(decoded.shard, 3U);
+  EXPECT_EQ(decoded.resume_position, 42U);
+
+  // Default round trip: shard 0, the single-reactor daemon's answer.
+  pos = 0;
+  const std::string plain = net::encode_ack(net::HandshakeAck{});
+  ASSERT_EQ(net::parse_ack(plain, pos, decoded, error),
+            net::ParseStatus::kDone);
+  EXPECT_EQ(decoded.shard, 0U);
 }
 
 TEST(NetProtocol, CorruptHandshakeIsRejected) {
@@ -409,9 +453,7 @@ TEST(NetServe, CheckpointOnShutdownThenRestartResumesByteIdentical) {
       const EventId id = store.arrival(pos);
       session.write(store.event(id), store.clock(id));
     }
-    for (int i = 0; i < 500 && released.load() < kHalf; ++i) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
+    ASSERT_TRUE(wait_until([&released] { return released.load() >= kHalf; }));
     ASSERT_EQ(released.load(), kHalf);
     st->stop();  // graceful shutdown: drains + checkpoints mid-stream
   }
@@ -646,9 +688,7 @@ TEST(NetShard, RestartWithDifferentShardCountResumesByteIdentical) {
       const EventId id = store.arrival(pos);
       session.write(store.event(id), store.clock(id));
     }
-    for (int i = 0; i < 500 && released.load() < kHalf; ++i) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
+    ASSERT_TRUE(wait_until([&released] { return released.load() >= kHalf; }));
     ASSERT_EQ(released.load(), kHalf);
     st->stop();  // graceful shutdown: drains + checkpoints mid-stream
   }
@@ -696,6 +736,478 @@ TEST(NetShard, RestartWithDifferentShardCountResumesByteIdentical) {
   const net::TenantCheckpoint a = net::read_tenant_checkpoint(resumed_ckp);
   const net::TenantCheckpoint b = net::read_tenant_checkpoint(reference_ckp);
   EXPECT_EQ(a.monitor_blob, b.monitor_blob);
+}
+
+// ===================================================================
+// NetRebalance: the live tenant-migration torture suite.  A migration
+// freezes a tenant at a frame boundary on its source shard, carries the
+// OCEPNTC1 image (plus any attached socket and both directions' buffered
+// bytes) through the destination's mailbox, and resumes byte-identically.
+// These tests force migrations mid-stream, race them against
+// disconnects, inject faults at every phase, and check the placement
+// override map across restarts.
+// ===================================================================
+
+/// Forces one migration of `name` to `target` and waits for it to settle
+/// (adopted, bounced home, or dropped — placement clears `migrating` in
+/// every terminal state).  False when the source refused.
+bool force_migration(net::Server& server, const std::string& name,
+                     std::size_t target) {
+  if (!server.migrate_tenant(name, target)) {
+    return false;
+  }
+  return wait_until(
+      [&server, &name] { return !server.placement().is_migrating(name); });
+}
+
+// Migrate-while-streaming equivalence: a producer streams the golden
+// store while the tenant is bounced between shards under its feet.  The
+// producer must never observe the hops (clean FIN, no resyncs needed
+// beyond what churn causes) and the final monitor state must be
+// byte-identical to an unsharded, unmigrated run.
+TEST(NetRebalance, MigrateWhileStreamingMatchesUnshardedRun) {
+  constexpr std::size_t kShards = 4;
+  const std::string name = "roamer";
+  net::ServerConfig config;
+  config.shards = kShards;
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  std::atomic<bool> streaming{true};
+  net::StreamResult result;
+  std::thread producer([&] {
+    net::StreamOptions so;
+    // ~1.5 ms per event: the stream stays live long enough for several
+    // migrations to land mid-flight.
+    so.before_write = [](std::uint64_t) {
+      std::this_thread::sleep_for(std::chrono::microseconds(1500));
+    };
+    result = stream_golden(port, name, so);
+    streaming.store(false, std::memory_order_release);
+  });
+
+  // Ping-pong the tenant between its affinity shard and a neighbour for
+  // as long as the stream lasts.
+  const std::size_t home = net::shard_for(name, kShards);
+  std::size_t hops = 0;
+  std::size_t at = home;
+  while (streaming.load(std::memory_order_acquire)) {
+    const std::size_t next = at == home ? (home + 1) % kShards : home;
+    if (force_migration(st.server, name, next)) {
+      at = next;
+      ++hops;
+    } else {
+      // Tenant not handshaken yet (or a hop raced the stream's end).
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  producer.join();
+  EXPECT_GE(hops, 3U) << "stream finished before migrations could land";
+  EXPECT_GE(st.server.counter_value("net.tenant_migrations"), hops);
+  EXPECT_GE(st.server.counter_value("net.tenant_adoptions"), hops);
+  ASSERT_TRUE(result.fin_received);
+  EXPECT_FALSE(result.fin.degraded);
+  st.stop();
+
+  net::Tenant* roamer = st.server.find_tenant(name);
+  ASSERT_NE(roamer, nullptr);
+  EXPECT_EQ(roamer->state(), net::TenantState::kComplete);
+  EXPECT_EQ(roamer->monitor().events_seen(), 342U);
+  EXPECT_EQ(roamer->migrations, hops);
+  EXPECT_EQ(testing::match_signature(roamer->monitor(), 0), golden_clean());
+
+  // Byte-identity against an unsharded, unmigrated reference run.
+  net::ServerConfig ref_config;
+  ref_config.shards = 1;
+  ServerThread ref(std::move(ref_config));
+  const net::StreamResult ref_result = stream_golden(ref.server.port(), name);
+  ASSERT_TRUE(ref_result.fin_received);
+  ref.stop();
+  net::Tenant* reference = ref.server.find_tenant(name);
+  ASSERT_NE(reference, nullptr);
+
+  std::stringstream roamed_ckp;
+  roamer->checkpoint(roamed_ckp);
+  std::stringstream reference_ckp;
+  reference->checkpoint(reference_ckp);
+  const net::TenantCheckpoint a = net::read_tenant_checkpoint(roamed_ckp);
+  const net::TenantCheckpoint b = net::read_tenant_checkpoint(reference_ckp);
+  EXPECT_EQ(a.monitor_blob, b.monitor_blob);
+}
+
+// The acceptance torture bar: >= 100 forced ping-pong hops while the
+// producer streams, with an exactly-once position bitmap proving zero
+// event loss and zero duplicate observes across every hop.
+TEST(NetRebalance, HundredPingPongHopsLoseNothingDuplicateNothing) {
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kHops = 110;
+  constexpr std::uint64_t kEvents = 342;
+  const std::string name = "pingpong";
+
+  // One slot per golden position; the observe hook runs serially per
+  // tenant, so relaxed increments are enough.
+  std::vector<std::atomic<std::uint32_t>> observed(kEvents);
+  net::ServerConfig config;
+  config.shards = kShards;
+  config.observe_hook = [&observed](std::string_view, std::uint64_t position) {
+    if (position < kEvents) {
+      observed[position].fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  std::atomic<bool> streaming{true};
+  net::StreamResult result;
+  std::thread producer([&] {
+    net::StreamOptions so;
+    so.before_write = [](std::uint64_t) {
+      std::this_thread::sleep_for(std::chrono::microseconds(1200));
+    };
+    result = stream_golden(port, name, so);
+    streaming.store(false, std::memory_order_release);
+  });
+
+  // Keep hopping to the full budget even if the stream drains first — a
+  // detached or complete tenant must survive migration just as cleanly.
+  const std::size_t home = net::shard_for(name, kShards);
+  std::size_t hops = 0;
+  std::size_t at = home;
+  while (hops < kHops) {
+    const std::size_t next = at == home ? (home + 1) % kShards : home;
+    if (force_migration(st.server, name, next)) {
+      at = next;
+      ++hops;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  producer.join();
+  ASSERT_TRUE(result.fin_received);
+  EXPECT_FALSE(result.fin.degraded);
+  EXPECT_GE(st.server.counter_value("net.tenant_migrations"), kHops);
+  EXPECT_GE(st.server.counter_value("net.tenant_adoptions"), kHops);
+  EXPECT_EQ(st.server.counter_value("net.tenant_migration_failures"), 0U);
+  EXPECT_EQ(st.server.counter_value("net.tenant_migration_dropped"), 0U);
+  st.stop();
+
+  net::Tenant* tenant = st.server.find_tenant(name);
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->state(), net::TenantState::kComplete);
+  EXPECT_EQ(tenant->monitor().events_seen(), kEvents);
+  EXPECT_GE(tenant->migrations, kHops);
+  // The bitmap is the loss/duplication proof: every position exactly once.
+  for (std::uint64_t pos = 0; pos < kEvents; ++pos) {
+    ASSERT_EQ(observed[pos].load(), 1U) << "position " << pos;
+  }
+  EXPECT_EQ(testing::match_signature(tenant->monitor(), 0), golden_clean());
+}
+
+// Migration raced against an abrupt disconnect and a resuming reconnect:
+// the tenant is moved twice while detached (its producer died mid-frame
+// moments earlier), then the producer comes back past a deliberate gap
+// and must resume via resync on the tenant's *new* shard.
+TEST(NetRebalance, MigrationRacesDisconnectThenResumesOnNewShard) {
+  constexpr std::size_t kShards = 4;
+  const std::string name = "racer";
+  net::ServerConfig config;
+  config.shards = kShards;
+  config.detach_linger_ms = 10000;  // survive the reconnect window
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  net::StreamOptions first_half;
+  first_half.max_events = 150;
+  const net::StreamResult first = stream_golden(port, name, first_half);
+  ASSERT_EQ(first.ack.status, net::AckStatus::kFresh);
+  EXPECT_FALSE(first.fin_received);  // abrupt death, no BYE
+
+  // Migrate immediately — deliberately racing the server's reap of the
+  // dead socket — then hop once more while detached.
+  const std::size_t home = net::shard_for(name, kShards);
+  const std::size_t hop1 = (home + 1) % kShards;
+  const std::size_t hop2 = (home + 2) % kShards;
+  ASSERT_TRUE(wait_until([&] { return force_migration(st.server, name, hop1); }));
+  ASSERT_TRUE(force_migration(st.server, name, hop2));
+
+  // Reconnect past a hole: only a snapshot resync can refill [150, 200).
+  net::StreamOptions rest;
+  rest.skip_below = 200;
+  const net::StreamResult second = stream_golden(port, name, rest);
+  ASSERT_EQ(second.ack.status, net::AckStatus::kResumed) << second.ack.message;
+  // The ack names the shard that answered; it must be the migrated-to
+  // one (the handshake-time hand-off routed the connection there).
+  EXPECT_EQ(second.ack.shard, hop2);
+  ASSERT_TRUE(second.fin_received);
+  EXPECT_FALSE(second.fin.degraded);
+  EXPECT_GT(second.session.resyncs_served, 0U);
+  st.stop();
+
+  EXPECT_EQ(st.server.tenant_shard(name), static_cast<int>(hop2));
+  net::Tenant* tenant = st.server.find_tenant(name);
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->state(), net::TenantState::kComplete);
+  EXPECT_EQ(tenant->monitor().events_seen(), 342U);
+  EXPECT_EQ(testing::match_signature(tenant->monitor(), 0), golden_clean());
+}
+
+// Kill-point fault injection: fail a migration at each phase in turn.
+// Freeze and transfer failures must abort with the tenant untouched on
+// its source shard; an adoption failure must bounce it home.  After all
+// three, the tenant still completes its stream with zero loss.
+TEST(NetRebalance, KillPointsAtEveryPhaseNeverLoseTheTenant) {
+  constexpr std::size_t kShards = 4;
+  constexpr std::uint64_t kEvents = 342;
+  const std::string name = "victim";
+
+  // -1 = no fault; otherwise the phase to fail exactly once.
+  auto fail_phase = std::make_shared<std::atomic<int>>(-1);
+  std::vector<std::atomic<std::uint32_t>> observed(kEvents);
+  net::ServerConfig config;
+  config.shards = kShards;
+  config.detach_linger_ms = 10000;
+  config.migration_hook = [fail_phase](net::MigrationPhase phase,
+                                       std::string_view) {
+    int want = static_cast<int>(phase);
+    return fail_phase->compare_exchange_strong(want, -1);
+  };
+  config.observe_hook = [&observed](std::string_view, std::uint64_t position) {
+    if (position < kEvents) {
+      observed[position].fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  // Put real state on the tenant first (abrupt half-stream, no BYE).
+  net::StreamOptions first_half;
+  first_half.max_events = 150;
+  const net::StreamResult first = stream_golden(port, name, first_half);
+  ASSERT_EQ(first.ack.status, net::AckStatus::kFresh);
+
+  const std::size_t home = net::shard_for(name, kShards);
+  const std::size_t away = (home + 1) % kShards;
+
+  // Freeze fails: the source refuses before anything is serialized.
+  fail_phase->store(static_cast<int>(net::MigrationPhase::kFreeze));
+  ASSERT_TRUE(wait_until([&] {
+    // Retried because the dead first connection may still be reaping.
+    return !st.server.migrate_tenant(name, away) &&
+           st.server.counter_value("net.tenant_migration_failures") >= 1;
+  }));
+  EXPECT_EQ(st.server.tenant_shard(name), static_cast<int>(home));
+
+  // Transfer fails: serialization aborted, tenant stays home.
+  fail_phase->store(static_cast<int>(net::MigrationPhase::kTransfer));
+  EXPECT_FALSE(st.server.migrate_tenant(name, away));
+  EXPECT_GE(st.server.counter_value("net.tenant_migration_failures"), 2U);
+  EXPECT_FALSE(st.server.placement().is_migrating(name));
+  EXPECT_EQ(st.server.tenant_shard(name), static_cast<int>(home));
+
+  // Adoption fails: the handoff reaches the destination, which bounces
+  // the blob straight back; the tenant must land home intact.
+  fail_phase->store(static_cast<int>(net::MigrationPhase::kAdopt));
+  ASSERT_TRUE(st.server.migrate_tenant(name, away));
+  ASSERT_TRUE(wait_counter(st.server, "net.tenant_bounced", 1));
+  ASSERT_TRUE(wait_until(
+      [&] { return !st.server.placement().is_migrating(name); }));
+  ASSERT_TRUE(
+      wait_until([&] { return st.server.tenant_shard(name) ==
+                              static_cast<int>(home); }));
+
+  // After all three kill points: a clean hop still works...
+  ASSERT_EQ(fail_phase->load(), -1);
+  ASSERT_TRUE(force_migration(st.server, name, away));
+  ASSERT_TRUE(wait_counter(st.server, "net.tenant_adoptions", 1));
+
+  // ...and the producer resumes and completes with zero loss.
+  net::StreamOptions rest;
+  rest.skip_below = 150;
+  const net::StreamResult second = stream_golden(port, name, rest);
+  ASSERT_EQ(second.ack.status, net::AckStatus::kResumed) << second.ack.message;
+  ASSERT_TRUE(second.fin_received);
+  EXPECT_FALSE(second.fin.degraded);
+  st.stop();
+
+  net::Tenant* tenant = st.server.find_tenant(name);
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->state(), net::TenantState::kComplete);
+  EXPECT_EQ(tenant->monitor().events_seen(), kEvents);
+  for (std::uint64_t pos = 0; pos < kEvents; ++pos) {
+    ASSERT_EQ(observed[pos].load(), 1U) << "position " << pos;
+  }
+  EXPECT_EQ(testing::match_signature(tenant->monitor(), 0), golden_clean());
+}
+
+// Placement-override persistence: a migrated tenant's placement survives
+// restart — it restores on the shard the migration chose, not its hash
+// shard.  And an override naming a shard that no longer exists after a
+// --shards shrink falls back to the affinity hash instead of vanishing.
+TEST(NetRebalance, PlacementOverrideSurvivesRestartAndShardShrink) {
+  const std::string dir = ::testing::TempDir() + "ocep_net_rebal_ckp_" +
+                          std::to_string(::getpid());
+  const std::string keeper = "ovr_keep";  // override stays valid at 2 shards
+  const std::string faller = "ovr_fall";  // override invalid at 2 shards
+
+  net::ServerConfig config;
+  config.shards = 4;
+  config.checkpoint_dir = dir;
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  const net::StreamResult r1 = stream_golden(port, keeper);
+  ASSERT_TRUE(r1.fin_received);
+  const net::StreamResult r2 = stream_golden(port, faller);
+  ASSERT_TRUE(r2.fin_received);
+
+  // Move keeper to a low shard (survives a shrink to 2), faller to a
+  // high one (does not).
+  const std::size_t keep_to = net::shard_for(keeper, 4) == 1 ? 0 : 1;
+  const std::size_t fall_to = net::shard_for(faller, 4) == 3 ? 2 : 3;
+  ASSERT_TRUE(wait_until(
+      [&] { return force_migration(st.server, keeper, keep_to); }));
+  ASSERT_TRUE(wait_until(
+      [&] { return force_migration(st.server, faller, fall_to); }));
+  st.stop();  // writes checkpoints and placement.map
+  EXPECT_EQ(st.server.tenant_shard(keeper), static_cast<int>(keep_to));
+  EXPECT_EQ(st.server.tenant_shard(faller), static_cast<int>(fall_to));
+
+  // Same shard count: both restore exactly where migration put them.
+  {
+    net::ServerConfig config2;
+    config2.shards = 4;
+    config2.checkpoint_dir = dir;
+    net::Server server2(std::move(config2));  // restore happens at build
+    EXPECT_EQ(server2.tenant_shard(keeper), static_cast<int>(keep_to));
+    EXPECT_EQ(server2.tenant_shard(faller), static_cast<int>(fall_to));
+  }
+
+  // Shrink to 2 shards: the keeper's override still names a real shard
+  // and is honoured; the faller's names shard >= 2 and falls back to its
+  // affinity hash.
+  {
+    net::ServerConfig config3;
+    config3.shards = 2;
+    config3.checkpoint_dir = dir;
+    net::Server server3(std::move(config3));
+    EXPECT_EQ(server3.tenant_shard(keeper), static_cast<int>(keep_to));
+    EXPECT_EQ(server3.tenant_shard(faller),
+              static_cast<int>(net::shard_for(faller, 2)));
+    net::Tenant* restored = server3.find_tenant(keeper);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->monitor().events_seen(), 342U);
+  }
+}
+
+// With rebalancing on, fresh tenants are placed least-loaded instead of
+// by hash: on an idle daemon that degenerates to resident-count
+// round-robin, so N tenants over M shards spread exactly N/M each.
+TEST(NetRebalance, FreshTenantsSpreadLeastLoaded) {
+  constexpr std::size_t kShards = 4;
+  constexpr int kTenants = 8;
+  net::ServerConfig config;
+  config.shards = kShards;
+  config.rebalance = true;
+  config.rebalance_interval_ms = 60000;  // placement only; no cycles
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  for (int i = 0; i < kTenants; ++i) {
+    const net::StreamResult result =
+        stream_golden(port, "fresh" + std::to_string(i));
+    ASSERT_TRUE(result.fin_received) << "tenant fresh" << i;
+  }
+  st.stop();
+
+  std::vector<int> per_shard(kShards, 0);
+  for (int i = 0; i < kTenants; ++i) {
+    const int shard = st.server.tenant_shard("fresh" + std::to_string(i));
+    ASSERT_GE(shard, 0);
+    ++per_shard[static_cast<std::size_t>(shard)];
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(per_shard[s], kTenants / static_cast<int>(kShards))
+        << "shard " << s;
+  }
+}
+
+// The rebalancer end-to-end: a deliberately skewed daemon (every tenant
+// force-migrated onto shard 0) must spread back out under load scoring —
+// cycles fire, hot tenants move off the hot shard, and the spread
+// tightens, all while producers stream.
+TEST(NetRebalance, RebalancerSpreadsAForcedHotShard) {
+  constexpr std::size_t kShards = 4;
+  constexpr int kTenants = 8;
+  net::ServerConfig config;
+  config.shards = kShards;
+  config.rebalance = true;
+  config.rebalance_interval_ms = 40;
+  config.rebalance_min_rate = 2048;  // test streams are small
+  config.rebalance_cooldown_ms = 200;
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  // All eight producers stream concurrently, slowly, as their tenants
+  // are first piled onto shard 0 and then spread back by the rebalancer.
+  std::vector<std::thread> producers;
+  std::vector<net::StreamResult> results(kTenants);
+  for (int i = 0; i < kTenants; ++i) {
+    producers.emplace_back([&results, port, i] {
+      net::StreamOptions so;
+      so.before_write = [](std::uint64_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(2500));
+      };
+      results[static_cast<std::size_t>(i)] =
+          stream_golden(port, "hot" + std::to_string(i), so);
+    });
+  }
+
+  // Pile every tenant onto shard 0 (ignore failures: a tenant may not
+  // have handshaken yet — the pile-up only needs to mostly succeed).
+  std::size_t piled = 0;
+  for (int round = 0; round < 50 && piled < kTenants; ++round) {
+    piled = 0;
+    for (int i = 0; i < kTenants; ++i) {
+      const std::string name = "hot" + std::to_string(i);
+      if (st.server.tenant_shard(name) == 0 ||
+          force_migration(st.server, name, 0)) {
+        ++piled;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(piled, static_cast<std::size_t>(kTenants - 1));
+
+  // The periodic rebalancer must now act: cycles fire and tenants move
+  // off the pile while the streams are still running.
+  EXPECT_TRUE(wait_counter(st.server, "net.rebalance_cycles", 2));
+  EXPECT_TRUE(wait_counter(st.server, "net.rebalance_moves", 1));
+
+  for (std::thread& t : producers) {
+    t.join();
+  }
+  st.stop();
+
+  // Every stream survived the churn bit-exactly.
+  const std::vector<std::string> clean = golden_clean();
+  for (int i = 0; i < kTenants; ++i) {
+    const std::string name = "hot" + std::to_string(i);
+    SCOPED_TRACE("tenant " + name);
+    ASSERT_TRUE(results[static_cast<std::size_t>(i)].fin_received);
+    EXPECT_FALSE(results[static_cast<std::size_t>(i)].fin.degraded);
+    net::Tenant* tenant = st.server.find_tenant(name);
+    ASSERT_NE(tenant, nullptr);
+    EXPECT_EQ(tenant->state(), net::TenantState::kComplete);
+    EXPECT_EQ(testing::match_signature(tenant->monitor(), 0), clean);
+  }
+  // And the pile actually thinned: not all tenants still sit on shard 0.
+  int on_zero = 0;
+  for (int i = 0; i < kTenants; ++i) {
+    if (st.server.tenant_shard("hot" + std::to_string(i)) == 0) {
+      ++on_zero;
+    }
+  }
+  EXPECT_LT(on_zero, kTenants);
 }
 
 // Satellite regression for common/fd_stream.h: a short-write/EAGAIN storm

@@ -8,6 +8,7 @@
 //               [--budget-steps N] [--budget-ns N] [--breaker-trip K]
 //               [--breaker-window N] [--breaker-cooldown N]
 //               [--history-bytes N]
+//               [--rebalance] [--rebalance-interval-ms N]
 //
 // The ingest plane accepts handshaking producers (ocep_record --serve,
 // ocep_chaos --serve) and multiplexes their session streams into
@@ -82,6 +83,13 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(flags.get_int("breaker-cooldown", 256));
     matcher.history_bytes_limit =
         static_cast<std::size_t>(flags.get_int("history-bytes", 0));
+    // Live rebalancing (docs/SERVER.md "Rebalancing"): with --rebalance
+    // the admin thread migrates hot tenants between shards and the
+    // manual trigger POST /rebalance is useful even at the default
+    // interval.  A no-op at --shards 1.
+    config.rebalance = flags.get_bool("rebalance", false);
+    config.rebalance_interval_ms = static_cast<std::uint64_t>(
+        flags.get_int("rebalance-interval-ms", 500));
     flags.check_unused();
 
     net::Server server(std::move(config));
