@@ -1,0 +1,185 @@
+// Durability-store bench — append/group-commit throughput and recovery
+// scan rate of the segment log (src/store, docs/ROBUSTNESS.md).
+//
+// The store's cost model has two knobs: payload size (wire-delta bytes
+// per record) and group size (records per fsync — the daemon's
+// --flush-interval-ms translates to exactly this).  For each pair the
+// bench appends a fixed record count into a fresh log, fsyncing every
+// `group` records, then reopens the directory and times the full
+// recovery scan.  Reported: append throughput (records/s and MiB/s),
+// per-sync latency quantiles, rotation count, and recovery MiB/s —
+// the numbers behind the "loss is bounded by the group-commit
+// interval" trade-off.
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/error.h"
+#include "store/segment_log.h"
+
+using namespace ocep;
+using namespace ocep::bench;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct RunResult {
+  double append_seconds = 0;
+  double sync_seconds = 0;  ///< inside append_seconds; the fsync share
+  double scan_seconds = 0;
+  std::uint64_t rotations = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t scanned = 0;
+};
+
+RunResult run_once(const std::string& dir, std::uint64_t records,
+                   std::size_t payload_bytes, std::uint64_t group,
+                   std::uint64_t segment_bytes,
+                   metrics::LatencyRecorder& sync_latency) {
+  fs::remove_all(dir);
+  RunResult result;
+  {
+    store::LogConfig config;
+    config.dir = dir;
+    config.segment_bytes = segment_bytes;
+    store::SegmentLog log(std::move(config), nullptr);
+    store::Record record;
+    record.type = store::RecordType::kDelta;
+    record.epoch = 1;
+    record.name = "bench";
+    record.payload.assign(payload_bytes, 'x');
+    const double start = now_seconds();
+    for (std::uint64_t i = 0; i < records; ++i) {
+      log.append(record);
+      if ((i + 1) % group == 0) {
+        const double sync_start = now_seconds();
+        log.sync();
+        const double sync_end = now_seconds();
+        result.sync_seconds += sync_end - sync_start;
+        sync_latency.add((sync_end - sync_start) * 1e6);
+      }
+    }
+    log.sync();
+    result.append_seconds = now_seconds() - start;
+    result.rotations = log.stats().rotations;
+    result.segments = log.stats().segments;
+  }
+  {
+    const double start = now_seconds();
+    store::LogConfig config;
+    config.dir = dir;
+    config.segment_bytes = segment_bytes;
+    std::uint64_t scanned = 0;
+    store::SegmentLog log(
+        std::move(config),
+        [&scanned](const store::Record&, const store::RecordRef&) {
+          ++scanned;
+        });
+    result.scan_seconds = now_seconds() - start;
+    result.scanned = scanned;
+  }
+  fs::remove_all(dir);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    BenchParams params = parse_params(flags);
+    const std::uint64_t records =
+        static_cast<std::uint64_t>(flags.get_int("records", 20000));
+    const std::uint64_t segment_bytes = static_cast<std::uint64_t>(
+        flags.get_int("segment-bytes", 4 << 20));
+    std::vector<std::size_t> payloads;
+    for (const std::int64_t p : {flags.get_int("payload1", 64),
+                                 flags.get_int("payload2", 1024),
+                                 flags.get_int("payload3", 16384)}) {
+      payloads.push_back(static_cast<std::size_t>(p));
+    }
+    std::vector<std::uint64_t> groups;
+    for (const std::int64_t g : {flags.get_int("group1", 1),
+                                 flags.get_int("group2", 64),
+                                 flags.get_int("group3", 1024)}) {
+      groups.push_back(static_cast<std::uint64_t>(g));
+    }
+    flags.check_unused();
+
+    const std::string dir =
+        (fs::temp_directory_path() /
+         ("ocep_store_bench_" + std::to_string(::getpid())))
+            .string();
+
+    std::printf("# Segment-log durability: append/group-commit/recovery "
+                "(%" PRIu64 " records per cell)\n",
+                records);
+    std::printf("%-8s %-6s | %12s %10s %9s | %10s %8s | %10s\n", "payload",
+                "group", "records/s", "MiB/s", "sync_ms", "recover/s",
+                "segs", "rec_MiB/s");
+    JsonReport report("store_log", params);
+    for (const std::size_t payload : payloads) {
+      for (const std::uint64_t group : groups) {
+        double append_s = 0, sync_s = 0, scan_s = 0;
+        std::uint64_t segments = 0, scanned = 0;
+        metrics::LatencyRecorder sync_latency;
+        for (std::uint32_t rep = 0; rep < params.reps; ++rep) {
+          const RunResult r = run_once(dir, records, payload, group,
+                                       segment_bytes, sync_latency);
+          if (r.scanned != records) {
+            throw Error("recovery scan lost records: " +
+                        std::to_string(r.scanned));
+          }
+          append_s += r.append_seconds;
+          sync_s += r.sync_seconds;
+          scan_s += r.scan_seconds;
+          segments = r.segments;
+          scanned += r.scanned;
+        }
+        const double total_records =
+            static_cast<double>(records) * params.reps;
+        const double total_mib = total_records *
+                                 static_cast<double>(payload) /
+                                 (1024.0 * 1024.0);
+        const metrics::Boxplot sync_box = sync_latency.summarize();
+        std::printf("%-8zu %-6" PRIu64 " | %12.0f %10.1f %9.3f | %10.0f "
+                    "%8" PRIu64 " | %10.1f\n",
+                    payload, group, total_records / append_s,
+                    total_mib / append_s, sync_box.median / 1000.0,
+                    static_cast<double>(scanned) / scan_s, segments,
+                    total_mib / scan_s);
+        report.begin_row(std::to_string(payload) + "/" +
+                         std::to_string(group));
+        report.add("payload_bytes", static_cast<std::uint64_t>(payload));
+        report.add("group", group);
+        report.add("records", records);
+        report.add("append_records_per_s", total_records / append_s);
+        report.add("append_mib_per_s", total_mib / append_s);
+        report.add("sync_share", sync_s / append_s);
+        report.add("segments", segments);
+        report.add_latency("sync", sync_latency);
+        report.add("recover_records_per_s",
+                   static_cast<double>(scanned) / scan_s);
+        report.add("recover_mib_per_s", total_mib / scan_s);
+      }
+    }
+    report.write();
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "store_log: %s\n", error.what());
+    return 1;
+  }
+}

@@ -75,6 +75,43 @@ class SerializationError : public Error {
   std::int64_t frame_index_ = -1;
 };
 
+/// Raised by the append-only segment store (src/store) on conditions
+/// recovery must not paper over: a manifest that fails its CRC, a segment
+/// the manifest names but the directory lacks, or a record that fails CRC
+/// in the *middle* of the log (a failure at the tail is a torn write and
+/// is truncated instead).  Positioned like SerializationError, but at the
+/// granularity the operator needs to act: file path + byte offset.
+class StoreError : public Error {
+ public:
+  explicit StoreError(const std::string& what) : Error(what) {}
+
+  StoreError(const std::string& what, std::string file,
+             std::int64_t byte_offset)
+      : Error(annotate(what, file, byte_offset)),
+        file_(std::move(file)),
+        byte_offset_(byte_offset) {}
+
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
+  [[nodiscard]] std::int64_t byte_offset() const noexcept {
+    return byte_offset_;
+  }
+
+ private:
+  static std::string annotate(const std::string& what, const std::string& file,
+                              std::int64_t byte) {
+    std::string out = what;
+    out += " (" + file;
+    if (byte >= 0) {
+      out += " at byte " + std::to_string(byte);
+    }
+    out += ")";
+    return out;
+  }
+
+  std::string file_;
+  std::int64_t byte_offset_ = -1;
+};
+
 /// Raised on semantically invalid pattern definitions (unknown class ids,
 /// contradictory constraints, unbound variables).
 class PatternError : public Error {

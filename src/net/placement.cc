@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/crc32c.h"
+#include "common/durable.h"
 #include "common/error.h"
 #include "poet/varint.h"
 
@@ -241,20 +242,16 @@ bool PlacementMap::save_file(const std::string& dir) const {
   std::error_code ec;
   fs::create_directories(dir, ec);
   const fs::path final_path = fs::path(dir) / kPlacementFile;
-  const fs::path tmp_path = fs::path(dir) / "placement.map.tmp";
   try {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    // Serialize first, then replace the file durably (fsync + rename +
+    // dir fsync) — a crash or power cut never leaves a torn map, and the
+    // rename itself cannot be lost.
+    std::ostringstream out;
     save(out);
+    return write_file_durable(final_path.string(), std::move(out).str());
   } catch (const Error&) {
-    fs::remove(tmp_path, ec);
     return false;
   }
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    fs::remove(tmp_path, ec);
-    return false;
-  }
-  return true;
 }
 
 void PlacementMap::load_file(const std::string& dir) {

@@ -31,10 +31,10 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
     config_.shards = 1;
   }
   // Placement first: shards consult it (overrides loaded from the
-  // checkpoint dir) when partitioning the restore scan.
+  // state dir) when partitioning the restore scan.
   placement_ = std::make_unique<PlacementMap>(config_.shards);
   try {
-    placement_->load_file(config_.checkpoint_dir);
+    placement_->load_file(config_.state_dir());
   } catch (const Error&) {
     // A corrupt placement map degrades to pure hash placement; the
     // tenant checkpoints themselves are untouched.
@@ -59,6 +59,12 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
   }
   for (const auto& shard : shards_) {
     shard->set_peers(peers);
+  }
+  // Only after every shard has scanned every log: a shard tombstoning a
+  // record it holds but does not own must not race a sibling that still
+  // needs to read that copy.
+  for (const auto& shard : shards_) {
+    shard->settle_store();
   }
 
   admin_ = std::make_unique<Listener>(config_.host, config_.admin_port);
@@ -149,7 +155,7 @@ std::size_t Server::write_checkpoints() {
   for (const auto& shard : shards_) {
     written += shard->write_checkpoints();
   }
-  if (!placement_->save_file(config_.checkpoint_dir)) {
+  if (!placement_->save_file(config_.state_dir())) {
     registry_.counter("net.placement_save_errors").add(1);
   }
   return written;
@@ -186,7 +192,7 @@ void Server::run() {
     throw;
   }
   join_all();
-  if (!placement_->save_file(config_.checkpoint_dir)) {
+  if (!placement_->save_file(config_.state_dir())) {
     registry_.counter("net.placement_save_errors").add(1);
   }
 }
@@ -323,9 +329,9 @@ void Server::advance_admin(Conn& conn) {
       respond_http(conn, 200, "application/json", std::move(body));
     }
   } else if ((method == "POST" || method == "GET") && path == "/checkpoint") {
-    if (config_.checkpoint_dir.empty()) {
+    if (config_.checkpoint_dir.empty() && config_.store_dir.empty()) {
       respond_http(conn, 409, "application/json",
-                   "{\"error\":\"checkpoint_dir not configured\"}\n");
+                   "{\"error\":\"no checkpoint_dir or store_dir\"}\n");
     } else {
       const long written = checkpoint_live();
       if (written < 0) {
@@ -490,7 +496,7 @@ long Server::checkpoint_live() {
     }
     written += static_cast<long>(reply.get());
   }
-  if (!placement_->save_file(config_.checkpoint_dir)) {
+  if (!placement_->save_file(config_.state_dir())) {
     registry_.counter("net.placement_save_errors").add(1);
   }
   return written;

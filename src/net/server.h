@@ -45,6 +45,7 @@
 #include "net/poller.h"
 #include "net/tenant.h"
 #include "obs/metrics.h"
+#include "store/segment_log.h"
 
 namespace ocep::net {
 
@@ -79,6 +80,30 @@ struct ServerConfig {
   /// restore-on-start (every *.ckp found is loaded before serving, each
   /// shard restoring its affinity partition).
   std::string checkpoint_dir;
+  /// Directory for the crash-consistent append-only tenant store
+  /// (docs/ROBUSTNESS.md "Durability").  Non-empty supersedes
+  /// checkpoint_dir for tenant state: each shard keeps a segment log
+  /// under <store_dir>/shard-<i>, appends input deltas on the group
+  /// commit interval, and replays base + deltas on restart.  Any *.ckp
+  /// files in checkpoint_dir are still loaded once (upgrade path) and
+  /// re-based into the log.
+  std::string store_dir;
+  /// Group-commit window: pending input bytes are appended + fsynced at
+  /// most this often.  Crash loss is bounded by one window (acknowledged
+  /// resume positions heal the tail on reconnect).
+  std::uint64_t flush_interval_ms = 50;
+  /// Byte budget for resident detached tenant state (0 = off).  Past it,
+  /// the coldest finished detached tenants are written to the log and
+  /// dropped from RAM; a reconnect reloads them transparently.
+  std::uint64_t spill_bytes = 0;
+  /// A tenant whose deltas-since-base exceed this is re-based (one full
+  /// image append supersedes the delta chain); 0 disables re-basing.
+  std::uint64_t store_rebase_bytes = 1ULL << 20;
+  /// Segment rotation threshold for the store's log files.
+  std::size_t store_segment_bytes = std::size_t{4} << 20;
+  /// Test-only crash injection around every store write/fsync/rename
+  /// edge; see store::CrashHook.  Called from shard threads.
+  store::CrashHook store_crash_hook;
   /// Connections silent this long are closed (their tenant detaches).
   std::uint64_t idle_timeout_ms = 30000;
   /// Grace for a disconnected producer to come back before its tenant is
@@ -117,6 +142,13 @@ struct ServerConfig {
   std::uint64_t rebalance_cooldown_ms = 2000;
   /// Test-only migration fault injection; see MigrationHook.
   MigrationHook migration_hook;
+
+  /// Where cross-restart daemon state that is not tenant state (the
+  /// placement override map) lives: checkpoint_dir when set, else
+  /// store_dir, else empty (not persisted).
+  [[nodiscard]] const std::string& state_dir() const noexcept {
+    return checkpoint_dir.empty() ? store_dir : checkpoint_dir;
+  }
 };
 
 class Server {
@@ -188,6 +220,12 @@ class Server {
   /// running, POST /checkpoint fans the same work out to shard threads.
   std::size_t write_checkpoints();
 
+  /// Aggregated /healthz document (the same JSON GET /healthz serves);
+  /// empty string when a shard failed to answer within the deadline.
+  /// Thread-safe while running — rows are collected over the shard
+  /// mailboxes, exactly as the admin plane does.
+  [[nodiscard]] std::string healthz_json();
+
  private:
   static constexpr std::uint64_t kTagWake = 0;
   static constexpr std::uint64_t kTagAdmin = 2;
@@ -201,9 +239,6 @@ class Server {
   void advance_admin(Conn& conn);
   void respond_http(Conn& conn, int code, const std::string& content_type,
                     std::string body);
-  /// Aggregated /healthz document; empty string when a shard failed to
-  /// answer within the deadline (the caller responds 503).
-  [[nodiscard]] std::string healthz_json();
   /// Fans write_checkpoints out to every shard thread and sums; -1 when
   /// a shard failed to answer within the deadline.
   [[nodiscard]] long checkpoint_live();

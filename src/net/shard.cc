@@ -4,6 +4,7 @@
 #include <sys/epoll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <ctime>
@@ -12,6 +13,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/durable.h"
 #include "common/error.h"
 
 namespace ocep::net {
@@ -39,6 +41,11 @@ std::string tenant_label(const std::string& name) {
   return "tenant=\"" + name + "\"";
 }
 
+/// Each shard owns one log directory under the shared store root.
+std::string store_shard_dir(const std::string& base, std::size_t index) {
+  return base + "/shard-" + std::to_string(index);
+}
+
 }  // namespace
 
 Shard::Shard(const ServerConfig& config, std::size_t index,
@@ -60,7 +67,17 @@ Shard::Shard(const ServerConfig& config, std::size_t index,
   poller_.add(wake_read_, EPOLLIN, kTagWake);
   poller_.add(ingest_->fd(), EPOLLIN, kTagIngest);
   clock_ms_ = now_ms();
+  if (!config_.store_dir.empty()) {
+    // Corruption that is not a torn tail fails construction loudly — an
+    // operator must intervene rather than serve from a silently partial
+    // store (ocep_inspect --store diagnoses the damage).
+    open_store();
+    restore_from_store();
+  }
+  // With the store on this is the one-time upgrade path: any *.ckp files
+  // are loaded for tenants the log does not know and re-based into it.
   restore_checkpoints();
+  next_flush_ms_ = clock_ms_ + flush_interval_ms();
 }
 
 Shard::~Shard() {
@@ -169,12 +186,155 @@ void Shard::restore_checkpoints() {
       tenant->detach_deadline_ms = clock_ms_ + config_.detach_linger_ms;
       registry_.counter("net.tenants_restored").add(1);
       tenant_total_.fetch_add(1, std::memory_order_relaxed);
-      tenants_.emplace(name, std::move(tenant));
+      Tenant& ref = *tenants_.emplace(name, std::move(tenant)).first->second;
       placement_.set_resident(name, index_);
+      if (store_ != nullptr) {
+        // Upgrade: fold the legacy checkpoint into the log so the next
+        // restart never needs the .ckp file again.
+        store_rebase(ref, 1);
+        durable_[name].last_active_ms = clock_ms_;
+      }
     } catch (const Error&) {
       registry_.counter("net.restore_errors").add(1);
     }
   }
+}
+
+void Shard::open_store() {
+  store::LogConfig log_config;
+  log_config.dir = store_shard_dir(config_.store_dir, index_);
+  log_config.segment_bytes = config_.store_segment_bytes;
+  log_config.crash_hook = config_.store_crash_hook;
+  store_ = std::make_unique<store::TenantStore>(std::move(log_config));
+}
+
+std::unique_ptr<Tenant> Shard::rebuild_tenant(const std::string& name,
+                                              const store::TenantImage& image) {
+  auto tenant =
+      std::make_unique<Tenant>(name, config_.tenant, config_.observe_hook);
+  if (image.has_base) {
+    std::istringstream in(image.base);
+    tenant->restore(in);
+  } else {
+    tenant->register_patterns(image.patterns);
+  }
+  // Replay the captured input; the session's position dedup makes bytes
+  // the base already covered idempotent, so base + deltas converge on
+  // the same state the live tenant held.
+  for (const std::string& delta : image.deltas) {
+    if (!tenant->streaming()) {
+      break;
+    }
+    tenant->feed(delta);
+  }
+  tenant->monitor().drain();
+  (void)tenant->maybe_finish();
+  return tenant;
+}
+
+void Shard::restore_from_store() {
+  struct Candidate {
+    store::TenantImage image;
+    bool foreign = false;  ///< found in a sibling shard's log
+  };
+  std::map<std::string, Candidate> best;
+  for (const auto& [name, image] : store_->images()) {
+    if (!valid_tenant_name(name)) {
+      continue;
+    }
+    if (placement_.owner_of(name) != index_) {
+      store_foreign_.push_back(name);  // settle_store() disowns it later
+      continue;
+    }
+    best[name] = Candidate{image, false};
+  }
+  // A restart with a different shard count (or fresh placement overrides)
+  // can leave our tenants in a sibling's log; scan the other shard
+  // directories read-only and take the highest-epoch copy.  Ties go to
+  // our own log so a tenant that never moved is not pointlessly re-based.
+  std::error_code ec;
+  if (fs::is_directory(config_.store_dir, ec)) {
+    const std::string own_dir = store_shard_dir(config_.store_dir, index_);
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(config_.store_dir, ec)) {
+      if (ec || !entry.is_directory()) {
+        continue;
+      }
+      const std::string dir = entry.path().string();
+      if (dir == own_dir ||
+          entry.path().filename().string().rfind("shard-", 0) != 0) {
+        continue;
+      }
+      try {
+        for (auto& [name, image] : store::TenantStore::read_images(dir)) {
+          if (!valid_tenant_name(name) || placement_.owner_of(name) != index_) {
+            continue;
+          }
+          const auto it = best.find(name);
+          if (it == best.end() || image.epoch > it->second.image.epoch) {
+            best[name] = Candidate{std::move(image), true};
+          }
+        }
+      } catch (const Error&) {
+        registry_.counter("net.restore_errors").add(1);
+      }
+    }
+  }
+  for (auto& [name, candidate] : best) {
+    try {
+      auto tenant = rebuild_tenant(name, candidate.image);
+      Tenant& ref = *tenant;
+      if (ref.streaming()) {
+        ref.detach_deadline_ms = clock_ms_ + config_.detach_linger_ms;
+      }
+      registry_.counter("net.tenants_restored").add(1);
+      tenant_total_.fetch_add(1, std::memory_order_relaxed);
+      tenants_.emplace(name, std::move(tenant));
+      placement_.set_resident(name, index_);
+      Durable& durable = durable_[name];
+      durable.last_active_ms = clock_ms_;
+      for (const std::string& delta : candidate.image.deltas) {
+        durable.bytes_since_base += delta.size();
+      }
+      if (candidate.foreign) {
+        // Claim the tenant in our own log at a higher epoch; the sibling
+        // keeps its stale copy until settle_store() tombstones it.
+        if (ref.can_checkpoint()) {
+          store_rebase(ref, candidate.image.epoch + 1);
+          durable.bytes_since_base = 0;
+        } else {
+          store_try([&] {
+            store_->append_genesis(name, ref.patterns(),
+                                   candidate.image.epoch + 1);
+            for (const std::string& delta : candidate.image.deltas) {
+              store_->append_delta(name, delta);
+            }
+          });
+        }
+      }
+    } catch (const Error&) {
+      registry_.counter("net.restore_errors").add(1);
+    }
+  }
+  store_->drop_images();
+  if (store_->dirty()) {
+    store_try([&] { store_->sync(); });
+  }
+  fold_store_stats();
+}
+
+void Shard::settle_store() {
+  if (store_ == nullptr || store_foreign_.empty()) {
+    return;
+  }
+  for (const std::string& name : store_foreign_) {
+    store_try([&] { store_->append_tombstone(name); });
+  }
+  store_foreign_.clear();
+  if (store_->dirty()) {
+    store_try([&] { store_->sync(); });
+  }
+  fold_store_stats();
 }
 
 void Shard::run() {
@@ -201,6 +361,10 @@ void Shard::run() {
       }
     }
     sweep_timers();
+    if (store_ != nullptr && clock_ms_ >= next_flush_ms_) {
+      flush_store();
+      next_flush_ms_ = clock_ms_ + flush_interval_ms();
+    }
   }
   graceful_shutdown();
   // Late mail (an admin scrape racing shutdown, a connection migrating
@@ -248,13 +412,21 @@ int Shard::loop_timeout_ms() const {
       pending_deadline = true;
     }
   }
+  int timeout = 500;
   if (attached_streaming) {
-    return 5;  // drive session ticks (resync grace/backoff are tick-based)
+    timeout = 5;  // drive session ticks (resync grace/backoff are tick-based)
+  } else if (pending_deadline ||
+             (config_.idle_timeout_ms != 0 && !conns_.empty())) {
+    timeout = 50;
   }
-  if (pending_deadline || (config_.idle_timeout_ms != 0 && !conns_.empty())) {
-    return 50;
+  if (store_ != nullptr && store_work_pending_) {
+    // Unflushed input bytes bound the wait by the group-commit window.
+    const std::uint64_t interval = flush_interval_ms();
+    if (interval < static_cast<std::uint64_t>(timeout)) {
+      timeout = static_cast<int>(interval);
+    }
   }
-  return 500;
+  return timeout;
 }
 
 void Shard::accept_ingest() {
@@ -349,6 +521,7 @@ bool Shard::migrate_tenant(const std::string& name, std::size_t target) {
   }
   handoff.bytes_in = tenant->bytes_in();
   handoff.detach_deadline_ms = tenant->detach_deadline_ms;
+  handoff.store_epoch = store_ != nullptr ? store_->epoch_of(name) : 0;
   if (tenant->conn_id != 0) {
     const auto it = conns_.find(tenant->conn_id);
     if (it != conns_.end() && it->second->state() == ConnState::kStreaming) {
@@ -371,6 +544,14 @@ bool Shard::migrate_tenant(const std::string& name, std::size_t target) {
   update_meters(*tenant);
   meters_.erase(name);  // a return hop re-seeds at the restored values
   tenants_.erase(name);
+  if (store_ != nullptr) {
+    // The handoff blob already covers any captured-but-unflushed input,
+    // so the pending bytes can go; the tombstone keeps this log from
+    // resurrecting its stale copy on the next restart.
+    durable_.erase(name);
+    store_try([&] { store_->append_tombstone(name); });
+    store_work_pending_ = true;
+  }
   registry_.counter("net.tenant_migrations").add(1);
   peers_[target]->adopt_tenant(std::move(handoff));
   return true;
@@ -401,11 +582,35 @@ void Shard::adopt_tenant_now(TenantHandoff handoff) {
     // the image to disk directly so the shutdown still captures it, and
     // keep the tenant for post-run inspection.  The fd just closes (the
     // producer reconnects to the restarted daemon).
-    write_blob_checkpoint(handoff.name, handoff.blob);
+    if (store_ != nullptr) {
+      store_try([&] {
+        store_->append_base(handoff.name, handoff.blob,
+                            handoff.store_epoch + 1);
+        store_->sync();
+      });
+    } else {
+      write_blob_checkpoint(handoff.name, handoff.blob);
+    }
   }
   Tenant& ref = *tenants_.insert_or_assign(handoff.name, std::move(tenant))
                      .first->second;
   seed_meters(ref);
+  if (store_ != nullptr) {
+    spilled_.erase(handoff.name);
+    if (!stopping) {
+      // Adopt at source epoch + 1 so a cross-log recovery scan prefers
+      // this copy over the source's (now tombstoned) records.
+      store_try([&] {
+        store_->append_base(handoff.name, handoff.blob,
+                            handoff.store_epoch + 1);
+      });
+      store_work_pending_ = true;
+    }
+    Durable& durable = durable_[handoff.name];
+    durable.pending.clear();
+    durable.bytes_since_base = 0;
+    durable.last_active_ms = clock_ms_;
+  }
   placement_.finish_migration(handoff.name, index_);
   registry_
       .counter(handoff.bounced ? "net.tenant_bounced" : "net.tenant_adoptions")
@@ -459,7 +664,14 @@ void Shard::bounce_or_drop(TenantHandoff handoff) {
   // No way home (the bounce itself failed): preserve the image on disk
   // and surface the loss — a tenant must never vanish silently.  Routing
   // settles here so a reconnecting producer is not refused forever.
-  write_blob_checkpoint(handoff.name, handoff.blob);
+  if (store_ != nullptr) {
+    store_try([&] {
+      store_->append_base(handoff.name, handoff.blob, handoff.store_epoch + 1);
+      store_->sync();
+    });
+  } else {
+    write_blob_checkpoint(handoff.name, handoff.blob);
+  }
   placement_.finish_migration(handoff.name, index_);
   registry_.counter("net.tenant_migration_dropped").add(1);
 }
@@ -473,15 +685,8 @@ void Shard::write_blob_checkpoint(const std::string& name,
   fs::create_directories(config_.checkpoint_dir, ec);
   const fs::path final_path =
       fs::path(config_.checkpoint_dir) / (name + ".ckp");
-  const fs::path tmp_path =
-      fs::path(config_.checkpoint_dir) / (name + ".ckp.tmp");
-  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-  out.close();
-  fs::rename(tmp_path, final_path, ec);
-  if (!out || ec) {
+  if (!write_file_durable(final_path.string(), blob)) {
     registry_.counter("net.checkpoint_errors").add(1);
-    fs::remove(tmp_path, ec);
     return;
   }
   registry_.counter("net.checkpoints_written").add(1);
@@ -578,6 +783,21 @@ void Shard::handle_handshake(Conn& conn, const HandshakeRequest& request) {
     return;
   }
   Tenant* tenant = find_tenant(request.tenant);
+  if (tenant == nullptr && store_ != nullptr && !spilled_.empty()) {
+    const auto it = spilled_.find(request.tenant);
+    if (it != spilled_.end()) {
+      if (it->second.state == TenantState::kShed) {
+        // No need to reload the image just to refuse the producer.
+        reject(conn, "tenant was shed: " + it->second.shed_reason);
+        return;
+      }
+      tenant = unspill(request.tenant);
+      if (tenant == nullptr) {
+        reject(conn, "tenant reload from store failed; retry");
+        return;
+      }
+    }
+  }
   HandshakeAck ack;
   if (tenant == nullptr) {
     // max_tenants is daemon-wide: claim a slot in the shared count first,
@@ -602,6 +822,15 @@ void Shard::handle_handshake(Conn& conn, const HandshakeRequest& request) {
     tenant = fresh.get();
     tenants_.emplace(request.tenant, std::move(fresh));
     placement_.set_resident(request.tenant, index_);
+    if (store_ != nullptr) {
+      // Genesis first: the pattern list is the only coherent state a
+      // brand-new tenant has, and recovery needs it to re-register.
+      store_try([&] {
+        store_->append_genesis(request.tenant, request.patterns);
+      });
+      durable_[request.tenant].last_active_ms = clock_ms_;
+      store_work_pending_ = true;
+    }
     ack.status = AckStatus::kFresh;
     ack.resume_position = 0;
   } else {
@@ -662,7 +891,16 @@ void Shard::on_stream_bytes(Conn& conn) {
   }
   const std::string_view bytes = conn.pending();
   if (!bytes.empty()) {
+    // Capture the raw wire bytes for the durability log before they are
+    // consumed; the store replays them through feed() on recovery.
+    const bool capture = store_ != nullptr && tenant->streaming();
     tenant->feed(bytes);
+    if (capture) {
+      Durable& durable = durable_[conn.tenant];
+      durable.pending.append(bytes);
+      durable.last_active_ms = clock_ms_;
+      store_work_pending_ = true;
+    }
     conn.consume(bytes.size());
   }
   pump_tenant(conn, *tenant);
@@ -768,6 +1006,23 @@ std::string Shard::healthz_rows() {
         << ",\"migrations\":" << tenant->migrations << ",\"health\":";
     tenant->monitor().health().to_json(out);
     out << "}";
+  }
+  for (const auto& [name, spilled] : spilled_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    // Evicted to the store: metadata only; the image is on disk and a
+    // reconnect reloads it.
+    out << "{\"name\":\"" << name << "\",\"shard\":" << index_
+        << ",\"state\":\"spilled\",\"attached\":false,\"degraded\":"
+        << (spilled.state == TenantState::kDegraded ||
+                    spilled.state == TenantState::kShed
+                ? "true"
+                : "false")
+        << ",\"bytes_in\":" << spilled.bytes_in
+        << ",\"events\":" << spilled.events
+        << ",\"migrations\":" << spilled.migrations << ",\"health\":null}";
   }
   return out.str();
 }
@@ -892,6 +1147,19 @@ void Shard::sweep_timers() {
 }
 
 std::size_t Shard::write_checkpoints() {
+  if (store_ != nullptr) {
+    // Incremental: append + fsync whatever input arrived since the last
+    // group commit — O(dirty state), never a full image per tenant.
+    std::size_t dirty = 0;
+    for (const auto& [name, durable] : durable_) {
+      if (!durable.pending.empty()) {
+        ++dirty;
+      }
+    }
+    flush_store();
+    registry_.counter("net.checkpoints_written").add(dirty);
+    return dirty;
+  }
   if (config_.checkpoint_dir.empty()) {
     return 0;
   }
@@ -904,25 +1172,198 @@ std::size_t Shard::write_checkpoints() {
     }
     const fs::path final_path =
         fs::path(config_.checkpoint_dir) / (name + ".ckp");
-    const fs::path tmp_path =
-        fs::path(config_.checkpoint_dir) / (name + ".ckp.tmp");
     try {
-      {
-        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-        tenant->checkpoint(out);
-        if (!out) {
-          throw SerializationError("checkpoint write failed");
-        }
+      std::ostringstream out;
+      tenant->checkpoint(out);
+      if (!out || !write_file_durable(final_path.string(),
+                                      std::move(out).str())) {
+        throw SerializationError("checkpoint write failed");
       }
-      fs::rename(tmp_path, final_path);
       ++written;
     } catch (const Error&) {
       registry_.counter("net.checkpoint_errors").add(1);
-      fs::remove(tmp_path, ec);
     }
   }
   registry_.counter("net.checkpoints_written").add(written);
   return written;
+}
+
+std::uint64_t Shard::flush_interval_ms() const noexcept {
+  return std::max<std::uint64_t>(1, config_.flush_interval_ms);
+}
+
+bool Shard::store_try(const std::function<void()>& fn) {
+  try {
+    fn();
+    return true;
+  } catch (const Error&) {
+    registry_.counter("store.errors").add(1);
+    return false;
+  }
+}
+
+void Shard::fold_store_stats() {
+  if (store_ == nullptr) {
+    return;
+  }
+  const auto fold = [this](const char* key, std::uint64_t current,
+                           std::uint64_t& last) {
+    if (current > last) {
+      registry_.counter(key).add(current - last);
+    }
+    last = current;
+  };
+  const store::LogStats& log = store_->log_stats();
+  fold("store.appends", log.appends, last_log_stats_.appends);
+  fold("store.syncs", log.syncs, last_log_stats_.syncs);
+  fold("store.rotations", log.rotations, last_log_stats_.rotations);
+  fold("store.segments_collected", log.segments_deleted,
+       last_log_stats_.segments_deleted);
+  fold("store.torn_tail_bytes", log.torn_tail_bytes,
+       last_log_stats_.torn_tail_bytes);
+  fold("store.bytes_appended", log.total_bytes, last_log_stats_.total_bytes);
+  const store::TenantStoreStats& ts = store_->stats();
+  fold("store.genesis_records", ts.genesis_appends,
+       last_store_stats_.genesis_appends);
+  fold("store.base_records", ts.base_appends, last_store_stats_.base_appends);
+  fold("store.delta_records", ts.delta_appends,
+       last_store_stats_.delta_appends);
+  fold("store.tombstone_records", ts.tombstone_appends,
+       last_store_stats_.tombstone_appends);
+  fold("store.delta_bytes", ts.delta_bytes, last_store_stats_.delta_bytes);
+  fold("store.orphan_deltas", ts.orphan_deltas,
+       last_store_stats_.orphan_deltas);
+}
+
+void Shard::store_rebase(Tenant& tenant, std::uint64_t min_epoch) {
+  if (store_ == nullptr || !tenant.can_checkpoint()) {
+    return;
+  }
+  store_try([&] {
+    std::ostringstream blob;
+    tenant.checkpoint(blob);
+    store_->append_base(tenant.name(), std::move(blob).str(), min_epoch);
+  });
+  store_work_pending_ = true;
+}
+
+void Shard::flush_store() {
+  if (store_ == nullptr) {
+    return;
+  }
+  for (auto& [name, durable] : durable_) {
+    if (!durable.pending.empty()) {
+      // Append before any re-base: a base written below supersedes the
+      // delta chain, so the order delta-then-base is what makes the
+      // re-base safe.
+      const std::string bytes = std::move(durable.pending);
+      durable.pending.clear();
+      if (store_try([&] { store_->append_delta(name, bytes); })) {
+        durable.bytes_since_base += bytes.size();
+      }
+    }
+    if (config_.store_rebase_bytes != 0 &&
+        durable.bytes_since_base >= config_.store_rebase_bytes) {
+      Tenant* tenant = find_tenant(name);
+      if (tenant != nullptr && tenant->can_checkpoint()) {
+        store_rebase(*tenant, 0);
+        durable.bytes_since_base = 0;
+      }
+    }
+  }
+  if (store_->dirty()) {
+    store_try([&] { store_->sync(); });  // the group commit
+  }
+  spill_pass();
+  store_work_pending_ = false;
+  fold_store_stats();
+}
+
+void Shard::spill_pass() {
+  if (store_ == nullptr || config_.spill_bytes == 0) {
+    return;
+  }
+  std::uint64_t resident = 0;
+  for (const auto& [name, tenant] : tenants_) {
+    resident += tenant->monitor().store().approx_bytes();
+  }
+  if (resident <= config_.spill_bytes) {
+    return;
+  }
+  // Coldest-first over finished, detached, non-migrating tenants; an
+  // attached or still-lingering tenant is never evicted from under its
+  // producer.
+  struct Candidate {
+    std::uint64_t last_active_ms;
+    std::string name;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [name, tenant] : tenants_) {
+    if (tenant->conn_id != 0 || tenant->streaming() ||
+        !tenant->can_checkpoint() || placement_.is_migrating(name)) {
+      continue;
+    }
+    candidates.push_back(Candidate{durable_[name].last_active_ms, name});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.last_active_ms < b.last_active_ms;
+            });
+  for (const Candidate& candidate : candidates) {
+    if (resident <= config_.spill_bytes) {
+      break;
+    }
+    Tenant& tenant = *tenants_.at(candidate.name);
+    const std::uint64_t bytes = tenant.monitor().store().approx_bytes();
+    Durable& durable = durable_[candidate.name];
+    bool ok = true;
+    if (durable.bytes_since_base != 0 || !store_->has_base(candidate.name)) {
+      ok = store_try([&] {
+        std::ostringstream blob;
+        tenant.checkpoint(blob);
+        store_->append_base(candidate.name, std::move(blob).str());
+      });
+    }
+    // The image must be durable before the RAM copy goes away.
+    ok = ok && store_try([&] { store_->sync(); });
+    if (!ok) {
+      continue;
+    }
+    update_meters(tenant);
+    spilled_[candidate.name] =
+        Spilled{tenant.state(), tenant.shed_reason(), tenant.bytes_in(),
+                tenant.migrations, tenant.events_released()};
+    meters_.erase(candidate.name);
+    durable_.erase(candidate.name);
+    tenants_.erase(candidate.name);
+    resident -= std::min(resident, bytes);
+    registry_.counter("net.tenants_spilled").add(1);
+  }
+}
+
+Tenant* Shard::unspill(const std::string& name) {
+  const auto it = spilled_.find(name);
+  if (it == spilled_.end() || store_ == nullptr) {
+    return nullptr;
+  }
+  try {
+    const store::TenantImage image = store_->read_tenant(name);
+    auto tenant = rebuild_tenant(name, image);
+    tenant->restore_bytes_in(it->second.bytes_in);
+    tenant->migrations = it->second.migrations;
+    Tenant& ref = *tenants_.insert_or_assign(name, std::move(tenant))
+                       .first->second;
+    seed_meters(ref);
+    Durable& durable = durable_[name];
+    durable.last_active_ms = clock_ms_;
+    durable.bytes_since_base = 0;
+    spilled_.erase(it);
+    registry_.counter("net.tenants_unspilled").add(1);
+    return &ref;
+  } catch (const Error&) {
+    registry_.counter("store.errors").add(1);
+    return nullptr;  // spilled entry kept: a retry may succeed
+  }
 }
 
 void Shard::graceful_shutdown() {

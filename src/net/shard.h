@@ -40,6 +40,7 @@
 #include "net/server.h"
 #include "net/tenant.h"
 #include "obs/metrics.h"
+#include "store/tenant_store.h"
 
 namespace ocep::net {
 
@@ -69,6 +70,10 @@ struct TenantHandoff {
   std::uint64_t bytes_in = 0;  ///< cumulative, for governance budgets
   std::uint64_t detach_deadline_ms = 0;  ///< linger expiry carried over
   std::uint64_t migrations = 0;          ///< hops including this one
+  /// Source shard's store epoch for this tenant; the destination appends
+  /// its base at store_epoch + 1 so cross-log recovery picks it over the
+  /// source's (now tombstoned) copy.  0 when the store is off.
+  std::uint64_t store_epoch = 0;
   std::size_t from_shard = 0;
   bool bounced = false;  ///< adoption failed; returning to from_shard
 };
@@ -134,10 +139,16 @@ class Shard {
     return registry_;
   }
 
+  /// Disowns store records for tenants this shard holds but does not own
+  /// (stale copies after a reshard).  Server calls it once after every
+  /// shard has restored — tombstoning during restore could erase a
+  /// sibling's only copy before that sibling scanned it.
+  void settle_store();
+
   // --- shard-thread or post-run access only -------------------------
   [[nodiscard]] Tenant* find_tenant(const std::string& name);
   [[nodiscard]] std::size_t tenant_count() const noexcept {
-    return tenants_.size();
+    return tenants_.size() + spilled_.size();
   }
   [[nodiscard]] std::size_t connection_count() const noexcept {
     return conns_.size();
@@ -155,6 +166,29 @@ class Shard {
   [[nodiscard]] static std::uint64_t now_ms() noexcept;
 
   void restore_checkpoints();
+  void open_store();
+  void restore_from_store();
+  /// Rebuilds a tenant from a stored image: restore the base (or
+  /// re-register genesis patterns) and replay the input deltas.
+  [[nodiscard]] std::unique_ptr<Tenant> rebuild_tenant(
+      const std::string& name, const store::TenantImage& image);
+  /// Appends a full image of `tenant` at >= min_epoch (requires
+  /// can_checkpoint()).
+  void store_rebase(Tenant& tenant, std::uint64_t min_epoch);
+  /// Group commit: append pending input deltas, re-base heavy tenants,
+  /// fsync, then run the spill pass.
+  void flush_store();
+  void spill_pass();
+  /// Reloads a spilled tenant from the store; nullptr on failure (the
+  /// spilled entry is kept so a retry is possible).
+  [[nodiscard]] Tenant* unspill(const std::string& name);
+  /// Runs a store mutation, absorbing StoreError into the store.errors
+  /// counter (an I/O fault must not take the reactor down); returns
+  /// whether it succeeded.
+  bool store_try(const std::function<void()>& fn);
+  /// Folds store stats deltas into this shard's registry counters.
+  void fold_store_stats();
+  [[nodiscard]] std::uint64_t flush_interval_ms() const noexcept;
   void accept_ingest();
   void drain_mailbox();
   void adopt_now(ConnHandoff handoff);
@@ -228,6 +262,34 @@ class Shard {
   /// counted by the shards it lived on.
   void seed_meters(Tenant& tenant);
   std::map<std::string, Meters> meters_;
+
+  /// Append-only tenant store (null when config.store_dir is empty).
+  std::unique_ptr<store::TenantStore> store_;
+  /// Per-tenant durability bookkeeping while the store is on.
+  struct Durable {
+    std::string pending;  ///< input bytes not yet appended to the log
+    std::uint64_t bytes_since_base = 0;  ///< delta chain length, for re-base
+    std::uint64_t last_active_ms = 0;    ///< spill-pass coldness key
+  };
+  std::map<std::string, Durable> durable_;
+  /// Tenants evicted from RAM to the store; the metadata /healthz and a
+  /// reconnect gate need without reloading the image.
+  struct Spilled {
+    TenantState state = TenantState::kStreaming;
+    std::string shed_reason;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t events = 0;
+  };
+  std::map<std::string, Spilled> spilled_;
+  /// Tenants found in this shard's log at restore but owned elsewhere;
+  /// tombstoned by settle_store() after every shard has scanned.
+  std::vector<std::string> store_foreign_;
+  std::uint64_t next_flush_ms_ = 0;
+  bool store_work_pending_ = false;
+  /// Stats snapshots already folded into the registry (fold by delta).
+  store::LogStats last_log_stats_;
+  store::TenantStoreStats last_store_stats_;
 };
 
 }  // namespace ocep::net

@@ -1,0 +1,292 @@
+#include "store/tenant_store.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "poet/varint.h"
+
+namespace ocep::store {
+
+std::string encode_patterns(const std::vector<std::string>& patterns) {
+  std::ostringstream out;
+  poet::put_varint(out, patterns.size());
+  for (const std::string& pattern : patterns) {
+    poet::put_string(out, pattern);
+  }
+  return std::move(out).str();
+}
+
+bool decode_patterns(std::string_view payload,
+                     std::vector<std::string>& out) {
+  try {
+    std::istringstream in{std::string(payload)};
+    const std::uint64_t count = poet::get_varint(in);
+    if (count > 4096) {
+      return false;
+    }
+    out.clear();
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      out.push_back(poet::get_string(in));
+    }
+    return in.peek() == std::char_traits<char>::eof();
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+TenantStore::TenantStore(LogConfig config) {
+  // on_scan runs inside the SegmentLog constructor, so dead-record marks
+  // are deferred until the log is fully replayed (compaction mid-scan
+  // would pull segments out from under the scanner).
+  log_ = std::make_unique<SegmentLog>(
+      std::move(config),
+      [this](const Record& record, const RecordRef& ref) {
+        on_scan(record, ref);
+      });
+  scanning_ = false;
+  for (const RecordRef& ref : deferred_dead_) {
+    log_->mark_dead(ref);
+  }
+  deferred_dead_.clear();
+}
+
+void TenantStore::kill_ref(const RecordRef& ref) {
+  if (scanning_) {
+    deferred_dead_.push_back(ref);
+  } else {
+    log_->mark_dead(ref);
+  }
+}
+
+void TenantStore::kill_entry_records(Entry& entry) {
+  if (entry.has_base || entry.has_genesis) {
+    kill_ref(entry.base_ref);
+  }
+  for (const RecordRef& ref : entry.delta_refs) {
+    kill_ref(ref);
+  }
+  entry = Entry{};
+}
+
+void TenantStore::retire_tombstone(const std::string& name,
+                                   std::uint64_t epoch) {
+  const auto it = tombstones_.find(name);
+  if (it != tombstones_.end() && epoch > it->second.epoch) {
+    kill_ref(it->second.ref);
+    tombstones_.erase(it);
+  }
+}
+
+void TenantStore::on_scan(const Record& record, const RecordRef& ref) {
+  const auto it = entries_.find(record.name);
+  switch (record.type) {
+    case RecordType::kGenesis: {
+      if (it != entries_.end() && record.epoch < it->second.epoch) {
+        kill_ref(ref);  // stale copy outranked by a later image
+        return;
+      }
+      std::vector<std::string> patterns;
+      if (!decode_patterns(record.payload, patterns)) {
+        kill_ref(ref);
+        return;
+      }
+      if (it != entries_.end()) {
+        kill_entry_records(it->second);
+      }
+      Entry& entry = entries_[record.name];
+      entry.epoch = record.epoch;
+      entry.has_genesis = true;
+      entry.base_ref = ref;
+      TenantImage& image = images_[record.name];
+      image = TenantImage{};
+      image.epoch = record.epoch;
+      image.patterns = std::move(patterns);
+      retire_tombstone(record.name, record.epoch);
+      return;
+    }
+    case RecordType::kBase: {
+      if (it != entries_.end() && record.epoch < it->second.epoch) {
+        kill_ref(ref);
+        return;
+      }
+      if (it != entries_.end()) {
+        kill_entry_records(it->second);
+      }
+      Entry& entry = entries_[record.name];
+      entry.epoch = record.epoch;
+      entry.has_base = true;
+      entry.base_ref = ref;
+      TenantImage& image = images_[record.name];
+      image = TenantImage{};
+      image.epoch = record.epoch;
+      image.has_base = true;
+      image.base = record.payload;
+      retire_tombstone(record.name, record.epoch);
+      return;
+    }
+    case RecordType::kDelta: {
+      if (it == entries_.end() || record.epoch != it->second.epoch) {
+        stats_.orphan_deltas += 1;  // its base was superseded or collected
+        kill_ref(ref);
+        return;
+      }
+      it->second.delta_refs.push_back(ref);
+      images_[record.name].deltas.push_back(record.payload);
+      return;
+    }
+    case RecordType::kTombstone: {
+      if (it == entries_.end() || record.epoch < it->second.epoch) {
+        kill_ref(ref);  // nothing left here for it to guard
+        return;
+      }
+      kill_entry_records(it->second);
+      entries_.erase(it);
+      images_.erase(record.name);
+      tombstones_[record.name] = Tombstone{ref, record.epoch};
+      return;
+    }
+  }
+}
+
+void TenantStore::drop_images() {
+  images_.clear();
+  images_dropped_ = true;
+}
+
+TenantImage TenantStore::read_tenant(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw StoreError("tenant has no stored image: " + name, log_->dir(), -1);
+  }
+  const Entry& entry = it->second;
+  TenantImage image;
+  image.epoch = entry.epoch;
+  if (entry.has_base) {
+    image.has_base = true;
+    image.base = log_->read_payload(entry.base_ref);
+  } else if (entry.has_genesis) {
+    if (!decode_patterns(log_->read_payload(entry.base_ref),
+                         image.patterns)) {
+      throw StoreError("stored genesis payload is malformed: " + name,
+                       log_->dir(), -1);
+    }
+  }
+  image.deltas.reserve(entry.delta_refs.size());
+  for (const RecordRef& ref : entry.delta_refs) {
+    image.deltas.push_back(log_->read_payload(ref));
+  }
+  return image;
+}
+
+std::uint64_t TenantStore::epoch_of(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.epoch;
+}
+
+bool TenantStore::has_base(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.has_base;
+}
+
+std::uint64_t TenantStore::next_epoch(const std::string& name) const {
+  std::uint64_t epoch = 1;
+  if (const auto it = entries_.find(name); it != entries_.end()) {
+    epoch = it->second.epoch + 1;
+  }
+  if (const auto it = tombstones_.find(name); it != tombstones_.end()) {
+    epoch = std::max(epoch, it->second.epoch + 1);
+  }
+  return epoch;
+}
+
+void TenantStore::append_genesis(const std::string& name,
+                                 const std::vector<std::string>& patterns,
+                                 std::uint64_t min_epoch) {
+  const std::uint64_t epoch = std::max(next_epoch(name), min_epoch);
+  Record record;
+  record.type = RecordType::kGenesis;
+  record.epoch = epoch;
+  record.name = name;
+  record.payload = encode_patterns(patterns);
+  const RecordRef ref = log_->append(record);
+  if (const auto it = entries_.find(name); it != entries_.end()) {
+    kill_entry_records(it->second);
+  }
+  Entry& entry = entries_[name];
+  entry.epoch = epoch;
+  entry.has_genesis = true;
+  entry.base_ref = ref;
+  retire_tombstone(name, epoch);
+  stats_.genesis_appends += 1;
+}
+
+void TenantStore::append_delta(const std::string& name,
+                               std::string_view bytes) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw StoreError("delta append for a tenant with no base/genesis: " +
+                         name,
+                     log_->dir(), -1);
+  }
+  Record record;
+  record.type = RecordType::kDelta;
+  record.epoch = it->second.epoch;
+  record.name = name;
+  record.payload = std::string(bytes);
+  it->second.delta_refs.push_back(log_->append(record));
+  stats_.delta_appends += 1;
+  stats_.delta_bytes += bytes.size();
+}
+
+void TenantStore::append_base(const std::string& name, std::string_view blob,
+                              std::uint64_t min_epoch) {
+  const std::uint64_t epoch = std::max(next_epoch(name), min_epoch);
+  Record record;
+  record.type = RecordType::kBase;
+  record.epoch = epoch;
+  record.name = name;
+  record.payload = std::string(blob);
+  const RecordRef ref = log_->append(record);
+  if (const auto it = entries_.find(name); it != entries_.end()) {
+    kill_entry_records(it->second);
+  }
+  Entry& entry = entries_[name];
+  entry.epoch = epoch;
+  entry.has_base = true;
+  entry.base_ref = ref;
+  retire_tombstone(name, epoch);
+  stats_.base_appends += 1;
+}
+
+void TenantStore::append_tombstone(const std::string& name) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return;  // nothing stored here to disown
+  }
+  const std::uint64_t epoch = it->second.epoch + 1;
+  Record record;
+  record.type = RecordType::kTombstone;
+  record.epoch = epoch;
+  record.name = name;
+  const RecordRef ref = log_->append(record);
+  kill_entry_records(it->second);
+  entries_.erase(it);
+  if (!images_dropped_) {
+    images_.erase(name);
+  }
+  tombstones_[name] = Tombstone{ref, epoch};
+  stats_.tombstone_appends += 1;
+}
+
+std::map<std::string, TenantImage> TenantStore::read_images(
+    const std::string& dir) {
+  LogConfig config;
+  config.dir = dir;
+  config.read_only = true;
+  TenantStore store(std::move(config));
+  return std::move(store.images_);
+}
+
+}  // namespace ocep::store

@@ -14,6 +14,7 @@
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -1208,6 +1209,399 @@ TEST(NetRebalance, RebalancerSpreadsAForcedHotShard) {
     }
   }
   EXPECT_LT(on_zero, kTenants);
+}
+
+// ===================================================================
+// NetStore: crash-consistent durability on the append-only segment log
+// (--store-dir).  Input deltas are group-committed on the flush
+// interval, SIGTERM drains write only dirty state (never a full image
+// per tenant), a SIGKILL image recovers to a prefix of the acknowledged
+// stream, and cold tenants spill to the log under a byte budget.
+// ===================================================================
+
+namespace fs_store = std::filesystem;
+
+/// Recursive byte total of every regular file under `dir`.
+std::uintmax_t dir_bytes(const std::string& dir) {
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       fs_store::recursive_directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      total += entry.file_size();
+    }
+  }
+  return total;
+}
+
+/// True when no `.ckp` whole-image checkpoint exists anywhere under
+/// `dir` — the store path must never fall back to full-image writes.
+bool no_ckp_files(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& entry :
+       fs_store::recursive_directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".ckp") {
+      return false;
+    }
+  }
+  return true;
+}
+
+net::ServerConfig store_config(const std::string& dir) {
+  net::ServerConfig config = base_config();
+  config.store_dir = dir;
+  config.flush_interval_ms = 10;
+  return config;
+}
+
+// The store-backed shutdown/restart acceptance bar, mirroring the
+// checkpoint-dir test above: SIGTERM mid-stream flushes the delta log, a
+// restarted server replays base+deltas, the producer resumes at the
+// watermark, and the final state is byte-identical to an uninterrupted
+// run — with no whole-image .ckp file ever written.
+TEST(NetStore, ShutdownRestartResumesByteIdentical) {
+  const std::string dir =
+      ::testing::TempDir() + "ocep_net_store_" + std::to_string(::getpid());
+  fs_store::remove_all(dir);
+  constexpr std::uint64_t kHalf = 171;
+
+  std::atomic<std::uint64_t> released{0};
+  net::ServerConfig config = store_config(dir);
+  config.detach_linger_ms = 10000;
+  config.observe_hook = [&released](std::string_view, std::uint64_t) {
+    released.fetch_add(1, std::memory_order_relaxed);
+  };
+  auto st = std::make_unique<ServerThread>(std::move(config));
+  const std::uint16_t port1 = st->server.port();
+
+  StringPool pool;
+  const EventStore store = golden_store(pool);
+  net::ConnectorConfig cc;
+  cc.port = port1;
+  cc.tenant = "durable";
+  cc.patterns = {golden_pattern()};
+  {
+    net::Connector connector(cc);
+    ASSERT_EQ(connector.ack().status, net::AckStatus::kFresh);
+    std::vector<Symbol> names;
+    for (TraceId t = 0; t < store.trace_count(); ++t) {
+      names.push_back(store.trace_name(t));
+    }
+    SessionServer session(connector, pool, names);
+    for (std::uint64_t pos = 0; pos < kHalf; ++pos) {
+      const EventId id = store.arrival(pos);
+      session.write(store.event(id), store.clock(id));
+    }
+    ASSERT_TRUE(wait_until([&released] { return released.load() >= kHalf; }));
+    st->stop();  // SIGTERM path: drain + flush the delta log
+  }
+  EXPECT_TRUE(no_ckp_files(dir));
+  EXPECT_GT(st->server.counter_value("store.delta_records"), 0U);
+
+  // Restart against the same store root and finish from the watermark.
+  net::ServerConfig config2 = store_config(dir);
+  config2.detach_linger_ms = 10000;
+  ServerThread st2(std::move(config2));
+  ASSERT_TRUE(wait_counter(st2.server, "net.tenants_restored", 1));
+  net::StreamOptions rest;
+  rest.skip_below = kHalf;
+  const net::StreamResult second =
+      stream_golden(st2.server.port(), "durable", rest);
+  ASSERT_EQ(second.ack.status, net::AckStatus::kResumed)
+      << second.ack.message;
+  ASSERT_EQ(second.ack.resume_position, kHalf);
+  ASSERT_TRUE(second.fin_received);
+  EXPECT_FALSE(second.fin.degraded);
+  st2.stop();
+
+  net::Tenant* resumed = st2.server.find_tenant("durable");
+  ASSERT_NE(resumed, nullptr);
+  EXPECT_EQ(resumed->state(), net::TenantState::kComplete);
+  EXPECT_EQ(resumed->monitor().events_seen(), 342U);
+  EXPECT_EQ(testing::match_signature(resumed->monitor(), 0), golden_clean());
+
+  // Byte-identity of the matching state against an uninterrupted run.
+  ServerThread st3(base_config());
+  const net::StreamResult uninterrupted =
+      stream_golden(st3.server.port(), "durable");
+  ASSERT_TRUE(uninterrupted.fin_received);
+  st3.stop();
+  net::Tenant* reference = st3.server.find_tenant("durable");
+  ASSERT_NE(reference, nullptr);
+
+  std::stringstream resumed_ckp;
+  resumed->checkpoint(resumed_ckp);
+  std::stringstream reference_ckp;
+  reference->checkpoint(reference_ckp);
+  const net::TenantCheckpoint a = net::read_tenant_checkpoint(resumed_ckp);
+  const net::TenantCheckpoint b = net::read_tenant_checkpoint(reference_ckp);
+  EXPECT_EQ(a.monitor_blob, b.monitor_blob);
+}
+
+// The O(dirty-state) drain contract: a full golden stream (well under the
+// re-base threshold) persists as genesis + input deltas only — zero full
+// images — and an idle restart+shutdown cycle appends not a single byte.
+TEST(NetStore, ShutdownWritesOnlyDeltasAndIdleRestartAppendsNothing) {
+  const std::string dir = ::testing::TempDir() + "ocep_net_store_delta_" +
+                          std::to_string(::getpid());
+  fs_store::remove_all(dir);
+
+  {
+    ServerThread st(store_config(dir));
+    const net::StreamResult result = stream_golden(st.server.port(), "lean");
+    ASSERT_TRUE(result.fin_received);
+    EXPECT_FALSE(result.fin.degraded);
+    st.stop();
+    EXPECT_GT(st.server.counter_value("store.delta_records"), 0U);
+    EXPECT_EQ(st.server.counter_value("store.genesis_records"), 1U);
+    // The byte-count assertion: nothing but deltas — no image writes.
+    EXPECT_EQ(st.server.counter_value("store.base_records"), 0U);
+  }
+  const std::uintmax_t after_first = dir_bytes(dir);
+  ASSERT_GT(after_first, 0U);
+
+  // Restart, touch nothing, shut down: recovery replays the log but the
+  // drain finds no dirty state, so the store is byte-for-byte unchanged.
+  {
+    ServerThread st(store_config(dir));
+    ASSERT_TRUE(wait_counter(st.server, "net.tenants_restored", 1));
+    st.stop();
+    EXPECT_EQ(st.server.counter_value("store.base_records"), 0U);
+    net::Tenant* restored = st.server.find_tenant("lean");
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->monitor().events_seen(), 342U);
+    EXPECT_EQ(testing::match_signature(restored->monitor(), 0),
+              golden_clean());
+  }
+  EXPECT_EQ(dir_bytes(dir), after_first);
+}
+
+// The SIGKILL acceptance bar, via a directory snapshot: quiesce the
+// group commit mid-stream, copy the store root (exactly what a kill -9
+// leaves behind), and boot a server on the copy.  The tenant recovers to
+// the acknowledged prefix, the producer resumes at the watermark, and
+// the final state is byte-identical to a never-crashed run.
+TEST(NetStore, CrashImageRecoversPrefixAndResumesToGolden) {
+  const std::string dir = ::testing::TempDir() + "ocep_net_store_crash_" +
+                          std::to_string(::getpid());
+  const std::string image = dir + "_image";
+  fs_store::remove_all(dir);
+  fs_store::remove_all(image);
+  constexpr std::uint64_t kHalf = 171;
+
+  /// Counts the session wire bytes so the test can wait until the store
+  /// has group-committed every byte the producer sent.
+  class CountingSink final : public ByteSink {
+   public:
+    explicit CountingSink(ByteSink& inner) : inner_(inner) {}
+    void write(std::string_view bytes) override {
+      count += bytes.size();
+      inner_.write(bytes);
+    }
+    std::uint64_t count = 0;
+
+   private:
+    ByteSink& inner_;
+  };
+
+  std::atomic<std::uint64_t> released{0};
+  net::ServerConfig config = store_config(dir);
+  config.detach_linger_ms = 10000;
+  config.observe_hook = [&released](std::string_view, std::uint64_t) {
+    released.fetch_add(1, std::memory_order_relaxed);
+  };
+  auto st = std::make_unique<ServerThread>(std::move(config));
+
+  StringPool pool;
+  const EventStore store = golden_store(pool);
+  net::ConnectorConfig cc;
+  cc.port = st->server.port();
+  cc.tenant = "phoenix";
+  cc.patterns = {golden_pattern()};
+  {
+    net::Connector connector(cc);
+    ASSERT_EQ(connector.ack().status, net::AckStatus::kFresh);
+    CountingSink counted(connector);
+    std::vector<Symbol> names;
+    for (TraceId t = 0; t < store.trace_count(); ++t) {
+      names.push_back(store.trace_name(t));
+    }
+    SessionServer session(counted, pool, names);
+    for (std::uint64_t pos = 0; pos < kHalf; ++pos) {
+      const EventId id = store.arrival(pos);
+      session.write(store.event(id), store.clock(id));
+    }
+    ASSERT_TRUE(wait_until([&released] { return released.load() >= kHalf; }));
+    // Every wire byte group-committed (the delta-bytes counter is folded
+    // only after the fsync), so the snapshot below is a complete image of
+    // the acknowledged prefix.  The producer stays connected throughout —
+    // copying the directory is the kill -9, not the disconnect.
+    ASSERT_TRUE(wait_until([&] {
+      return st->server.counter_value("store.delta_bytes") >= counted.count;
+    }));
+    std::error_code ec;
+    fs_store::copy(dir, image, fs_store::copy_options::recursive, ec);
+    ASSERT_FALSE(ec) << ec.message();
+    st->stop();
+    st.reset();
+  }
+
+  // First boot on the crash image: the acknowledged prefix, exactly.
+  {
+    net::ServerConfig config2 = store_config(image);
+    ServerThread st2(std::move(config2));
+    ASSERT_TRUE(wait_counter(st2.server, "net.tenants_restored", 1));
+    st2.stop();
+    net::Tenant* recovered = st2.server.find_tenant("phoenix");
+    ASSERT_NE(recovered, nullptr);
+    EXPECT_EQ(recovered->monitor().events_seen(), kHalf);
+    EXPECT_TRUE(testing::is_subset_of(
+        testing::match_signature(recovered->monitor(), 0), golden_clean()));
+  }
+
+  // Second boot (replay is idempotent): resume and run to completion.
+  net::ServerConfig config3 = store_config(image);
+  config3.detach_linger_ms = 10000;
+  ServerThread st3(std::move(config3));
+  net::StreamOptions rest;
+  rest.skip_below = kHalf;
+  const net::StreamResult second =
+      stream_golden(st3.server.port(), "phoenix", rest);
+  ASSERT_EQ(second.ack.status, net::AckStatus::kResumed)
+      << second.ack.message;
+  ASSERT_EQ(second.ack.resume_position, kHalf);
+  ASSERT_TRUE(second.fin_received);
+  EXPECT_FALSE(second.fin.degraded);
+  st3.stop();
+
+  net::Tenant* resumed = st3.server.find_tenant("phoenix");
+  ASSERT_NE(resumed, nullptr);
+  EXPECT_EQ(resumed->monitor().events_seen(), 342U);
+  EXPECT_EQ(testing::match_signature(resumed->monitor(), 0), golden_clean());
+
+  ServerThread st4(base_config());
+  const net::StreamResult uninterrupted =
+      stream_golden(st4.server.port(), "phoenix");
+  ASSERT_TRUE(uninterrupted.fin_received);
+  st4.stop();
+  net::Tenant* reference = st4.server.find_tenant("phoenix");
+  ASSERT_NE(reference, nullptr);
+
+  std::stringstream resumed_ckp;
+  resumed->checkpoint(resumed_ckp);
+  std::stringstream reference_ckp;
+  reference->checkpoint(reference_ckp);
+  const net::TenantCheckpoint a = net::read_tenant_checkpoint(resumed_ckp);
+  const net::TenantCheckpoint b = net::read_tenant_checkpoint(reference_ckp);
+  EXPECT_EQ(a.monitor_blob, b.monitor_blob);
+}
+
+// Cold-tenant spill under a byte budget: a finished, detached tenant is
+// written to the log (base + fsync before eviction) and leaves RAM; a
+// reconnecting producer triggers the reload and sees its terminal FIN
+// with the matching state fully intact.
+TEST(NetStore, SpillsColdTenantAndUnspillsOnReconnect) {
+  const std::string dir = ::testing::TempDir() + "ocep_net_store_spill_" +
+                          std::to_string(::getpid());
+  fs_store::remove_all(dir);
+
+  net::ServerConfig config = store_config(dir);
+  config.spill_bytes = 1;  // everything resident is over budget
+  config.detach_linger_ms = 50;
+  ServerThread st(std::move(config));
+  const std::uint16_t port = st.server.port();
+
+  const net::StreamResult run = stream_golden(port, "iceberg");
+  ASSERT_TRUE(run.fin_received);
+  EXPECT_FALSE(run.fin.degraded);
+
+  // Once the producer detaches, the next spill pass evicts the tenant:
+  // its image goes to the log and the monitor leaves RAM.
+  ASSERT_TRUE(wait_counter(st.server, "net.tenants_spilled", 1));
+  EXPECT_GT(st.server.counter_value("store.base_records"), 0U);
+  EXPECT_TRUE(wait_until([&st] {
+    return st.server.find_tenant("iceberg") == nullptr;
+  }));
+  // The spilled tenant still counts and still reports (from metadata).
+  EXPECT_EQ(st.server.tenant_count(), 1U);
+  const std::string healthz = st.server.healthz_json();
+  EXPECT_NE(healthz.find("\"spilled\""), std::string::npos) << healthz;
+
+  // Reconnect: the handshake reloads the image from the log and answers
+  // with the terminal FIN immediately (the stream already completed), so
+  // a bare connector is the whole producer here.
+  {
+    net::ConnectorConfig cc;
+    cc.port = port;
+    cc.tenant = "iceberg";
+    cc.patterns = {golden_pattern()};
+    net::Connector back(cc);
+    ASSERT_EQ(back.ack().status, net::AckStatus::kResumed)
+        << back.ack().message;
+    ASSERT_TRUE(back.wait_fin(nullptr));
+    EXPECT_FALSE(back.fin().degraded);
+  }
+  ASSERT_TRUE(wait_counter(st.server, "net.tenants_unspilled", 1));
+  st.stop();
+
+  // The tenant may have been re-evicted after the reconnect detached
+  // (the budget is still one byte), so verify the terminal state through
+  // a fresh boot on the same store — spilled or resident, the log holds
+  // the whole image.
+  ServerThread verify(store_config(dir));
+  ASSERT_TRUE(wait_counter(verify.server, "net.tenants_restored", 1));
+  verify.stop();
+  net::Tenant* thawed = verify.server.find_tenant("iceberg");
+  ASSERT_NE(thawed, nullptr);
+  EXPECT_EQ(thawed->state(), net::TenantState::kComplete);
+  EXPECT_EQ(thawed->monitor().events_seen(), 342U);
+  EXPECT_EQ(testing::match_signature(thawed->monitor(), 0), golden_clean());
+}
+
+// Repartition recovery: a store written by a 1-shard daemon restores
+// under 4 shards (each shard scans its siblings' logs and claims what it
+// owns at a higher epoch), and a third boot proves the tombstoned
+// leftovers in the old log stay dead.
+TEST(NetStore, ReshardRestoreClaimsTenantsAcrossShardLogs) {
+  const std::string dir = ::testing::TempDir() + "ocep_net_store_reshard_" +
+                          std::to_string(::getpid());
+  fs_store::remove_all(dir);
+  const std::vector<std::string> tenants = {"re0", "re1", "re2"};
+
+  {
+    net::ServerConfig config = store_config(dir);
+    config.shards = 1;
+    ServerThread st(std::move(config));
+    for (const std::string& name : tenants) {
+      const net::StreamResult result = stream_golden(st.server.port(), name);
+      ASSERT_TRUE(result.fin_received) << name;
+      EXPECT_FALSE(result.fin.degraded) << name;
+    }
+    st.stop();
+  }
+
+  // 4-shard boot: all three tenants must come back whole, each claimed by
+  // its affinity shard from the shard-0 log.
+  for (int boot = 0; boot < 2; ++boot) {
+    SCOPED_TRACE("boot " + std::to_string(boot));
+    net::ServerConfig config = store_config(dir);
+    config.shards = 4;
+    ServerThread st(std::move(config));
+    ASSERT_TRUE(wait_counter(st.server, "net.tenants_restored",
+                             tenants.size()));
+    st.stop();
+    for (const std::string& name : tenants) {
+      net::Tenant* restored = st.server.find_tenant(name);
+      ASSERT_NE(restored, nullptr) << name;
+      EXPECT_EQ(restored->monitor().events_seen(), 342U) << name;
+      EXPECT_EQ(testing::match_signature(restored->monitor(), 0),
+                golden_clean())
+          << name;
+      EXPECT_EQ(st.server.tenant_shard(name),
+                static_cast<int>(net::shard_for(name, 4)))
+          << name;
+    }
+  }
 }
 
 // Satellite regression for common/fd_stream.h: a short-write/EAGAIN storm

@@ -3,6 +3,7 @@
 //
 //   ocep_inspect --dump FILE [--relate T1:I1 T2:I2]
 //                [--metrics [--pattern TEXT] [--metrics-format FMT]]
+//   ocep_inspect --store DIR
 //                [--health [--health-format text|json]
 //                 [--budget-steps N] [--budget-ns N] [--breaker-trip K]
 //                 [--breaker-window N] [--breaker-cooldown N]
@@ -16,10 +17,19 @@
 // --health, the replay additionally reports the governance snapshot
 // (docs/GOVERNANCE.md) — breaker states, budget aborts, evictions — under
 // the budget/breaker/byte-cap flags above (all unlimited by default).
+//
+// With --store, verifies a tenant store directory (a daemon's --store-dir
+// root, or one shard-N log inside it) without touching it: per-tenant
+// record counts, torn-tail report, and CRC/structure failures with
+// positioned offsets.  Exit status 1 when any fatal corruption is found
+// (a torn tail alone — the expected SIGKILL image — is healthy).
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "common/flags.h"
@@ -28,6 +38,7 @@
 #include "poet/dump.h"
 #include "poet/linearizer.h"
 #include "poet/replay.h"
+#include "store/segment_log.h"
 
 using namespace ocep;
 
@@ -54,11 +65,67 @@ const char* relation_name(Relation relation) {
   return "?";
 }
 
+/// Verifies one segment-log directory; returns whether it is free of
+/// fatal corruption.
+bool inspect_store_log(const std::string& dir) {
+  const store::VerifyReport report = store::verify_log(dir);
+  std::printf("%s:\n", dir.c_str());
+  std::printf("  segments %" PRIu64 "   records %" PRIu64
+              "   record bytes %" PRIu64 "   torn tail bytes %" PRIu64 "\n",
+              report.segments, report.records, report.record_bytes,
+              report.torn_tail_bytes);
+  for (const auto& [name, counts] : report.tenants) {
+    std::printf("  tenant %-24s genesis %" PRIu64 "  bases %" PRIu64
+                "  deltas %" PRIu64 "  tombstones %" PRIu64
+                "  bytes %" PRIu64 "  epoch %" PRIu64 "\n",
+                name.c_str(), counts.genesis, counts.bases, counts.deltas,
+                counts.tombstones, counts.bytes, counts.last_epoch);
+  }
+  for (const store::VerifyIssue& issue : report.issues) {
+    std::printf("  %s: %s at byte %" PRId64 ": %s\n",
+                issue.fatal ? "CORRUPT" : "note", issue.file.c_str(),
+                static_cast<std::int64_t>(issue.offset),
+                issue.message.c_str());
+  }
+  if (report.issues.empty()) {
+    std::printf("  clean\n");
+  }
+  return report.ok();
+}
+
+/// --store DIR: a daemon store root (shard-N subdirectories) or a single
+/// log directory.  Exit code 1 on any fatal finding.
+int inspect_store(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> logs;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root, ec)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("shard-", 0) == 0) {
+      logs.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    throw Error("cannot read store directory '" + root + "'");
+  }
+  if (logs.empty()) {
+    logs.push_back(root);  // a single shard log named directly
+  }
+  std::sort(logs.begin(), logs.end());
+  bool ok = true;
+  for (const std::string& dir : logs) {
+    ok = inspect_store_log(dir) && ok;
+  }
+  std::printf("store %s: %s\n", root.c_str(), ok ? "OK" : "CORRUPT");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     Flags flags(argc, argv);
+    const std::string store_dir = flags.get_string("store", "");
     const std::string dump_path = flags.get_string("dump", "");
     const std::string relate_a = flags.get_string("relate", "");
     const std::string relate_b = flags.get_string("with", "");
@@ -83,8 +150,11 @@ int main(int argc, char** argv) {
     matcher_config.history_bytes_limit =
         static_cast<std::size_t>(flags.get_int("history-bytes", 0));
     flags.check_unused();
+    if (!store_dir.empty()) {
+      return inspect_store(store_dir);
+    }
     if (dump_path.empty()) {
-      throw Error("--dump FILE is required");
+      throw Error("--dump FILE or --store DIR is required");
     }
 
     StringPool pool;

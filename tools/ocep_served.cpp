@@ -2,7 +2,9 @@
 //
 //   ocep_served [--host H] [--port P] [--admin-port P] [--shards N]
 //               [--workers N] [--batch N] [--metrics]
-//               [--checkpoint-dir DIR] [--idle-timeout-ms N]
+//               [--checkpoint-dir DIR] [--store-dir DIR]
+//               [--flush-interval-ms N] [--spill-bytes N]
+//               [--rebase-bytes N] [--idle-timeout-ms N]
 //               [--linger-ms N] [--max-tenant-bytes N]
 //               [--max-corrupt-frames N] [--max-tenants N] [--max-conns N]
 //               [--budget-steps N] [--budget-ns N] [--breaker-trip K]
@@ -58,6 +60,18 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags.get_int("batch", 64));
     config.tenant.monitor.metrics = flags.get_bool("metrics", false);
     config.checkpoint_dir = flags.get_string("checkpoint-dir", "");
+    // Crash-consistent durability (docs/ROBUSTNESS.md "Durability"):
+    // --store-dir switches tenant persistence from whole-image .ckp
+    // files to an append-only segment log with group-committed input
+    // deltas; a SIGKILL loses at most one --flush-interval-ms window,
+    // and the acknowledged resume position heals even that on reconnect.
+    config.store_dir = flags.get_string("store-dir", "");
+    config.flush_interval_ms =
+        static_cast<std::uint64_t>(flags.get_int("flush-interval-ms", 50));
+    config.spill_bytes =
+        static_cast<std::uint64_t>(flags.get_int("spill-bytes", 0));
+    config.store_rebase_bytes = static_cast<std::uint64_t>(
+        flags.get_int("rebase-bytes", 1 << 20));
     config.idle_timeout_ms =
         static_cast<std::uint64_t>(flags.get_int("idle-timeout-ms", 30000));
     config.detach_linger_ms =
