@@ -1,0 +1,266 @@
+// Warm-standby replication bench — steady-state lag and failover time.
+//
+// One in-process primary Server (segment-log store, --replicate-to wired
+// to an in-process Standby) ingests a random computation over real TCP.
+// While the producer streams, the main thread samples the merged
+// `repl.lag_bytes` / `repl.lag_records` gauges (streamed-but-unacked
+// work) every millisecond: the peak is the steady-state lag the follower
+// carries under load, and the time from last-event-sent to lag zero is
+// the drain.  Then the primary is torn down mid-tenant (no BYE, no FIN —
+// the shape of a crash), the standby is promoted, and a Server is
+// constructed over the replica store; `failover_first_observe_ms` is
+// kill-to-first-monitor-observation on the promoted node (restore replay
+// included) and `failover_resume_ms` is kill-to-producer-FIN after the
+// client reconnects and finishes from its watermark.  `--shards N` sizes
+// both reactors; `--json FILE` records rows for trend tracking.
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/error.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/standby.h"
+#include "obs/metrics.h"
+#include "random_computation.h"
+
+using namespace ocep;
+using namespace ocep::bench;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kPattern =
+    "P := ['', A, '']; Q := ['', B, ''];\npattern := P -> Q;\n";
+
+[[nodiscard]] std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[nodiscard]] std::string scratch_dir(const char* tag, std::uint32_t rep) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("ocep_bench_repl_" + std::to_string(::getpid()) + "_" +
+       std::to_string(rep) + "_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Sum of the replication lag gauges across all shards of `server`.
+struct LagSample {
+  std::int64_t bytes = 0;
+  std::int64_t records = 0;
+  bool connected = false;
+};
+
+[[nodiscard]] LagSample sample_lag(const net::Server& server) {
+  obs::Registry scratch;
+  server.merge_metrics(scratch);
+  LagSample sample;
+  sample.bytes = scratch.gauge("repl.lag_bytes").value();
+  sample.records = scratch.gauge("repl.lag_records").value();
+  sample.connected = scratch.gauge("repl.connected").value() > 0;
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    BenchParams params = parse_params(flags);
+    const auto traces = static_cast<std::uint32_t>(flags.get_int("traces", 4));
+    const auto shards = static_cast<std::size_t>(flags.get_int("shards", 1));
+    flags.check_unused();
+
+    StringPool pool;
+    ocep::testing::RandomComputationOptions options;
+    options.traces = traces;
+    options.events = static_cast<std::uint32_t>(params.events);
+    options.seed = params.seed;
+    const EventStore source = ocep::testing::random_computation(pool, options);
+    const std::uint64_t total = source.event_count();
+    const std::uint64_t half = total / 2;
+
+    std::printf("# replication (random computation, %u traces, %" PRIu64
+                " events, %zu shards, %u reps)\n",
+                traces, total, shards, params.reps);
+    std::printf("%-6s %10s %12s %10s %10s %12s %10s\n", "rep", "lag_max_B",
+                "lag_max_rec", "drain_ms", "acks", "observe_ms", "resume_ms");
+
+    JsonReport report("replication", params);
+    for (std::uint32_t rep = 0; rep < params.reps; ++rep) {
+      const std::string primary_dir = scratch_dir("primary", rep);
+      const std::string replica_dir = scratch_dir("replica", rep);
+
+      net::StandbyConfig standby_config;
+      standby_config.store_dir = replica_dir;
+      net::Standby standby(std::move(standby_config));
+      net::StandbyExit standby_exit = net::StandbyExit::kShutdown;
+      std::thread standby_thread(
+          [&] { standby_exit = standby.run(); });
+
+      net::ServerConfig config;
+      config.shards = shards;
+      config.store_dir = primary_dir;
+      config.flush_interval_ms = 5;
+      config.detach_linger_ms = 10000;
+      config.replicate_host = "127.0.0.1";
+      config.replicate_port = standby.port();
+      net::Server server(std::move(config));
+      std::thread reactor([&server] { server.run(); });
+
+      // Phase 1: stream half the computation (producer stays attached —
+      // it will "die" with the primary) while sampling replication lag.
+      std::atomic<bool> producing{true};
+      net::StreamResult first;
+      std::string stream_error;
+      std::thread producer([&] {
+        try {
+          net::ConnectorConfig cc;
+          cc.port = server.port();
+          cc.tenant = "repl";
+          cc.patterns = {kPattern};
+          net::StreamOptions so;
+          so.max_events = half;
+          first = net::stream_store(source, pool, cc, so);
+        } catch (const Error& error) {
+          stream_error = error.what();
+        }
+        producing.store(false, std::memory_order_release);
+      });
+
+      std::int64_t lag_max_bytes = 0;
+      std::int64_t lag_max_records = 0;
+      std::int64_t drained_at = 0;
+      std::int64_t produced_at = 0;
+      const std::int64_t phase1_start = now_ns();
+      while (true) {
+        const LagSample lag = sample_lag(server);
+        lag_max_bytes = std::max(lag_max_bytes, lag.bytes);
+        lag_max_records = std::max(lag_max_records, lag.records);
+        const bool busy = producing.load(std::memory_order_acquire);
+        if (!busy && produced_at == 0) {
+          produced_at = now_ns();
+        }
+        if (!busy && lag.connected && lag.bytes == 0 && lag.records == 0) {
+          drained_at = now_ns();
+          break;
+        }
+        if (now_ns() - phase1_start > 30'000'000'000LL) {
+          std::fprintf(stderr,
+                       "replication: lag never drained (bytes=%" PRId64
+                       " records=%" PRId64 ")\n",
+                       lag.bytes, lag.records);
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      producer.join();
+      if (!stream_error.empty()) {
+        std::fprintf(stderr, "replication: producer failed: %s\n",
+                     stream_error.c_str());
+        return 1;
+      }
+      const double drain_ms =
+          static_cast<double>(drained_at - produced_at) / 1e6;
+      const std::uint64_t acks = server.counter_value("repl.acks");
+      const std::uint64_t bytes_shipped =
+          server.counter_value("repl.bytes_shipped");
+      const std::uint64_t resyncs = server.counter_value("repl.resyncs");
+
+      // Phase 2: the primary vanishes mid-tenant; promote the follower
+      // and bring a Server up over the replica store.
+      std::atomic<std::int64_t> first_observe{0};
+      const std::int64_t kill_at = now_ns();
+      server.request_shutdown();
+      reactor.join();
+
+      standby.request_promote();
+      standby_thread.join();
+      if (standby_exit != net::StandbyExit::kPromote) {
+        std::fprintf(stderr, "replication: standby did not promote\n");
+        return 1;
+      }
+
+      net::ServerConfig promoted_config;
+      promoted_config.shards = shards;
+      promoted_config.store_dir = replica_dir;
+      promoted_config.flush_interval_ms = 5;
+      promoted_config.detach_linger_ms = 10000;
+      promoted_config.observe_hook = [&first_observe](std::string_view,
+                                                      std::uint64_t) {
+        std::int64_t expected = 0;
+        first_observe.compare_exchange_strong(expected, now_ns(),
+                                              std::memory_order_acq_rel);
+      };
+      net::Server promoted(std::move(promoted_config));
+      std::thread promoted_reactor([&promoted] { promoted.run(); });
+
+      // The producer reconnects and finishes from its watermark.
+      net::ConnectorConfig cc;
+      cc.port = promoted.port();
+      cc.tenant = "repl";
+      cc.patterns = {kPattern};
+      net::StreamOptions rest;
+      rest.skip_below = half;
+      const net::StreamResult second = net::stream_store(source, pool, cc,
+                                                         rest);
+      const std::int64_t fin_at = now_ns();
+      promoted.request_shutdown();
+      promoted_reactor.join();
+
+      if (!second.fin_received || second.fin.degraded) {
+        std::fprintf(stderr,
+                     "replication: resumed stream did not finish cleanly "
+                     "(ack: %s)\n",
+                     second.ack.message.c_str());
+        return 1;
+      }
+      const std::int64_t observed_at =
+          first_observe.load(std::memory_order_acquire);
+      const double observe_ms =
+          observed_at == 0
+              ? 0.0
+              : static_cast<double>(observed_at - kill_at) / 1e6;
+      const double resume_ms = static_cast<double>(fin_at - kill_at) / 1e6;
+
+      std::printf("%-6u %10" PRId64 " %12" PRId64 " %10.2f %10" PRIu64
+                  " %12.2f %10.2f\n",
+                  rep, lag_max_bytes, lag_max_records, drain_ms, acks,
+                  observe_ms, resume_ms);
+
+      report.begin_row("rep" + std::to_string(rep));
+      report.add("shards", static_cast<std::uint64_t>(shards));
+      report.add("events_total", total);
+      report.add("events_before_kill", half);
+      report.add("lag_max_bytes", static_cast<std::int64_t>(lag_max_bytes));
+      report.add("lag_max_records",
+                 static_cast<std::int64_t>(lag_max_records));
+      report.add("drain_ms", drain_ms);
+      report.add("bytes_shipped", bytes_shipped);
+      report.add("acks", acks);
+      report.add("resyncs", resyncs);
+      report.add("failover_first_observe_ms", observe_ms);
+      report.add("failover_resume_ms", resume_ms);
+
+      fs::remove_all(primary_dir);
+      fs::remove_all(replica_dir);
+    }
+    report.write();
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "replication: %s\n", error.what());
+    return 1;
+  }
+}

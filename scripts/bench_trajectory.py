@@ -22,6 +22,9 @@ JSON surface regenerates in the same PR:
 Subcommands:
     generate [names...]   run pinned scenarios, rewrite BENCH_*.json
     check    [names...]   run pinned scenarios, structural diff vs committed
+    plot     [names...]   render the committed trajectory (git log over the
+                          BENCH_*.json files) into EXPERIMENTS.md between
+                          the bench-trajectory markers
 """
 
 import argparse
@@ -37,23 +40,31 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # name -> (binary, pinned args, output file).  The pinned args must pin
 # --events/--reps/--seed: they are recorded in the params block and
-# byte-compared by `check`.
+# byte-compared by `check`.  `metric` names the headline field the `plot`
+# subcommand charts (mean over the scenario's rows); `better` says which
+# direction is an improvement, purely for the chart legend.
 SCENARIOS = {
     "net": {
         "binary": "bench/net_serve",
         "args": ["--events", "2000", "--reps", "2", "--seed", "7",
                  "--clients", "8", "--shards", "2"],
         "file": "BENCH_net.json",
+        "metric": "throughput_eps",
+        "better": "higher",
     },
     "pipeline": {
         "binary": "bench/pipeline",
         "args": ["--events", "8000", "--reps", "1", "--seed", "7"],
         "file": "BENCH_pipeline.json",
+        "metric": "events_per_sec",
+        "better": "higher",
     },
     "overload": {
         "binary": "bench/overload",
         "args": ["--events", "4000", "--reps", "2", "--seed", "7"],
         "file": "BENCH_overload.json",
+        "metric": "observe_p99_us",
+        "better": "lower",
     },
     # Zipf-skewed producers pile onto one hash bucket; the rebalancer must
     # spread them live.  Records tenant_migrations and util_spread next to
@@ -64,8 +75,24 @@ SCENARIOS = {
                  "--producers", "16", "--zipf", "1.0", "--shards", "4",
                  "--rebalance", "true", "--rebalance-interval-ms", "50"],
         "file": "BENCH_rebalance.json",
+        "metric": "throughput_eps",
+        "better": "higher",
+    },
+    # Warm-standby replication: peak streamed-but-unacked lag under load,
+    # drain time, and the kill -> promote -> producer-FIN failover window.
+    "replication": {
+        "binary": "bench/replication",
+        "args": ["--events", "1500", "--reps", "2", "--seed", "7",
+                 "--shards", "2"],
+        "file": "BENCH_replication.json",
+        "metric": "failover_resume_ms",
+        "better": "lower",
     },
 }
+
+PLOT_BEGIN = "<!-- bench-trajectory:begin -->"
+PLOT_END = "<!-- bench-trajectory:end -->"
+EXPERIMENTS = os.path.join(REPO_ROOT, "EXPERIMENTS.md")
 
 
 def run_scenario(name, build_dir):
@@ -177,9 +204,96 @@ def cmd_check(names, build_dir):
         raise SystemExit(1)
 
 
+def git_trajectory(name):
+    """(short_sha, date, subject, mean-metric) per commit touching the
+    scenario's file, oldest first; the value is None when that revision
+    of the file cannot be parsed or predates the metric."""
+    scenario = SCENARIOS[name]
+    log = subprocess.run(
+        ["git", "log", "--reverse", "--format=%h%x00%cs%x00%s",
+         "--", scenario["file"]],
+        cwd=REPO_ROOT, stdout=subprocess.PIPE, text=True, check=True)
+    points = []
+    for line in log.stdout.splitlines():
+        sha, date, subject = line.split("\0", 2)
+        show = subprocess.run(
+            ["git", "show", f"{sha}:{scenario['file']}"],
+            cwd=REPO_ROOT, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True)
+        value = None
+        if show.returncode == 0:
+            try:
+                doc = json.loads(show.stdout)
+                samples = [row[scenario["metric"]]
+                           for row in doc.get("rows", [])
+                           if scenario["metric"] in row]
+                if samples:
+                    value = sum(samples) / len(samples)
+            except (json.JSONDecodeError, TypeError):
+                value = None
+        points.append((sha, date, subject, value))
+    return points
+
+
+def render_plot(names):
+    """The markdown block that goes between the trajectory markers."""
+    lines = [
+        "Generated by `python3 scripts/bench_trajectory.py plot` from the",
+        "committed `BENCH_*.json` history (`git log`, oldest first).  Each",
+        "value is the mean of the scenario's headline metric over its rows",
+        "*as measured on the machine that committed it* — read the bars as",
+        "trends, not absolute numbers.",
+    ]
+    width = 32
+    for name in names:
+        scenario = SCENARIOS[name]
+        points = git_trajectory(name)
+        lines.append("")
+        lines.append(f"### {name} — `{scenario['metric']}` "
+                     f"({scenario['better']} is better, "
+                     f"`{scenario['file']}`)")
+        lines.append("")
+        if not any(value is not None for _, _, _, value in points):
+            lines.append("_No committed history yet._")
+            continue
+        peak = max(value for _, _, _, value in points if value is not None)
+        lines.append("```")
+        for sha, date, subject, value in points:
+            if value is None:
+                bar, shown = "", "(unparsable)"
+            else:
+                bar = "#" * max(1, round(width * value / peak)) if peak > 0 \
+                    else ""
+                shown = f"{value:,.1f}"
+            title = subject if len(subject) <= 44 else subject[:41] + "..."
+            lines.append(f"{sha:>9}  {date}  {shown:>14}  {bar:<{width}}  "
+                         f"{title}")
+        lines.append("```")
+    return "\n".join(lines)
+
+
+def cmd_plot(names):
+    block = render_plot(names)
+    with open(EXPERIMENTS, encoding="utf-8") as handle:
+        text = handle.read()
+    begin = text.find(PLOT_BEGIN)
+    end = text.find(PLOT_END)
+    if begin != -1 and end != -1 and end > begin:
+        text = (text[:begin + len(PLOT_BEGIN)] + "\n" + block + "\n" +
+                text[end:])
+    else:
+        text = (text.rstrip("\n") +
+                "\n\n---\n\n## Performance trajectory\n\n" +
+                PLOT_BEGIN + "\n" + block + "\n" + PLOT_END + "\n")
+    with open(EXPERIMENTS, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"bench_trajectory: plotted {', '.join(names)} into "
+          "EXPERIMENTS.md")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("command", choices=["generate", "check"])
+    parser.add_argument("command", choices=["generate", "check", "plot"])
     parser.add_argument("names", nargs="*", default=None,
                         help="scenario subset (default: all)")
     parser.add_argument("--build-dir", default="build")
@@ -191,6 +305,8 @@ def main():
                              f"(known: {', '.join(sorted(SCENARIOS))})")
     if args.command == "generate":
         cmd_generate(names, args.build_dir)
+    elif args.command == "plot":
+        cmd_plot(names)
     else:
         cmd_check(names, args.build_dir)
 

@@ -1,0 +1,471 @@
+#include "net/replicator.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <climits>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/error.h"
+
+namespace ocep::net {
+namespace {
+
+constexpr std::size_t kMaxWbuf = 1U << 20U;   ///< pause disk reads past this
+constexpr std::uint64_t kChunkBytes = 256U << 10U;
+constexpr std::uint64_t kBackoffStartMs = 100;
+constexpr std::uint64_t kBackoffCapMs = 2000;
+/// A follower that accepts the TCP connect but never answers the hello
+/// would otherwise pin the link forever.
+constexpr std::uint64_t kHandshakeDeadlineMs = 5000;
+
+}  // namespace
+
+Replicator::Replicator(std::string host, std::uint16_t port,
+                       std::size_t shard_index, std::size_t shard_count,
+                       const store::SegmentLog& log, Poller& poller,
+                       std::uint64_t tag, obs::Registry& registry)
+    : host_(std::move(host)),
+      port_(port),
+      shard_index_(shard_index),
+      shard_count_(shard_count),
+      log_(log),
+      poller_(poller),
+      tag_(tag),
+      registry_(registry),
+      gauge_connected_(&registry.gauge("repl.connected")),
+      gauge_lag_bytes_(&registry.gauge("repl.lag_bytes")),
+      gauge_lag_records_(&registry.gauge("repl.lag_records")) {
+  gauge_connected_->set(0);
+}
+
+Replicator::~Replicator() { close_link(); }
+
+void Replicator::close_link() {
+  if (fd_.valid()) {
+    flush();  // best effort: push any queued commit out before closing
+    poller_.del(fd_.get());
+    fd_.reset();
+  }
+  if (state_ == State::kStreaming) {
+    gauge_connected_->set(0);
+  }
+  state_ = State::kBackoff;
+  rbuf_.clear();
+  wbuf_.clear();
+  wbuf_off_ = 0;
+  view_.clear();
+  count_pending_.clear();
+}
+
+void Replicator::disconnect(std::uint64_t now_ms, const char* reason) {
+  if (fd_.valid()) {
+    poller_.del(fd_.get());
+    fd_.reset();
+  }
+  if (state_ == State::kStreaming) {
+    registry_.counter("repl.disconnects").add(1);
+    gauge_connected_->set(0);
+  }
+  registry_.counter(std::string("repl.drop.") + reason).add(1);
+  state_ = State::kBackoff;
+  backoff_ms_ = backoff_ms_ == 0
+                    ? kBackoffStartMs
+                    : std::min(backoff_ms_ * 2, kBackoffCapMs);
+  retry_at_ms_ = now_ms + backoff_ms_;
+  rbuf_.clear();
+  wbuf_.clear();
+  wbuf_off_ = 0;
+  view_.clear();
+  count_pending_.clear();
+  records_streamed_ = 0;
+  dirty_since_commit_ = false;
+}
+
+void Replicator::tick(std::uint64_t now_ms) {
+  clock_ms_ = now_ms;
+  switch (state_) {
+    case State::kBackoff:
+      if (now_ms >= retry_at_ms_) {
+        start_connect(now_ms);
+      }
+      break;
+    case State::kConnecting:
+    case State::kHello:
+      if (now_ms - retry_at_ms_ > kHandshakeDeadlineMs) {
+        disconnect(now_ms, "handshake_timeout");
+      }
+      break;
+    case State::kStreaming:
+      break;
+  }
+}
+
+int Replicator::timeout_bound_ms(std::uint64_t now_ms) const {
+  switch (state_) {
+    case State::kBackoff: {
+      const std::uint64_t wait =
+          retry_at_ms_ > now_ms ? retry_at_ms_ - now_ms : 1;
+      return static_cast<int>(std::min<std::uint64_t>(wait, INT_MAX));
+    }
+    case State::kConnecting:
+    case State::kHello:
+      return 100;
+    case State::kStreaming:
+      return INT_MAX;
+  }
+  return INT_MAX;
+}
+
+void Replicator::start_connect(std::uint64_t now_ms) {
+  try {
+    bool in_progress = false;
+    fd_ = tcp_connect_begin(host_, port_, in_progress);
+    poller_.add(fd_.get(), EPOLLIN | EPOLLOUT, tag_);
+    retry_at_ms_ = now_ms;  // doubles as the handshake-deadline anchor
+    if (in_progress) {
+      state_ = State::kConnecting;
+    } else {
+      on_connect_writable();
+    }
+  } catch (const Error&) {
+    fd_.reset();
+    disconnect(now_ms, "connect");
+  }
+}
+
+void Replicator::on_connect_writable() {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+      err != 0) {
+    disconnect(clock_ms_, "connect");
+    return;
+  }
+  state_ = State::kHello;
+  store::ReplHello hello;
+  hello.shard_index = shard_index_;
+  hello.shard_count = shard_count_;
+  send(store::encode_repl_hello(hello));
+  flush();
+}
+
+void Replicator::send(std::string bytes) { wbuf_ += bytes; }
+
+void Replicator::flush() {
+  if (!fd_.valid()) {
+    return;
+  }
+  while (wbuf_off_ < wbuf_.size()) {
+    const IoResult result = write_some(fd_.get(), wbuf_.data() + wbuf_off_,
+                                       wbuf_.size() - wbuf_off_);
+    if (result.status == IoStatus::kOk) {
+      wbuf_off_ += result.bytes;
+      continue;
+    }
+    if (result.status == IoStatus::kWouldBlock) {
+      break;  // EPOLLOUT rearms the flush
+    }
+    disconnect(clock_ms_, "write");
+    return;
+  }
+  if (wbuf_off_ == wbuf_.size()) {
+    wbuf_.clear();
+    wbuf_off_ = 0;
+  } else if (wbuf_off_ > kMaxWbuf) {
+    wbuf_.erase(0, wbuf_off_);
+    wbuf_off_ = 0;
+  }
+}
+
+void Replicator::on_event(std::uint32_t events) {
+  if (!fd_.valid()) {
+    return;
+  }
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    disconnect(clock_ms_, "hup");
+    return;
+  }
+  if (state_ == State::kConnecting && (events & EPOLLOUT) != 0) {
+    on_connect_writable();
+    if (!fd_.valid()) {
+      return;
+    }
+  }
+  if ((events & EPOLLIN) != 0) {
+    char buf[16384];
+    while (true) {
+      const IoResult result = read_some(fd_.get(), buf, sizeof(buf));
+      if (result.status == IoStatus::kOk) {
+        rbuf_.append(buf, result.bytes);
+        continue;
+      }
+      if (result.status == IoStatus::kWouldBlock) {
+        break;
+      }
+      disconnect(clock_ms_, result.status == IoStatus::kEof ? "eof" : "read");
+      return;
+    }
+    if (state_ == State::kHello) {
+      std::vector<store::ReplSegmentState> states;
+      const std::int64_t consumed = store::try_decode_repl_state(rbuf_, states);
+      if (consumed < 0) {
+        disconnect(clock_ms_, "bad_state_frame");
+        return;
+      }
+      if (consumed > 0) {
+        rbuf_.erase(0, static_cast<std::size_t>(consumed));
+        try {
+          handle_state_frame(std::move(states));
+        } catch (const Error&) {
+          registry_.counter("repl.errors").add(1);
+          disconnect(clock_ms_, "store");
+          return;
+        }
+      }
+    }
+    if (state_ == State::kStreaming) {
+      handle_acks();
+    }
+  }
+  if ((events & EPOLLOUT) != 0 && fd_.valid()) {
+    flush();
+    if (state_ == State::kStreaming && wbuf_.size() - wbuf_off_ < kMaxWbuf) {
+      pump();
+    }
+  }
+}
+
+void Replicator::handle_state_frame(
+    std::vector<store::ReplSegmentState> states) {
+  std::sort(states.begin(), states.end(),
+            [](const store::ReplSegmentState& a,
+               const store::ReplSegmentState& b) { return a.id < b.id; });
+  const std::vector<store::SegmentView> views = log_.segments();
+  std::map<std::uint32_t, std::uint64_t> primary;
+  std::uint32_t primary_max = 0;
+  for (const store::SegmentView& v : views) {
+    primary[v.id] = v.bytes;
+    primary_max = std::max(primary_max, v.id);
+  }
+  const std::uint32_t follower_max = states.empty() ? 0 : states.back().id;
+
+  bool resync = false;
+  // Every primary segment at or below the follower's frontier must be
+  // present there: the follower appends segments in ascending order, so
+  // a hole it is past can never be filled in.
+  for (const store::SegmentView& v : views) {
+    if (v.id > follower_max) {
+      continue;
+    }
+    const auto has = std::find_if(states.begin(), states.end(),
+                                  [&v](const store::ReplSegmentState& s) {
+                                    return s.id == v.id;
+                                  });
+    if (has == states.end()) {
+      resync = true;
+    }
+  }
+  view_.clear();
+  for (const store::ReplSegmentState& s : states) {
+    const auto it = primary.find(s.id);
+    if (it == primary.end()) {
+      if (s.id > primary_max) {
+        resync = true;  // follower is ahead of us: it is not our prefix
+        break;
+      }
+      view_[s.id] = s.bytes;  // we compacted it away; 'D' will mirror that
+      continue;
+    }
+    if (s.bytes > it->second ||
+        (s.id != follower_max && s.bytes != it->second)) {
+      resync = true;
+      break;
+    }
+    const std::string prefix = log_.read_range(s.id, 0, s.bytes);
+    if (prefix.size() != s.bytes || crc32c(prefix) != s.crc) {
+      resync = true;
+      break;
+    }
+    view_[s.id] = s.bytes;
+  }
+
+  count_pending_.clear();
+  records_streamed_ = 0;
+  if (resync) {
+    registry_.counter("repl.resyncs").add(1);
+    resyncs_local_ += 1;
+    send(store::encode_repl_frame(store::ReplFrameType::kReset, {}));
+    view_.clear();
+  } else if (follower_max != 0 && primary.count(follower_max) != 0) {
+    // Prime the record-frame walk with the resume segment's prefix so a
+    // mid-frame resume offset does not desynchronize the count.
+    const std::uint64_t resume = view_[follower_max];
+    if (resume > store::kSegmentHeaderBytes) {
+      (void)store::count_record_frames(
+          count_pending_,
+          log_.read_range(follower_max, store::kSegmentHeaderBytes,
+                          resume - store::kSegmentHeaderBytes));
+    }
+  }
+  state_ = State::kStreaming;
+  backoff_ms_ = 0;
+  acked_once_ = false;
+  last_ack_ = {};
+  registry_.counter("repl.connects").add(1);
+  connects_local_ += 1;
+  gauge_connected_->set(1);
+  // Force a commit even when nothing needs shipping: the resulting ack
+  // gives the lag gauges a baseline right away.
+  dirty_since_commit_ = true;
+  pump();
+}
+
+void Replicator::pump() {
+  try {
+    refresh_lag();
+  } catch (const Error&) {
+    registry_.counter("repl.errors").add(1);
+  }
+  if (state_ != State::kStreaming) {
+    return;
+  }
+  try {
+    while (wbuf_.size() - wbuf_off_ < kMaxWbuf) {
+      const std::vector<store::SegmentView> views = log_.segments();
+      // Mirror compaction first: anything the follower holds that our
+      // manifest no longer names is dead bytes there too.
+      std::uint32_t drop = 0;
+      for (const auto& [id, bytes] : view_) {
+        const bool known =
+            std::any_of(views.begin(), views.end(),
+                        [id = id](const store::SegmentView& v) {
+                          return v.id == id;
+                        });
+        if (!known) {
+          drop = id;
+          break;
+        }
+      }
+      if (drop != 0) {
+        send(store::encode_repl_drop(drop));
+        if (drop == last_ship_segment_) {
+          count_pending_.clear();
+        }
+        view_.erase(drop);
+        dirty_since_commit_ = true;
+        continue;
+      }
+      bool progressed = false;
+      for (const store::SegmentView& v : views) {
+        const auto it = view_.find(v.id);
+        if (it == view_.end()) {
+          send(store::encode_repl_open(v.id));
+          view_[v.id] = store::kSegmentHeaderBytes;
+          dirty_since_commit_ = true;
+          progressed = true;
+          break;
+        }
+        if (it->second < v.bytes) {
+          const std::uint64_t want =
+              std::min<std::uint64_t>(kChunkBytes, v.bytes - it->second);
+          const std::string chunk = log_.read_range(v.id, it->second, want);
+          if (chunk.empty()) {
+            break;
+          }
+          send(store::encode_repl_append(v.id, it->second, chunk));
+          records_streamed_ += store::count_record_frames(count_pending_,
+                                                          chunk);
+          last_ship_segment_ = v.id;
+          it->second += chunk.size();
+          registry_.counter("repl.bytes_shipped").add(chunk.size());
+          registry_.counter("repl.frames_shipped").add(1);
+          dirty_since_commit_ = true;
+          progressed = true;
+          break;
+        }
+      }
+      if (!progressed) {
+        if (dirty_since_commit_) {
+          send(store::encode_repl_commit(++commit_seq_));
+          dirty_since_commit_ = false;
+        }
+        break;
+      }
+    }
+    flush();
+  } catch (const Error&) {
+    registry_.counter("repl.errors").add(1);
+    disconnect(clock_ms_, "store");
+  }
+}
+
+void Replicator::handle_acks() {
+  while (true) {
+    store::ReplFrameType type{};
+    std::string payload;
+    const std::int64_t consumed =
+        store::try_decode_repl_frame(rbuf_, type, payload);
+    if (consumed == 0) {
+      break;
+    }
+    if (consumed < 0 || type != store::ReplFrameType::kAck) {
+      disconnect(clock_ms_, "bad_ack");
+      return;
+    }
+    rbuf_.erase(0, static_cast<std::size_t>(consumed));
+    store::ReplAck ack;
+    if (!store::decode_repl_ack(payload, ack)) {
+      disconnect(clock_ms_, "bad_ack");
+      return;
+    }
+    last_ack_ = ack;
+    acked_once_ = true;
+    registry_.counter("repl.acks").add(1);
+  }
+  try {
+    refresh_lag();
+  } catch (const Error&) {
+    registry_.counter("repl.errors").add(1);
+  }
+}
+
+void Replicator::refresh_lag() {
+  std::uint64_t lag = 0;
+  for (const store::SegmentView& v : log_.segments()) {
+    if (!acked_once_ || v.id > last_ack_.segment) {
+      lag += v.bytes;
+    } else if (v.id == last_ack_.segment) {
+      lag += v.bytes - std::min(v.bytes, last_ack_.offset);
+    }
+  }
+  lag_bytes_ = lag;
+  gauge_lag_bytes_->set(static_cast<std::int64_t>(lag));
+  const std::uint64_t unacked_records =
+      records_streamed_ -
+      std::min(records_streamed_,
+               acked_once_ ? last_ack_.records : std::uint64_t{0});
+  gauge_lag_records_->set(static_cast<std::int64_t>(unacked_records));
+}
+
+std::string Replicator::healthz_json() const {
+  std::string out = "{\"target\":\"" + host_ + ":" + std::to_string(port_) +
+                    "\",\"connected\":";
+  out += state_ == State::kStreaming ? "true" : "false";
+  out += ",\"lag_bytes\":" + std::to_string(lag_bytes_);
+  const std::uint64_t unacked =
+      records_streamed_ -
+      std::min(records_streamed_,
+               acked_once_ ? last_ack_.records : std::uint64_t{0});
+  out += ",\"lag_records\":" + std::to_string(unacked);
+  out += ",\"acked_segment\":" + std::to_string(last_ack_.segment);
+  out += ",\"acked_offset\":" + std::to_string(last_ack_.offset);
+  out += ",\"connects\":" + std::to_string(connects_local_);
+  out += ",\"resyncs\":" + std::to_string(resyncs_local_);
+  out += "}";
+  return out;
+}
+
+}  // namespace ocep::net

@@ -1,0 +1,131 @@
+// Primary-side replication: tails one shard's segment log and streams it
+// to the standby daemon (store/replication.h has the wire protocol and
+// the follower-side writer).
+//
+// The Replicator is owned by its Shard and driven entirely by the shard's
+// epoll loop — tick() each iteration (backoff + dialing), on_event() for
+// socket readiness under kTagRepl, pump() after every group commit.  The
+// disk log is the replication buffer: nothing unsent is held in RAM
+// across disconnects.  On (re)connect the follower's state frame names
+// its per-segment durable sizes + CRCs; the primary verifies each one is
+// a byte prefix of its own log and resumes from the reported offsets, or
+// sends a reset and streams from scratch when they are not ('R' — the
+// only way a diverged or damaged follower is repaired, so the follower
+// can never silently diverge).
+//
+// Shipping only ever covers *synced* bytes (SegmentLog::segments()
+// reports the offset of the last group commit), so a follower is never
+// ahead of what the primary would itself recover after a crash.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/poller.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "store/replication.h"
+#include "store/segment_log.h"
+
+namespace ocep::net {
+
+class Replicator {
+ public:
+  /// `tag` is the poller tag the owning shard reserved for this socket;
+  /// `log` outlives the Replicator and is only touched from the shard
+  /// thread (both run there).
+  Replicator(std::string host, std::uint16_t port, std::size_t shard_index,
+             std::size_t shard_count, const store::SegmentLog& log,
+             Poller& poller, std::uint64_t tag, obs::Registry& registry);
+  ~Replicator();
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// Drives the backoff/dial state machine; call once per loop iteration.
+  void tick(std::uint64_t now_ms);
+
+  /// Socket readiness for this replicator's poller tag.
+  void on_event(std::uint32_t events);
+
+  /// Ships newly synced bytes; call after each group commit (and cheap
+  /// to call when nothing changed).
+  void pump();
+
+  /// Upper bound the shard should place on its epoll wait so backoff
+  /// retries fire on time; INT_MAX when connected or idle.
+  [[nodiscard]] int timeout_bound_ms(std::uint64_t now_ms) const;
+
+  [[nodiscard]] bool connected() const noexcept {
+    return state_ == State::kStreaming;
+  }
+  [[nodiscard]] std::uint64_t lag_bytes() const noexcept {
+    return lag_bytes_;
+  }
+
+  /// One JSON object for /healthz: connection, acked position, lag.
+  [[nodiscard]] std::string healthz_json() const;
+
+  /// Closes the link (shutdown path); safe to call repeatedly.
+  void close_link();
+
+ private:
+  enum class State : std::uint8_t {
+    kBackoff,     ///< waiting out retry_at_ms_
+    kConnecting,  ///< non-blocking connect in flight
+    kHello,       ///< hello sent, waiting for the follower state frame
+    kStreaming,
+  };
+
+  void start_connect(std::uint64_t now_ms);
+  void disconnect(std::uint64_t now_ms, const char* reason);
+  void on_connect_writable();
+  void handle_state_frame(std::vector<store::ReplSegmentState> states);
+  void handle_acks();
+  void flush();
+  void send(std::string bytes);
+  void refresh_lag();
+
+  std::string host_;
+  std::uint16_t port_;
+  std::size_t shard_index_;
+  std::size_t shard_count_;
+  const store::SegmentLog& log_;
+  Poller& poller_;
+  std::uint64_t tag_;
+  obs::Registry& registry_;
+
+  State state_ = State::kBackoff;
+  OwnedFd fd_;
+  std::uint64_t retry_at_ms_ = 0;  ///< 0 = retry immediately
+  std::uint64_t backoff_ms_ = 0;
+  std::uint64_t clock_ms_ = 0;
+
+  std::string rbuf_;
+  std::string wbuf_;
+  std::size_t wbuf_off_ = 0;
+
+  /// Follower bytes per segment this connection has confirmed or shipped.
+  std::map<std::uint32_t, std::uint64_t> view_;
+  std::uint32_t last_ship_segment_ = 0;
+  bool dirty_since_commit_ = false;
+  std::uint64_t commit_seq_ = 0;
+
+  /// Record-frame walk over the shipped byte stream (store's
+  /// count_record_frames carry) — both ends count identically.
+  std::string count_pending_;
+  std::uint64_t records_streamed_ = 0;  ///< this connection
+  store::ReplAck last_ack_;
+  bool acked_once_ = false;
+  std::uint64_t lag_bytes_ = 0;
+  std::uint64_t connects_local_ = 0;  ///< registry counters are shared per
+  std::uint64_t resyncs_local_ = 0;   ///< shard; healthz wants this link's
+
+  obs::Gauge* gauge_connected_;
+  obs::Gauge* gauge_lag_bytes_;
+  obs::Gauge* gauge_lag_records_;
+};
+
+}  // namespace ocep::net

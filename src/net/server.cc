@@ -431,10 +431,11 @@ std::string Server::metrics_prometheus() const {
 
 std::string Server::healthz_json() {
   std::vector<std::string> rows(shards_.size());
+  std::vector<std::string> status(shards_.size());
   std::size_t connections = conns_.size();
   if (running_.load(std::memory_order_acquire)) {
     // Tenant state belongs to shard threads; render on each one.
-    using Reply = std::pair<std::string, std::size_t>;
+    using Reply = std::tuple<std::string, std::string, std::size_t>;
     std::vector<std::future<Reply>> replies;
     replies.reserve(shards_.size());
     for (const auto& shard : shards_) {
@@ -442,7 +443,8 @@ std::string Server::healthz_json() {
       replies.push_back(promise->get_future());
       Shard* raw = shard.get();
       shard->post([promise, raw] {
-        promise->set_value({raw->healthz_rows(), raw->connection_count()});
+        promise->set_value({raw->healthz_rows(), raw->healthz_shard_json(),
+                            raw->connection_count()});
       });
     }
     for (std::size_t i = 0; i < replies.size(); ++i) {
@@ -451,17 +453,26 @@ std::string Server::healthz_json() {
         return {};
       }
       Reply reply = replies[i].get();
-      rows[i] = std::move(reply.first);
-      connections += reply.second;
+      rows[i] = std::move(std::get<0>(reply));
+      status[i] = std::move(std::get<1>(reply));
+      connections += std::get<2>(reply);
     }
   } else {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       rows[i] = shards_[i]->healthz_rows();
+      status[i] = shards_[i]->healthz_shard_json();
       connections += shards_[i]->connection_count();
     }
   }
   std::ostringstream out;
-  out << "{\"shards\":" << shards_.size() << ",\"tenants\":[";
+  out << "{\"shards\":" << shards_.size() << ",\"shards_status\":[";
+  for (std::size_t i = 0; i < status.size(); ++i) {
+    if (i != 0) {
+      out << ",";
+    }
+    out << status[i];
+  }
+  out << "],\"tenants\":[";
   bool first = true;
   for (const std::string& shard_rows : rows) {
     if (shard_rows.empty()) {

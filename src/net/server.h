@@ -101,6 +101,10 @@ struct ServerConfig {
   std::uint64_t store_rebase_bytes = 1ULL << 20;
   /// Segment rotation threshold for the store's log files.
   std::size_t store_segment_bytes = std::size_t{4} << 20;
+  /// Warm-standby target: every shard streams its segment log to this
+  /// follower (empty host = replication off).  Requires store_dir.
+  std::string replicate_host;
+  std::uint16_t replicate_port = 0;
   /// Test-only crash injection around every store write/fsync/rename
   /// edge; see store::CrashHook.  Called from shard threads.
   store::CrashHook store_crash_hook;

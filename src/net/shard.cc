@@ -78,6 +78,11 @@ Shard::Shard(const ServerConfig& config, std::size_t index,
   // are loaded for tenants the log does not know and re-based into it.
   restore_checkpoints();
   next_flush_ms_ = clock_ms_ + flush_interval_ms();
+  if (store_ != nullptr && !config_.replicate_host.empty()) {
+    replicator_ = std::make_unique<Replicator>(
+        config_.replicate_host, config_.replicate_port, index_, shard_count_,
+        store_->log(), poller_, kTagRepl, registry_);
+  }
 }
 
 Shard::~Shard() {
@@ -355,15 +360,38 @@ void Shard::run() {
         case kTagIngest:
           accept_ingest();
           break;
+        case kTagRepl:
+          if (replicator_ != nullptr) {
+            replicator_->on_event(ev.events);
+          }
+          break;
         default:
           on_conn_event(ev.tag, ev.events);
           break;
       }
     }
     sweep_timers();
+    if (replicator_ != nullptr) {
+      replicator_->tick(clock_ms_);
+    }
     if (store_ != nullptr && clock_ms_ >= next_flush_ms_) {
-      flush_store();
-      next_flush_ms_ = clock_ms_ + flush_interval_ms();
+      if (flush_store()) {
+        flush_backoff_ms_ = 0;
+        store_degraded_ = false;
+        next_flush_ms_ = clock_ms_ + flush_interval_ms();
+        if (replicator_ != nullptr) {
+          replicator_->pump();
+        }
+      } else {
+        // An I/O fault (ENOSPC, EIO) must not kill serving: stay up on
+        // the in-RAM state and retry the flush with capped backoff.
+        store_degraded_ = true;
+        flush_backoff_ms_ =
+            flush_backoff_ms_ == 0
+                ? flush_interval_ms() * 2
+                : std::min<std::uint64_t>(flush_backoff_ms_ * 2, 5000);
+        next_flush_ms_ = clock_ms_ + flush_backoff_ms_;
+      }
     }
   }
   graceful_shutdown();
@@ -425,6 +453,9 @@ int Shard::loop_timeout_ms() const {
     if (interval < static_cast<std::uint64_t>(timeout)) {
       timeout = static_cast<int>(interval);
     }
+  }
+  if (replicator_ != nullptr) {
+    timeout = std::min(timeout, replicator_->timeout_bound_ms(clock_ms_));
   }
   return timeout;
 }
@@ -1027,6 +1058,21 @@ std::string Shard::healthz_rows() {
   return out.str();
 }
 
+std::string Shard::healthz_shard_json() {
+  std::string out = "{\"shard\":" + std::to_string(index_) + ",\"store\":";
+  if (store_ != nullptr) {
+    out += "{\"degraded\":";
+    out += store_degraded_ ? "true" : "false";
+    out += ",\"append_errors\":" + std::to_string(append_errors_) + "}";
+  } else {
+    out += "null";
+  }
+  out += ",\"replication\":";
+  out += replicator_ != nullptr ? replicator_->healthz_json() : "null";
+  out += "}";
+  return out;
+}
+
 void Shard::queue_or_close(Conn& conn, std::string bytes) {
   if (!conn.queue_write(std::move(bytes))) {
     // The peer stopped reading long enough to blow the queue bound; it
@@ -1247,19 +1293,43 @@ void Shard::store_rebase(Tenant& tenant, std::uint64_t min_epoch) {
   store_work_pending_ = true;
 }
 
-void Shard::flush_store() {
+bool Shard::flush_store() {
   if (store_ == nullptr) {
-    return;
+    return true;
   }
+  bool all_ok = true;
   for (auto& [name, durable] : durable_) {
     if (!durable.pending.empty()) {
+      // A disk fault may have swallowed the tenant's genesis record (it
+      // is written outside the flush tick); deltas need a base to chain
+      // from, so heal that first or the retry loop can never succeed.
+      if (!store_->contains(name)) {
+        Tenant* tenant = find_tenant(name);
+        if (tenant == nullptr ||
+            !store_try([&] {
+              store_->append_genesis(name, tenant->patterns());
+            })) {
+          append_errors_ += 1;
+          registry_.counter("store.append_errors").add(1);
+          all_ok = false;
+          continue;
+        }
+      }
       // Append before any re-base: a base written below supersedes the
       // delta chain, so the order delta-then-base is what makes the
       // re-base safe.
-      const std::string bytes = std::move(durable.pending);
+      std::string bytes = std::move(durable.pending);
       durable.pending.clear();
       if (store_try([&] { store_->append_delta(name, bytes); })) {
         durable.bytes_since_base += bytes.size();
+      } else {
+        // Put the bytes back for the retry tick.  Replay of a delta that
+        // did make it to disk is idempotent (session positions dedup),
+        // so re-appending after an ambiguous failure is safe.
+        durable.pending = std::move(bytes);
+        append_errors_ += 1;
+        registry_.counter("store.append_errors").add(1);
+        all_ok = false;
       }
     }
     if (config_.store_rebase_bytes != 0 &&
@@ -1272,11 +1342,12 @@ void Shard::flush_store() {
     }
   }
   if (store_->dirty()) {
-    store_try([&] { store_->sync(); });  // the group commit
+    all_ok &= store_try([&] { store_->sync(); });  // the group commit
   }
   spill_pass();
-  store_work_pending_ = false;
+  store_work_pending_ = !all_ok;
   fold_store_stats();
+  return all_ok;
 }
 
 void Shard::spill_pass() {
@@ -1369,6 +1440,11 @@ Tenant* Shard::unspill(const std::string& name) {
 void Shard::graceful_shutdown() {
   poller_.del(ingest_->fd());
   ingest_->close();
+  if (replicator_ != nullptr) {
+    // Final flush below still pumps nothing (we are past the loop), so
+    // just push any queued frames and drop the link.
+    replicator_->close_link();
+  }
   // Drain every pipeline so checkpoints capture a settled state; tenants
   // stay in whatever stream state they reached (a mid-stream tenant is
   // checkpointed mid-stream — that is the restart-resume contract).

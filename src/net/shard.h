@@ -37,6 +37,7 @@
 #include "net/listener.h"
 #include "net/poller.h"
 #include "net/protocol.h"
+#include "net/replicator.h"
 #include "net/server.h"
 #include "net/tenant.h"
 #include "obs/metrics.h"
@@ -157,10 +158,13 @@ class Shard {
   std::size_t write_checkpoints();
   /// This shard's tenants as comma-joined /healthz JSON objects.
   [[nodiscard]] std::string healthz_rows();
+  /// This shard's store/replication status as one /healthz JSON object.
+  [[nodiscard]] std::string healthz_shard_json();
 
  private:
   static constexpr std::uint64_t kTagWake = 0;
   static constexpr std::uint64_t kTagIngest = 1;
+  static constexpr std::uint64_t kTagRepl = 2;
   static constexpr std::uint64_t kFirstConnId = 16;
 
   [[nodiscard]] static std::uint64_t now_ms() noexcept;
@@ -176,8 +180,10 @@ class Shard {
   /// can_checkpoint()).
   void store_rebase(Tenant& tenant, std::uint64_t min_epoch);
   /// Group commit: append pending input deltas, re-base heavy tenants,
-  /// fsync, then run the spill pass.
-  void flush_store();
+  /// fsync, then run the spill pass.  Returns whether every store
+  /// mutation succeeded — a false return leaves the failed tenants'
+  /// pending bytes queued for the next (backed-off) attempt.
+  bool flush_store();
   void spill_pass();
   /// Reloads a spilled tenant from the store; nullptr on failure (the
   /// spilled entry is kept so a retry is possible).
@@ -287,6 +293,13 @@ class Shard {
   std::vector<std::string> store_foreign_;
   std::uint64_t next_flush_ms_ = 0;
   bool store_work_pending_ = false;
+  /// Disk-fault degradation: a failed flush tick doubles the retry delay
+  /// (capped) instead of killing the daemon; /healthz flags it.
+  std::uint64_t flush_backoff_ms_ = 0;
+  bool store_degraded_ = false;
+  std::uint64_t append_errors_ = 0;
+  /// Warm-standby link (null unless config.replicate_host is set).
+  std::unique_ptr<Replicator> replicator_;
   /// Stats snapshots already folded into the registry (fold by delta).
   store::LogStats last_log_stats_;
   store::TenantStoreStats last_store_stats_;

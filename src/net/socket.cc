@@ -140,6 +140,30 @@ OwnedFd tcp_connect(const std::string& host, std::uint16_t port) {
   return fd;
 }
 
+OwnedFd tcp_connect_begin(const std::string& host, std::uint16_t port,
+                          bool& in_progress) {
+  OwnedFd fd(
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) {
+    throw_errno("socket");
+  }
+  const sockaddr_in addr = make_addr(host, port);
+  in_progress = false;
+  while (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) < 0) {
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EINPROGRESS) {
+      in_progress = true;
+      break;
+    }
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
 void write_all(int fd, std::string_view bytes, int timeout_ms) {
   std::size_t done = 0;
   while (done < bytes.size()) {

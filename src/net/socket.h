@@ -102,6 +102,14 @@ void set_nodelay(int fd);
 [[nodiscard]] OwnedFd tcp_connect(const std::string& host,
                                   std::uint16_t port);
 
+/// Starts a non-blocking connect (the reactor-side dial: the replication
+/// link must never stall the shard loop).  On return `in_progress` says
+/// whether the connect is still pending — the caller waits for EPOLLOUT
+/// and checks SO_ERROR.  Throws NetError on immediate failure.
+[[nodiscard]] OwnedFd tcp_connect_begin(const std::string& host,
+                                        std::uint16_t port,
+                                        bool& in_progress);
+
 /// Writes every byte, retrying EINTR and short writes and waiting (via
 /// poll) through EAGAIN.  Throws NetError on error or after `timeout_ms`
 /// without progress; the message reports how many bytes had been written

@@ -1,0 +1,443 @@
+#include "net/standby.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "store/segment_log.h"
+
+namespace ocep::net {
+namespace {
+
+constexpr std::uint64_t kTagWake = 0;
+constexpr std::uint64_t kTagRepl = 1;
+constexpr std::uint64_t kTagAdmin = 2;
+constexpr std::uint64_t kFirstConnId = 16;
+constexpr std::uint64_t kMaxShardCount = 256;
+
+std::string shard_dir(const std::string& base, std::uint64_t index) {
+  // Must match the primary's layout (shard.cc) so a promoted standby's
+  // store opens as-is.
+  return base + "/shard-" + std::to_string(index);
+}
+
+}  // namespace
+
+Standby::Standby(StandbyConfig config)
+    : config_(std::move(config)), next_conn_id_(kFirstConnId) {
+  std::filesystem::create_directories(config_.store_dir);
+  repl_listener_ = std::make_unique<Listener>(config_.host, config_.port);
+  admin_listener_ =
+      std::make_unique<Listener>(config_.host, config_.admin_port);
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    throw NetError("pipe2: " + std::string(std::strerror(errno)));
+  }
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  poller_.add(wake_read_, EPOLLIN, kTagWake);
+  poller_.add(repl_listener_->fd(), EPOLLIN, kTagRepl);
+  poller_.add(admin_listener_->fd(), EPOLLIN, kTagAdmin);
+}
+
+Standby::~Standby() {
+  if (wake_read_ >= 0) {
+    ::close(wake_read_);
+  }
+  if (wake_write_ >= 0) {
+    ::close(wake_write_);
+  }
+}
+
+std::uint16_t Standby::port() const { return repl_listener_->port(); }
+std::uint16_t Standby::admin_port() const { return admin_listener_->port(); }
+
+void Standby::wake() {
+  const char byte = 'w';
+  static_cast<void>(::write(wake_write_, &byte, 1));
+}
+
+void Standby::request_shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  wake();
+}
+
+void Standby::request_promote() {
+  promote_.store(true, std::memory_order_release);
+  wake();
+}
+
+StandbyExit Standby::run() {
+  std::vector<Poller::Event> events;
+  while (!shutdown_.load(std::memory_order_acquire) &&
+         !promote_.load(std::memory_order_acquire)) {
+    poller_.wait(events, 500);
+    for (const Poller::Event& ev : events) {
+      switch (ev.tag) {
+        case kTagWake: {
+          char buf[64];
+          while (::read(wake_read_, buf, sizeof(buf)) > 0) {
+          }
+          break;
+        }
+        case kTagRepl:
+          accept_repl();
+          break;
+        case kTagAdmin:
+          accept_admin();
+          break;
+        default:
+          on_conn_event(ev.tag, ev.events);
+          break;
+      }
+    }
+  }
+
+  // Release the ports and leave every replica durable and closed: the
+  // caller may construct a Server on this exact config next.
+  poller_.del(repl_listener_->fd());
+  poller_.del(admin_listener_->fd());
+  repl_listener_->close();
+  admin_listener_->close();
+  while (!conns_.empty()) {
+    close_conn(conns_.begin()->first);
+  }
+  for (auto& [index, replica] : replicas_) {
+    try {
+      replica->commit();
+    } catch (const StoreError&) {
+      registry_.counter("standby.store_errors").add(1);
+    }
+  }
+  replicas_.clear();
+  shard_owner_.clear();
+  return promote_.load(std::memory_order_acquire) ? StandbyExit::kPromote
+                                                  : StandbyExit::kShutdown;
+}
+
+void Standby::accept_repl() {
+  repl_listener_->accept_ready([this](OwnedFd fd) {
+    const std::uint64_t id = next_conn_id_++;
+    poller_.add(fd.get(), EPOLLIN | EPOLLOUT, id);
+    auto conn = std::make_unique<Conn>(std::move(fd), id, ConnKind::kIngest);
+    conn->set_state(ConnState::kStreaming);
+    conns_.emplace(id, std::move(conn));
+    repl_conns_.emplace(id, ReplConn{});
+  });
+}
+
+void Standby::accept_admin() {
+  admin_listener_->accept_ready([this](OwnedFd fd) {
+    const std::uint64_t id = next_conn_id_++;
+    poller_.add(fd.get(), EPOLLIN | EPOLLOUT, id);
+    conns_.emplace(id,
+                   std::make_unique<Conn>(std::move(fd), id, ConnKind::kAdmin));
+  });
+}
+
+void Standby::close_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
+  }
+  if (it->second->fd() >= 0) {
+    poller_.del(it->second->fd());
+  }
+  const auto rc = repl_conns_.find(id);
+  if (rc != repl_conns_.end()) {
+    const auto owner = shard_owner_.find(rc->second.shard_index);
+    if (owner != shard_owner_.end() && owner->second == id) {
+      shard_owner_.erase(owner);
+    }
+    repl_conns_.erase(rc);
+  }
+  conns_.erase(it);
+}
+
+void Standby::drop_shard(std::uint64_t shard_index) {
+  // A store-level failure poisons this replica: destroy it so the next
+  // hello reopens (and self-heals) the directory from scratch.
+  replicas_.erase(shard_index);
+  shard_owner_.erase(shard_index);
+}
+
+void Standby::on_conn_event(std::uint64_t id, std::uint32_t events) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
+  }
+  Conn& conn = *it->second;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    close_conn(id);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (conn.flush_writes() == IoStatus::kError) {
+      close_conn(id);
+      return;
+    }
+    if (conn.state() == ConnState::kClosing && !conn.write_pending()) {
+      close_conn(id);
+      return;
+    }
+  }
+  if ((events & EPOLLIN) == 0) {
+    return;
+  }
+  const IoStatus status = conn.fill();
+  if (conn.kind() == ConnKind::kAdmin) {
+    advance_admin(conn);
+  } else {
+    advance_repl(conn);
+  }
+  if (conns_.find(id) == conns_.end()) {
+    return;  // advance closed it
+  }
+  // Eager flush: queue_write only queues, and an edge-triggered EPOLLOUT
+  // never fires while the socket stays writable.
+  if (conn.write_pending() && conn.flush_writes() == IoStatus::kError) {
+    close_conn(id);
+    return;
+  }
+  if (status == IoStatus::kEof || status == IoStatus::kError) {
+    close_conn(id);
+    return;
+  }
+  if (conn.state() == ConnState::kClosing && !conn.write_pending()) {
+    close_conn(id);
+  }
+}
+
+void Standby::advance_repl(Conn& conn) {
+  const auto rc_it = repl_conns_.find(conn.id());
+  if (rc_it == repl_conns_.end()) {
+    close_conn(conn.id());
+    return;
+  }
+  ReplConn& rc = rc_it->second;
+
+  if (!rc.hello_done) {
+    store::ReplHello hello;
+    const std::int64_t consumed =
+        store::try_decode_repl_hello(conn.pending(), hello);
+    if (consumed < 0 || (consumed == 0 && conn.pending().size() > 4096)) {
+      close_conn(conn.id());
+      return;
+    }
+    if (consumed == 0) {
+      return;
+    }
+    conn.consume(static_cast<std::size_t>(consumed));
+    if (hello.proto != store::kReplProtoVersion ||
+        hello.shard_count == 0 || hello.shard_count > kMaxShardCount ||
+        hello.shard_index >= hello.shard_count) {
+      close_conn(conn.id());
+      return;
+    }
+    // A restarted primary redials before its old connection times out:
+    // the newest hello for a shard wins and the stale link is dropped.
+    const auto owner = shard_owner_.find(hello.shard_index);
+    if (owner != shard_owner_.end() && owner->second != conn.id()) {
+      close_conn(owner->second);
+    }
+    try {
+      auto& replica = replicas_[hello.shard_index];
+      if (replica == nullptr) {
+        replica = std::make_unique<store::ReplicaLog>(
+            shard_dir(config_.store_dir, hello.shard_index));
+      }
+      rc.shard_index = hello.shard_index;
+      rc.records_base = replica->records_applied();
+      shard_owner_[hello.shard_index] = conn.id();
+      rc.hello_done = true;
+      registry_.counter("standby.hellos").add(1);
+      if (!conn.queue_write(store::encode_repl_state(replica->state()))) {
+        close_conn(conn.id());
+        return;
+      }
+    } catch (const StoreError&) {
+      registry_.counter("standby.store_errors").add(1);
+      drop_shard(hello.shard_index);
+      close_conn(conn.id());
+      return;
+    }
+  }
+
+  while (true) {
+    store::ReplFrameType type{};
+    std::string payload;
+    const std::int64_t consumed =
+        store::try_decode_repl_frame(conn.pending(), type, payload);
+    if (consumed == 0) {
+      return;
+    }
+    if (consumed < 0) {
+      close_conn(conn.id());
+      return;
+    }
+    conn.consume(static_cast<std::size_t>(consumed));
+    if (!dispatch_frame(conn, rc, type, payload)) {
+      return;  // conn is gone
+    }
+  }
+}
+
+bool Standby::dispatch_frame(Conn& conn, ReplConn& rc,
+                             store::ReplFrameType type,
+                             const std::string& payload) {
+  store::ReplicaLog* replica = nullptr;
+  const auto rep_it = replicas_.find(rc.shard_index);
+  if (rep_it != replicas_.end()) {
+    replica = rep_it->second.get();
+  }
+  if (replica == nullptr) {
+    close_conn(conn.id());
+    return false;
+  }
+  registry_.counter("standby.frames").add(1);
+  try {
+    switch (type) {
+      case store::ReplFrameType::kReset:
+        replica->reset();
+        return true;
+      case store::ReplFrameType::kOpenSegment: {
+        std::uint32_t id = 0;
+        if (!store::decode_repl_open(payload, id)) {
+          break;
+        }
+        replica->open_segment(id);
+        return true;
+      }
+      case store::ReplFrameType::kAppend: {
+        std::uint32_t id = 0;
+        std::uint64_t offset = 0;
+        std::string_view bytes;
+        if (!store::decode_repl_append(payload, id, offset, bytes)) {
+          break;
+        }
+        replica->append(id, offset, bytes);
+        return true;
+      }
+      case store::ReplFrameType::kDrop: {
+        std::uint32_t id = 0;
+        if (!store::decode_repl_drop(payload, id)) {
+          break;
+        }
+        replica->drop_segment(id);
+        return true;
+      }
+      case store::ReplFrameType::kCommit: {
+        std::uint64_t seq = 0;
+        if (!store::decode_repl_commit(payload, seq)) {
+          break;
+        }
+        replica->commit();
+        store::ReplAck ack;
+        ack.seq = seq;
+        ack.segment = replica->active_segment();
+        ack.offset = replica->active_size();
+        ack.records = replica->records_applied() - rc.records_base;
+        registry_.counter("standby.commits").add(1);
+        if (!conn.queue_write(store::encode_repl_ack(ack))) {
+          close_conn(conn.id());
+          return false;
+        }
+        return true;
+      }
+      case store::ReplFrameType::kAck:
+        break;  // follower never receives acks
+    }
+  } catch (const StoreError&) {
+    registry_.counter("standby.store_errors").add(1);
+    drop_shard(rc.shard_index);
+    close_conn(conn.id());
+    return false;
+  }
+  close_conn(conn.id());
+  return false;
+}
+
+void Standby::respond_http(Conn& conn, int code, const std::string& body) {
+  const char* reason = code == 200 ? "OK" : code == 404 ? "Not Found"
+                                                        : "Error";
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: application/json\r\n"
+                    "Content-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + body;
+  if (!conn.queue_write(std::move(out))) {
+    close_conn(conn.id());
+    return;
+  }
+  conn.set_state(ConnState::kClosing);
+}
+
+std::string Standby::healthz_json() const {
+  std::string out = "{\"role\":\"standby\",\"shards\":[";
+  bool first = true;
+  for (const auto& [index, replica] : replicas_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    const store::ReplicaLog::Stats& stats = replica->stats();
+    out += "{\"shard\":" + std::to_string(index) +
+           ",\"active_segment\":" + std::to_string(replica->active_segment()) +
+           ",\"active_size\":" + std::to_string(replica->active_size()) +
+           ",\"records_applied\":" +
+           std::to_string(replica->records_applied()) +
+           ",\"appends\":" + std::to_string(stats.appends) +
+           ",\"commits\":" + std::to_string(stats.commits) +
+           ",\"resets\":" + std::to_string(stats.resets) + "}";
+  }
+  out += "],\"connections\":" + std::to_string(conns_.size()) + "}\n";
+  return out;
+}
+
+void Standby::advance_admin(Conn& conn) {
+  const std::string_view pending = conn.pending();
+  const std::size_t head_end = pending.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (pending.size() > Conn::kMaxPrefaceBytes) {
+      close_conn(conn.id());
+    }
+    return;
+  }
+  const std::string_view head = pending.substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    close_conn(conn.id());
+    return;
+  }
+  const std::string method(line.substr(0, sp1));
+  std::string path(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) {
+    path.resize(query);
+  }
+  conn.consume(head_end + 4);
+
+  if (method == "GET" && path == "/healthz") {
+    respond_http(conn, 200, healthz_json());
+  } else if (method == "GET" && path == "/metrics") {
+    respond_http(conn, 200, registry_.to_prometheus());
+  } else if (method == "POST" && path == "/promote") {
+    respond_http(conn, 200, "{\"promoting\":true}\n");
+    promote_.store(true, std::memory_order_release);
+  } else {
+    respond_http(conn, 404, "{\"error\":\"not found\"}\n");
+  }
+}
+
+}  // namespace ocep::net

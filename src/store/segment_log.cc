@@ -208,6 +208,25 @@ bool decode_record_body(std::string_view body, Record& out) {
   return true;
 }
 
+std::string encode_manifest_file(const std::vector<std::uint32_t>& ids,
+                                 std::uint32_t next_id) {
+  return encode_manifest(ids, next_id);
+}
+
+bool decode_manifest_file(std::string_view file,
+                          std::vector<std::uint32_t>& ids,
+                          std::uint32_t& next_id, std::string& error) {
+  return parse_manifest(file, ids, next_id, error);
+}
+
+std::string encode_segment_header_bytes(std::uint32_t id) {
+  return encode_segment_header(id);
+}
+
+std::uint32_t parse_segment_file_name(const std::string& name) {
+  return parse_segment_name(name);
+}
+
 std::uint64_t try_parse_frame(std::string_view data, std::uint64_t offset,
                               Record& out) {
   if (offset + 8 > data.size()) {
@@ -352,6 +371,7 @@ void SegmentLog::create_segment(std::uint32_t id) {
   fsync_path(config_.dir);
   hook(CrashEdge::kSync, "post:segment-create");
   write_offset_ = kSegmentHeaderBytes;
+  synced_offset_ = kSegmentHeaderBytes;
   dirty_ = false;
 }
 
@@ -469,6 +489,7 @@ void SegmentLog::scan_segment(std::uint32_t id, bool last,
       throw StoreError("cannot reopen active segment", path, -1);
     }
     write_offset_ = end;
+    synced_offset_ = end;
     dirty_ = false;
   }
 }
@@ -487,7 +508,14 @@ RecordRef SegmentLog::append(const Record& record) {
   put_u32le(frame, crc32c(body));
   frame += body;
   const RecordRef ref{segment_ids_.back(), write_offset_, frame.size()};
-  full_write(frame, "append");
+  try {
+    full_write(frame, "append");
+  } catch (...) {
+    // Make a failed append atomic so the caller may retry on the next
+    // flush tick (disk-fault degradation): drop any partial frame tail.
+    static_cast<void>(::ftruncate(fd_, static_cast<off_t>(write_offset_)));
+    throw;
+  }
   write_offset_ += frame.size();
   dirty_ = true;
   live_bytes_[ref.segment] += frame.size();
@@ -528,6 +556,7 @@ void SegmentLog::sync() {
                      -1);
   }
   hook(CrashEdge::kSync, "post:segment");
+  synced_offset_ = write_offset_;
   dirty_ = false;
   stats_.syncs += 1;
 }
@@ -559,6 +588,76 @@ void SegmentLog::mark_dead(const RecordRef& ref) {
   live_bytes_.erase(it);
   stats_.segments_deleted += 1;
   stats_.segments = segment_ids_.size();
+}
+
+std::vector<SegmentView> SegmentLog::segments() const {
+  std::vector<SegmentView> views;
+  views.reserve(segment_ids_.size());
+  for (std::size_t i = 0; i < segment_ids_.size(); ++i) {
+    const std::uint32_t id = segment_ids_[i];
+    SegmentView view;
+    view.id = id;
+    if (i + 1 == segment_ids_.size() && fd_ >= 0) {
+      view.bytes = synced_offset_;
+    } else {
+      std::error_code ec;
+      const std::uintmax_t size = fs::file_size(segment_path(id), ec);
+      if (ec) {
+        throw StoreError("cannot stat segment: " + ec.message(),
+                         segment_path(id), -1);
+      }
+      view.bytes = static_cast<std::uint64_t>(size);
+    }
+    views.push_back(view);
+  }
+  return views;
+}
+
+std::string SegmentLog::read_range(std::uint32_t id, std::uint64_t offset,
+                                   std::uint64_t max_bytes) const {
+  if (std::find(segment_ids_.begin(), segment_ids_.end(), id) ==
+      segment_ids_.end()) {
+    throw StoreError("read_range of unknown segment", segment_path(id), -1);
+  }
+  std::uint64_t end = 0;
+  if (!segment_ids_.empty() && id == segment_ids_.back() && fd_ >= 0) {
+    end = synced_offset_;
+  } else {
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(segment_path(id), ec);
+    if (ec) {
+      throw StoreError("cannot stat segment: " + ec.message(),
+                       segment_path(id), -1);
+    }
+    end = static_cast<std::uint64_t>(size);
+  }
+  if (offset >= end || max_bytes == 0) {
+    return {};
+  }
+  const std::string path = segment_path(id);
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw StoreError("cannot reopen segment for tailing", path,
+                     static_cast<std::int64_t>(offset));
+  }
+  std::string out(static_cast<std::size_t>(std::min(max_bytes, end - offset)),
+                  '\0');
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::pread(fd, out.data() + got, out.size() - got,
+                              static_cast<off_t>(offset + got));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      ::close(fd);
+      throw StoreError("short read while tailing segment", path,
+                       static_cast<std::int64_t>(offset + got));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return out;
 }
 
 std::string SegmentLog::read_payload(const RecordRef& ref) const {

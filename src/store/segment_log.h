@@ -68,6 +68,13 @@ struct RecordRef {
   std::uint64_t frame_bytes = 0;  ///< header + body
 };
 
+/// One manifest-listed segment and how many bytes of it are durable —
+/// the unit a log tailer (net/replicator) reasons about.
+struct SegmentView {
+  std::uint32_t id = 0;
+  std::uint64_t bytes = 0;  ///< durable size, including the 16-byte header
+};
+
 /// Fault-injection edges (modeled on net::MigrationHook): the hook fires
 /// with phase "pre" before and "post" after every durability-relevant
 /// syscall, so a harness can abort or snapshot at every crash point.
@@ -124,6 +131,25 @@ class SegmentLog {
   /// reload a spilled tenant without keeping its image in RAM.
   [[nodiscard]] std::string read_payload(const RecordRef& ref) const;
 
+  // --- tailing/reader API (net/replicator ships raw segment bytes) -----
+
+  /// Manifest-order snapshot of every segment and its *synced* size.
+  /// The active segment reports the offset of the last sync(), never
+  /// bytes that could still be lost to a crash — a tailer that ships
+  /// from this view can never put the follower ahead of the primary.
+  [[nodiscard]] std::vector<SegmentView> segments() const;
+
+  [[nodiscard]] std::uint32_t next_segment_id() const noexcept {
+    return next_segment_id_;
+  }
+
+  /// Reads up to `max_bytes` raw file bytes of segment `id` starting at
+  /// `offset` (pread; no CRC interpretation — frames ship verbatim).
+  /// Returns fewer bytes at end of segment; empty at/past the end.
+  /// Throws StoreError when the segment is unknown or unreadable.
+  [[nodiscard]] std::string read_range(std::uint32_t id, std::uint64_t offset,
+                                       std::uint64_t max_bytes) const;
+
   [[nodiscard]] const LogStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const std::string& dir() const noexcept {
     return config_.dir;
@@ -144,6 +170,7 @@ class SegmentLog {
   std::uint32_t next_segment_id_ = 1;
   int fd_ = -1;                    ///< active segment, O_APPEND (rw mode)
   std::uint64_t write_offset_ = 0; ///< size of the active segment
+  std::uint64_t synced_offset_ = 0;  ///< active-segment size at last sync()
   bool dirty_ = false;
   std::map<std::uint32_t, std::uint64_t> live_bytes_;  ///< per segment
   LogStats stats_;
@@ -167,6 +194,25 @@ constexpr std::uint64_t kMaxRecordBytes = 1ULL << 30U;
 /// `out` on success; 0 when the bytes do not form a valid record.
 [[nodiscard]] std::uint64_t try_parse_frame(std::string_view data,
                                             std::uint64_t offset, Record& out);
+
+/// Encodes a whole manifest file (magic | crc | body) for `ids` in
+/// ascending order with `next_id` as the successor id.  Replication
+/// writes follower manifests through this so primary and follower
+/// manifests are byte-identical for the same segment set.
+[[nodiscard]] std::string encode_manifest_file(
+    const std::vector<std::uint32_t>& ids, std::uint32_t next_id);
+
+/// Parses a manifest file; false (with `error` set) on any corruption.
+[[nodiscard]] bool decode_manifest_file(std::string_view file,
+                                        std::vector<std::uint32_t>& ids,
+                                        std::uint32_t& next_id,
+                                        std::string& error);
+
+/// The 16-byte segment file header for `id`.
+[[nodiscard]] std::string encode_segment_header_bytes(std::uint32_t id);
+
+/// seg-NNNNNNNN.log -> id, or 0 when the name does not match the scheme.
+[[nodiscard]] std::uint32_t parse_segment_file_name(const std::string& name);
 
 // --- tolerant offline verification (ocep_inspect --store) --------------
 

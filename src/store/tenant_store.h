@@ -99,6 +99,8 @@ class TenantStore {
   [[nodiscard]] const LogStats& log_stats() const noexcept {
     return log_->stats();
   }
+  /// The underlying log, for the replication tailer (same owner thread).
+  [[nodiscard]] const SegmentLog& log() const noexcept { return *log_; }
   [[nodiscard]] const TenantStoreStats& stats() const noexcept {
     return stats_;
   }

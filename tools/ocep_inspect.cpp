@@ -3,7 +3,7 @@
 //
 //   ocep_inspect --dump FILE [--relate T1:I1 T2:I2]
 //                [--metrics [--pattern TEXT] [--metrics-format FMT]]
-//   ocep_inspect --store DIR
+//   ocep_inspect --store DIR [--compare DIR]
 //                [--health [--health-format text|json]
 //                 [--budget-steps N] [--budget-ns N] [--breaker-trip K]
 //                 [--breaker-window N] [--breaker-cooldown N]
@@ -23,6 +23,12 @@
 // record counts, torn-tail report, and CRC/structure failures with
 // positioned offsets.  Exit status 1 when any fatal corruption is found
 // (a torn tail alone — the expected SIGKILL image — is healthy).
+//
+// With --store A --compare B, additionally byte-prefix-compares the two
+// store roots (docs/ROBUSTNESS.md "Replication"): every segment present
+// in both must agree on its common prefix — a replica is a prefix of its
+// primary, so any mismatch is divergence (exit 1).  Segments or shards
+// on only one side are lag/compaction skew and only noted.
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -38,6 +44,7 @@
 #include "poet/dump.h"
 #include "poet/linearizer.h"
 #include "poet/replay.h"
+#include "store/replication.h"
 #include "store/segment_log.h"
 
 using namespace ocep;
@@ -120,12 +127,28 @@ int inspect_store(const std::string& root) {
   return ok ? 0 : 1;
 }
 
+/// --store A --compare B: byte-prefix divergence check.
+int compare_stores(const std::string& a, const std::string& b) {
+  const store::CompareReport report = store::compare_store_dirs(a, b);
+  std::printf("compare %s vs %s:\n", a.c_str(), b.c_str());
+  std::printf("  logs %" PRIu64 "   segments %" PRIu64
+              "   bytes compared %" PRIu64 "\n",
+              report.logs, report.segments, report.bytes_compared);
+  for (const store::CompareIssue& issue : report.issues) {
+    std::printf("  DIVERGED %s: %s\n", issue.path.c_str(),
+                issue.message.c_str());
+  }
+  std::printf("compare: %s\n", report.ok() ? "MATCH" : "DIVERGED");
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     Flags flags(argc, argv);
     const std::string store_dir = flags.get_string("store", "");
+    const std::string compare_dir = flags.get_string("compare", "");
     const std::string dump_path = flags.get_string("dump", "");
     const std::string relate_a = flags.get_string("relate", "");
     const std::string relate_b = flags.get_string("with", "");
@@ -150,6 +173,12 @@ int main(int argc, char** argv) {
     matcher_config.history_bytes_limit =
         static_cast<std::size_t>(flags.get_int("history-bytes", 0));
     flags.check_unused();
+    if (!compare_dir.empty()) {
+      if (store_dir.empty()) {
+        throw Error("--compare requires --store");
+      }
+      return compare_stores(store_dir, compare_dir);
+    }
     if (!store_dir.empty()) {
       return inspect_store(store_dir);
     }

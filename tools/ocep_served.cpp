@@ -11,6 +11,7 @@
 //               [--breaker-window N] [--breaker-cooldown N]
 //               [--history-bytes N]
 //               [--rebalance] [--rebalance-interval-ms N]
+//               [--replicate-to HOST:PORT] [--standby]
 //
 // The ingest plane accepts handshaking producers (ocep_record --serve,
 // ocep_chaos --serve) and multiplexes their session streams into
@@ -23,6 +24,13 @@
 // with the same directory resumes mid-stream tenants exactly — even when
 // restarted with a different shard count.  Both ports are printed on
 // stdout at startup (pass 0 for ephemeral — handy under test harnesses).
+//
+// Warm-standby replication (docs/ROBUSTNESS.md "Replication"):
+// --replicate-to streams every shard's segment log to a follower daemon
+// started with --standby, which mirrors the store on disk and, on POST
+// /promote (or SIGUSR1), restarts itself as a full primary over the
+// replicated store — clients reconnect and resume via the session
+// resync path, exactly as after a crash restart of the old primary.
 #include <csignal>
 #include <cstdio>
 #include <string>
@@ -30,17 +38,44 @@
 #include "common/error.h"
 #include "common/flags.h"
 #include "net/server.h"
+#include "net/standby.h"
 
 using namespace ocep;
 
 namespace {
 
 net::Server* g_server = nullptr;
+net::Standby* g_standby = nullptr;
 
 void handle_signal(int /*sig*/) {
   if (g_server != nullptr) {
     g_server->request_shutdown();  // async-signal-safe: flag + self-pipe
   }
+  if (g_standby != nullptr) {
+    g_standby->request_shutdown();
+  }
+}
+
+void handle_promote(int /*sig*/) {
+  if (g_standby != nullptr) {
+    g_standby->request_promote();
+  }
+}
+
+/// Splits "host:port"; throws on a malformed value.
+void parse_host_port(const std::string& value, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == value.size()) {
+    throw Error("--replicate-to wants HOST:PORT, got '" + value + "'");
+  }
+  host = value.substr(0, colon);
+  const int parsed = std::stoi(value.substr(colon + 1));
+  if (parsed <= 0 || parsed > 65535) {
+    throw Error("--replicate-to port out of range in '" + value + "'");
+  }
+  port = static_cast<std::uint16_t>(parsed);
 }
 
 }  // namespace
@@ -104,14 +139,57 @@ int main(int argc, char** argv) {
     config.rebalance = flags.get_bool("rebalance", false);
     config.rebalance_interval_ms = static_cast<std::uint64_t>(
         flags.get_int("rebalance-interval-ms", 500));
+    const std::string replicate_to = flags.get_string("replicate-to", "");
+    if (!replicate_to.empty()) {
+      parse_host_port(replicate_to, config.replicate_host,
+                      config.replicate_port);
+      if (config.store_dir.empty()) {
+        throw Error("--replicate-to requires --store-dir");
+      }
+    }
+    const bool standby = flags.get_bool("standby", false);
     flags.check_unused();
 
-    net::Server server(std::move(config));
-    g_server = &server;
     struct sigaction action {};
     action.sa_handler = handle_signal;
     ::sigaction(SIGINT, &action, nullptr);
     ::sigaction(SIGTERM, &action, nullptr);
+
+    if (standby) {
+      if (config.store_dir.empty()) {
+        throw Error("--standby requires --store-dir");
+      }
+      net::StandbyConfig standby_config;
+      standby_config.host = config.host;
+      standby_config.port = config.port;
+      standby_config.admin_port = config.admin_port;
+      standby_config.store_dir = config.store_dir;
+      net::Standby follower(std::move(standby_config));
+      g_standby = &follower;
+      struct sigaction promote {};
+      promote.sa_handler = handle_promote;
+      ::sigaction(SIGUSR1, &promote, nullptr);
+      // Reuse the exact ports after promotion, whatever was bound.
+      config.port = follower.port();
+      config.admin_port = follower.admin_port();
+      std::printf("ocep_served: standby ingest port %u admin port %u\n",
+                  static_cast<unsigned>(follower.port()),
+                  static_cast<unsigned>(follower.admin_port()));
+      std::fflush(stdout);
+      const net::StandbyExit exit_reason = follower.run();
+      g_standby = nullptr;
+      if (exit_reason == net::StandbyExit::kShutdown) {
+        std::printf("ocep_served: standby shut down\n");
+        return 0;
+      }
+      std::printf("ocep_served: promoting\n");
+      std::fflush(stdout);
+      // Fall through: construct the Server on the replicated store —
+      // the same replay a crash-restarted primary performs.
+    }
+
+    net::Server server(std::move(config));
+    g_server = &server;
 
     std::printf("ocep_served: ingest port %u admin port %u shards %zu\n",
                 static_cast<unsigned>(server.port()),
