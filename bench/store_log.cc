@@ -10,8 +10,14 @@
 // per-sync latency quantiles, rotation count, and recovery MiB/s —
 // the numbers behind the "loss is bounded by the group-commit
 // interval" trade-off.
+// The span-tier rows (docs/ROBUSTNESS.md "Durability") extend the same
+// cost model to the storage tier added for spilled leaf-history spans:
+// buffer-pool hit rate under a skewed fault workload, and group-commit
+// latency while the background compactor relocates live spans out of
+// dead segments between appends.
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -21,7 +27,10 @@
 
 #include "bench_util.h"
 #include "common/error.h"
+#include "store/buffer_pool.h"
+#include "store/compactor.h"
 #include "store/segment_log.h"
+#include "store/tenant_store.h"
 
 using namespace ocep;
 using namespace ocep::bench;
@@ -95,6 +104,156 @@ RunResult run_once(const std::string& dir, std::uint64_t records,
   return result;
 }
 
+/// Deterministic span fixture: the seq spreads keys across four leaves
+/// and seven traces, entries are strictly-ascending (index, comm) pairs.
+store::SpanPayload make_span(std::uint64_t seq, std::size_t entries) {
+  store::SpanPayload span;
+  span.key.pattern = 0;
+  span.key.leaf = static_cast<std::uint32_t>(seq % 4);
+  span.key.trace = 1 + seq % 7;
+  span.key.seq = seq;
+  std::uint64_t index = 1 + seq * 1000;
+  for (std::size_t i = 0; i < entries; ++i) {
+    span.entries.emplace_back(index, index % 13);
+    index += 1 + i % 3;
+  }
+  return span;
+}
+
+struct PoolRun {
+  double fault_seconds = 0;
+  std::uint64_t accesses = 0;
+  store::BufferPoolStats pool;
+};
+
+/// Appends `spans` span records, then drives `accesses` faults through a
+/// budgeted BufferPool with a skewed pattern: three of four touches hit
+/// the hot eighth of the span set (which the pool should keep resident);
+/// the fourth walks the cold tail and forces CLOCK evictions.
+PoolRun run_pool(const std::string& dir, std::uint64_t spans,
+                 std::size_t entries, std::uint64_t pool_bytes,
+                 std::uint64_t accesses,
+                 metrics::LatencyRecorder& fault_latency) {
+  fs::remove_all(dir);
+  PoolRun result;
+  {
+    store::LogConfig config;
+    config.dir = dir;
+    config.segment_bytes = 256 << 10;
+    store::TenantStore store(std::move(config));
+    store.append_genesis("bench", {"pattern"});
+    std::vector<store::SpanKey> keys;
+    keys.reserve(spans);
+    for (std::uint64_t s = 0; s < spans; ++s) {
+      const store::SpanPayload span = make_span(s, entries);
+      keys.push_back(span.key);
+      store.append_span("bench", span);
+    }
+    store.sync();
+    store::BufferPool pool(pool_bytes);
+    const std::uint64_t hot = std::max<std::uint64_t>(1, spans / 8);
+    const std::uint64_t cold = std::max<std::uint64_t>(1, spans - hot);
+    const double start = now_seconds();
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+      const store::SpanKey& key =
+          (i % 4 != 3) ? keys[i % hot] : keys[hot + (i / 4) % cold];
+      const double fault_start = now_seconds();
+      const store::SpanPayload* payload = pool.acquire("bench", key, store);
+      const double fault_end = now_seconds();
+      if (payload == nullptr || payload->entries.size() != entries) {
+        throw Error("span fault failed at access " + std::to_string(i));
+      }
+      pool.unpin("bench", key);
+      fault_latency.add((fault_end - fault_start) * 1e6);
+    }
+    result.fault_seconds = now_seconds() - start;
+    result.accesses = accesses;
+    result.pool = pool.stats();
+  }
+  fs::remove_all(dir);
+  return result;
+}
+
+/// Dead bytes on the sealed segments (the compactor's trigger metric —
+/// absolute, because sealed all-live delta segments dilute the ratio).
+std::uint64_t sealed_dead_bytes(const store::SegmentLog& log) {
+  std::uint64_t dead = 0;
+  for (const store::SegmentUsage& segment : log.segment_usage()) {
+    if (!segment.sealed) {
+      continue;
+    }
+    dead += segment.bytes - std::min(segment.live_bytes, segment.bytes);
+  }
+  return dead;
+}
+
+struct CommitRun {
+  double append_seconds = 0;
+  std::uint64_t dead_bytes_before = 0;
+  std::uint64_t dead_bytes_after = 0;
+  std::uint64_t spans_moved = 0;
+  std::uint64_t segments_deleted = 0;
+};
+
+/// Group-commit latency with the store tier active: seed span records,
+/// release three quarters (sealed segments cross the dead-byte trigger),
+/// then append `records` deltas fsyncing every `group` — with the
+/// compactor ticking between appends when `compact` is set, exactly as
+/// the reactor interleaves it between poll waits.
+CommitRun run_commit(const std::string& dir, std::uint64_t records,
+                     std::size_t payload_bytes, std::uint64_t group,
+                     std::uint64_t spans, std::size_t entries, bool compact,
+                     metrics::LatencyRecorder& sync_latency) {
+  fs::remove_all(dir);
+  CommitRun result;
+  {
+    store::LogConfig config;
+    config.dir = dir;
+    // Small segments so the span seed seals several of them — releasing
+    // spans must push sealed segments over the dead-byte trigger.
+    config.segment_bytes = 32 << 10;
+    store::TenantStore store(std::move(config));
+    store.append_genesis("bench", {"pattern"});
+    std::vector<store::SpanKey> keys;
+    keys.reserve(spans);
+    for (std::uint64_t s = 0; s < spans; ++s) {
+      const store::SpanPayload span = make_span(s, entries);
+      keys.push_back(span.key);
+      store.append_span("bench", span);
+    }
+    store.sync();
+    for (std::uint64_t s = 0; s < spans; ++s) {
+      if (s % 4 != 0) {
+        store.release_span("bench", keys[s]);
+      }
+    }
+    result.dead_bytes_before = sealed_dead_bytes(store.log());
+    store::CompactorConfig compactor_config;
+    compactor_config.dead_ratio = 0.3;
+    store::Compactor compactor(store, compactor_config);
+    const std::string delta(payload_bytes, 'x');
+    const double start = now_seconds();
+    for (std::uint64_t i = 0; i < records; ++i) {
+      store.append_delta("bench", delta);
+      if (compact) {
+        compactor.tick();
+      }
+      if ((i + 1) % group == 0) {
+        const double sync_start = now_seconds();
+        store.sync();
+        sync_latency.add((now_seconds() - sync_start) * 1e6);
+      }
+    }
+    store.sync();
+    result.append_seconds = now_seconds() - start;
+    result.dead_bytes_after = sealed_dead_bytes(store.log());
+    result.spans_moved = compactor.stats().spans_moved;
+    result.segments_deleted = store.log_stats().segments_deleted;
+  }
+  fs::remove_all(dir);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,6 +276,14 @@ int main(int argc, char** argv) {
                                  flags.get_int("group3", 1024)}) {
       groups.push_back(static_cast<std::uint64_t>(g));
     }
+    const std::uint64_t spans =
+        static_cast<std::uint64_t>(flags.get_int("spans", 1024));
+    const std::size_t span_entries =
+        static_cast<std::size_t>(flags.get_int("span-entries", 48));
+    const std::uint64_t pool_bytes = static_cast<std::uint64_t>(
+        flags.get_int("pool-kib", 160)) << 10U;
+    const std::uint64_t pool_accesses =
+        static_cast<std::uint64_t>(flags.get_int("pool-accesses", 12000));
     flags.check_unused();
 
     const std::string dir =
@@ -176,6 +343,82 @@ int main(int argc, char** argv) {
         report.add("recover_mib_per_s", total_mib / scan_s);
       }
     }
+    // --- span tier: buffer-pool hit rate under skewed faults ----------
+    metrics::LatencyRecorder fault_latency;
+    PoolRun pool_run;
+    double fault_seconds = 0;
+    for (std::uint32_t rep = 0; rep < params.reps; ++rep) {
+      pool_run = run_pool(dir, spans, span_entries, pool_bytes,
+                          pool_accesses, fault_latency);
+      fault_seconds += pool_run.fault_seconds;
+    }
+    const double pool_total = static_cast<double>(pool_run.pool.hits) +
+                              static_cast<double>(pool_run.pool.misses);
+    const double hit_rate =
+        pool_total == 0 ? 0.0
+                        : static_cast<double>(pool_run.pool.hits) / pool_total;
+    const double total_faults =
+        static_cast<double>(pool_accesses) * params.reps;
+    std::printf("\n# Span tier: %" PRIu64 " spans x %zu entries, pool %"
+                PRIu64 " KiB, %" PRIu64 " skewed faults\n",
+                spans, span_entries, pool_bytes >> 10U, pool_accesses);
+    std::printf("pool hit rate %.3f | faults/s %.0f | evictions %" PRIu64
+                " | load errors %" PRIu64 "\n",
+                hit_rate, total_faults / fault_seconds,
+                pool_run.pool.evictions, pool_run.pool.load_errors);
+    report.begin_row("span/pool");
+    report.add("spans", spans);
+    report.add("span_entries", static_cast<std::uint64_t>(span_entries));
+    report.add("pool_bytes", pool_bytes);
+    report.add("accesses", pool_accesses);
+    report.add("pool_hit_rate", hit_rate);
+    report.add("faults_per_s", total_faults / fault_seconds);
+    report.add("pool_evictions", pool_run.pool.evictions);
+    report.add("pool_load_errors", pool_run.pool.load_errors);
+    report.add_latency("fault", fault_latency);
+
+    // --- span tier: group commit while the compactor relocates -------
+    const std::size_t commit_payload = payloads.front();
+    const std::uint64_t commit_group =
+        groups.size() > 1 ? groups[1] : groups.front();
+    std::printf("\n# Group commit vs concurrent compaction (%" PRIu64
+                " records, payload %zu, group %" PRIu64 ")\n",
+                records, commit_payload, commit_group);
+    for (const bool compact : {false, true}) {
+      metrics::LatencyRecorder commit_latency;
+      CommitRun commit_run;
+      double append_seconds = 0;
+      for (std::uint32_t rep = 0; rep < params.reps; ++rep) {
+        commit_run = run_commit(dir, records, commit_payload, commit_group,
+                                spans, span_entries, compact,
+                                commit_latency);
+        append_seconds += commit_run.append_seconds;
+      }
+      const double total_records =
+          static_cast<double>(records) * params.reps;
+      const metrics::Boxplot commit_box = commit_latency.summarize();
+      std::printf("%-14s | %12.0f records/s | sync_ms %7.3f | dead_KiB "
+                  "%5" PRIu64 " -> %5" PRIu64 " | moved %" PRIu64
+                  " | segs freed %" PRIu64 "\n",
+                  compact ? "compacting" : "baseline",
+                  total_records / append_seconds,
+                  commit_box.median / 1000.0,
+                  commit_run.dead_bytes_before >> 10U,
+                  commit_run.dead_bytes_after >> 10U, commit_run.spans_moved,
+                  commit_run.segments_deleted);
+      report.begin_row(compact ? "commit/compact" : "commit/baseline");
+      report.add("records", records);
+      report.add("payload_bytes",
+                 static_cast<std::uint64_t>(commit_payload));
+      report.add("group", commit_group);
+      report.add("append_records_per_s", total_records / append_seconds);
+      report.add("dead_bytes_before", commit_run.dead_bytes_before);
+      report.add("dead_bytes_after", commit_run.dead_bytes_after);
+      report.add("spans_moved", commit_run.spans_moved);
+      report.add("segments_deleted", commit_run.segments_deleted);
+      report.add_latency("sync", commit_latency);
+    }
+
     report.write();
     return 0;
   } catch (const Error& error) {

@@ -9,6 +9,7 @@ a canonical file at the repo root:
     BENCH_pipeline.json   bench/pipeline    (monitor pipeline scaling)
     BENCH_overload.json   bench/overload    (governed degradation)
     BENCH_rebalance.json  bench/load_gen    (hot-shard live rebalancing)
+    BENCH_store.json      bench/store_log   (span-tier durability store)
 
 Committed files form a per-PR trajectory of measured performance; CI does
 not compare the *numbers* (runners are noisy) but does fail when a
@@ -76,6 +77,18 @@ SCENARIOS = {
                  "--rebalance", "true", "--rebalance-interval-ms", "50"],
         "file": "BENCH_rebalance.json",
         "metric": "throughput_eps",
+        "better": "higher",
+    },
+    # Span-level storage tier: segment-log append/group-commit/recovery
+    # matrix plus the buffer-pool hit rate under skewed span faults and
+    # group-commit latency while the compactor relocates concurrently.
+    "store": {
+        "binary": "bench/store_log",
+        "args": ["--events", "2000", "--reps", "1", "--seed", "7",
+                 "--records", "3000", "--spans", "1024",
+                 "--pool-accesses", "6000"],
+        "file": "BENCH_store.json",
+        "metric": "pool_hit_rate",
         "better": "higher",
     },
     # Warm-standby replication: peak streamed-but-unacked lag under load,

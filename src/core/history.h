@@ -34,6 +34,18 @@ struct HistoryEntry {
 
 class LeafHistory {
  public:
+  /// One spilled span of this history: entries dropped from RAM but
+  /// recoverable through a SpanSink.  Metas per trace are kept oldest to
+  /// newest, with strictly ascending, non-overlapping index ranges that
+  /// all precede the resident entries.  Metas are bookkeeping, not
+  /// entries: they are excluded from total()/approx_bytes().
+  struct SpanMeta {
+    std::uint64_t seq = 0;         ///< matcher-wide spill sequence number
+    EventIndex first_index = kNoEvent;
+    EventIndex last_index = kNoEvent;
+    std::uint32_t count = 0;
+  };
+
   /// `keyed` enables a secondary per-symbol index: entries are also
   /// grouped by a key attribute (the leaf's variable text or type), so a
   /// search with the variable already bound probes only the matching
@@ -42,10 +54,12 @@ class LeafHistory {
     per_trace_.assign(traces, {});
     keyed_ = keyed;
     by_key_.assign(keyed ? traces : 0, {});
+    spilled_meta_.assign(traces, {});
     total_ = 0;
     merged_ = 0;
     pruned_ = 0;
     evicted_ = 0;
+    spilled_ = 0;
     bytes_ = 0;
   }
 
@@ -124,6 +138,7 @@ class LeafHistory {
   [[nodiscard]] std::size_t merged() const noexcept { return merged_; }
   [[nodiscard]] std::size_t pruned() const noexcept { return pruned_; }
   [[nodiscard]] std::size_t evicted() const noexcept { return evicted_; }
+  [[nodiscard]] std::size_t spilled() const noexcept { return spilled_; }
 
   /// Deterministic size estimate for memory governance: stored entry count
   /// times entry size (main plus keyed copies) plus a flat per-key bucket
@@ -161,6 +176,8 @@ class LeafHistory {
     pruned_ = pruned;
     evicted_ = evicted;
   }
+  /// Checkpoint support (format v3): restores the spilled counter.
+  void set_spilled_counter(std::size_t spilled) { spilled_ = spilled; }
 
   /// Retention (paper §VI future work): drops the oldest entries on
   /// `trace`, keeping the `keep` most recent.  The caller decides *when*
@@ -177,6 +194,102 @@ class LeafHistory {
   /// Returns the approximate bytes freed.
   std::size_t evict_front(TraceId trace, std::size_t keep) {
     return drop_front(trace, keep, evicted_);
+  }
+
+  // --- span spill (storage tier; see core/span_sink.h) -----------------
+
+  /// Same front-drop as evict_front but recoverable: records a SpanMeta
+  /// for the dropped prefix (charged to the `spilled` counter) so the
+  /// entries can be faulted back.  Call only after the sink durably
+  /// accepted the exact prefix being dropped.
+  std::size_t spill_front(TraceId trace, std::size_t keep,
+                          std::uint64_t seq) {
+    OCEP_ASSERT(trace < per_trace_.size());
+    const std::vector<HistoryEntry>& entries = per_trace_[trace];
+    if (entries.size() <= keep) {
+      return 0;
+    }
+    const std::size_t drop = entries.size() - keep;
+    spilled_meta_[trace].push_back(
+        SpanMeta{seq, entries.front().index, entries[drop - 1].index,
+                 static_cast<std::uint32_t>(drop)});
+    return drop_front(trace, keep, spilled_);
+  }
+
+  [[nodiscard]] bool has_spilled(TraceId trace) const {
+    OCEP_ASSERT(trace < spilled_meta_.size());
+    return !spilled_meta_[trace].empty();
+  }
+  [[nodiscard]] std::span<const SpanMeta> spilled_on(TraceId trace) const {
+    OCEP_ASSERT(trace < spilled_meta_.size());
+    return spilled_meta_[trace];
+  }
+
+  /// Fault-back support: re-inserts a contiguous block of entries older
+  /// than everything resident (the newest spilled span).  Bypasses
+  /// check_insert — prepends must keep the per-trace order, which the
+  /// caller guarantees by faulting newest-first.  `keys` are the
+  /// secondary-index symbols, recomputed by the caller (parallel to
+  /// `entries`; ignored when the history is not keyed).
+  void prepend_front(TraceId trace, std::span<const HistoryEntry> entries,
+                     std::span<const Symbol> keys) {
+    OCEP_ASSERT(trace < per_trace_.size());
+    if (entries.empty()) {
+      return;
+    }
+    std::vector<HistoryEntry>& resident = per_trace_[trace];
+    OCEP_ASSERT(resident.empty() ||
+                entries.back().index < resident.front().index);
+    resident.insert(resident.begin(), entries.begin(), entries.end());
+    total_ += entries.size();
+    bytes_ += entries.size() * sizeof(HistoryEntry);
+    if (keyed_) {
+      OCEP_ASSERT(keys.size() == entries.size());
+      // Group by key in arrival order, then prepend each group as one
+      // block so every bucket stays sorted by index.
+      std::unordered_map<std::uint32_t, std::vector<HistoryEntry>> groups;
+      std::vector<std::uint32_t> group_order;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto key = static_cast<std::uint32_t>(keys[i]);
+        std::vector<HistoryEntry>& group = groups[key];
+        if (group.empty()) {
+          group_order.push_back(key);
+        }
+        group.push_back(entries[i]);
+      }
+      for (const std::uint32_t key : group_order) {
+        std::vector<HistoryEntry>& bucket = by_key_[trace][key];
+        if (bucket.empty()) {
+          bytes_ += kKeyBucketBytes;
+        }
+        const std::vector<HistoryEntry>& group = groups[key];
+        bucket.insert(bucket.begin(), group.begin(), group.end());
+        bytes_ += group.size() * sizeof(HistoryEntry);
+      }
+    }
+  }
+
+  /// Removes the newest spilled span's meta (its entries were faulted
+  /// back via prepend_front, or proved unrecoverable).
+  void pop_spilled(TraceId trace) {
+    OCEP_ASSERT(trace < spilled_meta_.size() &&
+                !spilled_meta_[trace].empty());
+    spilled_meta_[trace].pop_back();
+  }
+
+  /// Removes and returns every spilled meta of `trace` (coverage made the
+  /// pair prunable, so the spans will never be faulted again).
+  [[nodiscard]] std::vector<SpanMeta> take_spilled(TraceId trace) {
+    OCEP_ASSERT(trace < spilled_meta_.size());
+    std::vector<SpanMeta> out = std::move(spilled_meta_[trace]);
+    spilled_meta_[trace].clear();
+    return out;
+  }
+
+  /// Checkpoint support: re-records one spilled meta (oldest first).
+  void restore_spilled(TraceId trace, const SpanMeta& meta) {
+    OCEP_ASSERT(trace < spilled_meta_.size());
+    spilled_meta_[trace].push_back(meta);
   }
 
  private:
@@ -283,11 +396,14 @@ class LeafHistory {
   /// Secondary index (when keyed): per trace, entries grouped by symbol.
   std::vector<std::unordered_map<std::uint32_t, std::vector<HistoryEntry>>>
       by_key_;
+  /// Per trace, oldest..newest spilled span metas (see SpanMeta).
+  std::vector<std::vector<SpanMeta>> spilled_meta_;
   bool keyed_ = false;
   std::size_t total_ = 0;
   std::size_t merged_ = 0;
   std::size_t pruned_ = 0;
   std::size_t evicted_ = 0;
+  std::size_t spilled_ = 0;
   std::size_t bytes_ = 0;
 };
 

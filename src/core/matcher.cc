@@ -260,12 +260,19 @@ void OcepMatcher::observe(const Event& event) {
   }
   // Retention: once a (leaf, trace) pair is covered, older occurrences on
   // it cannot add coverage there; keep a bounded recent window.  Amortize
-  // the erase by pruning only at twice the budget.
+  // the erase by pruning only at twice the budget.  Spilled spans of a
+  // covered pair are even older than the prunable prefix, so they are
+  // released at the sink rather than ever faulted back.
   if (config_.history_retention > 0) {
     for (std::uint32_t leaf = 0; leaf < pattern_.size(); ++leaf) {
-      if (subset_.covered(leaf, trace) &&
-          histories_[leaf].on_trace(trace).size() >
-              2 * config_.history_retention) {
+      if (!subset_.covered(leaf, trace)) {
+        continue;
+      }
+      if (span_sink_ != nullptr && histories_[leaf].has_spilled(trace)) {
+        release_spilled(leaf, trace);
+      }
+      if (histories_[leaf].on_trace(trace).size() >
+          2 * config_.history_retention) {
         histories_[leaf].prune_front(trace, config_.history_retention);
       }
     }
@@ -277,11 +284,13 @@ void OcepMatcher::observe(const Event& event) {
   stats_.history_merged = 0;
   stats_.history_pruned = 0;
   stats_.history_evicted = 0;
+  stats_.history_spilled = 0;
   for (const LeafHistory& history : histories_) {
     stats_.history_entries += history.total();
     stats_.history_merged += history.merged();
     stats_.history_pruned += history.pruned();
     stats_.history_evicted += history.evicted();
+    stats_.history_spilled += history.spilled();
   }
   if (telemetry_on_) {
     publish_telemetry(before);
@@ -332,12 +341,140 @@ void OcepMatcher::enforce_history_budget() {
     if (best_size <= 1) {
       break;  // nothing evictable left without emptying a pair entirely
     }
-    const std::size_t freed =
-        histories_[best_leaf].evict_front(best_trace, best_size / 2);
+    // With a sink attached the prefix spills (recoverable); eviction is
+    // the fallback when the sink declines (e.g. degraded store).
+    std::size_t freed = 0;
+    if (span_sink_ != nullptr) {
+      freed = spill_pair(best_leaf, best_trace, best_size / 2);
+    }
+    if (freed == 0) {
+      freed = histories_[best_leaf].evict_front(best_trace, best_size / 2);
+    }
     if (freed == 0) {
       break;
     }
     bytes -= std::min(bytes, freed);
+  }
+}
+
+std::size_t OcepMatcher::spill_pair(std::uint32_t leaf, TraceId trace,
+                                    std::size_t keep) {
+  const std::span<const HistoryEntry> entries =
+      histories_[leaf].on_trace(trace);
+  if (entries.size() <= keep) {
+    return 0;
+  }
+  const std::size_t drop = entries.size() - keep;
+  if (!span_sink_->spill(pattern_index_, leaf, trace, next_span_seq_,
+                         entries.first(drop))) {
+    return 0;
+  }
+  const std::size_t freed =
+      histories_[leaf].spill_front(trace, keep, next_span_seq_);
+  ++next_span_seq_;
+  return freed;
+}
+
+bool OcepMatcher::fault_newest(std::uint32_t leaf, TraceId trace) {
+  LeafHistory& history = histories_[leaf];
+  OCEP_ASSERT(history.has_spilled(trace));
+  const LeafHistory::SpanMeta meta = history.spilled_on(trace).back();
+  std::vector<HistoryEntry> entries;
+  bool valid =
+      span_sink_ != nullptr &&
+      span_sink_->fault(pattern_index_, leaf, trace, meta.seq, entries) &&
+      entries.size() == meta.count;
+  if (valid) {
+    EventIndex prev = kNoEvent;
+    for (const HistoryEntry& entry : entries) {
+      if (entry.index == kNoEvent || entry.index > store_.trace_size(trace) ||
+          (prev != kNoEvent && entry.index <= prev)) {
+        valid = false;
+        break;
+      }
+      prev = entry.index;
+    }
+    const std::span<const HistoryEntry> resident = history.on_trace(trace);
+    if (valid && !resident.empty() &&
+        entries.back().index >= resident.front().index) {
+      valid = false;
+    }
+  }
+  history.pop_spilled(trace);
+  if (!valid) {
+    // Unrecoverable (store degraded, record corrupt): proceed over what
+    // remains, reported as permanent coverage loss.
+    ++stats_.spans_lost;
+    if (span_sink_ != nullptr) {
+      span_sink_->release(pattern_index_, leaf, trace, meta.seq);
+    }
+    return false;
+  }
+  std::vector<Symbol> keys;
+  if (history.keyed()) {
+    keys.reserve(entries.size());
+    for (const HistoryEntry& entry : entries) {
+      const Event& event = store_.event(EventId{trace, entry.index});
+      keys.push_back(key_attr_[leaf] == KeyAttr::kText ? event.text
+                                                       : event.type);
+    }
+  }
+  history.prepend_front(trace, entries, keys);
+  stats_.history_faulted += entries.size();
+  span_sink_->release(pattern_index_, leaf, trace, meta.seq);
+  return true;
+}
+
+void OcepMatcher::ensure_history_loaded(std::uint32_t leaf, TraceId trace,
+                                        EventIndex lo) {
+  LeafHistory& history = histories_[leaf];
+  while (history.has_spilled(trace)) {
+    const std::span<const HistoryEntry> resident = history.on_trace(trace);
+    if (!resident.empty() && resident.front().index <= lo) {
+      return;  // the resident window already reaches the bound
+    }
+    if (history.spilled_on(trace).back().last_index < lo) {
+      return;  // everything still spilled is older than needed
+    }
+    fault_newest(leaf, trace);  // consumes a meta either way: terminates
+  }
+}
+
+void OcepMatcher::release_spilled(std::uint32_t leaf, TraceId trace) {
+  for (const LeafHistory::SpanMeta& meta :
+       histories_[leaf].take_spilled(trace)) {
+    if (span_sink_ != nullptr) {
+      span_sink_->release(pattern_index_, leaf, trace, meta.seq);
+    }
+  }
+}
+
+void OcepMatcher::fault_all_spans() {
+  if (!initialized_ || span_sink_ == nullptr) {
+    return;
+  }
+  for (std::uint32_t leaf = 0; leaf < pattern_.size(); ++leaf) {
+    for (TraceId t = 0; t < traces_; ++t) {
+      while (histories_[leaf].has_spilled(t)) {
+        fault_newest(leaf, t);
+      }
+    }
+  }
+}
+
+void OcepMatcher::for_each_spilled(
+    const std::function<void(std::uint32_t leaf, TraceId trace,
+                             std::uint64_t seq)>& fn) const {
+  if (!initialized_) {
+    return;
+  }
+  for (std::uint32_t leaf = 0; leaf < pattern_.size(); ++leaf) {
+    for (TraceId t = 0; t < traces_; ++t) {
+      for (const LeafHistory::SpanMeta& meta :
+           histories_[leaf].spilled_on(t)) {
+        fn(leaf, t, meta.seq);
+      }
+    }
   }
 }
 
@@ -476,7 +613,8 @@ void OcepMatcher::run_anchor(std::uint32_t anchor_leaf, const Event& event) {
       }
       if (local_covered[static_cast<std::size_t>(leaf) * traces_ + t] ||
           (config_.global_coverage && subset_.covered(leaf, t)) ||
-          histories_[leaf].on_trace(t).empty()) {
+          (histories_[leaf].on_trace(t).empty() &&
+           !histories_[leaf].has_spilled(t))) {
         ++stats_.pins_skipped;
         continue;
       }
@@ -599,17 +737,27 @@ bool OcepMatcher::extend(const std::vector<std::uint32_t>& order,
         continue;
       }
     }
+    // Fault spilled history covering [lo, hi] back in before taking the
+    // entries view.  Afterwards every span still spilled on (leaf, t) is
+    // strictly older than lo, so deeper faults (a limited_ok check can
+    // prepend into this same history) only ever grow the view below
+    // range.first — positions shift by exactly the growth.
+    if (span_sink_ != nullptr) {
+      ensure_history_loaded(leaf, t, lo);
+    }
     // With the leaf's key variable already bound, probe the secondary
     // index: only occurrences with the matching attribute value.
     std::span<const HistoryEntry> entries;
     std::uint64_t key_blame = 0;
     bool keyed_probe = false;
+    Symbol probe_key = kEmptySymbol;
     if (key_attr_[leaf] != KeyAttr::kNone) {
       const pattern::Attr& attr = key_attr_[leaf] == KeyAttr::kText
                                       ? spec.text
                                       : spec.type;
       if (var_bound_[attr.variable]) {
-        entries = histories_[leaf].on_trace_keyed(t, var_value_[attr.variable]);
+        probe_key = var_value_[attr.variable];
+        entries = histories_[leaf].on_trace_keyed(t, probe_key);
         keyed_probe = true;
         key_blame = bit(var_binder_[attr.variable]);
       }
@@ -617,9 +765,10 @@ bool OcepMatcher::extend(const std::vector<std::uint32_t>& order,
     if (!keyed_probe) {
       entries = histories_[leaf].on_trace(t);
     }
-    const LeafHistory::Range range = LeafHistory::range_of(entries, lo, hi);
+    LeafHistory::Range range = LeafHistory::range_of(entries, lo, hi);
     for (std::size_t pos = range.last; pos > range.first; --pos) {
       const EventId candidate{t, entries[pos - 1].index};
+      const std::size_t size_before = entries.size();
       bool backjump = false;
       if (try_candidate(order, depth, pin, leaf, candidate, my_conflicts,
                         backjump)) {
@@ -634,6 +783,20 @@ bool OcepMatcher::extend(const std::vector<std::uint32_t>& order,
         // candidates and traces entirely.
         conflict_out |= my_conflicts;
         return false;
+      }
+      if (span_sink_ != nullptr) {
+        // A deeper fault may have prepended older entries (all < lo) into
+        // this view, reallocating it: re-fetch and shift positions.
+        const std::span<const HistoryEntry> fresh =
+            keyed_probe ? histories_[leaf].on_trace_keyed(t, probe_key)
+                        : histories_[leaf].on_trace(t);
+        if (fresh.size() != size_before) {
+          const std::size_t growth = fresh.size() - size_before;
+          pos += growth;
+          range.first += growth;
+          range.last += growth;
+        }
+        entries = fresh;
       }
     }
     // This trace is exhausted.  The interval may have excluded stored
@@ -870,8 +1033,7 @@ bool OcepMatcher::bind_attrs(std::uint32_t leaf, const Event& event,
   return true;
 }
 
-bool OcepMatcher::limited_ok(std::uint32_t a_leaf, EventId a,
-                             EventId b) const {
+bool OcepMatcher::limited_ok(std::uint32_t a_leaf, EventId a, EventId b) {
   // Violated iff some event x of a_leaf's class (by its stored history)
   // satisfies a -> x -> b: on each trace that is the index window
   // [LS(a, t), GP(b, t)].
@@ -883,6 +1045,11 @@ bool OcepMatcher::limited_ok(std::uint32_t a_leaf, EventId a,
     const EventIndex gp = store_.greatest_predecessor(b, t);
     if (gp == kNoEvent || ls > gp) {
       continue;
+    }
+    // The intervening witness may sit below the in-RAM window: fault the
+    // spilled spans that could cover [ls, gp] back in first.
+    if (span_sink_ != nullptr) {
+      ensure_history_loaded(a_leaf, t, ls);
     }
     if (histories_[a_leaf].any_in(t, ls, gp)) {
       return false;
@@ -968,6 +1135,27 @@ void OcepMatcher::checkpoint(std::ostream& out) {
     }
   }
   governor_.checkpoint(out);
+  // v3 span-spill state: the spill sequence, fault counters, and the
+  // per-(leaf, trace) spilled-span metas.  The entries themselves are not
+  // written — they live in the tenant's log as span records, addressed by
+  // the (pattern, leaf, trace, seq) fingerprints recorded here.
+  poet::put_varint(out, next_span_seq_);
+  poet::put_varint(out, stats_.history_faulted);
+  poet::put_varint(out, stats_.spans_lost);
+  for (std::uint32_t leaf = 0; leaf < k; ++leaf) {
+    poet::put_varint(out, histories_[leaf].spilled());
+    for (TraceId t = 0; t < traces_; ++t) {
+      const std::span<const LeafHistory::SpanMeta> metas =
+          histories_[leaf].spilled_on(t);
+      poet::put_varint(out, metas.size());
+      for (const LeafHistory::SpanMeta& meta : metas) {
+        poet::put_varint(out, meta.seq);
+        poet::put_varint(out, meta.first_index);
+        poet::put_varint(out, meta.last_index);
+        poet::put_varint(out, meta.count);
+      }
+    }
+  }
 }
 
 void OcepMatcher::restore(std::istream& in, int version) {
@@ -1044,15 +1232,55 @@ void OcepMatcher::restore(std::istream& in, int version) {
   if (version >= 2) {
     governor_.restore(in);
   }
+  if (version >= 3) {
+    next_span_seq_ = poet::get_varint(in);
+    stats_.history_faulted = poet::get_varint(in);
+    stats_.spans_lost = poet::get_varint(in);
+    for (std::uint32_t leaf = 0; leaf < k; ++leaf) {
+      histories_[leaf].set_spilled_counter(poet::get_varint(in));
+      for (TraceId t = 0; t < traces_; ++t) {
+        const std::uint64_t meta_count = poet::get_varint(in);
+        if (meta_count > store_.trace_size(t)) {
+          throw SerializationError("checkpoint spans exceed the trace");
+        }
+        EventIndex prev_last = kNoEvent;
+        for (std::uint64_t i = 0; i < meta_count; ++i) {
+          LeafHistory::SpanMeta meta;
+          meta.seq = poet::get_varint(in);
+          meta.first_index =
+              static_cast<EventIndex>(poet::get_varint(in));
+          meta.last_index = static_cast<EventIndex>(poet::get_varint(in));
+          meta.count = static_cast<std::uint32_t>(poet::get_varint(in));
+          if (meta.count == 0 || meta.first_index == kNoEvent ||
+              meta.first_index > meta.last_index ||
+              meta.last_index > store_.trace_size(t) ||
+              (prev_last != kNoEvent && meta.first_index <= prev_last)) {
+            throw SerializationError("checkpoint span meta out of range");
+          }
+          prev_last = meta.last_index;
+          histories_[leaf].restore_spilled(t, meta);
+        }
+        const std::span<const HistoryEntry> resident =
+            histories_[leaf].on_trace(t);
+        if (prev_last != kNoEvent && !resident.empty() &&
+            prev_last >= resident.front().index) {
+          throw SerializationError(
+              "checkpoint span metas overlap resident history");
+        }
+      }
+    }
+  }
   stats_.breaker_trips = governor_.trips();
   stats_.history_evicted = 0;
+  stats_.history_spilled = 0;
   for (const LeafHistory& history : histories_) {
     stats_.history_evicted += history.evicted();
+    stats_.history_spilled += history.spilled();
   }
 }
 
 bool OcepMatcher::satisfied(std::uint32_t leaf, Role role, EventId me,
-                            EventId other) const {
+                            EventId other) {
   switch (role) {
     case Role::kAfterOther:
       return store_.happens_before(other, me);

@@ -32,6 +32,7 @@
 #include "common/assert.h"
 #include "core/governor.h"
 #include "core/history.h"
+#include "core/span_sink.h"
 #include "core/subset.h"
 #include "obs/metrics.h"
 #include "pattern/compiled.h"
@@ -99,6 +100,10 @@ struct MatcherStats {
   std::uint64_t breaker_trips = 0;      ///< closed->open transitions
   std::uint64_t history_evicted = 0;    ///< entries dropped by the byte cap
   std::uint64_t callback_errors = 0;    ///< contained MatchCallback throws
+  // Span-spill counters (checkpoint format v3; core/span_sink.h).
+  std::uint64_t history_spilled = 0;    ///< entries spilled through the sink
+  std::uint64_t history_faulted = 0;    ///< entries faulted back into RAM
+  std::uint64_t spans_lost = 0;         ///< spans that failed to fault back
 };
 
 /// Optional per-matcher telemetry sinks (src/obs/metrics.h).  Counters
@@ -178,6 +183,31 @@ class OcepMatcher {
   /// Approximate bytes held by this pattern's leaf histories.
   [[nodiscard]] std::size_t history_bytes() const noexcept;
 
+  /// Attaches the span-spill tier (core/span_sink.h): byte-cap pressure
+  /// then spills the oldest entries of the largest (leaf, trace) pair
+  /// through the sink instead of evicting them, and deep searches fault
+  /// them back on demand.  `pattern_index` is this matcher's index at the
+  /// sink (the matcher does not know it, as with health()).  Attach from
+  /// the owning thread before any events are observed or restored; the
+  /// sink must outlive the matcher.  Null detaches (spilled-span metas
+  /// then become unreachable, so only detach on teardown).
+  void set_span_sink(SpanSink* sink, std::uint32_t pattern_index) {
+    span_sink_ = sink;
+    pattern_index_ = pattern_index;
+  }
+
+  /// Faults every spilled span back into RAM and releases it at the sink.
+  /// Used before a migration freeze so the checkpoint blob is
+  /// self-contained (the source log's spans are about to be tombstoned).
+  void fault_all_spans();
+
+  /// Enumerates every span currently spilled through the sink, as
+  /// (leaf, trace, seq) — the store-side reconcile after a restart uses
+  /// this to drop span records the restored matcher no longer references.
+  void for_each_spilled(
+      const std::function<void(std::uint32_t leaf, TraceId trace,
+                               std::uint64_t seq)>& fn) const;
+
   /// Forces the breaker into its terminal quarantined state: subsequent
   /// observes degrade to history appends.  Used by worker supervision
   /// after a callback or internal error escaped an observe.
@@ -191,10 +221,11 @@ class OcepMatcher {
   /// they are not written either.
   void checkpoint(std::ostream& out);
 
-  /// Checkpoint blob format written by checkpoint() (OCEPCKP2).  restore()
-  /// also accepts `version` 1 blobs (OCEPCKP1, PR 3): the governance
-  /// counters and breaker state then start from their defaults.
-  static constexpr int kCheckpointVersion = 2;
+  /// Checkpoint blob format written by checkpoint() (OCEPCKP3).  restore()
+  /// also accepts `version` 2 (OCEPCKP2, PR 6) and 1 (OCEPCKP1, PR 3)
+  /// blobs: the span-spill state (v3) and the governance counters and
+  /// breaker state (v2) then start from their defaults.
+  static constexpr int kCheckpointVersion = 3;
 
   /// Counterpart of checkpoint().  Requires a fresh matcher (no events
   /// observed) whose store already holds every checkpointed event; throws
@@ -272,13 +303,30 @@ class OcepMatcher {
   bool bind_attrs(std::uint32_t leaf, const Event& event, std::size_t depth,
                   std::vector<std::uint32_t>& trail, std::uint64_t& blame);
 
+  /// Non-const: limited_ok may fault spilled history back in.
   [[nodiscard]] bool satisfied(std::uint32_t leaf, Role role, EventId me,
-                               EventId other) const;
+                               EventId other);
 
   /// Fig 1 limited precedence: a -> b holds and no event in `a_leaf`'s
   /// history is causally between them.  O(traces * log history).
-  [[nodiscard]] bool limited_ok(std::uint32_t a_leaf, EventId a,
-                                EventId b) const;
+  /// Non-const: faults spilled spans covering the checked windows.
+  [[nodiscard]] bool limited_ok(std::uint32_t a_leaf, EventId a, EventId b);
+
+  /// Span-spill helpers (no-ops without a sink).  spill_pair offers the
+  /// prefix past `keep` of (leaf, trace) to the sink; returns the bytes
+  /// freed, 0 when the sink declined (caller falls back to eviction).
+  std::size_t spill_pair(std::uint32_t leaf, TraceId trace,
+                         std::size_t keep);
+  /// Faults the newest spilled span of (leaf, trace) back into RAM; on an
+  /// unreadable span drops its meta and counts spans_lost.  Either way
+  /// the meta is consumed (guaranteed progress for callers that loop).
+  bool fault_newest(std::uint32_t leaf, TraceId trace);
+  /// Faults spans of (leaf, trace) newest-first until the resident window
+  /// reaches down to `lo` (or nothing spilled covers it).
+  void ensure_history_loaded(std::uint32_t leaf, TraceId trace,
+                             EventIndex lo);
+  /// Releases every spilled span of a covered (leaf, trace) pair.
+  void release_spilled(std::uint32_t leaf, TraceId trace);
 
   const EventStore& store_;
   pattern::CompiledPattern pattern_;
@@ -317,6 +365,13 @@ class OcepMatcher {
   std::vector<Symbol> var_value_;            // per attribute variable
   std::vector<bool> var_bound_;
   std::vector<std::size_t> var_binder_;      // depth that bound the variable
+
+  // Span-spill tier (core/span_sink.h); null = legacy evict-only mode.
+  SpanSink* span_sink_ = nullptr;
+  std::uint32_t pattern_index_ = 0;
+  /// Monotonic spill sequence, shared across leaves/traces so replaying
+  /// the same events re-issues identical span identities.  Checkpointed.
+  std::uint64_t next_span_seq_ = 0;
 
   // Overload governance (docs/GOVERNANCE.md).
   PatternGovernor governor_;

@@ -169,6 +169,35 @@ void Monitor::drain() {
   }
 }
 
+void Monitor::set_span_sink(SpanSink* sink) {
+  OCEP_ASSERT_MSG(pipeline_ == nullptr,
+                  "span sinks require synchronous matching "
+                  "(worker_threads = 0)");
+  for (std::size_t i = 0; i < matchers_.size(); ++i) {
+    matchers_[i]->set_span_sink(sink, static_cast<std::uint32_t>(i));
+  }
+}
+
+void Monitor::fault_all_spans() {
+  drain();
+  for (const std::unique_ptr<OcepMatcher>& matcher : matchers_) {
+    matcher->fault_all_spans();
+  }
+}
+
+void Monitor::for_each_spilled(
+    const std::function<void(std::uint32_t pattern, std::uint32_t leaf,
+                             TraceId trace, std::uint64_t seq)>& fn) const {
+  assert_drained();
+  for (std::size_t i = 0; i < matchers_.size(); ++i) {
+    const auto pattern = static_cast<std::uint32_t>(i);
+    matchers_[i]->for_each_spilled(
+        [&](std::uint32_t leaf, TraceId trace, std::uint64_t seq) {
+          fn(pattern, leaf, trace, seq);
+        });
+  }
+}
+
 void Monitor::update_store_gauges() {
   store_events_->set(static_cast<std::int64_t>(store_.event_count()));
   store_bytes_->set(static_cast<std::int64_t>(store_.approx_bytes()));
@@ -209,11 +238,14 @@ HealthReport Monitor::health() const {
 
 namespace {
 
-// Checkpoint framing magic: "OCEPCKP" + format version digit.  Version 2
-// (this layout) added the governance counters and breaker state; version 1
-// blobs (PR 3) still restore, with governance starting from its defaults.
+// Checkpoint framing magic: "OCEPCKP" + format version digit.  Version 3
+// (this layout) added the span-spill state; version 2 added the
+// governance counters and breaker state; both older versions (PRs 3 and
+// 6) still restore, with the newer sections starting from their defaults.
 constexpr char kCheckpointMagic[8] = {'O', 'C', 'E', 'P',
-                                      'C', 'K', 'P', '2'};
+                                      'C', 'K', 'P', '3'};
+constexpr char kCheckpointMagicV2[8] = {'O', 'C', 'E', 'P',
+                                        'C', 'K', 'P', '2'};
 constexpr char kCheckpointMagicV1[8] = {'O', 'C', 'E', 'P',
                                         'C', 'K', 'P', '1'};
 
@@ -249,6 +281,9 @@ void Monitor::restore(std::istream& in) {
   if (in.gcount() == sizeof(magic)) {
     if (std::equal(std::begin(magic), std::end(magic),
                    std::begin(kCheckpointMagic))) {
+      version = 3;
+    } else if (std::equal(std::begin(magic), std::end(magic),
+                          std::begin(kCheckpointMagicV2))) {
       version = 2;
     } else if (std::equal(std::begin(magic), std::end(magic),
                           std::begin(kCheckpointMagicV1))) {

@@ -128,6 +128,26 @@ class Monitor final : public EventSink {
     ingest_source_ = std::move(source);
   }
 
+  /// Attaches a spill sink (core/span_sink.h) to every matcher — each
+  /// matcher spills under its own pattern index.  Synchronous mode only
+  /// (workers would race on the sink); attach after add_pattern and
+  /// before the first event or restore, nullptr detaches.  The sink must
+  /// outlive the monitor or the next set_span_sink(nullptr).
+  void set_span_sink(SpanSink* sink);
+
+  /// Faults every spilled span of every matcher back into RAM and
+  /// releases it from the sink — after this no matcher references the
+  /// sink's storage (used before tenant migration / sink teardown).
+  void fault_all_spans();
+
+  /// Enumerates every spilled span currently referenced by any matcher,
+  /// as (pattern, leaf, trace, seq) — the shard's rebuild path uses this
+  /// to reconcile the store's span index with what a restored
+  /// checkpoint actually references.
+  void for_each_spilled(
+      const std::function<void(std::uint32_t pattern, std::uint32_t leaf,
+                               TraceId trace, std::uint64_t seq)>& fn) const;
+
   /// Serializes the monitor's full matching state — store contents, event
   /// watermark, and every matcher's incremental state — framed with a
   /// magic, a length, and a CRC32C so a torn write is detected on restore.

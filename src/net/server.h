@@ -101,6 +101,18 @@ struct ServerConfig {
   std::uint64_t store_rebase_bytes = 1ULL << 20;
   /// Segment rotation threshold for the store's log files.
   std::size_t store_segment_bytes = std::size_t{4} << 20;
+  /// Byte budget for the shard's span buffer pool (store/buffer_pool.h).
+  /// Non-zero — with the store on and tenant.monitor.worker_threads == 0
+  /// — turns matcher history eviction into spill: evicted leaf-history
+  /// spans append to the tenant's log as span records and fault back
+  /// through the pool when a deep search needs them.  0 keeps plain
+  /// eviction (the pre-pool behaviour).
+  std::uint64_t pool_bytes = 0;
+  /// Dead-byte ratio past which the background compactor rewrites a
+  /// sealed segment's live spans (store/compactor.h); > 0 also moves
+  /// store re-basing off the flush tick onto the compaction scheduler.
+  /// <= 0 disables the compactor (re-basing stays inline).
+  double compact_ratio = 0.0;
   /// Warm-standby target: every shard streams its segment log to this
   /// follower (empty host = replication off).  Requires store_dir.
   std::string replicate_host;

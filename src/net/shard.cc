@@ -185,6 +185,9 @@ void Shard::restore_checkpoints() {
       std::ifstream in(entry.path(), std::ios::binary);
       auto tenant =
           std::make_unique<Tenant>(name, config_.tenant, config_.observe_hook);
+      if (SpanSink* sink = span_sink_for(name)) {
+        tenant->set_span_sink(sink);
+      }
       tenant->restore(in);
       // Restored tenants start detached; a producer gets one linger window
       // to reconnect before the stream is finalized as degraded.
@@ -211,12 +214,148 @@ void Shard::open_store() {
   log_config.segment_bytes = config_.store_segment_bytes;
   log_config.crash_hook = config_.store_crash_hook;
   store_ = std::make_unique<store::TenantStore>(std::move(log_config));
+  // Span tier: the pool needs synchronous monitors (a worker thread
+  // spilling through a shard-owned sink would race the reactor), so a
+  // pipeline-mode daemon keeps plain eviction even with a pool budget.
+  if (config_.pool_bytes != 0 && config_.tenant.monitor.worker_threads == 0) {
+    pool_ = std::make_unique<store::BufferPool>(config_.pool_bytes);
+  }
+  if (config_.compact_ratio > 0.0) {
+    store::CompactorConfig compactor_config;
+    compactor_config.dead_ratio = config_.compact_ratio;
+    compactor_ = std::make_unique<store::Compactor>(*store_, compactor_config);
+    compactor_->set_rebase_fn([this](const std::string& name) {
+      Tenant* tenant = find_tenant(name);
+      if (tenant == nullptr || !tenant->can_checkpoint()) {
+        return true;  // gone (spilled, migrated): drop the request
+      }
+      const bool ok = store_try([&] {
+        std::ostringstream blob;
+        tenant->checkpoint(blob);
+        store_->append_base(name, std::move(blob).str());
+      });
+      if (ok) {
+        durable_[name].bytes_since_base = 0;
+        store_work_pending_ = true;
+      }
+      return ok;
+    });
+  }
+}
+
+/// Routes one tenant's matcher spills and faults to the shard's store +
+/// pool.  Lives next to the tenant (span_sinks_), detached only when the
+/// tenant leaves the shard for good.
+class Shard::StoreSpanSink final : public SpanSink {
+ public:
+  StoreSpanSink(Shard& shard, std::string tenant)
+      : shard_(shard), tenant_(std::move(tenant)) {}
+
+  bool spill(std::uint32_t pattern, std::uint32_t leaf, TraceId trace,
+             std::uint64_t seq,
+             std::span<const HistoryEntry> entries) override {
+    if (shard_.store_ == nullptr) {
+      return false;
+    }
+    store::SpanPayload payload;
+    payload.key = store::SpanKey{pattern, leaf, trace, seq};
+    payload.entries.reserve(entries.size());
+    for (const HistoryEntry& entry : entries) {
+      payload.entries.emplace_back(entry.index, entry.comm_before);
+    }
+    // Declining on an append fault keeps the entries in RAM (plain
+    // eviction) — never tell the matcher a span is durable when it is
+    // not.  Durability proper arrives with the next group commit; a
+    // crash before it replays the deltas, and the replay's re-spill is
+    // idempotent (last-wins keys).
+    const bool ok = shard_.store_try(
+        [&] { shard_.store_->append_span(tenant_, payload); });
+    if (ok) {
+      shard_.store_work_pending_ = true;
+    }
+    return ok;
+  }
+
+  bool fault(std::uint32_t pattern, std::uint32_t leaf, TraceId trace,
+             std::uint64_t seq, std::vector<HistoryEntry>& out) override {
+    if (shard_.pool_ == nullptr || shard_.store_ == nullptr) {
+      return false;
+    }
+    const store::SpanKey key{pattern, leaf, trace, seq};
+    const store::SpanPayload* span =
+        shard_.pool_->acquire(tenant_, key, *shard_.store_);
+    if (span == nullptr) {
+      return false;
+    }
+    out.clear();
+    out.reserve(span->entries.size());
+    for (const auto& [index, comm_before] : span->entries) {
+      out.push_back(HistoryEntry{static_cast<EventIndex>(index),
+                                 static_cast<std::uint32_t>(comm_before)});
+    }
+    shard_.pool_->unpin(tenant_, key);
+    return true;
+  }
+
+  void release(std::uint32_t pattern, std::uint32_t leaf, TraceId trace,
+               std::uint64_t seq) override {
+    const store::SpanKey key{pattern, leaf, trace, seq};
+    if (shard_.pool_ != nullptr) {
+      shard_.pool_->invalidate(tenant_, key);
+    }
+    if (shard_.store_ != nullptr) {
+      shard_.store_->release_span(tenant_, key);
+    }
+  }
+
+ private:
+  Shard& shard_;
+  std::string tenant_;
+};
+
+SpanSink* Shard::span_sink_for(const std::string& name) {
+  if (store_ == nullptr || pool_ == nullptr) {
+    return nullptr;
+  }
+  auto it = span_sinks_.find(name);
+  if (it == span_sinks_.end()) {
+    it = span_sinks_
+             .emplace(name, std::make_unique<StoreSpanSink>(*this, name))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Shard::drop_span_sink(const std::string& name) {
+  span_sinks_.erase(name);
+  if (pool_ != nullptr) {
+    pool_->invalidate_tenant(name);
+  }
+}
+
+void Shard::reconcile_spans(Tenant& tenant) {
+  if (store_ == nullptr || pool_ == nullptr) {
+    return;
+  }
+  std::vector<store::SpanKey> live;
+  tenant.monitor().for_each_spilled(
+      [&](std::uint32_t pattern, std::uint32_t leaf, TraceId trace,
+          std::uint64_t seq) {
+        live.push_back(store::SpanKey{pattern, leaf, trace, seq});
+      });
+  store_try([&] { store_->retain_spans(tenant.name(), live); });
 }
 
 std::unique_ptr<Tenant> Shard::rebuild_tenant(const std::string& name,
                                               const store::TenantImage& image) {
   auto tenant =
       std::make_unique<Tenant>(name, config_.tenant, config_.observe_hook);
+  if (SpanSink* sink = span_sink_for(name)) {
+    // Attached before restore: the base image's spilled-span metadata
+    // must be able to fault, and the delta replay's re-evictions re-spill
+    // through the same sink (idempotently — the seqs repeat).
+    tenant->set_span_sink(sink);
+  }
   if (image.has_base) {
     std::istringstream in(image.base);
     tenant->restore(in);
@@ -234,6 +373,10 @@ std::unique_ptr<Tenant> Shard::rebuild_tenant(const std::string& name,
   }
   tenant->monitor().drain();
   (void)tenant->maybe_finish();
+  // The log may hold spans the rebuilt matcher no longer references (it
+  // released them in RAM after the base was cut, then the crash lost the
+  // re-spilling deltas); kill those now or nothing ever will.
+  reconcile_spans(*tenant);
   return tenant;
 }
 
@@ -393,6 +536,15 @@ void Shard::run() {
         next_flush_ms_ = clock_ms_ + flush_backoff_ms_;
       }
     }
+    if (compactor_ != nullptr && !store_degraded_ &&
+        !stop_.load(std::memory_order_acquire)) {
+      // One bounded quantum between poll waits; anything it appended
+      // rides the next group commit (store_work_pending_ keeps the poll
+      // timeout inside the flush window).
+      if (compactor_->tick()) {
+        store_work_pending_ = true;
+      }
+    }
   }
   graceful_shutdown();
   // Late mail (an admin scrape racing shutdown, a connection migrating
@@ -456,6 +608,11 @@ int Shard::loop_timeout_ms() const {
   }
   if (replicator_ != nullptr) {
     timeout = std::min(timeout, replicator_->timeout_bound_ms(clock_ms_));
+  }
+  if (compactor_ != nullptr && compactor_->backlog() != 0) {
+    // Compaction progresses one tick per loop iteration; do not let an
+    // idle shard sleep a whole poll interval between quanta.
+    timeout = std::min(timeout, 5);
   }
   return timeout;
 }
@@ -534,6 +691,12 @@ bool Shard::migrate_tenant(const std::string& name, std::size_t target) {
   handoff.name = name;
   handoff.from_shard = index_;
   handoff.migrations = tenant->migrations + 1;
+  if (pool_ != nullptr) {
+    // Spilled spans live in this shard's log and the destination appends
+    // to its own: fault everything back so the frozen image is
+    // self-contained (the tombstone below reclaims the log copies).
+    tenant->monitor().fault_all_spans();
+  }
   std::ostringstream blob;
   try {
     // Freeze: checkpoint() drains the pipeline at a frame boundary, so
@@ -575,6 +738,12 @@ bool Shard::migrate_tenant(const std::string& name, std::size_t target) {
   update_meters(*tenant);
   meters_.erase(name);  // a return hop re-seeds at the restored values
   tenants_.erase(name);
+  drop_span_sink(name);
+  if (compactor_ != nullptr) {
+    // The tombstone below retires this tenant's spans; an in-flight
+    // rewrite plan may have just gone dead, so re-plan from scratch.
+    compactor_->quiesce();
+  }
   if (store_ != nullptr) {
     // The handoff blob already covers any captured-but-unflushed input,
     // so the pending bytes can go; the tombstone keeps this log from
@@ -597,6 +766,12 @@ void Shard::adopt_tenant_now(TenantHandoff handoff) {
   }
   auto tenant = std::make_unique<Tenant>(handoff.name, config_.tenant,
                                          config_.observe_hook);
+  if (SpanSink* sink = span_sink_for(handoff.name)) {
+    // The handoff blob is self-contained (the source faulted every span
+    // back before freezing), but the adopted tenant spills here from now
+    // on.
+    tenant->set_span_sink(sink);
+  }
   try {
     std::istringstream in(handoff.blob);
     tenant->restore(in);
@@ -822,8 +997,22 @@ void Shard::handle_handshake(Conn& conn, const HandshakeRequest& request) {
         reject(conn, "tenant was shed: " + it->second.shed_reason);
         return;
       }
+      if (clock_ms_ < it->second.retry_at_ms) {
+        // A recent reload already failed; refuse without touching the
+        // (possibly faulting) disk until the backoff window passes.
+        reject(conn, "tenant reload backing off; retry");
+        return;
+      }
       tenant = unspill(request.tenant);
       if (tenant == nullptr) {
+        Spilled& spilled = it->second;
+        spilled.retry_backoff_ms =
+            spilled.retry_backoff_ms == 0
+                ? flush_interval_ms() * 2
+                : std::min<std::uint64_t>(spilled.retry_backoff_ms * 2, 5000);
+        spilled.retry_at_ms = clock_ms_ + spilled.retry_backoff_ms;
+        unspill_errors_ += 1;
+        registry_.counter("store.unspill_errors").add(1);
         reject(conn, "tenant reload from store failed; retry");
         return;
       }
@@ -843,6 +1032,9 @@ void Shard::handle_handshake(Conn& conn, const HandshakeRequest& request) {
     }
     auto fresh = std::make_unique<Tenant>(request.tenant, config_.tenant,
                                           config_.observe_hook);
+    if (SpanSink* sink = span_sink_for(request.tenant)) {
+      fresh->set_span_sink(sink);
+    }
     try {
       fresh->register_patterns(request.patterns);
     } catch (const Error& e) {
@@ -1063,7 +1255,26 @@ std::string Shard::healthz_shard_json() {
   if (store_ != nullptr) {
     out += "{\"degraded\":";
     out += store_degraded_ ? "true" : "false";
-    out += ",\"append_errors\":" + std::to_string(append_errors_) + "}";
+    out += ",\"append_errors\":" + std::to_string(append_errors_);
+    out += ",\"unspill_errors\":" + std::to_string(unspill_errors_);
+    out += ",\"spans\":" + std::to_string(store_->total_spans());
+    out += ",\"pool\":";
+    if (pool_ != nullptr) {
+      const store::BufferPoolStats& bp = pool_->stats();
+      out += "{\"hits\":" + std::to_string(bp.hits);
+      out += ",\"misses\":" + std::to_string(bp.misses);
+      out += ",\"evictions\":" + std::to_string(bp.evictions);
+      out += ",\"load_errors\":" + std::to_string(bp.load_errors);
+      out += ",\"frames\":" + std::to_string(bp.frames);
+      out += ",\"bytes\":" + std::to_string(bp.bytes);
+      out += ",\"pinned\":" + std::to_string(bp.pinned);
+      out += ",\"compaction_backlog\":" +
+             std::to_string(compactor_ != nullptr ? compactor_->backlog() : 0);
+      out += "}";
+    } else {
+      out += "null";
+    }
+    out += "}";
   } else {
     out += "null";
   }
@@ -1279,6 +1490,33 @@ void Shard::fold_store_stats() {
   fold("store.delta_bytes", ts.delta_bytes, last_store_stats_.delta_bytes);
   fold("store.orphan_deltas", ts.orphan_deltas,
        last_store_stats_.orphan_deltas);
+  fold("store.span_records", ts.span_appends, last_store_stats_.span_appends);
+  fold("store.span_bytes", ts.span_bytes, last_store_stats_.span_bytes);
+  fold("store.span_releases", ts.span_releases,
+       last_store_stats_.span_releases);
+  fold("store.spans_relocated", ts.spans_relocated,
+       last_store_stats_.spans_relocated);
+  fold("store.orphan_spans", ts.orphan_spans, last_store_stats_.orphan_spans);
+  if (pool_ != nullptr) {
+    const store::BufferPoolStats& bp = pool_->stats();
+    fold("store.pool_hits", bp.hits, last_pool_stats_.hits);
+    fold("store.pool_misses", bp.misses, last_pool_stats_.misses);
+    fold("store.pool_evictions", bp.evictions, last_pool_stats_.evictions);
+    fold("store.pool_load_errors", bp.load_errors,
+         last_pool_stats_.load_errors);
+  }
+  if (compactor_ != nullptr) {
+    const store::CompactorStats& cp = compactor_->stats();
+    fold("store.compaction_ticks", cp.ticks, last_compactor_stats_.ticks);
+    fold("store.compaction_spans_moved", cp.spans_moved,
+         last_compactor_stats_.spans_moved);
+    fold("store.compaction_segments_planned", cp.segments_planned,
+         last_compactor_stats_.segments_planned);
+    fold("store.compaction_rebases", cp.rebases_run,
+         last_compactor_stats_.rebases_run);
+    fold("store.compaction_rebase_failures", cp.rebase_failures,
+         last_compactor_stats_.rebase_failures);
+  }
 }
 
 void Shard::store_rebase(Tenant& tenant, std::uint64_t min_epoch) {
@@ -1334,10 +1572,18 @@ bool Shard::flush_store() {
     }
     if (config_.store_rebase_bytes != 0 &&
         durable.bytes_since_base >= config_.store_rebase_bytes) {
-      Tenant* tenant = find_tenant(name);
-      if (tenant != nullptr && tenant->can_checkpoint()) {
-        store_rebase(*tenant, 0);
-        durable.bytes_since_base = 0;
+      if (compactor_ != nullptr) {
+        // Off the flush tick: the compactor runs the (full-image, O(state))
+        // rebase as its own quantum, so group-commit latency stays bounded
+        // by the dirty bytes alone.  Re-scheduling until the rebase lands
+        // is free — the queue dedups.
+        compactor_->schedule_rebase(name);
+      } else {
+        Tenant* tenant = find_tenant(name);
+        if (tenant != nullptr && tenant->can_checkpoint()) {
+          store_rebase(*tenant, 0);
+          durable.bytes_since_base = 0;
+        }
       }
     }
   }
@@ -1440,6 +1686,11 @@ Tenant* Shard::unspill(const std::string& name) {
 void Shard::graceful_shutdown() {
   poller_.del(ingest_->fd());
   ingest_->close();
+  if (compactor_ != nullptr) {
+    // Abandon any in-flight rewrite plan so the final flush below sees a
+    // quiesced log; relocations already appended are already consistent.
+    compactor_->quiesce();
+  }
   if (replicator_ != nullptr) {
     // Final flush below still pumps nothing (we are past the loop), so
     // just push any queued frames and drop the link.

@@ -41,6 +41,8 @@
 #include "net/server.h"
 #include "net/tenant.h"
 #include "obs/metrics.h"
+#include "store/buffer_pool.h"
+#include "store/compactor.h"
 #include "store/tenant_store.h"
 
 namespace ocep::net {
@@ -188,6 +190,15 @@ class Shard {
   /// Reloads a spilled tenant from the store; nullptr on failure (the
   /// spilled entry is kept so a retry is possible).
   [[nodiscard]] Tenant* unspill(const std::string& name);
+  /// The per-tenant spill adapter binding `name` to this shard's store +
+  /// buffer pool; nullptr when the span tier is off (no store, no pool
+  /// budget, or pipeline-mode tenants).
+  [[nodiscard]] SpanSink* span_sink_for(const std::string& name);
+  /// Drops `name`'s adapter and pool frames (tenant left this shard).
+  void drop_span_sink(const std::string& name);
+  /// Kills span records the rebuilt tenant no longer references (crash
+  /// orphans: spilled, then released in RAM, then crashed before sync).
+  void reconcile_spans(Tenant& tenant);
   /// Runs a store mutation, absorbing StoreError into the store.errors
   /// counter (an I/O fault must not take the reactor down); returns
   /// whether it succeeded.
@@ -286,6 +297,12 @@ class Shard {
     std::uint64_t bytes_in = 0;
     std::uint64_t migrations = 0;
     std::uint64_t events = 0;
+    /// Unspill-failure backoff: reloads are refused until retry_at_ms
+    /// (capped doubling), so a producer hammering a tenant whose image
+    /// sits on a faulting disk cannot turn every reconnect into an I/O
+    /// storm.
+    std::uint64_t retry_at_ms = 0;
+    std::uint64_t retry_backoff_ms = 0;
   };
   std::map<std::string, Spilled> spilled_;
   /// Tenants found in this shard's log at restore but owned elsewhere;
@@ -303,6 +320,21 @@ class Shard {
   /// Stats snapshots already folded into the registry (fold by delta).
   store::LogStats last_log_stats_;
   store::TenantStoreStats last_store_stats_;
+  store::BufferPoolStats last_pool_stats_;
+  store::CompactorStats last_compactor_stats_;
+
+  /// Span storage tier (null unless the store is on, pool_bytes > 0, and
+  /// tenants run synchronous monitors).  The pool caches decoded span
+  /// records shard-wide; each tenant gets one StoreSpanSink adapter
+  /// routing matcher spills/faults to its log records.
+  class StoreSpanSink;
+  std::unique_ptr<store::BufferPool> pool_;
+  std::map<std::string, std::unique_ptr<StoreSpanSink>> span_sinks_;
+  /// Background segment compactor (null unless compact_ratio > 0); runs
+  /// as an incremental state machine on this shard thread, never a
+  /// separate owner of the log.
+  std::unique_ptr<store::Compactor> compactor_;
+  std::uint64_t unspill_errors_ = 0;
 };
 
 }  // namespace ocep::net

@@ -68,6 +68,9 @@ void Tenant::build(const std::vector<std::string>& patterns) {
   for (const std::string& pattern : patterns_) {
     monitor_->add_pattern(pattern, config_.matcher);
   }
+  if (span_sink_ != nullptr) {
+    monitor_->set_span_sink(span_sink_);
+  }
   tap_ = std::make_unique<TapSink>(*this);
   transport_ = std::make_unique<QueuedTransport>();
   SessionConfig session = config_.session;
@@ -84,6 +87,13 @@ void Tenant::build(const std::vector<std::string>& patterns) {
 
 void Tenant::register_patterns(const std::vector<std::string>& patterns) {
   build(patterns);
+}
+
+void Tenant::set_span_sink(SpanSink* sink) {
+  span_sink_ = sink;
+  if (monitor_ != nullptr) {
+    monitor_->set_span_sink(sink);
+  }
 }
 
 void Tenant::feed(std::string_view bytes) {

@@ -139,6 +139,13 @@ class Tenant {
   /// resets governance budgets), but an in-flight hop must not.
   void restore_bytes_in(std::uint64_t bytes) noexcept { bytes_in_ = bytes; }
 
+  /// Attaches a history spill sink (core/span_sink.h), applied to the
+  /// monitor as soon as it exists.  Call right after construction —
+  /// before register_patterns()/restore() — so a restored checkpoint's
+  /// spilled-span metadata can fault through it.  The sink must outlive
+  /// the tenant; nullptr detaches.
+  void set_span_sink(SpanSink* sink);
+
   // Attachment bookkeeping (owned by the server's policy).
   std::uint64_t conn_id = 0;          ///< 0 = detached
   std::uint64_t detach_deadline_ms = 0;  ///< linger expiry when detached
@@ -171,6 +178,7 @@ class Tenant {
   std::string name_;
   TenantConfig config_;
   ObserveHook observe_hook_;
+  SpanSink* span_sink_ = nullptr;
   TenantState state_ = TenantState::kStreaming;
   std::string shed_reason_;
   std::vector<std::string> patterns_;

@@ -1,0 +1,123 @@
+#include "store/buffer_pool.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace ocep::store {
+
+namespace {
+
+/// Charged footprint of one resident frame: the decoded entries plus a
+/// fixed overhead for the index/ring bookkeeping around them.
+constexpr std::uint64_t kFrameOverheadBytes = 128;
+
+std::uint64_t frame_bytes(const SpanPayload& span) {
+  return kFrameOverheadBytes +
+         span.entries.size() *
+             sizeof(std::pair<std::uint64_t, std::uint64_t>);
+}
+
+}  // namespace
+
+const SpanPayload* BufferPool::acquire(const std::string& tenant,
+                                       const SpanKey& key,
+                                       const TenantStore& store) {
+  const FrameKey frame_key{tenant, key};
+  if (const auto it = frames_.find(frame_key); it != frames_.end()) {
+    stats_.hits += 1;
+    it->second.referenced = true;
+    if (it->second.pins++ == 0) {
+      stats_.pinned += 1;
+    }
+    return &it->second.span;
+  }
+  stats_.misses += 1;
+  SpanPayload span;
+  try {
+    if (!store.has_span(tenant, key)) {
+      stats_.load_errors += 1;
+      return nullptr;
+    }
+    span = store.read_span(tenant, key);
+  } catch (const StoreError&) {
+    stats_.load_errors += 1;
+    return nullptr;
+  }
+  Frame frame;
+  frame.bytes = frame_bytes(span);
+  frame.span = std::move(span);
+  frame.pins = 1;
+  const auto [it, inserted] = frames_.emplace(frame_key, std::move(frame));
+  it->second.ring_pos = ring_.insert(ring_.end(), frame_key);
+  stats_.frames += 1;
+  stats_.bytes += it->second.bytes;
+  stats_.pinned += 1;
+  evict_past_budget();
+  return &it->second.span;
+}
+
+void BufferPool::unpin(const std::string& tenant, const SpanKey& key) {
+  const auto it = frames_.find(FrameKey{tenant, key});
+  if (it == frames_.end() || it->second.pins == 0) {
+    return;
+  }
+  if (--it->second.pins == 0) {
+    stats_.pinned -= 1;
+  }
+}
+
+void BufferPool::drop_frame(std::map<FrameKey, Frame>::iterator it) {
+  stats_.frames -= 1;
+  stats_.bytes -= it->second.bytes;
+  if (it->second.pins > 0) {
+    stats_.pinned -= 1;
+  }
+  if (hand_ == it->second.ring_pos) {
+    ++hand_;
+  }
+  ring_.erase(it->second.ring_pos);
+  frames_.erase(it);
+}
+
+void BufferPool::invalidate(const std::string& tenant, const SpanKey& key) {
+  if (const auto it = frames_.find(FrameKey{tenant, key});
+      it != frames_.end()) {
+    drop_frame(it);
+  }
+}
+
+void BufferPool::invalidate_tenant(const std::string& tenant) {
+  for (auto it = frames_.lower_bound(FrameKey{tenant, SpanKey{}});
+       it != frames_.end() && it->first.tenant == tenant;) {
+    drop_frame(it++);
+  }
+}
+
+void BufferPool::evict_past_budget() {
+  // One full CLOCK lap clears every reference bit; after two laps with no
+  // victim everything left is pinned and the pool overshoots its budget.
+  std::size_t swept = 0;
+  const std::size_t sweep_limit = ring_.size() * 2;
+  while (stats_.bytes > budget_bytes_ && !ring_.empty() &&
+         swept < sweep_limit) {
+    if (hand_ == ring_.end()) {
+      hand_ = ring_.begin();
+    }
+    const auto it = frames_.find(*hand_);
+    ++swept;
+    if (it->second.pins > 0) {
+      ++hand_;
+      continue;
+    }
+    if (it->second.referenced) {
+      it->second.referenced = false;
+      ++hand_;
+      continue;
+    }
+    drop_frame(it);
+    stats_.evictions += 1;
+  }
+}
+
+}  // namespace ocep::store

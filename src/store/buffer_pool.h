@@ -1,0 +1,92 @@
+// Fixed-budget read cache between the matcher and the segment log: the
+// frames a deep search faults spilled leaf-history spans through.
+//
+// Each frame caches one decoded span record, keyed by the matcher's
+// fingerprint {tenant, pattern, leaf, trace, seq}.  The pool never owns
+// log positions — the TenantStore span index stays the source of truth
+// for where a span's record lives, so compaction can relocate records
+// without invalidating resident frames (a miss re-resolves through the
+// store, and every disk read re-checks the frame CRC in read_payload).
+//
+// Eviction is CLOCK-style: frames sit on a ring with a reference bit;
+// the hand clears bits until it finds an unreferenced, unpinned frame.
+// Pinned frames (in use by an in-flight observe) are never evicted; when
+// everything is pinned the pool overshoots its budget rather than fail.
+//
+// Thread model: one owner thread (the pool lives on its reactor shard,
+// next to the store it reads from).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+#include "store/tenant_store.h"
+
+namespace ocep::store {
+
+struct BufferPoolStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;     ///< loads from the log (or failed loads)
+  std::uint64_t evictions = 0;
+  std::uint64_t load_errors = 0;  ///< absent or corrupt span on fault
+  std::uint64_t frames = 0;       ///< resident frames right now
+  std::uint64_t bytes = 0;        ///< resident charged bytes right now
+  std::uint64_t pinned = 0;       ///< frames pinned right now
+};
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::uint64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the span's decoded payload, pinned against eviction — pair
+  /// every successful acquire with an unpin().  Loads through `store` on
+  /// a miss; nullptr when the store has no such span or the record fails
+  /// its CRC/decode (counted in load_errors).
+  [[nodiscard]] const SpanPayload* acquire(const std::string& tenant,
+                                           const SpanKey& key,
+                                           const TenantStore& store);
+  void unpin(const std::string& tenant, const SpanKey& key);
+
+  /// Drops one frame (the span was released from the store for good).
+  void invalidate(const std::string& tenant, const SpanKey& key);
+  /// Drops every frame of a tenant (migration away, tenant close).
+  void invalidate_tenant(const std::string& tenant);
+
+  [[nodiscard]] const BufferPoolStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::uint64_t budget_bytes() const noexcept {
+    return budget_bytes_;
+  }
+
+ private:
+  struct FrameKey {
+    std::string tenant;
+    SpanKey span;
+    friend auto operator<=>(const FrameKey&, const FrameKey&) = default;
+  };
+  struct Frame {
+    SpanPayload span;
+    std::uint64_t bytes = 0;
+    std::uint32_t pins = 0;
+    bool referenced = true;  ///< CLOCK ref bit
+    std::list<FrameKey>::iterator ring_pos;
+  };
+
+  void evict_past_budget();
+  void drop_frame(std::map<FrameKey, Frame>::iterator it);
+
+  std::uint64_t budget_bytes_;
+  std::map<FrameKey, Frame> frames_;
+  std::list<FrameKey> ring_;  ///< CLOCK order; hand_ sweeps circularly
+  std::list<FrameKey>::iterator hand_ = ring_.end();
+  BufferPoolStats stats_;
+};
+
+}  // namespace ocep::store

@@ -51,6 +51,7 @@ enum class RecordType : std::uint8_t {
   kBase = 2,       ///< full OCEPNTC1 tenant image
   kDelta = 3,      ///< raw session wire bytes fed since the last append
   kTombstone = 4,  ///< tenant left this log (migrated away / superseded)
+  kSpan = 5,       ///< evicted leaf-history span (store/tenant_store.h codec)
 };
 
 struct Record {
@@ -73,6 +74,16 @@ struct RecordRef {
 struct SegmentView {
   std::uint32_t id = 0;
   std::uint64_t bytes = 0;  ///< durable size, including the 16-byte header
+};
+
+/// Per-segment occupancy for compaction policy: how much of a segment is
+/// still live versus superseded.  `bytes` excludes the 16-byte header, so
+/// a fully-dead segment reports live_bytes == 0 with bytes > 0.
+struct SegmentUsage {
+  std::uint32_t id = 0;
+  std::uint64_t bytes = 0;       ///< durable frame bytes (header excluded)
+  std::uint64_t live_bytes = 0;  ///< frame bytes of live records
+  bool sealed = false;           ///< not the active (append) segment
 };
 
 /// Fault-injection edges (modeled on net::MigrationHook): the hook fires
@@ -142,6 +153,11 @@ class SegmentLog {
   [[nodiscard]] std::uint32_t next_segment_id() const noexcept {
     return next_segment_id_;
   }
+
+  /// Manifest-order occupancy snapshot for compaction policy (dead-byte
+  /// ratio per sealed segment).  Same durable-size discipline as
+  /// segments(): the active segment reports synced frame bytes only.
+  [[nodiscard]] std::vector<SegmentUsage> segment_usage() const;
 
   /// Reads up to `max_bytes` raw file bytes of segment `id` starting at
   /// `offset` (pread; no CRC interpretation — frames ship verbatim).
@@ -228,6 +244,7 @@ struct TenantCounts {
   std::uint64_t bases = 0;
   std::uint64_t deltas = 0;
   std::uint64_t tombstones = 0;
+  std::uint64_t spans = 0;       ///< spilled leaf-history span records
   std::uint64_t bytes = 0;       ///< payload bytes across all records
   std::uint64_t last_epoch = 0;  ///< highest epoch seen
 };

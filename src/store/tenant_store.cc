@@ -1,5 +1,7 @@
 #include "store/tenant_store.h"
 
+#include <algorithm>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -36,6 +38,70 @@ bool decode_patterns(std::string_view payload,
   }
 }
 
+std::string encode_span_payload(const SpanPayload& span) {
+  std::ostringstream out;
+  poet::put_varint(out, span.key.pattern);
+  poet::put_varint(out, span.key.leaf);
+  poet::put_varint(out, span.key.trace);
+  poet::put_varint(out, span.key.seq);
+  poet::put_varint(out, span.entries.size());
+  std::uint64_t prev = 0;
+  for (const auto& [index, comm] : span.entries) {
+    poet::put_varint(out, index - prev);  // ascending, so deltas fit small
+    poet::put_varint(out, comm);
+    prev = index;
+  }
+  return std::move(out).str();
+}
+
+namespace {
+
+constexpr std::uint64_t kMaxSpanEntries = 1ULL << 28U;
+
+bool decode_span_impl(std::string_view payload, SpanKey& key,
+                      SpanPayload* full) {
+  try {
+    std::istringstream in{std::string(payload)};
+    key.pattern = static_cast<std::uint32_t>(poet::get_varint(in));
+    key.leaf = static_cast<std::uint32_t>(poet::get_varint(in));
+    key.trace = poet::get_varint(in);
+    key.seq = poet::get_varint(in);
+    if (full == nullptr) {
+      return true;
+    }
+    const std::uint64_t count = poet::get_varint(in);
+    if (count > kMaxSpanEntries) {
+      return false;
+    }
+    full->entries.clear();
+    full->entries.reserve(count);
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t delta = poet::get_varint(in);
+      const std::uint64_t comm = poet::get_varint(in);
+      const std::uint64_t index = prev + delta;
+      if (i != 0 && delta == 0) {
+        return false;  // indices must be strictly ascending
+      }
+      full->entries.emplace_back(index, comm);
+      prev = index;
+    }
+    return in.peek() == std::char_traits<char>::eof();
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool decode_span_payload(std::string_view payload, SpanPayload& out) {
+  return decode_span_impl(payload, out.key, &out);
+}
+
+bool decode_span_key(std::string_view payload, SpanKey& out) {
+  return decode_span_impl(payload, out, nullptr);
+}
+
 TenantStore::TenantStore(LogConfig config) {
   // on_scan runs inside the SegmentLog constructor, so dead-record marks
   // are deferred until the log is fully replayed (compaction mid-scan
@@ -70,6 +136,17 @@ void TenantStore::kill_entry_records(Entry& entry) {
   entry = Entry{};
 }
 
+void TenantStore::kill_tenant_spans(const std::string& name) {
+  const auto it = spans_.find(name);
+  if (it == spans_.end()) {
+    return;
+  }
+  for (const auto& [key, ref] : it->second) {
+    kill_ref(ref);
+  }
+  spans_.erase(it);
+}
+
 void TenantStore::retire_tombstone(const std::string& name,
                                    std::uint64_t epoch) {
   const auto it = tombstones_.find(name);
@@ -95,6 +172,7 @@ void TenantStore::on_scan(const Record& record, const RecordRef& ref) {
       if (it != entries_.end()) {
         kill_entry_records(it->second);
       }
+      kill_tenant_spans(record.name);  // genesis = a tenant with no history
       Entry& entry = entries_[record.name];
       entry.epoch = record.epoch;
       entry.has_genesis = true;
@@ -142,9 +220,24 @@ void TenantStore::on_scan(const Record& record, const RecordRef& ref) {
         return;
       }
       kill_entry_records(it->second);
+      kill_tenant_spans(record.name);
       entries_.erase(it);
       images_.erase(record.name);
       tombstones_[record.name] = Tombstone{ref, record.epoch};
+      return;
+    }
+    case RecordType::kSpan: {
+      SpanKey key;
+      if (it == entries_.end() || !decode_span_key(record.payload, key)) {
+        stats_.orphan_spans += 1;  // its incarnation left, or malformed
+        kill_ref(ref);
+        return;
+      }
+      auto& per_tenant = spans_[record.name];
+      if (const auto old = per_tenant.find(key); old != per_tenant.end()) {
+        kill_ref(old->second);  // replay re-spill: last copy wins
+      }
+      per_tenant[key] = ref;
       return;
     }
   }
@@ -214,6 +307,7 @@ void TenantStore::append_genesis(const std::string& name,
   if (const auto it = entries_.find(name); it != entries_.end()) {
     kill_entry_records(it->second);
   }
+  kill_tenant_spans(name);
   Entry& entry = entries_[name];
   entry.epoch = epoch;
   entry.has_genesis = true;
@@ -272,12 +366,160 @@ void TenantStore::append_tombstone(const std::string& name) {
   record.name = name;
   const RecordRef ref = log_->append(record);
   kill_entry_records(it->second);
+  kill_tenant_spans(name);
   entries_.erase(it);
   if (!images_dropped_) {
     images_.erase(name);
   }
   tombstones_[name] = Tombstone{ref, epoch};
   stats_.tombstone_appends += 1;
+}
+
+RecordRef TenantStore::append_span(const std::string& name,
+                                   const SpanPayload& span) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw StoreError("span append for a tenant with no base/genesis: " +
+                         name,
+                     log_->dir(), -1);
+  }
+  Record record;
+  record.type = RecordType::kSpan;
+  record.epoch = it->second.epoch;
+  record.name = name;
+  record.payload = encode_span_payload(span);
+  const RecordRef ref = log_->append(record);
+  auto& per_tenant = spans_[name];
+  if (const auto old = per_tenant.find(span.key); old != per_tenant.end()) {
+    kill_ref(old->second);
+  }
+  per_tenant[span.key] = ref;
+  stats_.span_appends += 1;
+  stats_.span_bytes += record.payload.size();
+  return ref;
+}
+
+bool TenantStore::has_span(const std::string& name,
+                           const SpanKey& key) const {
+  const auto it = spans_.find(name);
+  return it != spans_.end() && it->second.contains(key);
+}
+
+SpanPayload TenantStore::read_span(const std::string& name,
+                                   const SpanKey& key) const {
+  const auto it = spans_.find(name);
+  if (it == spans_.end() || !it->second.contains(key)) {
+    throw StoreError("tenant has no stored span: " + name, log_->dir(), -1);
+  }
+  SpanPayload span;
+  if (!decode_span_payload(log_->read_payload(it->second.at(key)), span)) {
+    throw StoreError("stored span payload is malformed: " + name,
+                     log_->dir(), -1);
+  }
+  return span;
+}
+
+void TenantStore::release_span(const std::string& name, const SpanKey& key) {
+  const auto it = spans_.find(name);
+  if (it == spans_.end()) {
+    return;
+  }
+  const auto sit = it->second.find(key);
+  if (sit == it->second.end()) {
+    return;
+  }
+  kill_ref(sit->second);
+  it->second.erase(sit);
+  if (it->second.empty()) {
+    spans_.erase(it);
+  }
+  stats_.span_releases += 1;
+}
+
+void TenantStore::retain_spans(const std::string& name,
+                               const std::vector<SpanKey>& live) {
+  const auto it = spans_.find(name);
+  if (it == spans_.end()) {
+    return;
+  }
+  const std::set<SpanKey> keep(live.begin(), live.end());
+  for (auto sit = it->second.begin(); sit != it->second.end();) {
+    if (keep.contains(sit->first)) {
+      ++sit;
+    } else {
+      kill_ref(sit->second);
+      sit = it->second.erase(sit);
+      stats_.span_releases += 1;
+    }
+  }
+  if (it->second.empty()) {
+    spans_.erase(it);
+  }
+}
+
+std::uint64_t TenantStore::span_count(const std::string& name) const {
+  const auto it = spans_.find(name);
+  return it == spans_.end() ? 0 : it->second.size();
+}
+
+std::uint64_t TenantStore::total_spans() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [name, per_tenant] : spans_) {
+    total += per_tenant.size();
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, SpanKey>> TenantStore::spans_in_segment(
+    std::uint32_t segment, std::size_t max) const {
+  std::vector<std::pair<std::string, SpanKey>> found;
+  std::vector<std::uint64_t> offsets;
+  for (const auto& [name, per_tenant] : spans_) {
+    for (const auto& [key, ref] : per_tenant) {
+      if (ref.segment == segment) {
+        found.emplace_back(name, key);
+        offsets.push_back(ref.offset);
+      }
+    }
+  }
+  std::vector<std::size_t> order(found.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&offsets](std::size_t a,
+                                                   std::size_t b) {
+    return offsets[a] < offsets[b];
+  });
+  std::vector<std::pair<std::string, SpanKey>> out;
+  out.reserve(std::min(max, order.size()));
+  for (const std::size_t i : order) {
+    if (out.size() == max) {
+      break;
+    }
+    out.push_back(std::move(found[i]));
+  }
+  return out;
+}
+
+void TenantStore::relocate_span(const std::string& name, const SpanKey& key) {
+  const auto it = spans_.find(name);
+  if (it == spans_.end()) {
+    return;
+  }
+  const auto sit = it->second.find(key);
+  if (sit == it->second.end()) {
+    return;
+  }
+  const auto eit = entries_.find(name);
+  Record record;
+  record.type = RecordType::kSpan;
+  record.epoch = eit == entries_.end() ? 0 : eit->second.epoch;
+  record.name = name;
+  record.payload = log_->read_payload(sit->second);
+  const RecordRef moved = log_->append(record);
+  kill_ref(sit->second);
+  sit->second = moved;
+  stats_.spans_relocated += 1;
 }
 
 std::map<std::string, TenantImage> TenantStore::read_images(

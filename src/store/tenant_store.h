@@ -53,6 +53,30 @@ struct TenantStoreStats {
   std::uint64_t tombstone_appends = 0;
   std::uint64_t delta_bytes = 0;
   std::uint64_t orphan_deltas = 0;  ///< stale-epoch deltas seen at scan
+  std::uint64_t span_appends = 0;
+  std::uint64_t span_bytes = 0;
+  std::uint64_t span_releases = 0;
+  std::uint64_t spans_relocated = 0;  ///< compaction rewrites
+  std::uint64_t orphan_spans = 0;     ///< unreferenced spans seen at scan
+};
+
+/// Matcher fingerprint of one spilled leaf-history span.  Unlike deltas,
+/// spans carry no ordering constraint: the matcher's checkpoint names the
+/// exact seqs it may fault back, so a span record is valid wherever it
+/// sits in the log (which is what makes span relocation compaction-safe).
+struct SpanKey {
+  std::uint32_t pattern = 0;  ///< pattern index within the tenant
+  std::uint32_t leaf = 0;     ///< leaf (event-class) index in the pattern
+  std::uint64_t trace = 0;    ///< trace the entries belong to
+  std::uint64_t seq = 0;      ///< matcher-wide monotonic spill sequence
+  friend auto operator<=>(const SpanKey&, const SpanKey&) = default;
+};
+
+/// Decoded span record payload: the key plus the evicted history entries
+/// as (event index, comm_before) pairs with indices strictly ascending.
+struct SpanPayload {
+  SpanKey key;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
 };
 
 class TenantStore {
@@ -92,6 +116,41 @@ class TenantStore {
                    std::uint64_t min_epoch = 0);
   void append_tombstone(const std::string& name);
 
+  // --- spilled leaf-history spans ------------------------------------
+  // Spans ride the tenant's current epoch but survive base supersede (a
+  // re-base blob still references them by key); a tombstone or genesis
+  // kills them with the incarnation they belong to.  A re-append with the
+  // same key supersedes the earlier copy (last wins), which is what makes
+  // crash-replay re-spills idempotent.
+
+  /// Appends one spilled span; throws when the tenant has no live entry.
+  RecordRef append_span(const std::string& name, const SpanPayload& span);
+  [[nodiscard]] bool has_span(const std::string& name,
+                              const SpanKey& key) const;
+  /// Re-reads + decodes one span from disk (CRC re-checked); throws
+  /// StoreError when absent or malformed.
+  [[nodiscard]] SpanPayload read_span(const std::string& name,
+                                      const SpanKey& key) const;
+  /// Marks one span dead (faulted back for good, or abandoned); no-op
+  /// when absent.
+  void release_span(const std::string& name, const SpanKey& key);
+  /// Restart reconcile: kills every stored span of `name` whose key is
+  /// not in `live` (a crash can lose the deltas that would have re-spilled
+  /// them, leaving records nothing will ever fault).
+  void retain_spans(const std::string& name,
+                    const std::vector<SpanKey>& live);
+  [[nodiscard]] std::uint64_t span_count(const std::string& name) const;
+  [[nodiscard]] std::uint64_t total_spans() const noexcept;
+
+  /// Compaction support: up to `max` spans whose record currently lives
+  /// in `segment`, oldest-offset first.
+  [[nodiscard]] std::vector<std::pair<std::string, SpanKey>>
+  spans_in_segment(std::uint32_t segment, std::size_t max) const;
+  /// Rewrites one span at the log tail and kills the old copy (append
+  /// first, then mark dead — a crash in between leaves two copies and
+  /// last-wins scan dedup collapses them).
+  void relocate_span(const std::string& name, const SpanKey& key);
+
   /// Group commit: flushes appended records to disk.
   void sync() { log_->sync(); }
   [[nodiscard]] bool dirty() const noexcept { return log_->dirty(); }
@@ -123,6 +182,7 @@ class TenantStore {
   void on_scan(const Record& record, const RecordRef& ref);
   void kill_ref(const RecordRef& ref);
   void kill_entry_records(Entry& entry);
+  void kill_tenant_spans(const std::string& name);
   [[nodiscard]] std::uint64_t next_epoch(const std::string& name) const;
   void retire_tombstone(const std::string& name, std::uint64_t epoch);
 
@@ -135,6 +195,7 @@ class TenantStore {
     std::uint64_t epoch = 0;
   };
   std::map<std::string, Tombstone> tombstones_;
+  std::map<std::string, std::map<SpanKey, RecordRef>> spans_;
   std::map<std::string, TenantImage> images_;
   bool images_dropped_ = false;
   /// mark_dead calls deferred during the constructor scan (the log is
@@ -150,5 +211,13 @@ class TenantStore {
     const std::vector<std::string>& patterns);
 [[nodiscard]] bool decode_patterns(std::string_view payload,
                                    std::vector<std::string>& out);
+
+/// Span payload codec (pattern | leaf | trace | seq | count, then the
+/// entries with delta-encoded indices) — shared with the inspector.
+[[nodiscard]] std::string encode_span_payload(const SpanPayload& span);
+[[nodiscard]] bool decode_span_payload(std::string_view payload,
+                                       SpanPayload& out);
+/// Decodes only the leading fingerprint (what the scan index needs).
+[[nodiscard]] bool decode_span_key(std::string_view payload, SpanKey& out);
 
 }  // namespace ocep::store

@@ -1,10 +1,12 @@
 // Durability-store suite (ctest -L store): the segment log's crash
 // contract, the recovery corpus (torn tails at every byte boundary,
 // bit flips, manifest damage, missing segments), tenant-record
-// semantics (base supersession, tombstones, orphan deltas, GC), and a
-// fork-based crash-point exhaustion that kills a deterministic
-// workload at every write/fsync/rename edge and proves the survivor
-// is always a valid prefix.
+// semantics (base supersession, tombstones, orphan deltas, GC), the
+// span storage tier (span record semantics, buffer pool, compactor,
+// spill-then-fault-back matcher equivalence), and fork-based
+// crash-point exhaustions that kill deterministic workloads at every
+// write/fsync/rename edge and prove the survivor is always a valid
+// prefix.
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -19,8 +21,15 @@
 
 #include "common/durable.h"
 #include "common/error.h"
+#include "common/string_pool.h"
+#include "core/monitor.h"
+#include "core/span_sink.h"
+#include "random_computation.h"
+#include "store/buffer_pool.h"
+#include "store/compactor.h"
 #include "store/segment_log.h"
 #include "store/tenant_store.h"
+#include "testing/chaos_harness.h"
 
 namespace fs = std::filesystem;
 using namespace ocep;
@@ -564,6 +573,433 @@ TEST(TenantStoreSemantics, PatternCodecRoundTrip) {
   EXPECT_FALSE(decode_patterns("\xff\xff\xff\xff\xff", out));
 }
 
+// --- span records (spilled leaf histories) -----------------------------
+
+/// Deterministic span fixture keyed by seq; entries strictly ascending.
+SpanPayload make_span(std::uint64_t seq, std::size_t entries = 6) {
+  SpanPayload span;
+  span.key.pattern = static_cast<std::uint32_t>(seq % 2);
+  span.key.leaf = static_cast<std::uint32_t>(seq % 3);
+  span.key.trace = 1 + seq % 5;
+  span.key.seq = seq;
+  std::uint64_t index = 1 + seq * 100;
+  for (std::size_t i = 0; i < entries; ++i) {
+    span.entries.emplace_back(index, index % 7);
+    index += 1 + i % 4;
+  }
+  return span;
+}
+
+TEST(SpanRecords, CodecRoundTripAndMalformedReject) {
+  const SpanPayload span = make_span(42, 17);
+  const std::string encoded = encode_span_payload(span);
+
+  SpanPayload decoded;
+  ASSERT_TRUE(decode_span_payload(encoded, decoded));
+  EXPECT_EQ(decoded.key, span.key);
+  EXPECT_EQ(decoded.entries, span.entries);
+
+  SpanKey key;
+  ASSERT_TRUE(decode_span_key(encoded, key));
+  EXPECT_EQ(key, span.key);
+
+  // Truncations and garbage must fail cleanly, never crash.
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    SpanPayload out;
+    EXPECT_FALSE(decode_span_payload(encoded.substr(0, cut), out))
+        << "cut " << cut;
+  }
+  SpanPayload out;
+  EXPECT_FALSE(decode_span_payload("\xff\xff\xff\xff\xff\xff\xff", out));
+}
+
+TEST(SpanRecords, SurviveBaseSupersedeDieWithTombstone) {
+  const std::string dir = scratch_dir("span_lifecycle");
+  const SpanPayload span = make_span(1);
+  {
+    TenantStore tenants(log_config(dir));
+    tenants.append_base("t", "IMAGE-1");
+    tenants.append_span("t", span);
+    // A re-base references its spilled spans by key, so the base
+    // supersede must NOT kill them.
+    tenants.append_base("t", "IMAGE-2");
+    EXPECT_TRUE(tenants.has_span("t", span.key));
+    tenants.sync();
+  }
+  {
+    TenantStore reopened(log_config(dir));
+    ASSERT_TRUE(reopened.has_span("t", span.key));
+    EXPECT_EQ(reopened.read_span("t", span.key).entries, span.entries);
+    EXPECT_EQ(reopened.span_count("t"), 1U);
+    // The tombstone kills the incarnation's spans with it.
+    reopened.append_tombstone("t");
+    EXPECT_FALSE(reopened.has_span("t", span.key));
+    reopened.sync();
+  }
+  TenantStore again(log_config(dir));
+  EXPECT_EQ(again.total_spans(), 0U);
+  EXPECT_FALSE(again.has_span("t", span.key));
+}
+
+TEST(SpanRecords, ReappendIsLastWinsAndReleaseIsIdempotent) {
+  const std::string dir = scratch_dir("span_dedup");
+  SpanPayload original = make_span(3);
+  SpanPayload replacement = original;
+  replacement.entries.emplace_back(10000, 1);
+  {
+    TenantStore tenants(log_config(dir));
+    tenants.append_genesis("t", {"p"});
+    tenants.append_span("t", original);
+    // Crash-replay re-spills the same seq: the re-append supersedes the
+    // first copy instead of duplicating it.
+    tenants.append_span("t", replacement);
+    EXPECT_EQ(tenants.span_count("t"), 1U);
+    tenants.sync();
+  }
+  TenantStore reopened(log_config(dir));
+  EXPECT_EQ(reopened.span_count("t"), 1U);
+  EXPECT_EQ(reopened.read_span("t", original.key).entries,
+            replacement.entries);
+  reopened.release_span("t", original.key);
+  reopened.release_span("t", original.key);  // no-op, not an error
+  EXPECT_EQ(reopened.span_count("t"), 0U);
+  EXPECT_THROW((void)reopened.read_span("t", original.key), StoreError);
+}
+
+TEST(SpanRecords, RetainSpansDropsCrashOrphans) {
+  const std::string dir = scratch_dir("span_retain");
+  TenantStore tenants(log_config(dir));
+  tenants.append_genesis("t", {"p"});
+  for (std::uint64_t seq = 0; seq < 5; ++seq) {
+    tenants.append_span("t", make_span(seq));
+  }
+  // The restored matcher only references seqs 1 and 4 — everything else
+  // is a record nothing will ever fault, left by lost deltas.
+  tenants.retain_spans("t", {make_span(1).key, make_span(4).key});
+  EXPECT_EQ(tenants.span_count("t"), 2U);
+  EXPECT_TRUE(tenants.has_span("t", make_span(1).key));
+  EXPECT_FALSE(tenants.has_span("t", make_span(0).key));
+  EXPECT_GE(tenants.stats().orphan_spans + tenants.stats().span_releases,
+            3U);
+  tenants.sync();
+}
+
+TEST(SpanRecords, RelocationPreservesPayloadAcrossCrashDuplicate) {
+  const std::string dir = scratch_dir("span_reloc");
+  const SpanPayload span = make_span(9, 20);
+  {
+    TenantStore tenants(log_config(dir));
+    tenants.append_genesis("t", {"p"});
+    tenants.append_span("t", span);
+    // Append-then-kill: run the relocation twice to also cover the
+    // crash shape where both copies land on disk before the kill.
+    tenants.relocate_span("t", span.key);
+    tenants.relocate_span("t", span.key);
+    EXPECT_EQ(tenants.span_count("t"), 1U);
+    EXPECT_EQ(tenants.read_span("t", span.key).entries, span.entries);
+    EXPECT_EQ(tenants.stats().spans_relocated, 2U);
+    tenants.sync();
+  }
+  TenantStore reopened(log_config(dir));
+  EXPECT_EQ(reopened.span_count("t"), 1U);
+  EXPECT_EQ(reopened.read_span("t", span.key).entries, span.entries);
+}
+
+// --- buffer pool -------------------------------------------------------
+
+TEST(BufferPoolTier, HitsMissesAndClockEviction) {
+  const std::string dir = scratch_dir("pool_clock");
+  TenantStore tenants(log_config(dir));
+  tenants.append_genesis("t", {"p"});
+  constexpr std::uint64_t kSpans = 16;
+  for (std::uint64_t seq = 0; seq < kSpans; ++seq) {
+    tenants.append_span("t", make_span(seq, 32));
+  }
+  tenants.sync();
+
+  // Budget for roughly four frames: a working set of sixteen must churn.
+  BufferPool pool(4 * (32 * 16 + 128));
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t seq = 0; seq < kSpans; ++seq) {
+      const SpanKey key = make_span(seq).key;
+      const SpanPayload* payload = pool.acquire("t", key, tenants);
+      ASSERT_NE(payload, nullptr) << "seq " << seq;
+      EXPECT_EQ(payload->entries, make_span(seq, 32).entries);
+      pool.unpin("t", key);
+    }
+  }
+  EXPECT_GT(pool.stats().evictions, 0U);
+  EXPECT_GT(pool.stats().misses, 0U);
+  EXPECT_LE(pool.stats().frames, kSpans);
+
+  // A repeatedly-touched key stays resident: all hits after the first.
+  const SpanKey hot = make_span(0).key;
+  const std::uint64_t miss_before = pool.stats().misses;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_NE(pool.acquire("t", hot, tenants), nullptr);
+    pool.unpin("t", hot);
+  }
+  EXPECT_LE(pool.stats().misses, miss_before + 1);
+  EXPECT_EQ(pool.stats().load_errors, 0U);
+}
+
+TEST(BufferPoolTier, PinnedFramesAreNeverEvicted) {
+  const std::string dir = scratch_dir("pool_pin");
+  TenantStore tenants(log_config(dir));
+  tenants.append_genesis("t", {"p"});
+  for (std::uint64_t seq = 0; seq < 12; ++seq) {
+    tenants.append_span("t", make_span(seq, 32));
+  }
+  tenants.sync();
+
+  BufferPool pool(2 * (32 * 16 + 128));  // about two frames
+  const SpanKey pinned_key = make_span(0).key;
+  const SpanPayload* pinned = pool.acquire("t", pinned_key, tenants);
+  ASSERT_NE(pinned, nullptr);
+  const auto expected = make_span(0, 32).entries;
+
+  // Thrash far past the budget; the pinned frame must stay valid even
+  // though the pool overshoots rather than evict it.
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t seq = 1; seq < 12; ++seq) {
+      const SpanKey key = make_span(seq).key;
+      ASSERT_NE(pool.acquire("t", key, tenants), nullptr);
+      pool.unpin("t", key);
+    }
+  }
+  EXPECT_EQ(pool.stats().pinned, 1U);
+  EXPECT_EQ(pinned->entries, expected);
+  pool.unpin("t", pinned_key);
+  EXPECT_EQ(pool.stats().pinned, 0U);
+}
+
+TEST(BufferPoolTier, InvalidateAndLoadErrors) {
+  const std::string dir = scratch_dir("pool_invalidate");
+  TenantStore tenants(log_config(dir));
+  tenants.append_genesis("t", {"p"});
+  tenants.append_span("t", make_span(0));
+  tenants.sync();
+
+  BufferPool pool(1 << 20);
+  ASSERT_NE(pool.acquire("t", make_span(0).key, tenants), nullptr);
+  pool.unpin("t", make_span(0).key);
+  pool.invalidate("t", make_span(0).key);
+  EXPECT_EQ(pool.stats().frames, 0U);
+
+  // A span the store never had: counted, not fatal.
+  EXPECT_EQ(pool.acquire("t", make_span(99).key, tenants), nullptr);
+  EXPECT_EQ(pool.stats().load_errors, 1U);
+
+  ASSERT_NE(pool.acquire("t", make_span(0).key, tenants), nullptr);
+  pool.unpin("t", make_span(0).key);
+  pool.invalidate_tenant("t");
+  EXPECT_EQ(pool.stats().frames, 0U);
+  EXPECT_EQ(pool.stats().bytes, 0U);
+}
+
+// --- compaction scheduler ----------------------------------------------
+
+TEST(CompactorTier, DrainsDeadSegmentsInBoundedQuanta) {
+  const std::string dir = scratch_dir("compactor_drain");
+  LogConfig config = log_config(dir);
+  config.segment_bytes = 1 << 10;  // several sealed span-only segments
+  TenantStore tenants(std::move(config));
+  tenants.append_genesis("t", {"p"});
+  std::vector<SpanKey> keys;
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    keys.push_back(make_span(seq, 16).key);
+    tenants.append_span("t", make_span(seq, 16));
+  }
+  tenants.sync();
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    if (seq % 4 != 0) {
+      tenants.release_span("t", keys[seq]);
+    }
+  }
+
+  CompactorConfig compactor_config;
+  compactor_config.dead_ratio = 0.3;
+  compactor_config.quantum_spans = 4;
+  Compactor compactor(tenants, compactor_config);
+  const std::uint64_t deleted_before = tenants.log_stats().segments_deleted;
+  int productive = 0;
+  for (int tick = 0; tick < 200; ++tick) {
+    productive += compactor.tick() ? 1 : 0;
+  }
+  EXPECT_GT(compactor.stats().spans_moved, 0U);
+  EXPECT_GT(compactor.stats().segments_planned, 0U);
+  EXPECT_GT(tenants.log_stats().segments_deleted, deleted_before);
+  // The quantum bounds each tick, so draining took several of them.
+  EXPECT_GT(productive, 1);
+  // Every surviving span reads back exactly, wherever its record moved.
+  for (std::uint64_t seq = 0; seq < 64; seq += 4) {
+    EXPECT_EQ(tenants.read_span("t", keys[seq]).entries,
+              make_span(seq, 16).entries)
+        << "seq " << seq;
+  }
+  tenants.sync();
+  EXPECT_TRUE(verify_log(dir).ok());
+
+  // Idle store: ticks settle to no-ops and the backlog empties.
+  bool idle_work = false;
+  for (int tick = 0; tick < 8; ++tick) {
+    idle_work = idle_work || compactor.tick();
+  }
+  EXPECT_FALSE(idle_work);
+  EXPECT_EQ(compactor.backlog(), 0U);
+}
+
+TEST(CompactorTier, RebaseQueueDedupsRetriesAndQuiesces) {
+  const std::string dir = scratch_dir("compactor_rebase");
+  TenantStore tenants(log_config(dir));
+  tenants.append_genesis("t", {"p"});
+  tenants.sync();
+
+  Compactor compactor(tenants, CompactorConfig{});
+  int attempts = 0;
+  compactor.set_rebase_fn([&attempts](const std::string& tenant) {
+    EXPECT_EQ(tenant, "t");
+    return ++attempts >= 3;  // frozen for two ticks, then rebasable
+  });
+  compactor.schedule_rebase("t");
+  compactor.schedule_rebase("t");  // dedup: still one queue entry
+  EXPECT_EQ(compactor.backlog(), 1U);
+
+  int ticks = 0;
+  while (compactor.backlog() != 0 && ticks < 10) {
+    compactor.tick();
+    ++ticks;
+  }
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(compactor.stats().rebases_run, 1U);
+  EXPECT_EQ(compactor.stats().rebase_failures, 2U);
+  EXPECT_EQ(compactor.backlog(), 0U);
+
+  // quiesce abandons an in-flight segment plan without touching the log.
+  compactor.quiesce();
+  EXPECT_EQ(compactor.backlog(), 0U);
+}
+
+// --- spill-then-fault-back matcher equivalence -------------------------
+
+/// The production sink shape (src/net/shard.cc) rebuilt on the test's
+/// own store + pool: spills append span records, faults load through
+/// the buffer pool, releases kill the record and drop the frame.
+class StoreBackedSink final : public SpanSink {
+ public:
+  StoreBackedSink(TenantStore& store, BufferPool& pool, std::string tenant)
+      : store_(store), pool_(pool), tenant_(std::move(tenant)) {}
+
+  bool spill(std::uint32_t pattern, std::uint32_t leaf, TraceId trace,
+             std::uint64_t seq,
+             std::span<const HistoryEntry> entries) override {
+    SpanPayload span;
+    span.key = {pattern, leaf, trace, seq};
+    span.entries.reserve(entries.size());
+    for (const HistoryEntry& entry : entries) {
+      span.entries.emplace_back(entry.index, entry.comm_before);
+    }
+    store_.append_span(tenant_, span);
+    ++spills;
+    return true;
+  }
+
+  bool fault(std::uint32_t pattern, std::uint32_t leaf, TraceId trace,
+             std::uint64_t seq, std::vector<HistoryEntry>& out) override {
+    const SpanKey key{pattern, leaf, trace, seq};
+    const SpanPayload* payload = pool_.acquire(tenant_, key, store_);
+    if (payload == nullptr) {
+      return false;
+    }
+    out.clear();
+    out.reserve(payload->entries.size());
+    for (const auto& [index, comm_before] : payload->entries) {
+      out.push_back({static_cast<EventIndex>(index),
+                     static_cast<std::uint32_t>(comm_before)});
+    }
+    pool_.unpin(tenant_, key);
+    ++faults;
+    return true;
+  }
+
+  void release(std::uint32_t pattern, std::uint32_t leaf, TraceId trace,
+               std::uint64_t seq) override {
+    const SpanKey key{pattern, leaf, trace, seq};
+    pool_.invalidate(tenant_, key);
+    store_.release_span(tenant_, key);
+  }
+
+  std::uint64_t spills = 0;
+  std::uint64_t faults = 0;
+
+ private:
+  TenantStore& store_;
+  BufferPool& pool_;
+  std::string tenant_;
+};
+
+constexpr const char* kSpillPattern =
+    "P := ['', A, '']; Q := ['', B, ''];\npattern := P -> Q;\n";
+
+TEST(SpanSpillEquivalence, FaultBackMatchesUnboundedRamRun) {
+  StringPool pool;
+  ocep::testing::RandomComputationOptions options;
+  options.traces = 8;
+  options.events = 1200;
+  options.seed = 17;
+  const EventStore events = ocep::testing::random_computation(pool, options);
+  std::vector<Symbol> traces;
+  for (TraceId t = 0; t < events.trace_count(); ++t) {
+    traces.push_back(events.trace_name(t));
+  }
+  const auto feed = [&events, &traces](Monitor& monitor) {
+    monitor.on_traces(traces);
+    for (std::uint64_t pos = 0; pos < events.event_count(); ++pos) {
+      const EventId id = events.arrival(pos);
+      monitor.on_event(events.event(id), events.clock(id));
+    }
+    monitor.drain();
+  };
+
+  Monitor unbounded(pool, events.storage());
+  unbounded.add_pattern(kSpillPattern);
+  feed(unbounded);
+  const std::vector<std::string> full =
+      ocep::testing::match_signature(unbounded, 0);
+  ASSERT_GT(unbounded.matcher(0).history_bytes(), 4096U)
+      << "workload too small to exercise the cap";
+
+  // Same byte cap twice: plain eviction loses matches; the span sink
+  // must spill instead and fault back to the exact unbounded result.
+  MatcherConfig capped;
+  capped.history_bytes_limit = 4096;
+
+  Monitor evicting(pool, events.storage());
+  evicting.add_pattern(kSpillPattern, capped);
+  feed(evicting);
+  const std::vector<std::string> lossy =
+      ocep::testing::match_signature(evicting, 0);
+  EXPECT_TRUE(ocep::testing::is_subset_of(lossy, full));
+
+  const std::string dir = scratch_dir("spill_equiv");
+  TenantStore tenants(log_config(dir));
+  tenants.append_genesis("t", {kSpillPattern});
+  BufferPool frames(8 * 1024);
+  StoreBackedSink sink(tenants, frames, "t");
+  Monitor spilling(pool, events.storage());
+  spilling.add_pattern(kSpillPattern, capped);
+  spilling.set_span_sink(&sink);
+  feed(spilling);
+
+  EXPECT_GT(sink.spills, 0U) << "cap never pressured the sink — vacuous";
+  EXPECT_EQ(ocep::testing::match_signature(spilling, 0), full)
+      << "spill-then-fault-back must be byte-identical to unbounded RAM";
+  EXPECT_LE(spilling.matcher(0).history_bytes(),
+            capped.history_bytes_limit);
+  tenants.sync();
+  EXPECT_TRUE(verify_log(dir).ok());
+}
+
 // --- crash-point exhaustion --------------------------------------------
 
 constexpr char kChildDone = 42;   ///< workload ran to completion
@@ -664,6 +1100,109 @@ TEST(CrashExhaustion, KilledAtEveryEdgeRecoversToValidPrefix) {
   // The workload must actually reach a healthy spread of edges (appends,
   // segment syncs, rotations, manifest writes, renames, compaction).
   EXPECT_GE(edges_exercised, 30);
+}
+
+/// Span-tier crash workload: spans appended, released, re-appended
+/// (the crash-replay dedup shape) and relocated by a ticking compactor,
+/// then a re-base — every span-append and compaction edge gets killed.
+void span_crash_workload(const std::string& dir, int crash_at) {
+  int edges = 0;
+  LogConfig config = log_config(dir);
+  config.segment_bytes = 200;  // rotations mid-workload
+  config.crash_hook = [&edges, crash_at](CrashEdge, std::string_view) {
+    if (++edges == crash_at) {
+      ::_Exit(0);
+    }
+  };
+  TenantStore tenants(std::move(config));
+  tenants.append_genesis("t", {"a; b"});
+  for (std::uint64_t seq = 0; seq < 6; ++seq) {
+    tenants.append_span("t", make_span(seq));
+  }
+  tenants.sync();
+  for (std::uint64_t seq = 0; seq < 6; seq += 2) {
+    tenants.release_span("t", make_span(seq).key);
+  }
+  tenants.append_span("t", make_span(1));  // idempotent re-spill
+  tenants.sync();
+  CompactorConfig compactor_config;
+  compactor_config.dead_ratio = 0.2;
+  compactor_config.quantum_spans = 2;
+  Compactor compactor(tenants, compactor_config);
+  for (int tick = 0; tick < 24; ++tick) {
+    compactor.tick();
+  }
+  tenants.sync();
+  tenants.append_base("t", std::string(64, 'B'));
+  tenants.sync();
+  ::_Exit(kChildDone);
+}
+
+/// Whatever edge the kill landed on, every surviving span must decode to
+/// exactly what the workload wrote — relocation's append-then-kill may
+/// leave two copies, never a wrong or torn-but-live one.
+void check_span_crash_survivor(const std::string& dir, int crash_at) {
+  ASSERT_TRUE(verify_log(dir).ok()) << "edge " << crash_at;
+
+  TenantStore tenants(log_config(dir));
+  if (tenants.contains("t")) {
+    EXPECT_LE(tenants.span_count("t"), 6U) << "edge " << crash_at;
+    for (std::uint64_t seq = 0; seq < 6; ++seq) {
+      const SpanPayload expected = make_span(seq);
+      if (!tenants.has_span("t", expected.key)) {
+        continue;  // released, or the append never landed
+      }
+      EXPECT_EQ(tenants.read_span("t", expected.key).entries,
+                expected.entries)
+          << "edge " << crash_at << " seq " << seq;
+    }
+    // The survivor keeps working: spill, relocate, sync, reopen.
+    tenants.append_span("t", make_span(7));
+    tenants.relocate_span("t", make_span(7).key);
+  } else {
+    tenants.append_genesis("t", {"post"});
+    tenants.append_span("t", make_span(7));
+  }
+  tenants.sync();
+
+  TenantStore again(log_config(dir));
+  ASSERT_TRUE(again.has_span("t", make_span(7).key)) << "edge " << crash_at;
+  EXPECT_EQ(again.read_span("t", make_span(7).key).entries,
+            make_span(7).entries)
+      << "edge " << crash_at;
+}
+
+TEST(CrashExhaustion, SpanAndCompactionEdgesRecoverToValidPrefix) {
+  bool completed = false;
+  int edges_exercised = 0;
+  for (int crash_at = 1; crash_at <= 800; ++crash_at) {
+    const std::string dir =
+        scratch_dir("span_crash_" + std::to_string(crash_at));
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      try {
+        span_crash_workload(dir, crash_at);
+      } catch (...) {
+        ::_Exit(kChildError);
+      }
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "edge " << crash_at;
+    ASSERT_NE(WEXITSTATUS(status), kChildError) << "edge " << crash_at;
+    if (WEXITSTATUS(status) == kChildDone) {
+      completed = true;
+      edges_exercised = crash_at - 1;
+      break;
+    }
+    check_span_crash_survivor(dir, crash_at);
+    fs::remove_all(dir);
+  }
+  ASSERT_TRUE(completed) << "workload never ran out of edges to kill";
+  // Span appends, releases, the relocation appends + kills, and the
+  // closing re-base must all contribute edges.
+  EXPECT_GE(edges_exercised, 40);
 }
 
 // --- durable small-file helper (satellite 1) ---------------------------

@@ -3,7 +3,7 @@
 //
 //   ocep_inspect --dump FILE [--relate T1:I1 T2:I2]
 //                [--metrics [--pattern TEXT] [--metrics-format FMT]]
-//   ocep_inspect --store DIR [--compare DIR]
+//   ocep_inspect --store DIR [--compare DIR] [--spans]
 //                [--health [--health-format text|json]
 //                 [--budget-steps N] [--budget-ns N] [--breaker-trip K]
 //                 [--breaker-window N] [--breaker-cooldown N]
@@ -20,9 +20,12 @@
 //
 // With --store, verifies a tenant store directory (a daemon's --store-dir
 // root, or one shard-N log inside it) without touching it: per-tenant
-// record counts, torn-tail report, and CRC/structure failures with
-// positioned offsets.  Exit status 1 when any fatal corruption is found
-// (a torn tail alone — the expected SIGKILL image — is healthy).
+// record counts (including spilled leaf-history span records, whose
+// payloads are decode-verified), torn-tail report, and CRC/structure
+// failures with positioned offsets.  Exit status 1 when any fatal
+// corruption is found (a torn tail alone — the expected SIGKILL image —
+// is healthy).  --spans additionally dumps every span record: its
+// {pattern, leaf, trace, seq} fingerprint, entry count, and index range.
 //
 // With --store A --compare B, additionally byte-prefix-compares the two
 // store roots (docs/ROBUSTNESS.md "Replication"): every segment present
@@ -46,6 +49,7 @@
 #include "poet/replay.h"
 #include "store/replication.h"
 #include "store/segment_log.h"
+#include "store/tenant_store.h"
 
 using namespace ocep;
 
@@ -74,7 +78,7 @@ const char* relation_name(Relation relation) {
 
 /// Verifies one segment-log directory; returns whether it is free of
 /// fatal corruption.
-bool inspect_store_log(const std::string& dir) {
+bool inspect_store_log(const std::string& dir, bool dump_spans) {
   const store::VerifyReport report = store::verify_log(dir);
   std::printf("%s:\n", dir.c_str());
   std::printf("  segments %" PRIu64 "   records %" PRIu64
@@ -84,9 +88,10 @@ bool inspect_store_log(const std::string& dir) {
   for (const auto& [name, counts] : report.tenants) {
     std::printf("  tenant %-24s genesis %" PRIu64 "  bases %" PRIu64
                 "  deltas %" PRIu64 "  tombstones %" PRIu64
-                "  bytes %" PRIu64 "  epoch %" PRIu64 "\n",
+                "  spans %" PRIu64 "  bytes %" PRIu64 "  epoch %" PRIu64 "\n",
                 name.c_str(), counts.genesis, counts.bases, counts.deltas,
-                counts.tombstones, counts.bytes, counts.last_epoch);
+                counts.tombstones, counts.spans, counts.bytes,
+                counts.last_epoch);
   }
   for (const store::VerifyIssue& issue : report.issues) {
     std::printf("  %s: %s at byte %" PRId64 ": %s\n",
@@ -97,12 +102,47 @@ bool inspect_store_log(const std::string& dir) {
   if (report.issues.empty()) {
     std::printf("  clean\n");
   }
+  if (dump_spans) {
+    // A second, read-only pass in append order; records that fail CRC
+    // were already reported above, so this scan only sees valid frames.
+    try {
+      store::LogConfig config;
+      config.dir = dir;
+      config.read_only = true;
+      const store::SegmentLog log(
+          std::move(config),
+          [](const store::Record& record, const store::RecordRef& ref) {
+            if (record.type != store::RecordType::kSpan) {
+              return;
+            }
+            store::SpanPayload span;
+            if (!store::decode_span_payload(record.payload, span)) {
+              std::printf("  span %-24s seg %u offset %" PRIu64
+                          "  (payload does not decode)\n",
+                          record.name.c_str(), ref.segment, ref.offset);
+              return;
+            }
+            const std::uint64_t first =
+                span.entries.empty() ? 0 : span.entries.front().first;
+            const std::uint64_t last =
+                span.entries.empty() ? 0 : span.entries.back().first;
+            std::printf("  span %-24s pattern %u  leaf %u  trace %" PRIu64
+                        "  seq %" PRIu64 "  entries %zu  indices %" PRIu64
+                        "..%" PRIu64 "  epoch %" PRIu64 "\n",
+                        record.name.c_str(), span.key.pattern, span.key.leaf,
+                        span.key.trace, span.key.seq, span.entries.size(),
+                        first, last, record.epoch);
+          });
+    } catch (const Error& error) {
+      std::printf("  span dump failed: %s\n", error.what());
+    }
+  }
   return report.ok();
 }
 
 /// --store DIR: a daemon store root (shard-N subdirectories) or a single
 /// log directory.  Exit code 1 on any fatal finding.
-int inspect_store(const std::string& root) {
+int inspect_store(const std::string& root, bool dump_spans) {
   namespace fs = std::filesystem;
   std::vector<std::string> logs;
   std::error_code ec;
@@ -121,7 +161,7 @@ int inspect_store(const std::string& root) {
   std::sort(logs.begin(), logs.end());
   bool ok = true;
   for (const std::string& dir : logs) {
-    ok = inspect_store_log(dir) && ok;
+    ok = inspect_store_log(dir, dump_spans) && ok;
   }
   std::printf("store %s: %s\n", root.c_str(), ok ? "OK" : "CORRUPT");
   return ok ? 0 : 1;
@@ -149,6 +189,7 @@ int main(int argc, char** argv) {
     Flags flags(argc, argv);
     const std::string store_dir = flags.get_string("store", "");
     const std::string compare_dir = flags.get_string("compare", "");
+    const bool dump_spans = flags.get_bool("spans", false);
     const std::string dump_path = flags.get_string("dump", "");
     const std::string relate_a = flags.get_string("relate", "");
     const std::string relate_b = flags.get_string("with", "");
@@ -180,7 +221,7 @@ int main(int argc, char** argv) {
       return compare_stores(store_dir, compare_dir);
     }
     if (!store_dir.empty()) {
-      return inspect_store(store_dir);
+      return inspect_store(store_dir, dump_spans);
     }
     if (dump_path.empty()) {
       throw Error("--dump FILE or --store DIR is required");

@@ -4,6 +4,7 @@
 //               [--workers N] [--batch N] [--metrics]
 //               [--checkpoint-dir DIR] [--store-dir DIR]
 //               [--flush-interval-ms N] [--spill-bytes N]
+//               [--pool-bytes N] [--compact-ratio R]
 //               [--rebase-bytes N] [--idle-timeout-ms N]
 //               [--linger-ms N] [--max-tenant-bytes N]
 //               [--max-corrupt-frames N] [--max-tenants N] [--max-conns N]
@@ -105,6 +106,14 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(flags.get_int("flush-interval-ms", 50));
     config.spill_bytes =
         static_cast<std::uint64_t>(flags.get_int("spill-bytes", 0));
+    // Span storage tier (docs/ROBUSTNESS.md "Durability"): --pool-bytes
+    // budgets the shared buffer pool and turns matcher history eviction
+    // into span spill/fault-back; --compact-ratio enables the background
+    // compactor that rewrites dead segments and runs re-bases off the
+    // flush tick.  Both default off.
+    config.pool_bytes =
+        static_cast<std::uint64_t>(flags.get_int("pool-bytes", 0));
+    config.compact_ratio = flags.get_double("compact-ratio", 0.0);
     config.store_rebase_bytes = static_cast<std::uint64_t>(
         flags.get_int("rebase-bytes", 1 << 20));
     config.idle_timeout_ms =
